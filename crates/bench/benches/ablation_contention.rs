@@ -1,0 +1,48 @@
+//! Ablation — the clock-gate-on-abort design choices.
+//!
+//! Compares the paper's full proposal (Eq. 8 staircase + Fig. 2(e) renewal
+//! check) against the ablations DESIGN.md calls out: plain TCC, conventional
+//! exponential polite back-off (no gating), a fixed gating window, the
+//! staircase without the renewal check, and a linear (non-staircase)
+//! back-off.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clockgate_htm::sim::{GatingMode, SimulationBuilder};
+use htm_workloads::WorkloadScale;
+
+fn run(mode: GatingMode) -> (u64, f64) {
+    let r = SimulationBuilder::new()
+        .processors(8)
+        .workload_by_name("intruder", WorkloadScale::Small, 42)
+        .expect("workload")
+        .gating(mode)
+        .run()
+        .expect("simulation");
+    (r.outcome.total_cycles, r.energy.total_energy)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_contention");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    let modes: [(&str, GatingMode); 6] = [
+        ("baseline_tcc", GatingMode::Ungated),
+        ("exp_backoff", GatingMode::ExponentialBackoff { base: 32, cap: 8 }),
+        ("clock_gate_eq8", GatingMode::ClockGate { w0: 8 }),
+        ("clock_gate_fixed", GatingMode::ClockGateFixedWindow { window: 64 }),
+        ("clock_gate_no_renew", GatingMode::ClockGateNoRenew { w0: 8 }),
+        ("clock_gate_linear", GatingMode::ClockGateLinear { w0: 8 }),
+    ];
+    for (name, mode) in modes {
+        let (cycles, energy) = run(mode);
+        println!("ablation[intruder x 8p, {name}]: {cycles} cycles, energy {energy:.0}");
+        group.bench_function(name, |b| b.iter(|| black_box(run(mode))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

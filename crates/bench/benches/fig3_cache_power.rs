@@ -1,0 +1,24 @@
+//! Fig. 3 — normalized power of the TCC data cache vs. RW-bit resolution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clockgate_htm::experiments;
+use htm_power::cache_power::CachePowerModel;
+
+fn bench(c: &mut Criterion) {
+    // The anchor points the paper quotes must hold before we benchmark.
+    let m = CachePowerModel::new_kb(64);
+    assert!((m.normalized_rw_power(2) - 105.0).abs() < 1.0);
+    assert!((1.3..=1.7).contains(&m.tcc_breakdown(2).factor()));
+
+    c.bench_function("fig3/all_cache_sizes", |b| {
+        b.iter(|| black_box(experiments::fig3()));
+    });
+    c.bench_function("fig3/single_series_64kb", |b| {
+        b.iter(|| black_box(CachePowerModel::new_kb(64).fig3_series()));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Fig. 4 — total parallel execution time with and without clock gating.
+//!
+//! Each benchmark id runs one full simulation (reduced `Small` workload
+//! scale, 8 processors) and reports the wall-clock cost of regenerating one
+//! bar of the figure. The measured quantity of interest — the simulated
+//! cycle counts — is printed once per configuration so the bench doubles as
+//! a quick reproduction of the figure's shape.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clockgate_htm::sim::{GatingMode, SimulationBuilder};
+use htm_workloads::WorkloadScale;
+
+const PROCS: usize = 8;
+const SEED: u64 = 42;
+
+fn run(workload: &str, mode: GatingMode) -> u64 {
+    SimulationBuilder::new()
+        .processors(PROCS)
+        .workload_by_name(workload, WorkloadScale::Small, SEED)
+        .expect("workload")
+        .gating(mode)
+        .run()
+        .expect("simulation")
+        .outcome
+        .total_cycles
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_execution_time");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    for workload in ["genome", "yada", "intruder"] {
+        let n1 = run(workload, GatingMode::Ungated);
+        let n2 = run(workload, GatingMode::ClockGate { w0: 8 });
+        println!("fig4[{workload} x {PROCS}p]: ungated={n1} cycles, gated={n2} cycles, speedup={:.3}x", n1 as f64 / n2 as f64);
+        group.bench_function(format!("{workload}/ungated"), |b| {
+            b.iter(|| black_box(run(workload, GatingMode::Ungated)));
+        });
+        group.bench_function(format!("{workload}/clock_gated"), |b| {
+            b.iter(|| black_box(run(workload, GatingMode::ClockGate { w0: 8 })));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Fig. 5 — energy consumption with and without clock gating.
+//!
+//! Separates the two costs: running the pair of simulations (dominant) and
+//! evaluating the Section IV energy equations on the resulting outcomes
+//! (cheap, benchmarked on pre-computed outcomes).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clockgate_htm::sim::{compare_runs, GatingMode, SimReport, SimulationBuilder};
+use htm_power::energy;
+use htm_power::model::PowerModel;
+use htm_workloads::WorkloadScale;
+
+fn run(workload: &str, procs: usize, mode: GatingMode) -> SimReport {
+    SimulationBuilder::new()
+        .processors(procs)
+        .workload_by_name(workload, WorkloadScale::Small, 42)
+        .expect("workload")
+        .gating(mode)
+        .run()
+        .expect("simulation")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_energy");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+
+    let ungated = run("intruder", 8, GatingMode::Ungated);
+    let gated = run("intruder", 8, GatingMode::ClockGate { w0: 8 });
+    let cmp = compare_runs(&ungated, &gated);
+    println!(
+        "fig5[intruder x 8p]: Eug={:.0} Eg={:.0} reduction={:.3}x ({:+.1}%)",
+        cmp.ungated_energy,
+        cmp.gated_energy,
+        cmp.energy_reduction,
+        cmp.energy_savings_percent()
+    );
+
+    let model = PowerModel::alpha_21264_65nm();
+    group.bench_function("energy_equations_on_precomputed_outcome", |b| {
+        b.iter(|| black_box(energy::analyze(&gated.outcome, &model)));
+    });
+    group.bench_function("interval_formulation_eq1", |b| {
+        b.iter(|| black_box(energy::interval_energy(&gated.outcome, &model)));
+    });
+    group.bench_function("full_pair_intruder_8p", |b| {
+        b.iter(|| {
+            let u = run("intruder", 8, GatingMode::Ungated);
+            let g = run("intruder", 8, GatingMode::ClockGate { w0: 8 });
+            black_box(compare_runs(&u, &g).energy_reduction)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Fig. 6 — average power dissipation with and without clock gating.
+//!
+//! Average power is energy divided by execution time (Eq. 7 divides the
+//! energy reduction by the speed-up); the benchmark measures the cost of the
+//! comparison pipeline on a pre-computed pair of runs and of one full pair.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clockgate_htm::sim::{compare_runs, GatingMode, SimReport, SimulationBuilder};
+use htm_workloads::WorkloadScale;
+
+fn run(workload: &str, mode: GatingMode) -> SimReport {
+    SimulationBuilder::new()
+        .processors(8)
+        .workload_by_name(workload, WorkloadScale::Small, 42)
+        .expect("workload")
+        .gating(mode)
+        .run()
+        .expect("simulation")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_avg_power");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+
+    let ungated = run("yada", GatingMode::Ungated);
+    let gated = run("yada", GatingMode::ClockGate { w0: 8 });
+    let cmp = compare_runs(&ungated, &gated);
+    println!(
+        "fig6[yada x 8p]: avg power without={:.3} with={:.3} reduction={:.3}x",
+        cmp.ungated_energy / (cmp.ungated_cycles as f64 * 8.0),
+        cmp.gated_energy / (cmp.gated_cycles as f64 * 8.0),
+        cmp.average_power_reduction
+    );
+
+    group.bench_function("comparison_on_precomputed_pair", |b| {
+        b.iter(|| black_box(compare_runs(&ungated, &gated).average_power_reduction));
+    });
+    group.bench_function("full_pair_yada_8p", |b| {
+        b.iter(|| {
+            let u = run("yada", GatingMode::Ungated);
+            let g = run("yada", GatingMode::ClockGate { w0: 8 });
+            black_box(compare_runs(&u, &g).average_power_reduction)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

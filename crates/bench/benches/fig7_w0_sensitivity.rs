@@ -1,0 +1,37 @@
+//! Fig. 7 — speed-up as a function of `W0` and the number of processors.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clockgate_htm::sim::{GatingMode, SimulationBuilder};
+use htm_workloads::WorkloadScale;
+
+fn gated_cycles(workload: &str, procs: usize, w0: u64) -> u64 {
+    SimulationBuilder::new()
+        .processors(procs)
+        .workload_by_name(workload, WorkloadScale::Small, 42)
+        .expect("workload")
+        .gating(GatingMode::ClockGate { w0 })
+        .run()
+        .expect("simulation")
+        .outcome
+        .total_cycles
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_w0_sensitivity");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    for w0 in [2u64, 8, 32] {
+        let n = gated_cycles("intruder", 8, w0);
+        println!("fig7[intruder x 8p, W0={w0}]: gated execution time = {n} cycles");
+        group.bench_function(format!("intruder_8p_w0_{w0}"), |b| {
+            b.iter(|| black_box(gated_cycles("intruder", 8, w0)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

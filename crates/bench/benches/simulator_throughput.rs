@@ -1,0 +1,40 @@
+//! Simulator throughput — simulated cycles per wall-clock second.
+//!
+//! Not a figure from the paper; this measures the substrate itself (the
+//! replacement for M5) so that regressions in the cycle loop, the cache
+//! model or the directory bookkeeping are caught.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use htm_sim::config::SimConfig;
+use htm_tcc::hooks::NoGating;
+use htm_tcc::system::TccSystem;
+use htm_workloads::{by_name, WorkloadScale};
+
+fn simulated_cycles(procs: usize) -> u64 {
+    let w = by_name("intruder", procs, WorkloadScale::Test, 7).unwrap();
+    TccSystem::new(SimConfig::table2(procs), w, NoGating)
+        .unwrap()
+        .run_bounded(50_000_000)
+        .unwrap()
+        .total_cycles
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_throughput");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    for procs in [4usize, 16] {
+        let cycles = simulated_cycles(procs);
+        group.throughput(Throughput::Elements(cycles));
+        group.bench_function(format!("intruder_test_scale_{procs}p"), |b| {
+            b.iter(|| black_box(simulated_cycles(procs)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

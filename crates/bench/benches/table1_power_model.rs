@@ -1,0 +1,30 @@
+//! Table I — derivation of the Alpha 21264 65 nm power factors.
+//!
+//! The power model is analytic, so this benchmark measures the cost of the
+//! derivation itself and of rendering the table (it also acts as a regression
+//! guard: the derived factors are asserted against the paper's values before
+//! benchmarking starts).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clockgate_htm::experiments;
+use htm_power::model::PowerModel;
+
+fn bench(c: &mut Criterion) {
+    // Sanity-check the reproduction before measuring anything.
+    let m = PowerModel::alpha_21264_65nm();
+    assert!((m.commit - 0.44).abs() < 1e-12);
+    assert!((m.miss - 0.32).abs() < 1e-12);
+    assert!((m.gated - 0.20).abs() < 1e-12);
+
+    c.bench_function("table1/derive_power_model", |b| {
+        b.iter(|| black_box(PowerModel::alpha_21264_65nm()));
+    });
+    c.bench_function("table1/render", |b| {
+        b.iter(|| black_box(experiments::render_table1()));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```bash
+//! cargo run --release -p htm-bench --bin reproduce -- all
+//! cargo run --release -p htm-bench --bin reproduce -- table1 table2 fig3
+//! cargo run --release -p htm-bench --bin reproduce -- fig4 fig5 fig6 summary
+//! cargo run --release -p htm-bench --bin reproduce -- fig7
+//! cargo run --release -p htm-bench --bin reproduce -- --json fig5
+//! ```
+
+use clockgate_htm::experiments::{
+    self, EvaluationMatrix, ExperimentConfig, Fig7Result,
+};
+use clockgate_htm::report;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reproduce [--json] [--quick] [all|table1|table2|fig3|fig4|fig5|fig6|fig7|summary]..."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut json = false;
+    let mut quick = false;
+    let mut targets: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--quick" => quick = true,
+            "-h" | "--help" => usage(),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    let all = targets.iter().any(|t| t == "all");
+    let wants = |name: &str| all || targets.iter().any(|t| t == name);
+
+    let cfg = if quick {
+        ExperimentConfig { scale: htm_workloads::WorkloadScale::Small, ..ExperimentConfig::default() }
+    } else {
+        ExperimentConfig::default()
+    };
+
+    if wants("table1") {
+        println!("{}", experiments::render_table1());
+    }
+    if wants("table2") {
+        for &p in &cfg.processor_counts {
+            println!("{}", experiments::render_table2(p));
+        }
+    }
+    if wants("fig3") {
+        let f = experiments::fig3();
+        if json {
+            println!("{}", report::to_json(&f));
+        } else {
+            println!("{}", experiments::render_fig3(&f));
+        }
+    }
+
+    let needs_matrix = wants("fig4") || wants("fig5") || wants("fig6") || wants("summary");
+    let matrix: Option<EvaluationMatrix> = if needs_matrix {
+        eprintln!(
+            "running the evaluation matrix ({} workloads x {:?} processors, with and without gating)...",
+            cfg.workloads.len(),
+            cfg.processor_counts
+        );
+        Some(experiments::run_matrix(&cfg).expect("evaluation matrix must complete"))
+    } else {
+        None
+    };
+
+    if let Some(matrix) = &matrix {
+        if wants("fig4") {
+            println!("{}", experiments::render_fig4(matrix));
+        }
+        if wants("fig5") {
+            println!("{}", experiments::render_fig5(matrix));
+        }
+        if wants("fig6") {
+            println!("{}", experiments::render_fig6(matrix));
+        }
+        if wants("summary") {
+            println!("{}", experiments::render_summary(&experiments::summary(matrix)));
+        }
+        if json {
+            println!("{}", report::to_json(matrix));
+        }
+    }
+
+    if wants("fig7") {
+        eprintln!("running the W0 sensitivity sweep...");
+        let w0_values = [1, 2, 4, 8, 16, 32, 64];
+        let f: Fig7Result = experiments::fig7(&cfg, &w0_values).expect("fig7 sweep must complete");
+        if json {
+            println!("{}", report::to_json(&f));
+        } else {
+            println!("{}", experiments::render_fig7(&f));
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # htm-bench — benchmark and reproduction harness
+//!
+//! This crate hosts
+//!
+//! * the `reproduce` binary, which regenerates every table and figure of the
+//!   paper (`cargo run --release -p htm-bench --bin reproduce -- all`), and
+//! * one Criterion benchmark per table/figure plus ablation and
+//!   simulator-throughput benches (`cargo bench`).
+//!
+//! The Criterion benches intentionally run reduced workload scales so that
+//! `cargo bench --workspace` completes in minutes; the `reproduce` binary is
+//! the one that runs the full-scale evaluation matrix.
+
+#![warn(missing_docs)]
+
+use clockgate_htm::experiments::ExperimentConfig;
+use htm_workloads::WorkloadScale;
+
+/// Experiment configuration used by the Criterion benches: one processor
+/// count, small workloads, the paper's `W0`.
+#[must_use]
+pub fn bench_config(procs: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        processor_counts: vec![procs],
+        scale: WorkloadScale::Small,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Experiment configuration used by the `reproduce` binary: the paper's full
+/// matrix (4, 8 and 16 processors, full-scale workloads).
+#[must_use]
+pub fn full_config() -> ExperimentConfig {
+    ExperimentConfig::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_config_is_reduced() {
+        let cfg = bench_config(4);
+        assert_eq!(cfg.processor_counts, vec![4]);
+        assert_eq!(cfg.w0, 8);
+    }
+
+    #[test]
+    fn full_config_matches_paper() {
+        assert_eq!(full_config().processor_counts, vec![4, 8, 16]);
+    }
+}

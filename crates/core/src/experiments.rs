@@ -1,0 +1,563 @@
+//! Reproduction of every table and figure of the paper's evaluation.
+//!
+//! | id | paper content | function |
+//! |----|---------------|----------|
+//! | Table I  | Alpha 21264 power factors | [`table1`] |
+//! | Table II | simulation parameters | [`table2`] |
+//! | Fig. 3   | TCC data-cache power vs. RW-bit resolution | [`fig3`] |
+//! | Fig. 4   | parallel execution time with / without gating | [`fig4`] |
+//! | Fig. 5   | energy consumption with / without gating | [`fig5`] |
+//! | Fig. 6   | average power dissipation with / without gating | [`fig6`] |
+//! | Fig. 7   | speed-up vs. `W0` and processor count | [`fig7`] |
+//! | headline | 19 % energy / 4 % speed-up / 13 % power averages | [`summary`] |
+//!
+//! Figures 4–6 are three views of the same simulation matrix (the paper's
+//! three applications × {4, 8, 16} processors × {ungated, gated}); the matrix
+//! is computed once by [`run_matrix`] and each figure renders its slice.
+
+use serde::{Deserialize, Serialize};
+
+use htm_power::cache_power::CachePowerModel;
+use htm_power::energy::ComparisonReport;
+use htm_power::model::PowerModel;
+use htm_sim::config::SimConfig;
+use htm_sim::Cycle;
+use htm_tcc::system::SimError;
+use htm_workloads::registry::PAPER_WORKLOADS;
+use htm_workloads::WorkloadScale;
+
+use crate::report::{fmt_f, fmt_factor, fmt_percent, format_table};
+use crate::sim::{compare_runs, GatingMode, SimReport, SimulationBuilder};
+
+pub use htm_workloads::registry::PAPER_WORKLOADS as EVALUATED_WORKLOADS;
+
+/// Parameters shared by the simulation-based experiments (Figs. 4–7).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Processor counts to evaluate (the paper uses 4, 8 and 16).
+    pub processor_counts: Vec<usize>,
+    /// Workloads to evaluate (defaults to the paper's genome / yada /
+    /// intruder).
+    pub workloads: Vec<String>,
+    /// Workload scale (number of transactions per thread).
+    pub scale: WorkloadScale,
+    /// Base seed for workload generation.
+    pub seed: u64,
+    /// The `W0` constant used for the gated runs of Figs. 4–6 (the paper uses
+    /// 8).
+    pub w0: Cycle,
+    /// Safety bound on simulated cycles per run.
+    pub cycle_limit: Cycle,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            processor_counts: vec![4, 8, 16],
+            workloads: PAPER_WORKLOADS.iter().map(|s| (*s).to_string()).collect(),
+            scale: WorkloadScale::Full,
+            seed: 42,
+            w0: 8,
+            cycle_limit: crate::sim::DEFAULT_CYCLE_LIMIT,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A reduced configuration for unit tests and Criterion benchmarks
+    /// (single processor count, small workloads).
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            processor_counts: vec![4],
+            scale: WorkloadScale::Test,
+            ..Self::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table I and Table II
+// ---------------------------------------------------------------------------
+
+/// Table I: the Alpha 21264 power factors.
+#[must_use]
+pub fn table1() -> Vec<(&'static str, f64)> {
+    PowerModel::alpha_21264_65nm().table1_rows()
+}
+
+/// Render Table I as text.
+#[must_use]
+pub fn render_table1() -> String {
+    let rows: Vec<Vec<String>> =
+        table1().into_iter().map(|(op, f)| vec![op.to_string(), fmt_f(f, 2)]).collect();
+    format!("Table I: Power model of Alpha 21264\n{}", format_table(&["Operation", "Power Factor"], &rows))
+}
+
+/// Table II: the simulation parameters for `procs` processors.
+#[must_use]
+pub fn table2(procs: usize) -> Vec<(String, String)> {
+    SimConfig::table2(procs).table2_rows()
+}
+
+/// Render Table II as text.
+#[must_use]
+pub fn render_table2(procs: usize) -> String {
+    let rows: Vec<Vec<String>> = table2(procs).into_iter().map(|(f, d)| vec![f, d]).collect();
+    format!(
+        "Table II: Parameters used in the simulation\n{}",
+        format_table(&["Feature", "Description"], &rows)
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3 — TCC data-cache power vs. RW-bit resolution
+// ---------------------------------------------------------------------------
+
+/// One curve of Fig. 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Series {
+    /// Cache capacity in KiB.
+    pub cache_kb: usize,
+    /// `(tracking resolution in bytes, normalized power)` points, from line
+    /// granularity (64 B) down to byte granularity.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Result of the Fig. 3 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Result {
+    /// One series per cache size.
+    pub series: Vec<Fig3Series>,
+    /// Full TCC-cache factor (array + FIFO + controller) for the 64 KB cache
+    /// with word-level tracking — the paper's "1.5×" number.
+    pub tcc_cache_factor_64kb: f64,
+}
+
+/// Compute the Fig. 3 data for the standard cache sizes.
+#[must_use]
+pub fn fig3() -> Fig3Result {
+    let sizes = [16usize, 32, 64, 128];
+    let series = sizes
+        .iter()
+        .map(|&kb| Fig3Series { cache_kb: kb, points: CachePowerModel::new_kb(kb).fig3_series() })
+        .collect();
+    Fig3Result {
+        series,
+        tcc_cache_factor_64kb: CachePowerModel::new_kb(64).tcc_breakdown(2).factor(),
+    }
+}
+
+/// Render Fig. 3 as text.
+#[must_use]
+pub fn render_fig3(result: &Fig3Result) -> String {
+    let resolutions: Vec<usize> = result
+        .series
+        .first()
+        .map(|s| s.points.iter().map(|(r, _)| *r).collect())
+        .unwrap_or_default();
+    let mut headers: Vec<String> = vec!["cache size".to_string()];
+    headers.extend(resolutions.iter().map(|r| format!("{r}B")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = result
+        .series
+        .iter()
+        .map(|s| {
+            let mut row = vec![format!("{}KB", s.cache_kb)];
+            row.extend(s.points.iter().map(|(_, p)| fmt_f(*p, 1)));
+            row
+        })
+        .collect();
+    format!(
+        "Fig. 3: Normalized power of a TCC data cache vs. RW-bit resolution (normal cache = 100)\n{}\nFull TCC data cache (array + store FIFO + commit controller, 64KB @ 2B tracking): {:.2}x a normal data cache\n",
+        format_table(&header_refs, &rows),
+        result.tcc_cache_factor_64kb
+    )
+}
+
+// ---------------------------------------------------------------------------
+// The Fig. 4/5/6 simulation matrix
+// ---------------------------------------------------------------------------
+
+/// One (workload, processor-count) cell of the evaluation matrix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatrixCell {
+    /// Workload name.
+    pub workload: String,
+    /// Processor count.
+    pub procs: usize,
+    /// Gated-vs-ungated comparison (speed-up, energy reduction, …).
+    pub comparison: ComparisonReport,
+    /// Gatings, renewals and wake reasons observed in the gated run.
+    pub gating: Option<crate::gating::controller::GatingStats>,
+    /// Aborts per commit in the ungated baseline.
+    pub baseline_abort_rate: f64,
+}
+
+/// The complete Fig. 4/5/6 evaluation matrix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvaluationMatrix {
+    /// Experiment parameters used.
+    pub config: ExperimentConfig,
+    /// One cell per (workload, processor count).
+    pub cells: Vec<MatrixCell>,
+}
+
+fn run_pair(
+    workload: &str,
+    procs: usize,
+    cfg: &ExperimentConfig,
+    mode: GatingMode,
+) -> Result<(SimReport, SimReport), SimError> {
+    let ungated = SimulationBuilder::new()
+        .processors(procs)
+        .workload_by_name(workload, cfg.scale, cfg.seed)
+        .map_err(SimError::BadWorkload)?
+        .gating(GatingMode::Ungated)
+        .cycle_limit(cfg.cycle_limit)
+        .run()?;
+    let gated = SimulationBuilder::new()
+        .processors(procs)
+        .workload_by_name(workload, cfg.scale, cfg.seed)
+        .map_err(SimError::BadWorkload)?
+        .gating(mode)
+        .cycle_limit(cfg.cycle_limit)
+        .run()?;
+    Ok((ungated, gated))
+}
+
+/// Run the full evaluation matrix (every workload × processor count, with and
+/// without clock gating).
+pub fn run_matrix(cfg: &ExperimentConfig) -> Result<EvaluationMatrix, SimError> {
+    let mut cells = Vec::new();
+    for workload in &cfg.workloads {
+        for &procs in &cfg.processor_counts {
+            let (ungated, gated) = run_pair(workload, procs, cfg, GatingMode::ClockGate { w0: cfg.w0 })?;
+            let comparison = compare_runs(&ungated, &gated);
+            cells.push(MatrixCell {
+                workload: workload.clone(),
+                procs,
+                baseline_abort_rate: ungated.outcome.abort_rate(),
+                gating: gated.gating,
+                comparison,
+            });
+        }
+    }
+    Ok(EvaluationMatrix { config: cfg.clone(), cells })
+}
+
+/// Render Fig. 4 (total parallel execution time) from the matrix.
+#[must_use]
+pub fn render_fig4(matrix: &EvaluationMatrix) -> String {
+    let rows: Vec<Vec<String>> = matrix
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.workload.clone(),
+                c.procs.to_string(),
+                c.comparison.ungated_cycles.to_string(),
+                c.comparison.gated_cycles.to_string(),
+                fmt_factor(c.comparison.speedup),
+            ]
+        })
+        .collect();
+    format!(
+        "Fig. 4: Total parallel execution time (cycles), without vs. with clock gating\n{}",
+        format_table(
+            &["workload", "procs", "without gating", "with gating", "speed-up"],
+            &rows
+        )
+    )
+}
+
+/// Render Fig. 5 (energy consumption) from the matrix.
+#[must_use]
+pub fn render_fig5(matrix: &EvaluationMatrix) -> String {
+    let rows: Vec<Vec<String>> = matrix
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.workload.clone(),
+                c.procs.to_string(),
+                fmt_f(c.comparison.ungated_energy, 0),
+                fmt_f(c.comparison.gated_energy, 0),
+                fmt_factor(c.comparison.energy_reduction),
+                fmt_percent(c.comparison.energy_savings_percent()),
+            ]
+        })
+        .collect();
+    format!(
+        "Fig. 5: Energy consumption (run-power x cycles), without vs. with clock gating\n{}",
+        format_table(
+            &["workload", "procs", "Eug (ungated)", "Eg (gated)", "reduction", "savings"],
+            &rows
+        )
+    )
+}
+
+/// Render Fig. 6 (average power dissipation) from the matrix.
+#[must_use]
+pub fn render_fig6(matrix: &EvaluationMatrix) -> String {
+    let rows: Vec<Vec<String>> = matrix
+        .cells
+        .iter()
+        .map(|c| {
+            let p = c.procs as f64;
+            let avg_ungated =
+                c.comparison.ungated_energy / (c.comparison.ungated_cycles.max(1) as f64 * p);
+            let avg_gated =
+                c.comparison.gated_energy / (c.comparison.gated_cycles.max(1) as f64 * p);
+            vec![
+                c.workload.clone(),
+                c.procs.to_string(),
+                fmt_f(avg_ungated, 3),
+                fmt_f(avg_gated, 3),
+                fmt_factor(c.comparison.average_power_reduction),
+            ]
+        })
+        .collect();
+    format!(
+        "Fig. 6: Average power dissipation (fraction of run power per processor), without vs. with clock gating\n{}",
+        format_table(
+            &["workload", "procs", "without gating", "with gating", "reduction"],
+            &rows
+        )
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Headline summary (the abstract's 19% / 4% / 13%)
+// ---------------------------------------------------------------------------
+
+/// Averages over the whole evaluation matrix, mirroring the numbers quoted in
+/// the paper's abstract and Section VIII.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Average speed-up in percent (paper: 4 %).
+    pub avg_speedup_percent: f64,
+    /// Average reduction in total energy in percent (paper: 19 %).
+    pub avg_energy_savings_percent: f64,
+    /// Average reduction in average power dissipation in percent (paper: 13 %).
+    pub avg_power_savings_percent: f64,
+    /// Number of (workload, processor-count) configurations averaged.
+    pub configurations: usize,
+    /// Number of configurations where gating produced a slowdown (the paper
+    /// observes exactly one).
+    pub slowdown_configurations: usize,
+}
+
+/// Compute the headline averages from a matrix.
+#[must_use]
+pub fn summary(matrix: &EvaluationMatrix) -> Summary {
+    let n = matrix.cells.len().max(1) as f64;
+    let avg_speedup_percent =
+        matrix.cells.iter().map(|c| c.comparison.speedup_percent()).sum::<f64>() / n;
+    let avg_energy_savings_percent =
+        matrix.cells.iter().map(|c| c.comparison.energy_savings_percent()).sum::<f64>() / n;
+    let avg_power_savings_percent =
+        matrix.cells.iter().map(|c| c.comparison.average_power_savings_percent()).sum::<f64>() / n;
+    Summary {
+        avg_speedup_percent,
+        avg_energy_savings_percent,
+        avg_power_savings_percent,
+        configurations: matrix.cells.len(),
+        slowdown_configurations: matrix.cells.iter().filter(|c| c.comparison.speedup < 1.0).count(),
+    }
+}
+
+/// Render the summary as text.
+#[must_use]
+pub fn render_summary(s: &Summary) -> String {
+    format!(
+        "Headline averages over {} configurations (paper: +4% speed-up, 19% energy, 13% power):\n  average speed-up:            {}\n  average energy savings:      {}\n  average power savings:       {}\n  configurations with slowdown: {}\n",
+        s.configurations,
+        fmt_percent(s.avg_speedup_percent),
+        fmt_percent(s.avg_energy_savings_percent),
+        fmt_percent(s.avg_power_savings_percent),
+        s.slowdown_configurations
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 7 — speed-up sensitivity to W0 and Np
+// ---------------------------------------------------------------------------
+
+/// One row of Fig. 7: the speed-up of every workload (and their average) for
+/// a given `(W0, Np)` point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Row {
+    /// The `W0` constant.
+    pub w0: Cycle,
+    /// Processor count.
+    pub procs: usize,
+    /// Per-workload speed-ups, in the order of the config's workload list.
+    pub speedups: Vec<f64>,
+    /// Average speed-up over the workloads.
+    pub avg_speedup: f64,
+}
+
+/// Result of the Fig. 7 sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Result {
+    /// Workload names (column order of [`Fig7Row::speedups`]).
+    pub workloads: Vec<String>,
+    /// The sweep rows.
+    pub rows: Vec<Fig7Row>,
+}
+
+/// Sweep `W0` and the processor count; the ungated baseline per
+/// (workload, procs) is computed once and reused across `W0` values.
+pub fn fig7(cfg: &ExperimentConfig, w0_values: &[Cycle]) -> Result<Fig7Result, SimError> {
+    let mut rows = Vec::new();
+    for &procs in &cfg.processor_counts {
+        // Baselines per workload.
+        let mut baselines = Vec::new();
+        for workload in &cfg.workloads {
+            let ungated = SimulationBuilder::new()
+                .processors(procs)
+                .workload_by_name(workload, cfg.scale, cfg.seed)
+                .map_err(SimError::BadWorkload)?
+                .gating(GatingMode::Ungated)
+                .cycle_limit(cfg.cycle_limit)
+                .run()?;
+            baselines.push(ungated);
+        }
+        for &w0 in w0_values {
+            let mut speedups = Vec::new();
+            for (workload, ungated) in cfg.workloads.iter().zip(&baselines) {
+                let gated = SimulationBuilder::new()
+                    .processors(procs)
+                    .workload_by_name(workload, cfg.scale, cfg.seed)
+                    .map_err(SimError::BadWorkload)?
+                    .gating(GatingMode::ClockGate { w0 })
+                    .cycle_limit(cfg.cycle_limit)
+                    .run()?;
+                speedups.push(compare_runs(ungated, &gated).speedup);
+            }
+            let avg = speedups.iter().sum::<f64>() / speedups.len().max(1) as f64;
+            rows.push(Fig7Row { w0, procs, speedups, avg_speedup: avg });
+        }
+    }
+    Ok(Fig7Result { workloads: cfg.workloads.clone(), rows })
+}
+
+/// Render Fig. 7 as text.
+#[must_use]
+pub fn render_fig7(result: &Fig7Result) -> String {
+    let mut headers: Vec<String> = vec!["W0".to_string(), "procs".to_string()];
+    headers.extend(result.workloads.iter().cloned());
+    headers.push("average".to_string());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.w0.to_string(), r.procs.to_string()];
+            row.extend(r.speedups.iter().map(|s| fmt_factor(*s)));
+            row.push(fmt_factor(r.avg_speedup));
+            row
+        })
+        .collect();
+    format!(
+        "Fig. 7: Speed-up as a function of W0 and the number of processors\n{}",
+        format_table(&header_refs, &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_paper() {
+        let t = table1();
+        assert_eq!(t.len(), 4);
+        assert!((t[0].1 - 1.0).abs() < 1e-12);
+        assert!((t[1].1 - 0.32).abs() < 1e-12);
+        assert!((t[2].1 - 0.44).abs() < 1e-12);
+        assert!((t[3].1 - 0.20).abs() < 1e-12);
+        let rendered = render_table1();
+        assert!(rendered.contains("Clock Gated"));
+        assert!(rendered.contains("0.44"));
+    }
+
+    #[test]
+    fn table2_lists_the_five_features() {
+        let t = table2(16);
+        assert_eq!(t.len(), 5);
+        let rendered = render_table2(16);
+        assert!(rendered.contains("16 single issue"));
+        assert!(rendered.contains("Full-bit vector"));
+    }
+
+    #[test]
+    fn fig3_has_four_sizes_and_monotone_curves() {
+        let f = fig3();
+        assert_eq!(f.series.len(), 4);
+        for s in &f.series {
+            assert_eq!(s.points.len(), 7);
+            for w in s.points.windows(2) {
+                assert!(w[1].1 > w[0].1);
+            }
+        }
+        assert!((1.3..=1.7).contains(&f.tcc_cache_factor_64kb));
+        let rendered = render_fig3(&f);
+        assert!(rendered.contains("64KB"));
+        assert!(rendered.contains("1B"));
+    }
+
+    #[test]
+    fn quick_matrix_runs_and_renders() {
+        let cfg = ExperimentConfig::quick();
+        let matrix = run_matrix(&cfg).unwrap();
+        assert_eq!(matrix.cells.len(), 3, "three workloads at one processor count");
+        for cell in &matrix.cells {
+            assert!(cell.comparison.ungated_cycles > 0);
+            assert!(cell.comparison.gated_cycles > 0);
+            assert!(cell.comparison.gated_energy > 0.0);
+        }
+        let f4 = render_fig4(&matrix);
+        let f5 = render_fig5(&matrix);
+        let f6 = render_fig6(&matrix);
+        for (fig, needle) in [(&f4, "speed-up"), (&f5, "Eug"), (&f6, "Average power")] {
+            assert!(fig.contains(needle), "{fig}");
+        }
+        let s = summary(&matrix);
+        assert_eq!(s.configurations, 3);
+        assert!(render_summary(&s).contains("average energy savings"));
+    }
+
+    #[test]
+    fn quick_matrix_summary_is_well_formed() {
+        // The `Test` scale is far too small for the headline energy averages
+        // to be meaningful (see EXPERIMENTS.md for the full-scale numbers);
+        // this only checks that the summary is computed consistently.
+        let matrix = run_matrix(&ExperimentConfig::quick()).unwrap();
+        let s = summary(&matrix);
+        assert_eq!(s.configurations, matrix.cells.len());
+        assert!(s.avg_energy_savings_percent.is_finite());
+        assert!(s.avg_speedup_percent.is_finite());
+        assert!(s.slowdown_configurations <= s.configurations);
+    }
+
+    #[test]
+    fn fig7_quick_sweep_produces_rows_per_w0() {
+        let cfg = ExperimentConfig::quick();
+        let f = fig7(&cfg, &[2, 8, 32]).unwrap();
+        assert_eq!(f.rows.len(), 3);
+        assert!(f.rows.iter().all(|r| r.speedups.len() == 3));
+        let rendered = render_fig7(&f);
+        assert!(rendered.contains("W0"));
+        assert!(rendered.contains("average"));
+    }
+
+    #[test]
+    fn default_config_matches_the_paper_setup() {
+        let cfg = ExperimentConfig::default();
+        assert_eq!(cfg.processor_counts, vec![4, 8, 16]);
+        assert_eq!(cfg.w0, 8);
+        assert_eq!(cfg.workloads, vec!["genome", "yada", "intruder"]);
+    }
+}

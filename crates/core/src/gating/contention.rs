@@ -1,0 +1,187 @@
+//! Gating-aware contention management (Section VI).
+//!
+//! The paper sets the gating window with the staircase back-off of Eq. (8):
+//!
+//! ```text
+//! Wt = W0 * ( 2^ceil(lg Na) + 2^ceil(lg Nr) )
+//! ```
+//!
+//! where `Na` is the abort count and `Nr` the renew count of the victim's
+//! entry in the directory that is gating it. The ceiled logarithms make the
+//! window a staircase with discontinuities at exponentially spaced counts:
+//! the window is moderately large for highly conflicting applications (big
+//! energy savings) but stays small while the counters are low (performance
+//! close to the baseline). `W0` has "first-order significance": it should be
+//! small for large machines (many aborts) and large for small ones — Fig. 7
+//! sweeps it.
+
+use serde::{Deserialize, Serialize};
+
+use htm_sim::Cycle;
+
+/// `2^ceil(lg n)` — the smallest power of two that is ≥ `n`, with the paper's
+/// implicit convention that the term contributes `1` when the counter is
+/// still zero (only the renew counter can be zero when the window is
+/// computed; the abort counter is at least 1).
+#[must_use]
+pub fn pow2_ceil_lg(n: u32) -> u64 {
+    u64::from(n.max(1)).next_power_of_two()
+}
+
+/// Policy deciding the gating window from the directory-local abort and
+/// renew counters.
+pub trait ContentionPolicy: Send {
+    /// Gating window in cycles for a processor whose entry shows
+    /// `abort_count` aborts and `renew_count` renewals.
+    fn window(&self, abort_count: u32, renew_count: u32) -> Cycle;
+
+    /// Short human-readable name used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's gating-aware policy (Eq. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatingAwarePolicy {
+    /// The constant factor `W0`.
+    pub w0: Cycle,
+}
+
+impl GatingAwarePolicy {
+    /// Create the policy with the given `W0` (the paper uses `W0 = 8` for its
+    /// experiments).
+    #[must_use]
+    pub fn new(w0: Cycle) -> Self {
+        Self { w0 }
+    }
+}
+
+impl ContentionPolicy for GatingAwarePolicy {
+    fn window(&self, abort_count: u32, renew_count: u32) -> Cycle {
+        self.w0.saturating_mul(pow2_ceil_lg(abort_count) + pow2_ceil_lg(renew_count))
+    }
+
+    fn name(&self) -> &'static str {
+        "gating-aware (Eq. 8)"
+    }
+}
+
+/// Ablation policy: a fixed gating window regardless of the abort history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixedWindow {
+    /// The constant window in cycles.
+    pub window: Cycle,
+}
+
+impl FixedWindow {
+    /// Create a fixed-window policy.
+    #[must_use]
+    pub fn new(window: Cycle) -> Self {
+        Self { window }
+    }
+}
+
+impl ContentionPolicy for FixedWindow {
+    fn window(&self, _abort_count: u32, _renew_count: u32) -> Cycle {
+        self.window
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed window"
+    }
+}
+
+/// Ablation policy: a *linear* back-off `W0 * (Na + Nr)`, to contrast with the
+/// staircase of Eq. 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinearBackoffPolicy {
+    /// The constant factor.
+    pub w0: Cycle,
+}
+
+impl ContentionPolicy for LinearBackoffPolicy {
+    fn window(&self, abort_count: u32, renew_count: u32) -> Cycle {
+        self.w0.saturating_mul(u64::from(abort_count.max(1)) + u64::from(renew_count))
+    }
+
+    fn name(&self) -> &'static str {
+        "linear back-off"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_ceil_lg_matches_definition() {
+        assert_eq!(pow2_ceil_lg(0), 1);
+        assert_eq!(pow2_ceil_lg(1), 1);
+        assert_eq!(pow2_ceil_lg(2), 2);
+        assert_eq!(pow2_ceil_lg(3), 4);
+        assert_eq!(pow2_ceil_lg(4), 4);
+        assert_eq!(pow2_ceil_lg(5), 8);
+        assert_eq!(pow2_ceil_lg(255), 256);
+    }
+
+    #[test]
+    fn equation8_first_gating_window() {
+        // Na = 1, Nr = 0 -> W0 * (1 + 1).
+        let p = GatingAwarePolicy::new(8);
+        assert_eq!(p.window(1, 0), 16);
+    }
+
+    #[test]
+    fn equation8_staircase_shape() {
+        let p = GatingAwarePolicy::new(8);
+        // Windows only change when a counter crosses a power of two.
+        assert_eq!(p.window(2, 0), 8 * (2 + 1));
+        assert_eq!(p.window(3, 0), 8 * (4 + 1));
+        assert_eq!(p.window(4, 0), 8 * (4 + 1));
+        assert_eq!(p.window(5, 0), 8 * (8 + 1));
+        // Renewals grow the window at a fixed abort level.
+        assert_eq!(p.window(1, 1), 8 * (1 + 1));
+        assert_eq!(p.window(1, 2), 8 * (1 + 2));
+        assert_eq!(p.window(1, 3), 8 * (1 + 4));
+        assert_eq!(p.window(1, 5), 8 * (1 + 8));
+    }
+
+    #[test]
+    fn window_is_monotone_in_both_counters() {
+        let p = GatingAwarePolicy::new(4);
+        for na in 1..20 {
+            for nr in 0..20 {
+                assert!(p.window(na + 1, nr) >= p.window(na, nr));
+                assert!(p.window(na, nr + 1) >= p.window(na, nr));
+            }
+        }
+    }
+
+    #[test]
+    fn w0_scales_the_window_linearly() {
+        let small = GatingAwarePolicy::new(2);
+        let large = GatingAwarePolicy::new(16);
+        assert_eq!(large.window(3, 2) / small.window(3, 2), 8);
+    }
+
+    #[test]
+    fn fixed_window_ignores_counters() {
+        let p = FixedWindow::new(100);
+        assert_eq!(p.window(1, 0), 100);
+        assert_eq!(p.window(200, 50), 100);
+        assert_eq!(p.name(), "fixed window");
+    }
+
+    #[test]
+    fn linear_policy_grows_linearly() {
+        let p = LinearBackoffPolicy { w0: 10 };
+        assert_eq!(p.window(1, 0), 10);
+        assert_eq!(p.window(2, 0), 20);
+        assert_eq!(p.window(2, 3), 50);
+    }
+
+    #[test]
+    fn saturating_window_never_overflows() {
+        let p = GatingAwarePolicy::new(Cycle::MAX / 2);
+        let _ = p.window(255, 255);
+    }
+}

@@ -1,0 +1,467 @@
+//! The gating / ungating protocol of Section V, implemented as a
+//! [`GatingHook`] plugged into the Scalable-TCC substrate.
+//!
+//! The controller owns one [`GatingTable`] per directory and drives the
+//! protocol of Fig. 2:
+//!
+//! 1. When a directory aborts a victim on behalf of a committing processor,
+//!    the directory logs the aborter, queries the aborter's transaction id
+//!    (`TxInfoReq`), sets the abort counter, loads the gating timer with the
+//!    window chosen by the contention-management policy and sends
+//!    "Stop Clock" to the victim (the hook returns [`AbortAction::Gate`]).
+//! 2. When the gating timer expires, the control circuit of Fig. 2(e) checks
+//!    whether the aborter is still *marked* (intending to commit) in this
+//!    directory and, if so, whether it is still executing the same static
+//!    transaction (a second `TxInfoReq`; a clock-gated aborter replies
+//!    "null"). If both checks are positive the gating period is *renewed*
+//!    with a longer window (Fig. 2(f)); otherwise the victim is sent the
+//!    "on" command, wakes up, self-aborts and retries.
+//! 3. Abort counters reset when the victim commits; renew counters reset
+//!    whenever the abort counter changes; a load/store arriving from a
+//!    processor a directory still believes to be OFF clears that stale OFF
+//!    bit.
+//!
+//! Gating decisions are strictly directory-local, exactly as in the paper: a
+//! processor may be OFF in one directory's table and ON in another's.
+
+use serde::{Deserialize, Serialize};
+
+use htm_sim::{Cycle, DirId, ProcId};
+use htm_tcc::hooks::{AbortAction, GateCommand, GatingHook, SystemView};
+use htm_tcc::txn::TxId;
+
+use crate::gating::contention::ContentionPolicy;
+use crate::gating::table::GatingTable;
+
+/// Timing constants of the gating protocol, derived from the machine
+/// configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Cycles the Fig. 2(e) control circuit needs after timer expiry before
+    /// its decision takes effect (the high fan-in OR "will take multiple
+    /// cycles", which "extends the clock gating period further by a small
+    /// amount of time").
+    pub ungate_circuit_latency: Cycle,
+    /// Round-trip latency of a `TxInfoReq` / reply exchange between the
+    /// directory and the committing processor.
+    pub txinfo_roundtrip_latency: Cycle,
+    /// Whether the renewal check is performed at all. Disabling it is the
+    /// "blind timer" ablation: the victim is always woken when the first
+    /// window expires.
+    pub renew_enabled: bool,
+}
+
+impl ControllerConfig {
+    /// Derive the protocol costs from a machine configuration.
+    #[must_use]
+    pub fn from_sim_config(cfg: &htm_sim::config::SimConfig) -> Self {
+        Self {
+            ungate_circuit_latency: cfg.ungate_circuit_latency,
+            // Request + reply control messages, each crossing the bus, plus
+            // one directory lookup to fetch the stored Aborter Tx Id.
+            txinfo_roundtrip_latency: 2 * (cfg.bus_control_transfer_cycles()
+                + cfg.bus_arbitration_latency)
+                + cfg.directory_latency,
+            renew_enabled: true,
+        }
+    }
+
+    /// Disable the renewal check (ablation).
+    #[must_use]
+    pub fn without_renewal(mut self) -> Self {
+        self.renew_enabled = false;
+        self
+    }
+}
+
+/// Aggregate statistics of the gating controller over one run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatingStats {
+    /// "Stop Clock" commands issued (aborts that resulted in gating).
+    pub gatings: u64,
+    /// Gating periods renewed because the aborter was still committing the
+    /// same transaction in the gating directory.
+    pub renewals: u64,
+    /// Wake-ups because the aborter was no longer marked in the directory.
+    pub ungate_aborter_gone: u64,
+    /// Wake-ups because the aborter had moved on to a different transaction.
+    pub ungate_different_tx: u64,
+    /// Wake-ups because the aborter itself was clock-gated (null `TxInfoReq`
+    /// reply).
+    pub ungate_null_reply: u64,
+    /// Stale OFF bits reconciled by observing a load/store from the
+    /// supposedly-off processor.
+    pub stale_off_reconciled: u64,
+}
+
+impl GatingStats {
+    /// Total "on" commands issued.
+    #[must_use]
+    pub fn total_ungates(&self) -> u64 {
+        self.ungate_aborter_gone + self.ungate_different_tx + self.ungate_null_reply
+    }
+}
+
+/// The clock-gate-on-abort controller (the paper's proposal).
+pub struct ClockGateController {
+    tables: Vec<GatingTable>,
+    policy: Box<dyn ContentionPolicy>,
+    config: ControllerConfig,
+    stats: GatingStats,
+}
+
+impl std::fmt::Debug for ClockGateController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClockGateController")
+            .field("dirs", &self.tables.len())
+            .field("policy", &self.policy.name())
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl ClockGateController {
+    /// Create a controller for `num_dirs` directories and `num_procs`
+    /// processors, using `policy` to size gating windows.
+    #[must_use]
+    pub fn new(
+        num_dirs: usize,
+        num_procs: usize,
+        policy: Box<dyn ContentionPolicy>,
+        config: ControllerConfig,
+    ) -> Self {
+        Self {
+            tables: (0..num_dirs).map(|_| GatingTable::new(num_procs)).collect(),
+            policy,
+            config,
+            stats: GatingStats::default(),
+        }
+    }
+
+    /// Statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> GatingStats {
+        self.stats
+    }
+
+    /// The gating table of directory `dir` (for inspection / tests).
+    #[must_use]
+    pub fn table(&self, dir: DirId) -> &GatingTable {
+        &self.tables[dir]
+    }
+
+    /// Name of the contention policy in use.
+    #[must_use]
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+}
+
+impl GatingHook for ClockGateController {
+    fn on_abort(
+        &mut self,
+        dir: DirId,
+        victim: ProcId,
+        aborter: ProcId,
+        aborter_tx: TxId,
+        now: Cycle,
+        _view: &SystemView,
+    ) -> AbortAction {
+        let entry = self.tables[dir].entry_mut(victim);
+        // The directory queries the committing processor for the transaction
+        // id with a TxInfoReq (Fig. 2(d)); the victim is already being
+        // stopped, so the round trip only delays the availability of the
+        // stored id, which we fold into the initial timer.
+        let was_off = entry.off;
+        let provisional = entry.abort_count + 1;
+        let window = self.policy.window(provisional, 0);
+        entry.record_abort(aborter, aborter_tx, now, window + self.config.txinfo_roundtrip_latency);
+        if !was_off {
+            self.stats.gatings += 1;
+        }
+        AbortAction::Gate
+    }
+
+    fn on_tick(&mut self, now: Cycle, view: &SystemView) -> Vec<GateCommand> {
+        let mut commands = Vec::new();
+        for (dir, table) in self.tables.iter_mut().enumerate() {
+            if table.off_count() == 0 {
+                continue;
+            }
+            for proc in 0..view.proc_tx.len() {
+                let circuit = self.config.ungate_circuit_latency;
+                let entry = table.entry_mut(proc);
+                if !entry.timer_expired(now) {
+                    continue;
+                }
+                // Fig. 2(e): OR the marked processor ids and compare with the
+                // stored aborter id.
+                let aborter_present = entry
+                    .aborter_proc
+                    .is_some_and(|aborter| view.is_marked(dir, aborter));
+                if !self.config.renew_enabled || !aborter_present {
+                    entry.turn_on();
+                    if aborter_present {
+                        // Only reachable in the blind-timer ablation: the
+                        // victim is woken even though its enemy is still
+                        // committing here.
+                        self.stats.ungate_different_tx += 1;
+                    } else {
+                        self.stats.ungate_aborter_gone += 1;
+                    }
+                    commands.push(GateCommand::UngateProcessor { proc, dir });
+                    continue;
+                }
+                // The aborter is still marked here: issue a TxInfoReq and
+                // compare its reply with the stored Aborter Tx Id.
+                let aborter = entry.aborter_proc.expect("aborter_present implies Some");
+                let reply = view.current_tx(aborter);
+                match (reply, entry.aborter_tx) {
+                    (Some(current), Some(stored)) if current == stored => {
+                        // Same transaction still trying to commit: renew.
+                        let window = self.policy.window(entry.abort_count, entry.renew_count + 1);
+                        entry.renew(
+                            now,
+                            window + self.config.txinfo_roundtrip_latency + circuit,
+                        );
+                        self.stats.renewals += 1;
+                    }
+                    (None, _) => {
+                        // Null reply: the aborter has itself been clock-gated.
+                        entry.turn_on();
+                        self.stats.ungate_null_reply += 1;
+                        commands.push(GateCommand::UngateProcessor { proc, dir });
+                    }
+                    _ => {
+                        // Different transaction (or no stored id): wake up.
+                        entry.turn_on();
+                        self.stats.ungate_different_tx += 1;
+                        commands.push(GateCommand::UngateProcessor { proc, dir });
+                    }
+                }
+            }
+        }
+        commands
+    }
+
+    fn on_commit(&mut self, proc: ProcId, _now: Cycle) {
+        for table in &mut self.tables {
+            table.entry_mut(proc).reset_on_commit();
+        }
+    }
+
+    fn on_wake(&mut self, proc: ProcId, _now: Cycle) {
+        // The processor is running again; every directory that still believes
+        // it is OFF will reconcile lazily (on_proc_activity) or has already
+        // turned it on. Clearing the local timers here prevents spurious
+        // duplicate "on" commands from other directories.
+        for table in &mut self.tables {
+            table.entry_mut(proc).turn_on();
+        }
+    }
+
+    fn on_proc_activity(&mut self, proc: ProcId, dir: DirId, _now: Cycle) {
+        let entry = self.tables[dir].entry_mut(proc);
+        if entry.off {
+            entry.turn_on();
+            self.stats.stale_off_reconciled += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gating::contention::GatingAwarePolicy;
+
+    fn controller(dirs: usize, procs: usize, w0: u64) -> ClockGateController {
+        ClockGateController::new(
+            dirs,
+            procs,
+            Box::new(GatingAwarePolicy::new(w0)),
+            ControllerConfig {
+                ungate_circuit_latency: 4,
+                txinfo_roundtrip_latency: 10,
+                renew_enabled: true,
+            },
+        )
+    }
+
+    fn view(procs: usize, dirs: usize) -> SystemView {
+        SystemView::new(procs, dirs)
+    }
+
+    #[test]
+    fn abort_gates_the_victim_and_logs_the_entry() {
+        let mut c = controller(2, 4, 8);
+        let v = view(4, 2);
+        let action = c.on_abort(1, 2, 0, 0x400, 100, &v);
+        assert_eq!(action, AbortAction::Gate);
+        let entry = c.table(1).entry(2);
+        assert!(entry.off);
+        assert_eq!(entry.aborter_proc, Some(0));
+        assert_eq!(entry.aborter_tx, Some(0x400));
+        assert_eq!(entry.abort_count, 1);
+        // Window = W0*(1+1) = 16 plus the TxInfoReq round trip.
+        assert_eq!(entry.timer_expires, 100 + 16 + 10);
+        assert_eq!(c.stats().gatings, 1);
+    }
+
+    #[test]
+    fn timer_expiry_with_aborter_gone_ungates() {
+        let mut c = controller(1, 4, 8);
+        let mut v = view(4, 1);
+        c.on_abort(0, 2, 0, 0x400, 0, &v);
+        // Aborter (proc 0) is NOT marked in the directory.
+        v.dir_marked[0] = 0;
+        let expiry = c.table(0).entry(2).timer_expires;
+        assert!(c.on_tick(expiry - 1, &v).is_empty(), "not yet expired");
+        let cmds = c.on_tick(expiry, &v);
+        assert_eq!(cmds, vec![GateCommand::UngateProcessor { proc: 2, dir: 0 }]);
+        assert!(!c.table(0).entry(2).off);
+        assert_eq!(c.stats().ungate_aborter_gone, 1);
+        // Nothing further happens on the next tick.
+        assert!(c.on_tick(expiry + 1, &v).is_empty());
+    }
+
+    #[test]
+    fn timer_expiry_with_same_transaction_renews() {
+        let mut c = controller(1, 4, 8);
+        let mut v = view(4, 1);
+        c.on_abort(0, 2, 0, 0x400, 0, &v);
+        // Aborter still marked and still executing the same transaction.
+        v.dir_marked[0] = 1 << 0;
+        v.proc_tx[0] = Some(0x400);
+        let expiry = c.table(0).entry(2).timer_expires;
+        let cmds = c.on_tick(expiry, &v);
+        assert!(cmds.is_empty(), "renewal must not wake the victim");
+        let entry = c.table(0).entry(2);
+        assert!(entry.off);
+        assert_eq!(entry.renew_count, 1);
+        assert!(entry.timer_expires > expiry);
+        assert_eq!(c.stats().renewals, 1);
+    }
+
+    #[test]
+    fn renewal_windows_grow_with_the_renew_count() {
+        let mut c = controller(1, 2, 8);
+        let mut v = view(2, 1);
+        c.on_abort(0, 1, 0, 0x77, 0, &v);
+        v.dir_marked[0] = 1;
+        v.proc_tx[0] = Some(0x77);
+        let mut last_window = 0;
+        let mut last_expiry = c.table(0).entry(1).timer_expires;
+        for _ in 0..4 {
+            let cmds = c.on_tick(last_expiry, &v);
+            assert!(cmds.is_empty());
+            let e = c.table(0).entry(1);
+            let window = e.timer_expires - last_expiry;
+            assert!(window >= last_window, "windows must not shrink across renewals");
+            last_window = window;
+            last_expiry = e.timer_expires;
+        }
+        assert_eq!(c.stats().renewals, 4);
+    }
+
+    #[test]
+    fn timer_expiry_with_different_transaction_ungates() {
+        let mut c = controller(1, 4, 8);
+        let mut v = view(4, 1);
+        c.on_abort(0, 2, 0, 0x400, 0, &v);
+        v.dir_marked[0] = 1 << 0;
+        v.proc_tx[0] = Some(0x999); // the aborter moved on
+        let expiry = c.table(0).entry(2).timer_expires;
+        let cmds = c.on_tick(expiry, &v);
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(c.stats().ungate_different_tx, 1);
+    }
+
+    #[test]
+    fn null_txinfo_reply_ungates() {
+        let mut c = controller(1, 4, 8);
+        let mut v = view(4, 1);
+        c.on_abort(0, 2, 0, 0x400, 0, &v);
+        v.dir_marked[0] = 1 << 0;
+        v.proc_tx[0] = Some(0x400);
+        v.proc_gated[0] = true; // the aborter itself has been gated
+        let expiry = c.table(0).entry(2).timer_expires;
+        let cmds = c.on_tick(expiry, &v);
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(c.stats().ungate_null_reply, 1);
+    }
+
+    #[test]
+    fn blind_timer_ablation_never_renews() {
+        let mut c = ClockGateController::new(
+            1,
+            2,
+            Box::new(GatingAwarePolicy::new(8)),
+            ControllerConfig {
+                ungate_circuit_latency: 0,
+                txinfo_roundtrip_latency: 0,
+                renew_enabled: false,
+            },
+        );
+        let mut v = view(2, 1);
+        c.on_abort(0, 1, 0, 0x42, 0, &v);
+        v.dir_marked[0] = 1;
+        v.proc_tx[0] = Some(0x42);
+        let expiry = c.table(0).entry(1).timer_expires;
+        let cmds = c.on_tick(expiry, &v);
+        assert_eq!(cmds.len(), 1, "ablation wakes the victim even though the aborter is present");
+        assert_eq!(c.stats().renewals, 0);
+    }
+
+    #[test]
+    fn commit_resets_abort_counters_everywhere() {
+        let mut c = controller(2, 4, 8);
+        let v = view(4, 2);
+        c.on_abort(0, 2, 0, 1, 0, &v);
+        c.on_abort(1, 2, 3, 1, 0, &v);
+        c.on_commit(2, 50);
+        assert_eq!(c.table(0).entry(2).abort_count, 0);
+        assert_eq!(c.table(1).entry(2).abort_count, 0);
+    }
+
+    #[test]
+    fn repeated_aborts_escalate_the_window() {
+        let mut c = controller(1, 2, 8);
+        let v = view(2, 1);
+        c.on_abort(0, 1, 0, 1, 0, &v);
+        let w1 = c.table(0).entry(1).timer_expires;
+        // Victim woke up, retried, got aborted again.
+        c.on_wake(1, w1);
+        c.on_abort(0, 1, 0, 1, 1000, &v);
+        let w2 = c.table(0).entry(1).timer_expires - 1000;
+        assert!(w2 >= w1, "the second abort must not get a shorter window (w1={w1} w2={w2})");
+        assert_eq!(c.table(0).entry(1).abort_count, 2);
+    }
+
+    #[test]
+    fn stale_off_bit_reconciled_on_activity() {
+        let mut c = controller(2, 2, 8);
+        let v = view(2, 2);
+        c.on_abort(0, 1, 0, 1, 0, &v);
+        c.on_abort(1, 1, 0, 1, 0, &v);
+        // Directory 0 wakes it (simulated via on_wake); directory 1 still has
+        // a stale OFF bit until the processor touches it.
+        c.on_wake(1, 10);
+        assert!(!c.table(1).entry(1).off, "on_wake clears local OFF state");
+        // Re-gate only in directory 1, then observe activity there.
+        c.on_abort(1, 1, 0, 1, 20, &v);
+        assert!(c.table(1).entry(1).off);
+        c.on_proc_activity(1, 1, 30);
+        assert!(!c.table(1).entry(1).off);
+        assert_eq!(c.stats().stale_off_reconciled, 1);
+    }
+
+    #[test]
+    fn gating_is_directory_local() {
+        let mut c = controller(2, 2, 8);
+        let v = view(2, 2);
+        c.on_abort(0, 1, 0, 1, 0, &v);
+        assert!(c.table(0).entry(1).off);
+        assert!(!c.table(1).entry(1).off, "the other directory keeps its own view");
+    }
+}

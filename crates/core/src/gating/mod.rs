@@ -1,0 +1,5 @@
+//! The clock-gate-on-abort mechanism (Sections III, V and VI of the paper).
+
+pub mod contention;
+pub mod controller;
+pub mod table;

@@ -1,0 +1,224 @@
+//! The additional per-directory table of Fig. 1.
+//!
+//! Every directory gains one entry per processor with the fields the paper
+//! lists in Section III:
+//!
+//! * **Aborter Proc** — the processor whose commit aborted this entry's
+//!   processor in this directory,
+//! * **Aborter Tx Id** — the static transaction (identified by the PC that
+//!   started it) the aborter was committing; obtained with a `TxInfoReq`
+//!   message,
+//! * **Abort Count** — an 8-bit saturating up-counter of aborts suffered by
+//!   the currently running transaction, reset to 0 on commit,
+//! * **Renew Count** — how many times the processor's gating period has been
+//!   renewed at the current abort level, reset whenever the abort count
+//!   changes,
+//! * **Gating Timer** — cycle count until the gating period expires,
+//! * **OFF** — whether this directory believes the processor is clock-gated.
+
+use serde::{Deserialize, Serialize};
+
+use htm_sim::{Cycle, ProcId};
+use htm_tcc::txn::TxId;
+
+/// Saturation limit of the abort counter (8 bits, per Section III).
+pub const ABORT_COUNT_MAX: u32 = 255;
+
+/// One row of the Fig. 1 table: the gating state a directory keeps for one
+/// processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatingEntry {
+    /// Processor whose commit caused the most recent abort logged here.
+    pub aborter_proc: Option<ProcId>,
+    /// Static transaction the aborter was committing.
+    pub aborter_tx: Option<TxId>,
+    /// Aborts suffered by the victim's current transaction (8-bit saturating).
+    pub abort_count: u32,
+    /// Renewals of the gating period at the current abort level.
+    pub renew_count: u32,
+    /// Cycle at which the current gating period expires (valid while `off`).
+    pub timer_expires: Cycle,
+    /// Whether this directory believes the processor is clock-gated.
+    pub off: bool,
+}
+
+impl Default for GatingEntry {
+    fn default() -> Self {
+        Self {
+            aborter_proc: None,
+            aborter_tx: None,
+            abort_count: 0,
+            renew_count: 0,
+            timer_expires: 0,
+            off: false,
+        }
+    }
+}
+
+impl GatingEntry {
+    /// Record a new abort caused by `aborter` committing `aborter_tx`:
+    /// increments the (saturating) abort counter, resets the renew counter
+    /// and marks the processor OFF with a gating period of `window` cycles
+    /// starting at `now`.
+    pub fn record_abort(
+        &mut self,
+        aborter: ProcId,
+        aborter_tx: TxId,
+        now: Cycle,
+        window: Cycle,
+    ) {
+        self.aborter_proc = Some(aborter);
+        self.aborter_tx = Some(aborter_tx);
+        self.abort_count = (self.abort_count + 1).min(ABORT_COUNT_MAX);
+        self.renew_count = 0;
+        self.timer_expires = now.saturating_add(window);
+        self.off = true;
+    }
+
+    /// Renew the gating period (the Fig. 2(f) case): increments the renew
+    /// counter and loads a fresh timer value.
+    pub fn renew(&mut self, now: Cycle, window: Cycle) {
+        self.renew_count = self.renew_count.saturating_add(1);
+        self.timer_expires = now.saturating_add(window);
+    }
+
+    /// Clear the OFF bit (the processor was woken, or a load/store from it
+    /// reached this directory and the stale OFF bit is reconciled).
+    pub fn turn_on(&mut self) {
+        self.off = false;
+    }
+
+    /// Reset the abort bookkeeping after the processor commits.
+    pub fn reset_on_commit(&mut self) {
+        self.abort_count = 0;
+        self.renew_count = 0;
+        self.aborter_proc = None;
+        self.aborter_tx = None;
+    }
+
+    /// Whether the gating timer has expired at `now` (only meaningful while
+    /// the entry is OFF).
+    #[must_use]
+    pub fn timer_expired(&self, now: Cycle) -> bool {
+        self.off && now >= self.timer_expires
+    }
+}
+
+/// The Fig. 1 table of one directory: one [`GatingEntry`] per processor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatingTable {
+    entries: Vec<GatingEntry>,
+}
+
+impl GatingTable {
+    /// Create a table for `num_procs` processors.
+    #[must_use]
+    pub fn new(num_procs: usize) -> Self {
+        Self { entries: vec![GatingEntry::default(); num_procs] }
+    }
+
+    /// Entry for `proc`.
+    #[must_use]
+    pub fn entry(&self, proc: ProcId) -> &GatingEntry {
+        &self.entries[proc]
+    }
+
+    /// Mutable entry for `proc`.
+    pub fn entry_mut(&mut self, proc: ProcId) -> &mut GatingEntry {
+        &mut self.entries[proc]
+    }
+
+    /// Number of entries currently marked OFF.
+    #[must_use]
+    pub fn off_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.off).count()
+    }
+
+    /// Iterate over `(proc, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcId, &GatingEntry)> {
+        self.entries.iter().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_abort_sets_all_fields() {
+        let mut e = GatingEntry::default();
+        e.record_abort(3, 0x400, 100, 50);
+        assert_eq!(e.aborter_proc, Some(3));
+        assert_eq!(e.aborter_tx, Some(0x400));
+        assert_eq!(e.abort_count, 1);
+        assert_eq!(e.renew_count, 0);
+        assert_eq!(e.timer_expires, 150);
+        assert!(e.off);
+        assert!(!e.timer_expired(149));
+        assert!(e.timer_expired(150));
+    }
+
+    #[test]
+    fn abort_count_saturates_at_255() {
+        let mut e = GatingEntry::default();
+        for _ in 0..300 {
+            e.record_abort(0, 1, 0, 10);
+        }
+        assert_eq!(e.abort_count, ABORT_COUNT_MAX);
+    }
+
+    #[test]
+    fn renew_increments_count_and_reloads_timer() {
+        let mut e = GatingEntry::default();
+        e.record_abort(1, 2, 0, 10);
+        e.renew(10, 40);
+        assert_eq!(e.renew_count, 1);
+        assert_eq!(e.timer_expires, 50);
+        assert!(e.off);
+    }
+
+    #[test]
+    fn new_abort_resets_renew_count() {
+        let mut e = GatingEntry::default();
+        e.record_abort(1, 2, 0, 10);
+        e.renew(10, 40);
+        e.renew(50, 40);
+        assert_eq!(e.renew_count, 2);
+        e.record_abort(1, 2, 100, 10);
+        assert_eq!(e.renew_count, 0, "renew count resets when the abort count changes");
+        assert_eq!(e.abort_count, 2);
+    }
+
+    #[test]
+    fn commit_resets_counters_but_not_off() {
+        let mut e = GatingEntry::default();
+        e.record_abort(1, 2, 0, 10);
+        e.reset_on_commit();
+        assert_eq!(e.abort_count, 0);
+        assert_eq!(e.renew_count, 0);
+        assert_eq!(e.aborter_proc, None);
+        assert!(e.off, "reset_on_commit does not change the OFF bit");
+    }
+
+    #[test]
+    fn turn_on_only_clears_off() {
+        let mut e = GatingEntry::default();
+        e.record_abort(1, 2, 0, 10);
+        e.turn_on();
+        assert!(!e.off);
+        assert_eq!(e.abort_count, 1, "the abort history survives ungating");
+        assert!(!e.timer_expired(1000), "an ON entry never reports an expired timer");
+    }
+
+    #[test]
+    fn table_tracks_entries_per_processor() {
+        let mut t = GatingTable::new(4);
+        assert_eq!(t.off_count(), 0);
+        t.entry_mut(2).record_abort(0, 9, 0, 10);
+        t.entry_mut(3).record_abort(0, 9, 0, 10);
+        assert_eq!(t.off_count(), 2);
+        assert!(t.entry(2).off);
+        assert!(!t.entry(0).off);
+        assert_eq!(t.iter().filter(|(_, e)| e.off).count(), 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Plain-text and JSON rendering of experiment results.
+//!
+//! The paper presents its evaluation as bar charts and tables; the
+//! reproduction harness prints the same data as aligned text tables (one per
+//! figure/table) and can serialize every result structure to JSON for
+//! downstream plotting.
+
+use serde::Serialize;
+
+/// Render an aligned plain-text table.
+///
+/// ```
+/// let s = clockgate_htm::report::format_table(
+///     &["workload", "speedup"],
+///     &[vec!["intruder".to_string(), "1.04".to_string()]],
+/// );
+/// assert!(s.contains("workload"));
+/// assert!(s.contains("intruder"));
+/// ```
+#[must_use]
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(cols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (c, w) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = cells.get(c).unwrap_or(&empty);
+            line.push_str(&format!(" {cell:<w$} |", w = w));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{:-<width$}|", "", width = w + 2));
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out
+}
+
+/// Serialize any experiment result to pretty-printed JSON.
+#[must_use]
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}"))
+}
+
+/// Format a floating-point value with a fixed number of decimals.
+#[must_use]
+pub fn fmt_f(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Format a ratio as a multiplicative factor (e.g. `1.23x`).
+#[must_use]
+pub fn fmt_factor(value: f64) -> String {
+    format!("{value:.3}x")
+}
+
+/// Format a value as a signed percentage (e.g. `+4.2%`).
+#[must_use]
+pub fn fmt_percent(value: f64) -> String {
+    format!("{value:+.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let s = format_table(
+            &["a", "long header"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["yyyyyyyy".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines have the same width.
+        let widths: std::collections::HashSet<usize> = lines.iter().map(|l| l.len()).collect();
+        assert_eq!(widths.len(), 1, "{s}");
+        assert!(lines[0].contains("long header"));
+        assert!(lines[3].contains("yyyyyyyy"));
+    }
+
+    #[test]
+    fn table_handles_empty_rows() {
+        let s = format_table(&["only header"], &[]);
+        assert!(s.contains("only header"));
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn json_round_trips_simple_values() {
+        #[derive(Serialize)]
+        struct T {
+            x: u32,
+        }
+        let s = to_json(&T { x: 7 });
+        assert!(s.contains("\"x\": 7"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_factor(1.5), "1.500x");
+        assert_eq!(fmt_percent(4.25), "+4.2%");
+        assert_eq!(fmt_percent(-3.0), "-3.0%");
+    }
+}

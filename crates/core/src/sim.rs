@@ -1,0 +1,439 @@
+//! Simulation front end: builder, gating modes and single-run reports.
+//!
+//! [`SimulationBuilder`] is the public entry point of the library: it takes a
+//! machine description (Table II defaults), a workload (one of the STAMP-like
+//! generators or a custom trace) and a [`GatingMode`], runs the cycle-driven
+//! simulation and returns a [`SimReport`] containing both the protocol-level
+//! outcome and the energy analysis of Section IV.
+
+use serde::{Deserialize, Serialize};
+
+use htm_power::energy::{self, ComparisonReport, EnergyReport};
+use htm_power::model::PowerModel;
+use htm_sim::config::SimConfig;
+use htm_sim::Cycle;
+use htm_tcc::hooks::{ExponentialBackoff, NoGating};
+use htm_tcc::stats::RunOutcome;
+use htm_tcc::system::{SimError, TccSystem};
+use htm_tcc::txn::WorkloadTrace;
+use htm_workloads::{by_name, WorkloadScale};
+
+use crate::gating::contention::{ContentionPolicy, FixedWindow, GatingAwarePolicy, LinearBackoffPolicy};
+use crate::gating::controller::{ClockGateController, ControllerConfig, GatingStats};
+
+/// Default safety bound on simulated cycles (well above anything the paper's
+/// workloads need; hitting it indicates a protocol bug, and the builder turns
+/// it into an error instead of hanging).
+pub const DEFAULT_CYCLE_LIMIT: Cycle = 200_000_000;
+
+/// How aborts are handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GatingMode {
+    /// Plain Scalable TCC: abort and retry immediately (the paper's
+    /// "without clock-gating" baseline).
+    Ungated,
+    /// Conventional exponential polite back-off (no clock gating): the victim
+    /// spins at run power for `base * 2^n` cycles after its `n`-th
+    /// consecutive abort.
+    ExponentialBackoff {
+        /// Base back-off window in cycles.
+        base: Cycle,
+        /// Cap on the exponent.
+        cap: u32,
+    },
+    /// The paper's proposal: clock-gate on abort with the gating-aware
+    /// contention manager of Eq. 8.
+    ClockGate {
+        /// The `W0` constant (the paper uses 8).
+        w0: Cycle,
+    },
+    /// Ablation: clock gating with a fixed window instead of Eq. 8.
+    ClockGateFixedWindow {
+        /// The constant gating window in cycles.
+        window: Cycle,
+    },
+    /// Ablation: clock gating with Eq. 8 but without the Fig. 2(e) renewal
+    /// check (the victim is always woken when the first window expires).
+    ClockGateNoRenew {
+        /// The `W0` constant.
+        w0: Cycle,
+    },
+    /// Ablation: clock gating with a linear (non-staircase) back-off
+    /// `W0 * (Na + Nr)`.
+    ClockGateLinear {
+        /// The `W0` constant.
+        w0: Cycle,
+    },
+}
+
+impl GatingMode {
+    /// Whether this mode uses the clock-gating mechanism at all.
+    #[must_use]
+    pub fn uses_gating(&self) -> bool {
+        !matches!(self, GatingMode::Ungated | GatingMode::ExponentialBackoff { .. })
+    }
+
+    /// Short label used in reports and figures.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            GatingMode::Ungated => "ungated".into(),
+            GatingMode::ExponentialBackoff { base, .. } => format!("backoff(base={base})"),
+            GatingMode::ClockGate { w0 } => format!("clock-gate(W0={w0})"),
+            GatingMode::ClockGateFixedWindow { window } => format!("clock-gate(fixed={window})"),
+            GatingMode::ClockGateNoRenew { w0 } => format!("clock-gate(no-renew,W0={w0})"),
+            GatingMode::ClockGateLinear { w0 } => format!("clock-gate(linear,W0={w0})"),
+        }
+    }
+}
+
+/// Result of a single simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// The gating mode that was simulated.
+    pub mode_label: String,
+    /// Protocol-level outcome (cycles, commits, aborts, state breakdown).
+    pub outcome: RunOutcome,
+    /// Energy analysis under the Table I power model.
+    pub energy: EnergyReport,
+    /// Gating-controller statistics (only for clock-gating modes).
+    pub gating: Option<GatingStats>,
+}
+
+impl SimReport {
+    /// Convenience accessor: total parallel execution time in cycles.
+    #[must_use]
+    pub fn cycles(&self) -> Cycle {
+        self.outcome.total_cycles
+    }
+
+    /// Convenience accessor: total energy under the Table I model.
+    #[must_use]
+    pub fn total_energy(&self) -> f64 {
+        self.energy.total_energy
+    }
+}
+
+/// Compare a gated run against an ungated baseline (both produced by
+/// [`SimulationBuilder::run`] for the same workload and machine size).
+#[must_use]
+pub fn compare_runs(ungated: &SimReport, gated: &SimReport) -> ComparisonReport {
+    energy::compare(&ungated.outcome, &gated.outcome, &PowerModel::alpha_21264_65nm())
+}
+
+/// Builder for a single simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationBuilder {
+    config: SimConfig,
+    workload: Option<WorkloadTrace>,
+    mode: GatingMode,
+    power: PowerModel,
+    cycle_limit: Cycle,
+}
+
+impl Default for SimulationBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimulationBuilder {
+    /// Start from the Table II defaults (8 processors, ungated).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            config: SimConfig::default(),
+            workload: None,
+            mode: GatingMode::Ungated,
+            power: PowerModel::alpha_21264_65nm(),
+            cycle_limit: DEFAULT_CYCLE_LIMIT,
+        }
+    }
+
+    /// Use `n` processors (and `n` directories), keeping the other Table II
+    /// parameters.
+    #[must_use]
+    pub fn processors(mut self, n: usize) -> Self {
+        self.config = SimConfig::table2(n);
+        self
+    }
+
+    /// Use a fully custom machine configuration.
+    #[must_use]
+    pub fn config(mut self, cfg: SimConfig) -> Self {
+        self.config = cfg;
+        self
+    }
+
+    /// Run a pre-built workload trace.
+    #[must_use]
+    pub fn workload(mut self, workload: WorkloadTrace) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Generate one of the named STAMP-like workloads (see
+    /// [`htm_workloads::workload_names`]) for the configured processor count.
+    pub fn workload_by_name(
+        mut self,
+        name: &str,
+        scale: WorkloadScale,
+        seed: u64,
+    ) -> Result<Self, String> {
+        let w = by_name(name, self.config.num_procs, scale, seed)
+            .ok_or_else(|| format!("unknown workload '{name}'"))?;
+        self.workload = Some(w);
+        Ok(self)
+    }
+
+    /// Select the abort-handling mode.
+    #[must_use]
+    pub fn gating(mut self, mode: GatingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Override the power model (the default is Table I).
+    #[must_use]
+    pub fn power_model(mut self, model: PowerModel) -> Self {
+        self.power = model;
+        self
+    }
+
+    /// Override the cycle safety bound.
+    #[must_use]
+    pub fn cycle_limit(mut self, limit: Cycle) -> Self {
+        self.cycle_limit = limit;
+        self
+    }
+
+    fn controller(&self, policy: Box<dyn ContentionPolicy>, renew: bool) -> ClockGateController {
+        let mut cfg = ControllerConfig::from_sim_config(&self.config);
+        if !renew {
+            cfg = cfg.without_renewal();
+        }
+        ClockGateController::new(self.config.num_dirs, self.config.num_procs, policy, cfg)
+    }
+
+    /// Run the simulation.
+    pub fn run(self) -> Result<SimReport, SimError> {
+        let workload = self
+            .workload
+            .clone()
+            .ok_or_else(|| SimError::BadWorkload("no workload was provided".into()))?;
+        let label = self.mode.label();
+        let limit = self.cycle_limit;
+        let power = self.power;
+
+        // Each gating mode uses a different hook type, so the dispatch happens
+        // here and the generic system is monomorphized per hook.
+        let (outcome, gating) = match self.mode {
+            GatingMode::Ungated => {
+                let sys = TccSystem::new(self.config.clone(), workload, NoGating)?;
+                (sys.run_bounded(limit)?, None)
+            }
+            GatingMode::ExponentialBackoff { base, cap } => {
+                let hook = ExponentialBackoff::new(self.config.num_procs, base, cap);
+                let sys = TccSystem::new(self.config.clone(), workload, hook)?;
+                (sys.run_bounded(limit)?, None)
+            }
+            GatingMode::ClockGate { w0 } => {
+                let hook = self.controller(Box::new(GatingAwarePolicy::new(w0)), true);
+                run_with_controller(self.config.clone(), workload, hook, limit)?
+            }
+            GatingMode::ClockGateFixedWindow { window } => {
+                let hook = self.controller(Box::new(FixedWindow::new(window)), true);
+                run_with_controller(self.config.clone(), workload, hook, limit)?
+            }
+            GatingMode::ClockGateNoRenew { w0 } => {
+                let hook = self.controller(Box::new(GatingAwarePolicy::new(w0)), false);
+                run_with_controller(self.config.clone(), workload, hook, limit)?
+            }
+            GatingMode::ClockGateLinear { w0 } => {
+                let hook = self.controller(Box::new(LinearBackoffPolicy { w0 }), true);
+                run_with_controller(self.config.clone(), workload, hook, limit)?
+            }
+        };
+
+        let energy = energy::analyze(&outcome, &power);
+        Ok(SimReport { mode_label: label, outcome, energy, gating })
+    }
+}
+
+/// Run a system whose hook is a [`ClockGateController`], extracting the
+/// controller statistics afterwards.
+fn run_with_controller(
+    cfg: SimConfig,
+    workload: WorkloadTrace,
+    hook: ClockGateController,
+    limit: Cycle,
+) -> Result<(RunOutcome, Option<GatingStats>), SimError> {
+    // `TccSystem::run_bounded` consumes the system, so the controller's
+    // statistics are captured through a shared cell.
+    struct SharedController {
+        inner: std::rc::Rc<std::cell::RefCell<ClockGateController>>,
+    }
+    impl htm_tcc::hooks::GatingHook for SharedController {
+        fn on_abort(
+            &mut self,
+            dir: htm_sim::DirId,
+            victim: htm_sim::ProcId,
+            aborter: htm_sim::ProcId,
+            aborter_tx: htm_tcc::txn::TxId,
+            now: Cycle,
+            view: &htm_tcc::hooks::SystemView,
+        ) -> htm_tcc::hooks::AbortAction {
+            self.inner.borrow_mut().on_abort(dir, victim, aborter, aborter_tx, now, view)
+        }
+        fn on_tick(
+            &mut self,
+            now: Cycle,
+            view: &htm_tcc::hooks::SystemView,
+        ) -> Vec<htm_tcc::hooks::GateCommand> {
+            self.inner.borrow_mut().on_tick(now, view)
+        }
+        fn on_commit(&mut self, proc: htm_sim::ProcId, now: Cycle) {
+            self.inner.borrow_mut().on_commit(proc, now);
+        }
+        fn on_wake(&mut self, proc: htm_sim::ProcId, now: Cycle) {
+            self.inner.borrow_mut().on_wake(proc, now);
+        }
+        fn on_proc_activity(&mut self, proc: htm_sim::ProcId, dir: htm_sim::DirId, now: Cycle) {
+            self.inner.borrow_mut().on_proc_activity(proc, dir, now);
+        }
+    }
+
+    let shared = std::rc::Rc::new(std::cell::RefCell::new(hook));
+    let sys = TccSystem::new(cfg, workload, SharedController { inner: shared.clone() })?;
+    let outcome = sys.run_bounded(limit)?;
+    let stats = shared.borrow().stats();
+    Ok((outcome, Some(stats)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(mode: GatingMode, workload: &str, procs: usize) -> SimReport {
+        SimulationBuilder::new()
+            .processors(procs)
+            .workload_by_name(workload, WorkloadScale::Test, 11)
+            .unwrap()
+            .gating(mode)
+            .cycle_limit(20_000_000)
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn ungated_run_completes_and_is_consistent() {
+        let r = run(GatingMode::Ungated, "intruder", 4);
+        assert!(r.outcome.total_commits > 0);
+        r.outcome.check_consistency().unwrap();
+        assert!(r.energy.accounting_discrepancy() < 1e-9);
+        assert!(r.gating.is_none());
+        assert_eq!(r.outcome.total_gatings, 0);
+    }
+
+    #[test]
+    fn clock_gated_run_gates_on_contended_workload() {
+        let r = run(GatingMode::ClockGate { w0: 8 }, "intruder", 4);
+        assert!(r.outcome.total_commits > 0);
+        r.outcome.check_consistency().unwrap();
+        let g = r.gating.expect("clock-gating mode reports controller stats");
+        assert!(g.gatings > 0, "the contended workload must trigger gating");
+        // The controller logs one gating per directory-local abort, so it can
+        // record more gatings than the number of times the processor actually
+        // transitioned into the gated state.
+        assert!(g.gatings >= r.outcome.total_gatings);
+        assert!(r.outcome.total_gatings > 0);
+        assert!(r.outcome.total_gated_cycles() > 0);
+    }
+
+    #[test]
+    fn both_modes_commit_the_same_number_of_transactions() {
+        let ungated = run(GatingMode::Ungated, "intruder", 4);
+        let gated = run(GatingMode::ClockGate { w0: 8 }, "intruder", 4);
+        assert_eq!(ungated.outcome.total_commits, gated.outcome.total_commits);
+    }
+
+    #[test]
+    fn gating_converts_spin_into_gated_cycles() {
+        // At the tiny `Test` scale the energy outcome is dominated by cold
+        // misses and start-up effects, so this test checks the mechanism (a
+        // substantial amount of processor time moves into the gated state and
+        // wasted re-execution shrinks) rather than the headline energy number;
+        // the full-scale energy comparison is exercised by the `reproduce`
+        // harness and reported in EXPERIMENTS.md.
+        let ungated = run(GatingMode::Ungated, "intruder", 8);
+        let gated = run(GatingMode::ClockGate { w0: 8 }, "intruder", 8);
+        let cmp = compare_runs(&ungated, &gated);
+        assert!(cmp.gated_cycles_total > 0);
+        assert!(
+            gated.outcome.total_aborts <= ungated.outcome.total_aborts,
+            "gating-aware contention management must not increase the abort count \
+             (gated {} vs ungated {})",
+            gated.outcome.total_aborts,
+            ungated.outcome.total_aborts
+        );
+        assert!(cmp.energy_reduction.is_finite() && cmp.energy_reduction > 0.0);
+    }
+
+    #[test]
+    fn missing_workload_is_an_error() {
+        let err = SimulationBuilder::new().gating(GatingMode::Ungated).run().err().unwrap();
+        assert!(matches!(err, SimError::BadWorkload(_)));
+    }
+
+    #[test]
+    fn unknown_workload_name_is_an_error() {
+        let err = SimulationBuilder::new().workload_by_name("nope", WorkloadScale::Test, 1).err();
+        assert!(err.is_some());
+    }
+
+    #[test]
+    fn exponential_backoff_mode_runs() {
+        let r = run(GatingMode::ExponentialBackoff { base: 32, cap: 8 }, "intruder", 4);
+        assert!(r.outcome.total_commits > 0);
+        assert_eq!(r.outcome.total_gatings, 0);
+        assert!(r.gating.is_none());
+    }
+
+    #[test]
+    fn ablation_modes_run_and_gate() {
+        for mode in [
+            GatingMode::ClockGateFixedWindow { window: 64 },
+            GatingMode::ClockGateNoRenew { w0: 8 },
+            GatingMode::ClockGateLinear { w0: 8 },
+        ] {
+            let r = run(mode, "intruder", 4);
+            assert!(r.outcome.total_commits > 0, "{:?} must complete", mode);
+            assert!(r.gating.unwrap().gatings > 0, "{:?} must gate", mode);
+        }
+    }
+
+    #[test]
+    fn mode_labels_are_distinct() {
+        let labels: std::collections::HashSet<String> = [
+            GatingMode::Ungated,
+            GatingMode::ExponentialBackoff { base: 16, cap: 8 },
+            GatingMode::ClockGate { w0: 8 },
+            GatingMode::ClockGateFixedWindow { window: 64 },
+            GatingMode::ClockGateNoRenew { w0: 8 },
+            GatingMode::ClockGateLinear { w0: 8 },
+        ]
+        .iter()
+        .map(GatingMode::label)
+        .collect();
+        assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn deterministic_reports_for_identical_builders() {
+        let a = run(GatingMode::ClockGate { w0: 8 }, "genome", 4);
+        let b = run(GatingMode::ClockGate { w0: 8 }, "genome", 4);
+        assert_eq!(a.outcome.total_cycles, b.outcome.total_cycles);
+        assert_eq!(a.outcome.total_aborts, b.outcome.total_aborts);
+        assert!((a.total_energy() - b.total_energy()).abs() < 1e-9);
+    }
+}

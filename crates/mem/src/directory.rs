@@ -1,0 +1,266 @@
+//! Full-bit-vector directory state (sharers and owner per line).
+//!
+//! Each directory is home to the cache lines that interleave onto it (see
+//! [`crate::addr::AddressMap`]). For every line it tracks which processors
+//! have speculatively read the line during their *current* transaction (the
+//! sharer bit vector of Table II) and which processor, if any, last committed
+//! it (the owner, Fig. 2(b)).
+//!
+//! Sharer bits are *conservative*: they are cleared only when the sharing
+//! processor commits or aborts its transaction, never on silent L1 evictions.
+//! This matches TCC semantics (a speculative reader must be invalidated even
+//! if the line has fallen out of its L1) and keeps the simulated protocol
+//! correct without modelling eviction notifications.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use htm_sim::ProcId;
+
+use crate::addr::LineAddr;
+
+/// Per-line directory state.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct LineEntry {
+    /// Bit vector of processors that speculatively read this line.
+    sharers: u64,
+    /// Processor that last committed (owns) this line.
+    owner: Option<ProcId>,
+}
+
+/// Event counters for one directory.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirectoryStats {
+    /// Sharer registrations (speculative loads serviced).
+    pub sharer_adds: u64,
+    /// Lines committed through this directory.
+    pub lines_committed: u64,
+    /// Invalidation messages this directory generated.
+    pub invalidations_sent: u64,
+}
+
+/// Sharer / owner tracking for the lines homed at one directory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Directory {
+    /// Directory identifier (for diagnostics only).
+    id: usize,
+    /// Maximum number of processors (bounds the bit vector).
+    num_procs: usize,
+    lines: HashMap<LineAddr, LineEntry>,
+    /// For fast clearing on commit/abort: the set of lines each processor is
+    /// currently registered as sharing here.
+    reader_sets: Vec<HashSet<LineAddr>>,
+    stats: DirectoryStats,
+}
+
+impl Directory {
+    /// Create directory `id` for a system of `num_procs` processors.
+    ///
+    /// # Panics
+    /// Panics if `num_procs` exceeds 64 (the full-bit vector is stored in a
+    /// single machine word, which comfortably covers the paper's 16-core
+    /// maximum).
+    #[must_use]
+    pub fn new(id: usize, num_procs: usize) -> Self {
+        assert!(num_procs <= 64, "full-bit vector limited to 64 processors");
+        Self {
+            id,
+            num_procs,
+            lines: HashMap::new(),
+            reader_sets: vec![HashSet::new(); num_procs],
+            stats: DirectoryStats::default(),
+        }
+    }
+
+    /// This directory's identifier.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> DirectoryStats {
+        self.stats
+    }
+
+    /// Record that `proc` has speculatively read `line`.
+    pub fn add_sharer(&mut self, line: LineAddr, proc: ProcId) {
+        assert!(proc < self.num_procs);
+        let entry = self.lines.entry(line).or_default();
+        let bit = 1u64 << proc;
+        if entry.sharers & bit == 0 {
+            entry.sharers |= bit;
+            self.reader_sets[proc].insert(line);
+            self.stats.sharer_adds += 1;
+        }
+    }
+
+    /// Processors currently registered as sharers of `line`.
+    #[must_use]
+    pub fn sharers(&self, line: LineAddr) -> Vec<ProcId> {
+        let Some(entry) = self.lines.get(&line) else { return Vec::new() };
+        bits_to_procs(entry.sharers)
+    }
+
+    /// Owner of `line`, if it has been committed before.
+    #[must_use]
+    pub fn owner(&self, line: LineAddr) -> Option<ProcId> {
+        self.lines.get(&line).and_then(|e| e.owner)
+    }
+
+    /// Number of lines this processor currently shares here.
+    #[must_use]
+    pub fn shared_line_count(&self, proc: ProcId) -> usize {
+        self.reader_sets[proc].len()
+    }
+
+    /// Commit `line` on behalf of `committer`: the committer becomes owner and
+    /// every *other* sharer must be invalidated (and, if the line is in its
+    /// speculative read set, aborted). Returns the processors to invalidate.
+    pub fn commit_line(&mut self, line: LineAddr, committer: ProcId) -> Vec<ProcId> {
+        assert!(committer < self.num_procs);
+        let entry = self.lines.entry(line).or_default();
+        let victims_bits = entry.sharers & !(1u64 << committer);
+        let victims = bits_to_procs(victims_bits);
+        entry.owner = Some(committer);
+        // All sharer registrations for this line are consumed: the victims
+        // are about to abort (which clears their registrations anyway) and
+        // the committer's own registration ends with its transaction.
+        let old_sharers = std::mem::take(&mut entry.sharers);
+        for proc in bits_to_procs(old_sharers) {
+            self.reader_sets[proc].remove(&line);
+        }
+        self.stats.lines_committed += 1;
+        self.stats.invalidations_sent += victims.len() as u64;
+        victims
+    }
+
+    /// Clear every sharer registration belonging to `proc` (called when that
+    /// processor commits or aborts its transaction).
+    pub fn clear_proc(&mut self, proc: ProcId) {
+        assert!(proc < self.num_procs);
+        let lines: Vec<LineAddr> = self.reader_sets[proc].drain().collect();
+        let bit = !(1u64 << proc);
+        for line in lines {
+            if let Some(entry) = self.lines.get_mut(&line) {
+                entry.sharers &= bit;
+            }
+        }
+    }
+
+    /// Total number of lines with any directory state.
+    #[must_use]
+    pub fn tracked_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+fn bits_to_procs(bits: u64) -> Vec<ProcId> {
+    let mut procs = Vec::with_capacity(bits.count_ones() as usize);
+    let mut b = bits;
+    while b != 0 {
+        let p = b.trailing_zeros() as ProcId;
+        procs.push(p);
+        b &= b - 1;
+    }
+    procs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sharer_and_query() {
+        let mut d = Directory::new(0, 4);
+        d.add_sharer(LineAddr(10), 1);
+        d.add_sharer(LineAddr(10), 3);
+        assert_eq!(d.sharers(LineAddr(10)), vec![1, 3]);
+        assert_eq!(d.sharers(LineAddr(11)), Vec::<ProcId>::new());
+        assert_eq!(d.stats().sharer_adds, 2);
+    }
+
+    #[test]
+    fn duplicate_sharer_not_double_counted() {
+        let mut d = Directory::new(0, 4);
+        d.add_sharer(LineAddr(10), 1);
+        d.add_sharer(LineAddr(10), 1);
+        assert_eq!(d.sharers(LineAddr(10)), vec![1]);
+        assert_eq!(d.stats().sharer_adds, 1);
+        assert_eq!(d.shared_line_count(1), 1);
+    }
+
+    #[test]
+    fn commit_invalidates_other_sharers_only() {
+        let mut d = Directory::new(0, 4);
+        d.add_sharer(LineAddr(5), 0);
+        d.add_sharer(LineAddr(5), 1);
+        d.add_sharer(LineAddr(5), 2);
+        let victims = d.commit_line(LineAddr(5), 1);
+        assert_eq!(victims, vec![0, 2]);
+        assert_eq!(d.owner(LineAddr(5)), Some(1));
+        // Sharer state consumed by the commit.
+        assert!(d.sharers(LineAddr(5)).is_empty());
+        assert_eq!(d.stats().invalidations_sent, 2);
+        assert_eq!(d.stats().lines_committed, 1);
+    }
+
+    #[test]
+    fn commit_of_unshared_line_invalidates_nobody() {
+        let mut d = Directory::new(0, 4);
+        let victims = d.commit_line(LineAddr(99), 2);
+        assert!(victims.is_empty());
+        assert_eq!(d.owner(LineAddr(99)), Some(2));
+    }
+
+    #[test]
+    fn clear_proc_removes_all_registrations() {
+        let mut d = Directory::new(0, 4);
+        d.add_sharer(LineAddr(1), 0);
+        d.add_sharer(LineAddr(2), 0);
+        d.add_sharer(LineAddr(2), 1);
+        d.clear_proc(0);
+        assert!(d.sharers(LineAddr(1)).is_empty());
+        assert_eq!(d.sharers(LineAddr(2)), vec![1]);
+        assert_eq!(d.shared_line_count(0), 0);
+        // Subsequent commits do not invalidate the cleared processor.
+        assert_eq!(d.commit_line(LineAddr(1), 2), Vec::<ProcId>::new());
+    }
+
+    #[test]
+    fn owner_survives_sharer_clearing() {
+        let mut d = Directory::new(0, 4);
+        d.add_sharer(LineAddr(7), 3);
+        d.commit_line(LineAddr(7), 3);
+        d.clear_proc(3);
+        assert_eq!(d.owner(LineAddr(7)), Some(3));
+    }
+
+    #[test]
+    fn sharers_conservative_across_commits() {
+        // A processor's registration persists until clear_proc, modelling the
+        // conservative clearing described in the module docs.
+        let mut d = Directory::new(0, 2);
+        d.add_sharer(LineAddr(3), 0);
+        let victims = d.commit_line(LineAddr(3), 1);
+        assert_eq!(victims, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "64 processors")]
+    fn rejects_too_many_procs() {
+        let _ = Directory::new(0, 65);
+    }
+
+    #[test]
+    fn tracked_lines_counts_entries() {
+        let mut d = Directory::new(0, 4);
+        d.add_sharer(LineAddr(1), 0);
+        d.add_sharer(LineAddr(2), 0);
+        d.commit_line(LineAddr(3), 1);
+        assert_eq!(d.tracked_lines(), 3);
+    }
+}

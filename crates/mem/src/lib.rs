@@ -1,0 +1,32 @@
+//! # htm-mem — memory hierarchy substrate
+//!
+//! This crate models the memory system the Scalable-TCC protocol of the
+//! paper runs on:
+//!
+//! * [`addr`] — byte addresses, cache-line addresses and the line-interleaved
+//!   mapping of lines to home directories (the paper's distributed shared
+//!   memory where "multiple directories map different segments of the
+//!   physical memory"),
+//! * [`cache`] — the private L1 data cache with per-line speculative
+//!   read/modify bits (the "RW bits" whose power cost Section VII and Fig. 3
+//!   quantify),
+//! * [`directory`] — full-bit-vector sharer and owner tracking per line
+//!   (Table II: "Full-bit vector sharer"),
+//! * [`memory`] — the single-ported, 100-cycle main memory.
+//!
+//! Everything here is policy-free: the TCC commit/abort protocol and the
+//! clock-gating mechanism are layered on top by the `htm-tcc` and
+//! `clockgate-htm` crates.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod addr;
+pub mod cache;
+pub mod directory;
+pub mod memory;
+
+pub use addr::{Addr, AddressMap, LineAddr};
+pub use cache::{AccessOutcome, CacheStats, SpecCache};
+pub use directory::{Directory, DirectoryStats};
+pub use memory::MainMemory;

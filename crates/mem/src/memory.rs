@@ -1,0 +1,119 @@
+//! Main memory model (Table II: 1 GB, 100-cycle latency, single R/W port).
+
+use serde::{Deserialize, Serialize};
+
+use htm_sim::port::{PortStats, SinglePortResource};
+use htm_sim::Cycle;
+
+use crate::addr::Addr;
+
+/// The single-ported main memory behind a directory (one bank per home node).
+///
+/// Only timing is modelled (data values never matter to the protocol or the
+/// energy model); the capacity is used to validate workload address ranges.
+/// The single read/write port limits *issue bandwidth* (one new access can
+/// start every `port_occupancy` cycles) while each access still takes the
+/// full `latency` before its data is available — i.e. the DRAM bank is
+/// pipelined, it is not blocked for the whole 100-cycle latency.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MainMemory {
+    capacity_bytes: u64,
+    latency: u64,
+    port: SinglePortResource,
+}
+
+/// Default number of cycles the single R/W port is tied up per access
+/// (the bandwidth limit of the port, as opposed to the access latency).
+pub const DEFAULT_PORT_OCCUPANCY: u64 = 8;
+
+impl MainMemory {
+    /// Create a memory of `capacity_bytes` with the given access latency and
+    /// per-access port occupancy.
+    #[must_use]
+    pub fn new(capacity_bytes: u64, latency: u64, port_occupancy: u64) -> Self {
+        Self { capacity_bytes, latency, port: SinglePortResource::new(port_occupancy) }
+    }
+
+    /// Build from a [`htm_sim::config::SimConfig`].
+    #[must_use]
+    pub fn from_config(cfg: &htm_sim::config::SimConfig) -> Self {
+        Self::new(cfg.memory_bytes, cfg.memory_latency, cfg.memory_port_occupancy)
+    }
+
+    /// Capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Access latency in cycles.
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Whether `addr` falls inside the installed memory.
+    #[must_use]
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr < self.capacity_bytes
+    }
+
+    /// Issue an access at `now`; returns the cycle at which the data is
+    /// available (port issue queueing + access latency).
+    pub fn access(&mut self, now: Cycle) -> Cycle {
+        // `SinglePortResource::access` returns when the port frees up; the
+        // data itself arrives a full access latency after the access started.
+        let port_free = self.port.access(now);
+        let started = port_free - self.port.latency();
+        started + self.latency
+    }
+
+    /// Port statistics (accesses, busy cycles, queueing).
+    #[must_use]
+    pub fn stats(&self) -> PortStats {
+        self.port.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_sim::config::SimConfig;
+
+    #[test]
+    fn from_config_uses_table2_values() {
+        let mem = MainMemory::from_config(&SimConfig::table2(4));
+        assert_eq!(mem.capacity_bytes(), 1 << 30);
+        assert_eq!(mem.latency(), 100);
+        let mut m = mem;
+        assert_eq!(m.access(0), 100);
+        // The port is busy for 16 cycles per access (pipelined bank).
+        assert_eq!(m.access(0), 116);
+    }
+
+    #[test]
+    fn port_limits_issue_bandwidth_not_latency() {
+        let mut m = MainMemory::new(1 << 20, 100, 8);
+        // Back-to-back accesses are pipelined: the second starts 8 cycles
+        // after the first, and each takes 100 cycles end to end.
+        assert_eq!(m.access(0), 100);
+        assert_eq!(m.access(0), 108);
+        assert_eq!(m.access(0), 116);
+        assert_eq!(m.stats().accesses, 3);
+    }
+
+    #[test]
+    fn idle_bank_services_at_full_latency() {
+        let mut m = MainMemory::new(1 << 20, 100, 8);
+        m.access(0);
+        assert_eq!(m.access(1000), 1100);
+    }
+
+    #[test]
+    fn contains_checks_capacity() {
+        let m = MainMemory::new(1024, 10, 4);
+        assert!(m.contains(0));
+        assert!(m.contains(1023));
+        assert!(!m.contains(1024));
+    }
+}

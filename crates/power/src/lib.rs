@@ -1,0 +1,28 @@
+//! # htm-power — power and energy model
+//!
+//! Rust implementation of Sections IV and VII of the paper:
+//!
+//! * [`model`] — the Alpha 21264 power model in 65 nm (Table I): the power
+//!   factors consumed in run mode, during a cache miss, during commit and
+//!   while clock-gated, derived from the published Alpha 21264 component
+//!   breakdown, a 20 % active-leakage assumption and the TCC-augmented data
+//!   cache,
+//! * [`cache_power`] — the CACTI-style estimate of the extra power the TCC
+//!   read/write tracking bits, store-address FIFO and commit controller add
+//!   to the data cache (Fig. 3),
+//! * [`energy`] — the energy and average-power accounting of Section IV
+//!   (Eqs. 1–7), computed two independent ways (per-processor state
+//!   integration and the interval formulation) so they can cross-check each
+//!   other, plus the gated-vs-ungated comparison metrics reported in
+//!   Figs. 4–6 (speed-up, energy reduction, average-power reduction).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache_power;
+pub mod energy;
+pub mod model;
+
+pub use cache_power::{CachePowerModel, TccCacheBreakdown};
+pub use energy::{ComparisonReport, EnergyBreakdown, EnergyReport};
+pub use model::PowerModel;

@@ -1,0 +1,77 @@
+//! # htm-sim — deterministic cycle-driven simulation engine
+//!
+//! This crate is the timing substrate used by the *Clock Gate on Abort*
+//! reproduction. The original paper evaluates its proposal inside the M5
+//! full-system simulator; we replace M5 with a compact, deterministic,
+//! cycle-driven engine that provides exactly the facilities the protocol and
+//! power models need:
+//!
+//! * a global [`Cycle`] counter and helpers for latency arithmetic,
+//! * [`config::SimConfig`], the machine description of Table II of the paper
+//!   (core count, L1 geometry, bus, directory and memory latencies),
+//! * [`queue::TimedQueue`], a delivery-time-ordered message queue used for
+//!   every point-to-point message in the coherence / commit protocol,
+//! * [`bus::SplitTransactionBus`], an occupancy-modelling split-transaction
+//!   bus with round-robin arbitration,
+//! * [`port::SinglePortResource`], a single-ported resource model used for
+//!   the main memory (Table II: "Single Read/Write Port"),
+//! * [`rng::DeterministicRng`], a seedable, portable PRNG so that every
+//!   simulation run is bit-for-bit reproducible,
+//! * [`stats`] and [`interval`], the statistic collectors feeding the
+//!   energy-accounting equations (Eqs. 1–7) of the paper.
+//!
+//! The engine is intentionally synchronous and single-threaded *per
+//! simulation*: determinism and debuggability of the protocol matter more
+//! than raw simulation speed, and the experiment harness parallelises across
+//! independent simulations instead.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bus;
+pub mod config;
+pub mod interval;
+pub mod port;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+
+/// A simulation cycle (one tick of the global clock).
+///
+/// All latencies in the simulator are expressed in cycles of the processor
+/// clock; the directories and the bus are modelled as running on the same
+/// clock, matching the paper's single-clock-domain timing parameters
+/// (Table II).
+pub type Cycle = u64;
+
+/// Identifier of a processor (core) in the simulated system.
+pub type ProcId = usize;
+
+/// Identifier of a directory (home node) in the simulated system.
+pub type DirId = usize;
+
+/// Saturating cycle addition helper.
+///
+/// Timer arithmetic in the gating protocol can produce very large renewal
+/// windows (the staircase back-off of Eq. 8 doubles at exponentially spaced
+/// abort counts); saturating arithmetic keeps that well-defined.
+#[inline]
+#[must_use]
+pub fn cycles_after(now: Cycle, latency: u64) -> Cycle {
+    now.saturating_add(latency)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_after_adds_latency() {
+        assert_eq!(cycles_after(10, 5), 15);
+    }
+
+    #[test]
+    fn cycles_after_saturates() {
+        assert_eq!(cycles_after(Cycle::MAX - 1, 10), Cycle::MAX);
+    }
+}

@@ -1,0 +1,232 @@
+//! Lightweight statistic collectors.
+//!
+//! The protocol and experiment layers accumulate event counts (commits,
+//! aborts, renewals, gated cycles, …) and distributions (aborts per
+//! transaction, gating-window lengths). These helpers keep the collection
+//! allocation-free in the per-cycle hot path.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Create a counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(0)
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    #[must_use]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// Running summary (count / sum / min / max / mean) of a stream of samples.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Create an empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of the samples, or `None` if no sample was recorded.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Smallest sample, or `None` if empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merge another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-bucket histogram for small non-negative integer samples
+/// (e.g. aborts suffered per transaction). Samples beyond the last bucket
+/// are clamped into it, mirroring the paper's 8-bit saturating abort counter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `buckets` buckets covering values
+    /// `0..buckets-1`, the last one saturating.
+    #[must_use]
+    pub fn new(buckets: usize) -> Self {
+        Self { buckets: vec![0; buckets.max(1)], total: 0 }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (value as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in bucket `idx` (clamped).
+    #[must_use]
+    pub fn bucket(&self, idx: usize) -> u64 {
+        self.buckets[idx.min(self.buckets.len() - 1)]
+    }
+
+    /// All buckets.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Mean of the recorded samples treating the saturating bucket at its
+    /// lower edge; `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let sum: f64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| i as f64 * c as f64)
+            .sum();
+        Some(sum / self.total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_increments() {
+        let mut c = Counter::new();
+        c.incr();
+        c.incr();
+        c.add(3);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn summary_tracks_min_max_mean() {
+        let mut s = Summary::new();
+        for v in [3.0, 1.0, 2.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(3.0));
+        assert!((s.mean().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_has_no_mean() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn summary_merge() {
+        let mut a = Summary::new();
+        a.record(1.0);
+        a.record(2.0);
+        let mut b = Summary::new();
+        b.record(10.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), Some(10.0));
+        let empty = Summary::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn histogram_saturates_last_bucket() {
+        let mut h = Histogram::new(4);
+        h.record(0);
+        h.record(3);
+        h.record(250);
+        assert_eq!(h.bucket(3), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let mut h = Histogram::new(10);
+        h.record(2);
+        h.record(4);
+        assert!((h.mean().unwrap() - 3.0).abs() < 1e-12);
+        assert_eq!(Histogram::new(5).mean(), None);
+    }
+}

@@ -1,0 +1,252 @@
+//! Per-directory commit arbitration.
+//!
+//! Each directory owns the sharer/owner state of the lines homed at it (from
+//! `htm-mem`) plus the commit-time machinery of Scalable TCC:
+//!
+//! * the **Marked** bits — processors that have obtained a TID and announced
+//!   that they will commit lines homed here (the paper's Fig. 2(e) circuit
+//!   OR-reduces exactly these bits),
+//! * the **grant** logic — commits are serviced one at a time per directory,
+//!   oldest TID first, which is what makes a younger committer "spin at the
+//!   commit instruction" while an older one occupies the directory,
+//! * the **service port** used to model the 10-cycle directory occupancy of
+//!   miss requests.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use htm_mem::{Directory, LineAddr};
+use htm_sim::port::SinglePortResource;
+use htm_sim::{Cycle, ProcId};
+
+use crate::token::Tid;
+
+/// Commit-related event counters for one directory.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirCtrlStats {
+    /// Commit requests marked at this directory.
+    pub marks: u64,
+    /// Commit grants issued.
+    pub grants: u64,
+    /// Total cycles the directory spent busy flushing commits.
+    pub commit_busy_cycles: u64,
+}
+
+/// One directory of the distributed shared memory, with commit arbitration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DirCtrl {
+    /// Sharer / owner tracking (substrate).
+    pub directory: Directory,
+    /// Occupancy model for miss servicing.
+    port: SinglePortResource,
+    /// Processors that intend to commit here, keyed by TID (oldest first).
+    marked: BTreeMap<Tid, ProcId>,
+    /// The processor currently granted the directory for commit, and the
+    /// cycle at which it will release it.
+    busy: Option<(ProcId, Cycle)>,
+    stats: DirCtrlStats,
+}
+
+impl DirCtrl {
+    /// Create directory `id` for `num_procs` processors with the given
+    /// service latency (Table II: 10 cycles).
+    #[must_use]
+    pub fn new(id: usize, num_procs: usize, service_latency: u64) -> Self {
+        Self {
+            directory: Directory::new(id, num_procs),
+            port: SinglePortResource::new(service_latency),
+            marked: BTreeMap::new(),
+            busy: None,
+            stats: DirCtrlStats::default(),
+        }
+    }
+
+    /// Directory identifier.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.directory.id()
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> DirCtrlStats {
+        self.stats
+    }
+
+    /// Service a miss request arriving at `now`; returns the cycle at which
+    /// the directory lookup completes (before main memory is consulted).
+    pub fn service_miss(&mut self, now: Cycle) -> Cycle {
+        self.port.access(now)
+    }
+
+    /// Mark `proc` (with commit timestamp `tid`) as intending to commit here.
+    pub fn mark(&mut self, tid: Tid, proc: ProcId) {
+        self.marked.insert(tid, proc);
+        self.stats.marks += 1;
+    }
+
+    /// Remove `proc`'s mark (after it finished committing here or aborted
+    /// before committing).
+    pub fn unmark(&mut self, proc: ProcId) {
+        self.marked.retain(|_, &mut p| p != proc);
+    }
+
+    /// Whether `proc` currently has its Marked bit set here.
+    #[must_use]
+    pub fn is_marked(&self, proc: ProcId) -> bool {
+        self.marked.values().any(|&p| p == proc)
+    }
+
+    /// Bit vector of marked processors (for the [`crate::hooks::SystemView`]).
+    #[must_use]
+    pub fn marked_bits(&self) -> u64 {
+        self.marked.values().fold(0u64, |acc, &p| acc | (1u64 << p))
+    }
+
+    /// The oldest (lowest-TID) marked processor, if any.
+    #[must_use]
+    pub fn oldest_marked(&self) -> Option<(Tid, ProcId)> {
+        self.marked.iter().next().map(|(&tid, &proc)| (tid, proc))
+    }
+
+    /// Whether the directory is currently occupied by a committing processor
+    /// at cycle `now`. Frees the directory automatically once the occupant's
+    /// release cycle has passed.
+    pub fn is_busy(&mut self, now: Cycle) -> bool {
+        if let Some((_, until)) = self.busy {
+            if now >= until {
+                self.busy = None;
+            }
+        }
+        self.busy.is_some()
+    }
+
+    /// Whether `proc` (holding `tid`) would be granted the directory at `now`:
+    /// the directory must be idle and `proc` must be the oldest-TID processor
+    /// currently marked here. Does not reserve anything.
+    pub fn can_grant(&mut self, proc: ProcId, tid: Tid, now: Cycle) -> bool {
+        if self.is_busy(now) {
+            return false;
+        }
+        matches!(self.oldest_marked(), Some((t, p)) if p == proc && t == tid)
+    }
+
+    /// Reserve the directory for `proc` until `release_at` (the caller has
+    /// already checked [`Self::can_grant`] and computed the flush time).
+    pub fn occupy(&mut self, proc: ProcId, now: Cycle, release_at: Cycle) {
+        self.busy = Some((proc, release_at));
+        self.stats.grants += 1;
+        self.stats.commit_busy_cycles += release_at.saturating_sub(now);
+    }
+
+    /// Attempt to grant the directory to `proc` (holding `tid`) at `now`.
+    ///
+    /// The grant succeeds iff the directory is idle and `proc` is the
+    /// oldest-TID processor currently marked here. On success the directory
+    /// is reserved until `release_at`.
+    pub fn try_grant(&mut self, proc: ProcId, tid: Tid, now: Cycle, release_at: Cycle) -> bool {
+        if self.can_grant(proc, tid, now) {
+            self.occupy(proc, now, release_at);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The processor currently granted the directory, if any (ignores expiry;
+    /// callers use [`Self::is_busy`] for timing decisions).
+    #[must_use]
+    pub fn current_committer(&self) -> Option<ProcId> {
+        self.busy.map(|(p, _)| p)
+    }
+
+    /// Commit a batch of lines on behalf of `committer`; returns, per line,
+    /// the processors that must be invalidated.
+    pub fn commit_lines(&mut self, lines: &[LineAddr], committer: ProcId) -> Vec<(LineAddr, Vec<ProcId>)> {
+        lines.iter().map(|&l| (l, self.directory.commit_line(l, committer))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_oldest_tid_only() {
+        let mut d = DirCtrl::new(0, 4, 10);
+        d.mark(5, 2);
+        d.mark(3, 1);
+        assert!(!d.try_grant(2, 5, 0, 100), "younger TID must wait");
+        assert!(d.try_grant(1, 3, 0, 100), "oldest TID gets the directory");
+        assert_eq!(d.current_committer(), Some(1));
+    }
+
+    #[test]
+    fn busy_directory_rejects_grants_until_release() {
+        let mut d = DirCtrl::new(0, 4, 10);
+        d.mark(1, 0);
+        d.mark(2, 1);
+        assert!(d.try_grant(0, 1, 0, 50));
+        d.unmark(0);
+        assert!(!d.try_grant(1, 2, 10, 60), "still busy");
+        assert!(d.try_grant(1, 2, 50, 90), "released at cycle 50");
+    }
+
+    #[test]
+    fn unmark_removes_processor() {
+        let mut d = DirCtrl::new(0, 4, 10);
+        d.mark(7, 3);
+        assert!(d.is_marked(3));
+        d.unmark(3);
+        assert!(!d.is_marked(3));
+        assert_eq!(d.oldest_marked(), None);
+    }
+
+    #[test]
+    fn marked_bits_reflect_all_marked_procs() {
+        let mut d = DirCtrl::new(0, 8, 10);
+        d.mark(4, 2);
+        d.mark(9, 5);
+        assert_eq!(d.marked_bits(), (1 << 2) | (1 << 5));
+    }
+
+    #[test]
+    fn service_miss_uses_port_occupancy() {
+        let mut d = DirCtrl::new(0, 4, 10);
+        assert_eq!(d.service_miss(0), 10);
+        assert_eq!(d.service_miss(0), 20);
+    }
+
+    #[test]
+    fn commit_lines_reports_victims_per_line() {
+        let mut d = DirCtrl::new(0, 4, 10);
+        d.directory.add_sharer(LineAddr(4), 1);
+        d.directory.add_sharer(LineAddr(8), 1);
+        d.directory.add_sharer(LineAddr(8), 2);
+        let result = d.commit_lines(&[LineAddr(4), LineAddr(8)], 3);
+        assert_eq!(result[0], (LineAddr(4), vec![1]));
+        assert_eq!(result[1], (LineAddr(8), vec![1, 2]));
+    }
+
+    #[test]
+    fn grant_requires_matching_tid() {
+        let mut d = DirCtrl::new(0, 4, 10);
+        d.mark(3, 1);
+        // Same processor but stale TID is refused.
+        assert!(!d.try_grant(1, 4, 0, 10));
+        assert!(d.try_grant(1, 3, 0, 10));
+    }
+
+    #[test]
+    fn stats_count_marks_and_grants() {
+        let mut d = DirCtrl::new(0, 4, 10);
+        d.mark(1, 0);
+        d.mark(2, 1);
+        let _ = d.try_grant(0, 1, 0, 30);
+        let s = d.stats();
+        assert_eq!(s.marks, 2);
+        assert_eq!(s.grants, 1);
+        assert_eq!(s.commit_busy_cycles, 30);
+    }
+}

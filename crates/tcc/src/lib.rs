@@ -1,0 +1,49 @@
+//! # htm-tcc — Scalable-TCC hardware transactional memory substrate
+//!
+//! This crate implements the baseline system of the paper: a lazy-versioning,
+//! lazy-conflict-detection hardware transactional memory in the style of
+//! Scalable TCC (Chafi et al., HPCA 2007), running on the distributed
+//! directory / split-transaction-bus machine described in Table II.
+//!
+//! The moving parts:
+//!
+//! * [`txn`] — transactional workloads as per-thread traces of transactions,
+//!   each a sequence of `Read` / `Write` / `Compute` operations,
+//! * [`token`] — the centralized token vendor that issues commit timestamps
+//!   (TIDs),
+//! * [`dirctrl`] — per-directory commit arbitration (the "Marked" bits and
+//!   TID-ordered grants) layered over the sharer-tracking directory of
+//!   `htm-mem`,
+//! * [`processor`] — the per-core execution state machine (transaction
+//!   execution, miss stalls, commit spin, commit flush, abort roll-back,
+//!   clock-gated standby),
+//! * [`hooks`] — the [`hooks::GatingHook`] trait through which the paper's
+//!   clock-gate-on-abort mechanism (implemented in the `clockgate-htm` crate)
+//!   observes aborts and drives gating/ungating, plus the no-op baseline,
+//! * [`system`] — the cycle-driven top level that wires processors,
+//!   directories, token vendor, bus and memory together and produces a
+//!   [`stats::RunOutcome`],
+//! * [`stats`] — counters and per-state cycle accounting consumed by the
+//!   energy model in `htm-power`.
+//!
+//! The substrate is deliberately policy-free with respect to energy: it only
+//! *measures* how many cycles each processor spends running, miss-stalled,
+//! committing and clock-gated; converting those into energy is the job of
+//! `htm-power`, and deciding *when* to gate is the job of the hook.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dirctrl;
+pub mod hooks;
+pub mod processor;
+pub mod stats;
+pub mod system;
+pub mod token;
+pub mod txn;
+
+pub use hooks::{AbortAction, GateCommand, GatingHook, NoGating, SystemView, UngateDecision};
+pub use stats::{ProcStats, RunOutcome, StateCycles};
+pub use system::TccSystem;
+pub use token::{Tid, TokenVendor};
+pub use txn::{Op, ThreadTrace, Transaction, TxId, WorkloadTrace};

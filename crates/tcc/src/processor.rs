@@ -1,0 +1,396 @@
+//! Per-core execution state machine.
+//!
+//! Each simulated processor executes the transactions of one [`ThreadTrace`]
+//! in order. The phases follow the life of a TCC transaction as described in
+//! Sections II, III and V of the paper:
+//!
+//! * non-transactional prologue → transactional execution (loads set SR bits,
+//!   stores are buffered with SM bits),
+//! * miss stalls while the distributed directory + memory service a line,
+//! * at the end of the atomic region: TID acquisition from the token vendor,
+//!   then spinning at the commit instruction until each write-set directory
+//!   grants access in TID order,
+//! * the actual commit flush (during which other speculative readers of the
+//!   committed lines are invalidated and abort),
+//! * abort roll-back and retry — either immediately / after a back-off spin
+//!   (ungated baseline) or through the clock-gated standby of the paper's
+//!   proposal, which ends with a "Self Abort" when the "on" signal arrives.
+//!
+//! The heavy lifting (interaction with the bus, directories, token vendor and
+//! the gating hook) lives in [`crate::system::TccSystem`]; this module owns
+//! only per-processor state so it can be unit-tested in isolation.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use htm_mem::{LineAddr, SpecCache};
+use htm_sim::queue::TimedQueue;
+use htm_sim::{Cycle, DirId, ProcId};
+
+use crate::stats::{PowerState, ProcStats, StateCycles};
+use crate::txn::{ThreadTrace, Transaction, TxId};
+
+/// An event delivered to a processor through the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcEvent {
+    /// A directory committed a line this processor had speculatively read;
+    /// the processor must abort its current transaction (and, under the
+    /// paper's proposal, is clock-gated).
+    Invalidation {
+        /// The committed line.
+        line: LineAddr,
+        /// Directory that generated the invalidation.
+        dir: DirId,
+        /// The committing (aborting) processor.
+        aborter: ProcId,
+        /// Static transaction the aborter was committing.
+        aborter_tx: TxId,
+    },
+    /// The "on" command from a directory: wake up, self-abort, retry.
+    TurnOn {
+        /// Directory that issued the command.
+        dir: DirId,
+    },
+}
+
+/// One step of a commit plan: a directory and the write-set lines homed there.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitStep {
+    /// Target directory.
+    pub dir: DirId,
+    /// Write-set lines homed at that directory.
+    pub lines: Vec<LineAddr>,
+}
+
+/// Execution phase of a processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Phase {
+    /// Executing the non-transactional prologue of the next transaction.
+    PreCompute {
+        /// Cycles of prologue remaining.
+        remaining: u64,
+    },
+    /// Executing operations inside the atomic region.
+    Executing {
+        /// Index of the next operation to issue.
+        op_idx: usize,
+        /// Remaining cycles of the operation currently in flight (compute
+        /// cycles or the L1 hit latency).
+        remaining: u64,
+    },
+    /// Stalled waiting for a miss fill.
+    WaitMiss {
+        /// Operation index to resume at (the memory op that missed has
+        /// already been charged; execution resumes at `op_idx`).
+        op_idx: usize,
+        /// Cycle at which the fill completes.
+        until: Cycle,
+        /// The missing line (filled into the cache on completion).
+        line: LineAddr,
+        /// Whether the access was a store (sets the SM bit on fill).
+        is_store: bool,
+    },
+    /// Waiting for the token vendor to return a TID.
+    WaitToken {
+        /// Cycle at which the TID reply arrives.
+        until: Cycle,
+    },
+    /// Spinning at the commit instruction, waiting for the current target
+    /// directory to grant access (full run power — the "futile spin" the
+    /// paper's contention manager tries to eliminate).
+    SpinCommit {
+        /// Index into the commit plan of the directory being waited on.
+        step_idx: usize,
+    },
+    /// Granted a directory; flushing the write-set lines homed there.
+    Committing {
+        /// Index into the commit plan of the directory being flushed.
+        step_idx: usize,
+        /// Cycle at which the flush completes.
+        until: Cycle,
+    },
+    /// Rolling back after an abort (check-point restore).
+    Aborting {
+        /// Cycle at which the roll-back completes.
+        until: Cycle,
+        /// Back-off spin to perform after the roll-back (ungated contention
+        /// management), in cycles.
+        backoff: Cycle,
+    },
+    /// Spinning in a contention-management back-off window (run power).
+    Backoff {
+        /// Cycle at which the back-off expires.
+        until: Cycle,
+    },
+    /// Received "Stop Clock"; draining the in-flight instruction.
+    GateDraining {
+        /// Cycle at which the drain completes and the clocks stop.
+        until: Cycle,
+    },
+    /// Clocks gated: consuming only leakage + PLL power.
+    Gated,
+    /// Received "on"; waking up and performing the self-abort.
+    WakeRestart {
+        /// Cycle at which the processor is ready to re-execute.
+        until: Cycle,
+    },
+    /// All transactions committed; spinning at the final synchronization
+    /// point (run power) until the whole parallel section ends.
+    Done,
+}
+
+impl Phase {
+    /// The power-model state corresponding to this phase.
+    #[must_use]
+    pub fn power_state(&self) -> PowerState {
+        match self {
+            Phase::WaitMiss { .. } => PowerState::Miss,
+            Phase::Committing { .. } => PowerState::Commit,
+            Phase::Gated => PowerState::Gated,
+            // Everything else burns full run power: execution, commit spin,
+            // back-off spin, roll-back, drain, wake-up and the final barrier.
+            _ => PowerState::Run,
+        }
+    }
+
+    /// Whether the processor currently counts as clock-gated from the point
+    /// of view of the hook's `SystemView` (the drain and wake transitions are
+    /// included: the processor is not executing instructions).
+    #[must_use]
+    pub fn is_gated_like(&self) -> bool {
+        matches!(self, Phase::Gated | Phase::GateDraining { .. } | Phase::WakeRestart { .. })
+    }
+
+    /// Whether a transaction execution attempt is currently in progress (used
+    /// to decide if an incoming invalidation aborts anything).
+    #[must_use]
+    pub fn in_transaction(&self) -> bool {
+        matches!(
+            self,
+            Phase::Executing { .. }
+                | Phase::WaitMiss { .. }
+                | Phase::WaitToken { .. }
+                | Phase::SpinCommit { .. }
+        )
+    }
+}
+
+/// A simulated processor core.
+#[derive(Debug)]
+pub struct Processor {
+    /// This processor's identifier.
+    pub id: ProcId,
+    /// The thread of transactions it executes.
+    pub thread: ThreadTrace,
+    /// Index of the transaction currently being executed (or about to be).
+    pub tx_idx: usize,
+    /// Current execution phase.
+    pub phase: Phase,
+    /// Private L1 data cache (timing model).
+    pub cache: SpecCache,
+    /// Exact speculative read set of the current transaction attempt.
+    pub read_set: HashSet<LineAddr>,
+    /// Exact speculative write set of the current transaction attempt.
+    pub write_set: HashSet<LineAddr>,
+    /// Directories touched (read or written) by the current attempt; used to
+    /// clear sharer registrations on commit/abort.
+    pub dirs_touched: HashSet<DirId>,
+    /// Commit plan (one step per write-set directory), built when the
+    /// transaction reaches its commit point.
+    pub commit_plan: Vec<CommitStep>,
+    /// TID held for the current commit attempt.
+    pub tid: Option<u64>,
+    /// Aborts suffered by the current transaction so far.
+    pub aborts_this_tx: u64,
+    /// Cycles spent in the current execution attempt (discarded on abort).
+    pub attempt_cycles: u64,
+    /// Inbox of protocol events addressed to this processor.
+    pub inbox: TimedQueue<ProcEvent>,
+    /// Protocol counters.
+    pub stats: ProcStats,
+    /// Power-state cycle accounting.
+    pub state_cycles: StateCycles,
+    /// Cycle at which this processor started its first transaction.
+    pub first_tx_start: Option<Cycle>,
+}
+
+impl Processor {
+    /// Create a processor executing `thread`, with an L1 built from `cache`.
+    #[must_use]
+    pub fn new(id: ProcId, thread: ThreadTrace, cache: SpecCache) -> Self {
+        let phase = Self::entry_phase_for(&thread, 0);
+        Self {
+            id,
+            thread,
+            tx_idx: 0,
+            phase,
+            cache,
+            read_set: HashSet::new(),
+            write_set: HashSet::new(),
+            dirs_touched: HashSet::new(),
+            commit_plan: Vec::new(),
+            tid: None,
+            aborts_this_tx: 0,
+            attempt_cycles: 0,
+            inbox: TimedQueue::new(),
+            stats: ProcStats::new(),
+            state_cycles: StateCycles::default(),
+            first_tx_start: None,
+        }
+    }
+
+    fn entry_phase_for(thread: &ThreadTrace, tx_idx: usize) -> Phase {
+        match thread.transactions.get(tx_idx) {
+            None => Phase::Done,
+            Some(tx) if tx.pre_compute > 0 => Phase::PreCompute { remaining: tx.pre_compute },
+            Some(_) => Phase::Executing { op_idx: 0, remaining: 0 },
+        }
+    }
+
+    /// The transaction currently being executed (or retried), if any.
+    #[must_use]
+    pub fn current_tx(&self) -> Option<&Transaction> {
+        self.thread.transactions.get(self.tx_idx)
+    }
+
+    /// Static id of the current transaction, if the processor is inside (or
+    /// about to commit) one.
+    #[must_use]
+    pub fn current_tx_id(&self) -> Option<TxId> {
+        if matches!(self.phase, Phase::Done) {
+            None
+        } else {
+            self.current_tx().map(|t| t.tx_id)
+        }
+    }
+
+    /// Whether this processor has executed everything assigned to it.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        matches!(self.phase, Phase::Done)
+    }
+
+    /// Reset all per-attempt speculative state (read/write sets, commit plan,
+    /// TID). The cache and directory bookkeeping is handled by the caller.
+    pub fn clear_attempt_state(&mut self) {
+        self.read_set.clear();
+        self.write_set.clear();
+        self.commit_plan.clear();
+        self.tid = None;
+        self.attempt_cycles = 0;
+    }
+
+    /// Move to the beginning of the atomic region of the current transaction
+    /// (used when retrying after an abort; the prologue is not re-executed).
+    pub fn restart_transaction(&mut self) {
+        self.phase = Phase::Executing { op_idx: 0, remaining: 0 };
+    }
+
+    /// Advance to the next transaction after a commit. Returns `true` if
+    /// there is another transaction to run.
+    pub fn advance_to_next_tx(&mut self) -> bool {
+        self.tx_idx += 1;
+        self.aborts_this_tx = 0;
+        self.phase = Self::entry_phase_for(&self.thread, self.tx_idx);
+        !self.is_done()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::{Op, Transaction};
+
+    fn cache() -> SpecCache {
+        SpecCache::new(16, 2)
+    }
+
+    fn thread() -> ThreadTrace {
+        ThreadTrace::new(vec![
+            Transaction::with_pre_compute(0x100, 5, vec![Op::Read(0), Op::Compute(3)]),
+            Transaction::new(0x200, vec![Op::Write(64)]),
+        ])
+    }
+
+    #[test]
+    fn starts_in_precompute_when_prologue_exists() {
+        let p = Processor::new(0, thread(), cache());
+        assert_eq!(p.phase, Phase::PreCompute { remaining: 5 });
+        assert_eq!(p.current_tx_id(), Some(0x100));
+        assert!(!p.is_done());
+    }
+
+    #[test]
+    fn empty_thread_is_immediately_done() {
+        let p = Processor::new(0, ThreadTrace::default(), cache());
+        assert!(p.is_done());
+        assert_eq!(p.current_tx_id(), None);
+    }
+
+    #[test]
+    fn advance_moves_through_transactions() {
+        let mut p = Processor::new(0, thread(), cache());
+        assert!(p.advance_to_next_tx());
+        assert_eq!(p.current_tx_id(), Some(0x200));
+        // Second transaction has no prologue.
+        assert_eq!(p.phase, Phase::Executing { op_idx: 0, remaining: 0 });
+        assert!(!p.advance_to_next_tx());
+        assert!(p.is_done());
+    }
+
+    #[test]
+    fn clear_attempt_state_resets_speculative_bookkeeping() {
+        let mut p = Processor::new(0, thread(), cache());
+        p.read_set.insert(LineAddr(1));
+        p.write_set.insert(LineAddr(2));
+        p.tid = Some(7);
+        p.attempt_cycles = 99;
+        p.commit_plan.push(CommitStep { dir: 0, lines: vec![LineAddr(2)] });
+        p.clear_attempt_state();
+        assert!(p.read_set.is_empty());
+        assert!(p.write_set.is_empty());
+        assert!(p.commit_plan.is_empty());
+        assert_eq!(p.tid, None);
+        assert_eq!(p.attempt_cycles, 0);
+    }
+
+    #[test]
+    fn restart_goes_back_to_first_op_without_prologue() {
+        let mut p = Processor::new(0, thread(), cache());
+        p.phase = Phase::SpinCommit { step_idx: 0 };
+        p.restart_transaction();
+        assert_eq!(p.phase, Phase::Executing { op_idx: 0, remaining: 0 });
+    }
+
+    #[test]
+    fn phase_power_state_mapping_follows_table1_semantics() {
+        assert_eq!(Phase::Executing { op_idx: 0, remaining: 0 }.power_state(), PowerState::Run);
+        assert_eq!(Phase::SpinCommit { step_idx: 0 }.power_state(), PowerState::Run);
+        assert_eq!(Phase::Backoff { until: 10 }.power_state(), PowerState::Run);
+        assert_eq!(Phase::Done.power_state(), PowerState::Run);
+        assert_eq!(
+            Phase::WaitMiss { op_idx: 0, until: 5, line: LineAddr(0), is_store: false }.power_state(),
+            PowerState::Miss
+        );
+        assert_eq!(Phase::Committing { step_idx: 0, until: 9 }.power_state(), PowerState::Commit);
+        assert_eq!(Phase::Gated.power_state(), PowerState::Gated);
+    }
+
+    #[test]
+    fn gated_like_covers_transitions() {
+        assert!(Phase::Gated.is_gated_like());
+        assert!(Phase::GateDraining { until: 1 }.is_gated_like());
+        assert!(Phase::WakeRestart { until: 1 }.is_gated_like());
+        assert!(!Phase::Executing { op_idx: 0, remaining: 0 }.is_gated_like());
+    }
+
+    #[test]
+    fn in_transaction_excludes_done_and_gated() {
+        assert!(Phase::Executing { op_idx: 0, remaining: 0 }.in_transaction());
+        assert!(Phase::SpinCommit { step_idx: 0 }.in_transaction());
+        assert!(!Phase::Gated.in_transaction());
+        assert!(!Phase::Done.in_transaction());
+        assert!(!Phase::PreCompute { remaining: 3 }.in_transaction());
+    }
+}

@@ -1,0 +1,268 @@
+//! Execution statistics produced by a simulation run.
+//!
+//! The energy model of the paper (Section IV) needs, for every processor, the
+//! number of cycles spent in each of four power-relevant states — full-speed
+//! execution, cache-miss stall, commit flush and clock-gated standby — plus
+//! the interval decomposition (`Xi`, `αi`, `βi`). [`RunOutcome`] carries all
+//! of that, together with protocol-level counters (commits, aborts,
+//! renewals) used by the experiment reports.
+
+use serde::{Deserialize, Serialize};
+
+use htm_sim::bus::BusStats;
+use htm_sim::interval::IntervalTracker;
+use htm_sim::stats::Histogram;
+use htm_sim::Cycle;
+
+/// The four power-relevant processor states of the paper's model (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PowerState {
+    /// Executing instructions, spinning at the commit instruction, executing
+    /// non-transactional code or spinning at a synchronization point — full
+    /// run-mode power (factor 1.0).
+    Run,
+    /// Stalled waiting for an L1 miss to be serviced (factor 0.32).
+    Miss,
+    /// Flushing the write set into a directory during commit (factor 0.44).
+    Commit,
+    /// Clock-gated standby (factor 0.20 — leakage plus the always-on PLL).
+    Gated,
+}
+
+/// Cycles a single processor spent in each power state.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateCycles {
+    /// Cycles at full run-mode power.
+    pub run: u64,
+    /// Cycles stalled on cache misses.
+    pub miss: u64,
+    /// Cycles spent flushing commits.
+    pub commit: u64,
+    /// Cycles spent clock-gated.
+    pub gated: u64,
+}
+
+impl StateCycles {
+    /// Total cycles accounted for this processor.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.run + self.miss + self.commit + self.gated
+    }
+
+    /// Add one cycle in the given state.
+    pub fn add(&mut self, state: PowerState, cycles: u64) {
+        match state {
+            PowerState::Run => self.run += cycles,
+            PowerState::Miss => self.miss += cycles,
+            PowerState::Commit => self.commit += cycles,
+            PowerState::Gated => self.gated += cycles,
+        }
+    }
+}
+
+/// Protocol-level counters for a single processor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcStats {
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transaction executions that were aborted (every one of these is a
+    /// "futile abort" in the paper's terminology: the work is discarded).
+    pub aborts: u64,
+    /// Times this processor was clock-gated.
+    pub gatings: u64,
+    /// Cycles spent in contention-management back-off spin (ungated CMs).
+    pub backoff_cycles: u64,
+    /// Cycles of work thrown away by aborts (cycles spent in execution
+    /// attempts that did not commit).
+    pub wasted_cycles: u64,
+    /// Cycles of work that was part of a committed attempt.
+    pub useful_cycles: u64,
+    /// Distribution of aborts suffered per transaction before it finally
+    /// committed (bucketed 0..=15, last bucket saturating).
+    pub aborts_per_tx: Histogram,
+}
+
+impl ProcStats {
+    /// Create zeroed statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            commits: 0,
+            aborts: 0,
+            gatings: 0,
+            backoff_cycles: 0,
+            wasted_cycles: 0,
+            useful_cycles: 0,
+            aborts_per_tx: Histogram::new(16),
+        }
+    }
+}
+
+impl Default for ProcStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Complete outcome of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Name of the workload that was executed.
+    pub workload: String,
+    /// Number of processors simulated.
+    pub num_procs: usize,
+    /// Total length of the parallel section in cycles (the paper's `N1` for
+    /// ungated runs / `N2` for gated runs).
+    pub total_cycles: Cycle,
+    /// Cycle at which the first transaction started.
+    pub first_tx_start: Cycle,
+    /// Cycle at which the last transaction committed.
+    pub last_commit_end: Cycle,
+    /// Per-processor power-state cycle breakdown.
+    pub state_cycles: Vec<StateCycles>,
+    /// Per-processor protocol counters.
+    pub proc_stats: Vec<ProcStats>,
+    /// Interval decomposition (`Xi`, `αi`, `βi` of Eqs. 2–4).
+    pub intervals: IntervalTracker,
+    /// Interconnect statistics.
+    pub bus: BusStats,
+    /// Total commits across all processors.
+    pub total_commits: u64,
+    /// Total aborts across all processors.
+    pub total_aborts: u64,
+    /// Total times any processor was clock-gated.
+    pub total_gatings: u64,
+}
+
+impl RunOutcome {
+    /// Abort rate: aborts per committed transaction.
+    #[must_use]
+    pub fn abort_rate(&self) -> f64 {
+        if self.total_commits == 0 {
+            0.0
+        } else {
+            self.total_aborts as f64 / self.total_commits as f64
+        }
+    }
+
+    /// Total cycles spent clock-gated, summed over processors.
+    #[must_use]
+    pub fn total_gated_cycles(&self) -> u64 {
+        self.state_cycles.iter().map(|s| s.gated).sum()
+    }
+
+    /// Total cycles spent stalled on misses, summed over processors.
+    #[must_use]
+    pub fn total_miss_cycles(&self) -> u64 {
+        self.state_cycles.iter().map(|s| s.miss).sum()
+    }
+
+    /// Total cycles spent committing, summed over processors.
+    #[must_use]
+    pub fn total_commit_cycles(&self) -> u64 {
+        self.state_cycles.iter().map(|s| s.commit).sum()
+    }
+
+    /// Check the internal consistency of the per-processor accounting: every
+    /// processor must account exactly `total_cycles` cycles, and the interval
+    /// tracker must have recorded the same total.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        for (i, sc) in self.state_cycles.iter().enumerate() {
+            if sc.total() != self.total_cycles {
+                return Err(format!(
+                    "processor {i} accounts {} cycles but the run took {}",
+                    sc.total(),
+                    self.total_cycles
+                ));
+            }
+        }
+        if self.intervals.total_cycles() != self.total_cycles {
+            return Err(format!(
+                "interval tracker recorded {} cycles but the run took {}",
+                self.intervals.total_cycles(),
+                self.total_cycles
+            ));
+        }
+        let per_proc_gated: u64 = self.state_cycles.iter().map(|s| s.gated).sum();
+        if per_proc_gated != self.intervals.total_gated_proc_cycles() {
+            return Err("gated processor-cycles disagree between accountings".into());
+        }
+        let per_proc_miss: u64 = self.state_cycles.iter().map(|s| s.miss).sum();
+        if per_proc_miss != self.intervals.total_miss_proc_cycles() {
+            return Err("miss processor-cycles disagree between accountings".into());
+        }
+        let per_proc_commit: u64 = self.state_cycles.iter().map(|s| s.commit).sum();
+        if per_proc_commit != self.intervals.total_commit_proc_cycles() {
+            return Err("commit processor-cycles disagree between accountings".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_cycles_add_and_total() {
+        let mut sc = StateCycles::default();
+        sc.add(PowerState::Run, 10);
+        sc.add(PowerState::Miss, 3);
+        sc.add(PowerState::Commit, 2);
+        sc.add(PowerState::Gated, 5);
+        assert_eq!(sc.run, 10);
+        assert_eq!(sc.total(), 20);
+    }
+
+    fn dummy_outcome() -> RunOutcome {
+        let mut intervals = IntervalTracker::new(2);
+        intervals.record(10, 0, 0, 0);
+        RunOutcome {
+            workload: "toy".into(),
+            num_procs: 2,
+            total_cycles: 10,
+            first_tx_start: 0,
+            last_commit_end: 10,
+            state_cycles: vec![StateCycles { run: 10, ..Default::default() }; 2],
+            proc_stats: vec![ProcStats::new(), ProcStats::new()],
+            intervals,
+            bus: BusStats::default(),
+            total_commits: 4,
+            total_aborts: 2,
+            total_gatings: 0,
+        }
+    }
+
+    #[test]
+    fn abort_rate_is_aborts_per_commit() {
+        let o = dummy_outcome();
+        assert!((o.abort_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consistency_check_accepts_valid_outcome() {
+        assert!(dummy_outcome().check_consistency().is_ok());
+    }
+
+    #[test]
+    fn consistency_check_rejects_mismatched_totals() {
+        let mut o = dummy_outcome();
+        o.state_cycles[0].run = 7;
+        assert!(o.check_consistency().is_err());
+    }
+
+    #[test]
+    fn consistency_check_rejects_interval_mismatch() {
+        let mut o = dummy_outcome();
+        o.total_cycles = 11;
+        o.state_cycles.iter_mut().for_each(|s| s.run = 11);
+        assert!(o.check_consistency().is_err());
+    }
+
+    #[test]
+    fn zero_commits_zero_abort_rate() {
+        let mut o = dummy_outcome();
+        o.total_commits = 0;
+        assert_eq!(o.abort_rate(), 0.0);
+    }
+}

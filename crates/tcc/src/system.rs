@@ -1,0 +1,827 @@
+//! The cycle-driven Scalable-TCC system.
+//!
+//! [`TccSystem`] wires processors, directories, the token vendor, the
+//! split-transaction bus and main memory together, drives them one cycle at a
+//! time and reports every abort to the configured [`GatingHook`]. It is the
+//! replacement for the paper's "substantially modified M5 full-system
+//! simulator with added support for a Scalable-TCC system".
+
+use htm_mem::{AddressMap, LineAddr, MainMemory, SpecCache};
+use htm_sim::bus::{BusTraffic, SplitTransactionBus};
+use htm_sim::config::SimConfig;
+use htm_sim::interval::IntervalTracker;
+use htm_sim::{Cycle, DirId, ProcId};
+
+use crate::dirctrl::DirCtrl;
+use crate::hooks::{AbortAction, GateCommand, GatingHook, SystemView};
+use crate::processor::{CommitStep, Phase, ProcEvent, Processor};
+use crate::stats::{PowerState, RunOutcome};
+use crate::token::TokenVendor;
+use crate::txn::{Op, WorkloadTrace};
+
+/// Errors that can occur when constructing or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The machine configuration is inconsistent.
+    BadConfig(String),
+    /// The workload does not fit the configured machine.
+    BadWorkload(String),
+    /// The simulation exceeded the cycle bound passed to
+    /// [`TccSystem::run_bounded`] (indicates a livelock/deadlock or an
+    /// undersized bound).
+    CycleLimitExceeded {
+        /// The bound that was exceeded.
+        limit: Cycle,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::BadWorkload(msg) => write!(f, "invalid workload: {msg}"),
+            SimError::CycleLimitExceeded { limit } => {
+                write!(f, "simulation exceeded the cycle limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The complete simulated machine.
+pub struct TccSystem<H: GatingHook> {
+    cfg: SimConfig,
+    map: AddressMap,
+    procs: Vec<Processor>,
+    dirs: Vec<DirCtrl>,
+    token: TokenVendor,
+    bus: SplitTransactionBus,
+    /// One memory bank per directory node (the distributed shared memory of
+    /// Scalable TCC: each directory is the home node for its interleaved
+    /// share of the physical memory and has its own single R/W port).
+    memory_banks: Vec<MainMemory>,
+    hook: H,
+    view: SystemView,
+    intervals: IntervalTracker,
+    now: Cycle,
+    workload_name: String,
+    last_commit_end: Cycle,
+}
+
+impl<H: GatingHook> TccSystem<H> {
+    /// Build a system running `workload` on the machine described by `cfg`,
+    /// with abort handling delegated to `hook`.
+    ///
+    /// The workload must provide exactly one thread per processor and must
+    /// not reference addresses beyond the installed memory.
+    pub fn new(cfg: SimConfig, workload: WorkloadTrace, hook: H) -> Result<Self, SimError> {
+        cfg.validate().map_err(SimError::BadConfig)?;
+        if workload.num_threads() != cfg.num_procs {
+            return Err(SimError::BadWorkload(format!(
+                "workload '{}' has {} threads but the machine has {} processors",
+                workload.name,
+                workload.num_threads(),
+                cfg.num_procs
+            )));
+        }
+        if let Some(max) = workload.max_addr() {
+            if max >= cfg.memory_bytes {
+                return Err(SimError::BadWorkload(format!(
+                    "workload references address {max:#x} beyond the {} byte memory",
+                    cfg.memory_bytes
+                )));
+            }
+        }
+
+        let map = AddressMap::new(cfg.line_bytes, cfg.directory_segment_bytes, cfg.num_dirs);
+        let procs: Vec<Processor> = workload
+            .threads
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(id, thread)| Processor::new(id, thread, SpecCache::from_config(&cfg)))
+            .collect();
+        let dirs: Vec<DirCtrl> =
+            (0..cfg.num_dirs).map(|d| DirCtrl::new(d, cfg.num_procs, cfg.directory_latency)).collect();
+        let view = SystemView::new(cfg.num_procs, cfg.num_dirs);
+        let intervals = IntervalTracker::new(cfg.num_procs);
+        let bus = SplitTransactionBus::from_config(&cfg);
+        let memory_banks = (0..cfg.num_dirs).map(|_| MainMemory::from_config(&cfg)).collect();
+        let token = TokenVendor::new(cfg.token_vendor_latency);
+        Ok(Self {
+            cfg,
+            map,
+            procs,
+            dirs,
+            token,
+            bus,
+            memory_banks,
+            hook,
+            view,
+            intervals,
+            now: 0,
+            workload_name: workload.name,
+            last_commit_end: 0,
+        })
+    }
+
+    /// The machine configuration this system was built with.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Current simulation cycle.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Whether every processor has finished all of its transactions.
+    #[must_use]
+    pub fn all_done(&self) -> bool {
+        self.procs.iter().all(Processor::is_done)
+    }
+
+    /// Run to completion with a safety bound on the number of cycles.
+    pub fn run_bounded(mut self, limit: Cycle) -> Result<RunOutcome, SimError> {
+        while !self.all_done() {
+            if self.now >= limit {
+                return Err(SimError::CycleLimitExceeded { limit });
+            }
+            self.step();
+        }
+        Ok(self.into_outcome())
+    }
+
+    /// Run to completion (with a very large implicit safety bound).
+    pub fn run(self) -> Result<RunOutcome, SimError> {
+        self.run_bounded(Cycle::MAX / 2)
+    }
+
+    /// Advance the simulation by one cycle.
+    pub fn step(&mut self) {
+        self.account_cycle();
+        self.refresh_view();
+        self.apply_hook_commands();
+        for i in 0..self.procs.len() {
+            self.handle_events(i);
+            self.advance_processor(i);
+        }
+        self.now += 1;
+    }
+
+    // ----- per-cycle bookkeeping -------------------------------------------------
+
+    fn account_cycle(&mut self) {
+        let mut gated = 0usize;
+        let mut missing = 0usize;
+        let mut committing = 0usize;
+        for proc in &mut self.procs {
+            let state = proc.phase.power_state();
+            proc.state_cycles.add(state, 1);
+            match state {
+                PowerState::Gated => gated += 1,
+                PowerState::Miss => missing += 1,
+                PowerState::Commit => committing += 1,
+                PowerState::Run => {}
+            }
+        }
+        self.intervals.record(1, gated, missing, committing);
+    }
+
+    fn refresh_view(&mut self) {
+        for (i, proc) in self.procs.iter().enumerate() {
+            self.view.proc_tx[i] = proc.current_tx_id();
+            self.view.proc_gated[i] = proc.phase.is_gated_like();
+        }
+        for (d, dir) in self.dirs.iter().enumerate() {
+            self.view.dir_marked[d] = dir.marked_bits();
+        }
+    }
+
+    fn apply_hook_commands(&mut self) {
+        let commands = self.hook.on_tick(self.now, &self.view);
+        for cmd in commands {
+            match cmd {
+                GateCommand::UngateProcessor { proc, dir } => {
+                    // The "on" command travels from the directory to the
+                    // processor's PLL enable over the interconnect.
+                    let arrive = self.bus.request(self.now, BusTraffic::Control);
+                    self.procs[proc].inbox.push(arrive, ProcEvent::TurnOn { dir });
+                }
+            }
+        }
+    }
+
+    // ----- event handling --------------------------------------------------------
+
+    fn handle_events(&mut self, i: ProcId) {
+        let events = self.procs[i].inbox.drain_ready(self.now);
+        for ev in events {
+            match ev {
+                ProcEvent::Invalidation { line, dir, aborter, aborter_tx } => {
+                    self.procs[i].cache.invalidate(line);
+                    if !self.procs[i].read_set.contains(&line) {
+                        // Stale invalidation (the attempt that read this line
+                        // already ended); nothing to abort.
+                        continue;
+                    }
+                    // Consult the hook: every directory that aborts a victim
+                    // logs the abort locally, even if the victim is already
+                    // stopped (Section V: gating decisions are directory-local).
+                    let action =
+                        self.hook.on_abort(dir, i, aborter, aborter_tx, self.now, &self.view);
+                    if self.procs[i].phase.is_gated_like() {
+                        // Already stopped: the extra invalidation only updates
+                        // the aborting directory's table.
+                        continue;
+                    }
+                    if matches!(self.procs[i].phase, Phase::Committing { .. }) {
+                        // The victim has already been granted a directory and
+                        // passed its validation point; it wins and cannot be
+                        // aborted any more.
+                        continue;
+                    }
+                    match action {
+                        AbortAction::Retry { backoff } => self.begin_abort(i, backoff),
+                        AbortAction::Gate => self.begin_gating(i),
+                    }
+                }
+                ProcEvent::TurnOn { dir: _ } => {
+                    if matches!(self.procs[i].phase, Phase::Gated) {
+                        self.begin_wake(i);
+                    }
+                    // A stale "on" for a processor that is already running is
+                    // ignored (Section V reconciliation).
+                }
+            }
+        }
+    }
+
+    fn release_directory_state(&mut self, i: ProcId, clear_sharers: bool) {
+        let touched: Vec<DirId> = self.procs[i].dirs_touched.iter().copied().collect();
+        for d in touched {
+            self.dirs[d].unmark(i);
+            if clear_sharers {
+                self.dirs[d].directory.clear_proc(i);
+            }
+        }
+    }
+
+    fn begin_abort(&mut self, i: ProcId, backoff: Cycle) {
+        let wasted = self.procs[i].attempt_cycles;
+        self.procs[i].stats.aborts += 1;
+        self.procs[i].stats.wasted_cycles += wasted;
+        self.procs[i].aborts_this_tx += 1;
+        self.procs[i].cache.abort_speculative();
+        self.release_directory_state(i, true);
+        self.procs[i].clear_attempt_state();
+        self.procs[i].dirs_touched.clear();
+        let until = self.now + self.cfg.abort_rollback_latency;
+        self.procs[i].phase = Phase::Aborting { until, backoff };
+    }
+
+    fn begin_gating(&mut self, i: ProcId) {
+        let wasted = self.procs[i].attempt_cycles;
+        self.procs[i].stats.aborts += 1;
+        self.procs[i].stats.gatings += 1;
+        self.procs[i].stats.wasted_cycles += wasted;
+        self.procs[i].aborts_this_tx += 1;
+        self.procs[i].attempt_cycles = 0;
+        // The frozen transaction keeps its speculative state until the
+        // self-abort on wake-up, but it must stop participating in commit
+        // arbitration: a gated processor can never be granted a directory
+        // (this is what makes the protocol deadlock-free).
+        let touched: Vec<DirId> = self.procs[i].dirs_touched.iter().copied().collect();
+        for d in touched {
+            self.dirs[d].unmark(i);
+        }
+        let until = self.now + self.cfg.stop_clock_drain_latency;
+        self.procs[i].phase = Phase::GateDraining { until };
+    }
+
+    fn begin_wake(&mut self, i: ProcId) {
+        // "After this wake-up, the processor needs to do a Self Abort of the
+        // transaction it was executing at the time of freeze."
+        self.procs[i].cache.abort_speculative();
+        self.release_directory_state(i, true);
+        self.procs[i].clear_attempt_state();
+        self.procs[i].dirs_touched.clear();
+        self.hook.on_wake(i, self.now);
+        let until = self.now + self.cfg.wake_up_latency + self.cfg.abort_rollback_latency;
+        self.procs[i].phase = Phase::WakeRestart { until };
+    }
+
+    // ----- processor stepping ----------------------------------------------------
+
+    fn advance_processor(&mut self, i: ProcId) {
+        match self.procs[i].phase.clone() {
+            Phase::Done | Phase::Gated => {}
+            Phase::PreCompute { remaining } => {
+                if remaining <= 1 {
+                    self.procs[i].phase = Phase::Executing { op_idx: 0, remaining: 0 };
+                } else {
+                    self.procs[i].phase = Phase::PreCompute { remaining: remaining - 1 };
+                }
+            }
+            Phase::Executing { op_idx, remaining } => {
+                if self.procs[i].first_tx_start.is_none() {
+                    self.procs[i].first_tx_start = Some(self.now);
+                }
+                self.procs[i].attempt_cycles += 1;
+                if remaining > 0 {
+                    self.procs[i].phase = Phase::Executing { op_idx, remaining: remaining - 1 };
+                } else {
+                    self.issue_op(i, op_idx);
+                }
+            }
+            Phase::WaitMiss { op_idx, until, line, is_store } => {
+                self.procs[i].attempt_cycles += 1;
+                if self.now >= until {
+                    self.procs[i].cache.fill(line, !is_store, is_store);
+                    self.procs[i].phase = Phase::Executing { op_idx, remaining: 0 };
+                }
+            }
+            Phase::WaitToken { until } => {
+                self.procs[i].attempt_cycles += 1;
+                if self.now >= until {
+                    self.mark_commit_plan(i);
+                    self.procs[i].phase = Phase::SpinCommit { step_idx: 0 };
+                }
+            }
+            Phase::SpinCommit { step_idx } => {
+                self.procs[i].attempt_cycles += 1;
+                self.try_start_flush(i, step_idx);
+            }
+            Phase::Committing { step_idx, until } => {
+                self.procs[i].attempt_cycles += 1;
+                if self.now >= until {
+                    self.finish_flush_step(i, step_idx);
+                }
+            }
+            Phase::Aborting { until, backoff } => {
+                if self.now >= until {
+                    if backoff > 0 {
+                        self.procs[i].stats.backoff_cycles += backoff;
+                        self.procs[i].phase = Phase::Backoff { until: self.now + backoff };
+                    } else {
+                        self.procs[i].restart_transaction();
+                    }
+                }
+            }
+            Phase::Backoff { until } => {
+                if self.now >= until {
+                    self.procs[i].restart_transaction();
+                }
+            }
+            Phase::GateDraining { until } => {
+                if self.now >= until {
+                    self.procs[i].phase = Phase::Gated;
+                }
+            }
+            Phase::WakeRestart { until } => {
+                if self.now >= until {
+                    self.procs[i].restart_transaction();
+                }
+            }
+        }
+    }
+
+    fn issue_op(&mut self, i: ProcId, op_idx: usize) {
+        let Some(tx) = self.procs[i].current_tx() else {
+            self.procs[i].phase = Phase::Done;
+            return;
+        };
+        if op_idx >= tx.ops.len() {
+            self.begin_commit(i);
+            return;
+        }
+        let op = tx.ops[op_idx];
+        match op {
+            Op::Compute(c) => {
+                self.procs[i].phase =
+                    Phase::Executing { op_idx: op_idx + 1, remaining: c.saturating_sub(1) };
+            }
+            Op::Read(addr) => {
+                let line = self.map.line_of(addr);
+                let home = self.map.home_of(line);
+                self.procs[i].dirs_touched.insert(home);
+                let newly_read = self.procs[i].read_set.insert(line);
+                let hit = matches!(self.procs[i].cache.load(line, true), htm_mem::AccessOutcome::Hit);
+                if hit {
+                    if newly_read {
+                        // Register this processor as a speculative sharer with
+                        // the home directory (background control message; the
+                        // hit itself does not stall).
+                        self.dirs[home].directory.add_sharer(line, i);
+                        self.bus.request(self.now, BusTraffic::Control);
+                        self.hook.on_proc_activity(i, home, self.now);
+                    }
+                    self.procs[i].phase = Phase::Executing {
+                        op_idx: op_idx + 1,
+                        remaining: self.cfg.l1_hit_latency.saturating_sub(1),
+                    };
+                } else {
+                    self.dirs[home].directory.add_sharer(line, i);
+                    self.hook.on_proc_activity(i, home, self.now);
+                    let until = self.miss_fill_time(home, line);
+                    self.procs[i].phase =
+                        Phase::WaitMiss { op_idx: op_idx + 1, until, line, is_store: false };
+                }
+            }
+            Op::Write(addr) => {
+                let line = self.map.line_of(addr);
+                let home = self.map.home_of(line);
+                self.procs[i].dirs_touched.insert(home);
+                self.procs[i].write_set.insert(line);
+                let hit = matches!(self.procs[i].cache.store(line, true), htm_mem::AccessOutcome::Hit);
+                if hit {
+                    self.procs[i].phase = Phase::Executing {
+                        op_idx: op_idx + 1,
+                        remaining: self.cfg.l1_hit_latency.saturating_sub(1),
+                    };
+                } else {
+                    // Write-allocate fetch of the line; stores stay private
+                    // until commit so no sharer registration is needed.
+                    self.hook.on_proc_activity(i, home, self.now);
+                    let until = self.miss_fill_time(home, line);
+                    self.procs[i].phase =
+                        Phase::WaitMiss { op_idx: op_idx + 1, until, line, is_store: true };
+                }
+            }
+        }
+    }
+
+    fn miss_fill_time(&mut self, home: DirId, line: LineAddr) -> Cycle {
+        // Request message competes for the bus now; the directory lookup and
+        // (if needed) the memory-bank access queue behind earlier requests to
+        // the same home node; the data reply is re-arbitrated when the data
+        // is ready (split-transaction bus, so the channel is not held during
+        // the memory wait).
+        let req_at_dir = self.bus.request(self.now, BusTraffic::Control);
+        let dir_done = self.dirs[home].service_miss(req_at_dir);
+        // Lines that have been committed through this directory before are
+        // served directly by the home node (the committed data lives in its
+        // buffers / local memory controller); only cold lines pay the full
+        // main-memory latency.
+        let data_ready = if self.dirs[home].directory.owner(line).is_some() {
+            dir_done
+        } else {
+            self.memory_banks[home].access(dir_done)
+        };
+        self.bus.schedule_future(data_ready, BusTraffic::Data)
+    }
+
+    fn begin_commit(&mut self, i: ProcId) {
+        if self.procs[i].write_set.is_empty() {
+            // Read-only transactions commit locally without arbitration.
+            self.finish_commit(i);
+            return;
+        }
+        // Build the commit plan: one step per home directory, visited in
+        // ascending directory order.
+        let mut by_dir: Vec<(DirId, Vec<LineAddr>)> = Vec::new();
+        let mut lines: Vec<LineAddr> = self.procs[i].write_set.iter().copied().collect();
+        lines.sort_unstable();
+        for line in lines {
+            let home = self.map.home_of(line);
+            match by_dir.iter_mut().find(|(d, _)| *d == home) {
+                Some((_, v)) => v.push(line),
+                None => by_dir.push((home, vec![line])),
+            }
+        }
+        by_dir.sort_unstable_by_key(|(d, _)| *d);
+        self.procs[i].commit_plan =
+            by_dir.into_iter().map(|(dir, lines)| CommitStep { dir, lines }).collect();
+
+        // Token acquisition: request over the bus, vendor service, reply.
+        let req = self.bus.request(self.now, BusTraffic::Control);
+        let (tid, ready) = self.token.request(req);
+        let reply = self.bus.request(ready, BusTraffic::Control);
+        self.procs[i].tid = Some(tid);
+        self.procs[i].phase = Phase::WaitToken { until: reply };
+    }
+
+    fn mark_commit_plan(&mut self, i: ProcId) {
+        let tid = self.procs[i].tid.expect("marking requires a TID");
+        let dirs: Vec<DirId> = self.procs[i].commit_plan.iter().map(|s| s.dir).collect();
+        for d in dirs {
+            // One control message per directory announces the intention to
+            // commit (sets the "Marked" bit the Fig. 2(e) circuit inspects).
+            self.bus.request(self.now, BusTraffic::Control);
+            self.dirs[d].mark(tid, i);
+        }
+    }
+
+    fn try_start_flush(&mut self, i: ProcId, step_idx: usize) {
+        let tid = self.procs[i].tid.expect("commit spin requires a TID");
+        let step = self.procs[i].commit_plan[step_idx].clone();
+        if !self.dirs[step.dir].can_grant(i, tid, self.now) {
+            return;
+        }
+        // Granted: the flush occupies the directory for its lookup latency
+        // plus one bus data transfer per committed line. Each line becomes
+        // owned as it is flushed, and the invalidations to its speculative
+        // sharers leave the directory as soon as *that* line commits — so a
+        // victim can be aborted (and clock-gated) while the committer is
+        // still flushing the rest of its write set here, which is exactly the
+        // window the renewal check of Fig. 2(e) inspects.
+        let aborter_tx = self.procs[i].current_tx_id().unwrap_or_default();
+        let mut t = self.now + self.cfg.directory_latency;
+        for &line in &step.lines {
+            t = self.bus.request(t, BusTraffic::Data);
+            let victims = self.dirs[step.dir].directory.commit_line(line, i);
+            for victim in victims {
+                if victim == i {
+                    continue;
+                }
+                let deliver = self.bus.schedule_future(t, BusTraffic::Control);
+                self.procs[victim].inbox.push(
+                    deliver.max(self.now + 1),
+                    ProcEvent::Invalidation { line, dir: step.dir, aborter: i, aborter_tx },
+                );
+            }
+        }
+        self.dirs[step.dir].occupy(i, self.now, t);
+        self.procs[i].phase = Phase::Committing { step_idx, until: t };
+    }
+
+    fn finish_flush_step(&mut self, i: ProcId, step_idx: usize) {
+        let dir = self.procs[i].commit_plan[step_idx].dir;
+        self.dirs[dir].unmark(i);
+        if step_idx + 1 < self.procs[i].commit_plan.len() {
+            self.procs[i].phase = Phase::SpinCommit { step_idx: step_idx + 1 };
+        } else {
+            self.finish_commit(i);
+        }
+    }
+
+    fn finish_commit(&mut self, i: ProcId) {
+        let attempt = self.procs[i].attempt_cycles;
+        let aborts = self.procs[i].aborts_this_tx;
+        self.procs[i].stats.commits += 1;
+        self.procs[i].stats.useful_cycles += attempt;
+        self.procs[i].stats.aborts_per_tx.record(aborts);
+        self.procs[i].cache.commit_speculative();
+        self.release_directory_state(i, true);
+        self.procs[i].clear_attempt_state();
+        self.procs[i].dirs_touched.clear();
+        self.hook.on_commit(i, self.now);
+        self.last_commit_end = self.last_commit_end.max(self.now);
+        self.procs[i].advance_to_next_tx();
+    }
+
+    // ----- outcome ---------------------------------------------------------------
+
+    fn into_outcome(self) -> RunOutcome {
+        let total_cycles = self.now;
+        let first_tx_start =
+            self.procs.iter().filter_map(|p| p.first_tx_start).min().unwrap_or(0);
+        let state_cycles = self.procs.iter().map(|p| p.state_cycles).collect::<Vec<_>>();
+        let proc_stats = self.procs.iter().map(|p| p.stats.clone()).collect::<Vec<_>>();
+        let total_commits = proc_stats.iter().map(|s| s.commits).sum();
+        let total_aborts = proc_stats.iter().map(|s| s.aborts).sum();
+        let total_gatings = proc_stats.iter().map(|s| s.gatings).sum();
+        RunOutcome {
+            workload: self.workload_name,
+            num_procs: self.cfg.num_procs,
+            total_cycles,
+            first_tx_start,
+            last_commit_end: self.last_commit_end,
+            state_cycles,
+            proc_stats,
+            intervals: self.intervals,
+            bus: self.bus.stats(),
+            total_commits,
+            total_aborts,
+            total_gatings,
+        }
+    }
+
+    /// Consume the system and return the outcome accumulated so far (useful
+    /// for tests that drive [`Self::step`] manually).
+    #[must_use]
+    pub fn finish(self) -> RunOutcome {
+        self.into_outcome()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NoGating;
+    use crate::txn::{Op, ThreadTrace, Transaction};
+
+    fn cfg(procs: usize) -> SimConfig {
+        SimConfig::table2(procs)
+    }
+
+    fn single_tx_workload() -> WorkloadTrace {
+        WorkloadTrace::new(
+            "single",
+            vec![ThreadTrace::new(vec![Transaction::new(
+                0x100,
+                vec![Op::Read(0), Op::Compute(10), Op::Write(0)],
+            )])],
+        )
+    }
+
+    #[test]
+    fn single_processor_single_transaction_commits() {
+        let outcome = TccSystem::new(cfg(1), single_tx_workload(), NoGating)
+            .unwrap()
+            .run_bounded(100_000)
+            .unwrap();
+        assert_eq!(outcome.total_commits, 1);
+        assert_eq!(outcome.total_aborts, 0);
+        assert!(outcome.total_cycles > 0);
+        outcome.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn read_only_transaction_commits_without_token() {
+        let w = WorkloadTrace::new(
+            "ro",
+            vec![ThreadTrace::new(vec![Transaction::new(1, vec![Op::Read(0), Op::Read(64)])])],
+        );
+        let outcome = TccSystem::new(cfg(1), w, NoGating).unwrap().run_bounded(100_000).unwrap();
+        assert_eq!(outcome.total_commits, 1);
+        assert_eq!(outcome.total_aborts, 0);
+    }
+
+    #[test]
+    fn wrong_thread_count_is_rejected() {
+        let err = TccSystem::new(cfg(2), single_tx_workload(), NoGating).err().unwrap();
+        assert!(matches!(err, SimError::BadWorkload(_)));
+    }
+
+    #[test]
+    fn out_of_range_address_is_rejected() {
+        let w = WorkloadTrace::new(
+            "oob",
+            vec![ThreadTrace::new(vec![Transaction::new(1, vec![Op::Read(1 << 40)])])],
+        );
+        let err = TccSystem::new(cfg(1), w, NoGating).err().unwrap();
+        assert!(matches!(err, SimError::BadWorkload(_)));
+    }
+
+    #[test]
+    fn conflicting_writers_cause_aborts_and_still_commit() {
+        // Two processors both read-modify-write the same line several times:
+        // at least one abort is inevitable, but every transaction must commit
+        // in the end (TCC guarantees progress).
+        let tx = |id: u64| Transaction::new(id, vec![Op::Read(0), Op::Compute(50), Op::Write(0)]);
+        let w = WorkloadTrace::new(
+            "conflict",
+            vec![
+                ThreadTrace::new(vec![tx(1), tx(2), tx(3)]),
+                ThreadTrace::new(vec![tx(11), tx(12), tx(13)]),
+            ],
+        );
+        let outcome = TccSystem::new(cfg(2), w, NoGating).unwrap().run_bounded(1_000_000).unwrap();
+        assert_eq!(outcome.total_commits, 6);
+        assert!(outcome.total_aborts > 0, "conflicting transactions must abort at least once");
+        assert_eq!(outcome.total_gatings, 0, "baseline never gates");
+        outcome.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn disjoint_workloads_never_abort() {
+        // Each processor works on its own lines: no conflicts, no aborts.
+        let tx = |id: u64, base: u64| {
+            Transaction::new(id, vec![Op::Read(base), Op::Compute(20), Op::Write(base)])
+        };
+        let w = WorkloadTrace::new(
+            "disjoint",
+            vec![
+                ThreadTrace::new(vec![tx(1, 0), tx(2, 64)]),
+                ThreadTrace::new(vec![tx(11, 4096), tx(12, 4160)]),
+            ],
+        );
+        let outcome = TccSystem::new(cfg(2), w, NoGating).unwrap().run_bounded(1_000_000).unwrap();
+        assert_eq!(outcome.total_commits, 4);
+        assert_eq!(outcome.total_aborts, 0);
+    }
+
+    #[test]
+    fn miss_cycles_are_accounted() {
+        let outcome = TccSystem::new(cfg(1), single_tx_workload(), NoGating)
+            .unwrap()
+            .run_bounded(100_000)
+            .unwrap();
+        assert!(outcome.total_miss_cycles() > 0, "the first read must miss");
+        assert!(outcome.total_commit_cycles() > 0, "the write-set flush must be accounted");
+    }
+
+    #[test]
+    fn consistency_holds_for_conflicting_runs() {
+        let tx = |id: u64| Transaction::new(id, vec![Op::Read(128), Op::Compute(30), Op::Write(128)]);
+        let w = WorkloadTrace::new(
+            "conflict",
+            vec![ThreadTrace::new(vec![tx(1), tx(2)]), ThreadTrace::new(vec![tx(21), tx(22)])],
+        );
+        let outcome = TccSystem::new(cfg(2), w, NoGating).unwrap().run_bounded(1_000_000).unwrap();
+        outcome.check_consistency().unwrap();
+        assert_eq!(outcome.num_procs, 2);
+        assert!(outcome.last_commit_end <= outcome.total_cycles);
+    }
+
+    #[test]
+    fn cycle_limit_is_enforced() {
+        let err = TccSystem::new(cfg(1), single_tx_workload(), NoGating)
+            .unwrap()
+            .run_bounded(3)
+            .err()
+            .unwrap();
+        assert_eq!(err, SimError::CycleLimitExceeded { limit: 3 });
+    }
+
+    /// A hook that gates on the first abort and ungates a fixed number of
+    /// cycles later, used to exercise the gate/wake/self-abort path without
+    /// pulling in the full clock-gating controller.
+    struct FixedWindowGate {
+        window: Cycle,
+        pending: Vec<(ProcId, DirId, Cycle)>,
+        gated: Vec<bool>,
+    }
+
+    impl FixedWindowGate {
+        fn new(num_procs: usize, window: Cycle) -> Self {
+            Self { window, pending: Vec::new(), gated: vec![false; num_procs] }
+        }
+    }
+
+    impl GatingHook for FixedWindowGate {
+        fn on_abort(
+            &mut self,
+            dir: DirId,
+            victim: ProcId,
+            _aborter: ProcId,
+            _aborter_tx: u64,
+            now: Cycle,
+            _view: &SystemView,
+        ) -> AbortAction {
+            if self.gated[victim] {
+                return AbortAction::Gate;
+            }
+            self.gated[victim] = true;
+            self.pending.push((victim, dir, now + self.window));
+            AbortAction::Gate
+        }
+
+        fn on_tick(&mut self, now: Cycle, _view: &SystemView) -> Vec<GateCommand> {
+            let mut out = Vec::new();
+            self.pending.retain(|&(proc, dir, due)| {
+                if now >= due {
+                    out.push(GateCommand::UngateProcessor { proc, dir });
+                    false
+                } else {
+                    true
+                }
+            });
+            out
+        }
+
+        fn on_wake(&mut self, proc: ProcId, _now: Cycle) {
+            self.gated[proc] = false;
+        }
+    }
+
+    #[test]
+    fn gating_hook_produces_gated_cycles_and_all_commits() {
+        let tx = |id: u64| Transaction::new(id, vec![Op::Read(0), Op::Compute(80), Op::Write(0)]);
+        let w = WorkloadTrace::new(
+            "gated-conflict",
+            vec![
+                ThreadTrace::new(vec![tx(1), tx(2), tx(3)]),
+                ThreadTrace::new(vec![tx(11), tx(12), tx(13)]),
+            ],
+        );
+        let outcome = TccSystem::new(cfg(2), w, FixedWindowGate::new(2, 200))
+            .unwrap()
+            .run_bounded(2_000_000)
+            .unwrap();
+        assert_eq!(outcome.total_commits, 6, "every transaction must still commit");
+        assert!(outcome.total_gatings > 0, "conflicts must trigger gating");
+        assert!(outcome.total_gated_cycles() > 0, "gated cycles must be accounted");
+        outcome.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let tx = |id: u64| Transaction::new(id, vec![Op::Read(64), Op::Compute(25), Op::Write(64)]);
+        let build = || {
+            WorkloadTrace::new(
+                "det",
+                vec![ThreadTrace::new(vec![tx(1), tx(2)]), ThreadTrace::new(vec![tx(21), tx(22)])],
+            )
+        };
+        let a = TccSystem::new(cfg(2), build(), NoGating).unwrap().run_bounded(1_000_000).unwrap();
+        let b = TccSystem::new(cfg(2), build(), NoGating).unwrap().run_bounded(1_000_000).unwrap();
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.total_aborts, b.total_aborts);
+        assert_eq!(a.state_cycles, b.state_cycles);
+    }
+}

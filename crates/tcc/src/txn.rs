@@ -1,0 +1,233 @@
+//! Transactional workload representation.
+//!
+//! The paper drives its evaluation with STAMP applications running on M5; we
+//! drive the protocol with *traces*: every thread is a list of transactions,
+//! and every transaction is a list of operations (`Read`, `Write`,
+//! `Compute`). A transaction that aborts is re-executed from its first
+//! operation, exactly like a processor rolling back to its check-pointed
+//! state and retrying.
+//!
+//! A transaction is identified by a [`TxId`], standing in for "the program
+//! counter value of the instruction which started the transaction" that the
+//! paper stores in the directory's *Aborter Tx Id* field: retries of the same
+//! static transaction carry the same `TxId`, different static transactions
+//! carry different ones.
+
+use serde::{Deserialize, Serialize};
+
+use htm_mem::Addr;
+
+/// Identifier of a *static* transaction (the paper uses the PC of the
+/// instruction that started the transaction; 64 bits, per Section III).
+pub type TxId = u64;
+
+/// One operation inside a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Transactional load from a byte address.
+    Read(Addr),
+    /// Transactional store to a byte address.
+    Write(Addr),
+    /// `n` cycles of computation that touch no shared memory.
+    Compute(u64),
+}
+
+/// A single (static) transaction: an identifier plus the operations executed
+/// inside the atomic region.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Static identity of this transaction (see [`TxId`]).
+    pub tx_id: TxId,
+    /// Non-transactional work executed *before* entering the atomic region
+    /// (cannot be aborted, consumes run power).
+    pub pre_compute: u64,
+    /// Operations inside the atomic region.
+    pub ops: Vec<Op>,
+}
+
+impl Transaction {
+    /// Create a transaction with no pre-transactional work.
+    #[must_use]
+    pub fn new(tx_id: TxId, ops: Vec<Op>) -> Self {
+        Self { tx_id, pre_compute: 0, ops }
+    }
+
+    /// Create a transaction with `pre_compute` cycles of non-transactional
+    /// work before the atomic region.
+    #[must_use]
+    pub fn with_pre_compute(tx_id: TxId, pre_compute: u64, ops: Vec<Op>) -> Self {
+        Self { tx_id, pre_compute, ops }
+    }
+
+    /// Number of memory operations (reads + writes).
+    #[must_use]
+    pub fn memory_ops(&self) -> usize {
+        self.ops.iter().filter(|op| matches!(op, Op::Read(_) | Op::Write(_))).count()
+    }
+
+    /// Number of distinct addresses written.
+    #[must_use]
+    pub fn write_addrs(&self) -> Vec<Addr> {
+        let mut addrs: Vec<Addr> =
+            self.ops.iter().filter_map(|op| if let Op::Write(a) = op { Some(*a) } else { None }).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        addrs
+    }
+
+    /// Number of distinct addresses read.
+    #[must_use]
+    pub fn read_addrs(&self) -> Vec<Addr> {
+        let mut addrs: Vec<Addr> =
+            self.ops.iter().filter_map(|op| if let Op::Read(a) = op { Some(*a) } else { None }).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        addrs
+    }
+
+    /// Total `Compute` cycles inside the transaction.
+    #[must_use]
+    pub fn compute_cycles(&self) -> u64 {
+        self.ops.iter().map(|op| if let Op::Compute(c) = op { *c } else { 0 }).sum()
+    }
+}
+
+/// The work assigned to one hardware thread (processor): a sequence of
+/// transactions executed in order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadTrace {
+    /// Transactions to execute, in program order.
+    pub transactions: Vec<Transaction>,
+}
+
+impl ThreadTrace {
+    /// Create a trace from a list of transactions.
+    #[must_use]
+    pub fn new(transactions: Vec<Transaction>) -> Self {
+        Self { transactions }
+    }
+
+    /// Number of transactions in this thread.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Whether the thread has no transactions at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+}
+
+/// A complete multi-threaded workload: one [`ThreadTrace`] per processor.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadTrace {
+    /// Human-readable workload name (e.g. `"intruder"`), used in reports.
+    pub name: String,
+    /// One trace per processor; `threads.len()` must equal the simulated
+    /// processor count.
+    pub threads: Vec<ThreadTrace>,
+}
+
+impl WorkloadTrace {
+    /// Create a named workload from per-thread traces.
+    #[must_use]
+    pub fn new(name: impl Into<String>, threads: Vec<ThreadTrace>) -> Self {
+        Self { name: name.into(), threads }
+    }
+
+    /// Number of threads (processors) this workload expects.
+    #[must_use]
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Total number of transactions across all threads.
+    #[must_use]
+    pub fn total_transactions(&self) -> usize {
+        self.threads.iter().map(ThreadTrace::len).sum()
+    }
+
+    /// Largest byte address referenced anywhere in the workload, if any
+    /// memory operation exists. Used to validate against the memory capacity.
+    #[must_use]
+    pub fn max_addr(&self) -> Option<Addr> {
+        self.threads
+            .iter()
+            .flat_map(|t| t.transactions.iter())
+            .flat_map(|tx| tx.ops.iter())
+            .filter_map(|op| match op {
+                Op::Read(a) | Op::Write(a) => Some(*a),
+                Op::Compute(_) => None,
+            })
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tx() -> Transaction {
+        Transaction::new(
+            0x4000,
+            vec![Op::Read(64), Op::Compute(10), Op::Write(64), Op::Write(128), Op::Read(192)],
+        )
+    }
+
+    #[test]
+    fn memory_ops_counts_reads_and_writes() {
+        assert_eq!(sample_tx().memory_ops(), 4);
+    }
+
+    #[test]
+    fn write_and_read_addrs_dedup_and_sort() {
+        let tx = Transaction::new(1, vec![Op::Write(128), Op::Write(64), Op::Write(128), Op::Read(64)]);
+        assert_eq!(tx.write_addrs(), vec![64, 128]);
+        assert_eq!(tx.read_addrs(), vec![64]);
+    }
+
+    #[test]
+    fn compute_cycles_sums() {
+        let tx = Transaction::new(1, vec![Op::Compute(5), Op::Read(0), Op::Compute(7)]);
+        assert_eq!(tx.compute_cycles(), 12);
+    }
+
+    #[test]
+    fn with_pre_compute_stores_prologue() {
+        let tx = Transaction::with_pre_compute(9, 100, vec![]);
+        assert_eq!(tx.pre_compute, 100);
+        assert_eq!(tx.tx_id, 9);
+    }
+
+    #[test]
+    fn thread_trace_len() {
+        let t = ThreadTrace::new(vec![sample_tx(), sample_tx()]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert!(ThreadTrace::default().is_empty());
+    }
+
+    #[test]
+    fn workload_totals() {
+        let w = WorkloadTrace::new(
+            "toy",
+            vec![ThreadTrace::new(vec![sample_tx()]), ThreadTrace::new(vec![sample_tx(), sample_tx()])],
+        );
+        assert_eq!(w.num_threads(), 2);
+        assert_eq!(w.total_transactions(), 3);
+        assert_eq!(w.name, "toy");
+    }
+
+    #[test]
+    fn max_addr_finds_largest_reference() {
+        let w = WorkloadTrace::new(
+            "toy",
+            vec![ThreadTrace::new(vec![Transaction::new(1, vec![Op::Read(10), Op::Write(99_999)])])],
+        );
+        assert_eq!(w.max_addr(), Some(99_999));
+        let empty = WorkloadTrace::new("empty", vec![ThreadTrace::default()]);
+        assert_eq!(empty.max_addr(), None);
+    }
+}

@@ -1,0 +1,185 @@
+//! Extension workloads beyond the paper's three applications.
+//!
+//! The conclusion of the paper plans to evaluate "a larger suite of
+//! applications"; these generators model the transactional shape of the
+//! remaining commonly used STAMP applications so the harness (and downstream
+//! users) can explore the proposal beyond the published evaluation:
+//!
+//! * **vacation** — travel-reservation system: moderate transactions over a
+//!   large database, low contention,
+//! * **kmeans** — clustering: tiny transactions updating shared centroids,
+//!   low-to-moderate contention, heavy per-item compute outside transactions,
+//! * **ssca2** — graph kernel: very short transactions inserting edges,
+//!   negligible contention,
+//! * **labyrinth** — maze routing: very long transactions copying a large
+//!   grid privately and writing the chosen path back, very high contention.
+
+use htm_tcc::txn::WorkloadTrace;
+
+use crate::spec::{Range, SyntheticSpec, WorkloadScale};
+
+/// Synthetic specification for STAMP's `vacation`.
+#[must_use]
+pub fn vacation_spec(seed: u64) -> SyntheticSpec {
+    SyntheticSpec {
+        name: "vacation".into(),
+        seed,
+        hot_lines: 8,
+        cold_lines: 1024,
+        private_lines: 64,
+        txs_per_thread: 48,
+        static_txs: 3,
+        reads_per_tx: Range::new(6, 14),
+        writes_per_tx: Range::new(2, 4),
+        hot_read_prob: 0.04,
+        hot_write_prob: 0.05,
+        shared_cold_prob: 0.85,
+        compute_between_ops: Range::new(1, 4),
+        pre_compute: Range::new(10, 30),
+        site_rmw_prob: 0.05,
+        tx_id_base: 0x4_0000,
+    }
+}
+
+/// Synthetic specification for STAMP's `kmeans`.
+#[must_use]
+pub fn kmeans_spec(seed: u64) -> SyntheticSpec {
+    SyntheticSpec {
+        name: "kmeans".into(),
+        seed,
+        // The shared centroid accumulators.
+        hot_lines: 16,
+        cold_lines: 64,
+        private_lines: 128,
+        txs_per_thread: 80,
+        static_txs: 1,
+        reads_per_tx: Range::new(1, 3),
+        writes_per_tx: Range::new(1, 2),
+        hot_read_prob: 0.35,
+        hot_write_prob: 0.35,
+        shared_cold_prob: 0.20,
+        compute_between_ops: Range::new(1, 3),
+        // The distance computation happens outside the transaction.
+        pre_compute: Range::new(40, 120),
+        site_rmw_prob: 0.45,
+        tx_id_base: 0x5_0000,
+    }
+}
+
+/// Synthetic specification for STAMP's `ssca2`.
+#[must_use]
+pub fn ssca2_spec(seed: u64) -> SyntheticSpec {
+    SyntheticSpec {
+        name: "ssca2".into(),
+        seed,
+        hot_lines: 4,
+        cold_lines: 2048,
+        private_lines: 64,
+        txs_per_thread: 100,
+        static_txs: 2,
+        reads_per_tx: Range::new(1, 3),
+        writes_per_tx: Range::new(1, 2),
+        hot_read_prob: 0.01,
+        hot_write_prob: 0.02,
+        shared_cold_prob: 0.90,
+        compute_between_ops: Range::new(1, 2),
+        pre_compute: Range::new(5, 15),
+        site_rmw_prob: 0.02,
+        tx_id_base: 0x6_0000,
+    }
+}
+
+/// Synthetic specification for STAMP's `labyrinth`.
+#[must_use]
+pub fn labyrinth_spec(seed: u64) -> SyntheticSpec {
+    SyntheticSpec {
+        name: "labyrinth".into(),
+        seed,
+        // The maze grid region the concurrently routed paths fight over.
+        hot_lines: 48,
+        cold_lines: 512,
+        private_lines: 256,
+        txs_per_thread: 12,
+        static_txs: 1,
+        reads_per_tx: Range::new(30, 60),
+        writes_per_tx: Range::new(10, 25),
+        hot_read_prob: 0.30,
+        hot_write_prob: 0.35,
+        shared_cold_prob: 0.70,
+        compute_between_ops: Range::new(1, 4),
+        pre_compute: Range::new(50, 150),
+        site_rmw_prob: 0.70,
+        tx_id_base: 0x7_0000,
+    }
+}
+
+/// Generate `vacation` for `threads` threads.
+#[must_use]
+pub fn vacation(threads: usize, scale: WorkloadScale, seed: u64) -> WorkloadTrace {
+    vacation_spec(seed).generate(threads, scale)
+}
+
+/// Generate `kmeans` for `threads` threads.
+#[must_use]
+pub fn kmeans(threads: usize, scale: WorkloadScale, seed: u64) -> WorkloadTrace {
+    kmeans_spec(seed).generate(threads, scale)
+}
+
+/// Generate `ssca2` for `threads` threads.
+#[must_use]
+pub fn ssca2(threads: usize, scale: WorkloadScale, seed: u64) -> WorkloadTrace {
+    ssca2_spec(seed).generate(threads, scale)
+}
+
+/// Generate `labyrinth` for `threads` threads.
+#[must_use]
+pub fn labyrinth(threads: usize, scale: WorkloadScale, seed: u64) -> WorkloadTrace {
+    labyrinth_spec(seed).generate(threads, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_ops(w: &WorkloadTrace) -> f64 {
+        let txs: Vec<_> = w.threads.iter().flat_map(|t| t.transactions.iter()).collect();
+        txs.iter().map(|t| t.memory_ops() as f64).sum::<f64>() / txs.len() as f64
+    }
+
+    #[test]
+    fn labyrinth_has_the_longest_transactions() {
+        let lab = mean_ops(&labyrinth(4, WorkloadScale::Full, 1));
+        let vac = mean_ops(&vacation(4, WorkloadScale::Full, 1));
+        let km = mean_ops(&kmeans(4, WorkloadScale::Full, 1));
+        let ss = mean_ops(&ssca2(4, WorkloadScale::Full, 1));
+        assert!(lab > vac && lab > km && lab > ss);
+    }
+
+    #[test]
+    fn ssca2_and_kmeans_are_tiny() {
+        assert!(mean_ops(&ssca2(4, WorkloadScale::Full, 1)) <= 5.0);
+        assert!(mean_ops(&kmeans(4, WorkloadScale::Full, 1)) <= 5.0);
+    }
+
+    #[test]
+    fn all_extensions_generate_for_16_threads() {
+        for gen in [vacation, kmeans, ssca2, labyrinth] {
+            let w = gen(16, WorkloadScale::Test, 1);
+            assert_eq!(w.num_threads(), 16);
+            assert!(w.total_transactions() > 0);
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<String> = [
+            vacation(1, WorkloadScale::Test, 1).name,
+            kmeans(1, WorkloadScale::Test, 1).name,
+            ssca2(1, WorkloadScale::Test, 1).name,
+            labyrinth(1, WorkloadScale::Test, 1).name,
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(names.len(), 4);
+    }
+}

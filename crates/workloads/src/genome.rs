@@ -1,0 +1,94 @@
+//! `genome` — gene sequencing (STAMP).
+//!
+//! STAMP's genome reconstructs a gene sequence from segments: a first phase
+//! deduplicates segments by inserting them into a shared hash set, a second
+//! phase string-matches and links them. Its characterization: **moderate
+//! transaction length, moderate read/write sets and low-to-moderate
+//! contention** — most insertions land in different buckets of a large hash
+//! table, so conflicts are comparatively rare. In the paper's results genome
+//! shows the smallest (but still positive) energy savings, and it is the one
+//! configuration (8 threads) where gating produced a slowdown.
+
+use htm_tcc::txn::WorkloadTrace;
+
+use crate::spec::{Range, SyntheticSpec, WorkloadScale};
+
+/// Default number of transactions per thread at full scale.
+pub const DEFAULT_TXS_PER_THREAD: usize = 60;
+
+/// The synthetic specification modelling genome's transactional behaviour.
+#[must_use]
+pub fn spec(seed: u64) -> SyntheticSpec {
+    SyntheticSpec {
+        name: "genome".into(),
+        seed,
+        // A few hot lines: the hash-table metadata / segment counters.
+        hot_lines: 16,
+        // The segment hash table itself: large, sparsely conflicting.
+        cold_lines: 192,
+        private_lines: 48,
+        txs_per_thread: DEFAULT_TXS_PER_THREAD,
+        // dedup-insert / hash-probe / match / link loop bodies.
+        static_txs: 4,
+        reads_per_tx: Range::new(4, 10),
+        writes_per_tx: Range::new(1, 3),
+        hot_read_prob: 0.08,
+        hot_write_prob: 0.10,
+        shared_cold_prob: 0.70,
+        compute_between_ops: Range::new(6, 16),
+        pre_compute: Range::new(10, 40),
+        site_rmw_prob: 0.08,
+        tx_id_base: 0x2_0000,
+    }
+}
+
+/// Generate the genome workload for `threads` threads.
+#[must_use]
+pub fn generate(threads: usize, scale: WorkloadScale, seed: u64) -> WorkloadTrace {
+    spec(seed).generate(threads, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intruder;
+
+    #[test]
+    fn transactions_are_moderate_length() {
+        let w = generate(4, WorkloadScale::Full, 1);
+        let mean_ops: f64 = {
+            let txs: Vec<_> = w.threads.iter().flat_map(|t| t.transactions.iter()).collect();
+            txs.iter().map(|t| t.memory_ops() as f64).sum::<f64>() / txs.len() as f64
+        };
+        assert!((5.0..=14.0).contains(&mean_ops), "mean ops {mean_ops:.1}");
+    }
+
+    #[test]
+    fn less_contended_than_intruder() {
+        // Compare the fraction of writes that hit each workload's hot region.
+        let hot_frac = |w: &WorkloadTrace, hot_lines: u64| {
+            let hot_limit = hot_lines * 64;
+            let (mut hot, mut total) = (0usize, 0usize);
+            for tx in w.threads.iter().flat_map(|t| t.transactions.iter()) {
+                for addr in tx.write_addrs() {
+                    total += 1;
+                    if addr < hot_limit {
+                        hot += 1;
+                    }
+                }
+            }
+            hot as f64 / total.max(1) as f64
+        };
+        let g = generate(8, WorkloadScale::Full, 1);
+        let i = intruder::generate(8, WorkloadScale::Full, 1);
+        assert!(
+            hot_frac(&g, 16) < hot_frac(&i, 8),
+            "genome must be visibly less contended than intruder"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(2, WorkloadScale::Test, 9), generate(2, WorkloadScale::Test, 9));
+    }
+}

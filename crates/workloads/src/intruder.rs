@@ -1,0 +1,87 @@
+//! `intruder` — network intrusion detection (STAMP).
+//!
+//! STAMP's intruder emulates a signature-based network intrusion detection
+//! system: threads repeatedly dequeue packet fragments from a shared work
+//! queue, reassemble them in a shared dictionary and run detection on
+//! complete flows. The characterization the paper relies on: **short
+//! transactions, small read/write sets and a high contention / abort rate**
+//! (the work queue head and the dictionary buckets are touched by everyone).
+//! This is the "highly-conflicting application" of Section VIII where clock
+//! gating saves the most energy.
+
+use htm_tcc::txn::WorkloadTrace;
+
+use crate::spec::{Range, SyntheticSpec, WorkloadScale};
+
+/// Default number of transactions per thread at full scale.
+pub const DEFAULT_TXS_PER_THREAD: usize = 80;
+
+/// The synthetic specification modelling intruder's transactional behaviour.
+#[must_use]
+pub fn spec(seed: u64) -> SyntheticSpec {
+    SyntheticSpec {
+        name: "intruder".into(),
+        seed,
+        // The shared queue head + a handful of hot dictionary buckets.
+        hot_lines: 6,
+        // Fragment map / flow table: shared but large.
+        cold_lines: 128,
+        private_lines: 32,
+        txs_per_thread: DEFAULT_TXS_PER_THREAD,
+        // capture / reassembly / detection loop bodies.
+        static_txs: 3,
+        reads_per_tx: Range::new(2, 5),
+        writes_per_tx: Range::new(1, 3),
+        hot_read_prob: 0.50,
+        hot_write_prob: 0.70,
+        shared_cold_prob: 0.60,
+        compute_between_ops: Range::new(3, 8),
+        pre_compute: Range::new(5, 20),
+        site_rmw_prob: 0.85,
+        tx_id_base: 0x1_0000,
+    }
+}
+
+/// Generate the intruder workload for `threads` threads.
+#[must_use]
+pub fn generate(threads: usize, scale: WorkloadScale, seed: u64) -> WorkloadTrace {
+    spec(seed).generate(threads, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transactions_are_short() {
+        let w = generate(4, WorkloadScale::Full, 1);
+        for tx in w.threads.iter().flat_map(|t| t.transactions.iter()) {
+            // 2-5 reads + 1-3 writes + the queue-head read-modify-write pair.
+            assert!(tx.memory_ops() <= 10, "intruder transactions are short: {}", tx.memory_ops());
+            assert!(!tx.write_addrs().is_empty(), "every transaction updates shared state");
+        }
+    }
+
+    #[test]
+    fn hot_region_is_heavily_used() {
+        let w = generate(8, WorkloadScale::Full, 1);
+        let hot_limit = 8 * 64;
+        let (mut hot, mut total) = (0usize, 0usize);
+        for tx in w.threads.iter().flat_map(|t| t.transactions.iter()) {
+            for addr in tx.write_addrs() {
+                total += 1;
+                if addr < hot_limit {
+                    hot += 1;
+                }
+            }
+        }
+        let frac = hot as f64 / total as f64;
+        assert!(frac > 0.4, "most intruder writes hit the contended structures: {frac:.2}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(4, WorkloadScale::Small, 3), generate(4, WorkloadScale::Small, 3));
+        assert_ne!(generate(4, WorkloadScale::Small, 3), generate(4, WorkloadScale::Small, 4));
+    }
+}

@@ -1,0 +1,116 @@
+//! Address-space layout used by the synthetic workload generators.
+//!
+//! Every workload partitions its address space into three regions:
+//!
+//! * a small **hot** shared region — the heavily contended structures (queue
+//!   heads, tree roots, frequently re-balanced buckets) that cause most
+//!   conflicts,
+//! * a large **cold** shared region — shared data that is touched by many
+//!   threads but rarely by two transactions at once (big hash tables, mesh
+//!   node pools),
+//! * a **private** region per thread — thread-local working memory that can
+//!   never conflict.
+//!
+//! Addresses are cache-line aligned so that one logical "object" maps to one
+//! line; false sharing is not part of the model (the paper's applications are
+//! dominated by true conflicts on shared structures).
+
+use serde::{Deserialize, Serialize};
+
+use htm_mem::Addr;
+
+/// Cache-line size used when laying out workload objects.
+pub const LINE_BYTES: u64 = 64;
+
+/// Address-space layout of a synthetic workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressLayout {
+    /// Number of cache lines in the hot shared region.
+    pub hot_lines: u64,
+    /// Number of cache lines in the cold shared region.
+    pub cold_lines: u64,
+    /// Number of private cache lines per thread.
+    pub private_lines: u64,
+    /// Number of threads.
+    pub threads: u64,
+}
+
+impl AddressLayout {
+    /// Create a layout.
+    #[must_use]
+    pub fn new(hot_lines: u64, cold_lines: u64, private_lines: u64, threads: u64) -> Self {
+        Self { hot_lines, cold_lines, private_lines, threads }
+    }
+
+    /// Byte address of the `i`-th hot line (`i < hot_lines`).
+    #[must_use]
+    pub fn hot(&self, i: u64) -> Addr {
+        debug_assert!(i < self.hot_lines);
+        i * LINE_BYTES
+    }
+
+    /// Byte address of the `i`-th cold shared line (`i < cold_lines`).
+    #[must_use]
+    pub fn cold(&self, i: u64) -> Addr {
+        debug_assert!(i < self.cold_lines);
+        (self.hot_lines + i) * LINE_BYTES
+    }
+
+    /// Byte address of the `i`-th private line of `thread`.
+    #[must_use]
+    pub fn private(&self, thread: u64, i: u64) -> Addr {
+        debug_assert!(thread < self.threads);
+        debug_assert!(i < self.private_lines);
+        (self.hot_lines + self.cold_lines + thread * self.private_lines + i) * LINE_BYTES
+    }
+
+    /// Total footprint in bytes.
+    #[must_use]
+    pub fn footprint_bytes(&self) -> u64 {
+        (self.hot_lines + self.cold_lines + self.threads * self.private_lines) * LINE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> AddressLayout {
+        AddressLayout::new(8, 100, 16, 4)
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let l = layout();
+        let hot_end = l.hot(7);
+        let cold_start = l.cold(0);
+        let cold_end = l.cold(99);
+        let priv_start = l.private(0, 0);
+        assert!(hot_end < cold_start);
+        assert!(cold_end < priv_start);
+    }
+
+    #[test]
+    fn private_regions_are_disjoint_between_threads() {
+        let l = layout();
+        let t0_last = l.private(0, 15);
+        let t1_first = l.private(1, 0);
+        assert!(t0_last < t1_first);
+    }
+
+    #[test]
+    fn addresses_are_line_aligned() {
+        let l = layout();
+        assert_eq!(l.hot(3) % LINE_BYTES, 0);
+        assert_eq!(l.cold(42) % LINE_BYTES, 0);
+        assert_eq!(l.private(2, 5) % LINE_BYTES, 0);
+    }
+
+    #[test]
+    fn footprint_covers_all_regions() {
+        let l = layout();
+        assert_eq!(l.footprint_bytes(), (8 + 100 + 4 * 16) * LINE_BYTES);
+        let max = l.private(3, 15);
+        assert!(max < l.footprint_bytes());
+    }
+}

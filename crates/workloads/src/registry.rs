@@ -1,0 +1,80 @@
+//! Name-based lookup of all available workloads.
+//!
+//! The experiment harness, the examples and the `reproduce` binary refer to
+//! workloads by name; this module is the single place that maps names to
+//! generators.
+
+use htm_tcc::txn::WorkloadTrace;
+
+use crate::spec::WorkloadScale;
+use crate::{extensions, genome, intruder, yada};
+
+/// Names of the three applications evaluated in the paper (Section VIII).
+pub const PAPER_WORKLOADS: [&str; 3] = ["genome", "yada", "intruder"];
+
+/// Names of every workload this crate can generate.
+pub const ALL_WORKLOADS: [&str; 7] =
+    ["genome", "yada", "intruder", "vacation", "kmeans", "ssca2", "labyrinth"];
+
+/// All available workload names.
+#[must_use]
+pub fn workload_names() -> Vec<&'static str> {
+    ALL_WORKLOADS.to_vec()
+}
+
+/// Generate a workload by name. Returns `None` for unknown names.
+#[must_use]
+pub fn by_name(name: &str, threads: usize, scale: WorkloadScale, seed: u64) -> Option<WorkloadTrace> {
+    match name {
+        "genome" => Some(genome::generate(threads, scale, seed)),
+        "yada" => Some(yada::generate(threads, scale, seed)),
+        "intruder" => Some(intruder::generate(threads, scale, seed)),
+        "vacation" => Some(extensions::vacation(threads, scale, seed)),
+        "kmeans" => Some(extensions::kmeans(threads, scale, seed)),
+        "ssca2" => Some(extensions::ssca2(threads, scale, seed)),
+        "labyrinth" => Some(extensions::labyrinth(threads, scale, seed)),
+        _ => None,
+    }
+}
+
+/// The paper's three applications, generated for `threads` threads.
+#[must_use]
+pub fn stamp_trio(threads: usize, scale: WorkloadScale, seed: u64) -> Vec<WorkloadTrace> {
+    PAPER_WORKLOADS
+        .iter()
+        .map(|name| by_name(name, threads, scale, seed).expect("paper workloads always exist"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_workload_is_constructible() {
+        for name in workload_names() {
+            let w = by_name(name, 4, WorkloadScale::Test, 1).unwrap();
+            assert_eq!(w.name, name);
+            assert_eq!(w.num_threads(), 4);
+        }
+    }
+
+    #[test]
+    fn unknown_name_returns_none() {
+        assert!(by_name("doesnotexist", 4, WorkloadScale::Test, 1).is_none());
+    }
+
+    #[test]
+    fn stamp_trio_matches_paper_order() {
+        let trio = stamp_trio(2, WorkloadScale::Test, 1);
+        let names: Vec<_> = trio.iter().map(|w| w.name.as_str()).collect();
+        assert_eq!(names, vec!["genome", "yada", "intruder"]);
+    }
+
+    #[test]
+    fn paper_workloads_are_a_subset_of_all() {
+        for p in PAPER_WORKLOADS {
+            assert!(ALL_WORKLOADS.contains(&p));
+        }
+    }
+}

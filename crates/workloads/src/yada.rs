@@ -1,0 +1,93 @@
+//! `yada` — Delaunay mesh refinement (STAMP).
+//!
+//! STAMP's yada (Yet Another Delaunay Application) refines a triangular mesh:
+//! each transaction grabs a "bad" triangle from a shared work queue, builds
+//! its cavity by walking neighbouring triangles and re-triangulates it. Its
+//! characterization: **long transactions with large read/write sets and
+//! moderate-to-high contention** — cavities of concurrently processed
+//! triangles frequently overlap, and the same refinement loop body is
+//! re-executed over and over. The paper points out that for such workloads
+//! the *renew* counter (rather than the abort counter) grows, which also
+//! produces a large gating window and significant energy savings.
+
+use htm_tcc::txn::WorkloadTrace;
+
+use crate::spec::{Range, SyntheticSpec, WorkloadScale};
+
+/// Default number of transactions per thread at full scale.
+pub const DEFAULT_TXS_PER_THREAD: usize = 36;
+
+/// The synthetic specification modelling yada's transactional behaviour.
+#[must_use]
+pub fn spec(seed: u64) -> SyntheticSpec {
+    SyntheticSpec {
+        name: "yada".into(),
+        seed,
+        // Work-queue head + the currently "interesting" mesh region.
+        hot_lines: 16,
+        // The mesh itself.
+        cold_lines: 160,
+        private_lines: 48,
+        txs_per_thread: DEFAULT_TXS_PER_THREAD,
+        // The refinement loop re-executes the same two atomic blocks.
+        static_txs: 2,
+        reads_per_tx: Range::new(10, 24),
+        writes_per_tx: Range::new(4, 10),
+        hot_read_prob: 0.25,
+        hot_write_prob: 0.30,
+        shared_cold_prob: 0.75,
+        compute_between_ops: Range::new(6, 14),
+        pre_compute: Range::new(5, 20),
+        site_rmw_prob: 0.55,
+        tx_id_base: 0x3_0000,
+    }
+}
+
+/// Generate the yada workload for `threads` threads.
+#[must_use]
+pub fn generate(threads: usize, scale: WorkloadScale, seed: u64) -> WorkloadTrace {
+    spec(seed).generate(threads, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{genome, intruder};
+
+    fn mean_ops(w: &WorkloadTrace) -> f64 {
+        let txs: Vec<_> = w.threads.iter().flat_map(|t| t.transactions.iter()).collect();
+        txs.iter().map(|t| t.memory_ops() as f64).sum::<f64>() / txs.len() as f64
+    }
+
+    #[test]
+    fn transactions_are_long() {
+        let w = generate(4, WorkloadScale::Full, 1);
+        assert!(mean_ops(&w) >= 15.0, "yada transactions are long: {:.1}", mean_ops(&w));
+    }
+
+    #[test]
+    fn longest_transactions_of_the_trio() {
+        let y = mean_ops(&generate(4, WorkloadScale::Full, 1));
+        let g = mean_ops(&genome::generate(4, WorkloadScale::Full, 1));
+        let i = mean_ops(&intruder::generate(4, WorkloadScale::Full, 1));
+        assert!(y > g && y > i, "yada={y:.1} genome={g:.1} intruder={i:.1}");
+    }
+
+    #[test]
+    fn write_sets_are_large() {
+        let w = generate(4, WorkloadScale::Full, 1);
+        let mean_writes: f64 = {
+            let txs: Vec<_> = w.threads.iter().flat_map(|t| t.transactions.iter()).collect();
+            txs.iter().map(|t| t.write_addrs().len() as f64).sum::<f64>() / txs.len() as f64
+        };
+        assert!(mean_writes >= 4.0, "mean writes {mean_writes:.1}");
+    }
+
+    #[test]
+    fn only_two_static_transactions() {
+        let w = generate(1, WorkloadScale::Full, 1);
+        let distinct: std::collections::HashSet<u64> =
+            w.threads[0].transactions.iter().map(|t| t.tx_id).collect();
+        assert_eq!(distinct.len(), 2);
+    }
+}

@@ -1,0 +1,73 @@
+//! Tuning the gating-aware contention manager (the paper's Fig. 7 study and
+//! the ablations of the mechanism).
+//!
+//! Sweeps the `W0` constant of Eq. 8 and compares the paper's policy against
+//! the alternative abort-handling strategies (plain TCC, exponential polite
+//! back-off, fixed gating window, staircase without the renewal check,
+//! linear back-off).
+//!
+//! ```bash
+//! cargo run --release --example gating_policy_tuning [workload] [procs]
+//! ```
+
+use clockgate_htm::report::format_table;
+use clockgate_htm::sim::{compare_runs, GatingMode, SimReport, SimulationBuilder};
+use htm_workloads::WorkloadScale;
+
+fn run(workload: &str, procs: usize, mode: GatingMode) -> SimReport {
+    SimulationBuilder::new()
+        .processors(procs)
+        .workload_by_name(workload, WorkloadScale::Full, 42)
+        .unwrap()
+        .gating(mode)
+        .run()
+        .expect("simulation")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let workload = args.get(1).map_or("intruder", String::as_str);
+    let procs: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+
+    println!("Gating-policy tuning on {workload} with {procs} processors\n");
+    let baseline = run(workload, procs, GatingMode::Ungated);
+
+    println!("-- W0 sensitivity (Eq. 8 staircase, the paper's Fig. 7) --");
+    let mut rows = Vec::new();
+    for w0 in [1u64, 2, 4, 8, 16, 32, 64] {
+        let gated = run(workload, procs, GatingMode::ClockGate { w0 });
+        let cmp = compare_runs(&baseline, &gated);
+        rows.push(vec![
+            w0.to_string(),
+            format!("{:.3}x", cmp.speedup),
+            format!("{:+.1}%", cmp.energy_savings_percent()),
+            gated.gating.map_or(0, |g| g.renewals).to_string(),
+        ]);
+    }
+    println!("{}", format_table(&["W0", "speed-up", "energy savings", "renewals"], &rows));
+
+    println!("-- Abort-handling strategies --");
+    let mut rows = Vec::new();
+    let modes: [(&str, GatingMode); 6] = [
+        ("plain TCC (baseline)", GatingMode::Ungated),
+        ("exponential back-off", GatingMode::ExponentialBackoff { base: 32, cap: 8 }),
+        ("clock gate, Eq. 8 (paper)", GatingMode::ClockGate { w0: 8 }),
+        ("clock gate, fixed 64-cycle window", GatingMode::ClockGateFixedWindow { window: 64 }),
+        ("clock gate, no renewal check", GatingMode::ClockGateNoRenew { w0: 8 }),
+        ("clock gate, linear back-off", GatingMode::ClockGateLinear { w0: 8 }),
+    ];
+    for (name, mode) in modes {
+        let report = run(workload, procs, mode);
+        let cmp = compare_runs(&baseline, &report);
+        rows.push(vec![
+            name.to_string(),
+            report.outcome.total_cycles.to_string(),
+            format!("{:.2}", report.outcome.abort_rate()),
+            format!("{:+.1}%", cmp.energy_savings_percent()),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(&["strategy", "cycles", "aborts/commit", "energy vs baseline"], &rows)
+    );
+}

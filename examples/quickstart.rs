@@ -1,0 +1,81 @@
+//! Quickstart: run one STAMP-like workload with and without clock gating and
+//! print the comparison the paper's Figs. 4–6 are built from.
+//!
+//! ```bash
+//! cargo run --release --example quickstart [workload] [procs] [w0]
+//! ```
+
+use clockgate_htm::sim::{compare_runs, GatingMode, SimulationBuilder};
+use htm_workloads::WorkloadScale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let workload = args.get(1).map_or("intruder", String::as_str);
+    let procs: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let w0: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let seed = 42;
+
+    println!("== Clock Gate on Abort: quickstart ==");
+    println!("workload={workload} processors={procs} W0={w0}\n");
+
+    let ungated = SimulationBuilder::new()
+        .processors(procs)
+        .workload_by_name(workload, WorkloadScale::Full, seed)
+        .expect("known workload")
+        .gating(GatingMode::Ungated)
+        .run()
+        .expect("simulation must complete");
+
+    let gated = SimulationBuilder::new()
+        .processors(procs)
+        .workload_by_name(workload, WorkloadScale::Full, seed)
+        .expect("known workload")
+        .gating(GatingMode::ClockGate { w0 })
+        .run()
+        .expect("simulation must complete");
+
+    for (label, report) in [("without clock gating", &ungated), ("with clock gating", &gated)] {
+        let o = &report.outcome;
+        println!("--- {label} ---");
+        println!("  parallel execution time : {} cycles", o.total_cycles);
+        println!("  commits / aborts        : {} / {}", o.total_commits, o.total_aborts);
+        println!("  abort rate              : {:.2} aborts per commit", o.abort_rate());
+        println!(
+            "  processor-cycles          run={} miss={} commit={} gated={}",
+            o.state_cycles.iter().map(|s| s.run).sum::<u64>(),
+            o.total_miss_cycles(),
+            o.total_commit_cycles(),
+            o.total_gated_cycles(),
+        );
+        println!("  total energy            : {:.0} (run-power x cycles)", report.total_energy());
+        println!(
+            "  bus transfers           : {} control, {} data ({} bus-busy cycles)",
+            o.bus.control_transfers, o.bus.data_transfers, o.bus.busy_cycles
+        );
+        if let Some(g) = &report.gating {
+            println!(
+                "  gatings / renewals      : {} / {} (wakes: gone={} diff-tx={} null={})",
+                g.gatings,
+                g.renewals,
+                g.ungate_aborter_gone,
+                g.ungate_different_tx,
+                g.ungate_null_reply
+            );
+        }
+        println!();
+    }
+
+    let cmp = compare_runs(&ungated, &gated);
+    println!("--- comparison (paper metrics) ---");
+    println!("  speed-up (N1/N2)             : {:.3}x ({:+.1}%)", cmp.speedup, cmp.speedup_percent());
+    println!(
+        "  energy reduction (Eug/Eg)    : {:.3}x ({:+.1}% savings)",
+        cmp.energy_reduction,
+        cmp.energy_savings_percent()
+    );
+    println!(
+        "  average power reduction      : {:.3}x ({:+.1}% savings)",
+        cmp.average_power_reduction,
+        cmp.average_power_savings_percent()
+    );
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the *Clock Gate on Abort* reproduction.
+//!
+//! This crate re-exports the public API of every workspace member so that
+//! examples and integration tests can use a single import root. Library
+//! consumers should depend on [`clockgate_htm`] (the paper's contribution and
+//! the experiment harness) directly; the substrate crates are re-exported for
+//! advanced use (building custom workloads, instrumenting the protocol, or
+//! embedding the simulation engine elsewhere).
+
+pub use clockgate_htm as core;
+pub use htm_mem as mem;
+pub use htm_power as power;
+pub use htm_sim as sim;
+pub use htm_tcc as tcc;
+pub use htm_workloads as workloads;

@@ -1,0 +1,122 @@
+//! Cross-crate integration tests: full simulations through the public API.
+
+use clockgate_htm::sim::{compare_runs, GatingMode, SimulationBuilder};
+use htm_workloads::{workload_names, WorkloadScale};
+
+fn run(workload: &str, procs: usize, mode: GatingMode, seed: u64) -> clockgate_htm::SimReport {
+    SimulationBuilder::new()
+        .processors(procs)
+        .workload_by_name(workload, WorkloadScale::Test, seed)
+        .unwrap()
+        .gating(mode)
+        .cycle_limit(50_000_000)
+        .run()
+        .unwrap()
+}
+
+#[test]
+fn every_workload_completes_under_every_mode() {
+    // Liveness: every transaction of every workload commits, gated or not,
+    // and the accounting is internally consistent.
+    for workload in workload_names() {
+        for mode in [GatingMode::Ungated, GatingMode::ClockGate { w0: 8 }] {
+            let report = run(workload, 4, mode, 3);
+            assert!(report.outcome.total_commits > 0, "{workload} under {mode:?}");
+            report.outcome.check_consistency().unwrap_or_else(|e| {
+                panic!("inconsistent accounting for {workload} under {mode:?}: {e}")
+            });
+            assert!(
+                report.energy.accounting_discrepancy() < 1e-9,
+                "direct and interval energy accountings must agree for {workload}"
+            );
+        }
+    }
+}
+
+#[test]
+fn commit_counts_are_mode_independent() {
+    // Clock gating changes *when* transactions run, never *whether* they
+    // commit: the committed-transaction count must match the trace exactly.
+    for workload in ["genome", "yada", "intruder"] {
+        let expected = htm_workloads::by_name(workload, 8, WorkloadScale::Test, 9)
+            .unwrap()
+            .total_transactions() as u64;
+        for mode in [
+            GatingMode::Ungated,
+            GatingMode::ExponentialBackoff { base: 16, cap: 6 },
+            GatingMode::ClockGate { w0: 8 },
+            GatingMode::ClockGateNoRenew { w0: 8 },
+        ] {
+            let report = run(workload, 8, mode, 9);
+            assert_eq!(
+                report.outcome.total_commits, expected,
+                "{workload} under {mode:?} must commit every transaction exactly once"
+            );
+        }
+    }
+}
+
+#[test]
+fn simulations_are_bit_for_bit_reproducible() {
+    let a = run("intruder", 8, GatingMode::ClockGate { w0: 8 }, 5);
+    let b = run("intruder", 8, GatingMode::ClockGate { w0: 8 }, 5);
+    assert_eq!(a.outcome.total_cycles, b.outcome.total_cycles);
+    assert_eq!(a.outcome.total_aborts, b.outcome.total_aborts);
+    assert_eq!(a.outcome.total_gatings, b.outcome.total_gatings);
+    assert_eq!(a.outcome.state_cycles, b.outcome.state_cycles);
+    assert!((a.total_energy() - b.total_energy()).abs() < 1e-9);
+}
+
+#[test]
+fn different_seeds_produce_different_schedules() {
+    let a = run("intruder", 4, GatingMode::Ungated, 1);
+    let b = run("intruder", 4, GatingMode::Ungated, 2);
+    assert_ne!(
+        (a.outcome.total_cycles, a.outcome.total_aborts),
+        (b.outcome.total_cycles, b.outcome.total_aborts)
+    );
+}
+
+#[test]
+fn gating_moves_cycles_into_the_gated_state_on_contended_runs() {
+    let ungated = run("intruder", 8, GatingMode::Ungated, 11);
+    let gated = run("intruder", 8, GatingMode::ClockGate { w0: 8 }, 11);
+    assert_eq!(ungated.outcome.total_gated_cycles(), 0);
+    assert!(gated.outcome.total_gated_cycles() > 0);
+    assert!(gated.outcome.total_gatings > 0);
+    // The gating-aware contention manager never increases the abort count.
+    assert!(gated.outcome.total_aborts <= ungated.outcome.total_aborts);
+    let cmp = compare_runs(&ungated, &gated);
+    assert!(cmp.energy_reduction.is_finite());
+    assert!(cmp.speedup > 0.0);
+}
+
+#[test]
+fn low_contention_workloads_barely_gate() {
+    // genome (and ssca2) conflict rarely: the mechanism must stay out of the
+    // way, exactly as Section VI argues.
+    let gated = run("ssca2", 8, GatingMode::ClockGate { w0: 8 }, 7);
+    let total_proc_cycles: u64 = gated.outcome.state_cycles.iter().map(|s| s.total()).sum();
+    assert!(
+        (gated.outcome.total_gated_cycles() as f64) < 0.05 * total_proc_cycles as f64,
+        "a low-contention workload must spend <5% of processor cycles gated"
+    );
+}
+
+#[test]
+fn ungated_baseline_never_reports_gated_cycles() {
+    for workload in ["genome", "yada", "intruder", "kmeans"] {
+        let r = run(workload, 4, GatingMode::Ungated, 13);
+        assert_eq!(r.outcome.total_gated_cycles(), 0);
+        assert_eq!(r.outcome.total_gatings, 0);
+        assert!(r.gating.is_none());
+    }
+}
+
+#[test]
+fn sixteen_processor_configurations_run() {
+    let r = run("intruder", 16, GatingMode::ClockGate { w0: 8 }, 21);
+    assert_eq!(r.outcome.num_procs, 16);
+    assert!(r.outcome.total_commits > 0);
+    r.outcome.check_consistency().unwrap();
+}

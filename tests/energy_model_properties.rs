@@ -1,0 +1,132 @@
+//! Property-based tests of the power / energy model (Section IV and VII) and
+//! of the contention-management staircase (Eq. 8).
+
+use proptest::prelude::*;
+
+use clockgate_htm::gating::contention::{pow2_ceil_lg, ContentionPolicy, GatingAwarePolicy};
+use htm_power::cache_power::CachePowerModel;
+use htm_power::energy;
+use htm_power::model::PowerModel;
+use htm_sim::interval::IntervalTracker;
+use htm_tcc::stats::{ProcStats, RunOutcome, StateCycles};
+
+/// Build a consistent synthetic outcome from per-processor state cycles where
+/// every processor has the same per-cycle composition.
+fn outcome_from_columns(columns: Vec<(u64, u64, u64, u64)>) -> RunOutcome {
+    // Interpret each column as one *cycle block* applied to all processors:
+    // (run procs, miss procs, commit procs, gated procs) for `1` cycle each.
+    let num_procs: u64 = columns.iter().map(|c| c.0 + c.1 + c.2 + c.3).max().unwrap_or(1);
+    let num_procs = num_procs.max(1) as usize;
+    let mut state_cycles = vec![StateCycles::default(); num_procs];
+    let mut intervals = IntervalTracker::new(num_procs);
+    let mut total = 0u64;
+    for (run, miss, commit, gated) in columns {
+        let sum = (run + miss + commit + gated) as usize;
+        if sum == 0 || sum > num_procs {
+            continue;
+        }
+        total += 1;
+        // Assign states to processors 0..sum-1, the rest run.
+        let mut idx = 0usize;
+        for _ in 0..miss {
+            state_cycles[idx].miss += 1;
+            idx += 1;
+        }
+        for _ in 0..commit {
+            state_cycles[idx].commit += 1;
+            idx += 1;
+        }
+        for _ in 0..gated {
+            state_cycles[idx].gated += 1;
+            idx += 1;
+        }
+        while idx < num_procs {
+            state_cycles[idx].run += 1;
+            idx += 1;
+        }
+        intervals.record(1, gated as usize, miss as usize, commit as usize);
+    }
+    RunOutcome {
+        workload: "prop".into(),
+        num_procs,
+        total_cycles: total,
+        first_tx_start: 0,
+        last_commit_end: total,
+        state_cycles,
+        proc_stats: vec![ProcStats::new(); num_procs],
+        intervals,
+        bus: htm_sim::bus::BusStats::default(),
+        total_commits: 1,
+        total_aborts: 0,
+        total_gatings: 0,
+    }
+}
+
+proptest! {
+    /// Eq. (1)/(5) evaluated from the interval decomposition must equal the
+    /// direct per-processor accounting for any composition of states.
+    #[test]
+    fn interval_and_direct_accountings_agree(
+        columns in proptest::collection::vec((0u64..4, 0u64..4, 0u64..4, 0u64..4), 1..60)
+    ) {
+        let outcome = outcome_from_columns(columns);
+        prop_assume!(outcome.total_cycles > 0);
+        let model = PowerModel::alpha_21264_65nm();
+        let report = energy::analyze(&outcome, &model);
+        prop_assert!(report.accounting_discrepancy() < 1e-9,
+            "discrepancy {} on {:?}", report.accounting_discrepancy(), outcome.state_cycles);
+    }
+
+    /// Converting run cycles into gated cycles can only reduce energy, never
+    /// increase it (gated power is the smallest factor).
+    #[test]
+    fn gating_cycles_never_increase_energy(
+        run in 1u64..100_000,
+        gated_fraction in 0u64..=100,
+    ) {
+        let model = PowerModel::alpha_21264_65nm();
+        let total = run;
+        let gated = total * gated_fraction / 100;
+        let busy = total - gated;
+        let all_run = outcome_from_columns(vec![(1, 0, 0, 0); total as usize]);
+        let mut partly_gated_cols = vec![(1u64, 0u64, 0u64, 0u64); busy as usize];
+        partly_gated_cols.extend(vec![(0u64, 0u64, 0u64, 1u64); gated as usize]);
+        let partly_gated = outcome_from_columns(partly_gated_cols);
+        let e_run = energy::analyze(&all_run, &model).total_energy;
+        let e_gated = energy::analyze(&partly_gated, &model).total_energy;
+        prop_assert!(e_gated <= e_run + 1e-9);
+    }
+
+    /// The Eq. 8 window is monotone in both counters and scales linearly in W0.
+    #[test]
+    fn staircase_window_is_monotone(w0 in 1u64..64, na in 1u32..200, nr in 0u32..200) {
+        let p = GatingAwarePolicy::new(w0);
+        prop_assert!(p.window(na + 1, nr) >= p.window(na, nr));
+        prop_assert!(p.window(na, nr + 1) >= p.window(na, nr));
+        let doubled = GatingAwarePolicy::new(w0 * 2);
+        prop_assert_eq!(doubled.window(na, nr), 2 * p.window(na, nr));
+    }
+
+    /// `2^ceil(lg n)` is the smallest power of two >= n.
+    #[test]
+    fn pow2_ceil_lg_is_tight(n in 1u32..1_000_000) {
+        let p = pow2_ceil_lg(n);
+        prop_assert!(p.is_power_of_two());
+        prop_assert!(p >= u64::from(n));
+        prop_assert!(p / 2 < u64::from(n));
+    }
+
+    /// Finer RW-bit tracking always costs more cache power (Fig. 3 curves are
+    /// monotone), and every point stays above the normalized baseline.
+    #[test]
+    fn cache_power_monotone_in_resolution(kb in prop::sample::select(vec![16usize, 32, 64, 128])) {
+        let m = CachePowerModel::new_kb(kb);
+        let series = m.fig3_series();
+        for w in series.windows(2) {
+            prop_assert!(w[1].1 > w[0].1);
+        }
+        for (_, p) in series {
+            prop_assert!(p >= 100.0);
+        }
+    }
+}

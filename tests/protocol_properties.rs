@@ -1,0 +1,91 @@
+//! Property-based tests of the TCC substrate and the gating protocol driven
+//! through randomly generated workloads.
+
+use proptest::prelude::*;
+
+use clockgate_htm::sim::{GatingMode, SimulationBuilder};
+use htm_workloads::spec::{Range, SyntheticSpec};
+use htm_workloads::WorkloadScale;
+
+/// A random (but small) synthetic workload specification.
+fn arb_spec() -> impl Strategy<Value = SyntheticSpec> {
+    (
+        1u64..8,        // hot lines
+        8u64..64,       // cold lines
+        4u64..32,       // private lines
+        1usize..4,      // static transactions
+        1u64..6,        // max reads
+        1u64..4,        // max writes
+        0.0f64..0.8,    // hot write probability
+        0.0f64..0.9,    // site RMW probability
+        0u64..1_000_000,
+    )
+        .prop_map(
+            |(hot, cold, private, static_txs, reads, writes, hot_w, site, seed)| SyntheticSpec {
+                name: "prop-workload".into(),
+                seed,
+                hot_lines: hot,
+                cold_lines: cold,
+                private_lines: private,
+                txs_per_thread: 6,
+                static_txs,
+                reads_per_tx: Range::new(1, reads),
+                writes_per_tx: Range::new(1, writes),
+                hot_read_prob: hot_w * 0.8,
+                hot_write_prob: hot_w,
+                shared_cold_prob: 0.5,
+                compute_between_ops: Range::new(1, 6),
+                pre_compute: Range::new(0, 20),
+                site_rmw_prob: site,
+                tx_id_base: 0x8_0000,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Liveness + exactness: whatever the workload looks like, every
+    /// transaction commits exactly once, with and without clock gating, and
+    /// the cycle accounting stays consistent.
+    #[test]
+    fn random_workloads_commit_everything(spec in arb_spec(), procs in prop::sample::select(vec![2usize, 4])) {
+        let workload = spec.generate(procs, WorkloadScale::Full);
+        let expected = workload.total_transactions() as u64;
+        for mode in [GatingMode::Ungated, GatingMode::ClockGate { w0: 8 }] {
+            let report = SimulationBuilder::new()
+                .processors(procs)
+                .workload(workload.clone())
+                .gating(mode)
+                .cycle_limit(20_000_000)
+                .run()
+                .unwrap();
+            prop_assert_eq!(report.outcome.total_commits, expected);
+            prop_assert!(report.outcome.check_consistency().is_ok());
+            prop_assert!(report.energy.accounting_discrepancy() < 1e-9);
+            if matches!(mode, GatingMode::Ungated) {
+                prop_assert_eq!(report.outcome.total_gated_cycles(), 0);
+            }
+        }
+    }
+
+    /// The simulation is a pure function of (config, workload, mode).
+    #[test]
+    fn random_workloads_are_deterministic(spec in arb_spec()) {
+        let workload = spec.generate(2, WorkloadScale::Full);
+        let run = || {
+            SimulationBuilder::new()
+                .processors(2)
+                .workload(workload.clone())
+                .gating(GatingMode::ClockGate { w0: 4 })
+                .cycle_limit(20_000_000)
+                .run()
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.outcome.total_cycles, b.outcome.total_cycles);
+        prop_assert_eq!(a.outcome.total_aborts, b.outcome.total_aborts);
+        prop_assert_eq!(a.outcome.state_cycles, b.outcome.state_cycles);
+    }
+}
