@@ -27,13 +27,25 @@ fn run(mode: GatingMode) -> (u64, f64) {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_contention");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
     let modes: [(&str, GatingMode); 6] = [
         ("baseline_tcc", GatingMode::Ungated),
-        ("exp_backoff", GatingMode::ExponentialBackoff { base: 32, cap: 8 }),
+        (
+            "exp_backoff",
+            GatingMode::ExponentialBackoff { base: 32, cap: 8 },
+        ),
         ("clock_gate_eq8", GatingMode::ClockGate { w0: 8 }),
-        ("clock_gate_fixed", GatingMode::ClockGateFixedWindow { window: 64 }),
-        ("clock_gate_no_renew", GatingMode::ClockGateNoRenew { w0: 8 }),
+        (
+            "clock_gate_fixed",
+            GatingMode::ClockGateFixedWindow { window: 64 },
+        ),
+        (
+            "clock_gate_no_renew",
+            GatingMode::ClockGateNoRenew { w0: 8 },
+        ),
         ("clock_gate_linear", GatingMode::ClockGateLinear { w0: 8 }),
     ];
     for (name, mode) in modes {

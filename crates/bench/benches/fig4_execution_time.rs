@@ -31,11 +31,17 @@ fn run(workload: &str, mode: GatingMode) -> u64 {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_execution_time");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
     for workload in ["genome", "yada", "intruder"] {
         let n1 = run(workload, GatingMode::Ungated);
         let n2 = run(workload, GatingMode::ClockGate { w0: 8 });
-        println!("fig4[{workload} x {PROCS}p]: ungated={n1} cycles, gated={n2} cycles, speedup={:.3}x", n1 as f64 / n2 as f64);
+        println!(
+            "fig4[{workload} x {PROCS}p]: ungated={n1} cycles, gated={n2} cycles, speedup={:.3}x",
+            n1 as f64 / n2 as f64
+        );
         group.bench_function(format!("{workload}/ungated"), |b| {
             b.iter(|| black_box(run(workload, GatingMode::Ungated)));
         });

@@ -26,7 +26,10 @@ fn run(workload: &str, procs: usize, mode: GatingMode) -> SimReport {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_energy");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
 
     let ungated = run("intruder", 8, GatingMode::Ungated);
     let gated = run("intruder", 8, GatingMode::ClockGate { w0: 8 });

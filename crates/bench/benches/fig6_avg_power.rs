@@ -24,7 +24,10 @@ fn run(workload: &str, mode: GatingMode) -> SimReport {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_avg_power");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
 
     let ungated = run("yada", GatingMode::Ungated);
     let gated = run("yada", GatingMode::ClockGate { w0: 8 });

@@ -22,7 +22,10 @@ fn gated_cycles(workload: &str, procs: usize, w0: u64) -> u64 {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_w0_sensitivity");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
     for w0 in [2u64, 8, 32] {
         let n = gated_cycles("intruder", 8, w0);
         println!("fig7[intruder x 8p, W0={w0}]: gated execution time = {n} cycles");

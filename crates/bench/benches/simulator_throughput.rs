@@ -25,7 +25,10 @@ fn simulated_cycles(procs: usize) -> u64 {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator_throughput");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
     for procs in [4usize, 16] {
         let cycles = simulated_cycles(procs);
         group.throughput(Throughput::Elements(cycles));

@@ -6,28 +6,78 @@
 //! cargo run --release -p htm-bench --bin reproduce -- fig4 fig5 fig6 summary
 //! cargo run --release -p htm-bench --bin reproduce -- fig7
 //! cargo run --release -p htm-bench --bin reproduce -- --json fig5
+//! cargo run --release -p htm-bench --bin reproduce -- --smoke
 //! ```
+//!
+//! `--quick` keeps the full evaluation matrix but at small workload scale;
+//! `--smoke` is the CI gate: tiny workloads on a single processor count,
+//! with every produced table/figure also written as a JSON artifact under
+//! `--out` (default `reproduce-out/`).
 
-use clockgate_htm::experiments::{
-    self, EvaluationMatrix, ExperimentConfig, Fig7Result,
-};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use clockgate_htm::experiments::{self, EvaluationMatrix, ExperimentConfig, Fig7Result};
 use clockgate_htm::report;
+use htm_power::model::PowerModel;
+
+/// Print one line to stdout, exiting quietly if the reader went away
+/// (`reproduce table1 | head` must not panic on the broken pipe).
+fn outln(text: std::fmt::Arguments<'_>) {
+    let mut stdout = std::io::stdout().lock();
+    let ok = stdout
+        .write_fmt(text)
+        .and_then(|()| stdout.write_all(b"\n"))
+        .is_ok();
+    if !ok {
+        std::process::exit(0);
+    }
+}
+
+macro_rules! outln {
+    ($($t:tt)*) => {
+        outln(format_args!($($t)*))
+    };
+}
 
 fn usage() -> ! {
     eprintln!(
-        "usage: reproduce [--json] [--quick] [all|table1|table2|fig3|fig4|fig5|fig6|fig7|summary]..."
+        "usage: reproduce [--json] [--quick] [--smoke] [--out DIR] \
+         [all|table1|table2|fig3|fig4|fig5|fig6|fig7|summary]..."
     );
     std::process::exit(2);
+}
+
+/// Write one table/figure JSON artifact, creating the directory on demand.
+fn write_artifact(dir: &Path, name: &str, json: &str) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create artifact dir {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", path.display());
 }
 
 fn main() {
     let mut json = false;
     let mut quick = false;
+    let mut smoke = false;
+    let mut out_dir: Option<PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--quick" => quick = true,
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(dir) => out_dir = Some(PathBuf::from(dir)),
+                None => usage(),
+            },
             "-h" | "--help" => usage(),
             other => targets.push(other.to_string()),
         }
@@ -35,29 +85,60 @@ fn main() {
     if targets.is_empty() {
         targets.push("all".to_string());
     }
+    const KNOWN: [&str; 9] = [
+        "all", "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "summary",
+    ];
+    for t in &targets {
+        if !KNOWN.contains(&t.as_str()) {
+            eprintln!("unknown target `{t}`");
+            usage();
+        }
+    }
     let all = targets.iter().any(|t| t == "all");
     let wants = |name: &str| all || targets.iter().any(|t| t == name);
 
-    let cfg = if quick {
-        ExperimentConfig { scale: htm_workloads::WorkloadScale::Small, ..ExperimentConfig::default() }
+    let cfg = if smoke {
+        ExperimentConfig {
+            processor_counts: vec![4],
+            scale: htm_workloads::WorkloadScale::Test,
+            ..ExperimentConfig::default()
+        }
+    } else if quick {
+        ExperimentConfig {
+            scale: htm_workloads::WorkloadScale::Small,
+            ..ExperimentConfig::default()
+        }
     } else {
         ExperimentConfig::default()
     };
+    if smoke && out_dir.is_none() {
+        out_dir = Some(PathBuf::from("reproduce-out"));
+    }
 
     if wants("table1") {
-        println!("{}", experiments::render_table1());
+        outln!("{}", experiments::render_table1());
+        if let Some(dir) = &out_dir {
+            write_artifact(
+                dir,
+                "table1_power_model",
+                &report::to_json(&PowerModel::alpha_21264_65nm()),
+            );
+        }
     }
     if wants("table2") {
         for &p in &cfg.processor_counts {
-            println!("{}", experiments::render_table2(p));
+            outln!("{}", experiments::render_table2(p));
         }
     }
     if wants("fig3") {
         let f = experiments::fig3();
         if json {
-            println!("{}", report::to_json(&f));
+            outln!("{}", report::to_json(&f));
         } else {
-            println!("{}", experiments::render_fig3(&f));
+            outln!("{}", experiments::render_fig3(&f));
+        }
+        if let Some(dir) = &out_dir {
+            write_artifact(dir, "fig3_cache_power", &report::to_json(&f));
         }
     }
 
@@ -75,19 +156,30 @@ fn main() {
 
     if let Some(matrix) = &matrix {
         if wants("fig4") {
-            println!("{}", experiments::render_fig4(matrix));
+            outln!("{}", experiments::render_fig4(matrix));
         }
         if wants("fig5") {
-            println!("{}", experiments::render_fig5(matrix));
+            outln!("{}", experiments::render_fig5(matrix));
         }
         if wants("fig6") {
-            println!("{}", experiments::render_fig6(matrix));
+            outln!("{}", experiments::render_fig6(matrix));
         }
         if wants("summary") {
-            println!("{}", experiments::render_summary(&experiments::summary(matrix)));
+            outln!(
+                "{}",
+                experiments::render_summary(&experiments::summary(matrix))
+            );
         }
         if json {
-            println!("{}", report::to_json(matrix));
+            outln!("{}", report::to_json(matrix));
+        }
+        if let Some(dir) = &out_dir {
+            write_artifact(dir, "evaluation_matrix", &report::to_json(matrix));
+            write_artifact(
+                dir,
+                "summary",
+                &report::to_json(&experiments::summary(matrix)),
+            );
         }
     }
 
@@ -96,9 +188,12 @@ fn main() {
         let w0_values = [1, 2, 4, 8, 16, 32, 64];
         let f: Fig7Result = experiments::fig7(&cfg, &w0_values).expect("fig7 sweep must complete");
         if json {
-            println!("{}", report::to_json(&f));
+            outln!("{}", report::to_json(&f));
         } else {
-            println!("{}", experiments::render_fig7(&f));
+            outln!("{}", experiments::render_fig7(&f));
+        }
+        if let Some(dir) = &out_dir {
+            write_artifact(dir, "fig7_w0_sensitivity", &report::to_json(&f));
         }
     }
 }

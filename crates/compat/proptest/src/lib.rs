@@ -1,0 +1,487 @@
+//! Offline in-tree stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this crate provides the
+//! subset of proptest the workspace's property tests use: range and tuple
+//! strategies, [`strategy::Strategy::prop_map`], [`collection::vec`],
+//! [`sample::select`], [`test_runner::ProptestConfig`] and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`]
+//! macros.
+//!
+//! Semantics differ from real proptest in two deliberate ways: case
+//! generation is *deterministic* (seeded from the test name, so failures
+//! reproduce exactly on every platform), and failing cases are **not
+//! shrunk** — the failing input is printed as-is.
+
+#![warn(missing_docs)]
+
+/// Strategies for generating values.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of random values of type [`Strategy::Value`].
+    ///
+    /// Unlike real proptest there is no value tree / shrinking; a strategy
+    /// just samples.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Sample one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // Two's-complement span arithmetic: correct for wide
+                    // signed ranges (e.g. -100i8..100) where `end - start`
+                    // would overflow the element type.
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    (self.start as u64).wrapping_add(rng.next_u64() % span) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full-width inclusive range: every value is valid.
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as u64).wrapping_add(rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            let u = rng.next_f64();
+            let v = self.start + u * (self.end - self.start);
+            // Keep the upper bound exclusive even when rounding lands on
+            // `end`; `next_down` handles signs and zero correctly (the old
+            // bit-twiddled clamp broke for end <= 0.0).
+            if v >= self.end {
+                self.end.next_down().max(self.start)
+            } else {
+                v.max(self.start)
+            }
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            let u = rng.next_f64();
+            self.start() + u * (self.end() - self.start())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generate `Vec`s whose length lies in `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies over explicit value lists.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy returned by [`select`].
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// Choose uniformly from `options` (which must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[idx].clone()
+        }
+    }
+}
+
+/// Test-runner plumbing: configuration, RNG and case errors.
+pub mod test_runner {
+    /// Number of cases to run per property, mirroring
+    /// `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// How many sampled cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// Why a single sampled case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the input; the case is skipped.
+        Reject,
+        /// A `prop_assert*!` failed; the property is falsified.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure with a rendered message.
+        pub fn fail(msg: impl std::fmt::Display) -> Self {
+            Self::Fail(msg.to_string())
+        }
+    }
+
+    /// Deterministic splitmix64 RNG driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded constructor; the `proptest!` macro seeds from the test
+        /// name so each property gets an independent, reproducible stream.
+        #[must_use]
+        pub fn deterministic(seed: u64) -> Self {
+            Self {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// The proptest prelude: strategies, config and macros.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that checks the body against `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __seed = 0xcbf2_9ce4_8422_2325u64;
+                for __b in stringify!($name).bytes() {
+                    __seed = (__seed ^ u64::from(__b)).wrapping_mul(0x100_0000_01b3);
+                }
+                let mut __rng = $crate::test_runner::TestRng::deterministic(__seed);
+                let mut __ran = 0u32;
+                let mut __attempts = 0u32;
+                while __ran < __cfg.cases && __attempts < __cfg.cases * 16 {
+                    __attempts += 1;
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __ran += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("property '{}' falsified: {}", stringify!($name), msg);
+                        }
+                    }
+                }
+                assert!(
+                    __ran >= __cfg.cases,
+                    "property '{}': too many prop_assume! rejects \
+                     (only {} of {} cases ran in {} attempts)",
+                    stringify!($name),
+                    __ran,
+                    __cfg.cases,
+                    __attempts
+                );
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a `proptest!` body, reporting the sampled case
+/// on failure instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Reject the current sampled case (skip it without failing the property).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::deterministic(1);
+        for _ in 0..1000 {
+            let v = (3u64..17).sample(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (0.25f64..0.75).sample(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn negative_f64_range_actually_varies() {
+        let mut rng = TestRng::deterministic(3);
+        let mut distinct = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let v = (-1.0f64..0.0).sample(&mut rng);
+            assert!((-1.0..0.0).contains(&v), "out of range: {v}");
+            distinct.insert(v.to_bits());
+        }
+        assert!(
+            distinct.len() > 100,
+            "range collapsed to {} values",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn wide_signed_range_does_not_overflow() {
+        let mut rng = TestRng::deterministic(4);
+        for _ in 0..1000 {
+            let v = (-100i8..100).sample(&mut rng);
+            assert!((-100..100).contains(&v));
+            let w = (i64::MIN..=i64::MAX).sample(&mut rng);
+            let _ = w;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too many prop_assume! rejects")]
+    fn all_rejected_cases_fail_instead_of_passing() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(dead_code)]
+            fn always_rejected(x in 0u64..10) {
+                prop_assume!(x > 100);
+            }
+        }
+        always_rejected();
+    }
+
+    #[test]
+    fn select_and_vec_compose() {
+        let mut rng = TestRng::deterministic(2);
+        let strat = crate::collection::vec(prop::sample::select(vec![1u32, 2, 3]), 2..5);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|x| (1..=3).contains(x)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: bindings, prop_map, assume and assert all work.
+        #[test]
+        fn macro_smoke(x in 1u64..100, y in (0u64..10).prop_map(|v| v * 2)) {
+            prop_assume!(x != 13);
+            prop_assert!(x >= 1);
+            prop_assert_eq!(y % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Offline in-tree stand-in for `serde_derive`.
+//!
+//! The build container has no crates.io access, so these derives are written
+//! against `proc_macro` alone — no `syn`, no `quote`. The parser handles the
+//! exact shapes this workspace uses:
+//!
+//! * non-generic structs: named-field, tuple (newtype collapses to its inner
+//!   value, wider tuples to a sequence) and unit,
+//! * non-generic enums with unit, tuple and struct variants, lowered in
+//!   serde's externally-tagged representation.
+//!
+//! Generic items are rejected with a `compile_error!` pointing here, so an
+//! unsupported use fails loudly at the definition site instead of producing
+//! a wrong impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the item a derive was applied to.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Parsed shape of one enum variant.
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<String>),
+}
+
+/// Derive the stand-in `serde::Serialize` (lowering into `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => error(&msg),
+    }
+}
+
+/// Derive the stand-in `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let name = match &item {
+                Item::NamedStruct { name, .. }
+                | Item::TupleStruct { name, .. }
+                | Item::UnitStruct { name }
+                | Item::Enum { name, .. } => name,
+            };
+            format!("impl ::serde::Deserialize for {name} {{}}")
+                .parse()
+                .unwrap()
+        }
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!(\"serde_derive (in-tree stand-in): {msg}\");")
+        .parse()
+        .unwrap()
+}
+
+/// Strip a raw-identifier prefix for use as a JSON key.
+fn key_of(ident: &str) -> String {
+    ident.strip_prefix("r#").unwrap_or(ident).to_string()
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".to_string()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected item name".to_string()),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("generic item `{name}` is not supported"));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            Some(TokenTree::Ident(id)) if id.to_string() == "where" => {
+                Err(format!("`where` clause on `{name}` is not supported"))
+            }
+            _ => Err(format!("unrecognised struct body for `{name}`")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            _ => Err(format!("expected enum body for `{name}`")),
+        },
+        other => Err(format!("cannot derive on `{other}` items")),
+    }
+}
+
+/// Field names of a `{ ... }` struct body (names only; types are irrelevant
+/// to the generated impl).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            return Err("expected field name".to_string());
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Skip `: Type` up to the next top-level comma. Generic arguments in
+        // the type can contain commas, so track angle-bracket depth; the `>`
+        // of an `->` (fn-pointer return type) is not a closing bracket.
+        let mut angle = 0i32;
+        let mut prev_dash = false;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    angle += 1;
+                    prev_dash = false;
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' && prev_dash => prev_dash = false,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '-' => prev_dash = true,
+                _ => prev_dash = false,
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of top-level comma-separated fields in a `( ... )` struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut trailing_comma = false;
+    let mut prev_dash = false;
+    for t in &tokens {
+        let was_dash = prev_dash;
+        prev_dash = matches!(t, TokenTree::Punct(p) if p.as_char() == '-');
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && was_dash => {}
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip variant attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            return Err("expected variant name".to_string());
+        };
+        let vname = id.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                variants.push(Variant::Tuple(vname, count_tuple_fields(g.stream())));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                variants.push(Variant::Struct(vname, parse_named_fields(g.stream())?));
+                i += 1;
+            }
+            _ => variants.push(Variant::Unit(vname)),
+        }
+        // Skip an explicit discriminant (`= expr`) and the separating comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{key}\"), \
+                         ::serde::Serialize::serialize_value(&self.{f}))",
+                        key = key_of(f)
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Map(::std::vec![{}])\n}}\n}}",
+                entries.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity: 0 } | Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}"
+        ),
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n\
+             ::serde::Serialize::serialize_value(&self.0)\n}}\n}}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|idx| format!("::serde::Serialize::serialize_value(&self.{idx})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Seq(::std::vec![{}])\n}}\n}}",
+                elems.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants.iter().map(gen_variant_arm).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {} }}\n}}\n}}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_variant_arm(variant: &Variant) -> String {
+    match variant {
+        Variant::Unit(v) => format!(
+            "Self::{v} => ::serde::Value::Str(::std::string::String::from(\"{key}\")),",
+            key = key_of(v)
+        ),
+        Variant::Tuple(v, arity) => {
+            let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+            let inner = if *arity == 1 {
+                "::serde::Serialize::serialize_value(__f0)".to_string()
+            } else {
+                let elems: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                    .collect();
+                format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+            };
+            format!(
+                "Self::{v}({binds}) => ::serde::Value::Map(::std::vec![\
+                 (::std::string::String::from(\"{key}\"), {inner})]),",
+                binds = binders.join(", "),
+                key = key_of(v)
+            )
+        }
+        Variant::Struct(v, fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{key}\"), \
+                         ::serde::Serialize::serialize_value({f}))",
+                        key = key_of(f)
+                    )
+                })
+                .collect();
+            format!(
+                "Self::{v} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                 (::std::string::String::from(\"{key}\"), \
+                 ::serde::Value::Map(::std::vec![{entries}]))]),",
+                binds = fields.join(", "),
+                key = key_of(v),
+                entries = entries.join(", ")
+            )
+        }
+    }
+}

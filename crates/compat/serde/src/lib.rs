@@ -1,0 +1,295 @@
+//! Offline in-tree stand-in for the `serde` crate.
+//!
+//! The build container for this reproduction has no access to crates.io, so
+//! the workspace vendors a minimal serialization facade with the same import
+//! surface the code uses (`use serde::{Deserialize, Serialize};` plus
+//! `#[derive(Serialize, Deserialize)]`). Instead of serde's
+//! serializer-visitor architecture, [`Serialize`] lowers a value into a small
+//! JSON-like [`Value`] tree that the in-tree `serde_json` stand-in renders.
+//!
+//! The derive macros live in the sibling `serde_derive` crate and support
+//! exactly the shapes this workspace uses: non-generic structs (named-field,
+//! tuple and unit) and non-generic enums (unit, tuple and struct variants),
+//! following serde's externally-tagged representation.
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like dynamic value: the intermediate representation every
+/// [`Serialize`] implementation lowers into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer (rendered without a decimal point).
+    U64(u64),
+    /// Signed integer (rendered without a decimal point).
+    I64(i64),
+    /// Floating-point number (non-finite values render as `null`).
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Map(Vec<(String, Value)>),
+}
+
+/// Types that can lower themselves into a [`Value`] tree.
+///
+/// The stand-in equivalent of `serde::Serialize`; derived via
+/// `#[derive(Serialize)]` or implemented by the blanket impls below.
+pub trait Serialize {
+    /// Lower `self` into the dynamic [`Value`] representation.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Marker trait mirroring `serde::Deserialize`.
+///
+/// Nothing in this workspace deserializes yet; the derive generates an empty
+/// impl so that `#[derive(Deserialize)]` on the seed types keeps compiling.
+pub trait Deserialize {}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::I64(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_serialize_uint!(u8, u16, u32, u64);
+impl_serialize_int!(i8, i16, i32, i64);
+
+impl Serialize for usize {
+    fn serialize_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+impl Deserialize for usize {}
+
+impl Serialize for isize {
+    fn serialize_value(&self) -> Value {
+        Value::I64(*self as i64)
+    }
+}
+impl Deserialize for isize {}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for () {
+    fn serialize_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(vec![self.0.serialize_value(), self.1.serialize_value()])
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.serialize_value(),
+            self.1.serialize_value(),
+            self.2.serialize_value(),
+        ])
+    }
+}
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {}
+
+/// Render a serialized key as a JSON object key, mirroring serde_json's rule
+/// that map keys must become strings (numbers and bools are stringified,
+/// anything structural is rejected at the type level in real serde — here we
+/// fall back to the compact debug of the value).
+fn key_string(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        Value::U64(n) => n.to_string(),
+        Value::I64(n) => n.to_string(),
+        Value::F64(x) => x.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (key_string(&k.serialize_value()), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+impl<K, V: Deserialize> Deserialize for BTreeMap<K, V> {}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        // Sort for deterministic output, matching the reproducibility goals
+        // of the simulator itself.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_string(&k.serialize_value()), v.serialize_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+impl<K, V: Deserialize, S> Deserialize for HashMap<K, V, S> {}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T> Deserialize for BTreeSet<T> {}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn serialize_value(&self) -> Value {
+        // Sort the rendered elements so hash iteration order never leaks
+        // into serialized output.
+        let mut items: Vec<Value> = self.iter().map(Serialize::serialize_value).collect();
+        items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Value::Seq(items)
+    }
+}
+impl<T, S> Deserialize for HashSet<T, S> {}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower_to_expected_variants() {
+        assert_eq!(5u32.serialize_value(), Value::U64(5));
+        assert_eq!((-3i64).serialize_value(), Value::I64(-3));
+        assert_eq!(true.serialize_value(), Value::Bool(true));
+        assert_eq!("x".serialize_value(), Value::Str("x".to_string()));
+        assert_eq!(Option::<u64>::None.serialize_value(), Value::Null);
+    }
+
+    #[test]
+    fn containers_lower_recursively() {
+        assert_eq!(
+            vec![1u64, 2].serialize_value(),
+            Value::Seq(vec![Value::U64(1), Value::U64(2)])
+        );
+        let mut m = BTreeMap::new();
+        m.insert("a", 1u64);
+        assert_eq!(
+            m.serialize_value(),
+            Value::Map(vec![("a".to_string(), Value::U64(1))])
+        );
+    }
+}

@@ -5,9 +5,9 @@
 //! | Table I  | Alpha 21264 power factors | [`table1`] |
 //! | Table II | simulation parameters | [`table2`] |
 //! | Fig. 3   | TCC data-cache power vs. RW-bit resolution | [`fig3`] |
-//! | Fig. 4   | parallel execution time with / without gating | [`fig4`] |
-//! | Fig. 5   | energy consumption with / without gating | [`fig5`] |
-//! | Fig. 6   | average power dissipation with / without gating | [`fig6`] |
+//! | Fig. 4   | parallel execution time with / without gating | [`render_fig4`] |
+//! | Fig. 5   | energy consumption with / without gating | [`render_fig5`] |
+//! | Fig. 6   | average power dissipation with / without gating | [`render_fig6`] |
 //! | Fig. 7   | speed-up vs. `W0` and processor count | [`fig7`] |
 //! | headline | 19 % energy / 4 % speed-up / 13 % power averages | [`summary`] |
 //!
@@ -89,9 +89,14 @@ pub fn table1() -> Vec<(&'static str, f64)> {
 /// Render Table I as text.
 #[must_use]
 pub fn render_table1() -> String {
-    let rows: Vec<Vec<String>> =
-        table1().into_iter().map(|(op, f)| vec![op.to_string(), fmt_f(f, 2)]).collect();
-    format!("Table I: Power model of Alpha 21264\n{}", format_table(&["Operation", "Power Factor"], &rows))
+    let rows: Vec<Vec<String>> = table1()
+        .into_iter()
+        .map(|(op, f)| vec![op.to_string(), fmt_f(f, 2)])
+        .collect();
+    format!(
+        "Table I: Power model of Alpha 21264\n{}",
+        format_table(&["Operation", "Power Factor"], &rows)
+    )
 }
 
 /// Table II: the simulation parameters for `procs` processors.
@@ -140,7 +145,10 @@ pub fn fig3() -> Fig3Result {
     let sizes = [16usize, 32, 64, 128];
     let series = sizes
         .iter()
-        .map(|&kb| Fig3Series { cache_kb: kb, points: CachePowerModel::new_kb(kb).fig3_series() })
+        .map(|&kb| Fig3Series {
+            cache_kb: kb,
+            points: CachePowerModel::new_kb(kb).fig3_series(),
+        })
         .collect();
     Fig3Result {
         series,
@@ -232,7 +240,8 @@ pub fn run_matrix(cfg: &ExperimentConfig) -> Result<EvaluationMatrix, SimError> 
     let mut cells = Vec::new();
     for workload in &cfg.workloads {
         for &procs in &cfg.processor_counts {
-            let (ungated, gated) = run_pair(workload, procs, cfg, GatingMode::ClockGate { w0: cfg.w0 })?;
+            let (ungated, gated) =
+                run_pair(workload, procs, cfg, GatingMode::ClockGate { w0: cfg.w0 })?;
             let comparison = compare_runs(&ungated, &gated);
             cells.push(MatrixCell {
                 workload: workload.clone(),
@@ -243,7 +252,10 @@ pub fn run_matrix(cfg: &ExperimentConfig) -> Result<EvaluationMatrix, SimError> 
             });
         }
     }
-    Ok(EvaluationMatrix { config: cfg.clone(), cells })
+    Ok(EvaluationMatrix {
+        config: cfg.clone(),
+        cells,
+    })
 }
 
 /// Render Fig. 4 (total parallel execution time) from the matrix.
@@ -265,7 +277,13 @@ pub fn render_fig4(matrix: &EvaluationMatrix) -> String {
     format!(
         "Fig. 4: Total parallel execution time (cycles), without vs. with clock gating\n{}",
         format_table(
-            &["workload", "procs", "without gating", "with gating", "speed-up"],
+            &[
+                "workload",
+                "procs",
+                "without gating",
+                "with gating",
+                "speed-up"
+            ],
             &rows
         )
     )
@@ -291,7 +309,14 @@ pub fn render_fig5(matrix: &EvaluationMatrix) -> String {
     format!(
         "Fig. 5: Energy consumption (run-power x cycles), without vs. with clock gating\n{}",
         format_table(
-            &["workload", "procs", "Eug (ungated)", "Eg (gated)", "reduction", "savings"],
+            &[
+                "workload",
+                "procs",
+                "Eug (ungated)",
+                "Eg (gated)",
+                "reduction",
+                "savings"
+            ],
             &rows
         )
     )
@@ -352,18 +377,34 @@ pub struct Summary {
 #[must_use]
 pub fn summary(matrix: &EvaluationMatrix) -> Summary {
     let n = matrix.cells.len().max(1) as f64;
-    let avg_speedup_percent =
-        matrix.cells.iter().map(|c| c.comparison.speedup_percent()).sum::<f64>() / n;
-    let avg_energy_savings_percent =
-        matrix.cells.iter().map(|c| c.comparison.energy_savings_percent()).sum::<f64>() / n;
-    let avg_power_savings_percent =
-        matrix.cells.iter().map(|c| c.comparison.average_power_savings_percent()).sum::<f64>() / n;
+    let avg_speedup_percent = matrix
+        .cells
+        .iter()
+        .map(|c| c.comparison.speedup_percent())
+        .sum::<f64>()
+        / n;
+    let avg_energy_savings_percent = matrix
+        .cells
+        .iter()
+        .map(|c| c.comparison.energy_savings_percent())
+        .sum::<f64>()
+        / n;
+    let avg_power_savings_percent = matrix
+        .cells
+        .iter()
+        .map(|c| c.comparison.average_power_savings_percent())
+        .sum::<f64>()
+        / n;
     Summary {
         avg_speedup_percent,
         avg_energy_savings_percent,
         avg_power_savings_percent,
         configurations: matrix.cells.len(),
-        slowdown_configurations: matrix.cells.iter().filter(|c| c.comparison.speedup < 1.0).count(),
+        slowdown_configurations: matrix
+            .cells
+            .iter()
+            .filter(|c| c.comparison.speedup < 1.0)
+            .count(),
     }
 }
 
@@ -437,10 +478,18 @@ pub fn fig7(cfg: &ExperimentConfig, w0_values: &[Cycle]) -> Result<Fig7Result, S
                 speedups.push(compare_runs(ungated, &gated).speedup);
             }
             let avg = speedups.iter().sum::<f64>() / speedups.len().max(1) as f64;
-            rows.push(Fig7Row { w0, procs, speedups, avg_speedup: avg });
+            rows.push(Fig7Row {
+                w0,
+                procs,
+                speedups,
+                avg_speedup: avg,
+            });
         }
     }
-    Ok(Fig7Result { workloads: cfg.workloads.clone(), rows })
+    Ok(Fig7Result {
+        workloads: cfg.workloads.clone(),
+        rows,
+    })
 }
 
 /// Render Fig. 7 as text.
@@ -512,7 +561,11 @@ mod tests {
     fn quick_matrix_runs_and_renders() {
         let cfg = ExperimentConfig::quick();
         let matrix = run_matrix(&cfg).unwrap();
-        assert_eq!(matrix.cells.len(), 3, "three workloads at one processor count");
+        assert_eq!(
+            matrix.cells.len(),
+            3,
+            "three workloads at one processor count"
+        );
         for cell in &matrix.cells {
             assert!(cell.comparison.ungated_cycles > 0);
             assert!(cell.comparison.gated_cycles > 0);

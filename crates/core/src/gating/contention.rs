@@ -57,7 +57,8 @@ impl GatingAwarePolicy {
 
 impl ContentionPolicy for GatingAwarePolicy {
     fn window(&self, abort_count: u32, renew_count: u32) -> Cycle {
-        self.w0.saturating_mul(pow2_ceil_lg(abort_count) + pow2_ceil_lg(renew_count))
+        self.w0
+            .saturating_mul(pow2_ceil_lg(abort_count) + pow2_ceil_lg(renew_count))
     }
 
     fn name(&self) -> &'static str {
@@ -100,7 +101,8 @@ pub struct LinearBackoffPolicy {
 
 impl ContentionPolicy for LinearBackoffPolicy {
     fn window(&self, abort_count: u32, renew_count: u32) -> Cycle {
-        self.w0.saturating_mul(u64::from(abort_count.max(1)) + u64::from(renew_count))
+        self.w0
+            .saturating_mul(u64::from(abort_count.max(1)) + u64::from(renew_count))
     }
 
     fn name(&self) -> &'static str {

@@ -59,8 +59,8 @@ impl ControllerConfig {
             ungate_circuit_latency: cfg.ungate_circuit_latency,
             // Request + reply control messages, each crossing the bus, plus
             // one directory lookup to fetch the stored Aborter Tx Id.
-            txinfo_roundtrip_latency: 2 * (cfg.bus_control_transfer_cycles()
-                + cfg.bus_arbitration_latency)
+            txinfo_roundtrip_latency: 2
+                * (cfg.bus_control_transfer_cycles() + cfg.bus_arbitration_latency)
                 + cfg.directory_latency,
             renew_enabled: true,
         }
@@ -176,7 +176,12 @@ impl GatingHook for ClockGateController {
         let was_off = entry.off;
         let provisional = entry.abort_count + 1;
         let window = self.policy.window(provisional, 0);
-        entry.record_abort(aborter, aborter_tx, now, window + self.config.txinfo_roundtrip_latency);
+        entry.record_abort(
+            aborter,
+            aborter_tx,
+            now,
+            window + self.config.txinfo_roundtrip_latency,
+        );
         if !was_off {
             self.stats.gatings += 1;
         }
@@ -221,10 +226,7 @@ impl GatingHook for ClockGateController {
                     (Some(current), Some(stored)) if current == stored => {
                         // Same transaction still trying to commit: renew.
                         let window = self.policy.window(entry.abort_count, entry.renew_count + 1);
-                        entry.renew(
-                            now,
-                            window + self.config.txinfo_roundtrip_latency + circuit,
-                        );
+                        entry.renew(now, window + self.config.txinfo_roundtrip_latency + circuit);
                         self.stats.renewals += 1;
                     }
                     (None, _) => {
@@ -357,7 +359,10 @@ mod tests {
             assert!(cmds.is_empty());
             let e = c.table(0).entry(1);
             let window = e.timer_expires - last_expiry;
-            assert!(window >= last_window, "windows must not shrink across renewals");
+            assert!(
+                window >= last_window,
+                "windows must not shrink across renewals"
+            );
             last_window = window;
             last_expiry = e.timer_expires;
         }
@@ -409,7 +414,11 @@ mod tests {
         v.proc_tx[0] = Some(0x42);
         let expiry = c.table(0).entry(1).timer_expires;
         let cmds = c.on_tick(expiry, &v);
-        assert_eq!(cmds.len(), 1, "ablation wakes the victim even though the aborter is present");
+        assert_eq!(
+            cmds.len(),
+            1,
+            "ablation wakes the victim even though the aborter is present"
+        );
         assert_eq!(c.stats().renewals, 0);
     }
 
@@ -434,7 +443,10 @@ mod tests {
         c.on_wake(1, w1);
         c.on_abort(0, 1, 0, 1, 1000, &v);
         let w2 = c.table(0).entry(1).timer_expires - 1000;
-        assert!(w2 >= w1, "the second abort must not get a shorter window (w1={w1} w2={w2})");
+        assert!(
+            w2 >= w1,
+            "the second abort must not get a shorter window (w1={w1} w2={w2})"
+        );
         assert_eq!(c.table(0).entry(1).abort_count, 2);
     }
 
@@ -462,6 +474,9 @@ mod tests {
         let v = view(2, 2);
         c.on_abort(0, 1, 0, 1, 0, &v);
         assert!(c.table(0).entry(1).off);
-        assert!(!c.table(1).entry(1).off, "the other directory keeps its own view");
+        assert!(
+            !c.table(1).entry(1).off,
+            "the other directory keeps its own view"
+        );
     }
 }

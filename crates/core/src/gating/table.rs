@@ -26,7 +26,7 @@ pub const ABORT_COUNT_MAX: u32 = 255;
 
 /// One row of the Fig. 1 table: the gating state a directory keeps for one
 /// processor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GatingEntry {
     /// Processor whose commit caused the most recent abort logged here.
     pub aborter_proc: Option<ProcId>,
@@ -42,31 +42,12 @@ pub struct GatingEntry {
     pub off: bool,
 }
 
-impl Default for GatingEntry {
-    fn default() -> Self {
-        Self {
-            aborter_proc: None,
-            aborter_tx: None,
-            abort_count: 0,
-            renew_count: 0,
-            timer_expires: 0,
-            off: false,
-        }
-    }
-}
-
 impl GatingEntry {
     /// Record a new abort caused by `aborter` committing `aborter_tx`:
     /// increments the (saturating) abort counter, resets the renew counter
     /// and marks the processor OFF with a gating period of `window` cycles
     /// starting at `now`.
-    pub fn record_abort(
-        &mut self,
-        aborter: ProcId,
-        aborter_tx: TxId,
-        now: Cycle,
-        window: Cycle,
-    ) {
+    pub fn record_abort(&mut self, aborter: ProcId, aborter_tx: TxId, now: Cycle, window: Cycle) {
         self.aborter_proc = Some(aborter);
         self.aborter_tx = Some(aborter_tx);
         self.abort_count = (self.abort_count + 1).min(ABORT_COUNT_MAX);
@@ -114,7 +95,9 @@ impl GatingTable {
     /// Create a table for `num_procs` processors.
     #[must_use]
     pub fn new(num_procs: usize) -> Self {
-        Self { entries: vec![GatingEntry::default(); num_procs] }
+        Self {
+            entries: vec![GatingEntry::default(); num_procs],
+        }
     }
 
     /// Entry for `proc`.
@@ -185,7 +168,10 @@ mod tests {
         e.renew(50, 40);
         assert_eq!(e.renew_count, 2);
         e.record_abort(1, 2, 100, 10);
-        assert_eq!(e.renew_count, 0, "renew count resets when the abort count changes");
+        assert_eq!(
+            e.renew_count, 0,
+            "renew count resets when the abort count changes"
+        );
         assert_eq!(e.abort_count, 2);
     }
 
@@ -207,7 +193,10 @@ mod tests {
         e.turn_on();
         assert!(!e.off);
         assert_eq!(e.abort_count, 1, "the abort history survives ungating");
-        assert!(!e.timer_expired(1000), "an ON entry never reports an expired timer");
+        assert!(
+            !e.timer_expired(1000),
+            "an ON entry never reports an expired timer"
+        );
     }
 
     #[test]

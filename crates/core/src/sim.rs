@@ -18,7 +18,9 @@ use htm_tcc::system::{SimError, TccSystem};
 use htm_tcc::txn::WorkloadTrace;
 use htm_workloads::{by_name, WorkloadScale};
 
-use crate::gating::contention::{ContentionPolicy, FixedWindow, GatingAwarePolicy, LinearBackoffPolicy};
+use crate::gating::contention::{
+    ContentionPolicy, FixedWindow, GatingAwarePolicy, LinearBackoffPolicy,
+};
 use crate::gating::controller::{ClockGateController, ControllerConfig, GatingStats};
 
 /// Default safety bound on simulated cycles (well above anything the paper's
@@ -70,7 +72,10 @@ impl GatingMode {
     /// Whether this mode uses the clock-gating mechanism at all.
     #[must_use]
     pub fn uses_gating(&self) -> bool {
-        !matches!(self, GatingMode::Ungated | GatingMode::ExponentialBackoff { .. })
+        !matches!(
+            self,
+            GatingMode::Ungated | GatingMode::ExponentialBackoff { .. }
+        )
     }
 
     /// Short label used in reports and figures.
@@ -118,7 +123,11 @@ impl SimReport {
 /// [`SimulationBuilder::run`] for the same workload and machine size).
 #[must_use]
 pub fn compare_runs(ungated: &SimReport, gated: &SimReport) -> ComparisonReport {
-    energy::compare(&ungated.outcome, &gated.outcome, &PowerModel::alpha_21264_65nm())
+    energy::compare(
+        &ungated.outcome,
+        &gated.outcome,
+        &PowerModel::alpha_21264_65nm(),
+    )
 }
 
 /// Builder for a single simulation run.
@@ -256,7 +265,12 @@ impl SimulationBuilder {
         };
 
         let energy = energy::analyze(&outcome, &power);
-        Ok(SimReport { mode_label: label, outcome, energy, gating })
+        Ok(SimReport {
+            mode_label: label,
+            outcome,
+            energy,
+            gating,
+        })
     }
 }
 
@@ -283,7 +297,9 @@ fn run_with_controller(
             now: Cycle,
             view: &htm_tcc::hooks::SystemView,
         ) -> htm_tcc::hooks::AbortAction {
-            self.inner.borrow_mut().on_abort(dir, victim, aborter, aborter_tx, now, view)
+            self.inner
+                .borrow_mut()
+                .on_abort(dir, victim, aborter, aborter_tx, now, view)
         }
         fn on_tick(
             &mut self,
@@ -304,7 +320,13 @@ fn run_with_controller(
     }
 
     let shared = std::rc::Rc::new(std::cell::RefCell::new(hook));
-    let sys = TccSystem::new(cfg, workload, SharedController { inner: shared.clone() })?;
+    let sys = TccSystem::new(
+        cfg,
+        workload,
+        SharedController {
+            inner: shared.clone(),
+        },
+    )?;
     let outcome = sys.run_bounded(limit)?;
     let stats = shared.borrow().stats();
     Ok((outcome, Some(stats)))
@@ -340,7 +362,9 @@ mod tests {
         let r = run(GatingMode::ClockGate { w0: 8 }, "intruder", 4);
         assert!(r.outcome.total_commits > 0);
         r.outcome.check_consistency().unwrap();
-        let g = r.gating.expect("clock-gating mode reports controller stats");
+        let g = r
+            .gating
+            .expect("clock-gating mode reports controller stats");
         assert!(g.gatings > 0, "the contended workload must trigger gating");
         // The controller logs one gating per directory-local abort, so it can
         // record more gatings than the number of times the processor actually
@@ -381,19 +405,29 @@ mod tests {
 
     #[test]
     fn missing_workload_is_an_error() {
-        let err = SimulationBuilder::new().gating(GatingMode::Ungated).run().err().unwrap();
+        let err = SimulationBuilder::new()
+            .gating(GatingMode::Ungated)
+            .run()
+            .err()
+            .unwrap();
         assert!(matches!(err, SimError::BadWorkload(_)));
     }
 
     #[test]
     fn unknown_workload_name_is_an_error() {
-        let err = SimulationBuilder::new().workload_by_name("nope", WorkloadScale::Test, 1).err();
+        let err = SimulationBuilder::new()
+            .workload_by_name("nope", WorkloadScale::Test, 1)
+            .err();
         assert!(err.is_some());
     }
 
     #[test]
     fn exponential_backoff_mode_runs() {
-        let r = run(GatingMode::ExponentialBackoff { base: 32, cap: 8 }, "intruder", 4);
+        let r = run(
+            GatingMode::ExponentialBackoff { base: 32, cap: 8 },
+            "intruder",
+            4,
+        );
         assert!(r.outcome.total_commits > 0);
         assert_eq!(r.outcome.total_gatings, 0);
         assert!(r.gating.is_none());

@@ -57,11 +57,24 @@ impl AddressMap {
     /// than a line, or if `num_dirs` is zero.
     #[must_use]
     pub fn new(line_bytes: usize, segment_bytes: usize, num_dirs: usize) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
-        assert!(segment_bytes.is_power_of_two(), "segment size must be a power of two");
-        assert!(segment_bytes >= line_bytes, "a segment must hold at least one line");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            segment_bytes.is_power_of_two(),
+            "segment size must be a power of two"
+        );
+        assert!(
+            segment_bytes >= line_bytes,
+            "a segment must hold at least one line"
+        );
         assert!(num_dirs > 0, "need at least one directory");
-        Self { line_bytes, segment_bytes, num_dirs }
+        Self {
+            line_bytes,
+            segment_bytes,
+            num_dirs,
+        }
     }
 
     /// Cache line size in bytes.

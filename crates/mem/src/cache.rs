@@ -61,7 +61,13 @@ struct Way {
 
 impl Way {
     fn empty() -> Self {
-        Self { line: LineAddr(0), valid: false, spec_read: false, spec_mod: false, last_touch: 0 }
+        Self {
+            line: LineAddr(0),
+            valid: false,
+            spec_read: false,
+            spec_mod: false,
+            last_touch: 0,
+        }
     }
 
     fn is_speculative(&self) -> bool {
@@ -131,7 +137,8 @@ impl SpecCache {
     }
 
     fn find(&self, line: LineAddr) -> Option<usize> {
-        self.set_range(line).find(|&i| self.ways[i].valid && self.ways[i].line == line)
+        self.set_range(line)
+            .find(|&i| self.ways[i].valid && self.ways[i].line == line)
     }
 
     fn touch(&mut self, idx: usize) {
@@ -231,7 +238,13 @@ impl SpecCache {
             None
         };
 
-        self.ways[victim] = Way { line, valid: true, spec_read, spec_mod, last_touch: 0 };
+        self.ways[victim] = Way {
+            line,
+            valid: true,
+            spec_read,
+            spec_mod,
+            last_touch: 0,
+        };
         self.touch(victim);
         evicted
     }

@@ -101,7 +101,9 @@ impl Directory {
     /// Processors currently registered as sharers of `line`.
     #[must_use]
     pub fn sharers(&self, line: LineAddr) -> Vec<ProcId> {
-        let Some(entry) = self.lines.get(&line) else { return Vec::new() };
+        let Some(entry) = self.lines.get(&line) else {
+            return Vec::new();
+        };
         bits_to_procs(entry.sharers)
     }
 

@@ -31,13 +31,21 @@ impl MainMemory {
     /// per-access port occupancy.
     #[must_use]
     pub fn new(capacity_bytes: u64, latency: u64, port_occupancy: u64) -> Self {
-        Self { capacity_bytes, latency, port: SinglePortResource::new(port_occupancy) }
+        Self {
+            capacity_bytes,
+            latency,
+            port: SinglePortResource::new(port_occupancy),
+        }
     }
 
     /// Build from a [`htm_sim::config::SimConfig`].
     #[must_use]
     pub fn from_config(cfg: &htm_sim::config::SimConfig) -> Self {
-        Self::new(cfg.memory_bytes, cfg.memory_latency, cfg.memory_port_occupancy)
+        Self::new(
+            cfg.memory_bytes,
+            cfg.memory_latency,
+            cfg.memory_port_occupancy,
+        )
     }
 
     /// Capacity in bytes.

@@ -48,7 +48,11 @@ impl CachePowerModel {
     /// tag (the Fig. 3 configuration).
     #[must_use]
     pub fn new_kb(cache_kb: usize) -> Self {
-        Self { cache_bytes: cache_kb * 1024, line_bytes: 64, tag_bits: 30 }
+        Self {
+            cache_bytes: cache_kb * 1024,
+            line_bytes: 64,
+            tag_bits: 30,
+        }
     }
 
     /// Number of cache lines.
@@ -185,7 +189,10 @@ mod tests {
         let series = m.fig3_series();
         // Resolutions go 64,32,...,1: power must be strictly increasing.
         for pair in series.windows(2) {
-            assert!(pair[1].1 > pair[0].1, "power must grow as tracking gets finer: {series:?}");
+            assert!(
+                pair[1].1 > pair[0].1,
+                "power must grow as tracking gets finer: {series:?}"
+            );
         }
     }
 
@@ -227,7 +234,10 @@ mod tests {
     fn larger_caches_have_relatively_smaller_rw_overhead() {
         let small = CachePowerModel::new_kb(16).normalized_rw_power(2);
         let large = CachePowerModel::new_kb(128).normalized_rw_power(2);
-        assert!(large < small, "the periphery amortizes better in larger arrays");
+        assert!(
+            large < small,
+            "the periphery amortizes better in larger arrays"
+        );
     }
 
     #[test]

@@ -198,13 +198,23 @@ impl ComparisonReport {
 /// (that comparison would be meaningless).
 #[must_use]
 pub fn compare(ungated: &RunOutcome, gated: &RunOutcome, model: &PowerModel) -> ComparisonReport {
-    assert_eq!(ungated.workload, gated.workload, "comparing different workloads");
-    assert_eq!(ungated.num_procs, gated.num_procs, "comparing different machine sizes");
+    assert_eq!(
+        ungated.workload, gated.workload,
+        "comparing different workloads"
+    );
+    assert_eq!(
+        ungated.num_procs, gated.num_procs,
+        "comparing different machine sizes"
+    );
     let eug = analyze(ungated, model);
     let eg = analyze(gated, model);
     let n1 = ungated.total_cycles.max(1) as f64;
     let n2 = gated.total_cycles.max(1) as f64;
-    let energy_reduction = if eg.total_energy > 0.0 { eug.total_energy / eg.total_energy } else { 1.0 };
+    let energy_reduction = if eg.total_energy > 0.0 {
+        eug.total_energy / eg.total_energy
+    } else {
+        1.0
+    };
     ComparisonReport {
         workload: ungated.workload.clone(),
         num_procs: ungated.num_procs,
@@ -261,7 +271,13 @@ mod tests {
         let o = synthetic_outcome(
             "t",
             100,
-            vec![StateCycles { run: 100, ..Default::default() }; 4],
+            vec![
+                StateCycles {
+                    run: 100,
+                    ..Default::default()
+                };
+                4
+            ],
             (0, 0, 0),
         );
         let m = PowerModel::alpha_21264_65nm();
@@ -278,8 +294,14 @@ mod tests {
             "t",
             1000,
             vec![
-                StateCycles { run: 1000, ..Default::default() },
-                StateCycles { gated: 1000, ..Default::default() },
+                StateCycles {
+                    run: 1000,
+                    ..Default::default()
+                },
+                StateCycles {
+                    gated: 1000,
+                    ..Default::default()
+                },
             ],
             (1, 0, 0),
         );
@@ -287,7 +309,11 @@ mod tests {
         let r = analyze(&o, &m);
         let expected = 1000.0 * 1.0 + 1000.0 * 0.20;
         assert!((r.total_energy - expected).abs() < 1e-9);
-        assert!(r.accounting_discrepancy() < 1e-12, "discrepancy: {}", r.accounting_discrepancy());
+        assert!(
+            r.accounting_discrepancy() < 1e-12,
+            "discrepancy: {}",
+            r.accounting_discrepancy()
+        );
     }
 
     #[test]
@@ -297,9 +323,18 @@ mod tests {
             "t",
             10,
             vec![
-                StateCycles { run: 10, ..Default::default() },
-                StateCycles { miss: 10, ..Default::default() },
-                StateCycles { commit: 10, ..Default::default() },
+                StateCycles {
+                    run: 10,
+                    ..Default::default()
+                },
+                StateCycles {
+                    miss: 10,
+                    ..Default::default()
+                },
+                StateCycles {
+                    commit: 10,
+                    ..Default::default()
+                },
             ],
             (0, 1, 1),
         );
@@ -316,7 +351,13 @@ mod tests {
         let ungated = synthetic_outcome(
             "w",
             1000,
-            vec![StateCycles { run: 1000, ..Default::default() }; 2],
+            vec![
+                StateCycles {
+                    run: 1000,
+                    ..Default::default()
+                };
+                2
+            ],
             (0, 0, 0),
         );
         // Gated run: faster (800 cycles) and one processor gated half the time.
@@ -324,8 +365,15 @@ mod tests {
             "w",
             800,
             vec![
-                StateCycles { run: 800, ..Default::default() },
-                StateCycles { run: 400, gated: 400, ..Default::default() },
+                StateCycles {
+                    run: 800,
+                    ..Default::default()
+                },
+                StateCycles {
+                    run: 400,
+                    gated: 400,
+                    ..Default::default()
+                },
             ],
             (1, 0, 0),
         );
@@ -376,8 +424,24 @@ mod tests {
     #[test]
     #[should_panic(expected = "different workloads")]
     fn comparing_different_workloads_panics() {
-        let a = synthetic_outcome("a", 10, vec![StateCycles { run: 10, ..Default::default() }], (0, 0, 0));
-        let b = synthetic_outcome("b", 10, vec![StateCycles { run: 10, ..Default::default() }], (0, 0, 0));
+        let a = synthetic_outcome(
+            "a",
+            10,
+            vec![StateCycles {
+                run: 10,
+                ..Default::default()
+            }],
+            (0, 0, 0),
+        );
+        let b = synthetic_outcome(
+            "b",
+            10,
+            vec![StateCycles {
+                run: 10,
+                ..Default::default()
+            }],
+            (0, 0, 0),
+        );
         let _ = compare(&a, &b, &PowerModel::default());
     }
 
@@ -389,15 +453,28 @@ mod tests {
         let spin = synthetic_outcome(
             "w",
             1000,
-            vec![StateCycles { run: 1000, ..Default::default() }; 2],
+            vec![
+                StateCycles {
+                    run: 1000,
+                    ..Default::default()
+                };
+                2
+            ],
             (0, 0, 0),
         );
         let mut gated = synthetic_outcome(
             "w",
             1000,
             vec![
-                StateCycles { run: 1000, ..Default::default() },
-                StateCycles { run: 500, gated: 500, ..Default::default() },
+                StateCycles {
+                    run: 1000,
+                    ..Default::default()
+                },
+                StateCycles {
+                    run: 500,
+                    gated: 500,
+                    ..Default::default()
+                },
             ],
             (0, 0, 0),
         );

@@ -60,7 +60,12 @@ impl PowerModel {
         let active_during_commit = tcc_dcache + IO_SHARE + CACHE_IO_CLOCK_SHARE;
         let commit = LEAKAGE_SHARE + dynamic * active_during_commit;
         let miss = LEAKAGE_SHARE + dynamic * MISS_ACTIVITY_FACTOR * active_during_commit;
-        Self { run: 1.0, miss, commit, gated: LEAKAGE_SHARE }
+        Self {
+            run: 1.0,
+            miss,
+            commit,
+            gated: LEAKAGE_SHARE,
+        }
     }
 
     /// A hypothetical model with perfect (zero-leakage) gating, used by the
@@ -99,7 +104,10 @@ impl PowerModel {
     /// gated < miss < commit < run.
     #[must_use]
     pub fn is_well_formed(&self) -> bool {
-        self.gated >= 0.0 && self.gated < self.miss && self.miss < self.commit && self.commit < self.run
+        self.gated >= 0.0
+            && self.gated < self.miss
+            && self.miss < self.commit
+            && self.commit < self.run
     }
 }
 
@@ -118,7 +126,11 @@ mod tests {
     fn derivation_reproduces_table1() {
         let m = PowerModel::alpha_21264_65nm();
         assert!((m.run - 1.0).abs() < 1e-12);
-        assert!((m.commit - 0.44).abs() < 1e-12, "commit factor: {}", m.commit);
+        assert!(
+            (m.commit - 0.44).abs() < 1e-12,
+            "commit factor: {}",
+            m.commit
+        );
         assert!((m.miss - 0.32).abs() < 1e-12, "miss factor: {}", m.miss);
         assert!((m.gated - 0.20).abs() < 1e-12);
     }
@@ -141,7 +153,10 @@ mod tests {
     fn table1_rows_in_paper_order() {
         let rows = PowerModel::alpha_21264_65nm().table1_rows();
         let names: Vec<_> = rows.iter().map(|(n, _)| *n).collect();
-        assert_eq!(names, vec!["Run", "Cache Miss", "Transaction Commit", "Clock Gated"]);
+        assert_eq!(
+            names,
+            vec!["Run", "Cache Miss", "Transaction Commit", "Clock Gated"]
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{Cycle, cycles_after};
+use crate::{cycles_after, Cycle};
 
 /// Categories of bus transfers, used for statistics only.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]

@@ -129,7 +129,10 @@ impl SimConfig {
             return Err("num_dirs must be >= 1".into());
         }
         if !self.line_bytes.is_power_of_two() {
-            return Err(format!("line_bytes ({}) must be a power of two", self.line_bytes));
+            return Err(format!(
+                "line_bytes ({}) must be a power of two",
+                self.line_bytes
+            ));
         }
         if !self.directory_segment_bytes.is_power_of_two()
             || self.directory_segment_bytes < self.line_bytes
@@ -142,7 +145,10 @@ impl SimConfig {
         if self.l1_assoc == 0 {
             return Err("l1_assoc must be >= 1".into());
         }
-        if self.l1_bytes % (self.line_bytes * self.l1_assoc) != 0 {
+        if !self
+            .l1_bytes
+            .is_multiple_of(self.line_bytes * self.l1_assoc)
+        {
             return Err(format!(
                 "l1_bytes ({}) must be a multiple of line_bytes*assoc ({})",
                 self.l1_bytes,
@@ -150,7 +156,10 @@ impl SimConfig {
             ));
         }
         if !self.l1_sets().is_power_of_two() {
-            return Err(format!("l1 set count ({}) must be a power of two", self.l1_sets()));
+            return Err(format!(
+                "l1 set count ({}) must be a power of two",
+                self.l1_sets()
+            ));
         }
         if self.bus_width_bytes == 0 {
             return Err("bus_width_bytes must be >= 1".into());

@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{Cycle, cycles_after};
+use crate::{cycles_after, Cycle};
 
 /// Occupancy statistics of a single-ported resource.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -33,7 +33,11 @@ impl SinglePortResource {
     /// Create a resource with the given per-access occupancy/latency.
     #[must_use]
     pub fn new(latency: u64) -> Self {
-        Self { latency: latency.max(1), next_free: 0, stats: PortStats::default() }
+        Self {
+            latency: latency.max(1),
+            next_free: 0,
+            stats: PortStats::default(),
+        }
     }
 
     /// Issue an access at cycle `now`; returns the completion cycle.

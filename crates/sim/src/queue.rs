@@ -55,7 +55,10 @@ pub struct TimedQueue<T> {
 
 impl<T> Default for TimedQueue<T> {
     fn default() -> Self {
-        Self { heap: BinaryHeap::new(), next_seq: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 }
 
@@ -82,7 +85,11 @@ impl<T> TimedQueue<T> {
     pub fn push(&mut self, deliver_at: Cycle, payload: T) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { deliver_at, seq, payload });
+        self.heap.push(Entry {
+            deliver_at,
+            seq,
+            payload,
+        });
     }
 
     /// Delivery cycle of the earliest pending message, if any.

@@ -56,10 +56,7 @@ impl DeterministicRng {
     /// Next raw 64-bit value.
     #[inline]
     pub fn next_u64_raw(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -156,7 +153,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = DeterministicRng::new(1);
         let mut b = DeterministicRng::new(2);
-        let same = (0..100).filter(|_| a.next_u64_raw() == b.next_u64_raw()).count();
+        let same = (0..100)
+            .filter(|_| a.next_u64_raw() == b.next_u64_raw())
+            .count();
         assert!(same < 3);
     }
 
@@ -165,7 +164,9 @@ mod tests {
         let base = DeterministicRng::new(7);
         let mut s1 = base.derive(1);
         let mut s2 = base.derive(2);
-        let same = (0..100).filter(|_| s1.next_u64_raw() == s2.next_u64_raw()).count();
+        let same = (0..100)
+            .filter(|_| s1.next_u64_raw() == s2.next_u64_raw())
+            .count();
         assert!(same < 3);
     }
 
@@ -223,8 +224,14 @@ mod tests {
     fn skew_biases_towards_low_end() {
         let mut rng = DeterministicRng::new(17);
         let n = 20_000;
-        let mean_skewed: f64 = (0..n).map(|_| rng.gen_skewed_range(0, 100, 3.0) as f64).sum::<f64>() / n as f64;
-        let mean_flat: f64 = (0..n).map(|_| rng.gen_skewed_range(0, 100, 1.0) as f64).sum::<f64>() / n as f64;
+        let mean_skewed: f64 = (0..n)
+            .map(|_| rng.gen_skewed_range(0, 100, 3.0) as f64)
+            .sum::<f64>()
+            / n as f64;
+        let mean_flat: f64 = (0..n)
+            .map(|_| rng.gen_skewed_range(0, 100, 1.0) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!(mean_skewed < mean_flat);
     }
 

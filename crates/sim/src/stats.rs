@@ -51,7 +51,12 @@ impl Summary {
     /// Create an empty summary.
     #[must_use]
     pub fn new() -> Self {
-        Self { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Record one sample.
@@ -118,7 +123,10 @@ impl Histogram {
     /// `0..buckets-1`, the last one saturating.
     #[must_use]
     pub fn new(buckets: usize) -> Self {
-        Self { buckets: vec![0; buckets.max(1)], total: 0 }
+        Self {
+            buckets: vec![0; buckets.max(1)],
+            total: 0,
+        }
     }
 
     /// Record one sample.

@@ -163,8 +163,15 @@ impl DirCtrl {
 
     /// Commit a batch of lines on behalf of `committer`; returns, per line,
     /// the processors that must be invalidated.
-    pub fn commit_lines(&mut self, lines: &[LineAddr], committer: ProcId) -> Vec<(LineAddr, Vec<ProcId>)> {
-        lines.iter().map(|&l| (l, self.directory.commit_line(l, committer))).collect()
+    pub fn commit_lines(
+        &mut self,
+        lines: &[LineAddr],
+        committer: ProcId,
+    ) -> Vec<(LineAddr, Vec<ProcId>)> {
+        lines
+            .iter()
+            .map(|&l| (l, self.directory.commit_line(l, committer)))
+            .collect()
     }
 }
 

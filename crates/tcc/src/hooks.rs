@@ -206,7 +206,11 @@ impl ExponentialBackoff {
     /// base window and exponent cap.
     #[must_use]
     pub fn new(num_procs: usize, base: Cycle, cap: u32) -> Self {
-        Self { base, cap, consecutive_aborts: vec![0; num_procs] }
+        Self {
+            base,
+            cap,
+            consecutive_aborts: vec![0; num_procs],
+        }
     }
 }
 
@@ -222,7 +226,9 @@ impl GatingHook for ExponentialBackoff {
     ) -> AbortAction {
         let n = self.consecutive_aborts[victim].min(self.cap);
         self.consecutive_aborts[victim] = self.consecutive_aborts[victim].saturating_add(1);
-        AbortAction::Retry { backoff: self.base.saturating_mul(1 << n) }
+        AbortAction::Retry {
+            backoff: self.base.saturating_mul(1 << n),
+        }
     }
 
     fn on_commit(&mut self, proc: ProcId, _now: Cycle) {
@@ -251,7 +257,11 @@ mod tests {
         v.proc_tx[0] = Some(0x400);
         v.proc_gated[0] = true;
         v.proc_tx[1] = Some(0x500);
-        assert_eq!(v.current_tx(0), None, "TxInfoReq to a gated processor replies null");
+        assert_eq!(
+            v.current_tx(0),
+            None,
+            "TxInfoReq to a gated processor replies null"
+        );
         assert_eq!(v.current_tx(1), Some(0x500));
         assert!(v.is_gated(0));
         assert!(!v.is_gated(1));

@@ -159,7 +159,10 @@ impl Phase {
     /// included: the processor is not executing instructions).
     #[must_use]
     pub fn is_gated_like(&self) -> bool {
-        matches!(self, Phase::Gated | Phase::GateDraining { .. } | Phase::WakeRestart { .. })
+        matches!(
+            self,
+            Phase::Gated | Phase::GateDraining { .. } | Phase::WakeRestart { .. }
+        )
     }
 
     /// Whether a transaction execution attempt is currently in progress (used
@@ -243,8 +246,13 @@ impl Processor {
     fn entry_phase_for(thread: &ThreadTrace, tx_idx: usize) -> Phase {
         match thread.transactions.get(tx_idx) {
             None => Phase::Done,
-            Some(tx) if tx.pre_compute > 0 => Phase::PreCompute { remaining: tx.pre_compute },
-            Some(_) => Phase::Executing { op_idx: 0, remaining: 0 },
+            Some(tx) if tx.pre_compute > 0 => Phase::PreCompute {
+                remaining: tx.pre_compute,
+            },
+            Some(_) => Phase::Executing {
+                op_idx: 0,
+                remaining: 0,
+            },
         }
     }
 
@@ -284,7 +292,10 @@ impl Processor {
     /// Move to the beginning of the atomic region of the current transaction
     /// (used when retrying after an abort; the prologue is not re-executed).
     pub fn restart_transaction(&mut self) {
-        self.phase = Phase::Executing { op_idx: 0, remaining: 0 };
+        self.phase = Phase::Executing {
+            op_idx: 0,
+            remaining: 0,
+        };
     }
 
     /// Advance to the next transaction after a commit. Returns `true` if
@@ -334,7 +345,13 @@ mod tests {
         assert!(p.advance_to_next_tx());
         assert_eq!(p.current_tx_id(), Some(0x200));
         // Second transaction has no prologue.
-        assert_eq!(p.phase, Phase::Executing { op_idx: 0, remaining: 0 });
+        assert_eq!(
+            p.phase,
+            Phase::Executing {
+                op_idx: 0,
+                remaining: 0
+            }
+        );
         assert!(!p.advance_to_next_tx());
         assert!(p.is_done());
     }
@@ -346,7 +363,10 @@ mod tests {
         p.write_set.insert(LineAddr(2));
         p.tid = Some(7);
         p.attempt_cycles = 99;
-        p.commit_plan.push(CommitStep { dir: 0, lines: vec![LineAddr(2)] });
+        p.commit_plan.push(CommitStep {
+            dir: 0,
+            lines: vec![LineAddr(2)],
+        });
         p.clear_attempt_state();
         assert!(p.read_set.is_empty());
         assert!(p.write_set.is_empty());
@@ -360,20 +380,49 @@ mod tests {
         let mut p = Processor::new(0, thread(), cache());
         p.phase = Phase::SpinCommit { step_idx: 0 };
         p.restart_transaction();
-        assert_eq!(p.phase, Phase::Executing { op_idx: 0, remaining: 0 });
+        assert_eq!(
+            p.phase,
+            Phase::Executing {
+                op_idx: 0,
+                remaining: 0
+            }
+        );
     }
 
     #[test]
     fn phase_power_state_mapping_follows_table1_semantics() {
-        assert_eq!(Phase::Executing { op_idx: 0, remaining: 0 }.power_state(), PowerState::Run);
-        assert_eq!(Phase::SpinCommit { step_idx: 0 }.power_state(), PowerState::Run);
+        assert_eq!(
+            Phase::Executing {
+                op_idx: 0,
+                remaining: 0
+            }
+            .power_state(),
+            PowerState::Run
+        );
+        assert_eq!(
+            Phase::SpinCommit { step_idx: 0 }.power_state(),
+            PowerState::Run
+        );
         assert_eq!(Phase::Backoff { until: 10 }.power_state(), PowerState::Run);
         assert_eq!(Phase::Done.power_state(), PowerState::Run);
         assert_eq!(
-            Phase::WaitMiss { op_idx: 0, until: 5, line: LineAddr(0), is_store: false }.power_state(),
+            Phase::WaitMiss {
+                op_idx: 0,
+                until: 5,
+                line: LineAddr(0),
+                is_store: false
+            }
+            .power_state(),
             PowerState::Miss
         );
-        assert_eq!(Phase::Committing { step_idx: 0, until: 9 }.power_state(), PowerState::Commit);
+        assert_eq!(
+            Phase::Committing {
+                step_idx: 0,
+                until: 9
+            }
+            .power_state(),
+            PowerState::Commit
+        );
         assert_eq!(Phase::Gated.power_state(), PowerState::Gated);
     }
 
@@ -382,12 +431,20 @@ mod tests {
         assert!(Phase::Gated.is_gated_like());
         assert!(Phase::GateDraining { until: 1 }.is_gated_like());
         assert!(Phase::WakeRestart { until: 1 }.is_gated_like());
-        assert!(!Phase::Executing { op_idx: 0, remaining: 0 }.is_gated_like());
+        assert!(!Phase::Executing {
+            op_idx: 0,
+            remaining: 0
+        }
+        .is_gated_like());
     }
 
     #[test]
     fn in_transaction_excludes_done_and_gated() {
-        assert!(Phase::Executing { op_idx: 0, remaining: 0 }.in_transaction());
+        assert!(Phase::Executing {
+            op_idx: 0,
+            remaining: 0
+        }
+        .in_transaction());
         assert!(Phase::SpinCommit { step_idx: 0 }.in_transaction());
         assert!(!Phase::Gated.in_transaction());
         assert!(!Phase::Done.in_transaction());

@@ -223,7 +223,13 @@ mod tests {
             total_cycles: 10,
             first_tx_start: 0,
             last_commit_end: 10,
-            state_cycles: vec![StateCycles { run: 10, ..Default::default() }; 2],
+            state_cycles: vec![
+                StateCycles {
+                    run: 10,
+                    ..Default::default()
+                };
+                2
+            ],
             proc_stats: vec![ProcStats::new(), ProcStats::new()],
             intervals,
             bus: BusStats::default(),

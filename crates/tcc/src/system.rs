@@ -102,12 +102,15 @@ impl<H: GatingHook> TccSystem<H> {
             .enumerate()
             .map(|(id, thread)| Processor::new(id, thread, SpecCache::from_config(&cfg)))
             .collect();
-        let dirs: Vec<DirCtrl> =
-            (0..cfg.num_dirs).map(|d| DirCtrl::new(d, cfg.num_procs, cfg.directory_latency)).collect();
+        let dirs: Vec<DirCtrl> = (0..cfg.num_dirs)
+            .map(|d| DirCtrl::new(d, cfg.num_procs, cfg.directory_latency))
+            .collect();
         let view = SystemView::new(cfg.num_procs, cfg.num_dirs);
         let intervals = IntervalTracker::new(cfg.num_procs);
         let bus = SplitTransactionBus::from_config(&cfg);
-        let memory_banks = (0..cfg.num_dirs).map(|_| MainMemory::from_config(&cfg)).collect();
+        let memory_banks = (0..cfg.num_dirs)
+            .map(|_| MainMemory::from_config(&cfg))
+            .collect();
         let token = TokenVendor::new(cfg.token_vendor_latency);
         Ok(Self {
             cfg,
@@ -209,7 +212,9 @@ impl<H: GatingHook> TccSystem<H> {
                     // The "on" command travels from the directory to the
                     // processor's PLL enable over the interconnect.
                     let arrive = self.bus.request(self.now, BusTraffic::Control);
-                    self.procs[proc].inbox.push(arrive, ProcEvent::TurnOn { dir });
+                    self.procs[proc]
+                        .inbox
+                        .push(arrive, ProcEvent::TurnOn { dir });
                 }
             }
         }
@@ -221,7 +226,12 @@ impl<H: GatingHook> TccSystem<H> {
         let events = self.procs[i].inbox.drain_ready(self.now);
         for ev in events {
             match ev {
-                ProcEvent::Invalidation { line, dir, aborter, aborter_tx } => {
+                ProcEvent::Invalidation {
+                    line,
+                    dir,
+                    aborter,
+                    aborter_tx,
+                } => {
                     self.procs[i].cache.invalidate(line);
                     if !self.procs[i].read_set.contains(&line) {
                         // Stale invalidation (the attempt that read this line
@@ -231,8 +241,9 @@ impl<H: GatingHook> TccSystem<H> {
                     // Consult the hook: every directory that aborts a victim
                     // logs the abort locally, even if the victim is already
                     // stopped (Section V: gating decisions are directory-local).
-                    let action =
-                        self.hook.on_abort(dir, i, aborter, aborter_tx, self.now, &self.view);
+                    let action = self
+                        .hook
+                        .on_abort(dir, i, aborter, aborter_tx, self.now, &self.view);
                     if self.procs[i].phase.is_gated_like() {
                         // Already stopped: the extra invalidation only updates
                         // the aborting directory's table.
@@ -321,9 +332,14 @@ impl<H: GatingHook> TccSystem<H> {
             Phase::Done | Phase::Gated => {}
             Phase::PreCompute { remaining } => {
                 if remaining <= 1 {
-                    self.procs[i].phase = Phase::Executing { op_idx: 0, remaining: 0 };
+                    self.procs[i].phase = Phase::Executing {
+                        op_idx: 0,
+                        remaining: 0,
+                    };
                 } else {
-                    self.procs[i].phase = Phase::PreCompute { remaining: remaining - 1 };
+                    self.procs[i].phase = Phase::PreCompute {
+                        remaining: remaining - 1,
+                    };
                 }
             }
             Phase::Executing { op_idx, remaining } => {
@@ -332,16 +348,27 @@ impl<H: GatingHook> TccSystem<H> {
                 }
                 self.procs[i].attempt_cycles += 1;
                 if remaining > 0 {
-                    self.procs[i].phase = Phase::Executing { op_idx, remaining: remaining - 1 };
+                    self.procs[i].phase = Phase::Executing {
+                        op_idx,
+                        remaining: remaining - 1,
+                    };
                 } else {
                     self.issue_op(i, op_idx);
                 }
             }
-            Phase::WaitMiss { op_idx, until, line, is_store } => {
+            Phase::WaitMiss {
+                op_idx,
+                until,
+                line,
+                is_store,
+            } => {
                 self.procs[i].attempt_cycles += 1;
                 if self.now >= until {
                     self.procs[i].cache.fill(line, !is_store, is_store);
-                    self.procs[i].phase = Phase::Executing { op_idx, remaining: 0 };
+                    self.procs[i].phase = Phase::Executing {
+                        op_idx,
+                        remaining: 0,
+                    };
                 }
             }
             Phase::WaitToken { until } => {
@@ -365,7 +392,9 @@ impl<H: GatingHook> TccSystem<H> {
                 if self.now >= until {
                     if backoff > 0 {
                         self.procs[i].stats.backoff_cycles += backoff;
-                        self.procs[i].phase = Phase::Backoff { until: self.now + backoff };
+                        self.procs[i].phase = Phase::Backoff {
+                            until: self.now + backoff,
+                        };
                     } else {
                         self.procs[i].restart_transaction();
                     }
@@ -401,15 +430,20 @@ impl<H: GatingHook> TccSystem<H> {
         let op = tx.ops[op_idx];
         match op {
             Op::Compute(c) => {
-                self.procs[i].phase =
-                    Phase::Executing { op_idx: op_idx + 1, remaining: c.saturating_sub(1) };
+                self.procs[i].phase = Phase::Executing {
+                    op_idx: op_idx + 1,
+                    remaining: c.saturating_sub(1),
+                };
             }
             Op::Read(addr) => {
                 let line = self.map.line_of(addr);
                 let home = self.map.home_of(line);
                 self.procs[i].dirs_touched.insert(home);
                 let newly_read = self.procs[i].read_set.insert(line);
-                let hit = matches!(self.procs[i].cache.load(line, true), htm_mem::AccessOutcome::Hit);
+                let hit = matches!(
+                    self.procs[i].cache.load(line, true),
+                    htm_mem::AccessOutcome::Hit
+                );
                 if hit {
                     if newly_read {
                         // Register this processor as a speculative sharer with
@@ -427,8 +461,12 @@ impl<H: GatingHook> TccSystem<H> {
                     self.dirs[home].directory.add_sharer(line, i);
                     self.hook.on_proc_activity(i, home, self.now);
                     let until = self.miss_fill_time(home, line);
-                    self.procs[i].phase =
-                        Phase::WaitMiss { op_idx: op_idx + 1, until, line, is_store: false };
+                    self.procs[i].phase = Phase::WaitMiss {
+                        op_idx: op_idx + 1,
+                        until,
+                        line,
+                        is_store: false,
+                    };
                 }
             }
             Op::Write(addr) => {
@@ -436,7 +474,10 @@ impl<H: GatingHook> TccSystem<H> {
                 let home = self.map.home_of(line);
                 self.procs[i].dirs_touched.insert(home);
                 self.procs[i].write_set.insert(line);
-                let hit = matches!(self.procs[i].cache.store(line, true), htm_mem::AccessOutcome::Hit);
+                let hit = matches!(
+                    self.procs[i].cache.store(line, true),
+                    htm_mem::AccessOutcome::Hit
+                );
                 if hit {
                     self.procs[i].phase = Phase::Executing {
                         op_idx: op_idx + 1,
@@ -447,8 +488,12 @@ impl<H: GatingHook> TccSystem<H> {
                     // until commit so no sharer registration is needed.
                     self.hook.on_proc_activity(i, home, self.now);
                     let until = self.miss_fill_time(home, line);
-                    self.procs[i].phase =
-                        Phase::WaitMiss { op_idx: op_idx + 1, until, line, is_store: true };
+                    self.procs[i].phase = Phase::WaitMiss {
+                        op_idx: op_idx + 1,
+                        until,
+                        line,
+                        is_store: true,
+                    };
                 }
             }
         }
@@ -493,8 +538,10 @@ impl<H: GatingHook> TccSystem<H> {
             }
         }
         by_dir.sort_unstable_by_key(|(d, _)| *d);
-        self.procs[i].commit_plan =
-            by_dir.into_iter().map(|(dir, lines)| CommitStep { dir, lines }).collect();
+        self.procs[i].commit_plan = by_dir
+            .into_iter()
+            .map(|(dir, lines)| CommitStep { dir, lines })
+            .collect();
 
         // Token acquisition: request over the bus, vendor service, reply.
         let req = self.bus.request(self.now, BusTraffic::Control);
@@ -540,7 +587,12 @@ impl<H: GatingHook> TccSystem<H> {
                 let deliver = self.bus.schedule_future(t, BusTraffic::Control);
                 self.procs[victim].inbox.push(
                     deliver.max(self.now + 1),
-                    ProcEvent::Invalidation { line, dir: step.dir, aborter: i, aborter_tx },
+                    ProcEvent::Invalidation {
+                        line,
+                        dir: step.dir,
+                        aborter: i,
+                        aborter_tx,
+                    },
                 );
             }
         }
@@ -552,7 +604,9 @@ impl<H: GatingHook> TccSystem<H> {
         let dir = self.procs[i].commit_plan[step_idx].dir;
         self.dirs[dir].unmark(i);
         if step_idx + 1 < self.procs[i].commit_plan.len() {
-            self.procs[i].phase = Phase::SpinCommit { step_idx: step_idx + 1 };
+            self.procs[i].phase = Phase::SpinCommit {
+                step_idx: step_idx + 1,
+            };
         } else {
             self.finish_commit(i);
         }
@@ -577,10 +631,22 @@ impl<H: GatingHook> TccSystem<H> {
 
     fn into_outcome(self) -> RunOutcome {
         let total_cycles = self.now;
-        let first_tx_start =
-            self.procs.iter().filter_map(|p| p.first_tx_start).min().unwrap_or(0);
-        let state_cycles = self.procs.iter().map(|p| p.state_cycles).collect::<Vec<_>>();
-        let proc_stats = self.procs.iter().map(|p| p.stats.clone()).collect::<Vec<_>>();
+        let first_tx_start = self
+            .procs
+            .iter()
+            .filter_map(|p| p.first_tx_start)
+            .min()
+            .unwrap_or(0);
+        let state_cycles = self
+            .procs
+            .iter()
+            .map(|p| p.state_cycles)
+            .collect::<Vec<_>>();
+        let proc_stats = self
+            .procs
+            .iter()
+            .map(|p| p.stats.clone())
+            .collect::<Vec<_>>();
         let total_commits = proc_stats.iter().map(|s| s.commits).sum();
         let total_aborts = proc_stats.iter().map(|s| s.aborts).sum();
         let total_gatings = proc_stats.iter().map(|s| s.gatings).sum();
@@ -644,16 +710,24 @@ mod tests {
     fn read_only_transaction_commits_without_token() {
         let w = WorkloadTrace::new(
             "ro",
-            vec![ThreadTrace::new(vec![Transaction::new(1, vec![Op::Read(0), Op::Read(64)])])],
+            vec![ThreadTrace::new(vec![Transaction::new(
+                1,
+                vec![Op::Read(0), Op::Read(64)],
+            )])],
         );
-        let outcome = TccSystem::new(cfg(1), w, NoGating).unwrap().run_bounded(100_000).unwrap();
+        let outcome = TccSystem::new(cfg(1), w, NoGating)
+            .unwrap()
+            .run_bounded(100_000)
+            .unwrap();
         assert_eq!(outcome.total_commits, 1);
         assert_eq!(outcome.total_aborts, 0);
     }
 
     #[test]
     fn wrong_thread_count_is_rejected() {
-        let err = TccSystem::new(cfg(2), single_tx_workload(), NoGating).err().unwrap();
+        let err = TccSystem::new(cfg(2), single_tx_workload(), NoGating)
+            .err()
+            .unwrap();
         assert!(matches!(err, SimError::BadWorkload(_)));
     }
 
@@ -661,7 +735,10 @@ mod tests {
     fn out_of_range_address_is_rejected() {
         let w = WorkloadTrace::new(
             "oob",
-            vec![ThreadTrace::new(vec![Transaction::new(1, vec![Op::Read(1 << 40)])])],
+            vec![ThreadTrace::new(vec![Transaction::new(
+                1,
+                vec![Op::Read(1 << 40)],
+            )])],
         );
         let err = TccSystem::new(cfg(1), w, NoGating).err().unwrap();
         assert!(matches!(err, SimError::BadWorkload(_)));
@@ -680,9 +757,15 @@ mod tests {
                 ThreadTrace::new(vec![tx(11), tx(12), tx(13)]),
             ],
         );
-        let outcome = TccSystem::new(cfg(2), w, NoGating).unwrap().run_bounded(1_000_000).unwrap();
+        let outcome = TccSystem::new(cfg(2), w, NoGating)
+            .unwrap()
+            .run_bounded(1_000_000)
+            .unwrap();
         assert_eq!(outcome.total_commits, 6);
-        assert!(outcome.total_aborts > 0, "conflicting transactions must abort at least once");
+        assert!(
+            outcome.total_aborts > 0,
+            "conflicting transactions must abort at least once"
+        );
         assert_eq!(outcome.total_gatings, 0, "baseline never gates");
         outcome.check_consistency().unwrap();
     }
@@ -700,7 +783,10 @@ mod tests {
                 ThreadTrace::new(vec![tx(11, 4096), tx(12, 4160)]),
             ],
         );
-        let outcome = TccSystem::new(cfg(2), w, NoGating).unwrap().run_bounded(1_000_000).unwrap();
+        let outcome = TccSystem::new(cfg(2), w, NoGating)
+            .unwrap()
+            .run_bounded(1_000_000)
+            .unwrap();
         assert_eq!(outcome.total_commits, 4);
         assert_eq!(outcome.total_aborts, 0);
     }
@@ -712,17 +798,27 @@ mod tests {
             .run_bounded(100_000)
             .unwrap();
         assert!(outcome.total_miss_cycles() > 0, "the first read must miss");
-        assert!(outcome.total_commit_cycles() > 0, "the write-set flush must be accounted");
+        assert!(
+            outcome.total_commit_cycles() > 0,
+            "the write-set flush must be accounted"
+        );
     }
 
     #[test]
     fn consistency_holds_for_conflicting_runs() {
-        let tx = |id: u64| Transaction::new(id, vec![Op::Read(128), Op::Compute(30), Op::Write(128)]);
+        let tx =
+            |id: u64| Transaction::new(id, vec![Op::Read(128), Op::Compute(30), Op::Write(128)]);
         let w = WorkloadTrace::new(
             "conflict",
-            vec![ThreadTrace::new(vec![tx(1), tx(2)]), ThreadTrace::new(vec![tx(21), tx(22)])],
+            vec![
+                ThreadTrace::new(vec![tx(1), tx(2)]),
+                ThreadTrace::new(vec![tx(21), tx(22)]),
+            ],
         );
-        let outcome = TccSystem::new(cfg(2), w, NoGating).unwrap().run_bounded(1_000_000).unwrap();
+        let outcome = TccSystem::new(cfg(2), w, NoGating)
+            .unwrap()
+            .run_bounded(1_000_000)
+            .unwrap();
         outcome.check_consistency().unwrap();
         assert_eq!(outcome.num_procs, 2);
         assert!(outcome.last_commit_end <= outcome.total_cycles);
@@ -749,7 +845,11 @@ mod tests {
 
     impl FixedWindowGate {
         fn new(num_procs: usize, window: Cycle) -> Self {
-            Self { window, pending: Vec::new(), gated: vec![false; num_procs] }
+            Self {
+                window,
+                pending: Vec::new(),
+                gated: vec![false; num_procs],
+            }
         }
     }
 
@@ -803,9 +903,15 @@ mod tests {
             .unwrap()
             .run_bounded(2_000_000)
             .unwrap();
-        assert_eq!(outcome.total_commits, 6, "every transaction must still commit");
+        assert_eq!(
+            outcome.total_commits, 6,
+            "every transaction must still commit"
+        );
         assert!(outcome.total_gatings > 0, "conflicts must trigger gating");
-        assert!(outcome.total_gated_cycles() > 0, "gated cycles must be accounted");
+        assert!(
+            outcome.total_gated_cycles() > 0,
+            "gated cycles must be accounted"
+        );
         outcome.check_consistency().unwrap();
     }
 
@@ -815,11 +921,20 @@ mod tests {
         let build = || {
             WorkloadTrace::new(
                 "det",
-                vec![ThreadTrace::new(vec![tx(1), tx(2)]), ThreadTrace::new(vec![tx(21), tx(22)])],
+                vec![
+                    ThreadTrace::new(vec![tx(1), tx(2)]),
+                    ThreadTrace::new(vec![tx(21), tx(22)]),
+                ],
             )
         };
-        let a = TccSystem::new(cfg(2), build(), NoGating).unwrap().run_bounded(1_000_000).unwrap();
-        let b = TccSystem::new(cfg(2), build(), NoGating).unwrap().run_bounded(1_000_000).unwrap();
+        let a = TccSystem::new(cfg(2), build(), NoGating)
+            .unwrap()
+            .run_bounded(1_000_000)
+            .unwrap();
+        let b = TccSystem::new(cfg(2), build(), NoGating)
+            .unwrap()
+            .run_bounded(1_000_000)
+            .unwrap();
         assert_eq!(a.total_cycles, b.total_cycles);
         assert_eq!(a.total_aborts, b.total_aborts);
         assert_eq!(a.state_cycles, b.state_cycles);

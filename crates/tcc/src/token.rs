@@ -29,7 +29,11 @@ impl TokenVendor {
     /// Create a vendor with the given per-request service latency.
     #[must_use]
     pub fn new(latency: u64) -> Self {
-        Self { next_tid: 1, port: SinglePortResource::new(latency), issued: 0 }
+        Self {
+            next_tid: 1,
+            port: SinglePortResource::new(latency),
+            issued: 0,
+        }
     }
 
     /// Request a TID at cycle `now`. Returns the assigned TID and the cycle at

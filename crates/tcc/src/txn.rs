@@ -49,27 +49,47 @@ impl Transaction {
     /// Create a transaction with no pre-transactional work.
     #[must_use]
     pub fn new(tx_id: TxId, ops: Vec<Op>) -> Self {
-        Self { tx_id, pre_compute: 0, ops }
+        Self {
+            tx_id,
+            pre_compute: 0,
+            ops,
+        }
     }
 
     /// Create a transaction with `pre_compute` cycles of non-transactional
     /// work before the atomic region.
     #[must_use]
     pub fn with_pre_compute(tx_id: TxId, pre_compute: u64, ops: Vec<Op>) -> Self {
-        Self { tx_id, pre_compute, ops }
+        Self {
+            tx_id,
+            pre_compute,
+            ops,
+        }
     }
 
     /// Number of memory operations (reads + writes).
     #[must_use]
     pub fn memory_ops(&self) -> usize {
-        self.ops.iter().filter(|op| matches!(op, Op::Read(_) | Op::Write(_))).count()
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, Op::Read(_) | Op::Write(_)))
+            .count()
     }
 
     /// Number of distinct addresses written.
     #[must_use]
     pub fn write_addrs(&self) -> Vec<Addr> {
-        let mut addrs: Vec<Addr> =
-            self.ops.iter().filter_map(|op| if let Op::Write(a) = op { Some(*a) } else { None }).collect();
+        let mut addrs: Vec<Addr> = self
+            .ops
+            .iter()
+            .filter_map(|op| {
+                if let Op::Write(a) = op {
+                    Some(*a)
+                } else {
+                    None
+                }
+            })
+            .collect();
         addrs.sort_unstable();
         addrs.dedup();
         addrs
@@ -78,8 +98,11 @@ impl Transaction {
     /// Number of distinct addresses read.
     #[must_use]
     pub fn read_addrs(&self) -> Vec<Addr> {
-        let mut addrs: Vec<Addr> =
-            self.ops.iter().filter_map(|op| if let Op::Read(a) = op { Some(*a) } else { None }).collect();
+        let mut addrs: Vec<Addr> = self
+            .ops
+            .iter()
+            .filter_map(|op| if let Op::Read(a) = op { Some(*a) } else { None })
+            .collect();
         addrs.sort_unstable();
         addrs.dedup();
         addrs
@@ -88,7 +111,10 @@ impl Transaction {
     /// Total `Compute` cycles inside the transaction.
     #[must_use]
     pub fn compute_cycles(&self) -> u64 {
-        self.ops.iter().map(|op| if let Op::Compute(c) = op { *c } else { 0 }).sum()
+        self.ops
+            .iter()
+            .map(|op| if let Op::Compute(c) = op { *c } else { 0 })
+            .sum()
     }
 }
 
@@ -134,7 +160,10 @@ impl WorkloadTrace {
     /// Create a named workload from per-thread traces.
     #[must_use]
     pub fn new(name: impl Into<String>, threads: Vec<ThreadTrace>) -> Self {
-        Self { name: name.into(), threads }
+        Self {
+            name: name.into(),
+            threads,
+        }
     }
 
     /// Number of threads (processors) this workload expects.
@@ -172,7 +201,13 @@ mod tests {
     fn sample_tx() -> Transaction {
         Transaction::new(
             0x4000,
-            vec![Op::Read(64), Op::Compute(10), Op::Write(64), Op::Write(128), Op::Read(192)],
+            vec![
+                Op::Read(64),
+                Op::Compute(10),
+                Op::Write(64),
+                Op::Write(128),
+                Op::Read(192),
+            ],
         )
     }
 
@@ -183,7 +218,10 @@ mod tests {
 
     #[test]
     fn write_and_read_addrs_dedup_and_sort() {
-        let tx = Transaction::new(1, vec![Op::Write(128), Op::Write(64), Op::Write(128), Op::Read(64)]);
+        let tx = Transaction::new(
+            1,
+            vec![Op::Write(128), Op::Write(64), Op::Write(128), Op::Read(64)],
+        );
         assert_eq!(tx.write_addrs(), vec![64, 128]);
         assert_eq!(tx.read_addrs(), vec![64]);
     }
@@ -213,7 +251,10 @@ mod tests {
     fn workload_totals() {
         let w = WorkloadTrace::new(
             "toy",
-            vec![ThreadTrace::new(vec![sample_tx()]), ThreadTrace::new(vec![sample_tx(), sample_tx()])],
+            vec![
+                ThreadTrace::new(vec![sample_tx()]),
+                ThreadTrace::new(vec![sample_tx(), sample_tx()]),
+            ],
         );
         assert_eq!(w.num_threads(), 2);
         assert_eq!(w.total_transactions(), 3);
@@ -224,7 +265,10 @@ mod tests {
     fn max_addr_finds_largest_reference() {
         let w = WorkloadTrace::new(
             "toy",
-            vec![ThreadTrace::new(vec![Transaction::new(1, vec![Op::Read(10), Op::Write(99_999)])])],
+            vec![ThreadTrace::new(vec![Transaction::new(
+                1,
+                vec![Op::Read(10), Op::Write(99_999)],
+            )])],
         );
         assert_eq!(w.max_addr(), Some(99_999));
         let empty = WorkloadTrace::new("empty", vec![ThreadTrace::default()]);

@@ -142,7 +142,11 @@ mod tests {
     use super::*;
 
     fn mean_ops(w: &WorkloadTrace) -> f64 {
-        let txs: Vec<_> = w.threads.iter().flat_map(|t| t.transactions.iter()).collect();
+        let txs: Vec<_> = w
+            .threads
+            .iter()
+            .flat_map(|t| t.transactions.iter())
+            .collect();
         txs.iter().map(|t| t.memory_ops() as f64).sum::<f64>() / txs.len() as f64
     }
 

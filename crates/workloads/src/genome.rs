@@ -57,7 +57,11 @@ mod tests {
     fn transactions_are_moderate_length() {
         let w = generate(4, WorkloadScale::Full, 1);
         let mean_ops: f64 = {
-            let txs: Vec<_> = w.threads.iter().flat_map(|t| t.transactions.iter()).collect();
+            let txs: Vec<_> = w
+                .threads
+                .iter()
+                .flat_map(|t| t.transactions.iter())
+                .collect();
             txs.iter().map(|t| t.memory_ops() as f64).sum::<f64>() / txs.len() as f64
         };
         assert!((5.0..=14.0).contains(&mean_ops), "mean ops {mean_ops:.1}");
@@ -89,6 +93,9 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(generate(2, WorkloadScale::Test, 9), generate(2, WorkloadScale::Test, 9));
+        assert_eq!(
+            generate(2, WorkloadScale::Test, 9),
+            generate(2, WorkloadScale::Test, 9)
+        );
     }
 }

@@ -57,8 +57,15 @@ mod tests {
         let w = generate(4, WorkloadScale::Full, 1);
         for tx in w.threads.iter().flat_map(|t| t.transactions.iter()) {
             // 2-5 reads + 1-3 writes + the queue-head read-modify-write pair.
-            assert!(tx.memory_ops() <= 10, "intruder transactions are short: {}", tx.memory_ops());
-            assert!(!tx.write_addrs().is_empty(), "every transaction updates shared state");
+            assert!(
+                tx.memory_ops() <= 10,
+                "intruder transactions are short: {}",
+                tx.memory_ops()
+            );
+            assert!(
+                !tx.write_addrs().is_empty(),
+                "every transaction updates shared state"
+            );
         }
     }
 
@@ -76,12 +83,21 @@ mod tests {
             }
         }
         let frac = hot as f64 / total as f64;
-        assert!(frac > 0.4, "most intruder writes hit the contended structures: {frac:.2}");
+        assert!(
+            frac > 0.4,
+            "most intruder writes hit the contended structures: {frac:.2}"
+        );
     }
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(generate(4, WorkloadScale::Small, 3), generate(4, WorkloadScale::Small, 3));
-        assert_ne!(generate(4, WorkloadScale::Small, 3), generate(4, WorkloadScale::Small, 4));
+        assert_eq!(
+            generate(4, WorkloadScale::Small, 3),
+            generate(4, WorkloadScale::Small, 3)
+        );
+        assert_ne!(
+            generate(4, WorkloadScale::Small, 3),
+            generate(4, WorkloadScale::Small, 4)
+        );
     }
 }

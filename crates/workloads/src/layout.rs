@@ -39,7 +39,12 @@ impl AddressLayout {
     /// Create a layout.
     #[must_use]
     pub fn new(hot_lines: u64, cold_lines: u64, private_lines: u64, threads: u64) -> Self {
-        Self { hot_lines, cold_lines, private_lines, threads }
+        Self {
+            hot_lines,
+            cold_lines,
+            private_lines,
+            threads,
+        }
     }
 
     /// Byte address of the `i`-th hot line (`i < hot_lines`).

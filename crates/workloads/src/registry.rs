@@ -13,8 +13,15 @@ use crate::{extensions, genome, intruder, yada};
 pub const PAPER_WORKLOADS: [&str; 3] = ["genome", "yada", "intruder"];
 
 /// Names of every workload this crate can generate.
-pub const ALL_WORKLOADS: [&str; 7] =
-    ["genome", "yada", "intruder", "vacation", "kmeans", "ssca2", "labyrinth"];
+pub const ALL_WORKLOADS: [&str; 7] = [
+    "genome",
+    "yada",
+    "intruder",
+    "vacation",
+    "kmeans",
+    "ssca2",
+    "labyrinth",
+];
 
 /// All available workload names.
 #[must_use]
@@ -24,7 +31,12 @@ pub fn workload_names() -> Vec<&'static str> {
 
 /// Generate a workload by name. Returns `None` for unknown names.
 #[must_use]
-pub fn by_name(name: &str, threads: usize, scale: WorkloadScale, seed: u64) -> Option<WorkloadTrace> {
+pub fn by_name(
+    name: &str,
+    threads: usize,
+    scale: WorkloadScale,
+    seed: u64,
+) -> Option<WorkloadTrace> {
     match name {
         "genome" => Some(genome::generate(threads, scale, seed)),
         "yada" => Some(yada::generate(threads, scale, seed)),

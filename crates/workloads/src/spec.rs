@@ -52,7 +52,10 @@ impl Range {
     /// Construct a range (clamping `max` up to `min` if needed).
     #[must_use]
     pub fn new(min: u64, max: u64) -> Self {
-        Self { min, max: max.max(min) }
+        Self {
+            min,
+            max: max.max(min),
+        }
     }
 
     /// Sample the range uniformly.
@@ -113,7 +116,12 @@ impl SyntheticSpec {
     /// The address-space layout implied by this spec for `threads` threads.
     #[must_use]
     pub fn layout(&self, threads: usize) -> AddressLayout {
-        AddressLayout::new(self.hot_lines, self.cold_lines, self.private_lines, threads as u64)
+        AddressLayout::new(
+            self.hot_lines,
+            self.cold_lines,
+            self.private_lines,
+            threads as u64,
+        )
     }
 
     /// Generate the trace for one thread.
@@ -179,14 +187,24 @@ impl SyntheticSpec {
         // reads first (lookups / traversal), writes towards the end (updates),
         // with compute in between.
         for _ in 0..reads {
-            ops.push(Op::Read(self.pick_addr(rng, thread, layout, self.hot_read_prob)));
+            ops.push(Op::Read(self.pick_addr(
+                rng,
+                thread,
+                layout,
+                self.hot_read_prob,
+            )));
             let c = self.compute_between_ops.sample(rng);
             if c > 0 {
                 ops.push(Op::Compute(c));
             }
         }
         for _ in 0..writes {
-            ops.push(Op::Write(self.pick_addr(rng, thread, layout, self.hot_write_prob)));
+            ops.push(Op::Write(self.pick_addr(
+                rng,
+                thread,
+                layout,
+                self.hot_write_prob,
+            )));
             let c = self.compute_between_ops.sample(rng);
             if c > 0 {
                 ops.push(Op::Compute(c));
@@ -201,8 +219,9 @@ impl SyntheticSpec {
     /// Generate the complete workload for `threads` threads at `scale`.
     #[must_use]
     pub fn generate(&self, threads: usize, scale: WorkloadScale) -> WorkloadTrace {
-        let traces =
-            (0..threads).map(|t| self.generate_thread(t, threads, scale)).collect::<Vec<_>>();
+        let traces = (0..threads)
+            .map(|t| self.generate_thread(t, threads, scale))
+            .collect::<Vec<_>>();
         WorkloadTrace::new(self.name.clone(), traces)
     }
 }
@@ -261,7 +280,11 @@ mod tests {
         let w = toy_spec().generate(1, WorkloadScale::Full);
         let ids: Vec<u64> = w.threads[0].transactions.iter().map(|t| t.tx_id).collect();
         let distinct: std::collections::HashSet<u64> = ids.iter().copied().collect();
-        assert_eq!(distinct.len(), 2, "two static transactions cycle through the loop");
+        assert_eq!(
+            distinct.len(),
+            2,
+            "two static transactions cycle through the loop"
+        );
         assert_eq!(ids[0], ids[2]);
         assert_eq!(ids[1], ids[3]);
     }

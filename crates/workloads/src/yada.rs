@@ -55,14 +55,22 @@ mod tests {
     use crate::{genome, intruder};
 
     fn mean_ops(w: &WorkloadTrace) -> f64 {
-        let txs: Vec<_> = w.threads.iter().flat_map(|t| t.transactions.iter()).collect();
+        let txs: Vec<_> = w
+            .threads
+            .iter()
+            .flat_map(|t| t.transactions.iter())
+            .collect();
         txs.iter().map(|t| t.memory_ops() as f64).sum::<f64>() / txs.len() as f64
     }
 
     #[test]
     fn transactions_are_long() {
         let w = generate(4, WorkloadScale::Full, 1);
-        assert!(mean_ops(&w) >= 15.0, "yada transactions are long: {:.1}", mean_ops(&w));
+        assert!(
+            mean_ops(&w) >= 15.0,
+            "yada transactions are long: {:.1}",
+            mean_ops(&w)
+        );
     }
 
     #[test]
@@ -77,8 +85,15 @@ mod tests {
     fn write_sets_are_large() {
         let w = generate(4, WorkloadScale::Full, 1);
         let mean_writes: f64 = {
-            let txs: Vec<_> = w.threads.iter().flat_map(|t| t.transactions.iter()).collect();
-            txs.iter().map(|t| t.write_addrs().len() as f64).sum::<f64>() / txs.len() as f64
+            let txs: Vec<_> = w
+                .threads
+                .iter()
+                .flat_map(|t| t.transactions.iter())
+                .collect();
+            txs.iter()
+                .map(|t| t.write_addrs().len() as f64)
+                .sum::<f64>()
+                / txs.len() as f64
         };
         assert!(mean_writes >= 4.0, "mean writes {mean_writes:.1}");
     }

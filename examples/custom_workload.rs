@@ -27,10 +27,10 @@ fn hand_written(threads: usize, increments: usize) -> WorkloadTrace {
                         0x400, // one static transaction: the increment loop body
                         20,
                         vec![
-                            Op::Read(0),                                    // load the shared counter
-                            Op::Compute(15),                                // compute the new value
-                            Op::Write(private_base + (i as u64 % 8) * 64),  // log locally
-                            Op::Write(0),                                   // store the counter
+                            Op::Read(0),                                   // load the shared counter
+                            Op::Compute(15),                               // compute the new value
+                            Op::Write(private_base + (i as u64 % 8) * 64), // log locally
+                            Op::Write(0),                                  // store the counter
                         ],
                     )
                 })

@@ -44,17 +44,32 @@ fn main() {
             gated.gating.map_or(0, |g| g.renewals).to_string(),
         ]);
     }
-    println!("{}", format_table(&["W0", "speed-up", "energy savings", "renewals"], &rows));
+    println!(
+        "{}",
+        format_table(&["W0", "speed-up", "energy savings", "renewals"], &rows)
+    );
 
     println!("-- Abort-handling strategies --");
     let mut rows = Vec::new();
     let modes: [(&str, GatingMode); 6] = [
         ("plain TCC (baseline)", GatingMode::Ungated),
-        ("exponential back-off", GatingMode::ExponentialBackoff { base: 32, cap: 8 }),
+        (
+            "exponential back-off",
+            GatingMode::ExponentialBackoff { base: 32, cap: 8 },
+        ),
         ("clock gate, Eq. 8 (paper)", GatingMode::ClockGate { w0: 8 }),
-        ("clock gate, fixed 64-cycle window", GatingMode::ClockGateFixedWindow { window: 64 }),
-        ("clock gate, no renewal check", GatingMode::ClockGateNoRenew { w0: 8 }),
-        ("clock gate, linear back-off", GatingMode::ClockGateLinear { w0: 8 }),
+        (
+            "clock gate, fixed 64-cycle window",
+            GatingMode::ClockGateFixedWindow { window: 64 },
+        ),
+        (
+            "clock gate, no renewal check",
+            GatingMode::ClockGateNoRenew { w0: 8 },
+        ),
+        (
+            "clock gate, linear back-off",
+            GatingMode::ClockGateLinear { w0: 8 },
+        ),
     ];
     for (name, mode) in modes {
         let report = run(workload, procs, mode);
@@ -68,6 +83,9 @@ fn main() {
     }
     println!(
         "{}",
-        format_table(&["strategy", "cycles", "aborts/commit", "energy vs baseline"], &rows)
+        format_table(
+            &["strategy", "cycles", "aborts/commit", "energy vs baseline"],
+            &rows
+        )
     );
 }

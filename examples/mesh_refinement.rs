@@ -14,8 +14,10 @@ use clockgate_htm::sim::{compare_runs, GatingMode, SimulationBuilder};
 use htm_workloads::WorkloadScale;
 
 fn main() {
-    let procs: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let procs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
     let seed = 42;
     println!("Delaunay mesh refinement (yada-like workload) on {procs} processors\n");
 
@@ -35,23 +37,45 @@ fn main() {
         .expect("gated run");
 
     let g = gated.gating.expect("gating stats");
-    println!("baseline:  {} cycles, {} aborts ({:.2} per commit)",
-        ungated.outcome.total_cycles, ungated.outcome.total_aborts, ungated.outcome.abort_rate());
-    println!("gated:     {} cycles, {} aborts ({:.2} per commit)",
-        gated.outcome.total_cycles, gated.outcome.total_aborts, gated.outcome.abort_rate());
+    println!(
+        "baseline:  {} cycles, {} aborts ({:.2} per commit)",
+        ungated.outcome.total_cycles,
+        ungated.outcome.total_aborts,
+        ungated.outcome.abort_rate()
+    );
+    println!(
+        "gated:     {} cycles, {} aborts ({:.2} per commit)",
+        gated.outcome.total_cycles,
+        gated.outcome.total_aborts,
+        gated.outcome.abort_rate()
+    );
     println!();
     println!("gating controller activity:");
     println!("  Stop Clock commands (gatings) : {}", g.gatings);
     println!("  gating periods renewed        : {}", g.renewals);
-    println!("  wake: aborter left directory  : {}", g.ungate_aborter_gone);
-    println!("  wake: aborter on different tx : {}", g.ungate_different_tx);
+    println!(
+        "  wake: aborter left directory  : {}",
+        g.ungate_aborter_gone
+    );
+    println!(
+        "  wake: aborter on different tx : {}",
+        g.ungate_different_tx
+    );
     println!("  wake: null TxInfoReq reply    : {}", g.ungate_null_reply);
-    println!("  stale OFF bits reconciled     : {}", g.stale_off_reconciled);
+    println!(
+        "  stale OFF bits reconciled     : {}",
+        g.stale_off_reconciled
+    );
     println!();
-    println!("  processor-cycles spent gated  : {}", gated.outcome.total_gated_cycles());
+    println!(
+        "  processor-cycles spent gated  : {}",
+        gated.outcome.total_gated_cycles()
+    );
 
     let cmp = compare_runs(&ungated, &gated);
     println!();
-    println!("speed-up: {:.3}x   energy reduction: {:.3}x   avg power reduction: {:.3}x",
-        cmp.speedup, cmp.energy_reduction, cmp.average_power_reduction);
+    println!(
+        "speed-up: {:.3}x   energy reduction: {:.3}x   avg power reduction: {:.3}x",
+        cmp.speedup, cmp.energy_reduction, cmp.average_power_reduction
+    );
 }

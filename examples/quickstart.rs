@@ -34,12 +34,21 @@ fn main() {
         .run()
         .expect("simulation must complete");
 
-    for (label, report) in [("without clock gating", &ungated), ("with clock gating", &gated)] {
+    for (label, report) in [
+        ("without clock gating", &ungated),
+        ("with clock gating", &gated),
+    ] {
         let o = &report.outcome;
         println!("--- {label} ---");
         println!("  parallel execution time : {} cycles", o.total_cycles);
-        println!("  commits / aborts        : {} / {}", o.total_commits, o.total_aborts);
-        println!("  abort rate              : {:.2} aborts per commit", o.abort_rate());
+        println!(
+            "  commits / aborts        : {} / {}",
+            o.total_commits, o.total_aborts
+        );
+        println!(
+            "  abort rate              : {:.2} aborts per commit",
+            o.abort_rate()
+        );
         println!(
             "  processor-cycles          run={} miss={} commit={} gated={}",
             o.state_cycles.iter().map(|s| s.run).sum::<u64>(),
@@ -47,7 +56,10 @@ fn main() {
             o.total_commit_cycles(),
             o.total_gated_cycles(),
         );
-        println!("  total energy            : {:.0} (run-power x cycles)", report.total_energy());
+        println!(
+            "  total energy            : {:.0} (run-power x cycles)",
+            report.total_energy()
+        );
         println!(
             "  bus transfers           : {} control, {} data ({} bus-busy cycles)",
             o.bus.control_transfers, o.bus.data_transfers, o.bus.busy_cycles
@@ -67,7 +79,11 @@ fn main() {
 
     let cmp = compare_runs(&ungated, &gated);
     println!("--- comparison (paper metrics) ---");
-    println!("  speed-up (N1/N2)             : {:.3}x ({:+.1}%)", cmp.speedup, cmp.speedup_percent());
+    println!(
+        "  speed-up (N1/N2)             : {:.3}x ({:+.1}%)",
+        cmp.speedup,
+        cmp.speedup_percent()
+    );
     println!(
         "  energy reduction (Eug/Eg)    : {:.3}x ({:+.1}% savings)",
         cmp.energy_reduction,

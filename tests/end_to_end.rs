@@ -21,7 +21,10 @@ fn every_workload_completes_under_every_mode() {
     for workload in workload_names() {
         for mode in [GatingMode::Ungated, GatingMode::ClockGate { w0: 8 }] {
             let report = run(workload, 4, mode, 3);
-            assert!(report.outcome.total_commits > 0, "{workload} under {mode:?}");
+            assert!(
+                report.outcome.total_commits > 0,
+                "{workload} under {mode:?}"
+            );
             report.outcome.check_consistency().unwrap_or_else(|e| {
                 panic!("inconsistent accounting for {workload} under {mode:?}: {e}")
             });

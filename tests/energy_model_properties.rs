@@ -15,7 +15,11 @@ use htm_tcc::stats::{ProcStats, RunOutcome, StateCycles};
 fn outcome_from_columns(columns: Vec<(u64, u64, u64, u64)>) -> RunOutcome {
     // Interpret each column as one *cycle block* applied to all processors:
     // (run procs, miss procs, commit procs, gated procs) for `1` cycle each.
-    let num_procs: u64 = columns.iter().map(|c| c.0 + c.1 + c.2 + c.3).max().unwrap_or(1);
+    let num_procs: u64 = columns
+        .iter()
+        .map(|c| c.0 + c.1 + c.2 + c.3)
+        .max()
+        .unwrap_or(1);
     let num_procs = num_procs.max(1) as usize;
     let mut state_cycles = vec![StateCycles::default(); num_procs];
     let mut intervals = IntervalTracker::new(num_procs);

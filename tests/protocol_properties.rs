@@ -10,14 +10,14 @@ use htm_workloads::WorkloadScale;
 /// A random (but small) synthetic workload specification.
 fn arb_spec() -> impl Strategy<Value = SyntheticSpec> {
     (
-        1u64..8,        // hot lines
-        8u64..64,       // cold lines
-        4u64..32,       // private lines
-        1usize..4,      // static transactions
-        1u64..6,        // max reads
-        1u64..4,        // max writes
-        0.0f64..0.8,    // hot write probability
-        0.0f64..0.9,    // site RMW probability
+        1u64..8,     // hot lines
+        8u64..64,    // cold lines
+        4u64..32,    // private lines
+        1usize..4,   // static transactions
+        1u64..6,     // max reads
+        1u64..4,     // max writes
+        0.0f64..0.8, // hot write probability
+        0.0f64..0.9, // site RMW probability
         0u64..1_000_000,
     )
         .prop_map(

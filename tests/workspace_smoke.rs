@@ -1,0 +1,69 @@
+//! Workspace-surface smoke test: everything a downstream consumer touches —
+//! the umbrella re-exports, the default experiment configuration and one
+//! tiny end-to-end simulation — works from a clean build.
+
+use clock_gate_on_abort::core::experiments::ExperimentConfig;
+use clock_gate_on_abort::core::sim::{compare_runs, GatingMode, SimulationBuilder};
+use clock_gate_on_abort::power::model::PowerModel;
+use clock_gate_on_abort::workloads::{workload_names, WorkloadScale};
+
+/// The default configuration is the paper's evaluation matrix.
+#[test]
+fn default_experiment_config_matches_paper() {
+    let cfg = ExperimentConfig::default();
+    assert_eq!(cfg.processor_counts, vec![4, 8, 16]);
+    assert_eq!(cfg.w0, 8);
+    assert_eq!(
+        cfg.workloads,
+        vec![
+            "genome".to_string(),
+            "yada".to_string(),
+            "intruder".to_string()
+        ]
+    );
+    for w in &cfg.workloads {
+        assert!(
+            workload_names().iter().any(|n| n == w),
+            "default workload {w} must be registered"
+        );
+    }
+}
+
+/// One tiny simulation through the umbrella re-exports produces non-zero
+/// cycles and non-zero energy, both gated and ungated.
+#[test]
+fn tiny_simulation_has_cycles_and_energy() {
+    let run = |mode| {
+        SimulationBuilder::new()
+            .processors(4)
+            .workload_by_name("intruder", WorkloadScale::Test, 42)
+            .expect("intruder is a known workload")
+            .gating(mode)
+            .run()
+            .expect("tiny simulation must complete")
+    };
+    let ungated = run(GatingMode::Ungated);
+    let gated = run(GatingMode::ClockGate { w0: 8 });
+
+    for report in [&ungated, &gated] {
+        assert!(report.outcome.total_cycles > 0);
+        assert!(report.outcome.total_commits > 0);
+        assert!(report.energy.total_energy > 0.0);
+        assert!(report.outcome.check_consistency().is_ok());
+    }
+    assert_eq!(ungated.outcome.total_gated_cycles(), 0);
+
+    let cmp = compare_runs(&ungated, &gated);
+    assert!(cmp.speedup.is_finite());
+}
+
+/// The re-exported power model carries the paper's Table I factors.
+#[test]
+fn power_model_reexport_is_table1() {
+    let model = PowerModel::alpha_21264_65nm();
+    let json = clock_gate_on_abort::core::report::to_json(&model);
+    assert!(
+        json.contains('{'),
+        "power model must serialize to JSON: {json}"
+    );
+}
