@@ -13,12 +13,23 @@
 //! `--smoke` is the CI gate: tiny workloads on a single processor count,
 //! with every produced table/figure also written as a JSON artifact under
 //! `--out` (default `reproduce-out/`).
+//!
+//! Engine options:
+//!
+//! * `--engine fast|naive` selects the stepping engine (default `fast`, the
+//!   event-driven fast-forward engine; `naive` is the one-step-per-cycle
+//!   reference). Both produce byte-identical table/figure artifacts — CI
+//!   runs the smoke matrix with both and fails on any divergence.
+//! * `--timing` writes a `BENCH_reproduce.json` artifact with the wall-clock
+//!   time of every matrix cell and the cells/second rate, so engine and
+//!   parallelisation speedups are recorded next to the scientific output.
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use clockgate_htm::experiments::{self, EvaluationMatrix, ExperimentConfig, Fig7Result};
 use clockgate_htm::report;
+use clockgate_htm::sim::EngineKind;
 use htm_power::model::PowerModel;
 
 /// Print one line to stdout, exiting quietly if the reader went away
@@ -43,6 +54,7 @@ macro_rules! outln {
 fn usage() -> ! {
     eprintln!(
         "usage: reproduce [--json] [--quick] [--smoke] [--out DIR] \
+         [--engine fast|naive] [--timing] \
          [all|table1|table2|fig3|fig4|fig5|fig6|fig7|summary]..."
     );
     std::process::exit(2);
@@ -66,6 +78,8 @@ fn main() {
     let mut json = false;
     let mut quick = false;
     let mut smoke = false;
+    let mut timing = false;
+    let mut engine = EngineKind::FastForward;
     let mut out_dir: Option<PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -74,6 +88,12 @@ fn main() {
             "--json" => json = true,
             "--quick" => quick = true,
             "--smoke" => smoke = true,
+            "--timing" => timing = true,
+            "--engine" => match args.next().as_deref() {
+                Some("fast" | "fast-forward") => engine = EngineKind::FastForward,
+                Some("naive") => engine = EngineKind::Naive,
+                _ => usage(),
+            },
             "--out" => match args.next() {
                 Some(dir) => out_dir = Some(PathBuf::from(dir)),
                 None => usage(),
@@ -143,13 +163,33 @@ fn main() {
     }
 
     let needs_matrix = wants("fig4") || wants("fig5") || wants("fig6") || wants("summary");
+    if timing && !needs_matrix {
+        eprintln!(
+            "warning: --timing only measures the evaluation matrix \
+             (fig4/fig5/fig6/summary); no BENCH_reproduce.json will be written"
+        );
+    }
     let matrix: Option<EvaluationMatrix> = if needs_matrix {
         eprintln!(
-            "running the evaluation matrix ({} workloads x {:?} processors, with and without gating)...",
+            "running the evaluation matrix ({} workloads x {:?} processors, with and without gating, {} engine)...",
             cfg.workloads.len(),
-            cfg.processor_counts
+            cfg.processor_counts,
+            engine.label()
         );
-        Some(experiments::run_matrix(&cfg).expect("evaluation matrix must complete"))
+        let (matrix, matrix_timing) =
+            experiments::run_matrix_timed(&cfg, engine).expect("evaluation matrix must complete");
+        eprintln!(
+            "matrix completed: {} cells in {:.1} ms on {} threads ({:.1} cells/s)",
+            matrix_timing.cells.len(),
+            matrix_timing.total_wall_ms,
+            matrix_timing.threads,
+            matrix_timing.cells_per_sec
+        );
+        if timing {
+            let dir = out_dir.clone().unwrap_or_else(|| PathBuf::from("."));
+            write_artifact(&dir, "BENCH_reproduce", &report::to_json(&matrix_timing));
+        }
+        Some(matrix)
     } else {
         None
     };
@@ -186,7 +226,8 @@ fn main() {
     if wants("fig7") {
         eprintln!("running the W0 sensitivity sweep...");
         let w0_values = [1, 2, 4, 8, 16, 32, 64];
-        let f: Fig7Result = experiments::fig7(&cfg, &w0_values).expect("fig7 sweep must complete");
+        let f: Fig7Result = experiments::fig7_with_engine(&cfg, &w0_values, engine)
+            .expect("fig7 sweep must complete");
         if json {
             outln!("{}", report::to_json(&f));
         } else {

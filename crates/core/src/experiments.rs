@@ -15,6 +15,10 @@
 //! three applications × {4, 8, 16} processors × {ungated, gated}); the matrix
 //! is computed once by [`run_matrix`] and each figure renders its slice.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
 use serde::{Deserialize, Serialize};
 
 use htm_power::cache_power::CachePowerModel;
@@ -27,7 +31,7 @@ use htm_workloads::registry::PAPER_WORKLOADS;
 use htm_workloads::WorkloadScale;
 
 use crate::report::{fmt_f, fmt_factor, fmt_percent, format_table};
-use crate::sim::{compare_runs, GatingMode, SimReport, SimulationBuilder};
+use crate::sim::{compare_runs, EngineKind, GatingMode, SimReport, SimulationBuilder};
 
 pub use htm_workloads::registry::PAPER_WORKLOADS as EVALUATED_WORKLOADS;
 
@@ -211,11 +215,40 @@ pub struct EvaluationMatrix {
     pub cells: Vec<MatrixCell>,
 }
 
+/// Wall-clock timing of one matrix cell (both runs of the gated/ungated
+/// pair).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellTiming {
+    /// Workload name.
+    pub workload: String,
+    /// Processor count.
+    pub procs: usize,
+    /// Wall-clock milliseconds the cell took (ungated + gated run).
+    pub wall_ms: f64,
+}
+
+/// Wall-clock timing of a whole [`run_matrix_timed`] invocation; serialized
+/// as the `BENCH_reproduce.json` artifact by the `reproduce --timing` flag.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixTiming {
+    /// Stepping engine used for every simulation of the matrix.
+    pub engine: String,
+    /// Worker threads the matrix was spread over.
+    pub threads: usize,
+    /// Per-cell wall-clock timings, in the deterministic cell order.
+    pub cells: Vec<CellTiming>,
+    /// End-to-end wall-clock milliseconds for the whole matrix.
+    pub total_wall_ms: f64,
+    /// Matrix cells completed per wall-clock second.
+    pub cells_per_sec: f64,
+}
+
 fn run_pair(
     workload: &str,
     procs: usize,
     cfg: &ExperimentConfig,
     mode: GatingMode,
+    engine: EngineKind,
 ) -> Result<(SimReport, SimReport), SimError> {
     let ungated = SimulationBuilder::new()
         .processors(procs)
@@ -223,6 +256,7 @@ fn run_pair(
         .map_err(SimError::BadWorkload)?
         .gating(GatingMode::Ungated)
         .cycle_limit(cfg.cycle_limit)
+        .engine(engine)
         .run()?;
     let gated = SimulationBuilder::new()
         .processors(procs)
@@ -230,32 +264,118 @@ fn run_pair(
         .map_err(SimError::BadWorkload)?
         .gating(mode)
         .cycle_limit(cfg.cycle_limit)
+        .engine(engine)
         .run()?;
     Ok((ungated, gated))
 }
 
+fn run_cell(
+    workload: &str,
+    procs: usize,
+    cfg: &ExperimentConfig,
+    engine: EngineKind,
+) -> Result<MatrixCell, SimError> {
+    let (ungated, gated) = run_pair(
+        workload,
+        procs,
+        cfg,
+        GatingMode::ClockGate { w0: cfg.w0 },
+        engine,
+    )?;
+    let comparison = compare_runs(&ungated, &gated);
+    Ok(MatrixCell {
+        workload: workload.to_string(),
+        procs,
+        baseline_abort_rate: ungated.outcome.abort_rate(),
+        gating: gated.gating,
+        comparison,
+    })
+}
+
 /// Run the full evaluation matrix (every workload × processor count, with and
-/// without clock gating).
+/// without clock gating) on the default (fast-forward) engine.
 pub fn run_matrix(cfg: &ExperimentConfig) -> Result<EvaluationMatrix, SimError> {
-    let mut cells = Vec::new();
-    for workload in &cfg.workloads {
-        for &procs in &cfg.processor_counts {
-            let (ungated, gated) =
-                run_pair(workload, procs, cfg, GatingMode::ClockGate { w0: cfg.w0 })?;
-            let comparison = compare_runs(&ungated, &gated);
-            cells.push(MatrixCell {
-                workload: workload.clone(),
-                procs,
-                baseline_abort_rate: ungated.outcome.abort_rate(),
-                gating: gated.gating,
-                comparison,
+    run_matrix_timed(cfg, EngineKind::FastForward).map(|(matrix, _timing)| matrix)
+}
+
+/// Run the full evaluation matrix with the chosen engine, spreading the
+/// independent (workload × processor-count) cells over the machine's cores
+/// with `std::thread::scope` and collecting per-cell wall-clock timings.
+///
+/// Every cell is a self-contained deterministic simulation pair, so the
+/// schedule cannot influence the results; cells are written back into their
+/// pre-assigned slot, which keeps the output ordering (workload-major, then
+/// processor count — the paper's figure order) byte-identical to the old
+/// serial loop. On error, the first failing cell *in that deterministic
+/// order* is reported, regardless of which worker hit an error first.
+pub fn run_matrix_timed(
+    cfg: &ExperimentConfig,
+    engine: EngineKind,
+) -> Result<(EvaluationMatrix, MatrixTiming), SimError> {
+    let params: Vec<(&str, usize)> = cfg
+        .workloads
+        .iter()
+        .flat_map(|w| cfg.processor_counts.iter().map(move |&p| (w.as_str(), p)))
+        .collect();
+    let threads = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(params.len().max(1));
+    let started = Instant::now();
+
+    // One pre-assigned slot per cell; workers pull the next unclaimed cell
+    // index and write into their own slot, so cell order never depends on
+    // the thread schedule.
+    type CellSlot = Option<Result<(MatrixCell, f64), SimError>>;
+    let slots: Mutex<Vec<CellSlot>> = Mutex::new((0..params.len()).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(workload, procs)) = params.get(idx) else {
+                    break;
+                };
+                let cell_started = Instant::now();
+                let result = run_cell(workload, procs, cfg, engine)
+                    .map(|cell| (cell, cell_started.elapsed().as_secs_f64() * 1e3));
+                slots.lock().expect("matrix worker poisoned the slots")[idx] = Some(result);
             });
         }
+    });
+
+    let mut cells = Vec::with_capacity(params.len());
+    let mut timings = Vec::with_capacity(params.len());
+    let filled = slots
+        .into_inner()
+        .expect("matrix worker poisoned the slots");
+    for slot in filled {
+        let (cell, wall_ms) = slot.expect("every cell index was claimed by a worker")?;
+        timings.push(CellTiming {
+            workload: cell.workload.clone(),
+            procs: cell.procs,
+            wall_ms,
+        });
+        cells.push(cell);
     }
-    Ok(EvaluationMatrix {
-        config: cfg.clone(),
-        cells,
-    })
+    let total_wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let timing = MatrixTiming {
+        engine: engine.label().to_string(),
+        threads,
+        cells_per_sec: if total_wall_ms > 0.0 {
+            cells.len() as f64 / (total_wall_ms / 1e3)
+        } else {
+            0.0
+        },
+        cells: timings,
+        total_wall_ms,
+    };
+    Ok((
+        EvaluationMatrix {
+            config: cfg.clone(),
+            cells,
+        },
+        timing,
+    ))
 }
 
 /// Render Fig. 4 (total parallel execution time) from the matrix.
@@ -451,6 +571,16 @@ pub struct Fig7Result {
 /// Sweep `W0` and the processor count; the ungated baseline per
 /// (workload, procs) is computed once and reused across `W0` values.
 pub fn fig7(cfg: &ExperimentConfig, w0_values: &[Cycle]) -> Result<Fig7Result, SimError> {
+    fig7_with_engine(cfg, w0_values, EngineKind::FastForward)
+}
+
+/// [`fig7`] with an explicit stepping engine (the CI divergence check runs
+/// the sweep on both engines and compares the artifacts).
+pub fn fig7_with_engine(
+    cfg: &ExperimentConfig,
+    w0_values: &[Cycle],
+    engine: EngineKind,
+) -> Result<Fig7Result, SimError> {
     let mut rows = Vec::new();
     for &procs in &cfg.processor_counts {
         // Baselines per workload.
@@ -462,6 +592,7 @@ pub fn fig7(cfg: &ExperimentConfig, w0_values: &[Cycle]) -> Result<Fig7Result, S
                 .map_err(SimError::BadWorkload)?
                 .gating(GatingMode::Ungated)
                 .cycle_limit(cfg.cycle_limit)
+                .engine(engine)
                 .run()?;
             baselines.push(ungated);
         }
@@ -474,6 +605,7 @@ pub fn fig7(cfg: &ExperimentConfig, w0_values: &[Cycle]) -> Result<Fig7Result, S
                     .map_err(SimError::BadWorkload)?
                     .gating(GatingMode::ClockGate { w0 })
                     .cycle_limit(cfg.cycle_limit)
+                    .engine(engine)
                     .run()?;
                 speedups.push(compare_runs(ungated, &gated).speedup);
             }
@@ -580,6 +712,49 @@ mod tests {
         let s = summary(&matrix);
         assert_eq!(s.configurations, 3);
         assert!(render_summary(&s).contains("average energy savings"));
+    }
+
+    #[test]
+    fn parallel_matrix_keeps_deterministic_cell_order_and_reports_timing() {
+        let cfg = ExperimentConfig::quick();
+        let (matrix, timing) = run_matrix_timed(&cfg, EngineKind::FastForward).unwrap();
+        let order: Vec<(String, usize)> = matrix
+            .cells
+            .iter()
+            .map(|c| (c.workload.clone(), c.procs))
+            .collect();
+        let expected: Vec<(String, usize)> = cfg
+            .workloads
+            .iter()
+            .flat_map(|w| cfg.processor_counts.iter().map(move |&p| (w.clone(), p)))
+            .collect();
+        assert_eq!(
+            order, expected,
+            "workload-major cell order must survive parallel execution"
+        );
+        assert_eq!(timing.cells.len(), matrix.cells.len());
+        assert_eq!(timing.engine, "fast-forward");
+        assert!(timing.threads >= 1);
+        assert!(timing.total_wall_ms >= 0.0);
+        assert!(timing.cells_per_sec >= 0.0);
+        for (t, c) in timing.cells.iter().zip(&matrix.cells) {
+            assert_eq!(
+                (t.workload.as_str(), t.procs),
+                (c.workload.as_str(), c.procs)
+            );
+        }
+    }
+
+    #[test]
+    fn naive_and_fast_matrices_serialize_identically() {
+        let cfg = ExperimentConfig::quick();
+        let (fast, _) = run_matrix_timed(&cfg, EngineKind::FastForward).unwrap();
+        let (naive, _) = run_matrix_timed(&cfg, EngineKind::Naive).unwrap();
+        assert_eq!(
+            crate::report::to_json(&fast),
+            crate::report::to_json(&naive),
+            "the two engines must produce byte-identical matrix artifacts"
+        );
     }
 
     #[test]

@@ -108,6 +108,13 @@ pub struct ClockGateController {
     policy: Box<dyn ContentionPolicy>,
     config: ControllerConfig,
     stats: GatingStats,
+    /// Cached lower bound on the earliest gating-timer expiry across every
+    /// table, so `next_deadline` is O(1) on the fast engine's planning path.
+    /// Maintained as a *lower* bound only (new timers merge in eagerly;
+    /// wake-ups may leave it stale-early, which merely costs one extra
+    /// no-op `on_tick`, never a missed one); `on_tick` recomputes it
+    /// exactly while it scans the tables anyway.
+    pending_min: Option<Cycle>,
 }
 
 impl std::fmt::Debug for ClockGateController {
@@ -136,6 +143,7 @@ impl ClockGateController {
             policy,
             config,
             stats: GatingStats::default(),
+            pending_min: None,
         }
     }
 
@@ -185,11 +193,19 @@ impl GatingHook for ClockGateController {
         if !was_off {
             self.stats.gatings += 1;
         }
+        // A fresh timer can only pull the earliest expiry forward.
+        let expires = self.tables[dir].entry(victim).timer_expires;
+        self.pending_min = Some(self.pending_min.map_or(expires, |m| m.min(expires)));
         AbortAction::Gate
     }
 
-    fn on_tick(&mut self, now: Cycle, view: &SystemView) -> Vec<GateCommand> {
-        let mut commands = Vec::new();
+    fn on_tick(&mut self, now: Cycle, view: &SystemView, commands: &mut Vec<GateCommand>) {
+        // Recompute the exact earliest pending expiry as a byproduct of the
+        // scan (stale-early values heal here; see `pending_min`).
+        let mut next_min: Option<Cycle> = None;
+        let mut merge_min = |expires: Cycle| {
+            next_min = Some(next_min.map_or(expires, |m: Cycle| m.min(expires)));
+        };
         for (dir, table) in self.tables.iter_mut().enumerate() {
             if table.off_count() == 0 {
                 continue;
@@ -198,6 +214,9 @@ impl GatingHook for ClockGateController {
                 let circuit = self.config.ungate_circuit_latency;
                 let entry = table.entry_mut(proc);
                 if !entry.timer_expired(now) {
+                    if entry.off {
+                        merge_min(entry.timer_expires);
+                    }
                     continue;
                 }
                 // Fig. 2(e): OR the marked processor ids and compare with the
@@ -227,6 +246,7 @@ impl GatingHook for ClockGateController {
                         // Same transaction still trying to commit: renew.
                         let window = self.policy.window(entry.abort_count, entry.renew_count + 1);
                         entry.renew(now, window + self.config.txinfo_roundtrip_latency + circuit);
+                        merge_min(entry.timer_expires);
                         self.stats.renewals += 1;
                     }
                     (None, _) => {
@@ -244,7 +264,17 @@ impl GatingHook for ClockGateController {
                 }
             }
         }
-        commands
+        self.pending_min = next_min;
+    }
+
+    fn next_deadline(&self, now: Cycle) -> Option<Cycle> {
+        // The controller acts spontaneously only when a gating timer of an
+        // OFF entry expires; between expiries `on_tick` pushes nothing and
+        // mutates nothing, so the earliest expiry bounds the fast-forward
+        // horizon exactly. The cached value is a lower bound: a stale-early
+        // value (after a wake-up cleared the earliest timer) clamps to `now`
+        // and costs one no-op `on_tick`, which recomputes it exactly.
+        self.pending_min.map(|m| m.max(now))
     }
 
     fn on_commit(&mut self, proc: ProcId, _now: Cycle) {
@@ -294,6 +324,13 @@ mod tests {
         SystemView::new(procs, dirs)
     }
 
+    /// Test shim for the scratch-buffer `on_tick` signature.
+    fn tick(c: &mut ClockGateController, now: Cycle, v: &SystemView) -> Vec<GateCommand> {
+        let mut out = Vec::new();
+        c.on_tick(now, v, &mut out);
+        out
+    }
+
     #[test]
     fn abort_gates_the_victim_and_logs_the_entry() {
         let mut c = controller(2, 4, 8);
@@ -318,13 +355,13 @@ mod tests {
         // Aborter (proc 0) is NOT marked in the directory.
         v.dir_marked[0] = 0;
         let expiry = c.table(0).entry(2).timer_expires;
-        assert!(c.on_tick(expiry - 1, &v).is_empty(), "not yet expired");
-        let cmds = c.on_tick(expiry, &v);
+        assert!(tick(&mut c, expiry - 1, &v).is_empty(), "not yet expired");
+        let cmds = tick(&mut c, expiry, &v);
         assert_eq!(cmds, vec![GateCommand::UngateProcessor { proc: 2, dir: 0 }]);
         assert!(!c.table(0).entry(2).off);
         assert_eq!(c.stats().ungate_aborter_gone, 1);
         // Nothing further happens on the next tick.
-        assert!(c.on_tick(expiry + 1, &v).is_empty());
+        assert!(tick(&mut c, expiry + 1, &v).is_empty());
     }
 
     #[test]
@@ -336,7 +373,7 @@ mod tests {
         v.dir_marked[0] = 1 << 0;
         v.proc_tx[0] = Some(0x400);
         let expiry = c.table(0).entry(2).timer_expires;
-        let cmds = c.on_tick(expiry, &v);
+        let cmds = tick(&mut c, expiry, &v);
         assert!(cmds.is_empty(), "renewal must not wake the victim");
         let entry = c.table(0).entry(2);
         assert!(entry.off);
@@ -355,7 +392,7 @@ mod tests {
         let mut last_window = 0;
         let mut last_expiry = c.table(0).entry(1).timer_expires;
         for _ in 0..4 {
-            let cmds = c.on_tick(last_expiry, &v);
+            let cmds = tick(&mut c, last_expiry, &v);
             assert!(cmds.is_empty());
             let e = c.table(0).entry(1);
             let window = e.timer_expires - last_expiry;
@@ -377,7 +414,7 @@ mod tests {
         v.dir_marked[0] = 1 << 0;
         v.proc_tx[0] = Some(0x999); // the aborter moved on
         let expiry = c.table(0).entry(2).timer_expires;
-        let cmds = c.on_tick(expiry, &v);
+        let cmds = tick(&mut c, expiry, &v);
         assert_eq!(cmds.len(), 1);
         assert_eq!(c.stats().ungate_different_tx, 1);
     }
@@ -391,7 +428,7 @@ mod tests {
         v.proc_tx[0] = Some(0x400);
         v.proc_gated[0] = true; // the aborter itself has been gated
         let expiry = c.table(0).entry(2).timer_expires;
-        let cmds = c.on_tick(expiry, &v);
+        let cmds = tick(&mut c, expiry, &v);
         assert_eq!(cmds.len(), 1);
         assert_eq!(c.stats().ungate_null_reply, 1);
     }
@@ -413,7 +450,7 @@ mod tests {
         v.dir_marked[0] = 1;
         v.proc_tx[0] = Some(0x42);
         let expiry = c.table(0).entry(1).timer_expires;
-        let cmds = c.on_tick(expiry, &v);
+        let cmds = tick(&mut c, expiry, &v);
         assert_eq!(
             cmds.len(),
             1,

@@ -12,11 +12,13 @@ use htm_power::energy::{self, ComparisonReport, EnergyReport};
 use htm_power::model::PowerModel;
 use htm_sim::config::SimConfig;
 use htm_sim::Cycle;
-use htm_tcc::hooks::{ExponentialBackoff, NoGating};
+use htm_tcc::hooks::{ExponentialBackoff, GatingHook, NoGating};
 use htm_tcc::stats::RunOutcome;
 use htm_tcc::system::{SimError, TccSystem};
 use htm_tcc::txn::WorkloadTrace;
 use htm_workloads::{by_name, WorkloadScale};
+
+pub use htm_tcc::system::EngineKind;
 
 use crate::gating::contention::{
     ContentionPolicy, FixedWindow, GatingAwarePolicy, LinearBackoffPolicy,
@@ -138,6 +140,7 @@ pub struct SimulationBuilder {
     mode: GatingMode,
     power: PowerModel,
     cycle_limit: Cycle,
+    engine: EngineKind,
 }
 
 impl Default for SimulationBuilder {
@@ -156,6 +159,7 @@ impl SimulationBuilder {
             mode: GatingMode::Ungated,
             power: PowerModel::alpha_21264_65nm(),
             cycle_limit: DEFAULT_CYCLE_LIMIT,
+            engine: EngineKind::default(),
         }
     }
 
@@ -216,6 +220,16 @@ impl SimulationBuilder {
         self
     }
 
+    /// Select the stepping engine (default: [`EngineKind::FastForward`]).
+    ///
+    /// Both engines produce bit-identical outcomes; the naive engine exists
+    /// as the differential-testing ground truth and for timing comparisons.
+    #[must_use]
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
     fn controller(&self, policy: Box<dyn ContentionPolicy>, renew: bool) -> ClockGateController {
         let mut cfg = ControllerConfig::from_sim_config(&self.config);
         if !renew {
@@ -233,34 +247,48 @@ impl SimulationBuilder {
         let label = self.mode.label();
         let limit = self.cycle_limit;
         let power = self.power;
+        let engine = self.engine;
 
         // Each gating mode uses a different hook type, so the dispatch happens
         // here and the generic system is monomorphized per hook.
+        // `run_bounded_parts` hands the hook back with the outcome, so the
+        // controller statistics come out directly — no shared-cell shim and
+        // no interior-mutability dispatch on the hot path.
         let (outcome, gating) = match self.mode {
             GatingMode::Ungated => {
-                let sys = TccSystem::new(self.config.clone(), workload, NoGating)?;
-                (sys.run_bounded(limit)?, None)
+                let (outcome, _hook) =
+                    run_system(self.config.clone(), workload, NoGating, limit, engine)?;
+                (outcome, None)
             }
             GatingMode::ExponentialBackoff { base, cap } => {
                 let hook = ExponentialBackoff::new(self.config.num_procs, base, cap);
-                let sys = TccSystem::new(self.config.clone(), workload, hook)?;
-                (sys.run_bounded(limit)?, None)
+                let (outcome, _hook) =
+                    run_system(self.config.clone(), workload, hook, limit, engine)?;
+                (outcome, None)
             }
             GatingMode::ClockGate { w0 } => {
                 let hook = self.controller(Box::new(GatingAwarePolicy::new(w0)), true);
-                run_with_controller(self.config.clone(), workload, hook, limit)?
+                let (outcome, hook) =
+                    run_system(self.config.clone(), workload, hook, limit, engine)?;
+                (outcome, Some(hook.stats()))
             }
             GatingMode::ClockGateFixedWindow { window } => {
                 let hook = self.controller(Box::new(FixedWindow::new(window)), true);
-                run_with_controller(self.config.clone(), workload, hook, limit)?
+                let (outcome, hook) =
+                    run_system(self.config.clone(), workload, hook, limit, engine)?;
+                (outcome, Some(hook.stats()))
             }
             GatingMode::ClockGateNoRenew { w0 } => {
                 let hook = self.controller(Box::new(GatingAwarePolicy::new(w0)), false);
-                run_with_controller(self.config.clone(), workload, hook, limit)?
+                let (outcome, hook) =
+                    run_system(self.config.clone(), workload, hook, limit, engine)?;
+                (outcome, Some(hook.stats()))
             }
             GatingMode::ClockGateLinear { w0 } => {
                 let hook = self.controller(Box::new(LinearBackoffPolicy { w0 }), true);
-                run_with_controller(self.config.clone(), workload, hook, limit)?
+                let (outcome, hook) =
+                    run_system(self.config.clone(), workload, hook, limit, engine)?;
+                (outcome, Some(hook.stats()))
             }
         };
 
@@ -274,62 +302,16 @@ impl SimulationBuilder {
     }
 }
 
-/// Run a system whose hook is a [`ClockGateController`], extracting the
-/// controller statistics afterwards.
-fn run_with_controller(
+/// Build and run a system with the chosen engine, returning the outcome and
+/// the hook.
+fn run_system<H: GatingHook>(
     cfg: SimConfig,
     workload: WorkloadTrace,
-    hook: ClockGateController,
+    hook: H,
     limit: Cycle,
-) -> Result<(RunOutcome, Option<GatingStats>), SimError> {
-    // `TccSystem::run_bounded` consumes the system, so the controller's
-    // statistics are captured through a shared cell.
-    struct SharedController {
-        inner: std::rc::Rc<std::cell::RefCell<ClockGateController>>,
-    }
-    impl htm_tcc::hooks::GatingHook for SharedController {
-        fn on_abort(
-            &mut self,
-            dir: htm_sim::DirId,
-            victim: htm_sim::ProcId,
-            aborter: htm_sim::ProcId,
-            aborter_tx: htm_tcc::txn::TxId,
-            now: Cycle,
-            view: &htm_tcc::hooks::SystemView,
-        ) -> htm_tcc::hooks::AbortAction {
-            self.inner
-                .borrow_mut()
-                .on_abort(dir, victim, aborter, aborter_tx, now, view)
-        }
-        fn on_tick(
-            &mut self,
-            now: Cycle,
-            view: &htm_tcc::hooks::SystemView,
-        ) -> Vec<htm_tcc::hooks::GateCommand> {
-            self.inner.borrow_mut().on_tick(now, view)
-        }
-        fn on_commit(&mut self, proc: htm_sim::ProcId, now: Cycle) {
-            self.inner.borrow_mut().on_commit(proc, now);
-        }
-        fn on_wake(&mut self, proc: htm_sim::ProcId, now: Cycle) {
-            self.inner.borrow_mut().on_wake(proc, now);
-        }
-        fn on_proc_activity(&mut self, proc: htm_sim::ProcId, dir: htm_sim::DirId, now: Cycle) {
-            self.inner.borrow_mut().on_proc_activity(proc, dir, now);
-        }
-    }
-
-    let shared = std::rc::Rc::new(std::cell::RefCell::new(hook));
-    let sys = TccSystem::new(
-        cfg,
-        workload,
-        SharedController {
-            inner: shared.clone(),
-        },
-    )?;
-    let outcome = sys.run_bounded(limit)?;
-    let stats = shared.borrow().stats();
-    Ok((outcome, Some(stats)))
+    engine: EngineKind,
+) -> Result<(RunOutcome, H), SimError> {
+    TccSystem::new(cfg, workload, hook)?.run_bounded_parts(limit, engine)
 }
 
 #[cfg(test)]

@@ -1,0 +1,168 @@
+//! Differential proof of the fast-forward engine's exactness invariant.
+//!
+//! The fast-forward engine (`EngineKind::FastForward`) must be bit-for-bit
+//! cycle-exact with respect to the naive one-step-per-cycle reference engine
+//! (`EngineKind::Naive`): identical `RunOutcome`s — total cycles, commits,
+//! aborts, gatings, per-state cycle breakdowns, interval decomposition, bus
+//! statistics — identical controller statistics and identical energy
+//! analyses, for every gating mode and every registered workload. This suite
+//! sweeps the full (mode × workload) grid at `Test` scale and then hammers
+//! the same invariant with property-based random traces designed to provoke
+//! conflicts, aborts, gating and renewal.
+
+use clockgate_htm::report::to_json;
+use clockgate_htm::sim::{EngineKind, GatingMode, SimReport, SimulationBuilder};
+use htm_tcc::txn::{Op, ThreadTrace, Transaction, WorkloadTrace};
+use htm_workloads::registry::ALL_WORKLOADS;
+use htm_workloads::WorkloadScale;
+use proptest::prelude::*;
+
+/// Every gating mode of the public API (the six bars of the evaluation).
+fn all_modes() -> [GatingMode; 6] {
+    [
+        GatingMode::Ungated,
+        GatingMode::ExponentialBackoff { base: 16, cap: 8 },
+        GatingMode::ClockGate { w0: 8 },
+        GatingMode::ClockGateFixedWindow { window: 64 },
+        GatingMode::ClockGateNoRenew { w0: 8 },
+        GatingMode::ClockGateLinear { w0: 8 },
+    ]
+}
+
+fn run_named(mode: GatingMode, workload: &str, procs: usize, engine: EngineKind) -> SimReport {
+    SimulationBuilder::new()
+        .processors(procs)
+        .workload_by_name(workload, WorkloadScale::Test, 11)
+        .unwrap()
+        .gating(mode)
+        .cycle_limit(50_000_000)
+        .engine(engine)
+        .run()
+        .unwrap()
+}
+
+fn run_trace(mode: GatingMode, trace: WorkloadTrace, engine: EngineKind) -> SimReport {
+    SimulationBuilder::new()
+        .processors(trace.num_threads())
+        .workload(trace)
+        .gating(mode)
+        .cycle_limit(50_000_000)
+        .engine(engine)
+        .run()
+        .unwrap()
+}
+
+/// Compare two reports field for field. `RunOutcome` derives `PartialEq`, so
+/// the protocol-level comparison is exact; the full reports (including the
+/// floating-point energy analysis and the controller statistics) are
+/// additionally compared through their canonical JSON serialization, which
+/// is total over every field.
+fn assert_identical(fast: &SimReport, naive: &SimReport, context: &str) {
+    assert_eq!(
+        fast.outcome, naive.outcome,
+        "{context}: protocol outcome diverged between engines"
+    );
+    assert_eq!(
+        fast.gating, naive.gating,
+        "{context}: controller statistics diverged between engines"
+    );
+    assert_eq!(
+        to_json(fast),
+        to_json(naive),
+        "{context}: serialized reports diverged between engines"
+    );
+}
+
+#[test]
+fn every_mode_and_workload_is_engine_exact() {
+    for workload in ALL_WORKLOADS {
+        for mode in all_modes() {
+            let fast = run_named(mode, workload, 4, EngineKind::FastForward);
+            let naive = run_named(mode, workload, 4, EngineKind::Naive);
+            assert_identical(
+                &fast,
+                &naive,
+                &format!("workload={workload} mode={}", mode.label()),
+            );
+            fast.outcome.check_consistency().unwrap();
+        }
+    }
+}
+
+#[test]
+fn paper_matrix_processor_counts_are_engine_exact() {
+    // The gated mode across the paper's processor counts: the gating /
+    // renewal timers interact with commit bursts differently at each size.
+    for procs in [2usize, 8, 16] {
+        let mode = GatingMode::ClockGate { w0: 8 };
+        let fast = run_named(mode, "intruder", procs, EngineKind::FastForward);
+        let naive = run_named(mode, "intruder", procs, EngineKind::Naive);
+        assert_identical(&fast, &naive, &format!("intruder procs={procs}"));
+    }
+}
+
+/// Raw proptest-sampled operations: one `(kind, address-pool index, cycles)`
+/// triple per op, grouped into transactions, grouped into threads.
+type RawThreads = Vec<Vec<Vec<(u8, usize, u64)>>>;
+
+/// Build a workload from proptest-sampled raw data. Addresses come from a
+/// small pool so that conflicts (and therefore aborts, gatings and renewals)
+/// are common; every static transaction gets a distinct `TxId`.
+fn trace_from_raw(threads: &RawThreads) -> WorkloadTrace {
+    const POOL: [u64; 8] = [0, 64, 128, 192, 4096, 4160, 8192, 12288];
+    let threads = threads
+        .iter()
+        .enumerate()
+        .map(|(t, txs)| {
+            ThreadTrace::new(
+                txs.iter()
+                    .enumerate()
+                    .map(|(x, ops)| {
+                        let tx_id = ((t as u64) << 16) | (x as u64) | 0x1000;
+                        let ops = ops
+                            .iter()
+                            .map(|&(kind, addr, cycles)| match kind {
+                                0 => Op::Read(POOL[addr]),
+                                1 => Op::Write(POOL[addr]),
+                                _ => Op::Compute(cycles),
+                            })
+                            .collect();
+                        Transaction::with_pre_compute(tx_id, cycles_of(x), ops)
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    WorkloadTrace::new("random-trace", threads)
+}
+
+/// Small deterministic prologue length so some transactions exercise the
+/// `PreCompute` fast-forward path and others skip it.
+fn cycles_of(tx_idx: usize) -> u64 {
+    (tx_idx as u64 % 3) * 7
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random conflicting traces: both engines must agree on the complete
+    /// outcome for a randomly chosen gating mode.
+    #[test]
+    fn random_traces_are_engine_exact(
+        threads in prop::collection::vec(
+            prop::collection::vec(
+                prop::collection::vec((0u8..3, 0usize..8, 1u64..60), 1..6),
+                1..5,
+            ),
+            2..5,
+        ),
+        mode_idx in 0usize..6,
+    ) {
+        let mode = all_modes()[mode_idx];
+        let fast = run_trace(mode, trace_from_raw(&threads), EngineKind::FastForward);
+        let naive = run_trace(mode, trace_from_raw(&threads), EngineKind::Naive);
+        prop_assert_eq!(&fast.outcome, &naive.outcome);
+        prop_assert_eq!(&fast.gating, &naive.gating);
+        prop_assert_eq!(to_json(&fast), to_json(&naive));
+    }
+}

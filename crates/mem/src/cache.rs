@@ -82,6 +82,11 @@ pub struct SpecCache {
     assoc: usize,
     ways: Vec<Way>,
     touch_clock: u64,
+    /// Indices of ways whose SR/SM bits may be set, so commit/abort clear
+    /// only the touched ways instead of sweeping the whole array (the sweep
+    /// dominated commit-heavy runs). May contain stale or duplicate entries;
+    /// clearing is idempotent, and the list is drained on commit/abort.
+    spec_ways: Vec<usize>,
     stats: CacheStats,
 }
 
@@ -99,6 +104,7 @@ impl SpecCache {
             assoc,
             ways: vec![Way::empty(); sets * assoc],
             touch_clock: 0,
+            spec_ways: Vec::new(),
             stats: CacheStats::default(),
         }
     }
@@ -171,6 +177,9 @@ impl SpecCache {
         match self.find(line) {
             Some(idx) => {
                 if transactional {
+                    if !self.ways[idx].is_speculative() {
+                        self.spec_ways.push(idx);
+                    }
                     self.ways[idx].spec_read = true;
                 }
                 self.touch(idx);
@@ -189,6 +198,9 @@ impl SpecCache {
         match self.find(line) {
             Some(idx) => {
                 if transactional {
+                    if !self.ways[idx].is_speculative() {
+                        self.spec_ways.push(idx);
+                    }
                     self.ways[idx].spec_mod = true;
                 }
                 self.touch(idx);
@@ -208,6 +220,9 @@ impl SpecCache {
     pub fn fill(&mut self, line: LineAddr, spec_read: bool, spec_mod: bool) -> Option<LineAddr> {
         if let Some(idx) = self.find(line) {
             // Already present (e.g. a racing fill); just merge the bits.
+            if (spec_read || spec_mod) && !self.ways[idx].is_speculative() {
+                self.spec_ways.push(idx);
+            }
             self.ways[idx].spec_read |= spec_read;
             self.ways[idx].spec_mod |= spec_mod;
             self.touch(idx);
@@ -238,6 +253,12 @@ impl SpecCache {
             None
         };
 
+        if spec_read || spec_mod {
+            // The victim index may already be tracked (speculative
+            // eviction); the duplicate is harmless because clearing is
+            // idempotent.
+            self.spec_ways.push(victim);
+        }
         self.ways[victim] = Way {
             line,
             valid: true,
@@ -267,9 +288,9 @@ impl SpecCache {
     /// speculatively modified lines remain valid (their data has just been
     /// flushed to the directories and this processor is now the owner).
     pub fn commit_speculative(&mut self) {
-        for way in &mut self.ways {
-            way.spec_read = false;
-            way.spec_mod = false;
+        while let Some(idx) = self.spec_ways.pop() {
+            self.ways[idx].spec_read = false;
+            self.ways[idx].spec_mod = false;
         }
     }
 
@@ -277,7 +298,8 @@ impl SpecCache {
     /// invalidated (their data never became architectural) and SR bits are
     /// cleared.
     pub fn abort_speculative(&mut self) {
-        for way in &mut self.ways {
+        while let Some(idx) = self.spec_ways.pop() {
+            let way = &mut self.ways[idx];
             if way.spec_mod {
                 way.valid = false;
                 way.spec_mod = false;

@@ -12,12 +12,10 @@
 //! if the line has fallen out of its L1) and keeps the simulated protocol
 //! correct without modelling eviction notifications.
 
-use std::collections::HashMap;
-use std::collections::HashSet;
-
 use serde::{Deserialize, Serialize};
 
-use htm_sim::ProcId;
+use htm_sim::fxhash::{FxHashMap, FxHashSet};
+use htm_sim::{ProcId, ProcSet};
 
 use crate::addr::LineAddr;
 
@@ -48,10 +46,10 @@ pub struct Directory {
     id: usize,
     /// Maximum number of processors (bounds the bit vector).
     num_procs: usize,
-    lines: HashMap<LineAddr, LineEntry>,
+    lines: FxHashMap<LineAddr, LineEntry>,
     /// For fast clearing on commit/abort: the set of lines each processor is
     /// currently registered as sharing here.
-    reader_sets: Vec<HashSet<LineAddr>>,
+    reader_sets: Vec<FxHashSet<LineAddr>>,
     stats: DirectoryStats,
 }
 
@@ -68,8 +66,8 @@ impl Directory {
         Self {
             id,
             num_procs,
-            lines: HashMap::new(),
-            reader_sets: vec![HashSet::new(); num_procs],
+            lines: FxHashMap::default(),
+            reader_sets: vec![FxHashSet::default(); num_procs],
             stats: DirectoryStats::default(),
         }
     }
@@ -98,13 +96,13 @@ impl Directory {
         }
     }
 
-    /// Processors currently registered as sharers of `line`.
+    /// Processors currently registered as sharers of `line`, as a bit-vector
+    /// set (allocation-free; iterate it directly on the hot path).
     #[must_use]
-    pub fn sharers(&self, line: LineAddr) -> Vec<ProcId> {
-        let Some(entry) = self.lines.get(&line) else {
-            return Vec::new();
-        };
-        bits_to_procs(entry.sharers)
+    pub fn sharers(&self, line: LineAddr) -> ProcSet {
+        self.lines
+            .get(&line)
+            .map_or(ProcSet::empty(), |e| ProcSet::from_bits(e.sharers))
     }
 
     /// Owner of `line`, if it has been committed before.
@@ -121,18 +119,18 @@ impl Directory {
 
     /// Commit `line` on behalf of `committer`: the committer becomes owner and
     /// every *other* sharer must be invalidated (and, if the line is in its
-    /// speculative read set, aborted). Returns the processors to invalidate.
-    pub fn commit_line(&mut self, line: LineAddr, committer: ProcId) -> Vec<ProcId> {
+    /// speculative read set, aborted). Returns the processors to invalidate
+    /// as a bit-vector set so the hot path never allocates per line.
+    pub fn commit_line(&mut self, line: LineAddr, committer: ProcId) -> ProcSet {
         assert!(committer < self.num_procs);
         let entry = self.lines.entry(line).or_default();
-        let victims_bits = entry.sharers & !(1u64 << committer);
-        let victims = bits_to_procs(victims_bits);
+        let victims = ProcSet::from_bits(entry.sharers & !(1u64 << committer));
         entry.owner = Some(committer);
         // All sharer registrations for this line are consumed: the victims
         // are about to abort (which clears their registrations anyway) and
         // the committer's own registration ends with its transaction.
         let old_sharers = std::mem::take(&mut entry.sharers);
-        for proc in bits_to_procs(old_sharers) {
+        for proc in ProcSet::from_bits(old_sharers) {
             self.reader_sets[proc].remove(&line);
         }
         self.stats.lines_committed += 1;
@@ -160,17 +158,6 @@ impl Directory {
     }
 }
 
-fn bits_to_procs(bits: u64) -> Vec<ProcId> {
-    let mut procs = Vec::with_capacity(bits.count_ones() as usize);
-    let mut b = bits;
-    while b != 0 {
-        let p = b.trailing_zeros() as ProcId;
-        procs.push(p);
-        b &= b - 1;
-    }
-    procs
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,8 +167,11 @@ mod tests {
         let mut d = Directory::new(0, 4);
         d.add_sharer(LineAddr(10), 1);
         d.add_sharer(LineAddr(10), 3);
-        assert_eq!(d.sharers(LineAddr(10)), vec![1, 3]);
-        assert_eq!(d.sharers(LineAddr(11)), Vec::<ProcId>::new());
+        assert_eq!(
+            d.sharers(LineAddr(10)).iter().collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+        assert!(d.sharers(LineAddr(11)).is_empty());
         assert_eq!(d.stats().sharer_adds, 2);
     }
 
@@ -190,7 +180,7 @@ mod tests {
         let mut d = Directory::new(0, 4);
         d.add_sharer(LineAddr(10), 1);
         d.add_sharer(LineAddr(10), 1);
-        assert_eq!(d.sharers(LineAddr(10)), vec![1]);
+        assert_eq!(d.sharers(LineAddr(10)).iter().collect::<Vec<_>>(), vec![1]);
         assert_eq!(d.stats().sharer_adds, 1);
         assert_eq!(d.shared_line_count(1), 1);
     }
@@ -202,7 +192,7 @@ mod tests {
         d.add_sharer(LineAddr(5), 1);
         d.add_sharer(LineAddr(5), 2);
         let victims = d.commit_line(LineAddr(5), 1);
-        assert_eq!(victims, vec![0, 2]);
+        assert_eq!(victims.iter().collect::<Vec<_>>(), vec![0, 2]);
         assert_eq!(d.owner(LineAddr(5)), Some(1));
         // Sharer state consumed by the commit.
         assert!(d.sharers(LineAddr(5)).is_empty());
@@ -226,10 +216,10 @@ mod tests {
         d.add_sharer(LineAddr(2), 1);
         d.clear_proc(0);
         assert!(d.sharers(LineAddr(1)).is_empty());
-        assert_eq!(d.sharers(LineAddr(2)), vec![1]);
+        assert_eq!(d.sharers(LineAddr(2)).iter().collect::<Vec<_>>(), vec![1]);
         assert_eq!(d.shared_line_count(0), 0);
         // Subsequent commits do not invalidate the cleared processor.
-        assert_eq!(d.commit_line(LineAddr(1), 2), Vec::<ProcId>::new());
+        assert!(d.commit_line(LineAddr(1), 2).is_empty());
     }
 
     #[test]
@@ -248,7 +238,7 @@ mod tests {
         let mut d = Directory::new(0, 2);
         d.add_sharer(LineAddr(3), 0);
         let victims = d.commit_line(LineAddr(3), 1);
-        assert_eq!(victims, vec![0]);
+        assert_eq!(victims.iter().collect::<Vec<_>>(), vec![0]);
     }
 
     #[test]

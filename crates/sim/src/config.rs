@@ -125,6 +125,16 @@ impl SimConfig {
         if self.num_procs == 0 {
             return Err("num_procs must be >= 1".into());
         }
+        if self.num_procs > 64 {
+            // The directory sharer vectors, the hook view's marked bits and
+            // the engine's active/spinner masks are all single machine
+            // words (Table II's full-bit vector; the paper tops out at 16
+            // cores).
+            return Err(format!(
+                "num_procs ({}) exceeds the 64-processor full-bit-vector limit",
+                self.num_procs
+            ));
+        }
         if self.num_dirs == 0 {
             return Err("num_dirs must be >= 1".into());
         }
@@ -249,6 +259,14 @@ mod tests {
     fn validation_rejects_zero_procs() {
         let mut cfg = SimConfig::table2(4);
         cfg.num_procs = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_too_many_procs() {
+        let mut cfg = SimConfig::table2(64);
+        assert!(cfg.validate().is_ok(), "64 processors is the ceiling");
+        cfg.num_procs = 65;
         assert!(cfg.validate().is_err());
     }
 

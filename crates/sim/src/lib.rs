@@ -30,6 +30,7 @@
 
 pub mod bus;
 pub mod config;
+pub mod fxhash;
 pub mod interval;
 pub mod port;
 pub mod queue;
@@ -61,6 +62,106 @@ pub fn cycles_after(now: Cycle, latency: u64) -> Cycle {
     now.saturating_add(latency)
 }
 
+/// A set of processors stored as a 64-bit full-bit vector (Table II limits
+/// the machine to at most 64 cores).
+///
+/// Used on the simulator's hot path wherever the directory protocol needs to
+/// hand a group of processors around (sharer vectors, invalidation victims):
+/// iterating the bitmask directly avoids the per-event `Vec<ProcId>`
+/// allocations the naive implementation paid every committed line.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcSet(u64);
+
+impl ProcSet {
+    /// The empty set.
+    #[must_use]
+    pub const fn empty() -> Self {
+        Self(0)
+    }
+
+    /// Build a set from a raw bit vector (bit `p` set ⇔ processor `p` is a
+    /// member).
+    #[must_use]
+    pub const fn from_bits(bits: u64) -> Self {
+        Self(bits)
+    }
+
+    /// The raw bit vector.
+    #[must_use]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Whether `proc` is a member.
+    #[must_use]
+    pub const fn contains(self, proc: ProcId) -> bool {
+        proc < 64 && self.0 & (1u64 << proc) != 0
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate the members in ascending processor-id order, allocation-free.
+    #[must_use]
+    pub fn iter(self) -> ProcSetIter {
+        ProcSetIter(self.0)
+    }
+}
+
+impl IntoIterator for ProcSet {
+    type Item = ProcId;
+    type IntoIter = ProcSetIter;
+
+    fn into_iter(self) -> ProcSetIter {
+        self.iter()
+    }
+}
+
+impl FromIterator<ProcId> for ProcSet {
+    fn from_iter<I: IntoIterator<Item = ProcId>>(iter: I) -> Self {
+        let mut bits = 0u64;
+        for p in iter {
+            assert!(p < 64, "ProcSet limited to 64 processors");
+            bits |= 1u64 << p;
+        }
+        Self(bits)
+    }
+}
+
+/// Ascending-order iterator over a [`ProcSet`].
+#[derive(Debug, Clone)]
+pub struct ProcSetIter(u64);
+
+impl Iterator for ProcSetIter {
+    type Item = ProcId;
+
+    fn next(&mut self) -> Option<ProcId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let p = self.0.trailing_zeros() as ProcId;
+            self.0 &= self.0 - 1;
+            Some(p)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for ProcSetIter {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,5 +174,24 @@ mod tests {
     #[test]
     fn cycles_after_saturates() {
         assert_eq!(cycles_after(Cycle::MAX - 1, 10), Cycle::MAX);
+    }
+
+    #[test]
+    fn proc_set_iterates_in_ascending_order() {
+        let s = ProcSet::from_bits(0b1010_0101);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 2, 5, 7]);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(5));
+        assert!(!s.contains(1));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn proc_set_empty_and_from_iter_roundtrip() {
+        assert!(ProcSet::empty().is_empty());
+        assert_eq!(ProcSet::empty().iter().count(), 0);
+        let s: ProcSet = [3usize, 9, 63].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 9, 63]);
+        assert_eq!(s.bits(), (1 << 3) | (1 << 9) | (1 << 63));
     }
 }

@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 
 use htm_mem::{Directory, LineAddr};
 use htm_sim::port::SinglePortResource;
-use htm_sim::{Cycle, ProcId};
+use htm_sim::{Cycle, ProcId, ProcSet};
 
 use crate::token::Tid;
 
@@ -42,6 +42,10 @@ pub struct DirCtrl {
     port: SinglePortResource,
     /// Processors that intend to commit here, keyed by TID (oldest first).
     marked: BTreeMap<Tid, ProcId>,
+    /// Cached OR of the marked processors' bits, maintained on every
+    /// mark/unmark. The per-cycle view refresh reads this constantly, so it
+    /// must not re-fold the map each time.
+    marked_bits: u64,
     /// The processor currently granted the directory for commit, and the
     /// cycle at which it will release it.
     busy: Option<(ProcId, Cycle)>,
@@ -57,6 +61,7 @@ impl DirCtrl {
             directory: Directory::new(id, num_procs),
             port: SinglePortResource::new(service_latency),
             marked: BTreeMap::new(),
+            marked_bits: 0,
             busy: None,
             stats: DirCtrlStats::default(),
         }
@@ -83,25 +88,30 @@ impl DirCtrl {
     /// Mark `proc` (with commit timestamp `tid`) as intending to commit here.
     pub fn mark(&mut self, tid: Tid, proc: ProcId) {
         self.marked.insert(tid, proc);
+        self.marked_bits |= 1u64 << proc;
         self.stats.marks += 1;
     }
 
     /// Remove `proc`'s mark (after it finished committing here or aborted
     /// before committing).
     pub fn unmark(&mut self, proc: ProcId) {
+        if self.marked_bits & (1u64 << proc) == 0 {
+            return;
+        }
         self.marked.retain(|_, &mut p| p != proc);
+        self.marked_bits &= !(1u64 << proc);
     }
 
     /// Whether `proc` currently has its Marked bit set here.
     #[must_use]
     pub fn is_marked(&self, proc: ProcId) -> bool {
-        self.marked.values().any(|&p| p == proc)
+        self.marked_bits & (1u64 << proc) != 0
     }
 
     /// Bit vector of marked processors (for the [`crate::hooks::SystemView`]).
     #[must_use]
     pub fn marked_bits(&self) -> u64 {
-        self.marked.values().fold(0u64, |acc, &p| acc | (1u64 << p))
+        self.marked_bits
     }
 
     /// The oldest (lowest-TID) marked processor, if any.
@@ -126,10 +136,40 @@ impl DirCtrl {
     /// the directory must be idle and `proc` must be the oldest-TID processor
     /// currently marked here. Does not reserve anything.
     pub fn can_grant(&mut self, proc: ProcId, tid: Tid, now: Cycle) -> bool {
-        if self.is_busy(now) {
+        // Lazily free an expired occupancy, then answer like `would_grant`.
+        let _ = self.is_busy(now);
+        self.would_grant(proc, tid, now)
+    }
+
+    /// Side-effect-free version of [`Self::can_grant`]: same answer, but the
+    /// expired-occupancy cleanup is deferred. Used by the fast-forward
+    /// engine's horizon computation, which must not mutate state.
+    #[must_use]
+    pub fn would_grant(&self, proc: ProcId, tid: Tid, now: Cycle) -> bool {
+        if matches!(self.busy, Some((_, until)) if until > now) {
             return false;
         }
         matches!(self.oldest_marked(), Some((t, p)) if p == proc && t == tid)
+    }
+
+    /// Cycle at which the current commit occupancy releases the directory, if
+    /// it is still held after `now`.
+    #[must_use]
+    pub fn busy_release(&self, now: Cycle) -> Option<Cycle> {
+        self.busy
+            .and_then(|(_, until)| (until > now).then_some(until))
+    }
+
+    /// Next cycle (strictly after `now`) at which this directory's state can
+    /// change on its own: the commit occupancy releasing or the miss-service
+    /// port draining. `None` when fully idle (the directory is demand
+    /// driven). Feeds the fast-forward engine's event horizon.
+    #[must_use]
+    pub fn next_deadline(&self, now: Cycle) -> Option<Cycle> {
+        match (self.busy_release(now), self.port.next_deadline(now)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (d, None) | (None, d) => d,
+        }
     }
 
     /// Reserve the directory for `proc` until `release_at` (the caller has
@@ -167,7 +207,7 @@ impl DirCtrl {
         &mut self,
         lines: &[LineAddr],
         committer: ProcId,
-    ) -> Vec<(LineAddr, Vec<ProcId>)> {
+    ) -> Vec<(LineAddr, ProcSet)> {
         lines
             .iter()
             .map(|&l| (l, self.directory.commit_line(l, committer)))
@@ -232,8 +272,41 @@ mod tests {
         d.directory.add_sharer(LineAddr(8), 1);
         d.directory.add_sharer(LineAddr(8), 2);
         let result = d.commit_lines(&[LineAddr(4), LineAddr(8)], 3);
-        assert_eq!(result[0], (LineAddr(4), vec![1]));
-        assert_eq!(result[1], (LineAddr(8), vec![1, 2]));
+        assert_eq!(result[0], (LineAddr(4), ProcSet::from_bits(1 << 1)));
+        assert_eq!(
+            result[1],
+            (LineAddr(8), ProcSet::from_bits((1 << 1) | (1 << 2)))
+        );
+    }
+
+    #[test]
+    fn would_grant_matches_can_grant_without_mutation() {
+        let mut d = DirCtrl::new(0, 4, 10);
+        d.mark(3, 1);
+        d.mark(5, 2);
+        assert!(d.would_grant(1, 3, 0));
+        assert!(!d.would_grant(2, 5, 0), "younger TID must wait");
+        assert!(d.try_grant(1, 3, 0, 50));
+        assert!(!d.would_grant(2, 5, 10), "directory busy until 50");
+        d.unmark(1);
+        assert!(
+            d.would_grant(2, 5, 50),
+            "occupancy expired exactly at its release cycle"
+        );
+        assert!(d.can_grant(2, 5, 50), "can_grant agrees after cleanup");
+    }
+
+    #[test]
+    fn next_deadline_reports_busy_release_and_port_drain() {
+        let mut d = DirCtrl::new(0, 4, 10);
+        assert_eq!(d.next_deadline(0), None, "idle directory has no deadline");
+        d.mark(1, 0);
+        assert!(d.try_grant(0, 1, 0, 40));
+        assert_eq!(d.next_deadline(0), Some(40));
+        assert_eq!(d.busy_release(0), Some(40));
+        assert_eq!(d.next_deadline(40), None, "released at cycle 40");
+        let done = d.service_miss(50);
+        assert_eq!(d.next_deadline(50), Some(done));
     }
 
     #[test]

@@ -149,11 +149,31 @@ pub trait GatingHook {
     ) -> AbortAction;
 
     /// Called once per simulated cycle after the view snapshot has been
-    /// refreshed; the hook returns any gating commands that became due
+    /// refreshed; the hook pushes any gating commands that became due
     /// (typically because a gating timer expired and the Fig. 2(e) check
-    /// decided to wake the victim).
-    fn on_tick(&mut self, _now: Cycle, _view: &SystemView) -> Vec<GateCommand> {
-        Vec::new()
+    /// decided to wake the victim) into `out`.
+    ///
+    /// `out` is a scratch buffer owned by the substrate and cleared before
+    /// every call, so steady-state ticks never allocate.
+    fn on_tick(&mut self, _now: Cycle, _view: &SystemView, _out: &mut Vec<GateCommand>) {}
+
+    /// Earliest cycle `d >= now` at which this hook may act on its own —
+    /// `on_tick(t, ..)` is guaranteed to push no commands and have no
+    /// observable side effects for every cycle `t < d`, so `on_tick` need
+    /// not even be *called* before `d`. `None` means the hook never acts
+    /// spontaneously (it only reacts to `on_abort` / `on_commit` / …
+    /// callbacks).
+    ///
+    /// The fast-forward engine uses this to skip quiescent cycles in one
+    /// jump, so a hook that reports a too-late deadline breaks cycle
+    /// exactness. The default of `Some(now)` is maximally conservative:
+    /// it declares that `on_tick` may act *this very cycle*, so the engine
+    /// never skips a tick (and never jumps) on a custom hook's account.
+    /// Hooks with explicit timers (the clock-gating controller) override
+    /// this with their earliest timer expiry; hooks that never issue
+    /// commands return `None`.
+    fn next_deadline(&self, now: Cycle) -> Option<Cycle> {
+        Some(now)
     }
 
     /// `proc` committed a transaction at `now` (resets the per-processor
@@ -186,6 +206,12 @@ impl GatingHook for NoGating {
         _view: &SystemView,
     ) -> AbortAction {
         AbortAction::Retry { backoff: 0 }
+    }
+
+    fn next_deadline(&self, _now: Cycle) -> Option<Cycle> {
+        // Never issues commands, so it never constrains the fast-forward
+        // horizon.
+        None
     }
 }
 
@@ -234,6 +260,12 @@ impl GatingHook for ExponentialBackoff {
     fn on_commit(&mut self, proc: ProcId, _now: Cycle) {
         self.consecutive_aborts[proc] = 0;
     }
+
+    fn next_deadline(&self, _now: Cycle) -> Option<Cycle> {
+        // The back-off spin happens inside the processor (`Phase::Backoff`);
+        // the hook itself never issues commands.
+        None
+    }
 }
 
 #[cfg(test)]
@@ -275,7 +307,34 @@ mod tests {
             h.on_abort(0, 1, 0, 7, 100, &v),
             AbortAction::Retry { backoff: 0 }
         );
-        assert!(h.on_tick(0, &v).is_empty());
+        let mut out = Vec::new();
+        h.on_tick(0, &v, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(h.next_deadline(0), None);
+    }
+
+    /// A hook relying on every default implementation must report the
+    /// current cycle as its deadline: the engine then calls `on_tick` every
+    /// cycle and never jumps, which is the only safe assumption for an
+    /// arbitrary custom hook.
+    #[test]
+    fn default_next_deadline_is_conservative() {
+        struct Custom;
+        impl GatingHook for Custom {
+            fn on_abort(
+                &mut self,
+                _dir: DirId,
+                _victim: ProcId,
+                _aborter: ProcId,
+                _aborter_tx: TxId,
+                _now: Cycle,
+                _view: &SystemView,
+            ) -> AbortAction {
+                AbortAction::Gate
+            }
+        }
+        assert_eq!(Custom.next_deadline(10), Some(10));
+        assert_eq!(Custom.next_deadline(Cycle::MAX), Some(Cycle::MAX));
     }
 
     #[test]

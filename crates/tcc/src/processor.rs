@@ -20,11 +20,10 @@
 //! the gating hook) lives in [`crate::system::TccSystem`]; this module owns
 //! only per-processor state so it can be unit-tested in isolation.
 
-use std::collections::HashSet;
-
 use serde::{Deserialize, Serialize};
 
 use htm_mem::{LineAddr, SpecCache};
+use htm_sim::fxhash::FxHashSet;
 use htm_sim::queue::TimedQueue;
 use htm_sim::{Cycle, DirId, ProcId};
 
@@ -193,12 +192,12 @@ pub struct Processor {
     /// Private L1 data cache (timing model).
     pub cache: SpecCache,
     /// Exact speculative read set of the current transaction attempt.
-    pub read_set: HashSet<LineAddr>,
+    pub read_set: FxHashSet<LineAddr>,
     /// Exact speculative write set of the current transaction attempt.
-    pub write_set: HashSet<LineAddr>,
+    pub write_set: FxHashSet<LineAddr>,
     /// Directories touched (read or written) by the current attempt; used to
     /// clear sharer registrations on commit/abort.
-    pub dirs_touched: HashSet<DirId>,
+    pub dirs_touched: FxHashSet<DirId>,
     /// Commit plan (one step per write-set directory), built when the
     /// transaction reaches its commit point.
     pub commit_plan: Vec<CommitStep>,
@@ -229,9 +228,9 @@ impl Processor {
             tx_idx: 0,
             phase,
             cache,
-            read_set: HashSet::new(),
-            write_set: HashSet::new(),
-            dirs_touched: HashSet::new(),
+            read_set: FxHashSet::default(),
+            write_set: FxHashSet::default(),
+            dirs_touched: FxHashSet::default(),
             commit_plan: Vec::new(),
             tid: None,
             aborts_this_tx: 0,
@@ -305,6 +304,46 @@ impl Processor {
         self.aborts_this_tx = 0;
         self.phase = Self::entry_phase_for(&self.thread, self.tx_idx);
         !self.is_done()
+    }
+
+    /// Earliest future cycle at which this processor does anything beyond a
+    /// pure countdown: the completion of the phase it is waiting in, or the
+    /// arrival of the earliest inbox message, whichever comes first.
+    ///
+    /// `Some(now)` means the *current* cycle needs full per-cycle processing
+    /// (an operation issues, a wait expires, a message is ready, or the phase
+    /// — like the commit spin — polls shared state every cycle and must be
+    /// refined by the system, which owns the directories). `None` means the
+    /// processor is fully passive (`Done`, or `Gated` with an empty inbox)
+    /// and only an external event can make it act again.
+    ///
+    /// This is the processor's contribution to the fast-forward engine's
+    /// event horizon; see `DESIGN.md` ("event-horizon computation") for the
+    /// exactness argument.
+    #[must_use]
+    pub fn next_deadline(&self, now: Cycle) -> Option<Cycle> {
+        let phase_deadline = match self.phase {
+            Phase::Done | Phase::Gated => None,
+            // Transitions to `Executing` on the cycle where `remaining <= 1`.
+            Phase::PreCompute { remaining } => Some(now + remaining.saturating_sub(1)),
+            // Issues the next operation on the cycle where `remaining == 0`.
+            Phase::Executing { remaining, .. } => Some(now + remaining),
+            // The commit spin polls the target directory every cycle; the
+            // system refines this with the directory's grant state.
+            Phase::SpinCommit { .. } => Some(now),
+            Phase::WaitMiss { until, .. }
+            | Phase::WaitToken { until }
+            | Phase::Committing { until, .. }
+            | Phase::Aborting { until, .. }
+            | Phase::Backoff { until }
+            | Phase::GateDraining { until }
+            | Phase::WakeRestart { until } => Some(until.max(now)),
+        };
+        let inbox_deadline = self.inbox.next_delivery().map(|d| d.max(now));
+        match (phase_deadline, inbox_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (d, None) | (None, d) => d,
+        }
     }
 }
 
@@ -436,6 +475,51 @@ mod tests {
             remaining: 0
         }
         .is_gated_like());
+    }
+
+    #[test]
+    fn next_deadline_tracks_the_waiting_phase() {
+        let mut p = Processor::new(0, thread(), cache());
+        // PreCompute with 5 cycles remaining transitions at now + 4.
+        assert_eq!(p.phase, Phase::PreCompute { remaining: 5 });
+        assert_eq!(p.next_deadline(100), Some(104));
+        p.phase = Phase::Executing {
+            op_idx: 1,
+            remaining: 7,
+        };
+        assert_eq!(p.next_deadline(100), Some(107));
+        p.phase = Phase::WaitMiss {
+            op_idx: 1,
+            until: 230,
+            line: LineAddr(0),
+            is_store: false,
+        };
+        assert_eq!(p.next_deadline(100), Some(230));
+        // A stale `until` in the past clamps to `now` (process this cycle).
+        assert_eq!(p.next_deadline(500), Some(500));
+        p.phase = Phase::SpinCommit { step_idx: 0 };
+        assert_eq!(
+            p.next_deadline(100),
+            Some(100),
+            "commit spins poll every cycle until refined by the system"
+        );
+        p.phase = Phase::Gated;
+        assert_eq!(p.next_deadline(100), None);
+        p.phase = Phase::Done;
+        assert_eq!(p.next_deadline(100), None);
+    }
+
+    #[test]
+    fn next_deadline_includes_inbox_arrivals() {
+        let mut p = Processor::new(0, thread(), cache());
+        p.phase = Phase::Gated;
+        p.inbox.push(140, ProcEvent::TurnOn { dir: 0 });
+        assert_eq!(p.next_deadline(100), Some(140));
+        // The earlier of inbox and phase deadline wins.
+        p.phase = Phase::Backoff { until: 120 };
+        assert_eq!(p.next_deadline(100), Some(120));
+        p.phase = Phase::Backoff { until: 200 };
+        assert_eq!(p.next_deadline(100), Some(140));
     }
 
     #[test]

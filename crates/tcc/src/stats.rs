@@ -105,7 +105,11 @@ impl Default for ProcStats {
 }
 
 /// Complete outcome of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` is derived on purpose: the engine-differential tests assert
+/// that the fast-forward and naive stepping engines produce outcomes that
+/// are equal field for field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunOutcome {
     /// Name of the workload that was executed.
     pub workload: String,

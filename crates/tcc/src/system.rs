@@ -49,6 +49,59 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Which stepping engine drives the simulation.
+///
+/// Both engines are bit-for-bit cycle-exact with respect to each other (the
+/// differential test suite proves identical [`RunOutcome`]s for every gating
+/// mode and workload); the fast-forward engine is simply the same machine
+/// with its quiescent windows skipped in one jump. See `DESIGN.md`
+/// ("event-horizon computation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Event-driven stepping: every component reports the next cycle at
+    /// which it can act, and the clock leaps straight to the earliest such
+    /// deadline whenever no component needs per-cycle processing.
+    #[default]
+    FastForward,
+    /// The reference engine: one `step` per simulated cycle, touching every
+    /// processor every cycle. Kept as the ground truth for differential
+    /// testing and as the `--engine naive` option of the `reproduce` binary.
+    Naive,
+}
+
+impl EngineKind {
+    /// Short label used in reports and timing artifacts.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::FastForward => "fast-forward",
+            EngineKind::Naive => "naive",
+        }
+    }
+}
+
+/// One planned advancement of the fast-forward engine, produced by
+/// `TccSystem::plan_step`.
+enum StepPlan {
+    /// Every component is quiescent for the next `n` cycles: leap over them
+    /// in one batch-accounted jump.
+    Jump(u64),
+    /// Execute one exact cycle. Bit `i` of `active` is set iff processor `i`
+    /// needs its per-cycle processing (event delivery and/or a phase
+    /// transition, or a commit-spin probe); the cleared ones are proven
+    /// inert and only receive their countdown bookkeeping. `hook_due` says
+    /// whether the hook's `on_tick` may act this cycle.
+    Cycle {
+        /// Bit mask of processors that must be stepped individually.
+        active: u64,
+        /// Whether `on_tick` must run this cycle.
+        hook_due: bool,
+    },
+    /// No component will ever act again (a protocol deadlock): the run can
+    /// only end by hitting its cycle bound.
+    Quiescent,
+}
+
 /// The complete simulated machine.
 pub struct TccSystem<H: GatingHook> {
     cfg: SimConfig,
@@ -67,6 +120,43 @@ pub struct TccSystem<H: GatingHook> {
     now: Cycle,
     workload_name: String,
     last_commit_end: Cycle,
+    /// Scratch buffer handed to [`GatingHook::on_tick`] every cycle so the
+    /// steady-state tick never allocates.
+    tick_scratch: Vec<GateCommand>,
+    /// Scratch buffer for the directories touched by an aborting/committing
+    /// processor (avoids a `Vec` allocation per abort/commit).
+    dir_scratch: Vec<DirId>,
+    /// Bit mask of processors whose view entries are stale because they
+    /// acted in the most recent executed cycle; `step_cycle` refreshes
+    /// exactly these instead of sweeping every processor each cycle.
+    view_dirty: u64,
+    /// Per-processor accounting watermark: all cycles in `[0, acct_until[i])`
+    /// are fully reflected in processor `i`'s `state_cycles`,
+    /// `attempt_cycles`, countdown fields and `first_tx_start`. The fast
+    /// engine accounts lazily (a processor parked in a waiting phase is not
+    /// touched at all until something happens to it); `flush_accounting`
+    /// settles the balance whenever the processor is processed or the run
+    /// ends.
+    acct_until: Vec<Cycle>,
+    /// Event queue of the fast engine: `(deadline, proc)` pairs, earliest
+    /// first, with lazy deletion (entries are validated against the
+    /// processor's actual state when popped and re-pushed if stale).
+    /// Commit spinners are deliberately *not* tracked here — their readiness
+    /// depends on shared grant state, so `plan_step` probes them directly.
+    deadlines: std::collections::BinaryHeap<std::cmp::Reverse<(Cycle, ProcId)>>,
+    /// Bit mask of processors currently in `Phase::SpinCommit`.
+    spin_mask: u64,
+    /// Start-of-cycle population counts `(gated, missing, committing)`,
+    /// maintained incrementally on every phase transition so each executed
+    /// cycle records its interval data in O(1).
+    state_counts: (usize, usize, usize),
+    /// Number of processors in `Phase::Done` (replaces the O(procs)
+    /// `all_done` sweep in the run loop).
+    done_count: usize,
+    /// Set whenever processors were mutated without maintaining the fast
+    /// engine's incremental structures (construction, naive steps); the
+    /// next `plan_step` rebuilds them once.
+    fast_state_stale: bool,
 }
 
 impl<H: GatingHook> TccSystem<H> {
@@ -112,7 +202,9 @@ impl<H: GatingHook> TccSystem<H> {
             .map(|_| MainMemory::from_config(&cfg))
             .collect();
         let token = TokenVendor::new(cfg.token_vendor_latency);
-        Ok(Self {
+        let num_procs = procs.len();
+        let done_count = procs.iter().filter(|p| p.is_done()).count();
+        let mut system = Self {
             cfg,
             map,
             procs,
@@ -126,7 +218,22 @@ impl<H: GatingHook> TccSystem<H> {
             now: 0,
             workload_name: workload.name,
             last_commit_end: 0,
-        })
+            tick_scratch: Vec::new(),
+            dir_scratch: Vec::new(),
+            view_dirty: 0,
+            acct_until: vec![0; num_procs],
+            deadlines: std::collections::BinaryHeap::new(),
+            spin_mask: 0,
+            state_counts: (0, 0, 0),
+            done_count,
+            // The first fast plan populates the event queue and counters.
+            fast_state_stale: true,
+        };
+        // Populate the hook-visible snapshot once; from here on the engines
+        // keep it current (the naive engine by full refresh, the fast engine
+        // incrementally via `view_dirty`).
+        system.refresh_view();
+        Ok(system)
     }
 
     /// The machine configuration this system was built with.
@@ -147,15 +254,44 @@ impl<H: GatingHook> TccSystem<H> {
         self.procs.iter().all(Processor::is_done)
     }
 
-    /// Run to completion with a safety bound on the number of cycles.
-    pub fn run_bounded(mut self, limit: Cycle) -> Result<RunOutcome, SimError> {
-        while !self.all_done() {
+    /// Run to completion with a safety bound on the number of cycles, using
+    /// the default (fast-forward) engine.
+    pub fn run_bounded(self, limit: Cycle) -> Result<RunOutcome, SimError> {
+        self.run_bounded_parts(limit, EngineKind::default())
+            .map(|(outcome, _hook)| outcome)
+    }
+
+    /// Run to completion with the chosen engine, returning both the outcome
+    /// and the hook.
+    ///
+    /// Handing the hook back lets callers extract controller statistics
+    /// directly instead of smuggling them out through a shared
+    /// `Rc<RefCell<..>>` cell (which used to cost an interior-mutability
+    /// dispatch on every hook call).
+    pub fn run_bounded_parts(
+        mut self,
+        limit: Cycle,
+        engine: EngineKind,
+    ) -> Result<(RunOutcome, H), SimError> {
+        while self.done_count < self.procs.len() {
             if self.now >= limit {
                 return Err(SimError::CycleLimitExceeded { limit });
             }
-            self.step();
+            match engine {
+                EngineKind::FastForward => match self.plan_step() {
+                    StepPlan::Jump(n) => self.fast_forward(n),
+                    StepPlan::Cycle { active, hook_due } => self.step_cycle(active, hook_due),
+                    // Provable deadlock (every processor gated or done with
+                    // an empty inbox and no pending hook timer): leap
+                    // straight to the bound instead of burning one step per
+                    // cycle on a dead machine. The error below matches what
+                    // the naive engine reports after grinding to `limit`.
+                    StepPlan::Quiescent => self.fast_forward(limit - self.now),
+                },
+                EngineKind::Naive => self.step_naive(),
+            }
         }
-        Ok(self.into_outcome())
+        Ok(self.into_parts())
     }
 
     /// Run to completion (with a very large implicit safety bound).
@@ -163,27 +299,350 @@ impl<H: GatingHook> TccSystem<H> {
         self.run_bounded(Cycle::MAX / 2)
     }
 
-    /// Advance the simulation by one cycle.
+    /// Advance the simulation by at least one cycle with the fast-forward
+    /// engine: if every component agrees that nothing can happen before some
+    /// future cycle, leap straight to it (batch-accounting the skipped
+    /// cycles); otherwise execute one exact cycle, touching only the
+    /// processors that act in it.
     pub fn step(&mut self) {
-        self.account_cycle();
+        match self.plan_step() {
+            StepPlan::Jump(n) => self.fast_forward(n),
+            StepPlan::Cycle { active, hook_due } => self.step_cycle(active, hook_due),
+            // No cycle bound available here: burn one reference cycle.
+            StepPlan::Quiescent => self.step_naive(),
+        }
+    }
+
+    /// Advance the simulation by exactly one cycle (the reference engine).
+    pub fn step_naive(&mut self) {
+        self.account_cycles(1);
         self.refresh_view();
         self.apply_hook_commands();
         for i in 0..self.procs.len() {
             self.handle_events(i);
             self.advance_processor(i);
         }
+        // Keep the run-loop counter current and flag the fast engine's
+        // incremental bookkeeping as stale, so the two stepping styles can
+        // be interleaved freely (the next fast plan rebuilds its event
+        // structures once). The recount costs no more than the `all_done`
+        // sweep it replaces.
+        self.done_count = self.procs.iter().filter(|p| p.is_done()).count();
+        self.fast_state_stale = true;
         self.now += 1;
+    }
+
+    // ----- fast-forward engine ---------------------------------------------------
+
+    /// Decide how to advance the clock: an exact cycle touching only the
+    /// active processors, a multi-cycle jump, or the deadlock shortcut.
+    ///
+    /// Exactness argument (see `DESIGN.md`, "event-horizon computation"):
+    /// every observable state change in a cycle is triggered by one of
+    /// (a) a processor phase completing or issuing an operation, (b) an
+    /// inbox message becoming deliverable, (c) the hook issuing commands
+    /// from `on_tick`, or (d) a commit spin being granted a directory.
+    /// (a)–(c) are reported by the processors ([`Processor::next_deadline`])
+    /// and the hook ([`GatingHook::next_deadline`]). For (d), a spin can
+    /// only become grantable when the directory's occupancy releases
+    /// (reported by [`DirCtrl::next_deadline`], merged before any jump) or
+    /// when another processor changes the marked set — which is itself an
+    /// (a) transition that makes that processor active. Because a lower-id
+    /// active processor can change the marked set *within* the cycle (and
+    /// naive stepping lets a later spinner observe that), every commit
+    /// spinner is processed per-cycle whenever any processor is active.
+    /// The bus / token-vendor / miss ports are demand-driven and could be
+    /// omitted from the horizon, but their in-flight release times are
+    /// merged anyway: a shorter jump is always safe.
+    fn plan_step(&mut self) -> StepPlan {
+        if self.fast_state_stale {
+            self.rebuild_fast_state();
+        }
+        let now = self.now;
+        let mut active: u64 = 0;
+        let mut horizon: Option<Cycle> = None;
+        fn merge(horizon: &mut Option<Cycle>, d: Option<Cycle>) {
+            if let Some(d) = d {
+                *horizon = Some(horizon.map_or(d, |h| h.min(d)));
+            }
+        }
+        // Probe every commit spinner directly: its readiness lives in
+        // shared grant state the event queue cannot track. Spinner counts
+        // are small (they exist only while a commit is being arbitrated).
+        let mut spin = self.spin_mask;
+        while spin != 0 {
+            let i = spin.trailing_zeros() as usize;
+            spin &= spin - 1;
+            let proc = &self.procs[i];
+            let Phase::SpinCommit { step_idx } = proc.phase else {
+                unreachable!("spin_mask tracks SpinCommit membership");
+            };
+            let step_dir = proc.commit_plan[step_idx].dir;
+            let tid = proc.tid.expect("commit spin requires a TID");
+            if self.dirs[step_dir].would_grant(i, tid, now) {
+                active |= 1u64 << i;
+            }
+        }
+        // Drain the event queue up to `now`, validating lazily: an entry is
+        // stale if the processor's deadline moved (it was processed since,
+        // or the entry predates a newer, earlier event).
+        while let Some(&std::cmp::Reverse((d, i))) = self.deadlines.peek() {
+            if d > now {
+                break;
+            }
+            self.deadlines.pop();
+            let bit = 1u64 << i;
+            if active & bit != 0 {
+                continue;
+            }
+            let effective = if matches!(self.procs[i].phase, Phase::SpinCommit { .. }) {
+                // Grant-state readiness was probed above; only a deliverable
+                // inbox message makes a spinner active through the queue.
+                self.procs[i].inbox.next_delivery()
+            } else {
+                self.procs[i].next_deadline(self.acct_until[i])
+            };
+            match effective {
+                Some(e) if e <= now => active |= bit,
+                Some(e) => self.deadlines.push(std::cmp::Reverse((e, i))),
+                None => {}
+            }
+        }
+        let hook_deadline = self.hook.next_deadline(now);
+        let hook_due = hook_deadline.is_some_and(|d| d <= now);
+        if active != 0 {
+            // Some processor acts this cycle, so every commit spinner must
+            // be processed too: naive stepping lets a spinner observe marks
+            // changed earlier in the same cycle.
+            return StepPlan::Cycle {
+                active: active | self.spin_mask,
+                hook_due,
+            };
+        }
+        if hook_due {
+            // Only the hook acts. It cannot change grant state mid-cycle
+            // (commands travel through inboxes and arrive strictly later),
+            // so the spinners stay skippable this cycle.
+            return StepPlan::Cycle {
+                active: 0,
+                hook_due: true,
+            };
+        }
+        merge(&mut horizon, self.deadlines.peek().map(|r| r.0 .0));
+        merge(&mut horizon, hook_deadline);
+        // Demand-driven resources: their deadlines are strictly in the
+        // future by construction (an idle resource reports `None`). The
+        // directory release times also bound how long a commit spinner can
+        // be left unprobed.
+        merge(&mut horizon, self.bus.next_deadline(now));
+        merge(&mut horizon, self.token.next_deadline(now));
+        for dir in &self.dirs {
+            merge(&mut horizon, dir.next_deadline(now));
+        }
+        match horizon {
+            Some(h) => {
+                debug_assert!(h > now, "all now-or-earlier deadlines were handled above");
+                StepPlan::Jump(h - now)
+            }
+            // Defensive: a spinner with no computable deadline (it cannot
+            // happen — the oldest-TID spinner is always grantable or blocked
+            // by a directory with a release deadline — but a per-cycle probe
+            // is always exact).
+            None if self.spin_mask != 0 => StepPlan::Cycle {
+                active: self.spin_mask,
+                hook_due: false,
+            },
+            None => StepPlan::Quiescent,
+        }
+    }
+
+    /// Rebuild the fast engine's incremental structures from scratch (after
+    /// construction they are only invalidated by interleaved `step_naive`
+    /// calls, which mutate processors without maintaining them).
+    fn rebuild_fast_state(&mut self) {
+        self.deadlines.clear();
+        self.spin_mask = 0;
+        let mut gated = 0usize;
+        let mut missing = 0usize;
+        let mut committing = 0usize;
+        for (i, proc) in self.procs.iter().enumerate() {
+            match proc.phase.power_state() {
+                PowerState::Gated => gated += 1,
+                PowerState::Miss => missing += 1,
+                PowerState::Commit => committing += 1,
+                PowerState::Run => {}
+            }
+            if matches!(proc.phase, Phase::SpinCommit { .. }) {
+                self.spin_mask |= 1u64 << i;
+                // A spinner's only queue-tracked wake source is its inbox
+                // (grant state is probed directly by `plan_step`).
+                if let Some(d) = proc.inbox.next_delivery() {
+                    self.deadlines.push(std::cmp::Reverse((d, i)));
+                }
+            } else if let Some(d) = proc.next_deadline(self.acct_until[i]) {
+                // Already folds in the earliest inbox arrival.
+                self.deadlines.push(std::cmp::Reverse((d, i)));
+            }
+        }
+        self.state_counts = (gated, missing, committing);
+        self.done_count = self.procs.iter().filter(|p| p.is_done()).count();
+        self.view_dirty = if self.procs.len() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.procs.len()) - 1
+        };
+        self.fast_state_stale = false;
+    }
+
+    /// Execute one exact cycle, doing per-processor work only for the
+    /// processors in `active`. Every other processor was proven inert this
+    /// cycle by [`Self::plan_step`] and is not touched at all — its
+    /// per-cycle bookkeeping (state-cycle accounting, `attempt_cycles`
+    /// increments, countdown decrements) is settled lazily by
+    /// [`Self::flush_accounting`] the next time something happens to it.
+    fn step_cycle(&mut self, active: u64, hook_due: bool) {
+        let now = self.now;
+        // Interval accounting from the incrementally maintained population
+        // counts: O(1) instead of a sweep over every processor.
+        let (gated, missing, committing) = self.state_counts;
+        self.intervals.record(1, gated, missing, committing);
+
+        // Refresh the view snapshot: directory marked-bits every cycle (the
+        // cached bit vectors make this O(dirs)), processor entries only for
+        // the processors that acted since the last executed cycle. The
+        // result is byte-identical to the naive full refresh, and hooks keep
+        // seeing a start-of-cycle snapshot.
+        let mut dirty = std::mem::take(&mut self.view_dirty);
+        while dirty != 0 {
+            let i = dirty.trailing_zeros() as usize;
+            dirty &= dirty - 1;
+            self.view.proc_tx[i] = self.procs[i].current_tx_id();
+            self.view.proc_gated[i] = self.procs[i].phase.is_gated_like();
+        }
+        for (d, dir) in self.dirs.iter().enumerate() {
+            self.view.dir_marked[d] = dir.marked_bits();
+        }
+
+        if hook_due {
+            self.apply_hook_commands();
+        }
+
+        let mut rest = active;
+        while rest != 0 {
+            let i = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            // Settle the lazily skipped cycles, then account the current
+            // cycle eagerly (state as of the start of the cycle, exactly
+            // like the naive engine's accounting pass).
+            self.flush_accounting(i, now);
+            let pre_state = self.procs[i].phase.power_state();
+            self.procs[i].state_cycles.add(pre_state, 1);
+            self.acct_until[i] = now + 1;
+            let pre_done = self.procs[i].is_done();
+
+            self.handle_events(i);
+            self.advance_processor(i);
+
+            // Maintain the incremental structures across the transition.
+            let proc = &self.procs[i];
+            let post_state = proc.phase.power_state();
+            if post_state != pre_state {
+                let c = &mut self.state_counts;
+                match pre_state {
+                    PowerState::Gated => c.0 -= 1,
+                    PowerState::Miss => c.1 -= 1,
+                    PowerState::Commit => c.2 -= 1,
+                    PowerState::Run => {}
+                }
+                match post_state {
+                    PowerState::Gated => c.0 += 1,
+                    PowerState::Miss => c.1 += 1,
+                    PowerState::Commit => c.2 += 1,
+                    PowerState::Run => {}
+                }
+            }
+            if proc.is_done() && !pre_done {
+                self.done_count += 1;
+            }
+            let bit = 1u64 << i;
+            if matches!(proc.phase, Phase::SpinCommit { .. }) {
+                self.spin_mask |= bit;
+            } else {
+                self.spin_mask &= !bit;
+                if let Some(d) = proc.next_deadline(now + 1) {
+                    self.deadlines.push(std::cmp::Reverse((d, i)));
+                }
+            }
+        }
+        self.view_dirty = active;
+        self.now += 1;
+    }
+
+    /// Leap `n` quiescent cycles in one jump. Thanks to lazy per-processor
+    /// accounting this is O(1): the interval record is taken from the
+    /// maintained population counts and nothing else in the machine changes
+    /// (the caller proved, via [`Self::plan_step`], that nothing would have
+    /// happened).
+    fn fast_forward(&mut self, n: u64) {
+        debug_assert!(n >= 1);
+        let (gated, missing, committing) = self.state_counts;
+        self.intervals.record(n, gated, missing, committing);
+        self.now += n;
     }
 
     // ----- per-cycle bookkeeping -------------------------------------------------
 
-    fn account_cycle(&mut self) {
+    /// Settle processor `i`'s lazily skipped cycles up to (excluding)
+    /// `target`: the per-cycle work its naive advance would have done in
+    /// `[acct_until[i], target)` — all spent in one unchanged phase — is
+    /// applied in a single batch.
+    fn flush_accounting(&mut self, i: ProcId, target: Cycle) {
+        let from = self.acct_until[i];
+        if target <= from {
+            return;
+        }
+        let span = target - from;
+        let proc = &mut self.procs[i];
+        proc.state_cycles.add(proc.phase.power_state(), span);
+        match &mut proc.phase {
+            Phase::PreCompute { remaining } => *remaining -= span,
+            Phase::Executing { remaining, .. } => {
+                // The first skipped cycle is the one that would have stamped
+                // the start of the first transaction.
+                if proc.first_tx_start.is_none() {
+                    proc.first_tx_start = Some(from);
+                }
+                proc.attempt_cycles += span;
+                *remaining -= span;
+            }
+            Phase::WaitMiss { .. }
+            | Phase::WaitToken { .. }
+            | Phase::SpinCommit { .. }
+            | Phase::Committing { .. } => proc.attempt_cycles += span,
+            Phase::Aborting { .. }
+            | Phase::Backoff { .. }
+            | Phase::GateDraining { .. }
+            | Phase::WakeRestart { .. }
+            | Phase::Gated
+            | Phase::Done => {}
+        }
+        self.acct_until[i] = target;
+    }
+
+    /// Eager accounting used by the naive engine: settle any lazy backlog
+    /// (a no-op in pure naive runs), then account `cycles` cycles of the
+    /// current state for every processor.
+    fn account_cycles(&mut self, cycles: u64) {
+        let now = self.now;
+        for i in 0..self.procs.len() {
+            self.flush_accounting(i, now);
+        }
         let mut gated = 0usize;
         let mut missing = 0usize;
         let mut committing = 0usize;
         for proc in &mut self.procs {
             let state = proc.phase.power_state();
-            proc.state_cycles.add(state, 1);
+            proc.state_cycles.add(state, cycles);
             match state {
                 PowerState::Gated => gated += 1,
                 PowerState::Miss => missing += 1,
@@ -191,7 +650,10 @@ impl<H: GatingHook> TccSystem<H> {
                 PowerState::Run => {}
             }
         }
-        self.intervals.record(1, gated, missing, committing);
+        for a in &mut self.acct_until {
+            *a = now + cycles;
+        }
+        self.intervals.record(cycles, gated, missing, committing);
     }
 
     fn refresh_view(&mut self) {
@@ -205,9 +667,11 @@ impl<H: GatingHook> TccSystem<H> {
     }
 
     fn apply_hook_commands(&mut self) {
-        let commands = self.hook.on_tick(self.now, &self.view);
-        for cmd in commands {
-            match cmd {
+        let mut commands = std::mem::take(&mut self.tick_scratch);
+        commands.clear();
+        self.hook.on_tick(self.now, &self.view, &mut commands);
+        for cmd in &commands {
+            match *cmd {
                 GateCommand::UngateProcessor { proc, dir } => {
                     // The "on" command travels from the directory to the
                     // processor's PLL enable over the interconnect.
@@ -215,16 +679,21 @@ impl<H: GatingHook> TccSystem<H> {
                     self.procs[proc]
                         .inbox
                         .push(arrive, ProcEvent::TurnOn { dir });
+                    self.deadlines.push(std::cmp::Reverse((arrive, proc)));
                 }
             }
         }
+        self.tick_scratch = commands;
     }
 
     // ----- event handling --------------------------------------------------------
 
     fn handle_events(&mut self, i: ProcId) {
-        let events = self.procs[i].inbox.drain_ready(self.now);
-        for ev in events {
+        // Pop directly instead of draining into a `Vec`: event handling is
+        // on the per-cycle hot path and must not allocate. Events delivered
+        // while handling (none today — every push targets a future cycle)
+        // would also be picked up, exactly like the drain they replace.
+        while let Some(ev) = self.procs[i].inbox.pop_ready(self.now) {
             match ev {
                 ProcEvent::Invalidation {
                     line,
@@ -272,13 +741,16 @@ impl<H: GatingHook> TccSystem<H> {
     }
 
     fn release_directory_state(&mut self, i: ProcId, clear_sharers: bool) {
-        let touched: Vec<DirId> = self.procs[i].dirs_touched.iter().copied().collect();
-        for d in touched {
+        let mut touched = std::mem::take(&mut self.dir_scratch);
+        touched.clear();
+        touched.extend(self.procs[i].dirs_touched.iter().copied());
+        for &d in &touched {
             self.dirs[d].unmark(i);
             if clear_sharers {
                 self.dirs[d].directory.clear_proc(i);
             }
         }
+        self.dir_scratch = touched;
     }
 
     fn begin_abort(&mut self, i: ProcId, backoff: Cycle) {
@@ -305,10 +777,13 @@ impl<H: GatingHook> TccSystem<H> {
         // self-abort on wake-up, but it must stop participating in commit
         // arbitration: a gated processor can never be granted a directory
         // (this is what makes the protocol deadlock-free).
-        let touched: Vec<DirId> = self.procs[i].dirs_touched.iter().copied().collect();
-        for d in touched {
+        let mut touched = std::mem::take(&mut self.dir_scratch);
+        touched.clear();
+        touched.extend(self.procs[i].dirs_touched.iter().copied());
+        for &d in &touched {
             self.dirs[d].unmark(i);
         }
+        self.dir_scratch = touched;
         let until = self.now + self.cfg.stop_clock_drain_latency;
         self.procs[i].phase = Phase::GateDraining { until };
     }
@@ -585,8 +1060,9 @@ impl<H: GatingHook> TccSystem<H> {
                     continue;
                 }
                 let deliver = self.bus.schedule_future(t, BusTraffic::Control);
+                let deliver = deliver.max(self.now + 1);
                 self.procs[victim].inbox.push(
-                    deliver.max(self.now + 1),
+                    deliver,
                     ProcEvent::Invalidation {
                         line,
                         dir: step.dir,
@@ -594,6 +1070,7 @@ impl<H: GatingHook> TccSystem<H> {
                         aborter_tx,
                     },
                 );
+                self.deadlines.push(std::cmp::Reverse((deliver, victim)));
             }
         }
         self.dirs[step.dir].occupy(i, self.now, t);
@@ -629,7 +1106,15 @@ impl<H: GatingHook> TccSystem<H> {
 
     // ----- outcome ---------------------------------------------------------------
 
-    fn into_outcome(self) -> RunOutcome {
+    /// Consume the system and return the outcome accumulated so far together
+    /// with the hook (so controller statistics can be read out directly).
+    #[must_use]
+    pub fn into_parts(mut self) -> (RunOutcome, H) {
+        // Settle every processor's lazy accounting backlog so the outcome
+        // covers all `total_cycles` cycles (a no-op after naive runs).
+        for i in 0..self.procs.len() {
+            self.flush_accounting(i, self.now);
+        }
         let total_cycles = self.now;
         let first_tx_start = self
             .procs
@@ -650,7 +1135,7 @@ impl<H: GatingHook> TccSystem<H> {
         let total_commits = proc_stats.iter().map(|s| s.commits).sum();
         let total_aborts = proc_stats.iter().map(|s| s.aborts).sum();
         let total_gatings = proc_stats.iter().map(|s| s.gatings).sum();
-        RunOutcome {
+        let outcome = RunOutcome {
             workload: self.workload_name,
             num_procs: self.cfg.num_procs,
             total_cycles,
@@ -663,14 +1148,15 @@ impl<H: GatingHook> TccSystem<H> {
             total_commits,
             total_aborts,
             total_gatings,
-        }
+        };
+        (outcome, self.hook)
     }
 
     /// Consume the system and return the outcome accumulated so far (useful
     /// for tests that drive [`Self::step`] manually).
     #[must_use]
     pub fn finish(self) -> RunOutcome {
-        self.into_outcome()
+        self.into_parts().0
     }
 }
 
@@ -871,8 +1357,7 @@ mod tests {
             AbortAction::Gate
         }
 
-        fn on_tick(&mut self, now: Cycle, _view: &SystemView) -> Vec<GateCommand> {
-            let mut out = Vec::new();
+        fn on_tick(&mut self, now: Cycle, _view: &SystemView, out: &mut Vec<GateCommand>) {
             self.pending.retain(|&(proc, dir, due)| {
                 if now >= due {
                     out.push(GateCommand::UngateProcessor { proc, dir });
@@ -881,7 +1366,10 @@ mod tests {
                     true
                 }
             });
-            out
+        }
+
+        fn next_deadline(&self, now: Cycle) -> Option<Cycle> {
+            self.pending.iter().map(|&(_, _, due)| due.max(now)).min()
         }
 
         fn on_wake(&mut self, proc: ProcId, _now: Cycle) {
@@ -912,6 +1400,96 @@ mod tests {
             outcome.total_gated_cycles() > 0,
             "gated cycles must be accounted"
         );
+        outcome.check_consistency().unwrap();
+    }
+
+    /// In-crate differential check: the fast-forward engine must reproduce
+    /// the naive engine's outcome bit for bit on a contended gated run (the
+    /// exhaustive mode × workload sweep lives in the `clockgate-htm` crate's
+    /// differential test suite).
+    #[test]
+    fn fast_forward_matches_naive_on_gated_conflict() {
+        let tx = |id: u64| Transaction::new(id, vec![Op::Read(0), Op::Compute(80), Op::Write(0)]);
+        let build = || {
+            WorkloadTrace::new(
+                "gated-conflict",
+                vec![
+                    ThreadTrace::new(vec![tx(1), tx(2), tx(3)]),
+                    ThreadTrace::new(vec![tx(11), tx(12), tx(13)]),
+                ],
+            )
+        };
+        let (fast, _) = TccSystem::new(cfg(2), build(), FixedWindowGate::new(2, 200))
+            .unwrap()
+            .run_bounded_parts(2_000_000, EngineKind::FastForward)
+            .unwrap();
+        let (naive, _) = TccSystem::new(cfg(2), build(), FixedWindowGate::new(2, 200))
+            .unwrap()
+            .run_bounded_parts(2_000_000, EngineKind::Naive)
+            .unwrap();
+        assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn quiescent_deadlock_errors_like_naive_without_burning_cycles() {
+        // A hook that gates on the first abort and never wakes anyone: the
+        // victim freezes forever and the run must hit the cycle bound. The
+        // fast engine proves quiescence and leaps straight to the limit.
+        struct GateForever;
+        impl GatingHook for GateForever {
+            fn on_abort(
+                &mut self,
+                _dir: DirId,
+                _victim: ProcId,
+                _aborter: ProcId,
+                _aborter_tx: u64,
+                _now: Cycle,
+                _view: &SystemView,
+            ) -> AbortAction {
+                AbortAction::Gate
+            }
+            fn next_deadline(&self, _now: Cycle) -> Option<Cycle> {
+                None
+            }
+        }
+        let tx = |id: u64| Transaction::new(id, vec![Op::Read(0), Op::Compute(50), Op::Write(0)]);
+        let build = || {
+            WorkloadTrace::new(
+                "freeze",
+                vec![
+                    ThreadTrace::new(vec![tx(1), tx(2)]),
+                    ThreadTrace::new(vec![tx(11), tx(12)]),
+                ],
+            )
+        };
+        let limit = 50_000_000;
+        let err = TccSystem::new(cfg(2), build(), GateForever)
+            .unwrap()
+            .run_bounded_parts(limit, EngineKind::FastForward)
+            .err()
+            .unwrap();
+        assert_eq!(err, SimError::CycleLimitExceeded { limit });
+    }
+
+    #[test]
+    fn step_jumps_over_quiescent_windows() {
+        // Single processor: the first read misses, so after the issue cycle
+        // the machine is quiescent until the fill returns and `step` must
+        // leap multiple cycles at once.
+        let mut sys = TccSystem::new(cfg(1), single_tx_workload(), NoGating).unwrap();
+        let mut jumped = false;
+        let mut steps = 0u64;
+        while !sys.all_done() {
+            let before = sys.now();
+            sys.step();
+            assert!(sys.now() > before, "step must always advance the clock");
+            jumped |= sys.now() > before + 1;
+            steps += 1;
+            assert!(steps < 10_000, "single transaction must finish quickly");
+        }
+        assert!(jumped, "the miss stall must be skipped in one jump");
+        let outcome = sys.finish();
+        assert_eq!(outcome.total_commits, 1);
         outcome.check_consistency().unwrap();
     }
 

@@ -57,6 +57,14 @@ impl TokenVendor {
     pub fn peek_next(&self) -> Tid {
         self.next_tid
     }
+
+    /// Next cycle (strictly after `now`) at which the vendor's state can
+    /// change on its own — the in-flight TID reply leaving the vendor — or
+    /// `None` when idle. Feeds the fast-forward engine's event horizon.
+    #[must_use]
+    pub fn next_deadline(&self, now: Cycle) -> Option<Cycle> {
+        self.port.next_deadline(now)
+    }
 }
 
 #[cfg(test)]
