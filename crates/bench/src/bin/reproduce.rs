@@ -53,9 +53,24 @@ macro_rules! outln {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: reproduce [--json] [--quick] [--smoke] [--out DIR] \
-         [--engine fast|naive] [--timing] \
-         [all|table1|table2|fig3|fig4|fig5|fig6|fig7|summary]..."
+        "usage: reproduce [options] [all|table1|table2|fig3|fig4|fig5|fig6|fig7|summary]...\n\
+         \n\
+         Regenerate the paper's tables and figures (default target: all).\n\
+         \n\
+         options:\n\
+         \x20 --json          print results as JSON instead of text tables\n\
+         \x20 --quick         full matrix at small workload scale\n\
+         \x20 --smoke         CI gate: tiny workloads, one processor count;\n\
+         \x20                 also writes JSON artifacts (default dir reproduce-out/)\n\
+         \x20 --out DIR       write each produced table/figure as DIR/<name>.json\n\
+         \x20 --engine E      stepping engine: fast (default) or naive;\n\
+         \x20                 artifacts are byte-identical either way\n\
+         \x20 --timing        write BENCH_reproduce.json (wall-clock per matrix\n\
+         \x20                 cell and cells/second)\n\
+         \x20 -h, --help      this text\n\
+         \n\
+         For sensitivity sweeps beyond the paper's operating point, see the\n\
+         `sweep` binary (`cargo run -p htm-bench --bin sweep -- --list`)."
     );
     std::process::exit(2);
 }

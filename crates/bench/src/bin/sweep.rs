@@ -1,0 +1,160 @@
+//! Run a sensitivity sweep and report its Pareto frontiers.
+//!
+//! ```bash
+//! cargo run --release -p htm-bench --bin sweep -- --grid smoke --out sweep-out
+//! cargo run --release -p htm-bench --bin sweep -- --grid w0
+//! cargo run --release -p htm-bench --bin sweep -- --grid scaling --resume
+//! cargo run --release -p htm-bench --bin sweep -- --grid default --engine naive
+//! ```
+//!
+//! The sweep streams one compact JSON record per cell to
+//! `<out>/sweep.jsonl` in deterministic cell order; `--resume` parses an
+//! existing file and skips the recorded cells, so an interrupted sweep can
+//! be continued without redoing work. After the cells complete, the runner
+//! writes `pareto.json` (energy-vs-time frontier per workload ×
+//! processor-count slice), `sweep_summary.json` and `grid.json`, and this
+//! binary prints the frontier and summary tables.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use clockgate_htm::report;
+use clockgate_htm::sim::EngineKind;
+use clockgate_htm::sweep::{self, SweepGrid};
+
+/// Print one line to stdout, exiting quietly if the reader went away
+/// (`sweep ... | head` must not panic on the broken pipe).
+fn outln(text: std::fmt::Arguments<'_>) {
+    let mut stdout = std::io::stdout().lock();
+    let ok = stdout
+        .write_fmt(text)
+        .and_then(|()| stdout.write_all(b"\n"))
+        .is_ok();
+    if !ok {
+        std::process::exit(0);
+    }
+}
+
+macro_rules! outln {
+    ($($t:tt)*) => {
+        outln(format_args!($($t)*))
+    };
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep --grid NAME [--out DIR] [--engine fast|naive] [--resume] [--list]\n\
+         \n\
+         Expand a sensitivity grid, simulate every cell in parallel, stream\n\
+         per-cell records to <out>/sweep.jsonl and report energy-vs-time\n\
+         Pareto frontiers per (workload, processor-count) slice.\n\
+         \n\
+         options:\n\
+         \x20 --grid NAME     grid to run: {names} (required unless --list)\n\
+         \x20 --out DIR       artifact directory (default sweep-out/<grid>)\n\
+         \x20 --engine E      stepping engine: fast (default) or naive;\n\
+         \x20                 artifacts are byte-identical either way\n\
+         \x20 --resume        skip cells already recorded in <out>/sweep.jsonl\n\
+         \x20 --list          print the available grids and their cell counts\n\
+         \x20 -h, --help      this text",
+        names = sweep::grid::GRID_NAMES.join("|")
+    );
+    std::process::exit(2);
+}
+
+fn list_grids() {
+    outln!("available sweep grids:");
+    for name in sweep::grid::GRID_NAMES {
+        let grid = SweepGrid::by_name(name).expect("every listed grid exists");
+        let cells = grid.expand();
+        outln!(
+            "  {name:<8} {:>4} cells  ({} workloads x {:?} procs, {} modes, {} geometries, {} seeds)",
+            cells.len(),
+            grid.workloads.len(),
+            grid.processor_counts,
+            grid.gating.expand().len(),
+            grid.cache_geometries.len(),
+            grid.seeds.len()
+        );
+    }
+}
+
+fn main() {
+    let mut grid_name: Option<String> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut engine = EngineKind::FastForward;
+    let mut resume = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--grid" => match args.next() {
+                Some(name) => grid_name = Some(name),
+                None => usage(),
+            },
+            "--out" => match args.next() {
+                Some(dir) => out_dir = Some(PathBuf::from(dir)),
+                None => usage(),
+            },
+            "--engine" => match args.next().as_deref() {
+                Some("fast" | "fast-forward") => engine = EngineKind::FastForward,
+                Some("naive") => engine = EngineKind::Naive,
+                _ => usage(),
+            },
+            "--resume" => resume = true,
+            "--list" => {
+                list_grids();
+                return;
+            }
+            _ => usage(),
+        }
+    }
+    let Some(grid_name) = grid_name else { usage() };
+    let Some(grid) = SweepGrid::by_name(&grid_name) else {
+        eprintln!(
+            "unknown grid `{grid_name}` (available: {})",
+            sweep::grid::GRID_NAMES.join(", ")
+        );
+        std::process::exit(2);
+    };
+    let out_dir = out_dir.unwrap_or_else(|| PathBuf::from("sweep-out").join(&grid.name));
+
+    let cells = grid.expand();
+    eprintln!(
+        "sweep `{}`: {} cells -> {} ({} engine{})",
+        grid.name,
+        cells.len(),
+        out_dir.display(),
+        engine.label(),
+        if resume { ", resume" } else { "" }
+    );
+    let started = std::time::Instant::now();
+    let outcome = match sweep::run_sweep(&grid, engine, &out_dir, resume) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            eprintln!(
+                "records streamed before the failure remain in {}; re-run with --resume \
+                 to continue after fixing the cause",
+                out_dir.join(sweep::runner::JSONL_NAME).display()
+            );
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "sweep `{}` done: {} executed, {} skipped, {:.1} ms wall",
+        outcome.grid.name,
+        outcome.executed,
+        outcome.skipped,
+        started.elapsed().as_secs_f64() * 1e3
+    );
+    for path in [
+        &outcome.jsonl_path,
+        &outcome.pareto_path,
+        &outcome.summary_path,
+    ] {
+        eprintln!("wrote {}", path.display());
+    }
+
+    outln!("{}", report::render_pareto(&outcome.frontiers));
+    outln!("{}", report::render_sweep_summary(&outcome.summaries));
+}

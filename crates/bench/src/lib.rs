@@ -3,13 +3,24 @@
 //! This crate hosts
 //!
 //! * the `reproduce` binary, which regenerates every table and figure of the
-//!   paper (`cargo run --release -p htm-bench --bin reproduce -- all`), and
+//!   paper (`cargo run --release -p htm-bench --bin reproduce -- all`),
+//! * the `sweep` binary, which runs the sensitivity grids of
+//!   `clockgate_htm::sweep` and reports energy-vs-time Pareto frontiers
+//!   (`cargo run --release -p htm-bench --bin sweep -- --grid w0`), and
 //! * one Criterion benchmark per table/figure plus ablation and
 //!   simulator-throughput benches (`cargo bench`).
 //!
 //! The Criterion benches intentionally run reduced workload scales so that
 //! `cargo bench --workspace` completes in minutes; the `reproduce` binary is
 //! the one that runs the full-scale evaluation matrix.
+//!
+//! ```
+//! // The benches share one reduced configuration per processor count.
+//! let cfg = htm_bench::bench_config(4);
+//! assert_eq!(cfg.processor_counts, vec![4]);
+//! assert_eq!(cfg.w0, 8, "the paper's W0");
+//! assert_eq!(htm_bench::full_config().processor_counts, vec![4, 8, 16]);
+//! ```
 
 #![warn(missing_docs)]
 

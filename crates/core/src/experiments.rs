@@ -760,7 +760,8 @@ mod tests {
     #[test]
     fn quick_matrix_summary_is_well_formed() {
         // The `Test` scale is far too small for the headline energy averages
-        // to be meaningful (see EXPERIMENTS.md for the full-scale numbers);
+        // to be meaningful (see docs/REPRODUCING.md for the full-scale
+        // numbers);
         // this only checks that the summary is computed consistently.
         let matrix = run_matrix(&ExperimentConfig::quick()).unwrap();
         let s = summary(&matrix);

@@ -25,7 +25,11 @@
 //! * the **simulation front end** that wires a workload, a machine
 //!   configuration and a gating mode together — [`sim`],
 //! * the **experiments** reproducing Tables I–II and Figures 3–7 —
-//!   [`experiments`], with text/JSON rendering in [`report`].
+//!   [`experiments`], with text/JSON rendering in [`report`],
+//! * the **sensitivity sweeps** exploring the energy/performance trade-off
+//!   surface beyond the paper's single operating point — [`sweep`]
+//!   (Cartesian grids, a resumable parallel runner, Pareto frontiers per
+//!   workload × processor-count slice).
 //!
 //! ## Quick start
 //!
@@ -51,7 +55,7 @@
 //!     .unwrap();
 //! let cmp = clockgate_htm::sim::compare_runs(&ungated, &gated);
 //! // Gated cycles replace doomed re-execution; the full-scale energy numbers
-//! // are reported in EXPERIMENTS.md.
+//! // are reported in docs/REPRODUCING.md.
 //! assert!(cmp.gated_cycles_total > 0);
 //! assert!(cmp.energy_reduction > 0.0);
 //! ```
@@ -63,8 +67,10 @@ pub mod experiments;
 pub mod gating;
 pub mod report;
 pub mod sim;
+pub mod sweep;
 
 pub use gating::contention::{ContentionPolicy, FixedWindow, GatingAwarePolicy};
 pub use gating::controller::{ClockGateController, ControllerConfig, GatingStats};
 pub use gating::table::{GatingEntry, GatingTable};
 pub use sim::{GatingMode, SimReport, SimulationBuilder};
+pub use sweep::{run_sweep, CellRecord, SweepCell, SweepGrid};

@@ -3,9 +3,12 @@
 //! The paper presents its evaluation as bar charts and tables; the
 //! reproduction harness prints the same data as aligned text tables (one per
 //! figure/table) and can serialize every result structure to JSON for
-//! downstream plotting.
+//! downstream plotting. The sensitivity-sweep artifacts (per-cell JSONL
+//! records, Pareto frontiers and slice summaries) are rendered here as well.
 
 use serde::Serialize;
+
+use crate::sweep::{SliceFrontier, SliceSummary};
 
 /// Render an aligned plain-text table.
 ///
@@ -55,6 +58,79 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 #[must_use]
 pub fn to_json<T: Serialize>(value: &T) -> String {
     serde_json::to_string_pretty(value).unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}"))
+}
+
+/// Serialize any experiment result to a single compact JSON line (no
+/// trailing newline) — the encoding of each `sweep.jsonl` record.
+#[must_use]
+pub fn to_json_compact<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}"))
+}
+
+/// Render the Pareto frontiers of a sweep as one aligned text table per
+/// (workload, procs) slice.
+#[must_use]
+pub fn render_pareto(frontiers: &[SliceFrontier]) -> String {
+    let mut out = String::new();
+    for f in frontiers {
+        let rows: Vec<Vec<String>> = f
+            .frontier
+            .iter()
+            .map(|p| {
+                vec![
+                    p.mode.clone(),
+                    p.cycles.to_string(),
+                    fmt_f(p.energy, 0),
+                    p.key.clone(),
+                ]
+            })
+            .collect();
+        out.push_str(&format!(
+            "Pareto frontier — {} @ {} procs ({} of {} points non-dominated)\n{}\n",
+            f.workload,
+            f.procs,
+            f.frontier.len(),
+            f.cells,
+            format_table(&["mode", "cycles", "energy", "cell"], &rows)
+        ));
+    }
+    out
+}
+
+/// Render the per-slice sweep summary as one aligned text table.
+#[must_use]
+pub fn render_sweep_summary(summaries: &[SliceSummary]) -> String {
+    let rows: Vec<Vec<String>> = summaries
+        .iter()
+        .map(|s| {
+            vec![
+                s.workload.clone(),
+                s.procs.to_string(),
+                s.cells.to_string(),
+                s.frontier_size.to_string(),
+                s.best_time.mode.clone(),
+                s.best_energy.mode.clone(),
+                fmt_factor(s.energy_span),
+                fmt_factor(s.cycle_span),
+            ]
+        })
+        .collect();
+    format!(
+        "Sweep summary (one row per workload x processor-count slice)\n{}",
+        format_table(
+            &[
+                "workload",
+                "procs",
+                "cells",
+                "frontier",
+                "fastest mode",
+                "frugalest mode",
+                "energy span",
+                "cycle span"
+            ],
+            &rows
+        )
+    )
 }
 
 /// Format a floating-point value with a fixed number of decimals.
@@ -120,5 +196,56 @@ mod tests {
         assert_eq!(fmt_factor(1.5), "1.500x");
         assert_eq!(fmt_percent(4.25), "+4.2%");
         assert_eq!(fmt_percent(-3.0), "-3.0%");
+    }
+
+    #[test]
+    fn compact_json_is_single_line() {
+        #[derive(Serialize)]
+        struct T {
+            x: u32,
+            s: String,
+        }
+        let s = to_json_compact(&T {
+            x: 7,
+            s: "a".into(),
+        });
+        assert_eq!(s, r#"{"x":7,"s":"a"}"#);
+        assert!(!s.contains('\n'));
+    }
+
+    #[test]
+    fn pareto_and_summary_render_as_tables() {
+        use crate::sweep::ParetoPoint;
+        let point = |key: &str, cycles, energy| ParetoPoint {
+            key: key.to_string(),
+            mode: format!("mode-{key}"),
+            cycles,
+            energy,
+        };
+        let frontier = SliceFrontier {
+            workload: "intruder".into(),
+            procs: 8,
+            cells: 3,
+            frontier: vec![point("fast", 50, 30.0), point("frugal", 100, 10.0)],
+            dominated: vec!["bad".into()],
+        };
+        let rendered = render_pareto(&[frontier]);
+        assert!(rendered.contains("intruder @ 8 procs"));
+        assert!(rendered.contains("2 of 3 points non-dominated"));
+        assert!(rendered.contains("mode-fast"));
+
+        let summary = SliceSummary {
+            workload: "intruder".into(),
+            procs: 8,
+            cells: 3,
+            frontier_size: 2,
+            best_time: point("fast", 50, 30.0),
+            best_energy: point("frugal", 100, 10.0),
+            energy_span: 4.0,
+            cycle_span: 4.0,
+        };
+        let rendered = render_sweep_summary(&[summary]);
+        assert!(rendered.contains("frugalest mode"));
+        assert!(rendered.contains("4.000x"));
     }
 }

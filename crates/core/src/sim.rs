@@ -2,9 +2,11 @@
 //!
 //! [`SimulationBuilder`] is the public entry point of the library: it takes a
 //! machine description (Table II defaults), a workload (one of the STAMP-like
-//! generators or a custom trace) and a [`GatingMode`], runs the cycle-driven
-//! simulation and returns a [`SimReport`] containing both the protocol-level
-//! outcome and the energy analysis of Section IV.
+//! generators or a custom trace) and a [`GatingMode`], runs the simulation on
+//! the selected stepping engine (the event-driven fast-forward engine by
+//! default, or the one-step-per-cycle reference via
+//! [`EngineKind::Naive`]) and returns a [`SimReport`] containing both the
+//! protocol-level outcome and the energy analysis of Section IV.
 
 use serde::{Deserialize, Serialize};
 
@@ -175,6 +177,16 @@ impl SimulationBuilder {
     #[must_use]
     pub fn config(mut self, cfg: SimConfig) -> Self {
         self.config = cfg;
+        self
+    }
+
+    /// Override the L1 data-cache geometry (capacity in KiB, associativity)
+    /// of the current configuration. Call *after* [`Self::processors`],
+    /// which resets the whole configuration to the Table II defaults for the
+    /// given core count.
+    #[must_use]
+    pub fn l1_geometry(mut self, l1_kb: usize, l1_assoc: usize) -> Self {
+        self.config = self.config.with_l1_geometry(l1_kb, l1_assoc);
         self
     }
 
@@ -370,7 +382,7 @@ mod tests {
         // substantial amount of processor time moves into the gated state and
         // wasted re-execution shrinks) rather than the headline energy number;
         // the full-scale energy comparison is exercised by the `reproduce`
-        // harness and reported in EXPERIMENTS.md.
+        // harness and reported in docs/REPRODUCING.md.
         let ungated = run(GatingMode::Ungated, "intruder", 8);
         let gated = run(GatingMode::ClockGate { w0: 8 }, "intruder", 8);
         let cmp = compare_runs(&ungated, &gated);
@@ -442,6 +454,42 @@ mod tests {
         .map(GatingMode::label)
         .collect();
         assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn swept_cache_geometry_runs_and_differs_from_default() {
+        let small = SimulationBuilder::new()
+            .processors(4)
+            .l1_geometry(4, 1)
+            .workload_by_name("intruder", WorkloadScale::Test, 11)
+            .unwrap()
+            .gating(GatingMode::Ungated)
+            .cycle_limit(20_000_000)
+            .run()
+            .unwrap();
+        let default = run(GatingMode::Ungated, "intruder", 4);
+        assert!(small.outcome.total_commits > 0);
+        small.outcome.check_consistency().unwrap();
+        assert!(
+            small.cycles() >= default.cycles(),
+            "a 4KB direct-mapped L1 cannot beat the 64KB 2-way default \
+             ({} vs {} cycles)",
+            small.cycles(),
+            default.cycles()
+        );
+    }
+
+    #[test]
+    fn invalid_cache_geometry_is_a_config_error() {
+        let err = SimulationBuilder::new()
+            .processors(4)
+            .l1_geometry(48, 2)
+            .workload_by_name("intruder", WorkloadScale::Test, 11)
+            .unwrap()
+            .run()
+            .err()
+            .unwrap();
+        assert!(matches!(err, SimError::BadConfig(_)));
     }
 
     #[test]

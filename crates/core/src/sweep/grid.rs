@@ -1,0 +1,490 @@
+//! Cartesian sweep grids and their deterministic cell expansion.
+//!
+//! A [`SweepGrid`] names one axis per swept parameter; [`SweepGrid::expand`]
+//! takes the Cartesian product in a fixed nesting order (workload → procs →
+//! cache geometry → scale → seed → gating mode), so the resulting cell list
+//! — and therefore the `sweep.jsonl` record order and every downstream
+//! artifact — is a pure function of the grid.
+
+use serde::{Deserialize, Serialize};
+
+use htm_sim::Cycle;
+use htm_workloads::registry::PAPER_WORKLOADS;
+use htm_workloads::WorkloadScale;
+
+use crate::sim::{GatingMode, DEFAULT_CYCLE_LIMIT};
+
+/// The gating-mode families a sweep can cross with its parameter axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModeKind {
+    /// Plain Scalable TCC (no back-off, no gating) — the baseline point.
+    Ungated,
+    /// Exponential polite back-off at run power (crossed with
+    /// [`GatingAxis::backoff_bases`]).
+    ExponentialBackoff,
+    /// The paper's clock gating with Eq. 8 (crossed with
+    /// [`GatingAxis::w0_values`]).
+    ClockGate,
+    /// Clock gating with a fixed window (crossed with
+    /// [`GatingAxis::fixed_windows`]).
+    ClockGateFixedWindow,
+    /// Clock gating without the renewal check (crossed with
+    /// [`GatingAxis::w0_values`]).
+    ClockGateNoRenew,
+    /// Clock gating with a linear back-off (crossed with
+    /// [`GatingAxis::w0_values`]).
+    ClockGateLinear,
+}
+
+/// The gating axis of a sweep: which mode families to run and which
+/// parameter values to cross each family with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatingAxis {
+    /// Mode families, in expansion order.
+    pub kinds: Vec<ModeKind>,
+    /// `W0` values crossed with the Eq. 8 / no-renew / linear families.
+    pub w0_values: Vec<Cycle>,
+    /// Window lengths crossed with the fixed-window family.
+    pub fixed_windows: Vec<Cycle>,
+    /// Base windows crossed with the exponential-back-off family.
+    pub backoff_bases: Vec<Cycle>,
+    /// Exponent cap shared by all exponential-back-off cells.
+    pub backoff_cap: u32,
+}
+
+impl Default for GatingAxis {
+    /// The paper's operating point: ungated baseline vs. `W0 = 8` gating.
+    fn default() -> Self {
+        Self {
+            kinds: vec![ModeKind::Ungated, ModeKind::ClockGate],
+            w0_values: vec![8],
+            fixed_windows: vec![64],
+            backoff_bases: vec![32],
+            backoff_cap: 8,
+        }
+    }
+}
+
+impl GatingAxis {
+    /// Expand the axis into concrete gating modes, crossing each family with
+    /// its parameter list in order.
+    #[must_use]
+    pub fn expand(&self) -> Vec<GatingMode> {
+        let mut modes = Vec::new();
+        for kind in &self.kinds {
+            match kind {
+                ModeKind::Ungated => modes.push(GatingMode::Ungated),
+                ModeKind::ExponentialBackoff => {
+                    modes.extend(self.backoff_bases.iter().map(|&base| {
+                        GatingMode::ExponentialBackoff {
+                            base,
+                            cap: self.backoff_cap,
+                        }
+                    }));
+                }
+                ModeKind::ClockGate => modes.extend(
+                    self.w0_values
+                        .iter()
+                        .map(|&w0| GatingMode::ClockGate { w0 }),
+                ),
+                ModeKind::ClockGateFixedWindow => modes.extend(
+                    self.fixed_windows
+                        .iter()
+                        .map(|&window| GatingMode::ClockGateFixedWindow { window }),
+                ),
+                ModeKind::ClockGateNoRenew => modes.extend(
+                    self.w0_values
+                        .iter()
+                        .map(|&w0| GatingMode::ClockGateNoRenew { w0 }),
+                ),
+                ModeKind::ClockGateLinear => modes.extend(
+                    self.w0_values
+                        .iter()
+                        .map(|&w0| GatingMode::ClockGateLinear { w0 }),
+                ),
+            }
+        }
+        modes
+    }
+}
+
+/// One point of the L1 cache-geometry axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Capacity in KiB.
+    pub l1_kb: usize,
+    /// Associativity (ways).
+    pub l1_assoc: usize,
+}
+
+impl Default for CacheGeometry {
+    /// The Table II cache: 64 KB, 2-way.
+    fn default() -> Self {
+        Self {
+            l1_kb: 64,
+            l1_assoc: 2,
+        }
+    }
+}
+
+impl CacheGeometry {
+    /// Short label used in cell keys, e.g. `l64k2w`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("l{}k{}w", self.l1_kb, self.l1_assoc)
+    }
+}
+
+/// A Cartesian sensitivity grid. Expanded by [`SweepGrid::expand`];
+/// executed by [`crate::sweep::runner::run_sweep`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepGrid {
+    /// Grid name (`smoke`, `default`, `w0`, `backoff`, `scaling`, `cache`,
+    /// or anything for custom grids); recorded in the artifacts.
+    pub name: String,
+    /// Workload axis.
+    pub workloads: Vec<String>,
+    /// Processor-count axis.
+    pub processor_counts: Vec<usize>,
+    /// Workload-scale axis.
+    pub scales: Vec<WorkloadScale>,
+    /// Seed axis (workload generation seeds).
+    pub seeds: Vec<u64>,
+    /// L1 cache-geometry axis.
+    pub cache_geometries: Vec<CacheGeometry>,
+    /// Gating axis.
+    pub gating: GatingAxis,
+    /// Safety bound on simulated cycles, shared by every cell.
+    pub cycle_limit: Cycle,
+}
+
+/// Names accepted by [`SweepGrid::by_name`] (the `sweep --grid` values).
+pub const GRID_NAMES: [&str; 6] = ["smoke", "default", "w0", "backoff", "scaling", "cache"];
+
+impl SweepGrid {
+    fn base(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            workloads: PAPER_WORKLOADS.iter().map(|s| (*s).to_string()).collect(),
+            processor_counts: vec![4, 8, 16],
+            scales: vec![WorkloadScale::Small],
+            seeds: vec![42],
+            cache_geometries: vec![CacheGeometry::default()],
+            gating: GatingAxis::default(),
+            cycle_limit: DEFAULT_CYCLE_LIMIT,
+        }
+    }
+
+    /// The CI gate: two workloads, one processor count, tiny scale, the
+    /// ungated / back-off / `W0 = 8` trio — small enough to run with the
+    /// naive reference engine in seconds.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            workloads: vec!["genome".into(), "intruder".into()],
+            processor_counts: vec![4],
+            scales: vec![WorkloadScale::Test],
+            gating: GatingAxis {
+                kinds: vec![
+                    ModeKind::Ungated,
+                    ModeKind::ExponentialBackoff,
+                    ModeKind::ClockGate,
+                ],
+                ..GatingAxis::default()
+            },
+            ..Self::base("smoke")
+        }
+    }
+
+    /// All six gating-mode families at the paper's operating points, over
+    /// the paper's workloads and processor counts.
+    #[must_use]
+    pub fn default_grid() -> Self {
+        Self {
+            gating: GatingAxis {
+                kinds: vec![
+                    ModeKind::Ungated,
+                    ModeKind::ExponentialBackoff,
+                    ModeKind::ClockGate,
+                    ModeKind::ClockGateFixedWindow,
+                    ModeKind::ClockGateNoRenew,
+                    ModeKind::ClockGateLinear,
+                ],
+                ..GatingAxis::default()
+            },
+            ..Self::base("default")
+        }
+    }
+
+    /// The `W0` sensitivity surface: Eq. 8 gating across seven `W0` values
+    /// (plus the ungated baseline point per slice).
+    #[must_use]
+    pub fn w0() -> Self {
+        Self {
+            gating: GatingAxis {
+                kinds: vec![ModeKind::Ungated, ModeKind::ClockGate],
+                w0_values: vec![1, 2, 4, 8, 16, 32, 64],
+                ..GatingAxis::default()
+            },
+            ..Self::base("w0")
+        }
+    }
+
+    /// Back-off sensitivity: exponential back-off across five base windows,
+    /// against the ungated and `W0 = 8` clock-gated references.
+    #[must_use]
+    pub fn backoff() -> Self {
+        Self {
+            processor_counts: vec![8],
+            gating: GatingAxis {
+                kinds: vec![
+                    ModeKind::Ungated,
+                    ModeKind::ExponentialBackoff,
+                    ModeKind::ClockGate,
+                ],
+                backoff_bases: vec![8, 16, 32, 64, 128],
+                ..GatingAxis::default()
+            },
+            ..Self::base("backoff")
+        }
+    }
+
+    /// Processor scaling beyond the paper's 16-core ceiling, with three
+    /// seeds per point for run-to-run spread.
+    #[must_use]
+    pub fn scaling() -> Self {
+        Self {
+            processor_counts: vec![1, 2, 4, 8, 16, 32],
+            seeds: vec![42, 43, 44],
+            ..Self::base("scaling")
+        }
+    }
+
+    /// Cache-geometry sensitivity: four capacities × two associativities at
+    /// 8 processors.
+    #[must_use]
+    pub fn cache() -> Self {
+        let mut geometries = Vec::new();
+        for l1_kb in [16usize, 32, 64, 128] {
+            for l1_assoc in [2usize, 4] {
+                geometries.push(CacheGeometry { l1_kb, l1_assoc });
+            }
+        }
+        Self {
+            processor_counts: vec![8],
+            cache_geometries: geometries,
+            ..Self::base("cache")
+        }
+    }
+
+    /// Look up a predefined grid by its [`GRID_NAMES`] name.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "smoke" => Some(Self::smoke()),
+            "default" => Some(Self::default_grid()),
+            "w0" => Some(Self::w0()),
+            "backoff" => Some(Self::backoff()),
+            "scaling" => Some(Self::scaling()),
+            "cache" => Some(Self::cache()),
+            _ => None,
+        }
+    }
+
+    /// Expand the grid into its deterministic cell list (workload-major,
+    /// then procs, geometry, scale, seed and finally gating mode).
+    #[must_use]
+    pub fn expand(&self) -> Vec<SweepCell> {
+        let modes = self.gating.expand();
+        let mut cells = Vec::new();
+        for workload in &self.workloads {
+            for &procs in &self.processor_counts {
+                for &geometry in &self.cache_geometries {
+                    for &scale in &self.scales {
+                        for &seed in &self.seeds {
+                            for &mode in &modes {
+                                cells.push(SweepCell {
+                                    workload: workload.clone(),
+                                    procs,
+                                    geometry,
+                                    scale,
+                                    seed,
+                                    mode,
+                                    cycle_limit: self.cycle_limit,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// One fully-specified simulation of a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Workload name.
+    pub workload: String,
+    /// Processor count.
+    pub procs: usize,
+    /// L1 geometry.
+    pub geometry: CacheGeometry,
+    /// Workload scale.
+    pub scale: WorkloadScale,
+    /// Workload generation seed.
+    pub seed: u64,
+    /// Gating mode (with its parameters).
+    pub mode: GatingMode,
+    /// Safety bound on simulated cycles.
+    pub cycle_limit: Cycle,
+}
+
+impl SweepCell {
+    /// The cell's stable key: the identity used for resume deduplication
+    /// and in the Pareto artifacts, e.g.
+    /// `genome-p8-l64k2w-small-s42-cg-w8`. Two cells collide iff every
+    /// swept parameter is equal.
+    #[must_use]
+    pub fn key(&self) -> String {
+        format!(
+            "{}-p{}-{}-{}-s{}-{}",
+            self.workload,
+            self.procs,
+            self.geometry.label(),
+            self.scale.label(),
+            self.seed,
+            mode_slug(&self.mode)
+        )
+    }
+}
+
+/// Compact, filesystem-safe slug for a gating mode, used in cell keys.
+#[must_use]
+pub fn mode_slug(mode: &GatingMode) -> String {
+    match mode {
+        GatingMode::Ungated => "ungated".to_string(),
+        GatingMode::ExponentialBackoff { base, cap } => format!("backoff-b{base}-c{cap}"),
+        GatingMode::ClockGate { w0 } => format!("cg-w{w0}"),
+        GatingMode::ClockGateFixedWindow { window } => format!("cgfix-{window}"),
+        GatingMode::ClockGateNoRenew { w0 } => format!("cgnr-w{w0}"),
+        GatingMode::ClockGateLinear { w0 } => format!("cglin-w{w0}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn gating_axis_crosses_each_family_with_its_params() {
+        let axis = GatingAxis {
+            kinds: vec![
+                ModeKind::Ungated,
+                ModeKind::ClockGate,
+                ModeKind::ExponentialBackoff,
+            ],
+            w0_values: vec![4, 8],
+            fixed_windows: vec![64],
+            backoff_bases: vec![16, 32],
+            backoff_cap: 6,
+        };
+        let modes = axis.expand();
+        assert_eq!(
+            modes,
+            vec![
+                GatingMode::Ungated,
+                GatingMode::ClockGate { w0: 4 },
+                GatingMode::ClockGate { w0: 8 },
+                GatingMode::ExponentialBackoff { base: 16, cap: 6 },
+                GatingMode::ExponentialBackoff { base: 32, cap: 6 },
+            ]
+        );
+    }
+
+    #[test]
+    fn expansion_is_the_full_cartesian_product_in_stable_order() {
+        let grid = SweepGrid {
+            workloads: vec!["genome".into(), "intruder".into()],
+            processor_counts: vec![4, 8],
+            seeds: vec![1, 2],
+            ..SweepGrid::base("test")
+        };
+        let cells = grid.expand();
+        // 2 workloads x 2 procs x 1 geometry x 1 scale x 2 seeds x 2 modes.
+        assert_eq!(cells.len(), 16);
+        // Workload-major order, mode innermost.
+        assert_eq!(cells[0].key(), "genome-p4-l64k2w-small-s1-ungated");
+        assert_eq!(cells[1].key(), "genome-p4-l64k2w-small-s1-cg-w8");
+        assert_eq!(cells[2].key(), "genome-p4-l64k2w-small-s2-ungated");
+        assert_eq!(cells[8].workload, "intruder");
+        // Expansion is deterministic.
+        assert_eq!(cells, grid.expand());
+    }
+
+    #[test]
+    fn all_preset_grids_expand_to_unique_keys() {
+        for name in GRID_NAMES {
+            let grid = SweepGrid::by_name(name).unwrap();
+            assert_eq!(grid.name, name);
+            let cells = grid.expand();
+            assert!(!cells.is_empty(), "{name} must have cells");
+            let keys: BTreeSet<String> = cells.iter().map(SweepCell::key).collect();
+            assert_eq!(keys.len(), cells.len(), "{name} keys must be unique");
+        }
+        assert!(SweepGrid::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn smoke_grid_is_small_enough_for_ci() {
+        let cells = SweepGrid::smoke().expand();
+        assert!(
+            cells.len() <= 12,
+            "smoke grid must stay tiny ({} cells)",
+            cells.len()
+        );
+        assert!(cells
+            .iter()
+            .all(|c| c.scale == WorkloadScale::Test && c.procs == 4));
+    }
+
+    #[test]
+    fn mode_slugs_are_distinct_and_key_safe() {
+        let slugs: BTreeSet<String> = [
+            GatingMode::Ungated,
+            GatingMode::ExponentialBackoff { base: 16, cap: 8 },
+            GatingMode::ClockGate { w0: 8 },
+            GatingMode::ClockGateFixedWindow { window: 8 },
+            GatingMode::ClockGateNoRenew { w0: 8 },
+            GatingMode::ClockGateLinear { w0: 8 },
+        ]
+        .iter()
+        .map(mode_slug)
+        .collect();
+        assert_eq!(slugs.len(), 6);
+        for slug in &slugs {
+            assert!(
+                slug.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'),
+                "{slug} must be filesystem- and JSON-safe"
+            );
+        }
+    }
+
+    #[test]
+    fn w0_grid_covers_the_fig7_points() {
+        let grid = SweepGrid::w0();
+        let modes = grid.gating.expand();
+        assert_eq!(modes.len(), 8, "ungated + seven W0 values");
+        assert!(modes.contains(&GatingMode::ClockGate { w0: 64 }));
+    }
+
+    #[test]
+    fn cache_grid_sweeps_geometry() {
+        let cells = SweepGrid::cache().expand();
+        let geoms: BTreeSet<String> = cells.iter().map(|c| c.geometry.label()).collect();
+        assert_eq!(geoms.len(), 8, "4 capacities x 2 associativities");
+        assert!(geoms.contains("l16k2w") && geoms.contains("l128k4w"));
+    }
+}

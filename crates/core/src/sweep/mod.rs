@@ -1,0 +1,191 @@
+//! Sensitivity-sweep subsystem: Cartesian parameter grids, a resumable
+//! parallel runner and Pareto-frontier reporting.
+//!
+//! The paper evaluates clock-gate-on-abort at a single operating point
+//! (`W0 = 8`, three applications, three processor counts). This module turns
+//! that single point into an explorable surface:
+//!
+//! * [`grid`] — [`grid::SweepGrid`] describes a Cartesian grid over gating
+//!   mode (with `W0` / back-off parameters), processor count, workload,
+//!   scale, seed and L1 cache geometry, and expands it into a deterministic
+//!   list of [`grid::SweepCell`]s, each with a stable string key,
+//! * [`runner`] — [`runner::run_sweep`] executes the cells across all cores
+//!   (same `std::thread::scope` pattern as the evaluation matrix), streams
+//!   one compact JSON record per cell to a `sweep.jsonl` artifact in
+//!   deterministic cell order, and skips already-recorded cells when resumed,
+//! * [`pareto`] — post-processes the records into per-(workload, procs)
+//!   energy-vs-execution-time Pareto frontiers and summary tables.
+//!
+//! Determinism contract: for a given grid, two sweep runs (on either
+//! stepping engine) produce byte-identical `sweep.jsonl`, `pareto.json` and
+//! `sweep_summary.json` artifacts. CI enforces this on the smoke grid.
+//!
+//! ```
+//! use clockgate_htm::sweep::{pareto_frontiers, SweepGrid};
+//!
+//! let grid = SweepGrid::smoke();
+//! let cells = grid.expand();
+//! assert!(!cells.is_empty());
+//! // Keys are unique and stable — they are the resume / dedup identity.
+//! let keys: std::collections::BTreeSet<_> = cells.iter().map(|c| c.key()).collect();
+//! assert_eq!(keys.len(), cells.len());
+//! # let _ = pareto_frontiers(&[]);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::sim::SimReport;
+
+pub mod grid;
+pub mod pareto;
+pub mod runner;
+
+pub use grid::{CacheGeometry, GatingAxis, ModeKind, SweepCell, SweepGrid};
+pub use pareto::{
+    dominates, pareto_frontiers, summarize_slices, ParetoPoint, SliceFrontier, SliceSummary,
+};
+pub use runner::{run_sweep, SweepError, SweepOutcome};
+
+/// One line of the `sweep.jsonl` artifact: the result of simulating a single
+/// [`SweepCell`].
+///
+/// The record deliberately contains no wall-clock timing and no engine
+/// label, so that the artifact is byte-identical across machines, runs and
+/// stepping engines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// The cell's stable key ([`SweepCell::key`]) — the resume identity.
+    pub key: String,
+    /// Workload name.
+    pub workload: String,
+    /// Processor count.
+    pub procs: usize,
+    /// L1 capacity in KiB.
+    pub l1_kb: usize,
+    /// L1 associativity.
+    pub l1_assoc: usize,
+    /// Workload scale label (`test` / `small` / `full`).
+    pub scale: String,
+    /// Workload generation seed.
+    pub seed: u64,
+    /// Gating-mode label (e.g. `clock-gate(W0=8)`).
+    pub mode: String,
+    /// Parallel execution time in cycles.
+    pub total_cycles: u64,
+    /// Total energy under the Table I power model.
+    pub total_energy: f64,
+    /// Average power (fraction of one processor's run power).
+    pub average_power: f64,
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted transaction attempts.
+    pub aborts: u64,
+    /// Aborts per commit.
+    pub abort_rate: f64,
+    /// "Stop Clock" events observed by the processors.
+    pub gatings: u64,
+    /// Total processor-cycles spent clock-gated.
+    pub gated_cycles: u64,
+}
+
+impl CellRecord {
+    /// Build the record for `cell` from a finished simulation report.
+    #[must_use]
+    pub fn from_report(cell: &SweepCell, report: &SimReport) -> Self {
+        Self {
+            key: cell.key(),
+            workload: cell.workload.clone(),
+            procs: cell.procs,
+            l1_kb: cell.geometry.l1_kb,
+            l1_assoc: cell.geometry.l1_assoc,
+            scale: cell.scale.label().to_string(),
+            seed: cell.seed,
+            mode: report.mode_label.clone(),
+            total_cycles: report.outcome.total_cycles,
+            total_energy: report.energy.total_energy,
+            average_power: report.energy.average_power,
+            commits: report.outcome.total_commits,
+            aborts: report.outcome.total_aborts,
+            abort_rate: report.outcome.abort_rate(),
+            gatings: report.outcome.total_gatings,
+            gated_cycles: report.outcome.total_gated_cycles(),
+        }
+    }
+
+    /// Rebuild a record from one parsed `sweep.jsonl` line (the resume
+    /// path). Returns a description of the first missing/mistyped field.
+    pub fn from_value(v: &serde::Value) -> Result<Self, String> {
+        fn str_field(v: &serde::Value, name: &str) -> Result<String, String> {
+            v.get(name)
+                .and_then(|f| f.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing or non-string field `{name}`"))
+        }
+        fn u64_field(v: &serde::Value, name: &str) -> Result<u64, String> {
+            v.get(name)
+                .and_then(serde::Value::as_u64)
+                .ok_or_else(|| format!("missing or non-integer field `{name}`"))
+        }
+        fn f64_field(v: &serde::Value, name: &str) -> Result<f64, String> {
+            v.get(name)
+                .and_then(serde::Value::as_f64)
+                .ok_or_else(|| format!("missing or non-numeric field `{name}`"))
+        }
+        Ok(Self {
+            key: str_field(v, "key")?,
+            workload: str_field(v, "workload")?,
+            procs: u64_field(v, "procs")? as usize,
+            l1_kb: u64_field(v, "l1_kb")? as usize,
+            l1_assoc: u64_field(v, "l1_assoc")? as usize,
+            scale: str_field(v, "scale")?,
+            seed: u64_field(v, "seed")?,
+            mode: str_field(v, "mode")?,
+            total_cycles: u64_field(v, "total_cycles")?,
+            total_energy: f64_field(v, "total_energy")?,
+            average_power: f64_field(v, "average_power")?,
+            commits: u64_field(v, "commits")?,
+            aborts: u64_field(v, "aborts")?,
+            abort_rate: f64_field(v, "abort_rate")?,
+            gatings: u64_field(v, "gatings")?,
+            gated_cycles: u64_field(v, "gated_cycles")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{GatingMode, SimulationBuilder};
+    use htm_workloads::WorkloadScale;
+
+    #[test]
+    fn record_round_trips_through_jsonl_encoding() {
+        let cell = SweepCell {
+            workload: "intruder".into(),
+            procs: 4,
+            geometry: CacheGeometry::default(),
+            scale: WorkloadScale::Test,
+            seed: 7,
+            mode: GatingMode::ClockGate { w0: 8 },
+            cycle_limit: 20_000_000,
+        };
+        let report = SimulationBuilder::new()
+            .processors(4)
+            .workload_by_name("intruder", WorkloadScale::Test, 7)
+            .unwrap()
+            .gating(GatingMode::ClockGate { w0: 8 })
+            .run()
+            .unwrap();
+        let record = CellRecord::from_report(&cell, &report);
+        let line = crate::report::to_json_compact(&record);
+        let parsed = CellRecord::from_value(&serde_json::from_str(&line).unwrap()).unwrap();
+        assert_eq!(parsed, record, "JSONL encode/parse must be lossless");
+    }
+
+    #[test]
+    fn from_value_reports_missing_fields() {
+        let v = serde_json::from_str(r#"{"key": "x"}"#).unwrap();
+        let err = CellRecord::from_value(&v).unwrap_err();
+        assert!(err.contains("workload"), "{err}");
+    }
+}

@@ -1,0 +1,314 @@
+//! Energy-vs-execution-time Pareto analysis of sweep records.
+//!
+//! Each (workload, processor-count) slice of a sweep is a cloud of points
+//! in the (execution cycles, total energy) plane — one point per gating
+//! mode / parameter / seed / geometry combination. The Pareto frontier of a
+//! slice is the set of operating points for which no other point is at
+//! least as good on both axes and strictly better on one; everything else
+//! is a dominated configuration nobody should run.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use super::CellRecord;
+
+/// One operating point of a slice: a cell projected onto the
+/// (cycles, energy) trade-off plane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// Cell key (the full parameter identity).
+    pub key: String,
+    /// Gating-mode label.
+    pub mode: String,
+    /// Parallel execution time in cycles.
+    pub cycles: u64,
+    /// Total energy under the Table I model.
+    pub energy: f64,
+}
+
+impl ParetoPoint {
+    fn from_record(r: &CellRecord) -> Self {
+        Self {
+            key: r.key.clone(),
+            mode: r.mode.clone(),
+            cycles: r.total_cycles,
+            energy: r.total_energy,
+        }
+    }
+}
+
+/// Pareto dominance on the (cycles, energy) plane, both minimized: `a`
+/// dominates `b` iff `a` is no worse on both axes and strictly better on at
+/// least one. Two coincident points do not dominate each other (both stay
+/// on the frontier).
+#[must_use]
+pub fn dominates(a: &ParetoPoint, b: &ParetoPoint) -> bool {
+    a.cycles <= b.cycles && a.energy <= b.energy && (a.cycles < b.cycles || a.energy < b.energy)
+}
+
+/// The Pareto frontier of one (workload, procs) slice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SliceFrontier {
+    /// Workload name.
+    pub workload: String,
+    /// Processor count.
+    pub procs: usize,
+    /// Number of points in the slice (frontier + dominated).
+    pub cells: usize,
+    /// The non-dominated points, sorted by ascending cycles (and therefore
+    /// descending energy, up to coincident points); ties broken by energy,
+    /// then key, so the order is fully deterministic.
+    pub frontier: Vec<ParetoPoint>,
+    /// Keys of the dominated points, sorted.
+    pub dominated: Vec<String>,
+}
+
+/// Summary statistics of one (workload, procs) slice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SliceSummary {
+    /// Workload name.
+    pub workload: String,
+    /// Processor count.
+    pub procs: usize,
+    /// Number of points in the slice.
+    pub cells: usize,
+    /// Number of non-dominated points.
+    pub frontier_size: usize,
+    /// The fastest point (ties: lowest energy, then key).
+    pub best_time: ParetoPoint,
+    /// The most energy-frugal point (ties: fewest cycles, then key).
+    pub best_energy: ParetoPoint,
+    /// Highest / lowest energy in the slice (how much the worst
+    /// configuration wastes relative to the best).
+    pub energy_span: f64,
+    /// Highest / lowest cycle count in the slice.
+    pub cycle_span: f64,
+}
+
+fn slices(records: &[CellRecord]) -> BTreeMap<(String, usize), Vec<ParetoPoint>> {
+    let mut map: BTreeMap<(String, usize), Vec<ParetoPoint>> = BTreeMap::new();
+    for r in records {
+        map.entry((r.workload.clone(), r.procs))
+            .or_default()
+            .push(ParetoPoint::from_record(r));
+    }
+    map
+}
+
+fn point_order(a: &ParetoPoint, b: &ParetoPoint) -> std::cmp::Ordering {
+    a.cycles
+        .cmp(&b.cycles)
+        .then(a.energy.total_cmp(&b.energy))
+        .then(a.key.cmp(&b.key))
+}
+
+/// Compute the Pareto frontier of every (workload, procs) slice, in
+/// deterministic slice order (workload name, then processor count).
+#[must_use]
+pub fn pareto_frontiers(records: &[CellRecord]) -> Vec<SliceFrontier> {
+    slices(records)
+        .into_iter()
+        .map(|((workload, procs), points)| {
+            let mut frontier: Vec<ParetoPoint> = points
+                .iter()
+                .filter(|p| !points.iter().any(|q| dominates(q, p)))
+                .cloned()
+                .collect();
+            frontier.sort_by(point_order);
+            let mut dominated: Vec<String> = points
+                .iter()
+                .filter(|p| points.iter().any(|q| dominates(q, p)))
+                .map(|p| p.key.clone())
+                .collect();
+            dominated.sort();
+            SliceFrontier {
+                workload,
+                procs,
+                cells: points.len(),
+                frontier,
+                dominated,
+            }
+        })
+        .collect()
+}
+
+/// Summarize every (workload, procs) slice, in the same deterministic slice
+/// order as [`pareto_frontiers`].
+#[must_use]
+pub fn summarize_slices(records: &[CellRecord]) -> Vec<SliceSummary> {
+    slices(records)
+        .into_iter()
+        .map(|((workload, procs), mut points)| {
+            points.sort_by(point_order);
+            let frontier_size = points
+                .iter()
+                .filter(|p| !points.iter().any(|q| dominates(q, p)))
+                .count();
+            let best_time = points[0].clone();
+            let best_energy = points
+                .iter()
+                .min_by(|a, b| {
+                    a.energy
+                        .total_cmp(&b.energy)
+                        .then(a.cycles.cmp(&b.cycles))
+                        .then(a.key.cmp(&b.key))
+                })
+                .expect("slice is non-empty by construction")
+                .clone();
+            let min_energy = best_energy.energy;
+            let max_energy = points
+                .iter()
+                .map(|p| p.energy)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let min_cycles = points[0].cycles;
+            let max_cycles = points.iter().map(|p| p.cycles).max().unwrap_or(0);
+            SliceSummary {
+                workload,
+                procs,
+                cells: points.len(),
+                frontier_size,
+                best_time,
+                best_energy,
+                energy_span: if min_energy > 0.0 {
+                    max_energy / min_energy
+                } else {
+                    1.0
+                },
+                cycle_span: if min_cycles > 0 {
+                    max_cycles as f64 / min_cycles as f64
+                } else {
+                    1.0
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(workload: &str, procs: usize, key: &str, cycles: u64, energy: f64) -> CellRecord {
+        CellRecord {
+            key: key.to_string(),
+            workload: workload.to_string(),
+            procs,
+            l1_kb: 64,
+            l1_assoc: 2,
+            scale: "test".to_string(),
+            seed: 1,
+            mode: format!("mode-{key}"),
+            total_cycles: cycles,
+            total_energy: energy,
+            average_power: energy / cycles.max(1) as f64,
+            commits: 10,
+            aborts: 2,
+            abort_rate: 0.2,
+            gatings: 1,
+            gated_cycles: 5,
+        }
+    }
+
+    #[test]
+    fn dominance_definition() {
+        let p = |cycles, energy| ParetoPoint {
+            key: "k".into(),
+            mode: "m".into(),
+            cycles,
+            energy,
+        };
+        assert!(dominates(&p(10, 5.0), &p(11, 6.0)), "better on both");
+        assert!(
+            dominates(&p(10, 5.0), &p(10, 6.0)),
+            "equal time, less energy"
+        );
+        assert!(dominates(&p(9, 5.0), &p(10, 5.0)), "equal energy, faster");
+        assert!(!dominates(&p(10, 5.0), &p(10, 5.0)), "coincident points");
+        assert!(
+            !dominates(&p(9, 6.0), &p(10, 5.0)),
+            "trade-off: neither wins"
+        );
+        assert!(!dominates(&p(11, 6.0), &p(10, 5.0)), "worse on both");
+    }
+
+    #[test]
+    fn frontier_keeps_only_non_dominated_points_in_cycle_order() {
+        let records = vec![
+            record("w", 4, "slow-frugal", 100, 10.0),
+            record("w", 4, "fast-hungry", 50, 30.0),
+            record("w", 4, "dominated", 120, 20.0),
+            record("w", 4, "mid", 70, 15.0),
+        ];
+        let frontiers = pareto_frontiers(&records);
+        assert_eq!(frontiers.len(), 1);
+        let f = &frontiers[0];
+        assert_eq!(f.cells, 4);
+        let keys: Vec<&str> = f.frontier.iter().map(|p| p.key.as_str()).collect();
+        assert_eq!(
+            keys,
+            vec!["fast-hungry", "mid", "slow-frugal"],
+            "frontier sorted by ascending cycles"
+        );
+        assert_eq!(f.dominated, vec!["dominated"]);
+        // Energy decreases along the frontier as cycles increase.
+        for w in f.frontier.windows(2) {
+            assert!(w[0].cycles < w[1].cycles && w[0].energy > w[1].energy);
+        }
+    }
+
+    #[test]
+    fn coincident_points_both_stay_on_the_frontier() {
+        let records = vec![
+            record("w", 4, "a", 100, 10.0),
+            record("w", 4, "b", 100, 10.0),
+        ];
+        let f = &pareto_frontiers(&records)[0];
+        assert_eq!(f.frontier.len(), 2);
+        assert_eq!(f.frontier[0].key, "a", "ties broken by key");
+        assert!(f.dominated.is_empty());
+    }
+
+    #[test]
+    fn slices_are_grouped_and_ordered_deterministically() {
+        let records = vec![
+            record("zeta", 4, "z4", 10, 1.0),
+            record("alpha", 8, "a8", 10, 1.0),
+            record("alpha", 4, "a4", 10, 1.0),
+        ];
+        let order: Vec<(String, usize)> = pareto_frontiers(&records)
+            .iter()
+            .map(|f| (f.workload.clone(), f.procs))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("alpha".to_string(), 4),
+                ("alpha".to_string(), 8),
+                ("zeta".to_string(), 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn summary_reports_best_points_and_spans() {
+        let records = vec![
+            record("w", 4, "fast", 50, 30.0),
+            record("w", 4, "frugal", 100, 10.0),
+            record("w", 4, "bad", 200, 40.0),
+        ];
+        let s = &summarize_slices(&records)[0];
+        assert_eq!(s.cells, 3);
+        assert_eq!(s.frontier_size, 2);
+        assert_eq!(s.best_time.key, "fast");
+        assert_eq!(s.best_energy.key, "frugal");
+        assert!((s.energy_span - 4.0).abs() < 1e-12);
+        assert!((s.cycle_span - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_records_produce_no_slices() {
+        assert!(pareto_frontiers(&[]).is_empty());
+        assert!(summarize_slices(&[]).is_empty());
+    }
+}

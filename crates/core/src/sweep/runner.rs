@@ -1,0 +1,672 @@
+//! Parallel, resumable execution of a [`SweepGrid`].
+//!
+//! [`run_sweep`] expands the grid, runs every not-yet-recorded cell across
+//! the machine's cores (the `std::thread::scope` worker-pool pattern of the
+//! evaluation matrix), and *streams* one compact JSON record per cell to
+//! `<out>/sweep.jsonl` in deterministic cell order — workers may finish out
+//! of order, but the writer only appends the next cell in grid order, so an
+//! interrupted sweep always leaves an in-order prefix on disk. Re-running
+//! with `resume = true` parses that prefix back and skips the recorded
+//! cells, which makes a resumed run converge to the byte-identical artifact
+//! a fresh run would have produced.
+//!
+//! After the cells complete, the runner post-processes all records (old and
+//! new) into `pareto.json` (per-slice energy-vs-time frontiers) and
+//! `sweep_summary.json`, plus a `grid.json` provenance artifact.
+
+use std::fs;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use serde::Serialize;
+
+use htm_tcc::system::{EngineKind, SimError};
+
+use super::grid::{SweepCell, SweepGrid};
+use super::pareto::{pareto_frontiers, summarize_slices, SliceFrontier, SliceSummary};
+use super::CellRecord;
+use crate::report::{to_json, to_json_compact};
+use crate::sim::SimulationBuilder;
+
+/// File name of the streamed per-cell record artifact.
+pub const JSONL_NAME: &str = "sweep.jsonl";
+/// File name of the Pareto-frontier artifact.
+pub const PARETO_NAME: &str = "pareto.json";
+/// File name of the per-slice summary artifact.
+pub const SUMMARY_NAME: &str = "sweep_summary.json";
+/// File name of the grid-provenance artifact.
+pub const GRID_NAME: &str = "grid.json";
+
+/// Everything that can go wrong while running a sweep.
+#[derive(Debug)]
+pub enum SweepError {
+    /// The grid expanded to zero cells.
+    EmptyGrid,
+    /// Two cells of the grid share a key (a grid-construction bug).
+    DuplicateKey(String),
+    /// A cell's simulation failed; `key` is the first failing cell in
+    /// deterministic grid order.
+    Cell {
+        /// Key of the failing cell.
+        key: String,
+        /// The underlying simulation error.
+        source: SimError,
+    },
+    /// A cell's simulation panicked (a simulator bug); the panic is caught
+    /// so that the sweep fails instead of deadlocking the in-order writer.
+    CellPanic {
+        /// Key of the panicking cell.
+        key: String,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// The existing `sweep.jsonl` records are not the in-order prefix of
+    /// this grid's cell list (resuming with a reordered or regrown grid),
+    /// so a resumed run could not converge to the fresh-run artifact.
+    NonPrefixResume {
+        /// 1-based line number in `sweep.jsonl`.
+        line: usize,
+        /// The cell key the grid expects at this position.
+        expected: String,
+        /// The cell key the file recorded there.
+        found: String,
+    },
+    /// Reading or writing an artifact failed.
+    Io(std::io::Error),
+    /// An existing `sweep.jsonl` line could not be parsed during resume.
+    Resume {
+        /// 1-based line number in `sweep.jsonl`.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// An existing `sweep.jsonl` record does not belong to this grid
+    /// (resuming with a different grid than the one that wrote the file).
+    ForeignRecord(String),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::EmptyGrid => write!(f, "the sweep grid expands to zero cells"),
+            SweepError::DuplicateKey(key) => {
+                write!(f, "the sweep grid produced duplicate cell key `{key}`")
+            }
+            SweepError::Cell { key, source } => write!(f, "sweep cell `{key}` failed: {source}"),
+            SweepError::CellPanic { key, message } => {
+                write!(f, "sweep cell `{key}` panicked: {message}")
+            }
+            SweepError::NonPrefixResume {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "cannot resume: {JSONL_NAME} line {line} records cell `{found}` where the \
+                 grid expects `{expected}` (records must be the in-order prefix of the grid)"
+            ),
+            SweepError::Io(e) => write!(f, "sweep artifact I/O failed: {e}"),
+            SweepError::Resume { line, message } => {
+                write!(f, "cannot resume: {JSONL_NAME} line {line}: {message}")
+            }
+            SweepError::ForeignRecord(key) => write!(
+                f,
+                "cannot resume: {JSONL_NAME} contains cell `{key}` which is not in this \
+                 grid (was the file produced by a different grid?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Cell { source, .. } => Some(source),
+            SweepError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SweepError {
+    fn from(e: std::io::Error) -> Self {
+        SweepError::Io(e)
+    }
+}
+
+/// The `pareto.json` artifact.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ParetoReport {
+    /// Grid name.
+    pub grid: String,
+    /// One frontier per (workload, procs) slice, in deterministic order.
+    pub frontiers: Vec<SliceFrontier>,
+}
+
+/// The `sweep_summary.json` artifact.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SummaryReport {
+    /// Grid name.
+    pub grid: String,
+    /// Total number of cells in the grid.
+    pub cells: usize,
+    /// One summary per (workload, procs) slice, in deterministic order.
+    pub slices: Vec<SliceSummary>,
+}
+
+/// Result of a completed [`run_sweep`] call.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The grid that was run.
+    pub grid: SweepGrid,
+    /// All cell records, in deterministic grid order (resumed and newly
+    /// executed alike).
+    pub records: Vec<CellRecord>,
+    /// Cells simulated by this invocation.
+    pub executed: usize,
+    /// Cells skipped because `sweep.jsonl` already recorded them.
+    pub skipped: usize,
+    /// Per-slice Pareto frontiers.
+    pub frontiers: Vec<SliceFrontier>,
+    /// Per-slice summaries.
+    pub summaries: Vec<SliceSummary>,
+    /// Path of the streamed JSONL artifact.
+    pub jsonl_path: PathBuf,
+    /// Path of the Pareto artifact.
+    pub pareto_path: PathBuf,
+    /// Path of the summary artifact.
+    pub summary_path: PathBuf,
+}
+
+/// Simulate one cell on the chosen engine.
+pub fn run_cell(cell: &SweepCell, engine: EngineKind) -> Result<CellRecord, SimError> {
+    let report = SimulationBuilder::new()
+        .processors(cell.procs)
+        .l1_geometry(cell.geometry.l1_kb, cell.geometry.l1_assoc)
+        .workload_by_name(&cell.workload, cell.scale, cell.seed)
+        .map_err(SimError::BadWorkload)?
+        .gating(cell.mode)
+        .cycle_limit(cell.cycle_limit)
+        .engine(engine)
+        .run()?;
+    Ok(CellRecord::from_report(cell, &report))
+}
+
+/// Parse an existing `sweep.jsonl` into records, in file order.
+fn read_completed(path: &Path) -> Result<Vec<CellRecord>, SweepError> {
+    let text = fs::read_to_string(path)?;
+    let mut completed = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = serde_json::from_str(line).map_err(|e| SweepError::Resume {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
+        let record = CellRecord::from_value(&value).map_err(|message| SweepError::Resume {
+            line: i + 1,
+            message,
+        })?;
+        completed.push(record);
+    }
+    Ok(completed)
+}
+
+/// Validate that the resumed records are exactly the in-order prefix of the
+/// grid's key list — the shape every in-order writer run leaves behind.
+/// Anything else (foreign keys, gaps, reorderings, duplicates) means the
+/// file belongs to a different grid and a resumed run could not converge to
+/// the fresh-run artifact.
+fn check_resume_prefix(completed: &[CellRecord], keys: &[String]) -> Result<(), SweepError> {
+    for (i, record) in completed.iter().enumerate() {
+        match keys.get(i) {
+            Some(expected) if *expected == record.key => {}
+            _ if !keys.contains(&record.key) => {
+                return Err(SweepError::ForeignRecord(record.key.clone()));
+            }
+            Some(expected) => {
+                return Err(SweepError::NonPrefixResume {
+                    line: i + 1,
+                    expected: expected.clone(),
+                    found: record.key.clone(),
+                });
+            }
+            // More records than grid cells while every key is in the grid:
+            // the file repeats a cell (e.g. a complete run resumed after a
+            // duplicate append).
+            None => {
+                return Err(SweepError::Resume {
+                    line: i + 1,
+                    message: format!("more records than grid cells (cell `{}`)", record.key),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run a sweep grid, streaming records to `<out_dir>/sweep.jsonl` and
+/// writing the Pareto / summary / grid artifacts.
+///
+/// With `resume = true` and an existing `sweep.jsonl`, the recorded records
+/// must be the in-order prefix of this grid's cell list — exactly the shape
+/// any interrupted in-order run leaves behind; they are skipped and the
+/// remaining cells appended, converging to the byte-identical artifacts of
+/// an uninterrupted run. Resuming with a different (reordered or regrown)
+/// grid is rejected. Without `resume`, the file is rewritten from scratch.
+/// On a cell failure, the error names the first failing cell in grid order
+/// and the records streamed so far remain on disk, so a subsequent `resume`
+/// run picks up where the failure occurred.
+pub fn run_sweep(
+    grid: &SweepGrid,
+    engine: EngineKind,
+    out_dir: &Path,
+    resume: bool,
+) -> Result<SweepOutcome, SweepError> {
+    let cells = grid.expand();
+    if cells.is_empty() {
+        return Err(SweepError::EmptyGrid);
+    }
+    let keys: Vec<String> = cells.iter().map(SweepCell::key).collect();
+    {
+        let mut seen = std::collections::BTreeSet::new();
+        for key in &keys {
+            if !seen.insert(key) {
+                return Err(SweepError::DuplicateKey(key.clone()));
+            }
+        }
+    }
+
+    fs::create_dir_all(out_dir)?;
+    let jsonl_path = out_dir.join(JSONL_NAME);
+    let completed = if resume && jsonl_path.exists() {
+        let completed = read_completed(&jsonl_path)?;
+        check_resume_prefix(&completed, &keys)?;
+        completed
+    } else {
+        Vec::new()
+    };
+
+    fs::write(out_dir.join(GRID_NAME), to_json(grid))?;
+
+    // The recorded records are the first `skipped` cells of the grid; the
+    // rest still need simulating, in grid order.
+    let skipped = completed.len();
+    let pending: Vec<&SweepCell> = cells.iter().skip(skipped).collect();
+
+    let file = fs::OpenOptions::new()
+        .create(true)
+        .append(resume)
+        .truncate(!resume)
+        .write(true)
+        .open(&jsonl_path)?;
+    let mut writer = BufWriter::new(file);
+
+    let mut new_records: Vec<CellRecord> = Vec::with_capacity(pending.len());
+    let mut failure: Option<SweepError> = None;
+
+    if !pending.is_empty() {
+        let threads = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(pending.len());
+        type Slot = Option<Result<CellRecord, SweepError>>;
+        let slots: Mutex<Vec<Slot>> = Mutex::new((0..pending.len()).map(|_| None).collect());
+        let ready = Condvar::new();
+        let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = pending.get(idx) else {
+                        break;
+                    };
+                    // A panicking cell must still fill its slot — otherwise
+                    // the in-order writer would wait on it forever and the
+                    // sweep would deadlock instead of failing.
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_cell(cell, engine)
+                    }));
+                    let result = match caught {
+                        Ok(Ok(record)) => Ok(record),
+                        Ok(Err(source)) => Err(SweepError::Cell {
+                            key: cell.key(),
+                            source,
+                        }),
+                        Err(payload) => {
+                            let message = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| (*s).to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "non-string panic payload".to_string());
+                            Err(SweepError::CellPanic {
+                                key: cell.key(),
+                                message,
+                            })
+                        }
+                    };
+                    slots.lock().expect("sweep worker poisoned the slots")[idx] = Some(result);
+                    ready.notify_all();
+                });
+            }
+
+            // The scope's owning thread is the writer: it appends records
+            // strictly in grid order, waiting for the next-in-order cell
+            // even while later cells are already done.
+            for written in 0..pending.len() {
+                let result = {
+                    let mut guard = slots.lock().expect("sweep worker poisoned the slots");
+                    loop {
+                        if let Some(result) = guard[written].take() {
+                            break result;
+                        }
+                        guard = ready.wait(guard).expect("sweep worker poisoned the slots");
+                    }
+                };
+                match result {
+                    Ok(record) => {
+                        let line = to_json_compact(&record);
+                        if let Err(e) = writeln!(writer, "{line}").and_then(|()| writer.flush()) {
+                            abort.store(true, Ordering::Relaxed);
+                            failure = Some(SweepError::Io(e));
+                            break;
+                        }
+                        new_records.push(record);
+                    }
+                    Err(error) => {
+                        abort.store(true, Ordering::Relaxed);
+                        failure = Some(error);
+                        break;
+                    }
+                }
+            }
+        });
+    }
+    if let Some(error) = failure {
+        return Err(error);
+    }
+
+    // Assemble the full record list in grid order: the resumed prefix
+    // followed by the writer's newly-streamed records.
+    let executed = new_records.len();
+    let mut records = completed;
+    records.append(&mut new_records);
+    debug_assert!(records
+        .iter()
+        .zip(&keys)
+        .all(|(record, key)| record.key == *key));
+
+    let frontiers = pareto_frontiers(&records);
+    let summaries = summarize_slices(&records);
+    let pareto_path = out_dir.join(PARETO_NAME);
+    let summary_path = out_dir.join(SUMMARY_NAME);
+    fs::write(
+        &pareto_path,
+        to_json(&ParetoReport {
+            grid: grid.name.clone(),
+            frontiers: frontiers.clone(),
+        }),
+    )?;
+    fs::write(
+        &summary_path,
+        to_json(&SummaryReport {
+            grid: grid.name.clone(),
+            cells: cells.len(),
+            slices: summaries.clone(),
+        }),
+    )?;
+
+    Ok(SweepOutcome {
+        grid: grid.clone(),
+        records,
+        executed,
+        skipped,
+        frontiers,
+        summaries,
+        jsonl_path,
+        pareto_path,
+        summary_path,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::GatingMode;
+    use htm_workloads::WorkloadScale;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("clockgate-sweep-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_grid() -> SweepGrid {
+        SweepGrid {
+            workloads: vec!["intruder".into()],
+            processor_counts: vec![4],
+            ..SweepGrid::smoke()
+        }
+    }
+
+    #[test]
+    fn run_cell_produces_a_record_for_every_smoke_cell() {
+        for cell in SweepGrid::smoke().expand() {
+            let record = run_cell(&cell, EngineKind::FastForward).unwrap();
+            assert_eq!(record.key, cell.key());
+            assert!(record.commits > 0, "{} must commit", record.key);
+            assert!(record.total_energy > 0.0);
+        }
+    }
+
+    #[test]
+    fn sweep_writes_all_artifacts_and_is_deterministic() {
+        let grid = tiny_grid();
+        let dir_a = test_dir("det-a");
+        let dir_b = test_dir("det-b");
+        let a = run_sweep(&grid, EngineKind::FastForward, &dir_a, false).unwrap();
+        let _b = run_sweep(&grid, EngineKind::FastForward, &dir_b, false).unwrap();
+        assert_eq!(a.executed, grid.expand().len());
+        assert_eq!(a.skipped, 0);
+        for name in [JSONL_NAME, PARETO_NAME, SUMMARY_NAME, GRID_NAME] {
+            let bytes_a = fs::read(dir_a.join(name)).unwrap();
+            let bytes_b = fs::read(dir_b.join(name)).unwrap();
+            assert!(!bytes_a.is_empty());
+            assert_eq!(bytes_a, bytes_b, "{name} must be byte-identical");
+        }
+        let _ = fs::remove_dir_all(&dir_a);
+        let _ = fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn resume_skips_completed_cells_and_leaves_artifacts_identical() {
+        let grid = tiny_grid();
+        let dir = test_dir("resume");
+        let fresh = run_sweep(&grid, EngineKind::FastForward, &dir, false).unwrap();
+        let jsonl = fs::read(&fresh.jsonl_path).unwrap();
+        let pareto = fs::read(&fresh.pareto_path).unwrap();
+
+        // Truncate the JSONL to a prefix, as an interrupted run would.
+        let text = String::from_utf8(jsonl.clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 2);
+        let prefix: String = lines[..1].iter().map(|l| format!("{l}\n")).collect();
+        fs::write(&fresh.jsonl_path, prefix).unwrap();
+
+        let resumed = run_sweep(&grid, EngineKind::FastForward, &dir, true).unwrap();
+        assert_eq!(resumed.skipped, 1);
+        assert_eq!(resumed.executed, lines.len() - 1);
+        assert_eq!(fs::read(&resumed.jsonl_path).unwrap(), jsonl);
+        assert_eq!(fs::read(&resumed.pareto_path).unwrap(), pareto);
+
+        // Resuming a complete sweep runs nothing and changes nothing.
+        let noop = run_sweep(&grid, EngineKind::FastForward, &dir, true).unwrap();
+        assert_eq!(noop.executed, 0);
+        assert_eq!(noop.skipped, lines.len());
+        assert_eq!(fs::read(&noop.jsonl_path).unwrap(), jsonl);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_records_from_a_different_grid() {
+        let dir = test_dir("foreign");
+        run_sweep(&tiny_grid(), EngineKind::FastForward, &dir, false).unwrap();
+        let other = SweepGrid {
+            workloads: vec!["genome".into()],
+            ..tiny_grid()
+        };
+        let err = run_sweep(&other, EngineKind::FastForward, &dir, true).unwrap_err();
+        assert!(matches!(err, SweepError::ForeignRecord(_)), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_non_prefix_records() {
+        let grid = tiny_grid();
+        let dir = test_dir("nonprefix");
+        let fresh = run_sweep(&grid, EngineKind::FastForward, &dir, false).unwrap();
+        // Drop the FIRST line: the remaining records are in the grid but no
+        // longer the in-order prefix, so a resumed run could not converge
+        // to the fresh-run byte stream.
+        let text = fs::read_to_string(&fresh.jsonl_path).unwrap();
+        let tail: String = text.lines().skip(1).map(|l| format!("{l}\n")).collect();
+        fs::write(&fresh.jsonl_path, tail).unwrap();
+        let err = run_sweep(&grid, EngineKind::FastForward, &dir, true).unwrap_err();
+        assert!(
+            matches!(err, SweepError::NonPrefixResume { line: 1, .. }),
+            "{err}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_a_grown_grid() {
+        // A superset grid passes a contains()-style check but breaks the
+        // prefix invariant; the runner must refuse rather than produce a
+        // JSONL whose order differs from a fresh run.
+        let small = SweepGrid {
+            workloads: vec!["intruder".into()],
+            ..SweepGrid::smoke()
+        };
+        let grown = SweepGrid {
+            workloads: vec!["genome".into(), "intruder".into()],
+            ..SweepGrid::smoke()
+        };
+        let dir = test_dir("grown");
+        run_sweep(&small, EngineKind::FastForward, &dir, false).unwrap();
+        let err = run_sweep(&grown, EngineKind::FastForward, &dir, true).unwrap_err();
+        assert!(
+            matches!(err, SweepError::NonPrefixResume { line: 1, .. }),
+            "{err}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_duplicate_records() {
+        let grid = tiny_grid();
+        let dir = test_dir("dup");
+        let fresh = run_sweep(&grid, EngineKind::FastForward, &dir, false).unwrap();
+        // Re-append the last line of a complete run: every key is in the
+        // grid, but the file now has more records than cells.
+        let text = fs::read_to_string(&fresh.jsonl_path).unwrap();
+        let last = text.lines().last().unwrap().to_string();
+        fs::write(&fresh.jsonl_path, format!("{text}{last}\n")).unwrap();
+        let err = run_sweep(&grid, EngineKind::FastForward, &dir, true).unwrap_err();
+        assert!(matches!(err, SweepError::Resume { .. }), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_corrupt_jsonl() {
+        let dir = test_dir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(JSONL_NAME), "not json\n").unwrap();
+        let err = run_sweep(&tiny_grid(), EngineKind::FastForward, &dir, true).unwrap_err();
+        assert!(matches!(err, SweepError::Resume { line: 1, .. }), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cell_failures_name_the_first_failing_cell_in_grid_order() {
+        let grid = SweepGrid {
+            cycle_limit: 10, // guaranteed CycleLimitExceeded for every cell
+            ..tiny_grid()
+        };
+        let dir = test_dir("fail");
+        let err = run_sweep(&grid, EngineKind::FastForward, &dir, false).unwrap_err();
+        match err {
+            SweepError::Cell { key, source } => {
+                assert_eq!(key, grid.expand()[0].key(), "first cell in grid order");
+                assert!(matches!(source, SimError::CycleLimitExceeded { .. }));
+            }
+            other => panic!("expected a cell failure, got {other}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_grid_is_rejected() {
+        let grid = SweepGrid {
+            workloads: vec![],
+            ..tiny_grid()
+        };
+        let dir = test_dir("empty");
+        assert!(matches!(
+            run_sweep(&grid, EngineKind::FastForward, &dir, false),
+            Err(SweepError::EmptyGrid)
+        ));
+    }
+
+    #[test]
+    fn both_engines_agree_byte_for_byte_on_a_tiny_sweep() {
+        let grid = SweepGrid {
+            scales: vec![WorkloadScale::Test],
+            gating: super::super::GatingAxis {
+                kinds: vec![
+                    super::super::ModeKind::Ungated,
+                    super::super::ModeKind::ClockGate,
+                ],
+                ..Default::default()
+            },
+            ..tiny_grid()
+        };
+        let dir_fast = test_dir("eng-fast");
+        let dir_naive = test_dir("eng-naive");
+        run_sweep(&grid, EngineKind::FastForward, &dir_fast, false).unwrap();
+        run_sweep(&grid, EngineKind::Naive, &dir_naive, false).unwrap();
+        for name in [JSONL_NAME, PARETO_NAME, SUMMARY_NAME] {
+            assert_eq!(
+                fs::read(dir_fast.join(name)).unwrap(),
+                fs::read(dir_naive.join(name)).unwrap(),
+                "{name} must not depend on the stepping engine"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir_fast);
+        let _ = fs::remove_dir_all(&dir_naive);
+    }
+
+    #[test]
+    fn records_include_gating_activity_for_gated_modes() {
+        let cell = SweepCell {
+            workload: "intruder".into(),
+            procs: 4,
+            geometry: Default::default(),
+            scale: WorkloadScale::Test,
+            seed: 42,
+            mode: GatingMode::ClockGate { w0: 8 },
+            cycle_limit: 20_000_000,
+        };
+        let record = run_cell(&cell, EngineKind::FastForward).unwrap();
+        assert!(record.gatings > 0);
+        assert!(record.gated_cycles > 0);
+    }
+}

@@ -17,6 +17,19 @@
 //! Everything here is policy-free: the TCC commit/abort protocol and the
 //! clock-gating mechanism are layered on top by the `htm-tcc` and
 //! `clockgate-htm` crates.
+//!
+//! ```
+//! use htm_mem::{AccessOutcome, LineAddr, SpecCache};
+//!
+//! // A 64-set 2-way L1 with speculative RW bits: miss, fill, then hit.
+//! let mut cache = SpecCache::new(64, 2);
+//! assert_eq!(cache.load(LineAddr(7), true), AccessOutcome::Miss);
+//! cache.fill(LineAddr(7), true, false);
+//! assert_eq!(cache.load(LineAddr(7), true), AccessOutcome::Hit);
+//! assert!(cache.is_spec_read(LineAddr(7)));
+//! cache.commit_speculative();
+//! assert!(!cache.is_spec_read(LineAddr(7)));
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

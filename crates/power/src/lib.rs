@@ -15,6 +15,17 @@
 //!   integration and the interval formulation) so they can cross-check each
 //!   other, plus the gated-vs-ungated comparison metrics reported in
 //!   Figs. 4–6 (speed-up, energy reduction, average-power reduction).
+//!
+//! ```
+//! use htm_power::PowerModel;
+//! use htm_tcc::stats::PowerState;
+//!
+//! // Table I: clock-gated standby burns a fifth of run power.
+//! let model = PowerModel::alpha_21264_65nm();
+//! assert_eq!(model.factor(PowerState::Run), 1.0);
+//! assert_eq!(model.factor(PowerState::Gated), 0.20);
+//! assert!(model.is_well_formed());
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -100,6 +100,17 @@ impl SimConfig {
         }
     }
 
+    /// Replace the L1 data-cache geometry (capacity in KiB, associativity),
+    /// keeping everything else. Used by the sensitivity-sweep harness to
+    /// explore cache configurations beyond the Table II 64 KB 2-way point;
+    /// the result still has to pass [`SimConfig::validate`].
+    #[must_use]
+    pub fn with_l1_geometry(mut self, l1_kb: usize, l1_assoc: usize) -> Self {
+        self.l1_bytes = l1_kb * 1024;
+        self.l1_assoc = l1_assoc;
+        self
+    }
+
     /// Number of sets in the L1 data cache.
     #[must_use]
     pub fn l1_sets(&self) -> usize {
@@ -296,5 +307,20 @@ mod tests {
     #[test]
     fn default_is_eight_procs() {
         assert_eq!(SimConfig::default().num_procs, 8);
+    }
+
+    #[test]
+    fn with_l1_geometry_replaces_cache_only() {
+        let cfg = SimConfig::table2(4).with_l1_geometry(16, 4);
+        assert_eq!(cfg.l1_bytes, 16 * 1024);
+        assert_eq!(cfg.l1_assoc, 4);
+        assert_eq!(cfg.l1_sets(), 64);
+        assert_eq!(cfg.num_procs, 4, "non-cache parameters are untouched");
+        assert!(cfg.validate().is_ok());
+        // A non-power-of-two set count is still caught by validate().
+        assert!(SimConfig::table2(4)
+            .with_l1_geometry(48, 2)
+            .validate()
+            .is_err());
     }
 }

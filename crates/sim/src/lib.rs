@@ -20,10 +20,25 @@
 //! * [`stats`] and [`interval`], the statistic collectors feeding the
 //!   energy-accounting equations (Eqs. 1–7) of the paper.
 //!
-//! The engine is intentionally synchronous and single-threaded *per
-//! simulation*: determinism and debuggability of the protocol matter more
-//! than raw simulation speed, and the experiment harness parallelises across
-//! independent simulations instead.
+//! Every simulation is deterministic and single-threaded. Raw speed comes
+//! from two places layered above this crate: the `htm-tcc` system drives
+//! these components with an event-driven fast-forward engine that leaps
+//! over quiescent windows instead of ticking them cycle by cycle (the
+//! one-step-per-cycle reference engine is retained for differential
+//! testing; see `DESIGN.md`), and the experiment/sweep harnesses
+//! parallelise across independent simulations.
+//!
+//! ```
+//! use htm_sim::{cycles_after, config::SimConfig, ProcSet};
+//!
+//! // Table II machine description for 8 cores, with latency arithmetic and
+//! // the full-bit-vector processor sets used throughout the protocol.
+//! let cfg = SimConfig::table2(8);
+//! assert_eq!(cfg.l1_sets(), 512);
+//! let sharers: ProcSet = [0usize, 3, 7].into_iter().collect();
+//! assert!(sharers.contains(3) && sharers.len() == 3);
+//! assert_eq!(cycles_after(100, cfg.memory_latency), 200);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

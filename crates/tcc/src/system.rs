@@ -1,10 +1,14 @@
-//! The cycle-driven Scalable-TCC system.
+//! The Scalable-TCC system and its stepping engines.
 //!
 //! [`TccSystem`] wires processors, directories, the token vendor, the
-//! split-transaction bus and main memory together, drives them one cycle at a
-//! time and reports every abort to the configured [`GatingHook`]. It is the
-//! replacement for the paper's "substantially modified M5 full-system
-//! simulator with added support for a Scalable-TCC system".
+//! split-transaction bus and main memory together and reports every abort to
+//! the configured [`GatingHook`]. It is the replacement for the paper's
+//! "substantially modified M5 full-system simulator with added support for a
+//! Scalable-TCC system". Two stepping engines drive it ([`EngineKind`]): the
+//! default event-driven fast-forward engine, which leaps over cycles in
+//! which no component can act, and the one-step-per-cycle naive reference it
+//! is differentially tested against. Both are bit-for-bit cycle-exact with
+//! respect to each other.
 
 use htm_mem::{AddressMap, LineAddr, MainMemory, SpecCache};
 use htm_sim::bus::{BusTraffic, SplitTransactionBus};

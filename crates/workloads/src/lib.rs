@@ -21,6 +21,17 @@
 //! All generators are deterministic: the same parameters and seed produce an
 //! identical [`htm_tcc::WorkloadTrace`] on every platform, which the
 //! experiment harness relies on for reproducibility.
+//!
+//! ```
+//! use htm_workloads::{by_name, workload_names, WorkloadScale};
+//!
+//! let trace = by_name("intruder", 4, WorkloadScale::Test, 42).unwrap();
+//! assert_eq!(trace.num_threads(), 4);
+//! assert!(trace.total_transactions() > 0);
+//! // Same name + parameters + seed => identical trace.
+//! assert_eq!(trace, by_name("intruder", 4, WorkloadScale::Test, 42).unwrap());
+//! assert_eq!(workload_names().len(), 7);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

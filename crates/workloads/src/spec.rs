@@ -37,6 +37,16 @@ impl WorkloadScale {
             WorkloadScale::Full => baseline,
         }
     }
+
+    /// Lower-case label used in artifact names and sweep cell keys.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadScale::Test => "test",
+            WorkloadScale::Small => "small",
+            WorkloadScale::Full => "full",
+        }
+    }
 }
 
 /// A range `[min, max]` from which the generator draws uniformly.

@@ -6,6 +6,23 @@
 //! the experiment harness) directly; the substrate crates are re-exported for
 //! advanced use (building custom workloads, instrumenting the protocol, or
 //! embedding the simulation engine elsewhere).
+//!
+//! ```
+//! use clock_gate_on_abort::core::{GatingMode, SimulationBuilder};
+//! use clock_gate_on_abort::workloads::WorkloadScale;
+//!
+//! let report = SimulationBuilder::new()
+//!     .processors(4)
+//!     .workload_by_name("genome", WorkloadScale::Test, 42)
+//!     .unwrap()
+//!     .gating(GatingMode::ClockGate { w0: 8 })
+//!     .run()
+//!     .unwrap();
+//! assert!(report.outcome.total_commits > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
 
 pub use clockgate_htm as core;
 pub use htm_mem as mem;
