@@ -53,7 +53,7 @@ macro_rules! outln {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: reproduce [options] [all|table1|table2|fig3|fig4|fig5|fig6|fig7|summary]...\n\
+        "usage: reproduce [options] [all|table1|table2|fig3|fig4|fig5|fig6|fig7|summary|breakdown]...\n\
          \n\
          Regenerate the paper's tables and figures (default target: all).\n\
          \n\
@@ -62,7 +62,9 @@ fn usage() -> ! {
          \x20 --quick         full matrix at small workload scale\n\
          \x20 --smoke         CI gate: tiny workloads, one processor count;\n\
          \x20                 also writes JSON artifacts (default dir reproduce-out/)\n\
-         \x20 --out DIR       write each produced table/figure as DIR/<name>.json\n\
+         \x20 --out DIR       write each produced table/figure as DIR/<name>.json;\n\
+         \x20                 matrix targets additionally write the per-component\n\
+         \x20                 energy_breakdown.json ledger artifact\n\
          \x20 --engine E      stepping engine: fast (default) or naive;\n\
          \x20                 artifacts are byte-identical either way\n\
          \x20 --timing        write BENCH_reproduce.json (wall-clock per matrix\n\
@@ -120,8 +122,17 @@ fn main() {
     if targets.is_empty() {
         targets.push("all".to_string());
     }
-    const KNOWN: [&str; 9] = [
-        "all", "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "summary",
+    const KNOWN: [&str; 10] = [
+        "all",
+        "table1",
+        "table2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "summary",
+        "breakdown",
     ];
     for t in &targets {
         if !KNOWN.contains(&t.as_str()) {
@@ -177,7 +188,8 @@ fn main() {
         }
     }
 
-    let needs_matrix = wants("fig4") || wants("fig5") || wants("fig6") || wants("summary");
+    let needs_matrix =
+        wants("fig4") || wants("fig5") || wants("fig6") || wants("summary") || wants("breakdown");
     if timing && !needs_matrix {
         eprintln!(
             "warning: --timing only measures the evaluation matrix \
@@ -191,7 +203,7 @@ fn main() {
             cfg.processor_counts,
             engine.label()
         );
-        let (matrix, matrix_timing) =
+        let (matrix, matrix_timing, breakdown) =
             experiments::run_matrix_timed(&cfg, engine).expect("evaluation matrix must complete");
         eprintln!(
             "matrix completed: {} cells in {:.1} ms on {} threads ({:.1} cells/s)",
@@ -203,6 +215,19 @@ fn main() {
         if timing {
             let dir = out_dir.clone().unwrap_or_else(|| PathBuf::from("."));
             write_artifact(&dir, "BENCH_reproduce", &report::to_json(&matrix_timing));
+        }
+        if wants("breakdown") {
+            if json {
+                outln!("{}", report::to_json(&breakdown));
+            } else {
+                outln!("{}", experiments::render_energy_breakdown(&breakdown));
+            }
+        }
+        // The artifact is written whenever the matrix ran (like
+        // evaluation_matrix.json), so `--smoke` always produces it for the
+        // CI engine-divergence gate.
+        if let Some(dir) = &out_dir {
+            write_artifact(dir, "energy_breakdown", &report::to_json(&breakdown));
         }
         Some(matrix)
     } else {

@@ -20,7 +20,7 @@ use std::path::PathBuf;
 
 use clockgate_htm::report;
 use clockgate_htm::sim::EngineKind;
-use clockgate_htm::sweep::{self, SweepGrid};
+use clockgate_htm::sweep::{self, SweepGrid, SweepObjective};
 
 /// Print one line to stdout, exiting quietly if the reader went away
 /// (`sweep ... | head` must not panic on the broken pipe).
@@ -43,17 +43,21 @@ macro_rules! outln {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sweep --grid NAME [--out DIR] [--engine fast|naive] [--resume] [--list]\n\
+        "usage: sweep --grid NAME [--out DIR] [--engine fast|naive] [--objective O] [--resume] [--list]\n\
          \n\
          Expand a sensitivity grid, simulate every cell in parallel, stream\n\
-         per-cell records to <out>/sweep.jsonl and report energy-vs-time\n\
-         Pareto frontiers per (workload, processor-count) slice.\n\
+         per-cell records (with their component-resolved energy ledgers) to\n\
+         <out>/sweep.jsonl and report Pareto frontiers per (workload,\n\
+         processor-count) slice under the chosen objective.\n\
          \n\
          options:\n\
          \x20 --grid NAME     grid to run: {names} (required unless --list)\n\
          \x20 --out DIR       artifact directory (default sweep-out/<grid>)\n\
          \x20 --engine E      stepping engine: fast (default) or naive;\n\
          \x20                 artifacts are byte-identical either way\n\
+         \x20 --objective O   frontier objective: energy (default), edp or ed2p;\n\
+         \x20                 only pareto.json depends on it, so a sweep can be\n\
+         \x20                 resumed under any objective\n\
          \x20 --resume        skip cells already recorded in <out>/sweep.jsonl\n\
          \x20 --list          print the available grids and their cell counts\n\
          \x20 -h, --help      this text",
@@ -68,12 +72,13 @@ fn list_grids() {
         let grid = SweepGrid::by_name(name).expect("every listed grid exists");
         let cells = grid.expand();
         outln!(
-            "  {name:<8} {:>4} cells  ({} workloads x {:?} procs, {} modes, {} geometries, {} seeds)",
+            "  {name:<8} {:>4} cells  ({} workloads x {:?} procs, {} modes, {} geometries, {} leakage points, {} seeds)",
             cells.len(),
             grid.workloads.len(),
             grid.processor_counts,
             grid.gating.expand().len(),
             grid.cache_geometries.len(),
+            grid.leakage_percents.len(),
             grid.seeds.len()
         );
     }
@@ -83,6 +88,7 @@ fn main() {
     let mut grid_name: Option<String> = None;
     let mut out_dir: Option<PathBuf> = None;
     let mut engine = EngineKind::FastForward;
+    let mut objective = SweepObjective::Energy;
     let mut resume = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -99,6 +105,10 @@ fn main() {
                 Some("fast" | "fast-forward") => engine = EngineKind::FastForward,
                 Some("naive") => engine = EngineKind::Naive,
                 _ => usage(),
+            },
+            "--objective" => match args.next().as_deref().and_then(SweepObjective::parse) {
+                Some(o) => objective = o,
+                None => usage(),
             },
             "--resume" => resume = true,
             "--list" => {
@@ -120,15 +130,16 @@ fn main() {
 
     let cells = grid.expand();
     eprintln!(
-        "sweep `{}`: {} cells -> {} ({} engine{})",
+        "sweep `{}`: {} cells -> {} ({} engine, {} objective{})",
         grid.name,
         cells.len(),
         out_dir.display(),
         engine.label(),
+        objective.label(),
         if resume { ", resume" } else { "" }
     );
     let started = std::time::Instant::now();
-    let outcome = match sweep::run_sweep(&grid, engine, &out_dir, resume) {
+    let outcome = match sweep::run_sweep_with(&grid, engine, &out_dir, resume, objective) {
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("sweep failed: {e}");
@@ -151,6 +162,7 @@ fn main() {
         &outcome.jsonl_path,
         &outcome.pareto_path,
         &outcome.summary_path,
+        &outcome.breakdown_path,
     ] {
         eprintln!("wrote {}", path.display());
     }

@@ -23,6 +23,7 @@ use serde::{Deserialize, Serialize};
 
 use htm_power::cache_power::CachePowerModel;
 use htm_power::energy::ComparisonReport;
+use htm_power::ledger::EnergyLedgerReport;
 use htm_power::model::PowerModel;
 use htm_sim::config::SimConfig;
 use htm_sim::Cycle;
@@ -269,12 +270,74 @@ fn run_pair(
     Ok((ungated, gated))
 }
 
+/// Component-resolved energy ledgers of one matrix cell (both runs of the
+/// ungated/gated pair), written as the `energy_breakdown.json` artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellEnergyBreakdown {
+    /// Workload name.
+    pub workload: String,
+    /// Processor count.
+    pub procs: usize,
+    /// Ledger of the ungated baseline run.
+    pub ungated: EnergyLedgerReport,
+    /// Ledger of the clock-gated run.
+    pub gated: EnergyLedgerReport,
+    /// Energy savings of gating on the core subset only (the paper's
+    /// accounting), in percent of the ungated core energy.
+    pub core_savings_percent: f64,
+    /// Energy savings once the uncore is charged too, in percent of the
+    /// ungated ledger total.
+    pub total_savings_percent: f64,
+}
+
+impl CellEnergyBreakdown {
+    fn new(
+        workload: &str,
+        procs: usize,
+        ungated: EnergyLedgerReport,
+        gated: EnergyLedgerReport,
+    ) -> Self {
+        let savings = |ug: f64, g: f64| {
+            if ug > 0.0 {
+                (1.0 - g / ug) * 100.0
+            } else {
+                0.0
+            }
+        };
+        Self {
+            workload: workload.to_string(),
+            procs,
+            core_savings_percent: savings(ungated.core_energy, gated.core_energy),
+            total_savings_percent: savings(ungated.total_energy, gated.total_energy),
+            ungated,
+            gated,
+        }
+    }
+
+    /// How many percentage points the uncore charge moves the
+    /// gated-vs-ungated energy gap (negative: the uncore erodes the win).
+    #[must_use]
+    pub fn uncore_gap_shift_percent(&self) -> f64 {
+        self.total_savings_percent - self.core_savings_percent
+    }
+}
+
+/// The `energy_breakdown.json` artifact: per-component ledgers for every
+/// cell of the evaluation matrix. Everything inside is a deterministic
+/// function of the engine-exact outcomes, so the artifact is byte-identical
+/// across stepping engines (CI compares it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdownReport {
+    /// One breakdown per (workload, processor count), in matrix cell order.
+    pub cells: Vec<CellEnergyBreakdown>,
+}
+
 fn run_cell(
     workload: &str,
     procs: usize,
     cfg: &ExperimentConfig,
     engine: EngineKind,
-) -> Result<MatrixCell, SimError> {
+) -> Result<(MatrixCell, CellEnergyBreakdown), SimError> {
     let (ungated, gated) = run_pair(
         workload,
         procs,
@@ -283,24 +346,29 @@ fn run_cell(
         engine,
     )?;
     let comparison = compare_runs(&ungated, &gated);
-    Ok(MatrixCell {
-        workload: workload.to_string(),
-        procs,
-        baseline_abort_rate: ungated.outcome.abort_rate(),
-        gating: gated.gating,
-        comparison,
-    })
+    let breakdown = CellEnergyBreakdown::new(workload, procs, ungated.ledger, gated.ledger.clone());
+    Ok((
+        MatrixCell {
+            workload: workload.to_string(),
+            procs,
+            baseline_abort_rate: ungated.outcome.abort_rate(),
+            gating: gated.gating,
+            comparison,
+        },
+        breakdown,
+    ))
 }
 
 /// Run the full evaluation matrix (every workload × processor count, with and
 /// without clock gating) on the default (fast-forward) engine.
 pub fn run_matrix(cfg: &ExperimentConfig) -> Result<EvaluationMatrix, SimError> {
-    run_matrix_timed(cfg, EngineKind::FastForward).map(|(matrix, _timing)| matrix)
+    run_matrix_timed(cfg, EngineKind::FastForward).map(|(matrix, _timing, _breakdown)| matrix)
 }
 
 /// Run the full evaluation matrix with the chosen engine, spreading the
 /// independent (workload × processor-count) cells over the machine's cores
-/// with `std::thread::scope` and collecting per-cell wall-clock timings.
+/// with `std::thread::scope` and collecting per-cell wall-clock timings plus
+/// the per-component energy breakdown of every cell.
 ///
 /// Every cell is a self-contained deterministic simulation pair, so the
 /// schedule cannot influence the results; cells are written back into their
@@ -311,7 +379,7 @@ pub fn run_matrix(cfg: &ExperimentConfig) -> Result<EvaluationMatrix, SimError> 
 pub fn run_matrix_timed(
     cfg: &ExperimentConfig,
     engine: EngineKind,
-) -> Result<(EvaluationMatrix, MatrixTiming), SimError> {
+) -> Result<(EvaluationMatrix, MatrixTiming, EnergyBreakdownReport), SimError> {
     let params: Vec<(&str, usize)> = cfg
         .workloads
         .iter()
@@ -325,7 +393,7 @@ pub fn run_matrix_timed(
     // One pre-assigned slot per cell; workers pull the next unclaimed cell
     // index and write into their own slot, so cell order never depends on
     // the thread schedule.
-    type CellSlot = Option<Result<(MatrixCell, f64), SimError>>;
+    type CellSlot = Option<Result<(MatrixCell, CellEnergyBreakdown, f64), SimError>>;
     let slots: Mutex<Vec<CellSlot>> = Mutex::new((0..params.len()).map(|_| None).collect());
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
@@ -336,26 +404,29 @@ pub fn run_matrix_timed(
                     break;
                 };
                 let cell_started = Instant::now();
-                let result = run_cell(workload, procs, cfg, engine)
-                    .map(|cell| (cell, cell_started.elapsed().as_secs_f64() * 1e3));
+                let result = run_cell(workload, procs, cfg, engine).map(|(cell, breakdown)| {
+                    (cell, breakdown, cell_started.elapsed().as_secs_f64() * 1e3)
+                });
                 slots.lock().expect("matrix worker poisoned the slots")[idx] = Some(result);
             });
         }
     });
 
     let mut cells = Vec::with_capacity(params.len());
+    let mut breakdowns = Vec::with_capacity(params.len());
     let mut timings = Vec::with_capacity(params.len());
     let filled = slots
         .into_inner()
         .expect("matrix worker poisoned the slots");
     for slot in filled {
-        let (cell, wall_ms) = slot.expect("every cell index was claimed by a worker")?;
+        let (cell, breakdown, wall_ms) = slot.expect("every cell index was claimed by a worker")?;
         timings.push(CellTiming {
             workload: cell.workload.clone(),
             procs: cell.procs,
             wall_ms,
         });
         cells.push(cell);
+        breakdowns.push(breakdown);
     }
     let total_wall_ms = started.elapsed().as_secs_f64() * 1e3;
     let timing = MatrixTiming {
@@ -375,7 +446,48 @@ pub fn run_matrix_timed(
             cells,
         },
         timing,
+        EnergyBreakdownReport { cells: breakdowns },
     ))
+}
+
+/// Render the energy-breakdown report as one aligned text table (component
+/// energies of both runs per cell, plus the uncore's effect on the gap).
+#[must_use]
+pub fn render_energy_breakdown(report: &EnergyBreakdownReport) -> String {
+    let rows: Vec<Vec<String>> = report
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.workload.clone(),
+                c.procs.to_string(),
+                fmt_f(c.ungated.core_energy, 0),
+                fmt_f(c.gated.core_energy, 0),
+                fmt_f(c.ungated.uncore_energy, 0),
+                fmt_f(c.gated.uncore_energy, 0),
+                fmt_percent(c.core_savings_percent),
+                fmt_percent(c.total_savings_percent),
+                fmt_percent(c.uncore_gap_shift_percent()),
+            ]
+        })
+        .collect();
+    format!(
+        "Component-resolved energy: core vs. uncore, without vs. with clock gating\n{}",
+        format_table(
+            &[
+                "workload",
+                "procs",
+                "core Eug",
+                "core Eg",
+                "uncore Eug",
+                "uncore Eg",
+                "core savings",
+                "total savings",
+                "uncore shift"
+            ],
+            &rows
+        )
+    )
 }
 
 /// Render Fig. 4 (total parallel execution time) from the matrix.
@@ -717,7 +829,7 @@ mod tests {
     #[test]
     fn parallel_matrix_keeps_deterministic_cell_order_and_reports_timing() {
         let cfg = ExperimentConfig::quick();
-        let (matrix, timing) = run_matrix_timed(&cfg, EngineKind::FastForward).unwrap();
+        let (matrix, timing, _) = run_matrix_timed(&cfg, EngineKind::FastForward).unwrap();
         let order: Vec<(String, usize)> = matrix
             .cells
             .iter()
@@ -748,13 +860,62 @@ mod tests {
     #[test]
     fn naive_and_fast_matrices_serialize_identically() {
         let cfg = ExperimentConfig::quick();
-        let (fast, _) = run_matrix_timed(&cfg, EngineKind::FastForward).unwrap();
-        let (naive, _) = run_matrix_timed(&cfg, EngineKind::Naive).unwrap();
+        let (fast, _, fast_breakdown) = run_matrix_timed(&cfg, EngineKind::FastForward).unwrap();
+        let (naive, _, naive_breakdown) = run_matrix_timed(&cfg, EngineKind::Naive).unwrap();
         assert_eq!(
             crate::report::to_json(&fast),
             crate::report::to_json(&naive),
             "the two engines must produce byte-identical matrix artifacts"
         );
+        assert_eq!(
+            crate::report::to_json(&fast_breakdown),
+            crate::report::to_json(&naive_breakdown),
+            "the energy-breakdown artifact must be engine-independent"
+        );
+    }
+
+    #[test]
+    fn breakdown_cells_cross_check_against_the_matrix_comparisons() {
+        let cfg = ExperimentConfig::quick();
+        let (matrix, _, breakdown) = run_matrix_timed(&cfg, EngineKind::FastForward).unwrap();
+        assert_eq!(breakdown.cells.len(), matrix.cells.len());
+        for (b, m) in breakdown.cells.iter().zip(&matrix.cells) {
+            assert_eq!(
+                (b.workload.as_str(), b.procs),
+                (m.workload.as_str(), m.procs)
+            );
+            // The ledger's core subset is exactly the accounting the
+            // comparison report was computed from.
+            assert!(
+                (b.ungated.core_energy - m.comparison.ungated_energy).abs()
+                    <= 1e-9 * m.comparison.ungated_energy.max(1.0),
+                "{}@{}p: {} vs {}",
+                b.workload,
+                b.procs,
+                b.ungated.core_energy,
+                m.comparison.ungated_energy
+            );
+            assert!(
+                (b.gated.core_energy - m.comparison.gated_energy).abs()
+                    <= 1e-9 * m.comparison.gated_energy.max(1.0)
+            );
+            assert!(b.ungated.uncore_energy > 0.0);
+            // The gated run pays for hardware the ungated run does not have.
+            assert!(
+                b.gated
+                    .component_energy(htm_power::ledger::EnergyComponent::GatingControl)
+                    > 0.0
+            );
+            assert_eq!(
+                b.ungated
+                    .component_energy(htm_power::ledger::EnergyComponent::GatingControl),
+                0.0
+            );
+            assert!(b.uncore_gap_shift_percent().is_finite());
+        }
+        let rendered = render_energy_breakdown(&breakdown);
+        assert!(rendered.contains("uncore shift"));
+        assert!(rendered.contains(&breakdown.cells[0].workload));
     }
 
     #[test]

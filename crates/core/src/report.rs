@@ -216,11 +216,12 @@ mod tests {
     #[test]
     fn pareto_and_summary_render_as_tables() {
         use crate::sweep::ParetoPoint;
-        let point = |key: &str, cycles, energy| ParetoPoint {
+        let point = |key: &str, cycles, energy: f64| ParetoPoint {
             key: key.to_string(),
             mode: format!("mode-{key}"),
             cycles,
             energy,
+            objective_value: energy,
         };
         let frontier = SliceFrontier {
             workload: "intruder".into(),

@@ -11,7 +11,8 @@
 use serde::{Deserialize, Serialize};
 
 use htm_power::energy::{self, ComparisonReport, EnergyReport};
-use htm_power::model::PowerModel;
+use htm_power::ledger::{self, EnergyLedgerReport, UncoreActivity};
+use htm_power::model::{PowerModel, PowerModelConfig};
 use htm_sim::config::SimConfig;
 use htm_sim::Cycle;
 use htm_tcc::hooks::{ExponentialBackoff, GatingHook, NoGating};
@@ -82,6 +83,13 @@ impl GatingMode {
         )
     }
 
+    /// Whether the Fig. 2(e) renewal check runs at timer expiry (it issues
+    /// the renewal-time `TxInfoReq`s the energy ledger charges).
+    #[must_use]
+    pub fn renewal_check_enabled(&self) -> bool {
+        self.uses_gating() && !matches!(self, GatingMode::ClockGateNoRenew { .. })
+    }
+
     /// Short label used in reports and figures.
     #[must_use]
     pub fn label(&self) -> String {
@@ -105,6 +113,9 @@ pub struct SimReport {
     pub outcome: RunOutcome,
     /// Energy analysis under the Table I power model.
     pub energy: EnergyReport,
+    /// Component-resolved energy ledger (core taxonomy + uncore charges +
+    /// EDP/ED²P metrics), cross-checked against [`Self::energy`].
+    pub ledger: EnergyLedgerReport,
     /// Gating-controller statistics (only for clock-gating modes).
     pub gating: Option<GatingStats>,
 }
@@ -140,7 +151,7 @@ pub struct SimulationBuilder {
     config: SimConfig,
     workload: Option<WorkloadTrace>,
     mode: GatingMode,
-    power: PowerModel,
+    power: PowerModelConfig,
     cycle_limit: Cycle,
     engine: EngineKind,
 }
@@ -159,7 +170,7 @@ impl SimulationBuilder {
             config: SimConfig::default(),
             workload: None,
             mode: GatingMode::Ungated,
-            power: PowerModel::alpha_21264_65nm(),
+            power: PowerModelConfig::alpha_21264_65nm(),
             cycle_limit: DEFAULT_CYCLE_LIMIT,
             engine: EngineKind::default(),
         }
@@ -183,10 +194,13 @@ impl SimulationBuilder {
     /// Override the L1 data-cache geometry (capacity in KiB, associativity)
     /// of the current configuration. Call *after* [`Self::processors`],
     /// which resets the whole configuration to the Table II defaults for the
-    /// given core count.
+    /// given core count. The power model's TCC data-cache factor is
+    /// re-derived from the swept capacity
+    /// ([`PowerModelConfig::for_l1_geometry`]).
     #[must_use]
     pub fn l1_geometry(mut self, l1_kb: usize, l1_assoc: usize) -> Self {
         self.config = self.config.with_l1_geometry(l1_kb, l1_assoc);
+        self.power = self.power.for_l1_geometry(l1_kb);
         self
     }
 
@@ -218,10 +232,17 @@ impl SimulationBuilder {
         self
     }
 
-    /// Override the power model (the default is Table I).
+    /// Override the power-model configuration (the default derives Table I).
     #[must_use]
-    pub fn power_model(mut self, model: PowerModel) -> Self {
-        self.power = model;
+    pub fn power_config(mut self, config: PowerModelConfig) -> Self {
+        self.power = config;
+        self
+    }
+
+    /// Sweep the leakage-share (technology-node) axis of the power model.
+    #[must_use]
+    pub fn leakage_share(mut self, leakage_share: f64) -> Self {
+        self.power = self.power.with_leakage_share(leakage_share);
         self
     }
 
@@ -304,11 +325,25 @@ impl SimulationBuilder {
             }
         };
 
-        let energy = energy::analyze(&outcome, &power);
+        let energy = energy::analyze(&outcome, &power.factors());
+        // Renewal-time `TxInfoReq`s: every timer expiry whose aborter was
+        // still marked performs one round-trip, whatever its verdict
+        // (renewed, null reply, or a different transaction). The blind-timer
+        // ablation and the non-gating modes never issue them.
+        let renewal_txinfo = match &gating {
+            Some(stats) if self.mode.renewal_check_enabled() => {
+                stats.renewals + stats.ungate_null_reply + stats.ungate_different_tx
+            }
+            _ => 0,
+        };
+        let uncore =
+            UncoreActivity::from_outcome(&outcome, self.mode.uses_gating(), renewal_txinfo);
+        let ledger = ledger::analyze(&outcome, &power, uncore);
         Ok(SimReport {
             mode_label: label,
             outcome,
             energy,
+            ledger,
             gating,
         })
     }
@@ -490,6 +525,71 @@ mod tests {
             .err()
             .unwrap();
         assert!(matches!(err, SimError::BadConfig(_)));
+    }
+
+    #[test]
+    fn ledger_core_subset_reproduces_the_legacy_accounting() {
+        for mode in [
+            GatingMode::Ungated,
+            GatingMode::ClockGate { w0: 8 },
+            GatingMode::ClockGateNoRenew { w0: 8 },
+        ] {
+            let r = run(mode, "intruder", 4);
+            assert!(
+                r.ledger.core_discrepancy() < 1e-12,
+                "{mode:?}: core {} vs legacy {}",
+                r.ledger.core_energy,
+                r.ledger.legacy_total
+            );
+            assert!(r.ledger.interval_discrepancy() < 1e-9, "{mode:?}");
+            assert!((r.ledger.legacy_total - r.energy.total_energy).abs() < 1e-9);
+            assert!(r.ledger.uncore_energy > 0.0, "uncore is always charged");
+            assert!(r.ledger.total_energy > r.energy.total_energy);
+        }
+    }
+
+    #[test]
+    fn gating_modes_charge_the_gating_tables_and_txinfo_traffic() {
+        let ungated = run(GatingMode::Ungated, "intruder", 4);
+        let gated = run(GatingMode::ClockGate { w0: 8 }, "intruder", 4);
+        use htm_power::ledger::EnergyComponent;
+        assert_eq!(
+            ungated
+                .ledger
+                .component_energy(EnergyComponent::GatingControl),
+            0.0,
+            "no gating hardware, no gating-control energy"
+        );
+        assert!(
+            gated
+                .ledger
+                .component_energy(EnergyComponent::GatingControl)
+                > 0.0,
+            "gating mode pays for its tables, timers and TxInfoReq traffic"
+        );
+        assert!(gated.outcome.total_txinfo_roundtrips() > 0);
+        assert_eq!(ungated.outcome.total_txinfo_roundtrips(), 0);
+    }
+
+    #[test]
+    fn leakage_share_axis_flows_into_the_report() {
+        let base = run(GatingMode::ClockGate { w0: 8 }, "intruder", 4);
+        let leaky = SimulationBuilder::new()
+            .processors(4)
+            .workload_by_name("intruder", WorkloadScale::Test, 11)
+            .unwrap()
+            .gating(GatingMode::ClockGate { w0: 8 })
+            .cycle_limit(20_000_000)
+            .leakage_share(0.40)
+            .run()
+            .unwrap();
+        // Same protocol outcome, different energy accounting.
+        assert_eq!(base.outcome, leaky.outcome);
+        assert!(
+            leaky.energy.breakdown.gated > base.energy.breakdown.gated,
+            "doubling leakage must make gated cycles more expensive"
+        );
+        assert!(leaky.ledger.core_discrepancy() < 1e-12);
     }
 
     #[test]

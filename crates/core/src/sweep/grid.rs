@@ -2,9 +2,9 @@
 //!
 //! A [`SweepGrid`] names one axis per swept parameter; [`SweepGrid::expand`]
 //! takes the Cartesian product in a fixed nesting order (workload → procs →
-//! cache geometry → scale → seed → gating mode), so the resulting cell list
-//! — and therefore the `sweep.jsonl` record order and every downstream
-//! artifact — is a pure function of the grid.
+//! cache geometry → leakage share → scale → seed → gating mode), so the
+//! resulting cell list — and therefore the `sweep.jsonl` record order and
+//! every downstream artifact — is a pure function of the grid.
 
 use serde::{Deserialize, Serialize};
 
@@ -152,14 +152,22 @@ pub struct SweepGrid {
     pub seeds: Vec<u64>,
     /// L1 cache-geometry axis.
     pub cache_geometries: Vec<CacheGeometry>,
+    /// Leakage-share (technology-node) axis of the power model, in percent
+    /// of total run power. The paper's 65 nm assumption is 20.
+    pub leakage_percents: Vec<u32>,
     /// Gating axis.
     pub gating: GatingAxis,
     /// Safety bound on simulated cycles, shared by every cell.
     pub cycle_limit: Cycle,
 }
 
+/// The paper's leakage share in percent (the default point of the axis).
+pub const DEFAULT_LEAKAGE_PERCENT: u32 = 20;
+
 /// Names accepted by [`SweepGrid::by_name`] (the `sweep --grid` values).
-pub const GRID_NAMES: [&str; 6] = ["smoke", "default", "w0", "backoff", "scaling", "cache"];
+pub const GRID_NAMES: [&str; 7] = [
+    "smoke", "default", "w0", "backoff", "scaling", "cache", "leakage",
+];
 
 impl SweepGrid {
     fn base(name: &str) -> Self {
@@ -170,6 +178,7 @@ impl SweepGrid {
             scales: vec![WorkloadScale::Small],
             seeds: vec![42],
             cache_geometries: vec![CacheGeometry::default()],
+            leakage_percents: vec![DEFAULT_LEAKAGE_PERCENT],
             gating: GatingAxis::default(),
             cycle_limit: DEFAULT_CYCLE_LIMIT,
         }
@@ -277,6 +286,19 @@ impl SweepGrid {
         }
     }
 
+    /// Leakage-share (technology-node) sensitivity: how much of the gating
+    /// win survives as the leakage share moves off the paper's 20 %
+    /// assumption. Clock gating only saves dynamic power, so the energy
+    /// objective flips as the leaky fraction grows.
+    #[must_use]
+    pub fn leakage() -> Self {
+        Self {
+            processor_counts: vec![8],
+            leakage_percents: vec![5, 10, 20, 30, 40],
+            ..Self::base("leakage")
+        }
+    }
+
     /// Look up a predefined grid by its [`GRID_NAMES`] name.
     #[must_use]
     pub fn by_name(name: &str) -> Option<Self> {
@@ -287,12 +309,14 @@ impl SweepGrid {
             "backoff" => Some(Self::backoff()),
             "scaling" => Some(Self::scaling()),
             "cache" => Some(Self::cache()),
+            "leakage" => Some(Self::leakage()),
             _ => None,
         }
     }
 
     /// Expand the grid into its deterministic cell list (workload-major,
-    /// then procs, geometry, scale, seed and finally gating mode).
+    /// then procs, geometry, leakage share, scale, seed and finally gating
+    /// mode).
     #[must_use]
     pub fn expand(&self) -> Vec<SweepCell> {
         let modes = self.gating.expand();
@@ -300,18 +324,21 @@ impl SweepGrid {
         for workload in &self.workloads {
             for &procs in &self.processor_counts {
                 for &geometry in &self.cache_geometries {
-                    for &scale in &self.scales {
-                        for &seed in &self.seeds {
-                            for &mode in &modes {
-                                cells.push(SweepCell {
-                                    workload: workload.clone(),
-                                    procs,
-                                    geometry,
-                                    scale,
-                                    seed,
-                                    mode,
-                                    cycle_limit: self.cycle_limit,
-                                });
+                    for &leakage_percent in &self.leakage_percents {
+                        for &scale in &self.scales {
+                            for &seed in &self.seeds {
+                                for &mode in &modes {
+                                    cells.push(SweepCell {
+                                        workload: workload.clone(),
+                                        procs,
+                                        geometry,
+                                        leakage_percent,
+                                        scale,
+                                        seed,
+                                        mode,
+                                        cycle_limit: self.cycle_limit,
+                                    });
+                                }
                             }
                         }
                     }
@@ -331,6 +358,8 @@ pub struct SweepCell {
     pub procs: usize,
     /// L1 geometry.
     pub geometry: CacheGeometry,
+    /// Leakage share of the power model, in percent.
+    pub leakage_percent: u32,
     /// Workload scale.
     pub scale: WorkloadScale,
     /// Workload generation seed.
@@ -344,19 +373,32 @@ pub struct SweepCell {
 impl SweepCell {
     /// The cell's stable key: the identity used for resume deduplication
     /// and in the Pareto artifacts, e.g.
-    /// `genome-p8-l64k2w-small-s42-cg-w8`. Two cells collide iff every
-    /// swept parameter is equal.
+    /// `genome-p8-l64k2w-small-s42-cg-w8` (an `lk<percent>` segment appears
+    /// whenever the leakage share deviates from the paper's 20 %). Two
+    /// cells collide iff every swept parameter is equal.
     #[must_use]
     pub fn key(&self) -> String {
+        let leakage = if self.leakage_percent == DEFAULT_LEAKAGE_PERCENT {
+            String::new()
+        } else {
+            format!("lk{}-", self.leakage_percent)
+        };
         format!(
-            "{}-p{}-{}-{}-s{}-{}",
+            "{}-p{}-{}-{}-s{}-{}{}",
             self.workload,
             self.procs,
             self.geometry.label(),
             self.scale.label(),
             self.seed,
+            leakage,
             mode_slug(&self.mode)
         )
+    }
+
+    /// Leakage share as the fraction the power model consumes.
+    #[must_use]
+    pub fn leakage_share(&self) -> f64 {
+        f64::from(self.leakage_percent) / 100.0
     }
 }
 
@@ -478,6 +520,33 @@ mod tests {
         let modes = grid.gating.expand();
         assert_eq!(modes.len(), 8, "ungated + seven W0 values");
         assert!(modes.contains(&GatingMode::ClockGate { w0: 64 }));
+    }
+
+    #[test]
+    fn leakage_axis_expands_and_keys_only_non_default_points() {
+        let grid = SweepGrid {
+            leakage_percents: vec![20, 40],
+            workloads: vec!["genome".into()],
+            processor_counts: vec![4],
+            ..SweepGrid::base("test")
+        };
+        let cells = grid.expand();
+        assert_eq!(cells.len(), 4, "2 leakage points x 2 modes");
+        assert_eq!(cells[0].key(), "genome-p4-l64k2w-small-s42-ungated");
+        assert_eq!(cells[2].key(), "genome-p4-l64k2w-small-s42-lk40-ungated");
+        assert!((cells[2].leakage_share() - 0.40).abs() < 1e-12);
+        // The paper's point keeps the pre-ledger key format.
+        assert!(!cells[0].key().contains("lk"));
+    }
+
+    #[test]
+    fn leakage_grid_sweeps_the_tech_node_axis() {
+        let grid = SweepGrid::leakage();
+        let cells = grid.expand();
+        // 3 workloads x 1 proc count x 5 leakage points x 2 modes.
+        assert_eq!(cells.len(), 30);
+        let leakages: BTreeSet<u32> = cells.iter().map(|c| c.leakage_percent).collect();
+        assert_eq!(leakages, BTreeSet::from([5, 10, 20, 30, 40]));
     }
 
     #[test]

@@ -1,11 +1,24 @@
-//! Energy-vs-execution-time Pareto analysis of sweep records.
+//! Pareto analysis of sweep records under a selectable objective.
 //!
 //! Each (workload, processor-count) slice of a sweep is a cloud of points
-//! in the (execution cycles, total energy) plane — one point per gating
+//! in the (execution cycles, objective) plane — one point per gating
 //! mode / parameter / seed / geometry combination. The Pareto frontier of a
 //! slice is the set of operating points for which no other point is at
 //! least as good on both axes and strictly better on one; everything else
 //! is a dominated configuration nobody should run.
+//!
+//! The objective axis is selectable ([`SweepObjective`]): raw energy (the
+//! historical default), the energy-delay product or the
+//! energy-delay-squared product. All three objectives are evaluated on the
+//! *same* energy measure — the Table I (core) energy every record carries —
+//! so dominance relations nest: because `EDP = E·N` folds the time axis
+//! into the objective, an energy-dominated point is always EDP-dominated
+//! but not vice versa, and the EDP frontier is a (usually strict) subset
+//! of the energy frontier — exactly the concurrency-cost lens the
+//! delay-weighted objectives exist for. (Mixing accountings — e.g. core
+//! energy on one objective, the uncore-included ledger total on another —
+//! would silently break that subset property; the records still report the
+//! ledger-total `edp`/`ed2p` for analysis.)
 
 use std::collections::BTreeMap;
 
@@ -13,8 +26,60 @@ use serde::{Deserialize, Serialize};
 
 use super::CellRecord;
 
+/// The metric minimized on the second axis of the Pareto analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SweepObjective {
+    /// Total energy under the Table I model (the paper's accounting; the
+    /// historical frontier).
+    #[default]
+    Energy,
+    /// Energy-delay product `E·N` of the same Table I energy.
+    Edp,
+    /// Energy-delay-squared product `E·N²`.
+    Ed2p,
+}
+
+impl SweepObjective {
+    /// Stable label used in artifacts and the `--objective` flag.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SweepObjective::Energy => "energy",
+            SweepObjective::Edp => "edp",
+            SweepObjective::Ed2p => "ed2p",
+        }
+    }
+
+    /// Parse an `--objective` flag value.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "energy" => Some(SweepObjective::Energy),
+            "edp" => Some(SweepObjective::Edp),
+            "ed2p" => Some(SweepObjective::Ed2p),
+            _ => None,
+        }
+    }
+
+    /// Evaluate the objective on a record. Every objective multiplies the
+    /// same Table I energy by a power of the cycle count, so that
+    /// energy-dominance implies EDP-dominance implies ED²P-dominance (the
+    /// nesting the module docs rely on); the record's ledger-total
+    /// `edp`/`ed2p` fields charge the uncore as well and exist for
+    /// reporting, not for the frontier.
+    #[must_use]
+    pub fn metric(self, r: &CellRecord) -> f64 {
+        let n = r.total_cycles as f64;
+        match self {
+            SweepObjective::Energy => r.total_energy,
+            SweepObjective::Edp => r.total_energy * n,
+            SweepObjective::Ed2p => r.total_energy * n * n,
+        }
+    }
+}
+
 /// One operating point of a slice: a cell projected onto the
-/// (cycles, energy) trade-off plane.
+/// (cycles, objective) trade-off plane.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ParetoPoint {
     /// Cell key (the full parameter identity).
@@ -23,28 +88,35 @@ pub struct ParetoPoint {
     pub mode: String,
     /// Parallel execution time in cycles.
     pub cycles: u64,
-    /// Total energy under the Table I model.
+    /// Total energy under the Table I model (always carried, whatever the
+    /// objective).
     pub energy: f64,
+    /// Value of the selected objective (equals `energy` for the raw-energy
+    /// objective).
+    pub objective_value: f64,
 }
 
 impl ParetoPoint {
-    fn from_record(r: &CellRecord) -> Self {
+    fn from_record(r: &CellRecord, objective: SweepObjective) -> Self {
         Self {
             key: r.key.clone(),
             mode: r.mode.clone(),
             cycles: r.total_cycles,
             energy: r.total_energy,
+            objective_value: objective.metric(r),
         }
     }
 }
 
-/// Pareto dominance on the (cycles, energy) plane, both minimized: `a`
+/// Pareto dominance on the (cycles, objective) plane, both minimized: `a`
 /// dominates `b` iff `a` is no worse on both axes and strictly better on at
 /// least one. Two coincident points do not dominate each other (both stay
 /// on the frontier).
 #[must_use]
 pub fn dominates(a: &ParetoPoint, b: &ParetoPoint) -> bool {
-    a.cycles <= b.cycles && a.energy <= b.energy && (a.cycles < b.cycles || a.energy < b.energy)
+    a.cycles <= b.cycles
+        && a.objective_value <= b.objective_value
+        && (a.cycles < b.cycles || a.objective_value < b.objective_value)
 }
 
 /// The Pareto frontier of one (workload, procs) slice.
@@ -86,12 +158,15 @@ pub struct SliceSummary {
     pub cycle_span: f64,
 }
 
-fn slices(records: &[CellRecord]) -> BTreeMap<(String, usize), Vec<ParetoPoint>> {
+fn slices(
+    records: &[CellRecord],
+    objective: SweepObjective,
+) -> BTreeMap<(String, usize), Vec<ParetoPoint>> {
     let mut map: BTreeMap<(String, usize), Vec<ParetoPoint>> = BTreeMap::new();
     for r in records {
         map.entry((r.workload.clone(), r.procs))
             .or_default()
-            .push(ParetoPoint::from_record(r));
+            .push(ParetoPoint::from_record(r, objective));
     }
     map
 }
@@ -99,15 +174,26 @@ fn slices(records: &[CellRecord]) -> BTreeMap<(String, usize), Vec<ParetoPoint>>
 fn point_order(a: &ParetoPoint, b: &ParetoPoint) -> std::cmp::Ordering {
     a.cycles
         .cmp(&b.cycles)
-        .then(a.energy.total_cmp(&b.energy))
+        .then(a.objective_value.total_cmp(&b.objective_value))
         .then(a.key.cmp(&b.key))
 }
 
-/// Compute the Pareto frontier of every (workload, procs) slice, in
-/// deterministic slice order (workload name, then processor count).
+/// Compute the Pareto frontier of every (workload, procs) slice under the
+/// raw-energy objective (the historical default).
 #[must_use]
 pub fn pareto_frontiers(records: &[CellRecord]) -> Vec<SliceFrontier> {
-    slices(records)
+    pareto_frontiers_with(records, SweepObjective::Energy)
+}
+
+/// Compute the Pareto frontier of every (workload, procs) slice under the
+/// chosen objective, in deterministic slice order (workload name, then
+/// processor count).
+#[must_use]
+pub fn pareto_frontiers_with(
+    records: &[CellRecord],
+    objective: SweepObjective,
+) -> Vec<SliceFrontier> {
+    slices(records, objective)
         .into_iter()
         .map(|((workload, procs), points)| {
             let mut frontier: Vec<ParetoPoint> = points
@@ -134,10 +220,11 @@ pub fn pareto_frontiers(records: &[CellRecord]) -> Vec<SliceFrontier> {
 }
 
 /// Summarize every (workload, procs) slice, in the same deterministic slice
-/// order as [`pareto_frontiers`].
+/// order as [`pareto_frontiers`]. The summary always uses the raw-energy
+/// axis (it reports spans of the measured quantities, not of an objective).
 #[must_use]
 pub fn summarize_slices(records: &[CellRecord]) -> Vec<SliceSummary> {
-    slices(records)
+    slices(records, SweepObjective::Energy)
         .into_iter()
         .map(|((workload, procs), mut points)| {
             points.sort_by(point_order);
@@ -190,12 +277,15 @@ mod tests {
     use super::*;
 
     fn record(workload: &str, procs: usize, key: &str, cycles: u64, energy: f64) -> CellRecord {
+        let n = cycles as f64;
         CellRecord {
+            schema: super::super::SCHEMA_VERSION,
             key: key.to_string(),
             workload: workload.to_string(),
             procs,
             l1_kb: 64,
             l1_assoc: 2,
+            leakage_percent: 20,
             scale: "test".to_string(),
             seed: 1,
             mode: format!("mode-{key}"),
@@ -207,16 +297,31 @@ mod tests {
             abort_rate: 0.2,
             gatings: 1,
             gated_cycles: 5,
+            energy_core_pipeline: energy,
+            energy_clock_tree: 0.0,
+            energy_l1_data_array: 0.0,
+            energy_l1_instr_array: 0.0,
+            energy_io_interface: 0.0,
+            energy_pll: 0.0,
+            energy_directory_sram: 0.0,
+            energy_interconnect: 0.0,
+            energy_gating_control: 0.0,
+            uncore_energy: 0.0,
+            total_energy_with_uncore: energy,
+            edp: energy * n,
+            ed2p: energy * n * n,
+            energy_per_commit: energy / 10.0,
         }
     }
 
     #[test]
     fn dominance_definition() {
-        let p = |cycles, energy| ParetoPoint {
+        let p = |cycles, energy: f64| ParetoPoint {
             key: "k".into(),
             mode: "m".into(),
             cycles,
             energy,
+            objective_value: energy,
         };
         assert!(dominates(&p(10, 5.0), &p(11, 6.0)), "better on both");
         assert!(
@@ -310,5 +415,75 @@ mod tests {
     fn empty_records_produce_no_slices() {
         assert!(pareto_frontiers(&[]).is_empty());
         assert!(summarize_slices(&[]).is_empty());
+    }
+
+    #[test]
+    fn objective_labels_parse_and_round_trip() {
+        for o in [
+            SweepObjective::Energy,
+            SweepObjective::Edp,
+            SweepObjective::Ed2p,
+        ] {
+            assert_eq!(SweepObjective::parse(o.label()), Some(o));
+        }
+        assert_eq!(SweepObjective::parse("nope"), None);
+        assert_eq!(SweepObjective::default(), SweepObjective::Energy);
+    }
+
+    #[test]
+    fn edp_objective_shrinks_the_frontier_to_a_strict_subset() {
+        // Classic trade-off: a fast-but-hungry point, a slow-but-frugal
+        // point, and a middle point. Under raw energy all three are
+        // non-dominated; under EDP the slow-frugal point loses because the
+        // fast point's E·N is smaller despite its higher energy.
+        //   fast:   N=50,  E=30  -> EDP 1500
+        //   mid:    N=70,  E=15  -> EDP 1050
+        //   frugal: N=200, E=10  -> EDP 2000 (dominated by both on EDP)
+        let records = vec![
+            record("w", 4, "fast", 50, 30.0),
+            record("w", 4, "mid", 70, 15.0),
+            record("w", 4, "frugal", 200, 10.0),
+        ];
+        let energy = &pareto_frontiers_with(&records, SweepObjective::Energy)[0];
+        let edp = &pareto_frontiers_with(&records, SweepObjective::Edp)[0];
+        assert_eq!(energy.frontier.len(), 3, "all three trade off on energy");
+        let edp_keys: Vec<&str> = edp.frontier.iter().map(|p| p.key.as_str()).collect();
+        assert_eq!(edp_keys, vec!["fast", "mid"]);
+        assert_eq!(edp.dominated, vec!["frugal"]);
+        // Every EDP-frontier point is also on the energy frontier (the
+        // subset property the module docs state).
+        for p in &edp.frontier {
+            assert!(energy.frontier.iter().any(|q| q.key == p.key));
+        }
+        // The objective value is the EDP, while the energy field still
+        // carries the raw energy for reporting.
+        let fast = &edp.frontier[0];
+        assert!((fast.objective_value - 1500.0).abs() < 1e-9);
+        assert!((fast.energy - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ed2p_objective_weights_delay_harder_than_edp() {
+        // fast: N=50, E=24 -> EDP 1200, ED2P 60_000;
+        // mid:  N=70, E=15 -> EDP 1050, ED2P 73_500.
+        // Under EDP `mid` is the better point; under ED²P the extra delay
+        // weighting flips the ordering toward the faster point.
+        let records = vec![
+            record("w", 4, "fast", 50, 24.0),
+            record("w", 4, "mid", 70, 15.0),
+        ];
+        let edp = &pareto_frontiers_with(&records, SweepObjective::Edp)[0];
+        let ed2p = &pareto_frontiers_with(&records, SweepObjective::Ed2p)[0];
+        // Under EDP the two points trade off (fast has fewer cycles, mid a
+        // lower EDP); under ED²P the faster point wins on both axes and the
+        // slower one drops off the frontier entirely.
+        assert_eq!(edp.frontier.len(), 2);
+        assert_eq!(ed2p.frontier.len(), 1);
+        assert_eq!(ed2p.frontier[0].key, "fast");
+        assert_eq!(ed2p.dominated, vec!["mid"]);
+        let r_fast = &records[0];
+        let r_mid = &records[1];
+        assert!(SweepObjective::Edp.metric(r_fast) > SweepObjective::Edp.metric(r_mid));
+        assert!(SweepObjective::Ed2p.metric(r_fast) < SweepObjective::Ed2p.metric(r_mid));
     }
 }

@@ -22,11 +22,14 @@ use std::sync::{Condvar, Mutex};
 
 use serde::Serialize;
 
+use htm_power::ledger::{ComponentEnergy, ALL_COMPONENTS};
 use htm_tcc::system::{EngineKind, SimError};
 
 use super::grid::{SweepCell, SweepGrid};
-use super::pareto::{pareto_frontiers, summarize_slices, SliceFrontier, SliceSummary};
-use super::CellRecord;
+use super::pareto::{
+    pareto_frontiers_with, summarize_slices, SliceFrontier, SliceSummary, SweepObjective,
+};
+use super::{CellRecord, SCHEMA_VERSION};
 use crate::report::{to_json, to_json_compact};
 use crate::sim::SimulationBuilder;
 
@@ -38,6 +41,8 @@ pub const PARETO_NAME: &str = "pareto.json";
 pub const SUMMARY_NAME: &str = "sweep_summary.json";
 /// File name of the grid-provenance artifact.
 pub const GRID_NAME: &str = "grid.json";
+/// File name of the per-cell component-energy artifact.
+pub const BREAKDOWN_NAME: &str = "energy_breakdown.json";
 
 /// Everything that can go wrong while running a sweep.
 #[derive(Debug)]
@@ -85,6 +90,19 @@ pub enum SweepError {
     /// An existing `sweep.jsonl` record does not belong to this grid
     /// (resuming with a different grid than the one that wrote the file).
     ForeignRecord(String),
+    /// An existing `sweep.jsonl` record was written under a different
+    /// record-layout version (e.g. a pre-ledger file without the
+    /// component-energy fields). Resuming would silently diverge from a
+    /// fresh run's bytes, so the file must be regenerated.
+    SchemaMismatch {
+        /// 1-based line number in `sweep.jsonl`.
+        line: usize,
+        /// The `schema` field the record carries (`None`: the field is
+        /// absent — a pre-versioning file).
+        found: Option<u64>,
+        /// The version this binary writes.
+        expected: u32,
+    },
 }
 
 impl std::fmt::Display for SweepError {
@@ -116,6 +134,23 @@ impl std::fmt::Display for SweepError {
                 "cannot resume: {JSONL_NAME} contains cell `{key}` which is not in this \
                  grid (was the file produced by a different grid?)"
             ),
+            SweepError::SchemaMismatch {
+                line,
+                found,
+                expected,
+            } => {
+                let found = found.map_or_else(
+                    || "no schema version (a pre-ledger file)".to_string(),
+                    |v| format!("schema version {v}"),
+                );
+                write!(
+                    f,
+                    "cannot resume: {JSONL_NAME} line {line} carries {found} but this \
+                     binary writes version {expected}; the record layout changed \
+                     (component-energy ledger fields) — delete the old file or re-run \
+                     without --resume"
+                )
+            }
         }
     }
 }
@@ -141,8 +176,79 @@ impl From<std::io::Error> for SweepError {
 pub struct ParetoReport {
     /// Grid name.
     pub grid: String,
+    /// Objective minimized on the frontier's second axis.
+    pub objective: String,
     /// One frontier per (workload, procs) slice, in deterministic order.
     pub frontiers: Vec<SliceFrontier>,
+}
+
+/// One cell of the sweep's `energy_breakdown.json` artifact.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SweepCellBreakdown {
+    /// Cell key.
+    pub key: String,
+    /// Gating-mode label.
+    pub mode: String,
+    /// Per-component energies, in ledger component order.
+    pub components: Vec<ComponentEnergy>,
+    /// Core subset total (the legacy Table I accounting).
+    pub core_energy: f64,
+    /// Uncore total.
+    pub uncore_energy: f64,
+    /// Ledger grand total.
+    pub total_energy: f64,
+    /// Energy-delay product of the ledger total.
+    pub edp: f64,
+    /// Energy-delay-squared product.
+    pub ed2p: f64,
+    /// Ledger total per committed transaction.
+    pub energy_per_commit: f64,
+}
+
+impl SweepCellBreakdown {
+    fn from_record(r: &CellRecord) -> Self {
+        let energies: Vec<f64> = r
+            .core_component_energies()
+            .into_iter()
+            .chain(r.uncore_component_energies())
+            .collect();
+        let components = ALL_COMPONENTS
+            .iter()
+            .zip(&energies)
+            .map(|(&c, &energy)| ComponentEnergy {
+                component: c.label().to_string(),
+                core: c.is_core(),
+                energy,
+                share_of_total: if r.total_energy_with_uncore > 0.0 {
+                    energy / r.total_energy_with_uncore
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        Self {
+            key: r.key.clone(),
+            mode: r.mode.clone(),
+            components,
+            core_energy: r.total_energy,
+            uncore_energy: r.uncore_energy,
+            total_energy: r.total_energy_with_uncore,
+            edp: r.edp,
+            ed2p: r.ed2p,
+            energy_per_commit: r.energy_per_commit,
+        }
+    }
+}
+
+/// The sweep's `energy_breakdown.json` artifact: per-cell component
+/// energies, assembled from the streamed records (and therefore
+/// byte-identical across stepping engines).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SweepBreakdownReport {
+    /// Grid name.
+    pub grid: String,
+    /// One breakdown per cell, in grid order.
+    pub cells: Vec<SweepCellBreakdown>,
 }
 
 /// The `sweep_summary.json` artifact.
@@ -161,6 +267,8 @@ pub struct SummaryReport {
 pub struct SweepOutcome {
     /// The grid that was run.
     pub grid: SweepGrid,
+    /// The objective the frontiers were computed under.
+    pub objective: SweepObjective,
     /// All cell records, in deterministic grid order (resumed and newly
     /// executed alike).
     pub records: Vec<CellRecord>,
@@ -178,13 +286,18 @@ pub struct SweepOutcome {
     pub pareto_path: PathBuf,
     /// Path of the summary artifact.
     pub summary_path: PathBuf,
+    /// Path of the per-cell component-energy artifact.
+    pub breakdown_path: PathBuf,
 }
 
 /// Simulate one cell on the chosen engine.
 pub fn run_cell(cell: &SweepCell, engine: EngineKind) -> Result<CellRecord, SimError> {
     let report = SimulationBuilder::new()
         .processors(cell.procs)
+        // `l1_geometry` already re-derives the power model's TCC d-cache
+        // factor for the swept capacity; only the leakage axis is added.
         .l1_geometry(cell.geometry.l1_kb, cell.geometry.l1_assoc)
+        .leakage_share(cell.leakage_share())
         .workload_by_name(&cell.workload, cell.scale, cell.seed)
         .map_err(SimError::BadWorkload)?
         .gating(cell.mode)
@@ -194,7 +307,11 @@ pub fn run_cell(cell: &SweepCell, engine: EngineKind) -> Result<CellRecord, SimE
     Ok(CellRecord::from_report(cell, &report))
 }
 
-/// Parse an existing `sweep.jsonl` into records, in file order.
+/// Parse an existing `sweep.jsonl` into records, in file order. Every line
+/// must carry the current [`SCHEMA_VERSION`]; files written by older
+/// binaries (whose records lack the ledger fields) are rejected with the
+/// version story instead of a puzzling missing-field error or, worse, a
+/// silently diverging resumed artifact.
 fn read_completed(path: &Path) -> Result<Vec<CellRecord>, SweepError> {
     let text = fs::read_to_string(path)?;
     let mut completed = Vec::new();
@@ -206,6 +323,14 @@ fn read_completed(path: &Path) -> Result<Vec<CellRecord>, SweepError> {
             line: i + 1,
             message: e.to_string(),
         })?;
+        let schema = value.get("schema").and_then(serde::Value::as_u64);
+        if schema != Some(u64::from(SCHEMA_VERSION)) {
+            return Err(SweepError::SchemaMismatch {
+                line: i + 1,
+                found: schema,
+                expected: SCHEMA_VERSION,
+            });
+        }
         let record = CellRecord::from_value(&value).map_err(|message| SweepError::Resume {
             line: i + 1,
             message,
@@ -248,23 +373,41 @@ fn check_resume_prefix(completed: &[CellRecord], keys: &[String]) -> Result<(), 
     Ok(())
 }
 
-/// Run a sweep grid, streaming records to `<out_dir>/sweep.jsonl` and
-/// writing the Pareto / summary / grid artifacts.
-///
-/// With `resume = true` and an existing `sweep.jsonl`, the recorded records
-/// must be the in-order prefix of this grid's cell list — exactly the shape
-/// any interrupted in-order run leaves behind; they are skipped and the
-/// remaining cells appended, converging to the byte-identical artifacts of
-/// an uninterrupted run. Resuming with a different (reordered or regrown)
-/// grid is rejected. Without `resume`, the file is rewritten from scratch.
-/// On a cell failure, the error names the first failing cell in grid order
-/// and the records streamed so far remain on disk, so a subsequent `resume`
-/// run picks up where the failure occurred.
+/// [`run_sweep_with`] under the raw-energy objective (the historical
+/// default).
 pub fn run_sweep(
     grid: &SweepGrid,
     engine: EngineKind,
     out_dir: &Path,
     resume: bool,
+) -> Result<SweepOutcome, SweepError> {
+    run_sweep_with(grid, engine, out_dir, resume, SweepObjective::Energy)
+}
+
+/// Run a sweep grid, streaming records to `<out_dir>/sweep.jsonl` and
+/// writing the Pareto / summary / grid / energy-breakdown artifacts, with
+/// the Pareto frontiers computed under the chosen objective.
+///
+/// With `resume = true` and an existing `sweep.jsonl`, the recorded records
+/// must carry the current schema version and be the in-order prefix of this
+/// grid's cell list — exactly the shape any interrupted in-order run leaves
+/// behind; they are skipped and the remaining cells appended, converging to
+/// the byte-identical artifacts of an uninterrupted run. Resuming with a
+/// different (reordered or regrown) grid or an old-schema file is rejected.
+/// Without `resume`, the file is rewritten from scratch. On a cell failure,
+/// the error names the first failing cell in grid order and the records
+/// streamed so far remain on disk, so a subsequent `resume` run picks up
+/// where the failure occurred.
+///
+/// The objective only affects the Pareto post-processing: `sweep.jsonl`,
+/// `grid.json` and `energy_breakdown.json` are objective-independent, so an
+/// interrupted `--objective edp` sweep can be resumed under any objective.
+pub fn run_sweep_with(
+    grid: &SweepGrid,
+    engine: EngineKind,
+    out_dir: &Path,
+    resume: bool,
+    objective: SweepObjective,
 ) -> Result<SweepOutcome, SweepError> {
     let cells = grid.expand();
     if cells.is_empty() {
@@ -403,14 +546,16 @@ pub fn run_sweep(
         .zip(&keys)
         .all(|(record, key)| record.key == *key));
 
-    let frontiers = pareto_frontiers(&records);
+    let frontiers = pareto_frontiers_with(&records, objective);
     let summaries = summarize_slices(&records);
     let pareto_path = out_dir.join(PARETO_NAME);
     let summary_path = out_dir.join(SUMMARY_NAME);
+    let breakdown_path = out_dir.join(BREAKDOWN_NAME);
     fs::write(
         &pareto_path,
         to_json(&ParetoReport {
             grid: grid.name.clone(),
+            objective: objective.label().to_string(),
             frontiers: frontiers.clone(),
         }),
     )?;
@@ -422,9 +567,20 @@ pub fn run_sweep(
             slices: summaries.clone(),
         }),
     )?;
+    fs::write(
+        &breakdown_path,
+        to_json(&SweepBreakdownReport {
+            grid: grid.name.clone(),
+            cells: records
+                .iter()
+                .map(SweepCellBreakdown::from_record)
+                .collect(),
+        }),
+    )?;
 
     Ok(SweepOutcome {
         grid: grid.clone(),
+        objective,
         records,
         executed,
         skipped,
@@ -433,6 +589,7 @@ pub fn run_sweep(
         jsonl_path,
         pareto_path,
         summary_path,
+        breakdown_path,
     })
 }
 
@@ -476,7 +633,13 @@ mod tests {
         let _b = run_sweep(&grid, EngineKind::FastForward, &dir_b, false).unwrap();
         assert_eq!(a.executed, grid.expand().len());
         assert_eq!(a.skipped, 0);
-        for name in [JSONL_NAME, PARETO_NAME, SUMMARY_NAME, GRID_NAME] {
+        for name in [
+            JSONL_NAME,
+            PARETO_NAME,
+            SUMMARY_NAME,
+            GRID_NAME,
+            BREAKDOWN_NAME,
+        ] {
             let bytes_a = fs::read(dir_a.join(name)).unwrap();
             let bytes_b = fs::read(dir_b.join(name)).unwrap();
             assert!(!bytes_a.is_empty());
@@ -643,7 +806,7 @@ mod tests {
         let dir_naive = test_dir("eng-naive");
         run_sweep(&grid, EngineKind::FastForward, &dir_fast, false).unwrap();
         run_sweep(&grid, EngineKind::Naive, &dir_naive, false).unwrap();
-        for name in [JSONL_NAME, PARETO_NAME, SUMMARY_NAME] {
+        for name in [JSONL_NAME, PARETO_NAME, SUMMARY_NAME, BREAKDOWN_NAME] {
             assert_eq!(
                 fs::read(dir_fast.join(name)).unwrap(),
                 fs::read(dir_naive.join(name)).unwrap(),
@@ -660,6 +823,7 @@ mod tests {
             workload: "intruder".into(),
             procs: 4,
             geometry: Default::default(),
+            leakage_percent: 20,
             scale: WorkloadScale::Test,
             seed: 42,
             mode: GatingMode::ClockGate { w0: 8 },
@@ -668,5 +832,126 @@ mod tests {
         let record = run_cell(&cell, EngineKind::FastForward).unwrap();
         assert!(record.gatings > 0);
         assert!(record.gated_cycles > 0);
+        assert!(record.energy_gating_control > 0.0);
+        assert!(record.uncore_energy > 0.0);
+    }
+
+    #[test]
+    fn swept_leakage_share_flows_into_the_record() {
+        let base = SweepCell {
+            workload: "intruder".into(),
+            procs: 4,
+            geometry: Default::default(),
+            leakage_percent: 20,
+            scale: WorkloadScale::Test,
+            seed: 42,
+            mode: GatingMode::ClockGate { w0: 8 },
+            cycle_limit: 20_000_000,
+        };
+        let leaky = SweepCell {
+            leakage_percent: 40,
+            ..base.clone()
+        };
+        let a = run_cell(&base, EngineKind::FastForward).unwrap();
+        let b = run_cell(&leaky, EngineKind::FastForward).unwrap();
+        assert_eq!(a.total_cycles, b.total_cycles, "power model is passive");
+        assert_eq!(b.leakage_percent, 40);
+        assert!(
+            b.total_energy > a.total_energy,
+            "a leakier node burns more during the gated/miss states"
+        );
+    }
+
+    #[test]
+    fn resume_rejects_old_schema_records_with_the_version_story() {
+        let grid = tiny_grid();
+        let dir = test_dir("schema");
+        let fresh = run_sweep(&grid, EngineKind::FastForward, &dir, false).unwrap();
+        // Forge a pre-ledger file: strip the schema field from every line
+        // (the v1 layout had no such field at all).
+        let text = fs::read_to_string(&fresh.jsonl_path).unwrap();
+        let stripped: String = text
+            .lines()
+            .map(|l| format!("{}\n", l.replacen("\"schema\":2,", "", 1)))
+            .collect();
+        assert_ne!(stripped, text, "the schema field must have been present");
+        fs::write(&fresh.jsonl_path, stripped).unwrap();
+        let err = run_sweep(&grid, EngineKind::FastForward, &dir, true).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SweepError::SchemaMismatch {
+                    line: 1,
+                    found: None,
+                    expected: super::super::SCHEMA_VERSION,
+                }
+            ),
+            "{err}"
+        );
+        let rendered = err.to_string();
+        assert!(rendered.contains("pre-ledger"), "{rendered}");
+        assert!(rendered.contains("--resume"), "{rendered}");
+
+        // A wrong (future/old numbered) version is told apart from a
+        // missing field.
+        let renumbered: String = text
+            .lines()
+            .map(|l| format!("{}\n", l.replacen("\"schema\":2,", "\"schema\":1,", 1)))
+            .collect();
+        fs::write(&fresh.jsonl_path, renumbered).unwrap();
+        let err = run_sweep(&grid, EngineKind::FastForward, &dir, true).unwrap_err();
+        assert!(
+            matches!(err, SweepError::SchemaMismatch { found: Some(1), .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn objective_changes_the_pareto_artifact_but_not_the_records() {
+        let grid = tiny_grid();
+        let dir_energy = test_dir("obj-energy");
+        let dir_edp = test_dir("obj-edp");
+        let energy = run_sweep_with(
+            &grid,
+            EngineKind::FastForward,
+            &dir_energy,
+            false,
+            SweepObjective::Energy,
+        )
+        .unwrap();
+        let edp = run_sweep_with(
+            &grid,
+            EngineKind::FastForward,
+            &dir_edp,
+            false,
+            SweepObjective::Edp,
+        )
+        .unwrap();
+        // The measurement artifacts are objective-independent...
+        for name in [JSONL_NAME, GRID_NAME, BREAKDOWN_NAME] {
+            assert_eq!(
+                fs::read(dir_energy.join(name)).unwrap(),
+                fs::read(dir_edp.join(name)).unwrap(),
+                "{name} must not depend on the objective"
+            );
+        }
+        // ...while the frontier artifact records which objective it used.
+        let pareto_energy = fs::read_to_string(&energy.pareto_path).unwrap();
+        let pareto_edp = fs::read_to_string(&edp.pareto_path).unwrap();
+        assert!(pareto_energy.contains("\"objective\": \"energy\""));
+        assert!(pareto_edp.contains("\"objective\": \"edp\""));
+        // An interrupted EDP sweep resumes cleanly (the records carry no
+        // objective).
+        let resumed = run_sweep_with(
+            &grid,
+            EngineKind::FastForward,
+            &dir_edp,
+            true,
+            SweepObjective::Edp,
+        )
+        .unwrap();
+        assert_eq!(resumed.executed, 0);
+        let _ = fs::remove_dir_all(&dir_energy);
+        let _ = fs::remove_dir_all(&dir_edp);
     }
 }

@@ -71,6 +71,37 @@ fn assert_identical(fast: &SimReport, naive: &SimReport, context: &str) {
         to_json(naive),
         "{context}: serialized reports diverged between engines"
     );
+    assert_ledger_exact(fast, context);
+}
+
+/// The component ledger's exactness invariant: its core subset must
+/// reproduce both the legacy direct four-state accounting and the paper's
+/// Eq. 1 / Eq. 5 interval formulation (the batched `acct_until` settlement
+/// of the fast engine and the per-cycle naive accounting feed the same
+/// integer cycle tallies).
+fn assert_ledger_exact(report: &SimReport, context: &str) {
+    assert_eq!(
+        report.ledger.legacy_total, report.energy.total_energy,
+        "{context}: ledger cross-check total is not the legacy total"
+    );
+    assert!(
+        report.ledger.core_discrepancy() < 1e-12,
+        "{context}: ledger core subset {} vs legacy {}",
+        report.ledger.core_energy,
+        report.ledger.legacy_total
+    );
+    assert!(
+        report.ledger.interval_discrepancy() < 1e-9,
+        "{context}: ledger core subset {} vs Eq. 1/5 interval {}",
+        report.ledger.core_energy,
+        report.ledger.interval_total
+    );
+    let component_sum: f64 = report.ledger.components.iter().map(|c| c.energy).sum();
+    let tol = 1e-9 * report.ledger.total_energy.max(1.0);
+    assert!(
+        (component_sum - report.ledger.total_energy).abs() <= tol,
+        "{context}: component energies do not sum to the ledger total"
+    );
 }
 
 #[test]
@@ -164,5 +195,22 @@ proptest! {
         prop_assert_eq!(&fast.outcome, &naive.outcome);
         prop_assert_eq!(&fast.gating, &naive.gating);
         prop_assert_eq!(to_json(&fast), to_json(&naive));
+        // The component ledger is part of the serialized report (so the
+        // line above already proves engine byte-agreement); additionally
+        // assert its exactness invariant on both engines' reports.
+        for (report, engine) in [(&fast, "fast"), (&naive, "naive")] {
+            prop_assert!(report.ledger.core_discrepancy() < 1e-12,
+                "{} engine: core {} vs legacy {}",
+                engine, report.ledger.core_energy, report.ledger.legacy_total);
+            prop_assert!(report.ledger.interval_discrepancy() < 1e-9,
+                "{} engine: core {} vs interval {}",
+                engine, report.ledger.core_energy, report.ledger.interval_total);
+            let component_sum: f64 =
+                report.ledger.components.iter().map(|c| c.energy).sum();
+            let tol = 1e-9 * report.ledger.total_energy.max(1.0);
+            prop_assert!((component_sum - report.ledger.total_energy).abs() <= tol,
+                "{} engine: components sum {} vs ledger total {}",
+                engine, component_sum, report.ledger.total_energy);
+        }
     }
 }

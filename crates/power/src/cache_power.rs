@@ -126,6 +126,20 @@ impl CachePowerModel {
         BASELINE_UNITS * 0.20
     }
 
+    /// The Table I data-cache power factor implied by this cache geometry:
+    /// the analytical TCC factor at word (2-byte) tracking, quantized to the
+    /// half-unit precision at which the paper quotes it ("conservatively
+    /// 1.5×"). At the paper's 64 KB geometry this derivation produces
+    /// exactly 1.5, which is what [`crate::model::PowerModelConfig`] feeds
+    /// into the Table I commit/miss factors — the constant is no longer
+    /// hard-coded independently of this model, so recalibrating the cache
+    /// model far enough to move the quantized factor shows up in Table I
+    /// (and its pinned tests) immediately.
+    #[must_use]
+    pub fn table1_dcache_factor(&self) -> f64 {
+        (self.tcc_breakdown(2).factor() * 2.0).round() / 2.0
+    }
+
     /// Full breakdown of the TCC data-cache power at a given RW resolution.
     #[must_use]
     pub fn tcc_breakdown(&self, resolution_bytes: usize) -> TccCacheBreakdown {
@@ -228,6 +242,21 @@ mod tests {
             "total TCC cache factor should be ~1.5x, got {:.2}",
             b.factor()
         );
+    }
+
+    #[test]
+    fn table1_factor_derives_to_exactly_one_and_a_half_at_the_paper_geometry() {
+        // Satellite invariant: the Table I factor is *derived* from the swept
+        // L1 geometry (analytical factor quantized to the paper's half-unit
+        // precision), and at the paper's 64 KB point the derivation lands on
+        // exactly the quoted 1.5.
+        let m = CachePowerModel::new_kb(64);
+        assert_eq!(m.table1_dcache_factor(), 1.5);
+        // The derivation is stable across the swept geometries (the
+        // analytical factor stays within the same half-unit bucket).
+        for kb in [16usize, 32, 128] {
+            assert_eq!(CachePowerModel::new_kb(kb).table1_dcache_factor(), 1.5);
+        }
     }
 
     #[test]

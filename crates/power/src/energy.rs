@@ -260,6 +260,7 @@ mod tests {
             proc_stats: vec![ProcStats::new(); p],
             intervals,
             bus: BusStats::default(),
+            dir_stats: Vec::new(),
             total_commits: 10,
             total_aborts: 5,
             total_gatings: 2,

@@ -1,0 +1,767 @@
+//! Component-resolved energy ledger.
+//!
+//! The Table I model of [`crate::model`] answers "how much energy did the
+//! run consume?"; this module answers "*where did it go?*". It splits the
+//! same four-state accounting into an [`EnergyComponent`] taxonomy — core
+//! pipeline, clock tree, the TCC-augmented L1 arrays, I/O, PLL — accounted
+//! per processor × per power state, and additionally charges the **uncore**
+//! the paper ignores: directory SRAM lookups and leakage, interconnect
+//! flits, and the gating tables/timers with their `TxInfoReq` traffic (in
+//! the spirit of the component-level accounting of the data-dependent
+//! clock-gating literature, Sarkar et al. 2018).
+//!
+//! Exactness contract:
+//!
+//! * the per-component factors of each state sum to that state's Table I
+//!   factor **by construction** (the core pipeline is the residual), so the
+//!   core subset of the ledger reproduces the legacy four-state accounting
+//!   and the paper's Eq. 1/Eq. 5 interval formulation to float-rounding
+//!   noise — [`EnergyLedgerReport::core_discrepancy`] and
+//!   [`EnergyLedgerReport::interval_discrepancy`] carry both cross-checks;
+//! * every input is part of the engine-exact [`RunOutcome`], so the ledger
+//!   is byte-identical under the fast-forward and naive stepping engines.
+//!
+//! The ledger also derives the energy-delay metrics the sweep's selectable
+//! objectives optimize: `EDP = E·N`, `ED²P = E·N²` and energy per committed
+//! transaction.
+
+use serde::{Deserialize, Serialize};
+
+use htm_tcc::stats::{PowerState, RunOutcome, StateCycles};
+
+use crate::energy;
+use crate::model::PowerModelConfig;
+
+/// The four power states, in ledger index order.
+const STATES: [PowerState; 4] = [
+    PowerState::Run,
+    PowerState::Miss,
+    PowerState::Commit,
+    PowerState::Gated,
+];
+
+fn state_idx(state: PowerState) -> usize {
+    match state {
+        PowerState::Run => 0,
+        PowerState::Miss => 1,
+        PowerState::Commit => 2,
+        PowerState::Gated => 3,
+    }
+}
+
+/// One accounted component of the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EnergyComponent {
+    /// Execution core: fetch/decode/issue/ALU/registers (the residual of
+    /// the Alpha 21264 breakdown after the named components).
+    CorePipeline,
+    /// The clock distribution network (32 % of the Alpha 21264).
+    ClockTree,
+    /// The TCC-augmented L1 data array: RW tracking bits, store-address
+    /// FIFO and commit controller included.
+    L1DataArray,
+    /// The L1 instruction array.
+    L1InstrArray,
+    /// The processor's I/O interfaces.
+    IoInterface,
+    /// The always-running PLL (kept on even while clock-gated).
+    Pll,
+    /// Uncore: the directory sharer/state SRAM of every home node.
+    DirectorySram,
+    /// Uncore: the split-transaction bus (charged per payload flit).
+    Interconnect,
+    /// Uncore: the gating tables, timers and their `TxInfoReq` traffic.
+    GatingControl,
+}
+
+/// The core-local components, i.e. the subset whose per-state factors sum to
+/// the Table I factors (ledger index order).
+pub const CORE_COMPONENTS: [EnergyComponent; 6] = [
+    EnergyComponent::CorePipeline,
+    EnergyComponent::ClockTree,
+    EnergyComponent::L1DataArray,
+    EnergyComponent::L1InstrArray,
+    EnergyComponent::IoInterface,
+    EnergyComponent::Pll,
+];
+
+/// The uncore components the paper's model ignores.
+pub const UNCORE_COMPONENTS: [EnergyComponent; 3] = [
+    EnergyComponent::DirectorySram,
+    EnergyComponent::Interconnect,
+    EnergyComponent::GatingControl,
+];
+
+/// Every component, core first, in the order the artifacts list them.
+pub const ALL_COMPONENTS: [EnergyComponent; 9] = [
+    EnergyComponent::CorePipeline,
+    EnergyComponent::ClockTree,
+    EnergyComponent::L1DataArray,
+    EnergyComponent::L1InstrArray,
+    EnergyComponent::IoInterface,
+    EnergyComponent::Pll,
+    EnergyComponent::DirectorySram,
+    EnergyComponent::Interconnect,
+    EnergyComponent::GatingControl,
+];
+
+impl EnergyComponent {
+    /// Stable snake_case label used in artifacts and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EnergyComponent::CorePipeline => "core_pipeline",
+            EnergyComponent::ClockTree => "clock_tree",
+            EnergyComponent::L1DataArray => "l1_data_array",
+            EnergyComponent::L1InstrArray => "l1_instr_array",
+            EnergyComponent::IoInterface => "io_interface",
+            EnergyComponent::Pll => "pll",
+            EnergyComponent::DirectorySram => "directory_sram",
+            EnergyComponent::Interconnect => "interconnect",
+            EnergyComponent::GatingControl => "gating_control",
+        }
+    }
+
+    /// Whether the component belongs to the processor core (the Table I
+    /// subset) rather than the uncore.
+    #[must_use]
+    pub fn is_core(self) -> bool {
+        !matches!(
+            self,
+            EnergyComponent::DirectorySram
+                | EnergyComponent::Interconnect
+                | EnergyComponent::GatingControl
+        )
+    }
+}
+
+/// Per-event / per-cycle energy costs of the uncore, in the same unit as
+/// everything else (run-mode power of one core × one cycle = 1.0).
+///
+/// The paper charges none of these; the defaults below are deliberately
+/// modest first-order estimates (documented per field) so the uncore lands
+/// in the low single-digit percent range of the core energy — enough to
+/// shift a close gated-vs-ungated comparison, which is exactly the analysis
+/// `docs/REPRODUCING.md` performs on the non-reproducing headline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UncoreCosts {
+    /// Energy per control flit (one cycle of bus-path occupancy by a short
+    /// message). The I/O interfaces draw 5 % of core power while active;
+    /// one active cycle of the narrow control path is charged a fraction of
+    /// that.
+    pub control_flit_energy: f64,
+    /// Energy per data flit (one cycle of a cache-line transfer occupying
+    /// the full 16-byte path — the whole interface active).
+    pub data_flit_energy: f64,
+    /// Energy per directory SRAM lookup (miss service, mark write or
+    /// commit grant — one row access of a small SRAM).
+    pub dir_lookup_energy: f64,
+    /// Leakage of one directory node's SRAM per cycle.
+    pub dir_leakage_per_cycle: f64,
+    /// Energy of one `TxInfoReq` round-trip: two control messages plus a
+    /// table lookup on each side.
+    pub txinfo_roundtrip_energy: f64,
+    /// Energy of one "Stop Clock" event: a gating-table CAM write plus a
+    /// timer load.
+    pub gate_event_energy: f64,
+    /// Leakage/clocking of one directory's gating table and timers per
+    /// cycle; charged only when the gating hardware is present at all.
+    pub gating_table_leakage_per_cycle: f64,
+}
+
+impl Default for UncoreCosts {
+    fn default() -> Self {
+        Self {
+            control_flit_energy: 0.02,
+            data_flit_energy: 0.05,
+            dir_lookup_energy: 0.02,
+            dir_leakage_per_cycle: 0.01,
+            txinfo_roundtrip_energy: 0.06,
+            gate_event_energy: 0.05,
+            gating_table_leakage_per_cycle: 0.002,
+        }
+    }
+}
+
+/// Engine-exact activity tallies the uncore charges are computed from.
+///
+/// Everything here is either carried by [`RunOutcome`] directly (bus flits,
+/// directory stats, gating counts) or derived from it plus mode-level
+/// knowledge the caller has (renewal-time `TxInfoReq`s only exist when the
+/// renewal check is enabled; the gating tables only leak when the gating
+/// hardware exists).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UncoreActivity {
+    /// Control payload flits moved over the interconnect.
+    pub control_flits: u64,
+    /// Data payload flits moved over the interconnect.
+    pub data_flits: u64,
+    /// Directory SRAM lookups (miss services + marks + grants).
+    pub dir_lookups: u64,
+    /// `TxInfoReq` round-trips (abort-time, from the directory stats, plus
+    /// renewal-time checks reported by the gating controller).
+    pub txinfo_roundtrips: u64,
+    /// "Stop Clock" events (processor transitions into the gated state).
+    pub gate_events: u64,
+    /// Directory-cycles over the run: `num_dirs × total_cycles` (the SRAM
+    /// leakage window).
+    pub dir_cycles: u64,
+    /// Directory-cycles during which gating tables/timers existed: equal to
+    /// [`Self::dir_cycles`] for clock-gating modes, zero otherwise.
+    pub gating_table_cycles: u64,
+}
+
+impl UncoreActivity {
+    /// Derive the tallies from a finished run. `gating_hardware` says
+    /// whether the machine had gating tables at all (any clock-gating
+    /// mode); `renewal_txinfo` is the number of renewal-time `TxInfoReq`
+    /// round-trips the gating controller performed (zero for non-gating
+    /// modes and for the blind-timer ablation).
+    #[must_use]
+    pub fn from_outcome(outcome: &RunOutcome, gating_hardware: bool, renewal_txinfo: u64) -> Self {
+        let dir_cycles = outcome.num_dirs() as u64 * outcome.total_cycles;
+        Self {
+            control_flits: outcome.bus.control_flits,
+            data_flits: outcome.bus.data_flits,
+            dir_lookups: outcome.total_dir_lookups(),
+            txinfo_roundtrips: outcome.total_txinfo_roundtrips() + renewal_txinfo,
+            gate_events: outcome.total_gatings,
+            dir_cycles,
+            gating_table_cycles: if gating_hardware { dir_cycles } else { 0 },
+        }
+    }
+}
+
+/// The per-state factors of every core component, derived from a
+/// [`PowerModelConfig`].
+///
+/// Derivation: each component's run-mode dynamic share comes from the Alpha
+/// 21264 breakdown (the TCC augmentation is absorbed into the run = 1.0
+/// normalization, matching Table I); the leakage budget is split between
+/// the PLL (a configured fraction) and the remaining components in
+/// proportion to their dynamic shares. During a miss/commit only the TCC
+/// data array, the I/O interfaces and their clock slice stay active (at the
+/// miss-activity factor, resp. fully); while gated only leakage remains.
+/// The **core pipeline is the residual** of each state's Table I factor, so
+/// the component sums reproduce the four-state model exactly by
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentFactors {
+    /// `factors[component][state]`, `CORE_COMPONENTS` × `STATES` order.
+    factors: [[f64; 4]; 6],
+}
+
+impl ComponentFactors {
+    /// Derive the per-component factors from a model configuration.
+    #[must_use]
+    pub fn from_config(cfg: &PowerModelConfig) -> Self {
+        let model = cfg.factors();
+        let dynamic = cfg.dynamic_share();
+        // Run-mode dynamic shares (of total run power) per component, in
+        // CORE_COMPONENTS order. The pipeline slot is filled as a residual.
+        let l1d = cfg.tcc_dcache_share();
+        let shares = [
+            0.0, // CorePipeline: residual
+            cfg.clock_share,
+            l1d,
+            cfg.icache_share,
+            cfg.io_share,
+            0.0, // Pll: folded into the clock tree's dynamic share
+        ];
+        // Leakage split: the PLL takes its configured fraction; the rest is
+        // distributed over the remaining components in proportion to their
+        // dynamic shares (pipeline's leak falls out of the residual).
+        let pll_leak = cfg.leakage_share * cfg.pll_leakage_fraction;
+        let leak_budget = cfg.leakage_share - pll_leak;
+        // Per-state activity of the commit-active set {L1D, IO, their clock
+        // slice}; everything else is inactive outside Run.
+        let miss_act = cfg.miss_activity_factor;
+        let mut factors = [[0.0f64; 4]; 6];
+        for (c, share) in shares.iter().enumerate().skip(1) {
+            let leak = if CORE_COMPONENTS[c] == EnergyComponent::Pll {
+                pll_leak
+            } else {
+                leak_budget * share
+            };
+            let (miss_dyn, commit_dyn) = match CORE_COMPONENTS[c] {
+                EnergyComponent::ClockTree => (
+                    dynamic * miss_act * cfg.cache_io_clock_share,
+                    dynamic * cfg.cache_io_clock_share,
+                ),
+                EnergyComponent::L1DataArray => (dynamic * miss_act * l1d, dynamic * l1d),
+                EnergyComponent::IoInterface => {
+                    (dynamic * miss_act * cfg.io_share, dynamic * cfg.io_share)
+                }
+                _ => (0.0, 0.0),
+            };
+            factors[c] = [
+                leak + dynamic * share,
+                leak + miss_dyn,
+                leak + commit_dyn,
+                if cfg.power_gated_standby { 0.0 } else { leak },
+            ];
+        }
+        // The pipeline is the residual of each state's Table I factor, which
+        // makes the component sums exact by construction.
+        for (s, &state) in STATES.iter().enumerate() {
+            let others: f64 = (1..6).map(|c| factors[c][s]).sum();
+            factors[0][s] = model.factor(state) - others;
+        }
+        Self { factors }
+    }
+
+    /// Power factor of a core component in a given state.
+    ///
+    /// # Panics
+    /// Panics if called with an uncore component (those are charged per
+    /// event, not per state).
+    #[must_use]
+    pub fn factor(&self, component: EnergyComponent, state: PowerState) -> f64 {
+        let c = CORE_COMPONENTS
+            .iter()
+            .position(|&x| x == component)
+            .expect("per-state factors exist only for core components");
+        self.factors[c][state_idx(state)]
+    }
+
+    /// Sum of the component factors of a state (equals the Table I factor).
+    #[must_use]
+    pub fn state_total(&self, state: PowerState) -> f64 {
+        let s = state_idx(state);
+        self.factors.iter().map(|row| row[s]).sum()
+    }
+}
+
+/// One component's share of a run's energy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentEnergy {
+    /// Component label ([`EnergyComponent::label`]).
+    pub component: String,
+    /// Whether the component is core-local (Table I subset) or uncore.
+    pub core: bool,
+    /// Energy consumed, in run-power × cycles.
+    pub energy: f64,
+    /// Fraction of the ledger's total (core + uncore) energy.
+    pub share_of_total: f64,
+}
+
+/// The complete component-resolved energy analysis of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyLedgerReport {
+    /// Workload name.
+    pub workload: String,
+    /// Number of processors.
+    pub num_procs: usize,
+    /// Parallel-section execution time in cycles.
+    pub execution_cycles: u64,
+    /// One entry per component, in [`ALL_COMPONENTS`] order.
+    pub components: Vec<ComponentEnergy>,
+    /// Per-processor core energy (component-resolved accounting summed over
+    /// that processor's states).
+    pub per_proc_core: Vec<f64>,
+    /// Core subset total: must reproduce the legacy four-state accounting.
+    pub core_energy: f64,
+    /// Uncore total (directory SRAM + interconnect + gating control).
+    pub uncore_energy: f64,
+    /// Ledger grand total: `core_energy + uncore_energy`.
+    pub total_energy: f64,
+    /// Cross-check: the legacy direct four-state accounting
+    /// (`EnergyReport.total_energy`).
+    pub legacy_total: f64,
+    /// Cross-check: the paper's Eq. 1 / Eq. 5 interval formulation.
+    pub interval_total: f64,
+    /// Energy-delay product `E·N` of the ledger total.
+    pub edp: f64,
+    /// Energy-delay-squared product `E·N²`.
+    pub ed2p: f64,
+    /// Ledger total divided by committed transactions (0 when none).
+    pub energy_per_commit: f64,
+    /// Ledger total over `cycles × procs` (fraction of one core's run
+    /// power; comparable to, and slightly above, the legacy average power).
+    pub average_power: f64,
+}
+
+impl EnergyLedgerReport {
+    /// Relative disagreement between the ledger's core subset and the legacy
+    /// four-state accounting (float-rounding noise only).
+    #[must_use]
+    pub fn core_discrepancy(&self) -> f64 {
+        relative(self.core_energy, self.legacy_total)
+    }
+
+    /// Relative disagreement between the ledger's core subset and the
+    /// Eq. 1 / Eq. 5 interval formulation.
+    #[must_use]
+    pub fn interval_discrepancy(&self) -> f64 {
+        relative(self.core_energy, self.interval_total)
+    }
+
+    /// Energy of one component (by label-equivalent enum).
+    #[must_use]
+    pub fn component_energy(&self, component: EnergyComponent) -> f64 {
+        let idx = ALL_COMPONENTS
+            .iter()
+            .position(|&c| c == component)
+            .expect("ALL_COMPONENTS is total");
+        self.components[idx].energy
+    }
+
+    /// Uncore share of the ledger total, as a fraction in `[0, 1]`.
+    #[must_use]
+    pub fn uncore_share(&self) -> f64 {
+        if self.total_energy > 0.0 {
+            self.uncore_energy / self.total_energy
+        } else {
+            0.0
+        }
+    }
+}
+
+fn relative(a: f64, b: f64) -> f64 {
+    let scale = b.abs().max(1.0);
+    (a - b).abs() / scale
+}
+
+/// Streaming accumulator for the component ledger.
+///
+/// The engines' state records arrive as `(processor, state, cycles)` charges
+/// — per-cycle from the naive engine's viewpoint, batched by the
+/// fast-forward engine's `acct_until` settlement — and the builder folds
+/// them into per-processor × per-component energy as they stream in. The
+/// two arrival orders produce the same sums because each processor's charges
+/// arrive in state-bucket batches either way (the ledger multiplies exact
+/// integer cycle tallies, see [`LedgerBuilder::finish`]).
+#[derive(Debug, Clone)]
+pub struct LedgerBuilder {
+    factors: ComponentFactors,
+    costs: UncoreCosts,
+    /// Exact integer cycle tallies: `[proc][state]`.
+    proc_state_cycles: Vec<[u64; 4]>,
+    uncore: UncoreActivity,
+}
+
+impl LedgerBuilder {
+    /// Create a builder for `num_procs` processors under `cfg`.
+    #[must_use]
+    pub fn new(cfg: &PowerModelConfig, num_procs: usize) -> Self {
+        Self {
+            factors: ComponentFactors::from_config(cfg),
+            costs: cfg.uncore,
+            proc_state_cycles: vec![[0u64; 4]; num_procs],
+            uncore: UncoreActivity::default(),
+        }
+    }
+
+    /// Charge `cycles` cycles of `state` to processor `proc`.
+    pub fn charge(&mut self, proc: usize, state: PowerState, cycles: u64) {
+        self.proc_state_cycles[proc][state_idx(state)] += cycles;
+    }
+
+    /// Charge a processor's whole [`StateCycles`] record in one call.
+    pub fn charge_state_cycles(&mut self, proc: usize, sc: &StateCycles) {
+        self.charge(proc, PowerState::Run, sc.run);
+        self.charge(proc, PowerState::Miss, sc.miss);
+        self.charge(proc, PowerState::Commit, sc.commit);
+        self.charge(proc, PowerState::Gated, sc.gated);
+    }
+
+    /// Set the uncore activity tallies (replaces any previous value).
+    pub fn charge_uncore(&mut self, activity: UncoreActivity) {
+        self.uncore = activity;
+    }
+
+    /// Evaluate the ledger. `legacy_total` / `interval_total` are the two
+    /// cross-check accountings of [`crate::energy`]; `total_commits` feeds
+    /// the per-transaction metric.
+    #[must_use]
+    pub fn finish(
+        &self,
+        workload: &str,
+        execution_cycles: u64,
+        total_commits: u64,
+        legacy_total: f64,
+        interval_total: f64,
+    ) -> EnergyLedgerReport {
+        let num_procs = self.proc_state_cycles.len();
+        // Aggregate exact integer cycle tallies per state, then multiply by
+        // the factors once per (component, state): the summation order is
+        // canonical, independent of how the charges streamed in.
+        let mut state_totals = [0u64; 4];
+        for per_proc in &self.proc_state_cycles {
+            for (s, cycles) in per_proc.iter().enumerate() {
+                state_totals[s] += cycles;
+            }
+        }
+        let mut core_by_component = [0.0f64; 6];
+        for (c, slot) in core_by_component.iter_mut().enumerate() {
+            for (s, &state) in STATES.iter().enumerate() {
+                *slot += state_totals[s] as f64 * self.factors.factor(CORE_COMPONENTS[c], state);
+            }
+        }
+        let per_proc_core: Vec<f64> = self
+            .proc_state_cycles
+            .iter()
+            .map(|per_state| {
+                let mut e = 0.0;
+                for (s, &state) in STATES.iter().enumerate() {
+                    let cycles = per_state[s] as f64;
+                    for &c in &CORE_COMPONENTS {
+                        e += cycles * self.factors.factor(c, state);
+                    }
+                }
+                e
+            })
+            .collect();
+        let core_energy: f64 = core_by_component.iter().sum();
+
+        let u = &self.uncore;
+        let costs = &self.costs;
+        let directory = u.dir_lookups as f64 * costs.dir_lookup_energy
+            + u.dir_cycles as f64 * costs.dir_leakage_per_cycle;
+        let interconnect = u.control_flits as f64 * costs.control_flit_energy
+            + u.data_flits as f64 * costs.data_flit_energy;
+        let gating_control = u.gate_events as f64 * costs.gate_event_energy
+            + u.txinfo_roundtrips as f64 * costs.txinfo_roundtrip_energy
+            + u.gating_table_cycles as f64 * costs.gating_table_leakage_per_cycle;
+        let uncore_energy = directory + interconnect + gating_control;
+        let total_energy = core_energy + uncore_energy;
+
+        let energies: Vec<(EnergyComponent, f64)> = CORE_COMPONENTS
+            .iter()
+            .zip(core_by_component)
+            .map(|(&c, e)| (c, e))
+            .chain([
+                (EnergyComponent::DirectorySram, directory),
+                (EnergyComponent::Interconnect, interconnect),
+                (EnergyComponent::GatingControl, gating_control),
+            ])
+            .collect();
+        let components = energies
+            .into_iter()
+            .map(|(c, energy)| ComponentEnergy {
+                component: c.label().to_string(),
+                core: c.is_core(),
+                energy,
+                share_of_total: if total_energy > 0.0 {
+                    energy / total_energy
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+
+        let n = execution_cycles as f64;
+        EnergyLedgerReport {
+            workload: workload.to_string(),
+            num_procs,
+            execution_cycles,
+            components,
+            per_proc_core,
+            core_energy,
+            uncore_energy,
+            total_energy,
+            legacy_total,
+            interval_total,
+            edp: total_energy * n,
+            ed2p: total_energy * n * n,
+            energy_per_commit: if total_commits > 0 {
+                total_energy / total_commits as f64
+            } else {
+                0.0
+            },
+            average_power: if execution_cycles > 0 && num_procs > 0 {
+                total_energy / (n * num_procs as f64)
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Analyze a finished run into the component ledger.
+///
+/// `uncore` carries the activity tallies (see
+/// [`UncoreActivity::from_outcome`]); the legacy and interval cross-check
+/// totals are computed here from the same configuration.
+#[must_use]
+pub fn analyze(
+    outcome: &RunOutcome,
+    cfg: &PowerModelConfig,
+    uncore: UncoreActivity,
+) -> EnergyLedgerReport {
+    let model = cfg.factors();
+    let legacy = energy::analyze(outcome, &model);
+    let mut builder = LedgerBuilder::new(cfg, outcome.num_procs);
+    for (proc, sc) in outcome.state_cycles.iter().enumerate() {
+        builder.charge_state_cycles(proc, sc);
+    }
+    builder.charge_uncore(uncore);
+    builder.finish(
+        &outcome.workload,
+        outcome.total_cycles,
+        outcome.total_commits,
+        legacy.total_energy,
+        legacy.total_energy_interval,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PowerModelConfig {
+        PowerModelConfig::alpha_21264_65nm()
+    }
+
+    #[test]
+    fn component_factors_sum_to_table1_in_every_state() {
+        for leakage in [0.05, 0.20, 0.40] {
+            let c = cfg().with_leakage_share(leakage);
+            let f = ComponentFactors::from_config(&c);
+            let model = c.factors();
+            for state in STATES {
+                let sum = f.state_total(state);
+                assert!(
+                    (sum - model.factor(state)).abs() < 1e-12,
+                    "leakage {leakage}, state {state:?}: {sum} vs {}",
+                    model.factor(state)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gated_state_keeps_only_leakage_and_the_pll_stays_on() {
+        let f = ComponentFactors::from_config(&cfg());
+        let pll = f.factor(EnergyComponent::Pll, PowerState::Gated);
+        assert!(pll > 0.0, "the PLL keeps running while gated");
+        assert_eq!(
+            pll,
+            f.factor(EnergyComponent::Pll, PowerState::Run),
+            "the PLL burns the same (leakage-budget) power in every state"
+        );
+        // Gated factors are pure leakage: strictly below the run factors.
+        for c in CORE_COMPONENTS {
+            assert!(
+                f.factor(c, PowerState::Gated) <= f.factor(c, PowerState::Run),
+                "{c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn power_gated_standby_zeroes_every_component() {
+        let f = ComponentFactors::from_config(&cfg().with_power_gating());
+        for c in CORE_COMPONENTS {
+            assert_eq!(f.factor(c, PowerState::Gated), 0.0, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn miss_and_commit_keep_only_the_cache_io_set_active() {
+        let f = ComponentFactors::from_config(&cfg());
+        // The L1 instruction array draws only leakage outside Run.
+        let l1i_gated = f.factor(EnergyComponent::L1InstrArray, PowerState::Gated);
+        assert_eq!(
+            f.factor(EnergyComponent::L1InstrArray, PowerState::Miss),
+            l1i_gated
+        );
+        assert_eq!(
+            f.factor(EnergyComponent::L1InstrArray, PowerState::Commit),
+            l1i_gated
+        );
+        // The TCC data array works at half activity during a miss and full
+        // activity during a commit.
+        let l1d_leak = f.factor(EnergyComponent::L1DataArray, PowerState::Gated);
+        let l1d_miss = f.factor(EnergyComponent::L1DataArray, PowerState::Miss) - l1d_leak;
+        let l1d_commit = f.factor(EnergyComponent::L1DataArray, PowerState::Commit) - l1d_leak;
+        assert!((l1d_commit - 2.0 * l1d_miss).abs() < 1e-12);
+        assert!(l1d_commit > 0.0);
+    }
+
+    #[test]
+    fn builder_matches_direct_accounting_on_synthetic_charges() {
+        let c = cfg();
+        let mut b = LedgerBuilder::new(&c, 2);
+        b.charge(0, PowerState::Run, 1000);
+        b.charge(1, PowerState::Gated, 600);
+        b.charge(1, PowerState::Run, 400);
+        let model = c.factors();
+        let legacy = 1000.0 * model.run + 400.0 * model.run + 600.0 * model.gated;
+        let report = b.finish("t", 1000, 10, legacy, legacy);
+        assert!(report.core_discrepancy() < 1e-12, "{report:?}");
+        assert_eq!(report.uncore_energy, 0.0);
+        assert!((report.per_proc_core[0] - 1000.0).abs() < 1e-9);
+        assert!((report.per_proc_core[1] - (400.0 + 600.0 * 0.2)).abs() < 1e-9);
+        assert!((report.edp - report.total_energy * 1000.0).abs() < 1e-6);
+        assert!((report.ed2p - report.edp * 1000.0).abs() < 1.0);
+        assert!((report.energy_per_commit - report.total_energy / 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncore_charges_follow_the_cost_table() {
+        let c = cfg();
+        let mut b = LedgerBuilder::new(&c, 1);
+        b.charge(0, PowerState::Run, 100);
+        b.charge_uncore(UncoreActivity {
+            control_flits: 10,
+            data_flits: 20,
+            dir_lookups: 5,
+            txinfo_roundtrips: 3,
+            gate_events: 2,
+            dir_cycles: 100,
+            gating_table_cycles: 100,
+        });
+        let u = c.uncore;
+        let report = b.finish("t", 100, 1, 100.0, 100.0);
+        let interconnect = 10.0 * u.control_flit_energy + 20.0 * u.data_flit_energy;
+        let directory = 5.0 * u.dir_lookup_energy + 100.0 * u.dir_leakage_per_cycle;
+        let gating = 2.0 * u.gate_event_energy
+            + 3.0 * u.txinfo_roundtrip_energy
+            + 100.0 * u.gating_table_leakage_per_cycle;
+        assert!(
+            (report.component_energy(EnergyComponent::Interconnect) - interconnect).abs() < 1e-12
+        );
+        assert!(
+            (report.component_energy(EnergyComponent::DirectorySram) - directory).abs() < 1e-12
+        );
+        assert!((report.component_energy(EnergyComponent::GatingControl) - gating).abs() < 1e-12);
+        assert!(
+            (report.total_energy - (report.core_energy + interconnect + directory + gating)).abs()
+                < 1e-12
+        );
+        assert!(report.uncore_share() > 0.0);
+    }
+
+    #[test]
+    fn component_shares_sum_to_one() {
+        let mut b = LedgerBuilder::new(&cfg(), 1);
+        b.charge(0, PowerState::Run, 50);
+        b.charge(0, PowerState::Commit, 25);
+        b.charge_uncore(UncoreActivity {
+            control_flits: 4,
+            data_flits: 4,
+            dir_lookups: 2,
+            txinfo_roundtrips: 0,
+            gate_events: 0,
+            dir_cycles: 75,
+            gating_table_cycles: 0,
+        });
+        let report = b.finish("t", 75, 1, 0.0, 0.0);
+        let share_sum: f64 = report.components.iter().map(|c| c.share_of_total).sum();
+        assert!((share_sum - 1.0).abs() < 1e-12, "{share_sum}");
+        assert_eq!(report.components.len(), ALL_COMPONENTS.len());
+        for (entry, component) in report.components.iter().zip(ALL_COMPONENTS) {
+            assert_eq!(entry.component, component.label());
+            assert_eq!(entry.core, component.is_core());
+        }
+    }
+
+    #[test]
+    fn zero_commit_run_reports_zero_energy_per_commit() {
+        let b = LedgerBuilder::new(&cfg(), 1);
+        let report = b.finish("t", 0, 0, 0.0, 0.0);
+        assert_eq!(report.energy_per_commit, 0.0);
+        assert_eq!(report.average_power, 0.0);
+    }
+}

@@ -14,7 +14,13 @@
 //!   (Eqs. 1–7), computed two independent ways (per-processor state
 //!   integration and the interval formulation) so they can cross-check each
 //!   other, plus the gated-vs-ungated comparison metrics reported in
-//!   Figs. 4–6 (speed-up, energy reduction, average-power reduction).
+//!   Figs. 4–6 (speed-up, energy reduction, average-power reduction),
+//! * [`ledger`] — the component-resolved energy ledger: the same four-state
+//!   accounting split across an [`ledger::EnergyComponent`] taxonomy (core
+//!   pipeline, clock tree, TCC-augmented L1 arrays, PLL) per processor ×
+//!   per power state, plus the uncore charges the paper ignores (directory
+//!   SRAM, interconnect flits, gating tables and `TxInfoReq` traffic) and
+//!   the derived energy-delay metrics (EDP, ED²P, energy per commit).
 //!
 //! ```
 //! use htm_power::PowerModel;
@@ -32,8 +38,10 @@
 
 pub mod cache_power;
 pub mod energy;
+pub mod ledger;
 pub mod model;
 
 pub use cache_power::{CachePowerModel, TccCacheBreakdown};
 pub use energy::{ComparisonReport, EnergyBreakdown, EnergyReport};
-pub use model::PowerModel;
+pub use ledger::{EnergyComponent, EnergyLedgerReport, LedgerBuilder, UncoreActivity, UncoreCosts};
+pub use model::{PowerModel, PowerModelConfig};

@@ -33,6 +33,22 @@ pub struct BusStats {
     pub busy_cycles: u64,
     /// Total cycles requesters spent waiting for the bus to become free.
     pub wait_cycles: u64,
+    /// Payload cycles ("flits") moved by control transfers, excluding
+    /// arbitration. One flit is one cycle of occupancy of the data path, so
+    /// the tally is the quantity the interconnect energy model charges.
+    pub control_flits: u64,
+    /// Payload cycles moved by data (cache line) transfers, excluding
+    /// arbitration.
+    pub data_flits: u64,
+}
+
+impl BusStats {
+    /// Total payload flits of both categories (the interconnect activity the
+    /// energy ledger charges).
+    #[must_use]
+    pub fn total_flits(&self) -> u64 {
+        self.control_flits + self.data_flits
+    }
 }
 
 /// Occupancy model of a single split-transaction bus.
@@ -84,10 +100,12 @@ impl SplitTransactionBus {
         let occupancy = match kind {
             BusTraffic::Control => {
                 self.stats.control_transfers += 1;
+                self.stats.control_flits += self.control_cycles;
                 self.control_cycles
             }
             BusTraffic::Data => {
                 self.stats.data_transfers += 1;
+                self.stats.data_flits += self.data_cycles;
                 self.data_cycles
             }
         } + self.arbitration;
@@ -123,8 +141,14 @@ impl SplitTransactionBus {
     pub fn schedule_future(&mut self, at: Cycle, kind: BusTraffic) -> Cycle {
         let occupancy = self.transfer_latency(kind);
         match kind {
-            BusTraffic::Control => self.stats.control_transfers += 1,
-            BusTraffic::Data => self.stats.data_transfers += 1,
+            BusTraffic::Control => {
+                self.stats.control_transfers += 1;
+                self.stats.control_flits += self.control_cycles;
+            }
+            BusTraffic::Data => {
+                self.stats.data_transfers += 1;
+                self.stats.data_flits += self.data_cycles;
+            }
         }
         self.stats.busy_cycles += occupancy;
         cycles_after(at, occupancy)
@@ -218,6 +242,20 @@ mod tests {
         assert_eq!(s.control_transfers, 1);
         assert_eq!(s.data_transfers, 2);
         assert_eq!(s.busy_cycles, 1 + 4 + 4);
+    }
+
+    #[test]
+    fn flit_tallies_exclude_arbitration_and_cover_future_transfers() {
+        let mut bus = SplitTransactionBus::new(1, 4, 1);
+        bus.request(0, BusTraffic::Control);
+        bus.request(0, BusTraffic::Data);
+        bus.schedule_future(100, BusTraffic::Data);
+        let s = bus.stats();
+        assert_eq!(s.control_flits, 1);
+        assert_eq!(s.data_flits, 8, "two data transfers x 4 payload cycles");
+        assert_eq!(s.total_flits(), 9);
+        // busy_cycles additionally charges the per-transfer arbitration.
+        assert_eq!(s.busy_cycles, 2 + 5 + 5);
     }
 
     #[test]

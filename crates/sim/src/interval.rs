@@ -143,6 +143,24 @@ impl IntervalTracker {
     pub fn total_commit_proc_cycles(&self) -> u64 {
         self.commit_weight.iter().sum()
     }
+
+    /// Total processor-cycles spent in any low-power state (gated + miss +
+    /// commit), i.e. `Σ Xi · i`.
+    #[must_use]
+    pub fn total_low_power_proc_cycles(&self) -> u64 {
+        self.total_gated_proc_cycles()
+            + self.total_miss_proc_cycles()
+            + self.total_commit_proc_cycles()
+    }
+
+    /// Total processor-cycles spent at full run power, derived from the
+    /// interval decomposition: `N·p − Σ Xi · i` — the run-power tally the
+    /// Eq. 1 / Eq. 5 interval formulation charges (the energy ledger's
+    /// interval-side cross-check evaluates the same expression).
+    #[must_use]
+    pub fn total_run_proc_cycles(&self) -> u64 {
+        self.total_cycles * self.num_procs as u64 - self.total_low_power_proc_cycles()
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +218,19 @@ mod tests {
         assert_eq!(t.total_gated_proc_cycles(), 4);
         assert_eq!(t.total_miss_proc_cycles(), 8 + 6);
         assert_eq!(t.total_commit_proc_cycles(), 4);
+    }
+
+    #[test]
+    fn run_and_low_power_proc_cycles_partition_the_total() {
+        let mut t = IntervalTracker::new(4);
+        t.record(4, 1, 2, 1); // 4 cycles, all 4 procs in low-power states
+        t.record(6, 0, 1, 0); // 6 cycles, 1 proc missing, 3 running
+        assert_eq!(t.total_low_power_proc_cycles(), 16 + 6);
+        assert_eq!(t.total_run_proc_cycles(), 4 * 10 - 22);
+        assert_eq!(
+            t.total_run_proc_cycles() + t.total_low_power_proc_cycles(),
+            4 * t.total_cycles()
+        );
     }
 
     #[test]

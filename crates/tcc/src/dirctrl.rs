@@ -23,6 +23,11 @@ use htm_sim::{Cycle, ProcId, ProcSet};
 use crate::token::Tid;
 
 /// Commit-related event counters for one directory.
+///
+/// Every counter is a deterministic function of the protocol transitions, so
+/// the tallies are identical under both stepping engines and feed the
+/// per-component energy ledger (directory SRAM lookups, gating-table
+/// `TxInfoReq` traffic) without perturbing the simulation itself.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DirCtrlStats {
     /// Commit requests marked at this directory.
@@ -31,6 +36,23 @@ pub struct DirCtrlStats {
     pub grants: u64,
     /// Total cycles the directory spent busy flushing commits.
     pub commit_busy_cycles: u64,
+    /// Miss requests serviced by the directory SRAM (one lookup each).
+    pub miss_lookups: u64,
+    /// `TxInfoReq` round-trips issued by this directory at abort time
+    /// (Fig. 2(d)): the directory queries the committing processor for the
+    /// transaction id it stores next to the victim's abort counter. The
+    /// renewal-time `TxInfoReq`s of Fig. 2(e) are counted by the gating
+    /// controller (they only exist in clock-gating modes).
+    pub txinfo_roundtrips: u64,
+}
+
+impl DirCtrlStats {
+    /// Total directory SRAM lookups: miss services, mark writes and commit
+    /// grants all read or write the sharer/state arrays once.
+    #[must_use]
+    pub fn sram_lookups(&self) -> u64 {
+        self.miss_lookups + self.marks + self.grants
+    }
 }
 
 /// One directory of the distributed shared memory, with commit arbitration.
@@ -82,7 +104,14 @@ impl DirCtrl {
     /// Service a miss request arriving at `now`; returns the cycle at which
     /// the directory lookup completes (before main memory is consulted).
     pub fn service_miss(&mut self, now: Cycle) -> Cycle {
+        self.stats.miss_lookups += 1;
         self.port.access(now)
+    }
+
+    /// Record one abort-time `TxInfoReq` round-trip issued by this directory
+    /// (Fig. 2(d); called by the system when an abort is handled by gating).
+    pub fn record_txinfo_roundtrip(&mut self) {
+        self.stats.txinfo_roundtrips += 1;
     }
 
     /// Mark `proc` (with commit timestamp `tid`) as intending to commit here.
@@ -328,5 +357,19 @@ mod tests {
         assert_eq!(s.marks, 2);
         assert_eq!(s.grants, 1);
         assert_eq!(s.commit_busy_cycles, 30);
+    }
+
+    #[test]
+    fn stats_count_lookups_and_txinfo_roundtrips() {
+        let mut d = DirCtrl::new(0, 4, 10);
+        d.service_miss(0);
+        d.service_miss(5);
+        d.mark(1, 0);
+        let _ = d.try_grant(0, 1, 0, 30);
+        d.record_txinfo_roundtrip();
+        let s = d.stats();
+        assert_eq!(s.miss_lookups, 2);
+        assert_eq!(s.txinfo_roundtrips, 1);
+        assert_eq!(s.sram_lookups(), 2 + 1 + 1, "misses + marks + grants");
     }
 }

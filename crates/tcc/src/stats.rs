@@ -14,6 +14,8 @@ use htm_sim::interval::IntervalTracker;
 use htm_sim::stats::Histogram;
 use htm_sim::Cycle;
 
+use crate::dirctrl::DirCtrlStats;
+
 /// The four power-relevant processor states of the paper's model (Table I).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PowerState {
@@ -130,6 +132,10 @@ pub struct RunOutcome {
     pub intervals: IntervalTracker,
     /// Interconnect statistics.
     pub bus: BusStats,
+    /// Per-directory controller statistics (SRAM lookups, marks, grants,
+    /// abort-time `TxInfoReq` round-trips), in directory order. The uncore
+    /// side of the energy ledger is charged from these tallies.
+    pub dir_stats: Vec<DirCtrlStats>,
     /// Total commits across all processors.
     pub total_commits: u64,
     /// Total aborts across all processors.
@@ -165,6 +171,25 @@ impl RunOutcome {
     #[must_use]
     pub fn total_commit_cycles(&self) -> u64 {
         self.state_cycles.iter().map(|s| s.commit).sum()
+    }
+
+    /// Total directory SRAM lookups (miss services + marks + grants), summed
+    /// over directories.
+    #[must_use]
+    pub fn total_dir_lookups(&self) -> u64 {
+        self.dir_stats.iter().map(DirCtrlStats::sram_lookups).sum()
+    }
+
+    /// Total abort-time `TxInfoReq` round-trips, summed over directories.
+    #[must_use]
+    pub fn total_txinfo_roundtrips(&self) -> u64 {
+        self.dir_stats.iter().map(|s| s.txinfo_roundtrips).sum()
+    }
+
+    /// Number of directories in the simulated machine.
+    #[must_use]
+    pub fn num_dirs(&self) -> usize {
+        self.dir_stats.len()
     }
 
     /// Check the internal consistency of the per-processor accounting: every
@@ -237,6 +262,7 @@ mod tests {
             proc_stats: vec![ProcStats::new(), ProcStats::new()],
             intervals,
             bus: BusStats::default(),
+            dir_stats: vec![DirCtrlStats::default(); 2],
             total_commits: 4,
             total_aborts: 2,
             total_gatings: 0,

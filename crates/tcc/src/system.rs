@@ -717,6 +717,15 @@ impl<H: GatingHook> TccSystem<H> {
                     let action = self
                         .hook
                         .on_abort(dir, i, aborter, aborter_tx, self.now, &self.view);
+                    if action == AbortAction::Gate {
+                        // A gating directory issues one `TxInfoReq` to the
+                        // committing processor whenever it logs an abort in
+                        // its table (Fig. 2(d)), even if the victim is
+                        // already stopped; the round-trip latency is folded
+                        // into the gating window by the controller, so only
+                        // the energy-relevant count is recorded here.
+                        self.dirs[dir].record_txinfo_roundtrip();
+                    }
                     if self.procs[i].phase.is_gated_like() {
                         // Already stopped: the extra invalidation only updates
                         // the aborting directory's table.
@@ -1139,6 +1148,7 @@ impl<H: GatingHook> TccSystem<H> {
         let total_commits = proc_stats.iter().map(|s| s.commits).sum();
         let total_aborts = proc_stats.iter().map(|s| s.aborts).sum();
         let total_gatings = proc_stats.iter().map(|s| s.gatings).sum();
+        let dir_stats = self.dirs.iter().map(DirCtrl::stats).collect();
         let outcome = RunOutcome {
             workload: self.workload_name,
             num_procs: self.cfg.num_procs,
@@ -1149,6 +1159,7 @@ impl<H: GatingHook> TccSystem<H> {
             proc_stats,
             intervals: self.intervals,
             bus: self.bus.stats(),
+            dir_stats,
             total_commits,
             total_aborts,
             total_gatings,

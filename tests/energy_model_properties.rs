@@ -6,7 +6,8 @@ use proptest::prelude::*;
 use clockgate_htm::gating::contention::{pow2_ceil_lg, ContentionPolicy, GatingAwarePolicy};
 use htm_power::cache_power::CachePowerModel;
 use htm_power::energy;
-use htm_power::model::PowerModel;
+use htm_power::ledger::{self, UncoreActivity};
+use htm_power::model::{PowerModel, PowerModelConfig};
 use htm_sim::interval::IntervalTracker;
 use htm_tcc::stats::{ProcStats, RunOutcome, StateCycles};
 
@@ -60,6 +61,7 @@ fn outcome_from_columns(columns: Vec<(u64, u64, u64, u64)>) -> RunOutcome {
         proc_stats: vec![ProcStats::new(); num_procs],
         intervals,
         bus: htm_sim::bus::BusStats::default(),
+        dir_stats: Vec::new(),
         total_commits: 1,
         total_aborts: 0,
         total_gatings: 0,
@@ -79,6 +81,34 @@ proptest! {
         let report = energy::analyze(&outcome, &model);
         prop_assert!(report.accounting_discrepancy() < 1e-9,
             "discrepancy {} on {:?}", report.accounting_discrepancy(), outcome.state_cycles);
+    }
+
+    /// The component ledger's core subset must reproduce both the legacy
+    /// direct accounting and the Eq. 1/Eq. 5 interval formulation for any
+    /// composition of states, on any point of the leakage-share axis.
+    #[test]
+    fn ledger_components_sum_to_legacy_and_interval_accountings(
+        columns in proptest::collection::vec((0u64..4, 0u64..4, 0u64..4, 0u64..4), 1..60),
+        leakage_percent in 1u64..60,
+    ) {
+        let outcome = outcome_from_columns(columns);
+        prop_assume!(outcome.total_cycles > 0);
+        let cfg = PowerModelConfig::alpha_21264_65nm()
+            .with_leakage_share(leakage_percent as f64 / 100.0);
+        let legacy = energy::analyze(&outcome, &cfg.factors());
+        let report = ledger::analyze(&outcome, &cfg, UncoreActivity::default());
+        prop_assert!(report.core_discrepancy() < 1e-12,
+            "core {} vs legacy {} at leakage {leakage_percent}%",
+            report.core_energy, report.legacy_total);
+        prop_assert_eq!(report.legacy_total, legacy.total_energy);
+        prop_assert_eq!(report.interval_total, legacy.total_energy_interval);
+        prop_assert!(report.interval_discrepancy() < 1e-9);
+        // With no uncore activity the ledger total IS the core total, and
+        // the per-processor core energies sum to it.
+        prop_assert_eq!(report.uncore_energy, 0.0);
+        let per_proc_sum: f64 = report.per_proc_core.iter().sum();
+        let tol = 1e-9 * report.core_energy.max(1.0);
+        prop_assert!((per_proc_sum - report.core_energy).abs() <= tol);
     }
 
     /// Converting run cycles into gated cycles can only reduce energy, never

@@ -6,7 +6,8 @@ use std::path::PathBuf;
 
 use clock_gate_on_abort::core::sim::EngineKind;
 use clock_gate_on_abort::core::sweep::{
-    self, dominates, pareto_frontiers, run_sweep, CellRecord, SweepGrid,
+    self, dominates, pareto_frontiers, pareto_frontiers_with, run_sweep, run_sweep_with,
+    CellRecord, SweepGrid, SweepObjective,
 };
 
 fn test_dir(name: &str) -> PathBuf {
@@ -78,6 +79,7 @@ fn sweep_artifacts_are_engine_independent() {
         sweep::runner::JSONL_NAME,
         sweep::runner::PARETO_NAME,
         sweep::runner::SUMMARY_NAME,
+        sweep::runner::BREAKDOWN_NAME,
     ] {
         assert_eq!(
             fs::read(dir_fast.join(name)).unwrap(),
@@ -87,4 +89,119 @@ fn sweep_artifacts_are_engine_independent() {
     }
     let _ = fs::remove_dir_all(&dir_fast);
     let _ = fs::remove_dir_all(&dir_naive);
+}
+
+/// Acceptance gate: on every smoke cell the per-component ledger totals sum
+/// to the legacy `EnergyReport.total_energy` within 1e-9, and the
+/// `energy_breakdown.json` artifact is written next to the other sweep
+/// artifacts.
+#[test]
+fn smoke_breakdown_components_sum_to_the_legacy_energy() {
+    let grid = SweepGrid::smoke();
+    let dir = test_dir("breakdown");
+    let outcome = run_sweep(&grid, EngineKind::FastForward, &dir, false).unwrap();
+    assert!(outcome.breakdown_path.exists());
+    for record in &outcome.records {
+        let core_sum: f64 = record.core_component_energies().iter().sum();
+        let uncore_sum: f64 = record.uncore_component_energies().iter().sum();
+        let tol = 1e-9 * record.total_energy.max(1.0);
+        assert!(
+            (core_sum - record.total_energy).abs() <= tol,
+            "{}: core components sum to {core_sum}, legacy total is {}",
+            record.key,
+            record.total_energy
+        );
+        assert!(
+            (core_sum + uncore_sum - record.total_energy_with_uncore).abs() <= tol,
+            "{}: grand total mismatch",
+            record.key
+        );
+        assert!(
+            record.uncore_energy > 0.0,
+            "{}: uncore is charged",
+            record.key
+        );
+    }
+    let breakdown = fs::read_to_string(&outcome.breakdown_path).unwrap();
+    assert!(breakdown.contains("core_pipeline"));
+    assert!(breakdown.contains("directory_sram"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Acceptance gate: on the `backoff` preset grid the EDP frontier differs
+/// from the raw-energy frontier (the contended intruder@8 slice keeps both
+/// the ungated and a clock-gated point on the energy frontier, while EDP
+/// folds the time axis in and drops the slower point).
+#[test]
+fn edp_objective_changes_the_frontier_on_the_backoff_preset() {
+    let grid = SweepGrid::by_name("backoff").unwrap();
+    let dir = test_dir("objective");
+    let outcome = run_sweep_with(
+        &grid,
+        EngineKind::FastForward,
+        &dir,
+        false,
+        SweepObjective::Edp,
+    )
+    .unwrap();
+    let energy_frontiers = pareto_frontiers(&outcome.records);
+    let edp_frontiers = pareto_frontiers_with(&outcome.records, SweepObjective::Edp);
+    assert_eq!(outcome.frontiers, edp_frontiers);
+    let keys = |fs: &[sweep::SliceFrontier]| -> Vec<Vec<String>> {
+        fs.iter()
+            .map(|f| f.frontier.iter().map(|p| p.key.clone()).collect())
+            .collect()
+    };
+    assert_ne!(
+        keys(&energy_frontiers),
+        keys(&edp_frontiers),
+        "the EDP frontier must differ from the raw-energy frontier on this preset"
+    );
+    // Subset property: EDP-dominance is implied by energy-dominance, so
+    // every EDP-frontier point also sits on the energy frontier.
+    for (e, d) in energy_frontiers.iter().zip(&edp_frontiers) {
+        for p in &d.frontier {
+            assert!(
+                e.frontier.iter().any(|q| q.key == p.key),
+                "{} is on the EDP frontier but not the energy frontier",
+                p.key
+            );
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A pre-ledger (schema-less) `sweep.jsonl` prefix is rejected on resume
+/// with the dedicated schema error, not a field-level parse error and not a
+/// silent divergence.
+#[test]
+fn resume_rejects_pre_ledger_jsonl_through_the_public_api() {
+    let grid = SweepGrid {
+        workloads: vec!["intruder".into()],
+        processor_counts: vec![4],
+        ..SweepGrid::smoke()
+    };
+    let dir = test_dir("oldschema");
+    let outcome = run_sweep(&grid, EngineKind::FastForward, &dir, false).unwrap();
+    let text = fs::read_to_string(&outcome.jsonl_path).unwrap();
+    let stripped: String = text
+        .lines()
+        .map(|l| format!("{}\n", l.replacen("\"schema\":2,", "", 1)))
+        .collect();
+    assert_ne!(stripped, text);
+    fs::write(&outcome.jsonl_path, stripped).unwrap();
+    let err = run_sweep(&grid, EngineKind::FastForward, &dir, true).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            sweep::SweepError::SchemaMismatch {
+                line: 1,
+                found: None,
+                ..
+            }
+        ),
+        "{err}"
+    );
+    assert!(err.to_string().contains("record layout changed"), "{err}");
+    let _ = fs::remove_dir_all(&dir);
 }
