@@ -69,6 +69,7 @@ fn usage() -> ! {
          \x20                 artifacts are byte-identical either way\n\
          \x20 --timing        write BENCH_reproduce.json (wall-clock per matrix\n\
          \x20                 cell and cells/second)\n\
+         \x20 --list-policies list every registered contention policy and exit\n\
          \x20 -h, --help      this text\n\
          \n\
          For sensitivity sweeps beyond the paper's operating point, see the\n\
@@ -106,6 +107,10 @@ fn main() {
             "--quick" => quick = true,
             "--smoke" => smoke = true,
             "--timing" => timing = true,
+            "--list-policies" => {
+                outln!("{}", clockgate_htm::gating::policy::render_policy_list());
+                return;
+            }
             "--engine" => match args.next().as_deref() {
                 Some("fast" | "fast-forward") => engine = EngineKind::FastForward,
                 Some("naive") => engine = EngineKind::Naive,

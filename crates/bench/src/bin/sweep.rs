@@ -43,7 +43,7 @@ macro_rules! outln {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sweep --grid NAME [--out DIR] [--engine fast|naive] [--objective O] [--resume] [--list]\n\
+        "usage: sweep --grid NAME [--out DIR] [--engine fast|naive] [--objective O] [--resume] [--list] [--list-policies]\n\
          \n\
          Expand a sensitivity grid, simulate every cell in parallel, stream\n\
          per-cell records (with their component-resolved energy ledgers) to\n\
@@ -60,6 +60,7 @@ fn usage() -> ! {
          \x20                 resumed under any objective\n\
          \x20 --resume        skip cells already recorded in <out>/sweep.jsonl\n\
          \x20 --list          print the available grids and their cell counts\n\
+         \x20 --list-policies list every registered contention policy and exit\n\
          \x20 -h, --help      this text",
         names = sweep::grid::GRID_NAMES.join("|")
     );
@@ -113,6 +114,10 @@ fn main() {
             "--resume" => resume = true,
             "--list" => {
                 list_grids();
+                return;
+            }
+            "--list-policies" => {
+                outln!("{}", clockgate_htm::gating::policy::render_policy_list());
                 return;
             }
             _ => usage(),

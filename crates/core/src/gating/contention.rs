@@ -17,7 +17,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use htm_sim::Cycle;
+use htm_sim::{Cycle, ProcId};
 
 /// `2^ceil(lg n)` — the smallest power of two that is ≥ `n`, with the paper's
 /// implicit convention that the term contributes `1` when the counter is
@@ -30,13 +30,25 @@ pub fn pow2_ceil_lg(n: u32) -> u64 {
 
 /// Policy deciding the gating window from the directory-local abort and
 /// renew counters.
+///
+/// The window may additionally depend on the *victim* (the adaptive-`W0`
+/// policy keeps a per-victim predictor), so the controller passes the
+/// victim's id and forwards the gate/wake lifecycle events; static policies
+/// ignore all three.
 pub trait ContentionPolicy: Send {
-    /// Gating window in cycles for a processor whose entry shows
-    /// `abort_count` aborts and `renew_count` renewals.
-    fn window(&self, abort_count: u32, renew_count: u32) -> Cycle;
+    /// Gating window in cycles for `victim`, whose entry shows `abort_count`
+    /// aborts and `renew_count` renewals.
+    fn window(&self, victim: ProcId, abort_count: u32, renew_count: u32) -> Cycle;
 
     /// Short human-readable name used in reports.
     fn name(&self) -> &'static str;
+
+    /// `victim` just received "Stop Clock" (it was not gated before this
+    /// abort). Default: no-op.
+    fn on_gated(&mut self, _victim: ProcId, _now: Cycle) {}
+
+    /// `victim` woke up and finished its self-abort. Default: no-op.
+    fn on_wake(&mut self, _victim: ProcId, _now: Cycle) {}
 }
 
 /// The paper's gating-aware policy (Eq. 8).
@@ -56,7 +68,7 @@ impl GatingAwarePolicy {
 }
 
 impl ContentionPolicy for GatingAwarePolicy {
-    fn window(&self, abort_count: u32, renew_count: u32) -> Cycle {
+    fn window(&self, _victim: ProcId, abort_count: u32, renew_count: u32) -> Cycle {
         self.w0
             .saturating_mul(pow2_ceil_lg(abort_count) + pow2_ceil_lg(renew_count))
     }
@@ -82,7 +94,7 @@ impl FixedWindow {
 }
 
 impl ContentionPolicy for FixedWindow {
-    fn window(&self, _abort_count: u32, _renew_count: u32) -> Cycle {
+    fn window(&self, _victim: ProcId, _abort_count: u32, _renew_count: u32) -> Cycle {
         self.window
     }
 
@@ -100,13 +112,100 @@ pub struct LinearBackoffPolicy {
 }
 
 impl ContentionPolicy for LinearBackoffPolicy {
-    fn window(&self, abort_count: u32, renew_count: u32) -> Cycle {
+    fn window(&self, _victim: ProcId, abort_count: u32, renew_count: u32) -> Cycle {
         self.w0
             .saturating_mul(u64::from(abort_count.max(1)) + u64::from(renew_count))
     }
 
     fn name(&self) -> &'static str {
         "linear back-off"
+    }
+}
+
+/// Fixed-point scale of the adaptive-`W0` EWMA predictor (1/16 cycle
+/// resolution keeps the update integer-exact and engine-deterministic).
+const EWMA_FP_SHIFT: u32 = 4;
+/// Clamp on a single gate-to-wake observation, so one pathological episode
+/// (e.g. a renewal chain behind a long commit burst) cannot blow the
+/// predictor up for the rest of the run.
+const MAX_OBSERVED_GATE: Cycle = 1 << 20;
+
+/// The adaptive-`W0` extension: Eq. 8's staircase with the static `W0`
+/// constant replaced by a **per-victim EWMA predictor of the conflictor's
+/// remaining length**.
+///
+/// The paper notes that `W0` has "first-order significance" and must be
+/// re-tuned per machine size (Fig. 7). This policy tunes it online instead:
+/// every completed gating episode of a victim is an observation of how long
+/// its conflictor actually needed (the victim is woken precisely when the
+/// aborter has left the directory), so the predictor `Ŵ0(v)` is an EWMA
+/// (α = 1/4, integer fixed-point, deterministic across engines) of the
+/// victim's observed gate-to-wake durations, seeded with the configured
+/// `W0`. The Eq. 8 window becomes `Ŵ0(v) · (2^⌈lg Na⌉ + 2^⌈lg Nr⌉)`.
+#[derive(Debug, Clone)]
+pub struct AdaptiveW0Policy {
+    initial_w0: Cycle,
+    /// Per-victim predictor in 1/16-cycle fixed point.
+    ewma_fp: Vec<u64>,
+    /// Per-victim start of the current gating episode.
+    gate_start: Vec<Option<Cycle>>,
+}
+
+impl AdaptiveW0Policy {
+    /// Create the policy for `num_procs` processors, seeding every
+    /// per-victim predictor with `w0`.
+    #[must_use]
+    pub fn new(num_procs: usize, w0: Cycle) -> Self {
+        let seed = w0.max(1) << EWMA_FP_SHIFT;
+        Self {
+            initial_w0: w0,
+            ewma_fp: vec![seed; num_procs],
+            gate_start: vec![None; num_procs],
+        }
+    }
+
+    /// The current effective `W0` of a victim (the predictor, floored to one
+    /// cycle).
+    #[must_use]
+    pub fn effective_w0(&self, victim: ProcId) -> Cycle {
+        (self.ewma_fp[victim] >> EWMA_FP_SHIFT).max(1)
+    }
+
+    /// The `W0` every predictor was seeded with.
+    #[must_use]
+    pub fn initial_w0(&self) -> Cycle {
+        self.initial_w0
+    }
+}
+
+impl ContentionPolicy for AdaptiveW0Policy {
+    fn window(&self, victim: ProcId, abort_count: u32, renew_count: u32) -> Cycle {
+        self.effective_w0(victim)
+            .saturating_mul(pow2_ceil_lg(abort_count) + pow2_ceil_lg(renew_count))
+    }
+
+    fn name(&self) -> &'static str {
+        "adaptive W0 (per-victim EWMA)"
+    }
+
+    fn on_gated(&mut self, victim: ProcId, now: Cycle) {
+        // A new episode only starts when the victim was running; repeated
+        // aborts of an already-gated victim extend the same episode.
+        if self.gate_start[victim].is_none() {
+            self.gate_start[victim] = Some(now);
+        }
+    }
+
+    fn on_wake(&mut self, victim: ProcId, now: Cycle) {
+        if let Some(start) = self.gate_start[victim].take() {
+            let observed = now.saturating_sub(start).min(MAX_OBSERVED_GATE);
+            let obs_fp = (observed << EWMA_FP_SHIFT) as i64;
+            let old = self.ewma_fp[victim] as i64;
+            // EWMA with α = 1/4: new = old + (obs − old)/4, in integer
+            // fixed point (arithmetic shift — deterministic, no floats).
+            let new = old + ((obs_fp - old) >> 2);
+            self.ewma_fp[victim] = new.max(1 << EWMA_FP_SHIFT) as u64;
+        }
     }
 }
 
@@ -129,22 +228,22 @@ mod tests {
     fn equation8_first_gating_window() {
         // Na = 1, Nr = 0 -> W0 * (1 + 1).
         let p = GatingAwarePolicy::new(8);
-        assert_eq!(p.window(1, 0), 16);
+        assert_eq!(p.window(0, 1, 0), 16);
     }
 
     #[test]
     fn equation8_staircase_shape() {
         let p = GatingAwarePolicy::new(8);
         // Windows only change when a counter crosses a power of two.
-        assert_eq!(p.window(2, 0), 8 * (2 + 1));
-        assert_eq!(p.window(3, 0), 8 * (4 + 1));
-        assert_eq!(p.window(4, 0), 8 * (4 + 1));
-        assert_eq!(p.window(5, 0), 8 * (8 + 1));
+        assert_eq!(p.window(0, 2, 0), 8 * (2 + 1));
+        assert_eq!(p.window(0, 3, 0), 8 * (4 + 1));
+        assert_eq!(p.window(0, 4, 0), 8 * (4 + 1));
+        assert_eq!(p.window(0, 5, 0), 8 * (8 + 1));
         // Renewals grow the window at a fixed abort level.
-        assert_eq!(p.window(1, 1), 8 * (1 + 1));
-        assert_eq!(p.window(1, 2), 8 * (1 + 2));
-        assert_eq!(p.window(1, 3), 8 * (1 + 4));
-        assert_eq!(p.window(1, 5), 8 * (1 + 8));
+        assert_eq!(p.window(0, 1, 1), 8 * (1 + 1));
+        assert_eq!(p.window(0, 1, 2), 8 * (1 + 2));
+        assert_eq!(p.window(0, 1, 3), 8 * (1 + 4));
+        assert_eq!(p.window(0, 1, 5), 8 * (1 + 8));
     }
 
     #[test]
@@ -152,8 +251,8 @@ mod tests {
         let p = GatingAwarePolicy::new(4);
         for na in 1..20 {
             for nr in 0..20 {
-                assert!(p.window(na + 1, nr) >= p.window(na, nr));
-                assert!(p.window(na, nr + 1) >= p.window(na, nr));
+                assert!(p.window(0, na + 1, nr) >= p.window(0, na, nr));
+                assert!(p.window(0, na, nr + 1) >= p.window(0, na, nr));
             }
         }
     }
@@ -162,28 +261,71 @@ mod tests {
     fn w0_scales_the_window_linearly() {
         let small = GatingAwarePolicy::new(2);
         let large = GatingAwarePolicy::new(16);
-        assert_eq!(large.window(3, 2) / small.window(3, 2), 8);
+        assert_eq!(large.window(0, 3, 2) / small.window(0, 3, 2), 8);
     }
 
     #[test]
     fn fixed_window_ignores_counters() {
         let p = FixedWindow::new(100);
-        assert_eq!(p.window(1, 0), 100);
-        assert_eq!(p.window(200, 50), 100);
+        assert_eq!(p.window(0, 1, 0), 100);
+        assert_eq!(p.window(0, 200, 50), 100);
         assert_eq!(p.name(), "fixed window");
     }
 
     #[test]
     fn linear_policy_grows_linearly() {
         let p = LinearBackoffPolicy { w0: 10 };
-        assert_eq!(p.window(1, 0), 10);
-        assert_eq!(p.window(2, 0), 20);
-        assert_eq!(p.window(2, 3), 50);
+        assert_eq!(p.window(0, 1, 0), 10);
+        assert_eq!(p.window(0, 2, 0), 20);
+        assert_eq!(p.window(0, 2, 3), 50);
     }
 
     #[test]
     fn saturating_window_never_overflows() {
         let p = GatingAwarePolicy::new(Cycle::MAX / 2);
-        let _ = p.window(255, 255);
+        let _ = p.window(0, 255, 255);
+    }
+
+    #[test]
+    fn adaptive_policy_starts_at_the_seed_and_learns_per_victim() {
+        let mut p = AdaptiveW0Policy::new(2, 8);
+        assert_eq!(p.initial_w0(), 8);
+        // Before any observation the policy is exactly Eq. 8 with W0 = 8.
+        let eq8 = GatingAwarePolicy::new(8);
+        assert_eq!(p.window(0, 1, 0), eq8.window(0, 1, 0));
+        assert_eq!(p.window(1, 3, 2), eq8.window(1, 3, 2));
+        // Victim 0 observes a long episode: its predictor moves a quarter of
+        // the way toward the observation; victim 1 is untouched.
+        p.on_gated(0, 100);
+        p.on_wake(0, 100 + 40);
+        assert_eq!(p.effective_w0(0), 8 + (40 - 8) / 4);
+        assert_eq!(p.effective_w0(1), 8);
+        assert!(p.window(0, 1, 0) > p.window(1, 1, 0));
+    }
+
+    #[test]
+    fn adaptive_episode_spans_repeated_aborts_until_the_wake() {
+        let mut p = AdaptiveW0Policy::new(1, 8);
+        p.on_gated(0, 100);
+        // A second abort of the already-gated victim must not restart the
+        // episode clock.
+        p.on_gated(0, 150);
+        p.on_wake(0, 200);
+        assert_eq!(p.effective_w0(0), 8 + (100 - 8) / 4);
+        // A wake without a matching gate is ignored.
+        let before = p.effective_w0(0);
+        p.on_wake(0, 999);
+        assert_eq!(p.effective_w0(0), before);
+    }
+
+    #[test]
+    fn adaptive_predictor_converges_downward_and_stays_positive() {
+        let mut p = AdaptiveW0Policy::new(1, 64);
+        for i in 0..200 {
+            p.on_gated(0, i * 10);
+            p.on_wake(0, i * 10 + 1); // consistently tiny episodes
+        }
+        assert_eq!(p.effective_w0(0), 1, "floor at one cycle");
+        assert!(p.window(0, 1, 0) >= 2);
     }
 }

@@ -164,6 +164,12 @@ impl ClockGateController {
     pub fn policy_name(&self) -> &'static str {
         self.policy.name()
     }
+
+    /// The protocol-timing configuration this controller runs under.
+    #[must_use]
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
 }
 
 impl GatingHook for ClockGateController {
@@ -183,8 +189,8 @@ impl GatingHook for ClockGateController {
         // stored id, which we fold into the initial timer.
         let was_off = entry.off;
         let provisional = entry.abort_count + 1;
-        let window = self.policy.window(provisional, 0);
-        entry.record_abort(
+        let window = self.policy.window(victim, provisional, 0);
+        self.tables[dir].entry_mut(victim).record_abort(
             aborter,
             aborter_tx,
             now,
@@ -192,6 +198,7 @@ impl GatingHook for ClockGateController {
         );
         if !was_off {
             self.stats.gatings += 1;
+            self.policy.on_gated(victim, now);
         }
         // A fresh timer can only pull the earliest expiry forward.
         let expires = self.tables[dir].entry(victim).timer_expires;
@@ -244,7 +251,9 @@ impl GatingHook for ClockGateController {
                 match (reply, entry.aborter_tx) {
                     (Some(current), Some(stored)) if current == stored => {
                         // Same transaction still trying to commit: renew.
-                        let window = self.policy.window(entry.abort_count, entry.renew_count + 1);
+                        let window =
+                            self.policy
+                                .window(proc, entry.abort_count, entry.renew_count + 1);
                         entry.renew(now, window + self.config.txinfo_roundtrip_latency + circuit);
                         merge_min(entry.timer_expires);
                         self.stats.renewals += 1;
@@ -283,11 +292,12 @@ impl GatingHook for ClockGateController {
         }
     }
 
-    fn on_wake(&mut self, proc: ProcId, _now: Cycle) {
+    fn on_wake(&mut self, proc: ProcId, now: Cycle) {
         // The processor is running again; every directory that still believes
         // it is OFF will reconcile lazily (on_proc_activity) or has already
         // turned it on. Clearing the local timers here prevents spurious
         // duplicate "on" commands from other directories.
+        self.policy.on_wake(proc, now);
         for table in &mut self.tables {
             table.entry_mut(proc).turn_on();
         }

@@ -1,5 +1,19 @@
-//! The clock-gate-on-abort mechanism (Sections III, V and VI of the paper).
+//! The clock-gate-on-abort mechanism (Sections III, V and VI of the paper)
+//! and the pluggable contention-policy framework built around it.
+//!
+//! * [`table`] / [`controller`] / [`contention`] — the paper's per-directory
+//!   gating tables, the Section V gating/ungating protocol and the Eq. 8
+//!   contention management (plus the adaptive-`W0` extension).
+//! * [`policy`] — the framework: serializable [`policy::PolicySpec`]s
+//!   resolving through the [`policy::POLICY_REGISTRY`] into boxed
+//!   [`policy::PolicyHook`]s.
+//! * [`hybrid`] / [`throttle`] / [`oracle`] — the extension policies the
+//!   closed enum architecture could not express.
 
 pub mod contention;
 pub mod controller;
+pub mod hybrid;
+pub mod oracle;
+pub mod policy;
 pub mod table;
+pub mod throttle;

@@ -22,6 +22,11 @@
 //!   [`gating::controller`], implemented as an [`htm_tcc::GatingHook`],
 //! * the **gating-aware contention management** staircase back-off (Eq. 8) —
 //!   [`gating::contention`],
+//! * the **pluggable contention-policy framework** — [`gating::policy`]
+//!   (serializable specs resolving through a registry into boxed hooks;
+//!   the six paper modes plus the adaptive-`W0` ([`gating::contention`]),
+//!   hybrid ([`gating::hybrid`]), DVFS-throttle ([`gating::throttle`]) and
+//!   oracle ([`gating::oracle`]) extensions),
 //! * the **simulation front end** that wires a workload, a machine
 //!   configuration and a gating mode together — [`sim`],
 //! * the **experiments** reproducing Tables I–II and Figures 3–7 —
@@ -69,8 +74,12 @@ pub mod report;
 pub mod sim;
 pub mod sweep;
 
-pub use gating::contention::{ContentionPolicy, FixedWindow, GatingAwarePolicy};
+pub use gating::contention::{AdaptiveW0Policy, ContentionPolicy, FixedWindow, GatingAwarePolicy};
 pub use gating::controller::{ClockGateController, ControllerConfig, GatingStats};
+pub use gating::hybrid::HybridHook;
+pub use gating::oracle::OracleHook;
+pub use gating::policy::{PolicyHook, PolicyInfo, PolicySpec, UncoreCharges, POLICY_REGISTRY};
 pub use gating::table::{GatingEntry, GatingTable};
+pub use gating::throttle::ThrottleHook;
 pub use sim::{GatingMode, SimReport, SimulationBuilder};
 pub use sweep::{run_sweep, CellRecord, SweepCell, SweepGrid};

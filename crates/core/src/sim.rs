@@ -1,12 +1,15 @@
-//! Simulation front end: builder, gating modes and single-run reports.
+//! Simulation front end: builder, policy selection and single-run reports.
 //!
 //! [`SimulationBuilder`] is the public entry point of the library: it takes a
 //! machine description (Table II defaults), a workload (one of the STAMP-like
-//! generators or a custom trace) and a [`GatingMode`], runs the simulation on
-//! the selected stepping engine (the event-driven fast-forward engine by
-//! default, or the one-step-per-cycle reference via
-//! [`EngineKind::Naive`]) and returns a [`SimReport`] containing both the
-//! protocol-level outcome and the energy analysis of Section IV.
+//! generators or a custom trace) and a contention-policy spec
+//! ([`PolicySpec`], historically named [`GatingMode`] — the alias is kept),
+//! resolves the spec through the policy registry into a boxed
+//! [`crate::gating::policy::PolicyHook`], runs the simulation on the
+//! selected stepping engine (the event-driven fast-forward engine by
+//! default, or the one-step-per-cycle reference via [`EngineKind::Naive`])
+//! and returns a [`SimReport`] containing both the protocol-level outcome
+//! and the energy analysis of Section IV.
 
 use serde::{Deserialize, Serialize};
 
@@ -15,7 +18,7 @@ use htm_power::ledger::{self, EnergyLedgerReport, UncoreActivity};
 use htm_power::model::{PowerModel, PowerModelConfig};
 use htm_sim::config::SimConfig;
 use htm_sim::Cycle;
-use htm_tcc::hooks::{ExponentialBackoff, GatingHook, NoGating};
+use htm_tcc::hooks::GatingHook;
 use htm_tcc::stats::RunOutcome;
 use htm_tcc::system::{SimError, TccSystem};
 use htm_tcc::txn::WorkloadTrace;
@@ -23,86 +26,17 @@ use htm_workloads::{by_name, WorkloadScale};
 
 pub use htm_tcc::system::EngineKind;
 
-use crate::gating::contention::{
-    ContentionPolicy, FixedWindow, GatingAwarePolicy, LinearBackoffPolicy,
-};
-use crate::gating::controller::{ClockGateController, ControllerConfig, GatingStats};
+/// The historical name of [`PolicySpec`], kept so that pre-framework callers
+/// (and the six legacy variants they construct) compile unchanged.
+pub use crate::gating::policy::PolicySpec as GatingMode;
+pub use crate::gating::policy::PolicySpec;
+
+use crate::gating::controller::GatingStats;
 
 /// Default safety bound on simulated cycles (well above anything the paper's
 /// workloads need; hitting it indicates a protocol bug, and the builder turns
 /// it into an error instead of hanging).
 pub const DEFAULT_CYCLE_LIMIT: Cycle = 200_000_000;
-
-/// How aborts are handled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum GatingMode {
-    /// Plain Scalable TCC: abort and retry immediately (the paper's
-    /// "without clock-gating" baseline).
-    Ungated,
-    /// Conventional exponential polite back-off (no clock gating): the victim
-    /// spins at run power for `base * 2^n` cycles after its `n`-th
-    /// consecutive abort.
-    ExponentialBackoff {
-        /// Base back-off window in cycles.
-        base: Cycle,
-        /// Cap on the exponent.
-        cap: u32,
-    },
-    /// The paper's proposal: clock-gate on abort with the gating-aware
-    /// contention manager of Eq. 8.
-    ClockGate {
-        /// The `W0` constant (the paper uses 8).
-        w0: Cycle,
-    },
-    /// Ablation: clock gating with a fixed window instead of Eq. 8.
-    ClockGateFixedWindow {
-        /// The constant gating window in cycles.
-        window: Cycle,
-    },
-    /// Ablation: clock gating with Eq. 8 but without the Fig. 2(e) renewal
-    /// check (the victim is always woken when the first window expires).
-    ClockGateNoRenew {
-        /// The `W0` constant.
-        w0: Cycle,
-    },
-    /// Ablation: clock gating with a linear (non-staircase) back-off
-    /// `W0 * (Na + Nr)`.
-    ClockGateLinear {
-        /// The `W0` constant.
-        w0: Cycle,
-    },
-}
-
-impl GatingMode {
-    /// Whether this mode uses the clock-gating mechanism at all.
-    #[must_use]
-    pub fn uses_gating(&self) -> bool {
-        !matches!(
-            self,
-            GatingMode::Ungated | GatingMode::ExponentialBackoff { .. }
-        )
-    }
-
-    /// Whether the Fig. 2(e) renewal check runs at timer expiry (it issues
-    /// the renewal-time `TxInfoReq`s the energy ledger charges).
-    #[must_use]
-    pub fn renewal_check_enabled(&self) -> bool {
-        self.uses_gating() && !matches!(self, GatingMode::ClockGateNoRenew { .. })
-    }
-
-    /// Short label used in reports and figures.
-    #[must_use]
-    pub fn label(&self) -> String {
-        match self {
-            GatingMode::Ungated => "ungated".into(),
-            GatingMode::ExponentialBackoff { base, .. } => format!("backoff(base={base})"),
-            GatingMode::ClockGate { w0 } => format!("clock-gate(W0={w0})"),
-            GatingMode::ClockGateFixedWindow { window } => format!("clock-gate(fixed={window})"),
-            GatingMode::ClockGateNoRenew { w0 } => format!("clock-gate(no-renew,W0={w0})"),
-            GatingMode::ClockGateLinear { w0 } => format!("clock-gate(linear,W0={w0})"),
-        }
-    }
-}
 
 /// Result of a single simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -263,14 +197,6 @@ impl SimulationBuilder {
         self
     }
 
-    fn controller(&self, policy: Box<dyn ContentionPolicy>, renew: bool) -> ClockGateController {
-        let mut cfg = ControllerConfig::from_sim_config(&self.config);
-        if !renew {
-            cfg = cfg.without_renewal();
-        }
-        ClockGateController::new(self.config.num_dirs, self.config.num_procs, policy, cfg)
-    }
-
     /// Run the simulation.
     pub fn run(self) -> Result<SimReport, SimError> {
         let workload = self
@@ -282,62 +208,26 @@ impl SimulationBuilder {
         let power = self.power;
         let engine = self.engine;
 
-        // Each gating mode uses a different hook type, so the dispatch happens
-        // here and the generic system is monomorphized per hook.
+        // Resolve the policy spec through the registry into a boxed hook —
+        // the open-ended replacement for the old closed-enum match.
         // `run_bounded_parts` hands the hook back with the outcome, so the
-        // controller statistics come out directly — no shared-cell shim and
-        // no interior-mutability dispatch on the hot path.
-        let (outcome, gating) = match self.mode {
-            GatingMode::Ungated => {
-                let (outcome, _hook) =
-                    run_system(self.config.clone(), workload, NoGating, limit, engine)?;
-                (outcome, None)
-            }
-            GatingMode::ExponentialBackoff { base, cap } => {
-                let hook = ExponentialBackoff::new(self.config.num_procs, base, cap);
-                let (outcome, _hook) =
-                    run_system(self.config.clone(), workload, hook, limit, engine)?;
-                (outcome, None)
-            }
-            GatingMode::ClockGate { w0 } => {
-                let hook = self.controller(Box::new(GatingAwarePolicy::new(w0)), true);
-                let (outcome, hook) =
-                    run_system(self.config.clone(), workload, hook, limit, engine)?;
-                (outcome, Some(hook.stats()))
-            }
-            GatingMode::ClockGateFixedWindow { window } => {
-                let hook = self.controller(Box::new(FixedWindow::new(window)), true);
-                let (outcome, hook) =
-                    run_system(self.config.clone(), workload, hook, limit, engine)?;
-                (outcome, Some(hook.stats()))
-            }
-            GatingMode::ClockGateNoRenew { w0 } => {
-                let hook = self.controller(Box::new(GatingAwarePolicy::new(w0)), false);
-                let (outcome, hook) =
-                    run_system(self.config.clone(), workload, hook, limit, engine)?;
-                (outcome, Some(hook.stats()))
-            }
-            GatingMode::ClockGateLinear { w0 } => {
-                let hook = self.controller(Box::new(LinearBackoffPolicy { w0 }), true);
-                let (outcome, hook) =
-                    run_system(self.config.clone(), workload, hook, limit, engine)?;
-                (outcome, Some(hook.stats()))
-            }
-        };
+        // controller statistics and the policy's uncore-charge declaration
+        // come out directly.
+        let hook = self.mode.build(&self.config);
+        let (outcome, hook) = run_system(self.config.clone(), workload, hook, limit, engine)?;
+        let gating = hook.gating_stats();
+        let charges = hook.uncore_charges();
 
         let energy = energy::analyze(&outcome, &power.factors());
-        // Renewal-time `TxInfoReq`s: every timer expiry whose aborter was
-        // still marked performs one round-trip, whatever its verdict
-        // (renewed, null reply, or a different transaction). The blind-timer
-        // ablation and the non-gating modes never issue them.
-        let renewal_txinfo = match &gating {
-            Some(stats) if self.mode.renewal_check_enabled() => {
-                stats.renewals + stats.ungate_null_reply + stats.ungate_different_tx
-            }
-            _ => 0,
-        };
-        let uncore =
-            UncoreActivity::from_outcome(&outcome, self.mode.uses_gating(), renewal_txinfo);
+        // The hook declares its own uncore activity (gating-table hardware
+        // presence and renewal-time `TxInfoReq` round-trips), so new
+        // policies are accounted uniformly without mode-specific knowledge
+        // here.
+        let uncore = UncoreActivity::from_outcome(
+            &outcome,
+            charges.gating_hardware,
+            charges.renewal_txinfo_roundtrips,
+        );
         let ledger = ledger::analyze(&outcome, &power, uncore);
         Ok(SimReport {
             mode_label: label,
@@ -433,6 +323,43 @@ mod tests {
     }
 
     #[test]
+    fn zero_commit_run_yields_finite_degenerate_metrics() {
+        // A workload with no transactions at all: the run ends at cycle 0
+        // with zero commits. Every ledger-derived metric must stay finite
+        // (energy_per_commit defined as 0), for every policy family, so
+        // such a cell can never inject NaN/∞ into sweep artifacts.
+        use htm_tcc::txn::{ThreadTrace, WorkloadTrace};
+        let empty = WorkloadTrace::new("empty", vec![ThreadTrace::default(); 4]);
+        for mode in [
+            GatingMode::Ungated,
+            GatingMode::ClockGate { w0: 8 },
+            GatingMode::Throttle { w0: 8 },
+            GatingMode::Oracle,
+        ] {
+            let r = SimulationBuilder::new()
+                .processors(4)
+                .workload(empty.clone())
+                .gating(mode)
+                .run()
+                .unwrap();
+            assert_eq!(r.outcome.total_commits, 0, "{mode:?}");
+            assert_eq!(r.ledger.energy_per_commit, 0.0, "{mode:?}");
+            assert_eq!(r.ledger.edp, 0.0, "{mode:?}");
+            assert_eq!(r.ledger.ed2p, 0.0, "{mode:?}");
+            for value in [
+                r.ledger.energy_per_commit,
+                r.ledger.edp,
+                r.ledger.ed2p,
+                r.ledger.average_power,
+                r.energy.average_power,
+                r.total_energy(),
+            ] {
+                assert!(value.is_finite(), "{mode:?} produced non-finite {value}");
+            }
+        }
+    }
+
+    #[test]
     fn missing_workload_is_an_error() {
         let err = SimulationBuilder::new()
             .gating(GatingMode::Ungated)
@@ -484,11 +411,115 @@ mod tests {
             GatingMode::ClockGateFixedWindow { window: 64 },
             GatingMode::ClockGateNoRenew { w0: 8 },
             GatingMode::ClockGateLinear { w0: 8 },
+            GatingMode::AdaptiveW0 { w0: 8 },
+            GatingMode::Hybrid {
+                gate_limit: 2,
+                w0: 8,
+                base: 32,
+                cap: 8,
+            },
+            GatingMode::Throttle { w0: 8 },
+            GatingMode::Oracle,
         ]
         .iter()
         .map(GatingMode::label)
         .collect();
-        assert_eq!(labels.len(), 6);
+        assert_eq!(labels.len(), 10);
+    }
+
+    #[test]
+    fn exponential_backoff_label_includes_the_cap() {
+        // Two configs differing only in cap must not render identically.
+        let a = GatingMode::ExponentialBackoff { base: 32, cap: 4 };
+        let b = GatingMode::ExponentialBackoff { base: 32, cap: 8 };
+        assert_ne!(a.label(), b.label());
+        assert_eq!(b.label(), "backoff(base=32,cap=8)");
+    }
+
+    #[test]
+    fn adaptive_w0_runs_gates_and_reports_controller_stats() {
+        let r = run(GatingMode::AdaptiveW0 { w0: 8 }, "intruder", 4);
+        assert!(r.outcome.total_commits > 0);
+        r.outcome.check_consistency().unwrap();
+        let g = r
+            .gating
+            .expect("adaptive policy drives the gating protocol");
+        assert!(g.gatings > 0);
+        assert!(r.outcome.total_gated_cycles() > 0);
+        assert_eq!(
+            r.outcome
+                .state_cycles
+                .iter()
+                .map(|s| s.throttled)
+                .sum::<u64>(),
+            0
+        );
+    }
+
+    #[test]
+    fn hybrid_policy_gates_then_backs_off() {
+        let r = run(
+            GatingMode::Hybrid {
+                gate_limit: 1,
+                w0: 8,
+                base: 16,
+                cap: 6,
+            },
+            "intruder",
+            4,
+        );
+        assert!(r.outcome.total_commits > 0);
+        r.outcome.check_consistency().unwrap();
+        assert!(r.gating.expect("hybrid reports its gating phase").gatings > 0);
+        assert!(r.outcome.total_gatings > 0);
+    }
+
+    #[test]
+    fn throttle_policy_trades_gated_cycles_for_throttled_ones() {
+        let r = run(GatingMode::Throttle { w0: 8 }, "intruder", 4);
+        assert!(r.outcome.total_commits > 0);
+        r.outcome.check_consistency().unwrap();
+        assert!(r.gating.is_none(), "no Stop Clock protocol, no stats");
+        assert_eq!(r.outcome.total_gatings, 0);
+        assert_eq!(r.outcome.total_gated_cycles(), 0);
+        assert!(
+            r.outcome.total_throttled_cycles() > 0,
+            "the contended workload must spend time throttled"
+        );
+        assert!(r.energy.breakdown.throttled > 0.0);
+        // The ledger's exactness contract holds with the fifth state active.
+        assert!(r.ledger.core_discrepancy() < 1e-12);
+        assert!(r.ledger.interval_discrepancy() < 1e-9);
+        // Gating hardware is declared, so its table leakage is charged.
+        use htm_power::ledger::EnergyComponent;
+        assert!(r.ledger.component_energy(EnergyComponent::GatingControl) > 0.0);
+        assert_eq!(
+            r.outcome.total_txinfo_roundtrips(),
+            0,
+            "throttling never answers Gate, so no abort-time TxInfoReqs"
+        );
+    }
+
+    #[test]
+    fn oracle_policy_gates_without_any_renewal_traffic() {
+        let oracle = run(GatingMode::Oracle, "intruder", 4);
+        assert!(oracle.outcome.total_commits > 0);
+        oracle.outcome.check_consistency().unwrap();
+        let g = oracle.gating.expect("oracle reports subscription stats");
+        assert!(g.gatings > 0);
+        assert_eq!(g.renewals, 0, "the oracle never renews");
+        assert_eq!(g.ungate_null_reply + g.ungate_different_tx, 0);
+        assert!(oracle.outcome.total_gated_cycles() > 0);
+        // Every wake is driven by the commit-subscription channel; the
+        // victim is gated for exactly as long as its conflictor needs, so
+        // per gating episode the oracle wastes nothing on mistimed windows.
+        // (No claim about total cycles vs. a heuristic: changing wake
+        // timing changes the whole interleaving, which can serendipitously
+        // favor either side on a given seed.)
+        assert_eq!(g.total_ungates(), g.ungate_aborter_gone);
+        // It still commits the same transactions as the ungated baseline.
+        let ungated = run(GatingMode::Ungated, "intruder", 4);
+        assert_eq!(oracle.outcome.total_commits, ungated.outcome.total_commits);
     }
 
     #[test]

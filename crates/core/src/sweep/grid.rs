@@ -34,6 +34,18 @@ pub enum ModeKind {
     /// Clock gating with a linear back-off (crossed with
     /// [`GatingAxis::w0_values`]).
     ClockGateLinear,
+    /// Extension: Eq. 8 with a per-victim EWMA predictor replacing `W0`
+    /// (crossed with [`GatingAxis::w0_values`] as predictor seeds).
+    AdaptiveW0,
+    /// Extension: gate the first `k` consecutive aborts, then exponential
+    /// back-off (crossed with [`GatingAxis::hybrid_gate_limits`]; `W0`,
+    /// base and cap come from the first entry of their respective lists).
+    Hybrid,
+    /// Extension: DVFS-throttle the victim instead of fully gating it
+    /// (crossed with [`GatingAxis::w0_values`]).
+    Throttle,
+    /// Extension: the oracle upper bound — a single parameterless point.
+    Oracle,
 }
 
 /// The gating axis of a sweep: which mode families to run and which
@@ -50,6 +62,10 @@ pub struct GatingAxis {
     pub backoff_bases: Vec<Cycle>,
     /// Exponent cap shared by all exponential-back-off cells.
     pub backoff_cap: u32,
+    /// Gate limits (`k`) crossed with the hybrid family. The hybrid cells'
+    /// `W0`, back-off base and cap are the first entries of
+    /// [`Self::w0_values`] / [`Self::backoff_bases`] / [`Self::backoff_cap`].
+    pub hybrid_gate_limits: Vec<u32>,
 }
 
 impl Default for GatingAxis {
@@ -61,6 +77,7 @@ impl Default for GatingAxis {
             fixed_windows: vec![64],
             backoff_bases: vec![32],
             backoff_cap: 8,
+            hybrid_gate_limits: vec![2],
         }
     }
 }
@@ -102,6 +119,27 @@ impl GatingAxis {
                         .iter()
                         .map(|&w0| GatingMode::ClockGateLinear { w0 }),
                 ),
+                ModeKind::AdaptiveW0 => modes.extend(
+                    self.w0_values
+                        .iter()
+                        .map(|&w0| GatingMode::AdaptiveW0 { w0 }),
+                ),
+                ModeKind::Hybrid => {
+                    let w0 = self.w0_values.first().copied().unwrap_or(8);
+                    let base = self.backoff_bases.first().copied().unwrap_or(32);
+                    modes.extend(self.hybrid_gate_limits.iter().map(|&gate_limit| {
+                        GatingMode::Hybrid {
+                            gate_limit,
+                            w0,
+                            base,
+                            cap: self.backoff_cap,
+                        }
+                    }));
+                }
+                ModeKind::Throttle => {
+                    modes.extend(self.w0_values.iter().map(|&w0| GatingMode::Throttle { w0 }))
+                }
+                ModeKind::Oracle => modes.push(GatingMode::Oracle),
             }
         }
         modes
@@ -165,8 +203,8 @@ pub struct SweepGrid {
 pub const DEFAULT_LEAKAGE_PERCENT: u32 = 20;
 
 /// Names accepted by [`SweepGrid::by_name`] (the `sweep --grid` values).
-pub const GRID_NAMES: [&str; 7] = [
-    "smoke", "default", "w0", "backoff", "scaling", "cache", "leakage",
+pub const GRID_NAMES: [&str; 8] = [
+    "smoke", "default", "w0", "backoff", "scaling", "cache", "leakage", "policies",
 ];
 
 impl SweepGrid {
@@ -299,6 +337,35 @@ impl SweepGrid {
         }
     }
 
+    /// The policy axis end-to-end: every registered policy family at its
+    /// default operating point, over the paper's workloads, so Pareto
+    /// reports rank whole policy families per workload. Small enough
+    /// (tiny scale, one processor count) for the CI policy-matrix gate to
+    /// run it on both engines.
+    #[must_use]
+    pub fn policies() -> Self {
+        Self {
+            processor_counts: vec![4],
+            scales: vec![WorkloadScale::Test],
+            gating: GatingAxis {
+                kinds: vec![
+                    ModeKind::Ungated,
+                    ModeKind::ExponentialBackoff,
+                    ModeKind::ClockGate,
+                    ModeKind::ClockGateFixedWindow,
+                    ModeKind::ClockGateNoRenew,
+                    ModeKind::ClockGateLinear,
+                    ModeKind::AdaptiveW0,
+                    ModeKind::Hybrid,
+                    ModeKind::Throttle,
+                    ModeKind::Oracle,
+                ],
+                ..GatingAxis::default()
+            },
+            ..Self::base("policies")
+        }
+    }
+
     /// Look up a predefined grid by its [`GRID_NAMES`] name.
     #[must_use]
     pub fn by_name(name: &str) -> Option<Self> {
@@ -310,6 +377,7 @@ impl SweepGrid {
             "scaling" => Some(Self::scaling()),
             "cache" => Some(Self::cache()),
             "leakage" => Some(Self::leakage()),
+            "policies" => Some(Self::policies()),
             _ => None,
         }
     }
@@ -402,17 +470,12 @@ impl SweepCell {
     }
 }
 
-/// Compact, filesystem-safe slug for a gating mode, used in cell keys.
+/// Compact, filesystem-safe slug for a gating mode, used in cell keys
+/// (delegates to [`GatingMode::slug`], which keeps every legacy slug
+/// byte-identical).
 #[must_use]
 pub fn mode_slug(mode: &GatingMode) -> String {
-    match mode {
-        GatingMode::Ungated => "ungated".to_string(),
-        GatingMode::ExponentialBackoff { base, cap } => format!("backoff-b{base}-c{cap}"),
-        GatingMode::ClockGate { w0 } => format!("cg-w{w0}"),
-        GatingMode::ClockGateFixedWindow { window } => format!("cgfix-{window}"),
-        GatingMode::ClockGateNoRenew { w0 } => format!("cgnr-w{w0}"),
-        GatingMode::ClockGateLinear { w0 } => format!("cglin-w{w0}"),
-    }
+    mode.slug()
 }
 
 #[cfg(test)]
@@ -432,6 +495,7 @@ mod tests {
             fixed_windows: vec![64],
             backoff_bases: vec![16, 32],
             backoff_cap: 6,
+            hybrid_gate_limits: vec![2],
         };
         let modes = axis.expand();
         assert_eq!(
@@ -501,17 +565,72 @@ mod tests {
             GatingMode::ClockGateFixedWindow { window: 8 },
             GatingMode::ClockGateNoRenew { w0: 8 },
             GatingMode::ClockGateLinear { w0: 8 },
+            GatingMode::AdaptiveW0 { w0: 8 },
+            GatingMode::Hybrid {
+                gate_limit: 2,
+                w0: 8,
+                base: 16,
+                cap: 8,
+            },
+            GatingMode::Throttle { w0: 8 },
+            GatingMode::Oracle,
         ]
         .iter()
         .map(mode_slug)
         .collect();
-        assert_eq!(slugs.len(), 6);
+        assert_eq!(slugs.len(), 10);
         for slug in &slugs {
             assert!(
                 slug.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'),
                 "{slug} must be filesystem- and JSON-safe"
             );
         }
+    }
+
+    #[test]
+    fn policy_axis_expands_every_registered_family() {
+        let grid = SweepGrid::policies();
+        let modes = grid.gating.expand();
+        assert_eq!(
+            modes.len(),
+            crate::gating::policy::POLICY_REGISTRY.len(),
+            "one cell per registered family at the default point"
+        );
+        let families: BTreeSet<&str> = modes.iter().map(GatingMode::family).collect();
+        assert_eq!(families.len(), modes.len(), "all families distinct");
+        assert!(modes.contains(&GatingMode::Oracle));
+        assert!(modes.contains(&GatingMode::Hybrid {
+            gate_limit: 2,
+            w0: 8,
+            base: 32,
+            cap: 8,
+        }));
+        // Keys stay unique across the whole grid.
+        let cells = grid.expand();
+        let keys: BTreeSet<String> = cells.iter().map(SweepCell::key).collect();
+        assert_eq!(keys.len(), cells.len());
+        assert!(keys.contains("intruder-p4-l64k2w-test-s42-oracle"));
+        assert!(keys.contains("intruder-p4-l64k2w-test-s42-thr-w8"));
+    }
+
+    #[test]
+    fn hybrid_axis_crosses_gate_limits() {
+        let axis = GatingAxis {
+            kinds: vec![ModeKind::Hybrid],
+            hybrid_gate_limits: vec![1, 2, 4],
+            ..GatingAxis::default()
+        };
+        let modes = axis.expand();
+        assert_eq!(modes.len(), 3);
+        assert!(modes.iter().all(|m| matches!(
+            m,
+            GatingMode::Hybrid {
+                w0: 8,
+                base: 32,
+                cap: 8,
+                ..
+            }
+        )));
     }
 
     #[test]

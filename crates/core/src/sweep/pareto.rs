@@ -196,15 +196,25 @@ pub fn pareto_frontiers_with(
     slices(records, objective)
         .into_iter()
         .map(|((workload, procs), points)| {
+            // Degenerate-cell guard: a non-finite objective (NaN compares
+            // false both ways, ±∞ from overflowing delay products) would
+            // neither dominate nor be dominated and therefore sit on the
+            // frontier forever. Such cells are excluded from frontier
+            // membership and reported as dominated instead.
+            let poisoned = |p: &ParetoPoint| !p.objective_value.is_finite();
+            // A poisoned point can neither stay on the frontier nor knock a
+            // real point off it (a −∞ artifact would otherwise wipe the
+            // whole slice).
+            let beaten = |p: &ParetoPoint| points.iter().any(|q| !poisoned(q) && dominates(q, p));
             let mut frontier: Vec<ParetoPoint> = points
                 .iter()
-                .filter(|p| !points.iter().any(|q| dominates(q, p)))
+                .filter(|p| !poisoned(p) && !beaten(p))
                 .cloned()
                 .collect();
             frontier.sort_by(point_order);
             let mut dominated: Vec<String> = points
                 .iter()
-                .filter(|p| points.iter().any(|q| dominates(q, p)))
+                .filter(|p| poisoned(p) || beaten(p))
                 .map(|p| p.key.clone())
                 .collect();
             dominated.sort();
@@ -415,6 +425,56 @@ mod tests {
     fn empty_records_produce_no_slices() {
         assert!(pareto_frontiers(&[]).is_empty());
         assert!(summarize_slices(&[]).is_empty());
+    }
+
+    #[test]
+    fn non_finite_objectives_cannot_poison_the_frontier() {
+        // A NaN point neither dominates nor is dominated under total_cmp
+        // semantics, so without the guard it would survive on the frontier.
+        let mut nan_cell = record("w", 4, "nan-cell", 60, f64::NAN);
+        nan_cell.total_energy = f64::NAN;
+        let mut inf_cell = record("w", 4, "inf-cell", 55, f64::INFINITY);
+        inf_cell.total_energy = f64::INFINITY;
+        let records = vec![
+            record("w", 4, "good-fast", 50, 30.0),
+            record("w", 4, "good-frugal", 100, 10.0),
+            nan_cell,
+            inf_cell,
+        ];
+        for objective in [
+            SweepObjective::Energy,
+            SweepObjective::Edp,
+            SweepObjective::Ed2p,
+        ] {
+            let f = &pareto_frontiers_with(&records, objective)[0];
+            assert!(!f.frontier.is_empty(), "{objective:?}");
+            assert!(f.frontier.iter().all(|p| p.objective_value.is_finite()));
+            for poisoned in ["nan-cell", "inf-cell"] {
+                assert!(
+                    f.dominated.iter().any(|k| k == poisoned),
+                    "{objective:?}: {poisoned} must be reported as dominated"
+                );
+            }
+            assert_eq!(f.cells, 4, "poisoned cells still counted in the slice");
+        }
+        // Under the raw-energy objective the two honest points trade off.
+        let energy = &pareto_frontiers_with(&records, SweepObjective::Energy)[0];
+        let keys: Vec<&str> = energy.frontier.iter().map(|p| p.key.as_str()).collect();
+        assert_eq!(keys, vec!["good-fast", "good-frugal"]);
+        assert_eq!(energy.dominated, vec!["inf-cell", "nan-cell"]);
+    }
+
+    #[test]
+    fn negative_infinity_artifact_cannot_wipe_the_slice() {
+        // A −∞ objective would dominate every real point; the guard must
+        // keep it from emptying the frontier.
+        let mut rogue = record("w", 4, "rogue", 10, f64::NEG_INFINITY);
+        rogue.total_energy = f64::NEG_INFINITY;
+        let records = vec![record("w", 4, "honest", 50, 30.0), rogue];
+        let f = &pareto_frontiers(&records)[0];
+        let keys: Vec<&str> = f.frontier.iter().map(|p| p.key.as_str()).collect();
+        assert_eq!(keys, vec!["honest"]);
+        assert_eq!(f.dominated, vec!["rogue"]);
     }
 
     #[test]

@@ -5,10 +5,12 @@
 //! (`EngineKind::Naive`): identical `RunOutcome`s — total cycles, commits,
 //! aborts, gatings, per-state cycle breakdowns, interval decomposition, bus
 //! statistics — identical controller statistics and identical energy
-//! analyses, for every gating mode and every registered workload. This suite
-//! sweeps the full (mode × workload) grid at `Test` scale and then hammers
-//! the same invariant with property-based random traces designed to provoke
-//! conflicts, aborts, gating and renewal.
+//! analyses, for **every registered contention policy** (the six legacy
+//! modes and the adaptive / hybrid / throttle / oracle extensions) and every
+//! registered workload. This suite sweeps the full (policy × workload) grid
+//! at `Test` scale and then hammers the same invariant with property-based
+//! random traces designed to provoke conflicts, aborts, gating, renewal,
+//! throttled windows and oracle subscriptions.
 
 use clockgate_htm::report::to_json;
 use clockgate_htm::sim::{EngineKind, GatingMode, SimReport, SimulationBuilder};
@@ -17,8 +19,10 @@ use htm_workloads::registry::ALL_WORKLOADS;
 use htm_workloads::WorkloadScale;
 use proptest::prelude::*;
 
-/// Every gating mode of the public API (the six bars of the evaluation).
-fn all_modes() -> [GatingMode; 6] {
+/// Every policy family of the registry: the six legacy modes of the
+/// evaluation plus the four framework extensions. Kept in sync with the
+/// registry by the `covers_every_registered_family` test below.
+fn all_modes() -> [GatingMode; 10] {
     [
         GatingMode::Ungated,
         GatingMode::ExponentialBackoff { base: 16, cap: 8 },
@@ -26,7 +30,29 @@ fn all_modes() -> [GatingMode; 6] {
         GatingMode::ClockGateFixedWindow { window: 64 },
         GatingMode::ClockGateNoRenew { w0: 8 },
         GatingMode::ClockGateLinear { w0: 8 },
+        GatingMode::AdaptiveW0 { w0: 8 },
+        GatingMode::Hybrid {
+            gate_limit: 2,
+            w0: 8,
+            base: 16,
+            cap: 8,
+        },
+        GatingMode::Throttle { w0: 8 },
+        GatingMode::Oracle,
     ]
+}
+
+#[test]
+fn covers_every_registered_family() {
+    let covered: std::collections::BTreeSet<&str> =
+        all_modes().iter().map(GatingMode::family).collect();
+    for info in clockgate_htm::gating::policy::registry() {
+        assert!(
+            covered.contains(info.family),
+            "policy family `{}` is missing from the differential sweep",
+            info.family
+        );
+    }
 }
 
 fn run_named(mode: GatingMode, workload: &str, procs: usize, engine: EngineKind) -> SimReport {
@@ -187,7 +213,7 @@ proptest! {
             ),
             2..5,
         ),
-        mode_idx in 0usize..6,
+        mode_idx in 0usize..10,
     ) {
         let mode = all_modes()[mode_idx];
         let fast = run_trace(mode, trace_from_raw(&threads), EngineKind::FastForward);

@@ -34,13 +34,16 @@ pub struct EnergyBreakdown {
     pub commit: f64,
     /// Energy consumed while clock-gated (leakage + PLL).
     pub gated: f64,
+    /// Energy consumed in the DVFS-style throttled state (zero for every
+    /// policy except `throttle`).
+    pub throttled: f64,
 }
 
 impl EnergyBreakdown {
     /// Total energy.
     #[must_use]
     pub fn total(&self) -> f64 {
-        self.run + self.miss + self.commit + self.gated
+        self.run + self.miss + self.commit + self.gated + self.throttled
     }
 }
 
@@ -85,6 +88,7 @@ pub fn analyze(outcome: &RunOutcome, model: &PowerModel) -> EnergyReport {
         breakdown.miss += sc.miss as f64 * model.miss;
         breakdown.commit += sc.commit as f64 * model.commit;
         breakdown.gated += sc.gated as f64 * model.gated;
+        breakdown.throttled += sc.throttled as f64 * model.throttled();
     }
     let total_energy = breakdown.total();
     let total_energy_interval = interval_energy(outcome, model);
@@ -114,7 +118,8 @@ pub fn interval_energy(outcome: &RunOutcome, model: &PowerModel) -> f64 {
     let mut low_power_proc_cycles = 0.0; // Σ Xi * i
     let mut miss_term = 0.0; // Σ Xi * i * αi
     let mut commit_term = 0.0; // Σ Xi * i * βi
-    let mut gate_term = 0.0; // Σ Xi * i * (1 - αi - βi)
+    let mut gate_term = 0.0; // Σ Xi * i * γi
+    let mut throttle_term = 0.0; // Σ Xi * i * δi (zero without the throttle policy)
     for i in 1..=outcome.num_procs {
         let xi = t.x(i) as f64;
         if xi == 0.0 {
@@ -125,11 +130,13 @@ pub fn interval_energy(outcome: &RunOutcome, model: &PowerModel) -> f64 {
         miss_term += xi_i * t.alpha(i);
         commit_term += xi_i * t.beta(i);
         gate_term += xi_i * t.gamma(i);
+        throttle_term += xi_i * t.delta(i);
     }
     (n * p - low_power_proc_cycles) * model.run
         + miss_term * model.miss
         + commit_term * model.commit
         + gate_term * model.gated
+        + throttle_term * model.throttled()
 }
 
 /// Comparison of a clock-gated run against the ungated baseline for the same

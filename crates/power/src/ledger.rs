@@ -32,13 +32,18 @@ use htm_tcc::stats::{PowerState, RunOutcome, StateCycles};
 use crate::energy;
 use crate::model::PowerModelConfig;
 
-/// The four power states, in ledger index order.
-const STATES: [PowerState; 4] = [
+/// The five power states, in ledger index order: the four of Table I plus
+/// the DVFS-style throttled state of the `throttle` contention policy.
+const STATES: [PowerState; 5] = [
     PowerState::Run,
     PowerState::Miss,
     PowerState::Commit,
     PowerState::Gated,
+    PowerState::Throttled,
 ];
+
+/// Number of ledger states (the dimension of the per-component factor rows).
+const NUM_STATES: usize = STATES.len();
 
 fn state_idx(state: PowerState) -> usize {
     match state {
@@ -46,6 +51,7 @@ fn state_idx(state: PowerState) -> usize {
         PowerState::Miss => 1,
         PowerState::Commit => 2,
         PowerState::Gated => 3,
+        PowerState::Throttled => 4,
     }
 }
 
@@ -248,7 +254,7 @@ impl UncoreActivity {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComponentFactors {
     /// `factors[component][state]`, `CORE_COMPONENTS` × `STATES` order.
-    factors: [[f64; 4]; 6],
+    factors: [[f64; NUM_STATES]; 6],
 }
 
 impl ComponentFactors {
@@ -274,9 +280,12 @@ impl ComponentFactors {
         let pll_leak = cfg.leakage_share * cfg.pll_leakage_fraction;
         let leak_budget = cfg.leakage_share - pll_leak;
         // Per-state activity of the commit-active set {L1D, IO, their clock
-        // slice}; everything else is inactive outside Run.
+        // slice}; everything else is inactive outside Run. While throttled,
+        // every component keeps a DVFS-scaled slice of its run-mode dynamic
+        // power (uniform half-rate clocking) on top of its full leakage.
         let miss_act = cfg.miss_activity_factor;
-        let mut factors = [[0.0f64; 4]; 6];
+        let throttle_scale = crate::model::THROTTLE_DYNAMIC_SCALE;
+        let mut factors = [[0.0f64; NUM_STATES]; 6];
         for (c, share) in shares.iter().enumerate().skip(1) {
             let leak = if CORE_COMPONENTS[c] == EnergyComponent::Pll {
                 pll_leak
@@ -299,10 +308,14 @@ impl ComponentFactors {
                 leak + miss_dyn,
                 leak + commit_dyn,
                 if cfg.power_gated_standby { 0.0 } else { leak },
+                leak + throttle_scale * dynamic * share,
             ];
         }
-        // The pipeline is the residual of each state's Table I factor, which
-        // makes the component sums exact by construction.
+        // The pipeline is the residual of each state's model factor, which
+        // makes the component sums exact by construction (for the throttled
+        // state the residual target is the derived `PowerModel::throttled`
+        // factor, so the five-state ledger agrees with the direct accounting
+        // the same way the Table I subset does).
         for (s, &state) in STATES.iter().enumerate() {
             let others: f64 = (1..6).map(|c| factors[c][s]).sum();
             factors[0][s] = model.factor(state) - others;
@@ -436,7 +449,7 @@ pub struct LedgerBuilder {
     factors: ComponentFactors,
     costs: UncoreCosts,
     /// Exact integer cycle tallies: `[proc][state]`.
-    proc_state_cycles: Vec<[u64; 4]>,
+    proc_state_cycles: Vec<[u64; NUM_STATES]>,
     uncore: UncoreActivity,
 }
 
@@ -447,7 +460,7 @@ impl LedgerBuilder {
         Self {
             factors: ComponentFactors::from_config(cfg),
             costs: cfg.uncore,
-            proc_state_cycles: vec![[0u64; 4]; num_procs],
+            proc_state_cycles: vec![[0u64; NUM_STATES]; num_procs],
             uncore: UncoreActivity::default(),
         }
     }
@@ -463,6 +476,7 @@ impl LedgerBuilder {
         self.charge(proc, PowerState::Miss, sc.miss);
         self.charge(proc, PowerState::Commit, sc.commit);
         self.charge(proc, PowerState::Gated, sc.gated);
+        self.charge(proc, PowerState::Throttled, sc.throttled);
     }
 
     /// Set the uncore activity tallies (replaces any previous value).
@@ -486,7 +500,7 @@ impl LedgerBuilder {
         // Aggregate exact integer cycle tallies per state, then multiply by
         // the factors once per (component, state): the summation order is
         // canonical, independent of how the charges streamed in.
-        let mut state_totals = [0u64; 4];
+        let mut state_totals = [0u64; NUM_STATES];
         for per_proc in &self.proc_state_cycles {
             for (s, cycles) in per_proc.iter().enumerate() {
                 state_totals[s] += cycles;

@@ -48,6 +48,14 @@ pub const MISS_ACTIVITY_FACTOR: f64 = 0.5;
 /// Fraction of the leakage budget attributed to the always-running PLL
 /// (Table I calls it "negligible"; the ledger keeps it visible).
 pub const PLL_LEAKAGE_FRACTION: f64 = 0.02;
+/// Fraction of the dynamic (run-minus-standby) power still drawn in the
+/// DVFS-style throttled state of the `throttle` contention policy: the
+/// clocks run at half rate, so half of every component's switching activity
+/// survives while the full leakage is paid. Not part of Table I — the
+/// paper's machine has no intermediate state — so the factor is a derived
+/// method ([`PowerModel::throttled`]) rather than a fifth serialized Table I
+/// row, keeping the Table I artifact byte-stable.
+pub const THROTTLE_DYNAMIC_SCALE: f64 = 0.5;
 
 /// Every input of the Table I derivation, made explicit and sweepable.
 ///
@@ -215,6 +223,16 @@ impl PowerModel {
         self
     }
 
+    /// Power factor of the DVFS-style throttled state: standby power plus
+    /// [`THROTTLE_DYNAMIC_SCALE`] of the dynamic (run-minus-standby) power.
+    /// With the paper's Table I numbers this is `0.2 + 0.5·0.8 = 0.6` —
+    /// between Run and Gated, which is the whole point of the `throttle`
+    /// policy's trade-off (no wake-up protocol, but a costlier wait).
+    #[must_use]
+    pub fn throttled(&self) -> f64 {
+        self.gated + THROTTLE_DYNAMIC_SCALE * (self.run - self.gated)
+    }
+
     /// Power factor for a given simulated processor state.
     #[must_use]
     pub fn factor(&self, state: htm_tcc::stats::PowerState) -> f64 {
@@ -224,6 +242,7 @@ impl PowerModel {
             PowerState::Miss => self.miss,
             PowerState::Commit => self.commit,
             PowerState::Gated => self.gated,
+            PowerState::Throttled => self.throttled(),
         }
     }
 

@@ -38,6 +38,10 @@ pub struct IntervalTracker {
     commit_weight: Vec<u64>,
     /// `gate_weight[i]` = Σ of gated processors (the residual `1 - α - β`).
     gate_weight: Vec<u64>,
+    /// `throttle_weight[i]` = Σ of DVFS-throttled processors. The paper's
+    /// machine has no such state; the weight stays all-zero unless the
+    /// `throttle` contention policy is active.
+    throttle_weight: Vec<u64>,
     /// Total number of cycles recorded (the parallel-section length `N`).
     total_cycles: Cycle,
 }
@@ -52,19 +56,38 @@ impl IntervalTracker {
             miss_weight: vec![0; num_procs + 1],
             commit_weight: vec![0; num_procs + 1],
             gate_weight: vec![0; num_procs + 1],
+            throttle_weight: vec![0; num_procs + 1],
             total_cycles: 0,
         }
     }
 
     /// Record `cycles` consecutive cycles during which `gated` processors were
     /// clock-gated, `missing` were stalled on a cache miss and `committing`
-    /// were flushing their write set.
+    /// were flushing their write set (no processor throttled — the paper's
+    /// machine; see [`Self::record_with_throttle`]).
     ///
     /// # Panics
     /// Panics if the three categories sum to more than the number of
     /// processors (a processor can only be in one of them at a time).
     pub fn record(&mut self, cycles: u64, gated: usize, missing: usize, committing: usize) {
-        let i = gated + missing + committing;
+        self.record_with_throttle(cycles, gated, missing, committing, 0);
+    }
+
+    /// [`Self::record`] with a fourth low-power category: processors in the
+    /// DVFS-style throttled state of the `throttle` contention policy.
+    ///
+    /// # Panics
+    /// Panics if the four categories sum to more than the number of
+    /// processors (a processor can only be in one of them at a time).
+    pub fn record_with_throttle(
+        &mut self,
+        cycles: u64,
+        gated: usize,
+        missing: usize,
+        committing: usize,
+        throttled: usize,
+    ) {
+        let i = gated + missing + committing + throttled;
         assert!(
             i <= self.num_procs,
             "more low-power processors ({i}) than processors ({})",
@@ -74,6 +97,7 @@ impl IntervalTracker {
         self.miss_weight[i] += cycles * missing as u64;
         self.commit_weight[i] += cycles * committing as u64;
         self.gate_weight[i] += cycles * gated as u64;
+        self.throttle_weight[i] += cycles * throttled as u64;
         self.total_cycles += cycles;
     }
 
@@ -116,13 +140,26 @@ impl IntervalTracker {
         }
     }
 
-    /// Weighted fraction that was clock-gated (`1 - αi - βi` in the paper).
+    /// Weighted fraction that was clock-gated (`1 - αi - βi` in the paper;
+    /// with the throttled extension the residual is `1 - αi - βi - δi`).
     #[must_use]
     pub fn gamma(&self, i: usize) -> f64 {
         if i == 0 || self.x[i] == 0 {
             0.0
         } else {
             self.gate_weight[i] as f64 / (i as f64 * self.x[i] as f64)
+        }
+    }
+
+    /// `δi`: weighted fraction of the `i` low-power processors that were in
+    /// the DVFS-style throttled state (zero everywhere unless the `throttle`
+    /// contention policy ran).
+    #[must_use]
+    pub fn delta(&self, i: usize) -> f64 {
+        if i == 0 || self.x[i] == 0 {
+            0.0
+        } else {
+            self.throttle_weight[i] as f64 / (i as f64 * self.x[i] as f64)
         }
     }
 
@@ -144,13 +181,20 @@ impl IntervalTracker {
         self.commit_weight.iter().sum()
     }
 
+    /// Total processor-cycles spent DVFS-throttled.
+    #[must_use]
+    pub fn total_throttled_proc_cycles(&self) -> u64 {
+        self.throttle_weight.iter().sum()
+    }
+
     /// Total processor-cycles spent in any low-power state (gated + miss +
-    /// commit), i.e. `Σ Xi · i`.
+    /// commit + throttled), i.e. `Σ Xi · i`.
     #[must_use]
     pub fn total_low_power_proc_cycles(&self) -> u64 {
         self.total_gated_proc_cycles()
             + self.total_miss_proc_cycles()
             + self.total_commit_proc_cycles()
+            + self.total_throttled_proc_cycles()
     }
 
     /// Total processor-cycles spent at full run power, derived from the
@@ -238,5 +282,23 @@ mod tests {
     fn rejects_overcount() {
         let mut t = IntervalTracker::new(2);
         t.record(1, 1, 1, 1);
+    }
+
+    #[test]
+    fn throttled_processors_join_the_low_power_decomposition() {
+        let mut t = IntervalTracker::new(4);
+        t.record_with_throttle(10, 1, 1, 0, 2); // i = 4
+        assert_eq!(t.x(4), 10);
+        assert!((t.delta(4) - 0.5).abs() < 1e-12);
+        let unity = t.alpha(4) + t.beta(4) + t.gamma(4) + t.delta(4);
+        assert!((unity - 1.0).abs() < 1e-12);
+        assert_eq!(t.total_throttled_proc_cycles(), 20);
+        assert_eq!(t.total_low_power_proc_cycles(), 40);
+        assert_eq!(t.total_run_proc_cycles(), 0);
+        // The 4-argument `record` is the throttle-free special case.
+        let mut u = IntervalTracker::new(4);
+        u.record(10, 1, 1, 0);
+        assert_eq!(u.delta(2), 0.0);
+        assert_eq!(u.total_throttled_proc_cycles(), 0);
     }
 }

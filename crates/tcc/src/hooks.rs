@@ -31,6 +31,15 @@ pub enum AbortAction {
     /// [`GateCommand::UngateProcessor`] to wake the victim, which then
     /// self-aborts and retries.
     Gate,
+    /// Roll back, then wait out `duration` cycles in the DVFS-style
+    /// throttled state (clocks at a reduced rate) before retrying. Unlike
+    /// [`AbortAction::Gate`] the victim needs no wake-up protocol — the
+    /// window is a processor-local countdown, but each cycle of it costs the
+    /// throttled power factor instead of the gated one.
+    Throttle {
+        /// Length of the throttled window in cycles.
+        duration: Cycle,
+    },
 }
 
 /// Decision taken by a hook when one of its gating timers expires.
@@ -344,14 +353,14 @@ mod tests {
         let windows: Vec<Cycle> = (0..4)
             .map(|_| match h.on_abort(0, 0, 1, 7, 0, &v) {
                 AbortAction::Retry { backoff } => backoff,
-                AbortAction::Gate => panic!("backoff never gates"),
+                other => panic!("backoff never gates or throttles: {other:?}"),
             })
             .collect();
         assert_eq!(windows, vec![10, 20, 40, 80]);
         h.on_commit(0, 0);
         match h.on_abort(0, 0, 1, 7, 0, &v) {
             AbortAction::Retry { backoff } => assert_eq!(backoff, 10),
-            AbortAction::Gate => panic!(),
+            other => panic!("{other:?}"),
         }
     }
 

@@ -62,6 +62,19 @@ pub struct CommitStep {
     pub lines: Vec<LineAddr>,
 }
 
+/// What a processor does once its abort roll-back completes, decided by the
+/// contention-management hook's [`crate::hooks::AbortAction`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryAfter {
+    /// Restart the transaction immediately (plain TCC).
+    Immediately,
+    /// Spin at full run power for the given back-off window first.
+    Backoff(Cycle),
+    /// Wait out the given window in the DVFS-reduced [`Phase::Throttled`]
+    /// state first.
+    Throttle(Cycle),
+}
+
 /// Execution phase of a processor.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Phase {
@@ -113,13 +126,21 @@ pub enum Phase {
     Aborting {
         /// Cycle at which the roll-back completes.
         until: Cycle,
-        /// Back-off spin to perform after the roll-back (ungated contention
-        /// management), in cycles.
-        backoff: Cycle,
+        /// What to do once the roll-back completes (restart immediately,
+        /// spin out a back-off window, or wait throttled).
+        then: RetryAfter,
     },
     /// Spinning in a contention-management back-off window (run power).
     Backoff {
         /// Cycle at which the back-off expires.
+        until: Cycle,
+    },
+    /// Waiting out a contention-management window at DVFS-reduced power (the
+    /// `throttle` policy's intermediate state: clocks keep running at a
+    /// reduced rate, so the wait costs more than gating but the processor
+    /// needs no wake-up protocol and restarts itself when the window ends).
+    Throttled {
+        /// Cycle at which the throttled window expires.
         until: Cycle,
     },
     /// Received "Stop Clock"; draining the in-flight instruction.
@@ -147,6 +168,7 @@ impl Phase {
             Phase::WaitMiss { .. } => PowerState::Miss,
             Phase::Committing { .. } => PowerState::Commit,
             Phase::Gated => PowerState::Gated,
+            Phase::Throttled { .. } => PowerState::Throttled,
             // Everything else burns full run power: execution, commit spin,
             // back-off spin, roll-back, drain, wake-up and the final barrier.
             _ => PowerState::Run,
@@ -336,6 +358,7 @@ impl Processor {
             | Phase::Committing { until, .. }
             | Phase::Aborting { until, .. }
             | Phase::Backoff { until }
+            | Phase::Throttled { until }
             | Phase::GateDraining { until }
             | Phase::WakeRestart { until } => Some(until.max(now)),
         };

@@ -16,7 +16,9 @@ use htm_sim::Cycle;
 
 use crate::dirctrl::DirCtrlStats;
 
-/// The four power-relevant processor states of the paper's model (Table I).
+/// The power-relevant processor states: the four of the paper's model
+/// (Table I) plus the DVFS-style throttled state the `throttle` contention
+/// policy introduces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PowerState {
     /// Executing instructions, spinning at the commit instruction, executing
@@ -29,6 +31,10 @@ pub enum PowerState {
     Commit,
     /// Clock-gated standby (factor 0.20 — leakage plus the always-on PLL).
     Gated,
+    /// DVFS-style reduced-power wait: the clocks keep running at a reduced
+    /// rate instead of stopping entirely (the `throttle` contention policy's
+    /// intermediate state between Run and Gated; not part of Table I).
+    Throttled,
 }
 
 /// Cycles a single processor spent in each power state.
@@ -42,13 +48,15 @@ pub struct StateCycles {
     pub commit: u64,
     /// Cycles spent clock-gated.
     pub gated: u64,
+    /// Cycles spent in the DVFS-style throttled state.
+    pub throttled: u64,
 }
 
 impl StateCycles {
     /// Total cycles accounted for this processor.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.run + self.miss + self.commit + self.gated
+        self.run + self.miss + self.commit + self.gated + self.throttled
     }
 
     /// Add one cycle in the given state.
@@ -58,6 +66,7 @@ impl StateCycles {
             PowerState::Miss => self.miss += cycles,
             PowerState::Commit => self.commit += cycles,
             PowerState::Gated => self.gated += cycles,
+            PowerState::Throttled => self.throttled += cycles,
         }
     }
 }
@@ -161,6 +170,13 @@ impl RunOutcome {
         self.state_cycles.iter().map(|s| s.gated).sum()
     }
 
+    /// Total cycles spent in the DVFS-style throttled state, summed over
+    /// processors.
+    #[must_use]
+    pub fn total_throttled_cycles(&self) -> u64 {
+        self.state_cycles.iter().map(|s| s.throttled).sum()
+    }
+
     /// Total cycles spent stalled on misses, summed over processors.
     #[must_use]
     pub fn total_miss_cycles(&self) -> u64 {
@@ -223,6 +239,10 @@ impl RunOutcome {
         let per_proc_commit: u64 = self.state_cycles.iter().map(|s| s.commit).sum();
         if per_proc_commit != self.intervals.total_commit_proc_cycles() {
             return Err("commit processor-cycles disagree between accountings".into());
+        }
+        let per_proc_throttled: u64 = self.state_cycles.iter().map(|s| s.throttled).sum();
+        if per_proc_throttled != self.intervals.total_throttled_proc_cycles() {
+            return Err("throttled processor-cycles disagree between accountings".into());
         }
         Ok(())
     }

@@ -18,7 +18,7 @@ use htm_sim::{Cycle, DirId, ProcId};
 
 use crate::dirctrl::DirCtrl;
 use crate::hooks::{AbortAction, GateCommand, GatingHook, SystemView};
-use crate::processor::{CommitStep, Phase, ProcEvent, Processor};
+use crate::processor::{CommitStep, Phase, ProcEvent, Processor, RetryAfter};
 use crate::stats::{PowerState, RunOutcome};
 use crate::token::TokenVendor;
 use crate::txn::{Op, WorkloadTrace};
@@ -150,10 +150,10 @@ pub struct TccSystem<H: GatingHook> {
     deadlines: std::collections::BinaryHeap<std::cmp::Reverse<(Cycle, ProcId)>>,
     /// Bit mask of processors currently in `Phase::SpinCommit`.
     spin_mask: u64,
-    /// Start-of-cycle population counts `(gated, missing, committing)`,
-    /// maintained incrementally on every phase transition so each executed
-    /// cycle records its interval data in O(1).
-    state_counts: (usize, usize, usize),
+    /// Start-of-cycle population counts `(gated, missing, committing,
+    /// throttled)`, maintained incrementally on every phase transition so
+    /// each executed cycle records its interval data in O(1).
+    state_counts: (usize, usize, usize, usize),
     /// Number of processors in `Phase::Done` (replaces the O(procs)
     /// `all_done` sweep in the run loop).
     done_count: usize,
@@ -228,7 +228,7 @@ impl<H: GatingHook> TccSystem<H> {
             acct_until: vec![0; num_procs],
             deadlines: std::collections::BinaryHeap::new(),
             spin_mask: 0,
-            state_counts: (0, 0, 0),
+            state_counts: (0, 0, 0, 0),
             done_count,
             // The first fast plan populates the event queue and counters.
             fast_state_stale: true,
@@ -469,11 +469,13 @@ impl<H: GatingHook> TccSystem<H> {
         let mut gated = 0usize;
         let mut missing = 0usize;
         let mut committing = 0usize;
+        let mut throttled = 0usize;
         for (i, proc) in self.procs.iter().enumerate() {
             match proc.phase.power_state() {
                 PowerState::Gated => gated += 1,
                 PowerState::Miss => missing += 1,
                 PowerState::Commit => committing += 1,
+                PowerState::Throttled => throttled += 1,
                 PowerState::Run => {}
             }
             if matches!(proc.phase, Phase::SpinCommit { .. }) {
@@ -488,7 +490,7 @@ impl<H: GatingHook> TccSystem<H> {
                 self.deadlines.push(std::cmp::Reverse((d, i)));
             }
         }
-        self.state_counts = (gated, missing, committing);
+        self.state_counts = (gated, missing, committing, throttled);
         self.done_count = self.procs.iter().filter(|p| p.is_done()).count();
         self.view_dirty = if self.procs.len() >= 64 {
             u64::MAX
@@ -508,8 +510,9 @@ impl<H: GatingHook> TccSystem<H> {
         let now = self.now;
         // Interval accounting from the incrementally maintained population
         // counts: O(1) instead of a sweep over every processor.
-        let (gated, missing, committing) = self.state_counts;
-        self.intervals.record(1, gated, missing, committing);
+        let (gated, missing, committing, throttled) = self.state_counts;
+        self.intervals
+            .record_with_throttle(1, gated, missing, committing, throttled);
 
         // Refresh the view snapshot: directory marked-bits every cycle (the
         // cached bit vectors make this O(dirs)), processor entries only for
@@ -556,12 +559,14 @@ impl<H: GatingHook> TccSystem<H> {
                     PowerState::Gated => c.0 -= 1,
                     PowerState::Miss => c.1 -= 1,
                     PowerState::Commit => c.2 -= 1,
+                    PowerState::Throttled => c.3 -= 1,
                     PowerState::Run => {}
                 }
                 match post_state {
                     PowerState::Gated => c.0 += 1,
                     PowerState::Miss => c.1 += 1,
                     PowerState::Commit => c.2 += 1,
+                    PowerState::Throttled => c.3 += 1,
                     PowerState::Run => {}
                 }
             }
@@ -589,8 +594,9 @@ impl<H: GatingHook> TccSystem<H> {
     /// happened).
     fn fast_forward(&mut self, n: u64) {
         debug_assert!(n >= 1);
-        let (gated, missing, committing) = self.state_counts;
-        self.intervals.record(n, gated, missing, committing);
+        let (gated, missing, committing, throttled) = self.state_counts;
+        self.intervals
+            .record_with_throttle(n, gated, missing, committing, throttled);
         self.now += n;
     }
 
@@ -625,6 +631,7 @@ impl<H: GatingHook> TccSystem<H> {
             | Phase::Committing { .. } => proc.attempt_cycles += span,
             Phase::Aborting { .. }
             | Phase::Backoff { .. }
+            | Phase::Throttled { .. }
             | Phase::GateDraining { .. }
             | Phase::WakeRestart { .. }
             | Phase::Gated
@@ -644,6 +651,7 @@ impl<H: GatingHook> TccSystem<H> {
         let mut gated = 0usize;
         let mut missing = 0usize;
         let mut committing = 0usize;
+        let mut throttled = 0usize;
         for proc in &mut self.procs {
             let state = proc.phase.power_state();
             proc.state_cycles.add(state, cycles);
@@ -651,13 +659,15 @@ impl<H: GatingHook> TccSystem<H> {
                 PowerState::Gated => gated += 1,
                 PowerState::Miss => missing += 1,
                 PowerState::Commit => committing += 1,
+                PowerState::Throttled => throttled += 1,
                 PowerState::Run => {}
             }
         }
         for a in &mut self.acct_until {
             *a = now + cycles;
         }
-        self.intervals.record(cycles, gated, missing, committing);
+        self.intervals
+            .record_with_throttle(cycles, gated, missing, committing, throttled);
     }
 
     fn refresh_view(&mut self) {
@@ -738,7 +748,15 @@ impl<H: GatingHook> TccSystem<H> {
                         continue;
                     }
                     match action {
-                        AbortAction::Retry { backoff } => self.begin_abort(i, backoff),
+                        AbortAction::Retry { backoff: 0 } => {
+                            self.begin_abort(i, RetryAfter::Immediately);
+                        }
+                        AbortAction::Retry { backoff } => {
+                            self.begin_abort(i, RetryAfter::Backoff(backoff));
+                        }
+                        AbortAction::Throttle { duration } => {
+                            self.begin_abort(i, RetryAfter::Throttle(duration));
+                        }
                         AbortAction::Gate => self.begin_gating(i),
                     }
                 }
@@ -766,7 +784,7 @@ impl<H: GatingHook> TccSystem<H> {
         self.dir_scratch = touched;
     }
 
-    fn begin_abort(&mut self, i: ProcId, backoff: Cycle) {
+    fn begin_abort(&mut self, i: ProcId, then: RetryAfter) {
         let wasted = self.procs[i].attempt_cycles;
         self.procs[i].stats.aborts += 1;
         self.procs[i].stats.wasted_cycles += wasted;
@@ -776,7 +794,7 @@ impl<H: GatingHook> TccSystem<H> {
         self.procs[i].clear_attempt_state();
         self.procs[i].dirs_touched.clear();
         let until = self.now + self.cfg.abort_rollback_latency;
-        self.procs[i].phase = Phase::Aborting { until, backoff };
+        self.procs[i].phase = Phase::Aborting { until, then };
     }
 
     fn begin_gating(&mut self, i: ProcId) {
@@ -876,19 +894,25 @@ impl<H: GatingHook> TccSystem<H> {
                     self.finish_flush_step(i, step_idx);
                 }
             }
-            Phase::Aborting { until, backoff } => {
+            Phase::Aborting { until, then } => {
                 if self.now >= until {
-                    if backoff > 0 {
-                        self.procs[i].stats.backoff_cycles += backoff;
-                        self.procs[i].phase = Phase::Backoff {
-                            until: self.now + backoff,
-                        };
-                    } else {
-                        self.procs[i].restart_transaction();
+                    match then {
+                        RetryAfter::Immediately => self.procs[i].restart_transaction(),
+                        RetryAfter::Backoff(backoff) => {
+                            self.procs[i].stats.backoff_cycles += backoff;
+                            self.procs[i].phase = Phase::Backoff {
+                                until: self.now + backoff,
+                            };
+                        }
+                        RetryAfter::Throttle(duration) => {
+                            self.procs[i].phase = Phase::Throttled {
+                                until: self.now + duration,
+                            };
+                        }
                     }
                 }
             }
-            Phase::Backoff { until } => {
+            Phase::Backoff { until } | Phase::Throttled { until } => {
                 if self.now >= until {
                     self.procs[i].restart_transaction();
                 }

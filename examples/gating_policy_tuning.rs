@@ -51,7 +51,7 @@ fn main() {
 
     println!("-- Abort-handling strategies --");
     let mut rows = Vec::new();
-    let modes: [(&str, GatingMode); 6] = [
+    let modes: [(&str, GatingMode); 10] = [
         ("plain TCC (baseline)", GatingMode::Ungated),
         (
             "exponential back-off",
@@ -70,6 +70,21 @@ fn main() {
             "clock gate, linear back-off",
             GatingMode::ClockGateLinear { w0: 8 },
         ),
+        (
+            "adaptive W0 (per-victim EWMA)",
+            GatingMode::AdaptiveW0 { w0: 8 },
+        ),
+        (
+            "hybrid: gate twice, then back off",
+            GatingMode::Hybrid {
+                gate_limit: 2,
+                w0: 8,
+                base: 32,
+                cap: 8,
+            },
+        ),
+        ("DVFS throttle", GatingMode::Throttle { w0: 8 }),
+        ("oracle (gate until aborter commits)", GatingMode::Oracle),
     ];
     for (name, mode) in modes {
         let report = run(workload, procs, mode);

@@ -135,10 +135,10 @@ proptest! {
     #[test]
     fn staircase_window_is_monotone(w0 in 1u64..64, na in 1u32..200, nr in 0u32..200) {
         let p = GatingAwarePolicy::new(w0);
-        prop_assert!(p.window(na + 1, nr) >= p.window(na, nr));
-        prop_assert!(p.window(na, nr + 1) >= p.window(na, nr));
+        prop_assert!(p.window(0, na + 1, nr) >= p.window(0, na, nr));
+        prop_assert!(p.window(0, na, nr + 1) >= p.window(0, na, nr));
         let doubled = GatingAwarePolicy::new(w0 * 2);
-        prop_assert_eq!(doubled.window(na, nr), 2 * p.window(na, nr));
+        prop_assert_eq!(doubled.window(0, na, nr), 2 * p.window(0, na, nr));
     }
 
     /// `2^ceil(lg n)` is the smallest power of two >= n.

@@ -1,0 +1,112 @@
+//! Golden-fixture gate: the six legacy contention policies must produce
+//! **byte-identical** smoke artifacts through the pluggable-policy framework.
+//!
+//! The fixtures under `tests/golden/` were captured from the pre-framework
+//! enum dispatch (plus the `backoff` cap-label fix, which landed first and
+//! deliberately changed the back-off labels), by running
+//!
+//! ```bash
+//! reproduce --smoke --out tests/golden/reproduce
+//! sweep --grid smoke --out tests/golden/sweep
+//! ```
+//!
+//! This suite regenerates the same artifacts through the library (registry →
+//! boxed `PolicyHook` dispatch) and compares bytes, proving the refactor is
+//! observationally identical. CI additionally re-runs the binaries on both
+//! engines and `cmp`s their outputs against these fixtures.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use clock_gate_on_abort::core::experiments::{self, ExperimentConfig};
+use clock_gate_on_abort::core::report::to_json;
+use clock_gate_on_abort::core::sim::EngineKind;
+use clock_gate_on_abort::core::sweep::{run_sweep, SweepGrid};
+use clock_gate_on_abort::power::model::PowerModel;
+use clock_gate_on_abort::workloads::WorkloadScale;
+
+fn golden_dir(sub: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(sub)
+}
+
+fn golden(sub: &str, name: &str) -> String {
+    let path = golden_dir(sub).join(name);
+    fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()))
+}
+
+/// The `reproduce --smoke` experiment configuration (kept in sync with the
+/// binary's `--smoke` branch).
+fn smoke_config() -> ExperimentConfig {
+    ExperimentConfig {
+        processor_counts: vec![4],
+        scale: WorkloadScale::Test,
+        ..ExperimentConfig::default()
+    }
+}
+
+#[test]
+fn smoke_sweep_artifacts_match_the_golden_fixture() {
+    let dir = std::env::temp_dir().join(format!("clockgate-golden-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let outcome = run_sweep(&SweepGrid::smoke(), EngineKind::FastForward, &dir, false)
+        .expect("smoke sweep must run");
+    for (path, name) in [
+        (&outcome.jsonl_path, "sweep.jsonl"),
+        (&outcome.pareto_path, "pareto.json"),
+        (&outcome.summary_path, "sweep_summary.json"),
+        (&outcome.breakdown_path, "energy_breakdown.json"),
+    ] {
+        let produced = fs::read_to_string(path).unwrap();
+        assert_eq!(
+            produced,
+            golden("sweep", name),
+            "{name} diverged from the pre-refactor golden fixture"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn smoke_matrix_artifacts_match_the_golden_fixture() {
+    let cfg = smoke_config();
+    let (matrix, _timing, breakdown) =
+        experiments::run_matrix_timed(&cfg, EngineKind::FastForward).expect("smoke matrix");
+    assert_eq!(
+        to_json(&matrix),
+        golden("reproduce", "evaluation_matrix.json"),
+        "evaluation_matrix.json diverged from the golden fixture"
+    );
+    assert_eq!(
+        to_json(&experiments::summary(&matrix)),
+        golden("reproduce", "summary.json")
+    );
+    assert_eq!(
+        to_json(&breakdown),
+        golden("reproduce", "energy_breakdown.json")
+    );
+}
+
+#[test]
+fn static_table_artifacts_match_the_golden_fixture() {
+    assert_eq!(
+        to_json(&PowerModel::alpha_21264_65nm()),
+        golden("reproduce", "table1_power_model.json"),
+        "Table I must stay the four-factor paper model (the throttled state \
+         is a derived method, not a fifth serialized row)"
+    );
+    assert_eq!(
+        to_json(&experiments::fig3()),
+        golden("reproduce", "fig3_cache_power.json")
+    );
+}
+
+#[test]
+fn smoke_fig7_matches_the_golden_fixture() {
+    let cfg = smoke_config();
+    let f = experiments::fig7_with_engine(&cfg, &[1, 2, 4, 8, 16, 32, 64], EngineKind::FastForward)
+        .expect("fig7 smoke sweep");
+    assert_eq!(to_json(&f), golden("reproduce", "fig7_w0_sensitivity.json"));
+}
