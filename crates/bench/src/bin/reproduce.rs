@@ -14,12 +14,19 @@
 //! with every produced table/figure also written as a JSON artifact under
 //! `--out` (default `reproduce-out/`).
 //!
-//! Engine options:
+//! Engine and topology options:
 //!
-//! * `--engine fast|naive` selects the stepping engine (default `fast`, the
-//!   event-driven fast-forward engine; `naive` is the one-step-per-cycle
-//!   reference). Both produce byte-identical table/figure artifacts — CI
-//!   runs the smoke matrix with both and fails on any divergence.
+//! * `--engine fast|naive|shard` selects the stepping engine (default
+//!   `fast`, the event-driven fast-forward engine; `naive` is the
+//!   one-step-per-cycle reference; `shard` is the shard-parallel engine
+//!   that simulates conflict-isolated islands on parallel host threads).
+//!   All three produce byte-identical table/figure artifacts — CI runs the
+//!   smoke matrices with every engine and fails on any divergence.
+//! * `--topology bus|sharded[:BANKS[:mesh|xbar]]` swaps the interconnect
+//!   (default `bus`, the paper's machine; see `docs/SCALING.md`).
+//! * `--scale-smoke` is the large-machine CI gate: tiny workloads
+//!   (including the island-friendly `clustered` one) on a 64-processor
+//!   machine.
 //! * `--timing` writes a `BENCH_reproduce.json` artifact with the wall-clock
 //!   time of every matrix cell and the cells/second rate, so engine and
 //!   parallelisation speedups are recorded next to the scientific output.
@@ -31,6 +38,7 @@ use clockgate_htm::experiments::{self, EvaluationMatrix, ExperimentConfig, Fig7R
 use clockgate_htm::report;
 use clockgate_htm::sim::EngineKind;
 use htm_power::model::PowerModel;
+use htm_sim::topology::TopologyConfig;
 
 /// Print one line to stdout, exiting quietly if the reader went away
 /// (`reproduce table1 | head` must not panic on the broken pipe).
@@ -62,14 +70,22 @@ fn usage() -> ! {
          \x20 --quick         full matrix at small workload scale\n\
          \x20 --smoke         CI gate: tiny workloads, one processor count;\n\
          \x20                 also writes JSON artifacts (default dir reproduce-out/)\n\
+         \x20 --scale-smoke   large-machine CI gate: tiny workloads (clustered,\n\
+         \x20                 genome, intruder) on 64 processors; combine with\n\
+         \x20                 --topology/--engine to exercise the sharded fabric\n\
          \x20 --out DIR       write each produced table/figure as DIR/<name>.json;\n\
          \x20                 matrix targets additionally write the per-component\n\
          \x20                 energy_breakdown.json ledger artifact\n\
-         \x20 --engine E      stepping engine: fast (default) or naive;\n\
-         \x20                 artifacts are byte-identical either way\n\
+         \x20 --engine E      stepping engine: fast (default), naive, or shard\n\
+         \x20                 (shard-parallel islands on host threads);\n\
+         \x20                 artifacts are byte-identical in every case\n\
+         \x20 --topology T    interconnect: bus (default) or\n\
+         \x20                 sharded[:BANKS[:mesh|xbar]] (BANKS=0: one bank per\n\
+         \x20                 directory); see docs/SCALING.md\n\
          \x20 --timing        write BENCH_reproduce.json (wall-clock per matrix\n\
          \x20                 cell and cells/second)\n\
          \x20 --list-policies list every registered contention policy and exit\n\
+         \x20                 (every policy runs on either topology and engine)\n\
          \x20 -h, --help      this text\n\
          \n\
          For sensitivity sweeps beyond the paper's operating point, see the\n\
@@ -96,8 +112,10 @@ fn main() {
     let mut json = false;
     let mut quick = false;
     let mut smoke = false;
+    let mut scale_smoke = false;
     let mut timing = false;
     let mut engine = EngineKind::FastForward;
+    let mut topology = TopologyConfig::Bus;
     let mut out_dir: Option<PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -106,15 +124,26 @@ fn main() {
             "--json" => json = true,
             "--quick" => quick = true,
             "--smoke" => smoke = true,
+            "--scale-smoke" => scale_smoke = true,
             "--timing" => timing = true,
             "--list-policies" => {
                 outln!("{}", clockgate_htm::gating::policy::render_policy_list());
+                outln!(
+                    "\nEvery policy runs on either interconnect topology \
+                     (--topology bus|sharded[:BANKS[:mesh|xbar]], default bus) \
+                     and any stepping engine (--engine fast|naive|shard)."
+                );
                 return;
             }
             "--engine" => match args.next().as_deref() {
                 Some("fast" | "fast-forward") => engine = EngineKind::FastForward,
                 Some("naive") => engine = EngineKind::Naive,
+                Some("shard" | "shard-parallel") => engine = EngineKind::ShardParallel,
                 _ => usage(),
+            },
+            "--topology" => match args.next().as_deref().and_then(TopologyConfig::parse) {
+                Some(t) => topology = t,
+                None => usage(),
             },
             "--out" => match args.next() {
                 Some(dir) => out_dir = Some(PathBuf::from(dir)),
@@ -148,7 +177,17 @@ fn main() {
     let all = targets.iter().any(|t| t == "all");
     let wants = |name: &str| all || targets.iter().any(|t| t == name);
 
-    let cfg = if smoke {
+    let cfg = if scale_smoke {
+        ExperimentConfig {
+            processor_counts: vec![64],
+            workloads: ["clustered", "genome", "intruder"]
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect(),
+            scale: htm_workloads::WorkloadScale::Test,
+            ..ExperimentConfig::default()
+        }
+    } else if smoke {
         ExperimentConfig {
             processor_counts: vec![4],
             scale: htm_workloads::WorkloadScale::Test,
@@ -162,7 +201,7 @@ fn main() {
     } else {
         ExperimentConfig::default()
     };
-    if smoke && out_dir.is_none() {
+    if (smoke || scale_smoke) && out_dir.is_none() {
         out_dir = Some(PathBuf::from("reproduce-out"));
     }
 
@@ -203,13 +242,15 @@ fn main() {
     }
     let matrix: Option<EvaluationMatrix> = if needs_matrix {
         eprintln!(
-            "running the evaluation matrix ({} workloads x {:?} processors, with and without gating, {} engine)...",
+            "running the evaluation matrix ({} workloads x {:?} processors, with and without gating, {} engine, {})...",
             cfg.workloads.len(),
             cfg.processor_counts,
-            engine.label()
+            engine.label(),
+            topology.describe()
         );
         let (matrix, matrix_timing, breakdown) =
-            experiments::run_matrix_timed(&cfg, engine).expect("evaluation matrix must complete");
+            experiments::run_matrix_timed_on(&cfg, engine, topology)
+                .expect("evaluation matrix must complete");
         eprintln!(
             "matrix completed: {} cells in {:.1} ms on {} threads ({:.1} cells/s)",
             matrix_timing.cells.len(),
@@ -271,7 +312,7 @@ fn main() {
     if wants("fig7") {
         eprintln!("running the W0 sensitivity sweep...");
         let w0_values = [1, 2, 4, 8, 16, 32, 64];
-        let f: Fig7Result = experiments::fig7_with_engine(&cfg, &w0_values, engine)
+        let f: Fig7Result = experiments::fig7_on(&cfg, &w0_values, engine, topology)
             .expect("fig7 sweep must complete");
         if json {
             outln!("{}", report::to_json(&f));

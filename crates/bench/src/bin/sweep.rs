@@ -21,6 +21,7 @@ use std::path::PathBuf;
 use clockgate_htm::report;
 use clockgate_htm::sim::EngineKind;
 use clockgate_htm::sweep::{self, SweepGrid, SweepObjective};
+use htm_sim::topology::TopologyConfig;
 
 /// Print one line to stdout, exiting quietly if the reader went away
 /// (`sweep ... | head` must not panic on the broken pipe).
@@ -43,7 +44,7 @@ macro_rules! outln {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sweep --grid NAME [--out DIR] [--engine fast|naive] [--objective O] [--resume] [--list] [--list-policies]\n\
+        "usage: sweep --grid NAME [--out DIR] [--engine fast|naive|shard] [--topology T] [--objective O] [--resume] [--list] [--list-policies]\n\
          \n\
          Expand a sensitivity grid, simulate every cell in parallel, stream\n\
          per-cell records (with their component-resolved energy ledgers) to\n\
@@ -53,14 +54,21 @@ fn usage() -> ! {
          options:\n\
          \x20 --grid NAME     grid to run: {names} (required unless --list)\n\
          \x20 --out DIR       artifact directory (default sweep-out/<grid>)\n\
-         \x20 --engine E      stepping engine: fast (default) or naive;\n\
-         \x20                 artifacts are byte-identical either way\n\
+         \x20 --engine E      stepping engine: fast (default), naive, or shard\n\
+         \x20                 (shard-parallel islands on host threads);\n\
+         \x20                 artifacts are byte-identical in every case\n\
+         \x20 --topology T    interconnect: bus (default) or\n\
+         \x20                 sharded[:BANKS[:mesh|xbar]] (BANKS=0: one bank per\n\
+         \x20                 directory); sharded cell keys carry a topology\n\
+         \x20                 segment, so bus and sharded sweeps never mix on\n\
+         \x20                 resume; see docs/SCALING.md\n\
          \x20 --objective O   frontier objective: energy (default), edp or ed2p;\n\
          \x20                 only pareto.json depends on it, so a sweep can be\n\
          \x20                 resumed under any objective\n\
          \x20 --resume        skip cells already recorded in <out>/sweep.jsonl\n\
          \x20 --list          print the available grids and their cell counts\n\
          \x20 --list-policies list every registered contention policy and exit\n\
+         \x20                 (every policy runs on either topology and engine)\n\
          \x20 -h, --help      this text",
         names = sweep::grid::GRID_NAMES.join("|")
     );
@@ -89,6 +97,7 @@ fn main() {
     let mut grid_name: Option<String> = None;
     let mut out_dir: Option<PathBuf> = None;
     let mut engine = EngineKind::FastForward;
+    let mut topology = TopologyConfig::Bus;
     let mut objective = SweepObjective::Energy;
     let mut resume = false;
     let mut args = std::env::args().skip(1);
@@ -105,7 +114,12 @@ fn main() {
             "--engine" => match args.next().as_deref() {
                 Some("fast" | "fast-forward") => engine = EngineKind::FastForward,
                 Some("naive") => engine = EngineKind::Naive,
+                Some("shard" | "shard-parallel") => engine = EngineKind::ShardParallel,
                 _ => usage(),
+            },
+            "--topology" => match args.next().as_deref().and_then(TopologyConfig::parse) {
+                Some(t) => topology = t,
+                None => usage(),
             },
             "--objective" => match args.next().as_deref().and_then(SweepObjective::parse) {
                 Some(o) => objective = o,
@@ -118,6 +132,11 @@ fn main() {
             }
             "--list-policies" => {
                 outln!("{}", clockgate_htm::gating::policy::render_policy_list());
+                outln!(
+                    "\nEvery policy runs on either interconnect topology \
+                     (--topology bus|sharded[:BANKS[:mesh|xbar]], default bus) \
+                     and any stepping engine (--engine fast|naive|shard)."
+                );
                 return;
             }
             _ => usage(),
@@ -135,16 +154,17 @@ fn main() {
 
     let cells = grid.expand();
     eprintln!(
-        "sweep `{}`: {} cells -> {} ({} engine, {} objective{})",
+        "sweep `{}`: {} cells -> {} ({} engine, {}, {} objective{})",
         grid.name,
         cells.len(),
         out_dir.display(),
         engine.label(),
+        topology.describe(),
         objective.label(),
         if resume { ", resume" } else { "" }
     );
     let started = std::time::Instant::now();
-    let outcome = match sweep::run_sweep_with(&grid, engine, &out_dir, resume, objective) {
+    let outcome = match sweep::run_sweep_on(&grid, engine, &out_dir, resume, objective, topology) {
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("sweep failed: {e}");

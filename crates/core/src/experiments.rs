@@ -26,6 +26,7 @@ use htm_power::energy::ComparisonReport;
 use htm_power::ledger::EnergyLedgerReport;
 use htm_power::model::PowerModel;
 use htm_sim::config::SimConfig;
+use htm_sim::topology::TopologyConfig;
 use htm_sim::Cycle;
 use htm_tcc::system::SimError;
 use htm_workloads::registry::PAPER_WORKLOADS;
@@ -234,6 +235,8 @@ pub struct CellTiming {
 pub struct MatrixTiming {
     /// Stepping engine used for every simulation of the matrix.
     pub engine: String,
+    /// Interconnect topology every simulation ran on.
+    pub topology: String,
     /// Worker threads the matrix was spread over.
     pub threads: usize,
     /// Per-cell wall-clock timings, in the deterministic cell order.
@@ -250,9 +253,11 @@ fn run_pair(
     cfg: &ExperimentConfig,
     mode: GatingMode,
     engine: EngineKind,
+    topology: TopologyConfig,
 ) -> Result<(SimReport, SimReport), SimError> {
     let ungated = SimulationBuilder::new()
         .processors(procs)
+        .topology(topology)
         .workload_by_name(workload, cfg.scale, cfg.seed)
         .map_err(SimError::BadWorkload)?
         .gating(GatingMode::Ungated)
@@ -261,6 +266,7 @@ fn run_pair(
         .run()?;
     let gated = SimulationBuilder::new()
         .processors(procs)
+        .topology(topology)
         .workload_by_name(workload, cfg.scale, cfg.seed)
         .map_err(SimError::BadWorkload)?
         .gating(mode)
@@ -337,6 +343,7 @@ fn run_cell(
     procs: usize,
     cfg: &ExperimentConfig,
     engine: EngineKind,
+    topology: TopologyConfig,
 ) -> Result<(MatrixCell, CellEnergyBreakdown), SimError> {
     let (ungated, gated) = run_pair(
         workload,
@@ -344,6 +351,7 @@ fn run_cell(
         cfg,
         GatingMode::ClockGate { w0: cfg.w0 },
         engine,
+        topology,
     )?;
     let comparison = compare_runs(&ungated, &gated);
     let breakdown = CellEnergyBreakdown::new(workload, procs, ungated.ledger, gated.ledger.clone());
@@ -380,6 +388,23 @@ pub fn run_matrix_timed(
     cfg: &ExperimentConfig,
     engine: EngineKind,
 ) -> Result<(EvaluationMatrix, MatrixTiming, EnergyBreakdownReport), SimError> {
+    run_matrix_timed_on(cfg, engine, TopologyConfig::Bus)
+}
+
+/// [`run_matrix_timed`] on an explicit interconnect topology. The default
+/// entry points use [`TopologyConfig::Bus`] (the paper's machine); the
+/// `reproduce --topology` flag and the scale-smoke CI job run the same
+/// matrix on a sharded fabric, where the shard-parallel engine can
+/// additionally parallelize *within* each simulation (see [`crate::islands`]).
+///
+/// The topology is deliberately not part of [`ExperimentConfig`]: the config
+/// struct is serialized into the golden `evaluation_matrix.json` artifacts,
+/// which must stay byte-identical for bus runs.
+pub fn run_matrix_timed_on(
+    cfg: &ExperimentConfig,
+    engine: EngineKind,
+    topology: TopologyConfig,
+) -> Result<(EvaluationMatrix, MatrixTiming, EnergyBreakdownReport), SimError> {
     let params: Vec<(&str, usize)> = cfg
         .workloads
         .iter()
@@ -404,9 +429,10 @@ pub fn run_matrix_timed(
                     break;
                 };
                 let cell_started = Instant::now();
-                let result = run_cell(workload, procs, cfg, engine).map(|(cell, breakdown)| {
-                    (cell, breakdown, cell_started.elapsed().as_secs_f64() * 1e3)
-                });
+                let result =
+                    run_cell(workload, procs, cfg, engine, topology).map(|(cell, breakdown)| {
+                        (cell, breakdown, cell_started.elapsed().as_secs_f64() * 1e3)
+                    });
                 slots.lock().expect("matrix worker poisoned the slots")[idx] = Some(result);
             });
         }
@@ -431,6 +457,7 @@ pub fn run_matrix_timed(
     let total_wall_ms = started.elapsed().as_secs_f64() * 1e3;
     let timing = MatrixTiming {
         engine: engine.label().to_string(),
+        topology: topology.describe(),
         threads,
         cells_per_sec: if total_wall_ms > 0.0 {
             cells.len() as f64 / (total_wall_ms / 1e3)
@@ -693,6 +720,18 @@ pub fn fig7_with_engine(
     w0_values: &[Cycle],
     engine: EngineKind,
 ) -> Result<Fig7Result, SimError> {
+    fig7_on(cfg, w0_values, engine, TopologyConfig::Bus)
+}
+
+/// [`fig7_with_engine`] on an explicit interconnect topology (see
+/// [`run_matrix_timed_on`] for why the topology is a parameter rather than
+/// an [`ExperimentConfig`] field).
+pub fn fig7_on(
+    cfg: &ExperimentConfig,
+    w0_values: &[Cycle],
+    engine: EngineKind,
+    topology: TopologyConfig,
+) -> Result<Fig7Result, SimError> {
     let mut rows = Vec::new();
     for &procs in &cfg.processor_counts {
         // Baselines per workload.
@@ -700,6 +739,7 @@ pub fn fig7_with_engine(
         for workload in &cfg.workloads {
             let ungated = SimulationBuilder::new()
                 .processors(procs)
+                .topology(topology)
                 .workload_by_name(workload, cfg.scale, cfg.seed)
                 .map_err(SimError::BadWorkload)?
                 .gating(GatingMode::Ungated)
@@ -713,6 +753,7 @@ pub fn fig7_with_engine(
             for (workload, ungated) in cfg.workloads.iter().zip(&baselines) {
                 let gated = SimulationBuilder::new()
                     .processors(procs)
+                    .topology(topology)
                     .workload_by_name(workload, cfg.scale, cfg.seed)
                     .map_err(SimError::BadWorkload)?
                     .gating(GatingMode::ClockGate { w0 })

@@ -100,6 +100,19 @@ impl GatingStats {
     pub fn total_ungates(&self) -> u64 {
         self.ungate_aborter_gone + self.ungate_different_tx + self.ungate_null_reply
     }
+
+    /// Fold another controller's counters into this one (fieldwise sums).
+    /// Used by the island-parallel runner to merge per-lane gating
+    /// statistics; each processor gates only within its own island, so the
+    /// merge is exact.
+    pub fn absorb(&mut self, other: &GatingStats) {
+        self.gatings += other.gatings;
+        self.renewals += other.renewals;
+        self.ungate_aborter_gone += other.ungate_aborter_gone;
+        self.ungate_different_tx += other.ungate_different_tx;
+        self.ungate_null_reply += other.ungate_null_reply;
+        self.stale_off_reconciled += other.stale_off_reconciled;
+    }
 }
 
 /// The clock-gate-on-abort controller (the paper's proposal).
@@ -363,7 +376,7 @@ mod tests {
         let mut v = view(4, 1);
         c.on_abort(0, 2, 0, 0x400, 0, &v);
         // Aborter (proc 0) is NOT marked in the directory.
-        v.dir_marked[0] = 0;
+        v.dir_marked[0] = htm_sim::ProcSet::empty();
         let expiry = c.table(0).entry(2).timer_expires;
         assert!(tick(&mut c, expiry - 1, &v).is_empty(), "not yet expired");
         let cmds = tick(&mut c, expiry, &v);
@@ -380,7 +393,7 @@ mod tests {
         let mut v = view(4, 1);
         c.on_abort(0, 2, 0, 0x400, 0, &v);
         // Aborter still marked and still executing the same transaction.
-        v.dir_marked[0] = 1 << 0;
+        v.dir_marked[0] = htm_sim::ProcSet::from_bits(1);
         v.proc_tx[0] = Some(0x400);
         let expiry = c.table(0).entry(2).timer_expires;
         let cmds = tick(&mut c, expiry, &v);
@@ -397,7 +410,7 @@ mod tests {
         let mut c = controller(1, 2, 8);
         let mut v = view(2, 1);
         c.on_abort(0, 1, 0, 0x77, 0, &v);
-        v.dir_marked[0] = 1;
+        v.dir_marked[0] = htm_sim::ProcSet::from_bits(1);
         v.proc_tx[0] = Some(0x77);
         let mut last_window = 0;
         let mut last_expiry = c.table(0).entry(1).timer_expires;
@@ -421,7 +434,7 @@ mod tests {
         let mut c = controller(1, 4, 8);
         let mut v = view(4, 1);
         c.on_abort(0, 2, 0, 0x400, 0, &v);
-        v.dir_marked[0] = 1 << 0;
+        v.dir_marked[0] = htm_sim::ProcSet::from_bits(1);
         v.proc_tx[0] = Some(0x999); // the aborter moved on
         let expiry = c.table(0).entry(2).timer_expires;
         let cmds = tick(&mut c, expiry, &v);
@@ -434,7 +447,7 @@ mod tests {
         let mut c = controller(1, 4, 8);
         let mut v = view(4, 1);
         c.on_abort(0, 2, 0, 0x400, 0, &v);
-        v.dir_marked[0] = 1 << 0;
+        v.dir_marked[0] = htm_sim::ProcSet::from_bits(1);
         v.proc_tx[0] = Some(0x400);
         v.proc_gated[0] = true; // the aborter itself has been gated
         let expiry = c.table(0).entry(2).timer_expires;
@@ -457,7 +470,7 @@ mod tests {
         );
         let mut v = view(2, 1);
         c.on_abort(0, 1, 0, 0x42, 0, &v);
-        v.dir_marked[0] = 1;
+        v.dir_marked[0] = htm_sim::ProcSet::from_bits(1);
         v.proc_tx[0] = Some(0x42);
         let expiry = c.table(0).entry(1).timer_expires;
         let cmds = tick(&mut c, expiry, &v);

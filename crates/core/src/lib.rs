@@ -70,6 +70,7 @@
 
 pub mod experiments;
 pub mod gating;
+pub mod islands;
 pub mod report;
 pub mod sim;
 pub mod sweep;
@@ -81,5 +82,6 @@ pub use gating::oracle::OracleHook;
 pub use gating::policy::{PolicyHook, PolicyInfo, PolicySpec, UncoreCharges, POLICY_REGISTRY};
 pub use gating::table::{GatingEntry, GatingTable};
 pub use gating::throttle::ThrottleHook;
+pub use islands::{partition_islands, run_shard_parallel, IslandRun};
 pub use sim::{GatingMode, SimReport, SimulationBuilder};
 pub use sweep::{run_sweep, CellRecord, SweepCell, SweepGrid};

@@ -17,6 +17,7 @@ use htm_power::energy::{self, ComparisonReport, EnergyReport};
 use htm_power::ledger::{self, EnergyLedgerReport, UncoreActivity};
 use htm_power::model::{PowerModel, PowerModelConfig};
 use htm_sim::config::SimConfig;
+use htm_sim::topology::TopologyConfig;
 use htm_sim::Cycle;
 use htm_tcc::hooks::GatingHook;
 use htm_tcc::stats::RunOutcome;
@@ -138,6 +139,22 @@ impl SimulationBuilder {
         self
     }
 
+    /// Swap the interconnect topology of the current configuration (the
+    /// Table II default is the shared split-transaction bus). Call *after*
+    /// [`Self::processors`], which resets the whole configuration — and with
+    /// it the topology — to the Table II defaults.
+    ///
+    /// On a [`TopologyConfig::Sharded`] fabric the
+    /// [`EngineKind::ShardParallel`] engine can simulate conflict-isolated
+    /// processor islands on parallel host threads (see
+    /// [`crate::islands`]); every topology/engine combination produces
+    /// bit-identical outcomes.
+    #[must_use]
+    pub fn topology(mut self, topology: TopologyConfig) -> Self {
+        self.config.topology = topology;
+        self
+    }
+
     /// Run a pre-built workload trace.
     #[must_use]
     pub fn workload(mut self, workload: WorkloadTrace) -> Self {
@@ -208,15 +225,27 @@ impl SimulationBuilder {
         let power = self.power;
         let engine = self.engine;
 
-        // Resolve the policy spec through the registry into a boxed hook —
-        // the open-ended replacement for the old closed-enum match.
+        // The shard-parallel engine fans conflict-isolated islands out over
+        // host threads when the topology and workload allow it; otherwise
+        // (and for the serial engines) the policy spec resolves through the
+        // registry into a boxed hook and the whole machine runs in-process.
         // `run_bounded_parts` hands the hook back with the outcome, so the
         // controller statistics and the policy's uncore-charge declaration
-        // come out directly.
-        let hook = self.mode.build(&self.config);
-        let (outcome, hook) = run_system(self.config.clone(), workload, hook, limit, engine)?;
-        let gating = hook.gating_stats();
-        let charges = hook.uncore_charges();
+        // come out directly. Both paths are bit-identical.
+        let islands_run = if engine == EngineKind::ShardParallel {
+            crate::islands::run_shard_parallel(&self.config, &workload, self.mode, limit)?
+        } else {
+            None
+        };
+        let (outcome, gating, charges) = match islands_run {
+            Some(run) => (run.outcome, run.gating, run.charges),
+            None => {
+                let hook = self.mode.build(&self.config);
+                let (outcome, hook) =
+                    run_system(self.config.clone(), workload, hook, limit, engine)?;
+                (outcome, hook.gating_stats(), hook.uncore_charges())
+            }
+        };
 
         let energy = energy::analyze(&outcome, &power.factors());
         // The hook declares its own uncore activity (gating-table hardware

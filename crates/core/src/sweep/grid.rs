@@ -203,8 +203,8 @@ pub struct SweepGrid {
 pub const DEFAULT_LEAKAGE_PERCENT: u32 = 20;
 
 /// Names accepted by [`SweepGrid::by_name`] (the `sweep --grid` values).
-pub const GRID_NAMES: [&str; 8] = [
-    "smoke", "default", "w0", "backoff", "scaling", "cache", "leakage", "policies",
+pub const GRID_NAMES: [&str; 9] = [
+    "smoke", "default", "w0", "backoff", "scaling", "cache", "leakage", "policies", "scale",
 ];
 
 impl SweepGrid {
@@ -366,6 +366,26 @@ impl SweepGrid {
         }
     }
 
+    /// The large-machine grid behind `docs/SCALING.md`: the
+    /// cluster-isolated workload plus two STAMP-like ones at 64 and 256
+    /// processors, under the ungated / Eq. 8 / oracle trio. Meant to be run
+    /// on the sharded fabric (`sweep --grid scale --topology sharded`),
+    /// where the shard-parallel engine can fan the clustered islands out
+    /// over host threads.
+    #[must_use]
+    pub fn scale() -> Self {
+        Self {
+            workloads: vec!["clustered".into(), "genome".into(), "intruder".into()],
+            processor_counts: vec![64, 256],
+            scales: vec![WorkloadScale::Test],
+            gating: GatingAxis {
+                kinds: vec![ModeKind::Ungated, ModeKind::ClockGate, ModeKind::Oracle],
+                ..GatingAxis::default()
+            },
+            ..Self::base("scale")
+        }
+    }
+
     /// Look up a predefined grid by its [`GRID_NAMES`] name.
     #[must_use]
     pub fn by_name(name: &str) -> Option<Self> {
@@ -378,6 +398,7 @@ impl SweepGrid {
             "cache" => Some(Self::cache()),
             "leakage" => Some(Self::leakage()),
             "policies" => Some(Self::policies()),
+            "scale" => Some(Self::scale()),
             _ => None,
         }
     }

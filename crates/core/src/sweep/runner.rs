@@ -23,6 +23,7 @@ use std::sync::{Condvar, Mutex};
 use serde::Serialize;
 
 use htm_power::ledger::{ComponentEnergy, ALL_COMPONENTS};
+use htm_sim::topology::TopologyConfig;
 use htm_tcc::system::{EngineKind, SimError};
 
 use super::grid::{SweepCell, SweepGrid};
@@ -290,10 +291,32 @@ pub struct SweepOutcome {
     pub breakdown_path: PathBuf,
 }
 
-/// Simulate one cell on the chosen engine.
+/// Simulate one cell on the chosen engine and the bus topology.
 pub fn run_cell(cell: &SweepCell, engine: EngineKind) -> Result<CellRecord, SimError> {
+    run_cell_on(cell, engine, TopologyConfig::Bus)
+}
+
+/// The resume/dedup key of a cell on a given topology: the plain
+/// [`SweepCell::key`] on the bus (keeping every pre-topology `sweep.jsonl`
+/// resumable), with the topology's key segment appended on a sharded fabric
+/// (so bus and sharded record streams can never be mixed up on resume).
+#[must_use]
+pub fn cell_key_on(cell: &SweepCell, topology: TopologyConfig) -> String {
+    match topology.key_segment() {
+        None => cell.key(),
+        Some(segment) => format!("{}-{segment}", cell.key()),
+    }
+}
+
+/// Simulate one cell on the chosen engine and interconnect topology.
+pub fn run_cell_on(
+    cell: &SweepCell,
+    engine: EngineKind,
+    topology: TopologyConfig,
+) -> Result<CellRecord, SimError> {
     let report = SimulationBuilder::new()
         .processors(cell.procs)
+        .topology(topology)
         // `l1_geometry` already re-derives the power model's TCC d-cache
         // factor for the swept capacity; only the leakage axis is added.
         .l1_geometry(cell.geometry.l1_kb, cell.geometry.l1_assoc)
@@ -304,7 +327,9 @@ pub fn run_cell(cell: &SweepCell, engine: EngineKind) -> Result<CellRecord, SimE
         .cycle_limit(cell.cycle_limit)
         .engine(engine)
         .run()?;
-    Ok(CellRecord::from_report(cell, &report))
+    let mut record = CellRecord::from_report(cell, &report);
+    record.key = cell_key_on(cell, topology);
+    Ok(record)
 }
 
 /// Parse an existing `sweep.jsonl` into records, in file order. Every line
@@ -409,11 +434,34 @@ pub fn run_sweep_with(
     resume: bool,
     objective: SweepObjective,
 ) -> Result<SweepOutcome, SweepError> {
+    run_sweep_on(
+        grid,
+        engine,
+        out_dir,
+        resume,
+        objective,
+        TopologyConfig::Bus,
+    )
+}
+
+/// [`run_sweep_with`] on an explicit interconnect topology. The topology is
+/// a run parameter, not a grid axis: every cell of the sweep runs on it, and
+/// on a sharded fabric the cell keys carry the topology segment (see
+/// [`cell_key_on`]) so bus and sharded `sweep.jsonl` files reject each
+/// other's records on resume.
+pub fn run_sweep_on(
+    grid: &SweepGrid,
+    engine: EngineKind,
+    out_dir: &Path,
+    resume: bool,
+    objective: SweepObjective,
+    topology: TopologyConfig,
+) -> Result<SweepOutcome, SweepError> {
     let cells = grid.expand();
     if cells.is_empty() {
         return Err(SweepError::EmptyGrid);
     }
-    let keys: Vec<String> = cells.iter().map(SweepCell::key).collect();
+    let keys: Vec<String> = cells.iter().map(|c| cell_key_on(c, topology)).collect();
     {
         let mut seen = std::collections::BTreeSet::new();
         for key in &keys {
@@ -475,12 +523,12 @@ pub fn run_sweep_with(
                     // the in-order writer would wait on it forever and the
                     // sweep would deadlock instead of failing.
                     let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        run_cell(cell, engine)
+                        run_cell_on(cell, engine, topology)
                     }));
                     let result = match caught {
                         Ok(Ok(record)) => Ok(record),
                         Ok(Err(source)) => Err(SweepError::Cell {
-                            key: cell.key(),
+                            key: cell_key_on(cell, topology),
                             source,
                         }),
                         Err(payload) => {
@@ -490,7 +538,7 @@ pub fn run_sweep_with(
                                 .or_else(|| payload.downcast_ref::<String>().cloned())
                                 .unwrap_or_else(|| "non-string panic payload".to_string());
                             Err(SweepError::CellPanic {
-                                key: cell.key(),
+                                key: cell_key_on(cell, topology),
                                 message,
                             })
                         }
@@ -815,6 +863,43 @@ mod tests {
         }
         let _ = fs::remove_dir_all(&dir_fast);
         let _ = fs::remove_dir_all(&dir_naive);
+    }
+
+    #[test]
+    fn sharded_topology_suffixes_keys_and_rejects_bus_resume() {
+        use htm_sim::topology::LatencyModel;
+        let grid = SweepGrid {
+            scales: vec![WorkloadScale::Test],
+            ..tiny_grid()
+        };
+        let sharded = TopologyConfig::Sharded {
+            banks: 0,
+            model: LatencyModel::Crossbar {
+                hop_cycles: LatencyModel::DEFAULT_CROSSBAR_HOP,
+            },
+        };
+        let dir = test_dir("topo");
+        let outcome = run_sweep_on(
+            &grid,
+            EngineKind::FastForward,
+            &dir,
+            false,
+            SweepObjective::Energy,
+            sharded,
+        )
+        .unwrap();
+        let segment = sharded.key_segment().unwrap();
+        for record in &outcome.records {
+            assert!(
+                record.key.ends_with(&segment),
+                "{} must carry the topology segment",
+                record.key
+            );
+        }
+        // A bus run must refuse to resume from the sharded record stream.
+        let err = run_sweep(&grid, EngineKind::FastForward, &dir, true).unwrap_err();
+        assert!(matches!(err, SweepError::ForeignRecord(_)), "{err}");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,19 +1,27 @@
-//! Differential proof of the fast-forward engine's exactness invariant.
+//! Differential proof of the stepping engines' exactness invariant.
 //!
 //! The fast-forward engine (`EngineKind::FastForward`) must be bit-for-bit
 //! cycle-exact with respect to the naive one-step-per-cycle reference engine
-//! (`EngineKind::Naive`): identical `RunOutcome`s — total cycles, commits,
-//! aborts, gatings, per-state cycle breakdowns, interval decomposition, bus
-//! statistics — identical controller statistics and identical energy
-//! analyses, for **every registered contention policy** (the six legacy
-//! modes and the adaptive / hybrid / throttle / oracle extensions) and every
-//! registered workload. This suite sweeps the full (policy × workload) grid
-//! at `Test` scale and then hammers the same invariant with property-based
-//! random traces designed to provoke conflicts, aborts, gating, renewal,
-//! throttled windows and oracle subscriptions.
+//! (`EngineKind::Naive`), and the shard-parallel engine
+//! (`EngineKind::ShardParallel`) — which decomposes a sharded machine into
+//! conflict-isolated islands and simulates them on parallel host threads —
+//! must be bit-for-bit exact with respect to both: identical `RunOutcome`s —
+//! total cycles, commits, aborts, gatings, per-state cycle breakdowns,
+//! interval decomposition, bus and shard statistics — identical controller
+//! statistics and identical energy analyses, for **every registered
+//! contention policy** (the six legacy modes and the adaptive / hybrid /
+//! throttle / oracle extensions), every registered workload and **both
+//! interconnect topologies** (the paper's shared bus and the banked sharded
+//! fabric). This suite sweeps the full (policy × workload × topology) grid
+//! at `Test` scale, replays the policy grid on a 64-processor sharded
+//! machine where the clustered workload actually decomposes into islands,
+//! and then hammers the same invariants with property-based random traces
+//! designed to provoke conflicts, aborts, gating, renewal, throttled
+//! windows, oracle subscriptions and multi-island decompositions.
 
 use clockgate_htm::report::to_json;
 use clockgate_htm::sim::{EngineKind, GatingMode, SimReport, SimulationBuilder};
+use htm_sim::topology::TopologyConfig;
 use htm_tcc::txn::{Op, ThreadTrace, Transaction, WorkloadTrace};
 use htm_workloads::registry::ALL_WORKLOADS;
 use htm_workloads::WorkloadScale;
@@ -55,9 +63,21 @@ fn covers_every_registered_family() {
     }
 }
 
-fn run_named(mode: GatingMode, workload: &str, procs: usize, engine: EngineKind) -> SimReport {
+/// The default (bank-per-directory, crossbar) sharded fabric.
+fn sharded() -> TopologyConfig {
+    TopologyConfig::parse("sharded").unwrap()
+}
+
+fn run_named_on(
+    mode: GatingMode,
+    workload: &str,
+    procs: usize,
+    engine: EngineKind,
+    topology: TopologyConfig,
+) -> SimReport {
     SimulationBuilder::new()
         .processors(procs)
+        .topology(topology)
         .workload_by_name(workload, WorkloadScale::Test, 11)
         .unwrap()
         .gating(mode)
@@ -67,15 +87,29 @@ fn run_named(mode: GatingMode, workload: &str, procs: usize, engine: EngineKind)
         .unwrap()
 }
 
-fn run_trace(mode: GatingMode, trace: WorkloadTrace, engine: EngineKind) -> SimReport {
+fn run_named(mode: GatingMode, workload: &str, procs: usize, engine: EngineKind) -> SimReport {
+    run_named_on(mode, workload, procs, engine, TopologyConfig::Bus)
+}
+
+fn run_trace_on(
+    mode: GatingMode,
+    trace: WorkloadTrace,
+    engine: EngineKind,
+    topology: TopologyConfig,
+) -> SimReport {
     SimulationBuilder::new()
         .processors(trace.num_threads())
+        .topology(topology)
         .workload(trace)
         .gating(mode)
         .cycle_limit(50_000_000)
         .engine(engine)
         .run()
         .unwrap()
+}
+
+fn run_trace(mode: GatingMode, trace: WorkloadTrace, engine: EngineKind) -> SimReport {
+    run_trace_on(mode, trace, engine, TopologyConfig::Bus)
 }
 
 /// Compare two reports field for field. `RunOutcome` derives `PartialEq`, so
@@ -147,6 +181,67 @@ fn every_mode_and_workload_is_engine_exact() {
 }
 
 #[test]
+fn every_mode_and_workload_is_engine_exact_on_the_sharded_fabric() {
+    // The same (policy × workload) grid on the banked topology, with the
+    // shard-parallel engine as a third party to the agreement. At four
+    // processors most workloads form a single island (the shard-parallel
+    // engine falls back to serial fast-forward), which is itself part of
+    // the contract: the fallback must be invisible in the output.
+    for workload in ALL_WORKLOADS {
+        for mode in all_modes() {
+            let fast = run_named_on(mode, workload, 4, EngineKind::FastForward, sharded());
+            let naive = run_named_on(mode, workload, 4, EngineKind::Naive, sharded());
+            let shard = run_named_on(mode, workload, 4, EngineKind::ShardParallel, sharded());
+            let context = format!("sharded workload={workload} mode={}", mode.label());
+            assert_identical(&fast, &naive, &context);
+            assert_identical(&shard, &fast, &context);
+            fast.outcome.check_consistency().unwrap();
+        }
+    }
+}
+
+#[test]
+fn shard_parallel_engine_is_exact_on_the_bus_topology_too() {
+    // On the bus there is nothing to decompose; the shard-parallel engine
+    // must degrade to plain fast-forward, not diverge or refuse.
+    for mode in [GatingMode::Ungated, GatingMode::ClockGate { w0: 8 }] {
+        let fast = run_named(mode, "intruder", 4, EngineKind::FastForward);
+        let shard = run_named(mode, "intruder", 4, EngineKind::ShardParallel);
+        assert_identical(&shard, &fast, &format!("bus mode={}", mode.label()));
+    }
+}
+
+#[test]
+fn clustered_64p_islands_are_engine_exact_for_every_policy() {
+    // The scale case the tentpole is about: 64 processors, the clustered
+    // workload decomposing into eight conflict-isolated islands on the
+    // sharded fabric. The shard-parallel engine simulates the islands on
+    // parallel host threads and must reproduce the serial engines bit for
+    // bit — for all ten policy families, including the stateful adaptive /
+    // hybrid / oracle extensions whose controller statistics are merged
+    // across lanes.
+    for mode in all_modes() {
+        let fast = run_named_on(mode, "clustered", 64, EngineKind::FastForward, sharded());
+        let shard = run_named_on(mode, "clustered", 64, EngineKind::ShardParallel, sharded());
+        let context = format!("clustered 64p sharded mode={}", mode.label());
+        assert_identical(&shard, &fast, &context);
+        fast.outcome.check_consistency().unwrap();
+    }
+    // The naive reference engine is too slow to sweep all ten families at
+    // this size; one gated and one ungated point anchor the three-way
+    // agreement.
+    for mode in [GatingMode::Ungated, GatingMode::ClockGate { w0: 8 }] {
+        let fast = run_named_on(mode, "clustered", 64, EngineKind::FastForward, sharded());
+        let naive = run_named_on(mode, "clustered", 64, EngineKind::Naive, sharded());
+        assert_identical(
+            &fast,
+            &naive,
+            &format!("clustered 64p sharded naive mode={}", mode.label()),
+        );
+    }
+}
+
+#[test]
 fn paper_matrix_processor_counts_are_engine_exact() {
     // The gated mode across the paper's processor counts: the gating /
     // renewal timers interact with commit bursts differently at each size.
@@ -199,6 +294,40 @@ fn cycles_of(tx_idx: usize) -> u64 {
     (tx_idx as u64 % 3) * 7
 }
 
+/// Like [`trace_from_raw`], but pairs of threads are confined to their own
+/// 4 KiB directory segment: threads `2k` and `2k+1` draw every address from
+/// segment `k`. On a sharded machine with one directory per processor the
+/// pairs are conflict-isolated islands, so the shard-parallel engine
+/// actually fans out — with conflicts, aborts and gating *inside* each pair.
+fn clustered_trace_from_raw(threads: &RawThreads) -> WorkloadTrace {
+    const POOL: [u64; 8] = [0, 64, 128, 192, 1024, 2048, 3072, 3968];
+    let threads = threads
+        .iter()
+        .enumerate()
+        .map(|(t, txs)| {
+            let segment_base = (t as u64 / 2) * 4096;
+            ThreadTrace::new(
+                txs.iter()
+                    .enumerate()
+                    .map(|(x, ops)| {
+                        let tx_id = ((t as u64) << 16) | (x as u64) | 0x1000;
+                        let ops = ops
+                            .iter()
+                            .map(|&(kind, addr, cycles)| match kind {
+                                0 => Op::Read(segment_base + POOL[addr]),
+                                1 => Op::Write(segment_base + POOL[addr]),
+                                _ => Op::Compute(cycles),
+                            })
+                            .collect();
+                        Transaction::with_pre_compute(tx_id, cycles_of(x), ops)
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    WorkloadTrace::new("random-clustered-trace", threads)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -238,5 +367,33 @@ proptest! {
                 "{} engine: components sum {} vs ledger total {}",
                 engine, component_sum, report.ledger.total_energy);
         }
+    }
+
+    /// Random conflict traces on the sharded fabric: the shard-parallel
+    /// engine's island decomposition and deterministic merge must be
+    /// bit-exact against serial fast-forward for arbitrary op mixes. Eight
+    /// threads form four two-thread islands (see
+    /// [`clustered_trace_from_raw`]), so the fan-out path — not just the
+    /// single-island fallback — is what gets hammered.
+    #[test]
+    fn random_clustered_traces_are_shard_parallel_exact(
+        threads in prop::collection::vec(
+            prop::collection::vec(
+                prop::collection::vec((0u8..3, 0usize..8, 1u64..60), 1..6),
+                1..5,
+            ),
+            8..9,
+        ),
+        mode_idx in 0usize..10,
+    ) {
+        let mode = all_modes()[mode_idx];
+        let fast = run_trace_on(
+            mode, clustered_trace_from_raw(&threads), EngineKind::FastForward, sharded());
+        let shard = run_trace_on(
+            mode, clustered_trace_from_raw(&threads), EngineKind::ShardParallel, sharded());
+        prop_assert_eq!(&shard.outcome, &fast.outcome);
+        prop_assert_eq!(&shard.gating, &fast.gating);
+        prop_assert_eq!(to_json(&shard), to_json(&fast));
+        fast.outcome.check_consistency().unwrap();
     }
 }

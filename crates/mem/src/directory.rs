@@ -23,7 +23,7 @@ use crate::addr::LineAddr;
 #[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct LineEntry {
     /// Bit vector of processors that speculatively read this line.
-    sharers: u64,
+    sharers: ProcSet,
     /// Processor that last committed (owns) this line.
     owner: Option<ProcId>,
 }
@@ -57,12 +57,15 @@ impl Directory {
     /// Create directory `id` for a system of `num_procs` processors.
     ///
     /// # Panics
-    /// Panics if `num_procs` exceeds 64 (the full-bit vector is stored in a
-    /// single machine word, which comfortably covers the paper's 16-core
-    /// maximum).
+    /// Panics if `num_procs` exceeds [`htm_sim::MAX_PROCS`] (the width of
+    /// the fixed-size full-bit sharer vector).
     #[must_use]
     pub fn new(id: usize, num_procs: usize) -> Self {
-        assert!(num_procs <= 64, "full-bit vector limited to 64 processors");
+        assert!(
+            num_procs <= htm_sim::MAX_PROCS,
+            "full-bit vector limited to {} processors",
+            htm_sim::MAX_PROCS
+        );
         Self {
             id,
             num_procs,
@@ -88,9 +91,8 @@ impl Directory {
     pub fn add_sharer(&mut self, line: LineAddr, proc: ProcId) {
         assert!(proc < self.num_procs);
         let entry = self.lines.entry(line).or_default();
-        let bit = 1u64 << proc;
-        if entry.sharers & bit == 0 {
-            entry.sharers |= bit;
+        if !entry.sharers.contains(proc) {
+            entry.sharers.insert(proc);
             self.reader_sets[proc].insert(line);
             self.stats.sharer_adds += 1;
         }
@@ -102,7 +104,7 @@ impl Directory {
     pub fn sharers(&self, line: LineAddr) -> ProcSet {
         self.lines
             .get(&line)
-            .map_or(ProcSet::empty(), |e| ProcSet::from_bits(e.sharers))
+            .map_or(ProcSet::empty(), |e| e.sharers)
     }
 
     /// Owner of `line`, if it has been committed before.
@@ -124,13 +126,13 @@ impl Directory {
     pub fn commit_line(&mut self, line: LineAddr, committer: ProcId) -> ProcSet {
         assert!(committer < self.num_procs);
         let entry = self.lines.entry(line).or_default();
-        let victims = ProcSet::from_bits(entry.sharers & !(1u64 << committer));
+        let victims = entry.sharers.without(committer);
         entry.owner = Some(committer);
         // All sharer registrations for this line are consumed: the victims
         // are about to abort (which clears their registrations anyway) and
         // the committer's own registration ends with its transaction.
         let old_sharers = std::mem::take(&mut entry.sharers);
-        for proc in ProcSet::from_bits(old_sharers) {
+        for proc in old_sharers {
             self.reader_sets[proc].remove(&line);
         }
         self.stats.lines_committed += 1;
@@ -143,10 +145,9 @@ impl Directory {
     pub fn clear_proc(&mut self, proc: ProcId) {
         assert!(proc < self.num_procs);
         let lines: Vec<LineAddr> = self.reader_sets[proc].drain().collect();
-        let bit = !(1u64 << proc);
         for line in lines {
             if let Some(entry) = self.lines.get_mut(&line) {
-                entry.sharers &= bit;
+                entry.sharers.remove(proc);
             }
         }
     }
@@ -242,9 +243,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "64 processors")]
+    #[should_panic(expected = "1024 processors")]
     fn rejects_too_many_procs() {
-        let _ = Directory::new(0, 65);
+        let _ = Directory::new(0, htm_sim::MAX_PROCS + 1);
+    }
+
+    #[test]
+    fn wide_machine_sharers_work_beyond_64_procs() {
+        let mut d = Directory::new(0, 1024);
+        d.add_sharer(LineAddr(5), 70);
+        d.add_sharer(LineAddr(5), 1000);
+        let victims = d.commit_line(LineAddr(5), 1000);
+        assert_eq!(victims.iter().collect::<Vec<_>>(), vec![70]);
+        assert_eq!(d.owner(LineAddr(5)), Some(1000));
     }
 
     #[test]

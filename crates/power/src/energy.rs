@@ -267,6 +267,7 @@ mod tests {
             proc_stats: vec![ProcStats::new(); p],
             intervals,
             bus: BusStats::default(),
+            shard_bus: Vec::new(),
             dir_stats: Vec::new(),
             total_commits: 10,
             total_aborts: 5,

@@ -49,9 +49,24 @@ impl BusStats {
     pub fn total_flits(&self) -> u64 {
         self.control_flits + self.data_flits
     }
+
+    /// Add another channel's tallies into this one (used to aggregate the
+    /// banks of a sharded fabric, and to merge the per-island outcomes of a
+    /// shard-parallel run). Every field is a plain sum, so aggregation is
+    /// order-independent.
+    pub fn absorb(&mut self, other: &BusStats) {
+        self.control_transfers += other.control_transfers;
+        self.data_transfers += other.data_transfers;
+        self.busy_cycles += other.busy_cycles;
+        self.wait_cycles += other.wait_cycles;
+        self.control_flits += other.control_flits;
+        self.data_flits += other.data_flits;
+    }
 }
 
-/// Occupancy model of a single split-transaction bus.
+/// Occupancy model of one split-transaction channel: the whole interconnect
+/// of the legacy shared-bus machine, or one independently arbitrated bank
+/// channel of the sharded fabric ([`crate::topology`]).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SplitTransactionBus {
     /// First cycle at which the bus is free again.

@@ -3,9 +3,15 @@
 //! The defaults reproduce Table II: 1–16 single-issue in-order cores, a
 //! 64 KB 2-way 64-byte-line L1 data cache with 1-cycle latency, a common
 //! split-transaction bus, full-bit-vector directories with 10-cycle latency
-//! and a single-ported 100-cycle main memory.
+//! and a single-ported 100-cycle main memory. The
+//! [`topology`](SimConfig::topology) axis swaps the shared bus for a
+//! banked/sharded fabric so the same protocol scales to 64–1024 cores (see
+//! [`crate::topology`] and `docs/SCALING.md`).
 
 use serde::{Deserialize, Serialize};
+
+use crate::topology::TopologyConfig;
+use crate::MAX_PROCS;
 
 /// Complete description of the simulated machine.
 ///
@@ -66,6 +72,9 @@ pub struct SimConfig {
     /// Cycles needed to restore the check-pointed architectural state on an
     /// abort (register checkpoint restore + speculative-line flash clear).
     pub abort_rollback_latency: u64,
+    /// Interconnect topology: the paper's shared bus (default) or the
+    /// banked/sharded fabric used for 64–1024-processor machines.
+    pub topology: TopologyConfig,
 }
 
 impl Default for SimConfig {
@@ -97,6 +106,17 @@ impl SimConfig {
             stop_clock_drain_latency: 1,
             wake_up_latency: 1,
             abort_rollback_latency: 5,
+            topology: TopologyConfig::Bus,
+        }
+    }
+
+    /// The Table II configuration with the interconnect swapped for a
+    /// topology, e.g. [`TopologyConfig::sharded_default`] for large machines.
+    #[must_use]
+    pub fn table2_with_topology(num_procs: usize, topology: TopologyConfig) -> Self {
+        Self {
+            topology,
+            ..Self::table2(num_procs)
         }
     }
 
@@ -136,13 +156,12 @@ impl SimConfig {
         if self.num_procs == 0 {
             return Err("num_procs must be >= 1".into());
         }
-        if self.num_procs > 64 {
+        if self.num_procs > MAX_PROCS {
             // The directory sharer vectors, the hook view's marked bits and
-            // the engine's active/spinner masks are all single machine
-            // words (Table II's full-bit vector; the paper tops out at 16
-            // cores).
+            // the engine's active/spinner masks are all fixed-width
+            // full-bit vectors (`ProcSet`).
             return Err(format!(
-                "num_procs ({}) exceeds the 64-processor full-bit-vector limit",
+                "num_procs ({}) exceeds the {MAX_PROCS}-processor full-bit-vector limit",
                 self.num_procs
             ));
         }
@@ -208,10 +227,17 @@ impl SimConfig {
             ),
             (
                 "Interconnect".to_string(),
-                format!(
-                    "Common Split-Transaction Bus ({} bytes/cycle)",
-                    self.bus_width_bytes
-                ),
+                match self.topology {
+                    TopologyConfig::Bus => format!(
+                        "Common Split-Transaction Bus ({} bytes/cycle)",
+                        self.bus_width_bytes
+                    ),
+                    TopologyConfig::Sharded { .. } => format!(
+                        "{} ({} bytes/cycle per bank)",
+                        self.topology.describe(),
+                        self.bus_width_bytes
+                    ),
+                },
             ),
             (
                 "Directory".to_string(),
@@ -275,10 +301,21 @@ mod tests {
 
     #[test]
     fn validation_rejects_too_many_procs() {
-        let mut cfg = SimConfig::table2(64);
-        assert!(cfg.validate().is_ok(), "64 processors is the ceiling");
-        cfg.num_procs = 65;
+        let mut cfg = SimConfig::table2(MAX_PROCS);
+        assert!(cfg.validate().is_ok(), "1024 processors is the ceiling");
+        cfg.num_procs = MAX_PROCS + 1;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn topology_defaults_to_bus_and_renders_in_table2() {
+        let cfg = SimConfig::table2(8);
+        assert_eq!(cfg.topology, TopologyConfig::Bus);
+        assert!(cfg.table2_rows()[2].1.contains("Split-Transaction Bus"));
+        let sharded = SimConfig::table2_with_topology(64, TopologyConfig::sharded_default());
+        assert_eq!(sharded.num_procs, 64);
+        assert!(sharded.validate().is_ok());
+        assert!(sharded.table2_rows()[2].1.contains("sharded"));
     }
 
     #[test]

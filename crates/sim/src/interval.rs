@@ -22,6 +22,42 @@ use serde::{Deserialize, Serialize};
 
 use crate::Cycle;
 
+/// One run-length-encoded segment of the per-cycle population counts fed to
+/// an [`IntervalTracker`]: for `cycles` consecutive cycles, exactly `gated` /
+/// `missing` / `committing` / `throttled` processors were in the respective
+/// state.
+///
+/// The tracker's accumulated state is a pure function of the per-cycle count
+/// sequence (segmentation does not matter), so a run can log its records as
+/// segments, combine them with another run's log cycle-by-cycle and replay
+/// the sum into a fresh tracker — this is how the island-parallel engine
+/// merges per-lane interval data into the exact tracker a serial run of the
+/// whole machine would have produced (see `docs/SCALING.md`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalSeg {
+    /// Number of consecutive cycles with these counts.
+    pub cycles: u64,
+    /// Processors clock-gated.
+    pub gated: usize,
+    /// Processors stalled on a cache miss.
+    pub missing: usize,
+    /// Processors flushing a commit.
+    pub committing: usize,
+    /// Processors in the DVFS-style throttled state.
+    pub throttled: usize,
+}
+
+impl IntervalSeg {
+    /// Whether two segments carry identical counts (and can be coalesced).
+    #[must_use]
+    pub fn same_counts(&self, other: &IntervalSeg) -> bool {
+        self.gated == other.gated
+            && self.missing == other.missing
+            && self.committing == other.committing
+            && self.throttled == other.throttled
+    }
+}
+
 /// Accumulated interval data for one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IntervalTracker {
@@ -99,6 +135,36 @@ impl IntervalTracker {
         self.gate_weight[i] += cycles * gated as u64;
         self.throttle_weight[i] += cycles * throttled as u64;
         self.total_cycles += cycles;
+    }
+
+    /// Build a tracker by replaying a segment log, e.g. the cycle-by-cycle
+    /// sum of several per-lane logs produced by the island-parallel engine.
+    ///
+    /// ```
+    /// use htm_sim::interval::{IntervalSeg, IntervalTracker};
+    ///
+    /// let mut direct = IntervalTracker::new(4);
+    /// direct.record_with_throttle(10, 1, 1, 0, 0);
+    /// direct.record_with_throttle(5, 0, 0, 2, 0);
+    /// let log = [
+    ///     IntervalSeg { cycles: 10, gated: 1, missing: 1, committing: 0, throttled: 0 },
+    ///     IntervalSeg { cycles: 5, gated: 0, missing: 0, committing: 2, throttled: 0 },
+    /// ];
+    /// assert_eq!(IntervalTracker::from_segments(4, &log), direct);
+    /// ```
+    #[must_use]
+    pub fn from_segments(num_procs: usize, segments: &[IntervalSeg]) -> Self {
+        let mut tracker = Self::new(num_procs);
+        for seg in segments {
+            tracker.record_with_throttle(
+                seg.cycles,
+                seg.gated,
+                seg.missing,
+                seg.committing,
+                seg.throttled,
+            );
+        }
+        tracker
     }
 
     /// Number of processors `p`.

@@ -8,11 +8,14 @@
 //!
 //! * a global [`Cycle`] counter and helpers for latency arithmetic,
 //! * [`config::SimConfig`], the machine description of Table II of the paper
-//!   (core count, L1 geometry, bus, directory and memory latencies),
+//!   (core count, L1 geometry, interconnect, directory and memory latencies),
 //! * [`queue::TimedQueue`], a delivery-time-ordered message queue used for
 //!   every point-to-point message in the coherence / commit protocol,
 //! * [`bus::SplitTransactionBus`], an occupancy-modelling split-transaction
 //!   bus with round-robin arbitration,
+//! * [`topology`], the interconnect abstraction behind which the legacy
+//!   shared bus and the banked/sharded point-to-point fabrics live
+//!   ([`topology::Topology`], [`topology::Interconnect`]),
 //! * [`port::SinglePortResource`], a single-ported resource model used for
 //!   the main memory (Table II: "Single Read/Write Port"),
 //! * [`rng::DeterministicRng`], a seedable, portable PRNG so that every
@@ -20,13 +23,16 @@
 //! * [`stats`] and [`interval`], the statistic collectors feeding the
 //!   energy-accounting equations (Eqs. 1–7) of the paper.
 //!
-//! Every simulation is deterministic and single-threaded. Raw speed comes
-//! from two places layered above this crate: the `htm-tcc` system drives
-//! these components with an event-driven fast-forward engine that leaps
-//! over quiescent windows instead of ticking them cycle by cycle (the
+//! Every simulation is deterministic and bit-reproducible. Raw speed comes
+//! from the layers above this crate: the `htm-tcc` system drives these
+//! components with an event-driven fast-forward engine that leaps over
+//! quiescent windows instead of ticking them cycle by cycle (the
 //! one-step-per-cycle reference engine is retained for differential
-//! testing; see `DESIGN.md`), and the experiment/sweep harnesses
-//! parallelise across independent simulations.
+//! testing), on sharded topologies a single large run is additionally split
+//! into independent interconnect islands advanced on parallel host threads
+//! and merged deterministically (see `DESIGN.md` and `docs/SCALING.md`),
+//! and the experiment/sweep harnesses parallelise across independent
+//! simulations.
 //!
 //! ```
 //! use htm_sim::{cycles_after, config::SimConfig, ProcSet};
@@ -43,6 +49,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use serde::{Deserialize, Serialize};
+
 pub mod bus;
 pub mod config;
 pub mod fxhash;
@@ -51,13 +59,14 @@ pub mod port;
 pub mod queue;
 pub mod rng;
 pub mod stats;
+pub mod topology;
 
 /// A simulation cycle (one tick of the global clock).
 ///
 /// All latencies in the simulator are expressed in cycles of the processor
-/// clock; the directories and the bus are modelled as running on the same
-/// clock, matching the paper's single-clock-domain timing parameters
-/// (Table II).
+/// clock; the directories and the interconnect are modelled as running on
+/// the same clock, matching the paper's single-clock-domain timing
+/// parameters (Table II).
 pub type Cycle = u64;
 
 /// Identifier of a processor (core) in the simulated system.
@@ -65,6 +74,16 @@ pub type ProcId = usize;
 
 /// Identifier of a directory (home node) in the simulated system.
 pub type DirId = usize;
+
+/// Number of 64-bit words backing a [`ProcSet`].
+const PROC_SET_WORDS: usize = 16;
+
+/// Largest processor count any simulated machine can have (the width of the
+/// full-bit sharer/marked vectors kept by the directories).
+///
+/// The paper's Table II machine stops at 16 processors on a bus; the sharded
+/// topologies scale the same protocol state to 1024-wide bit vectors.
+pub const MAX_PROCS: usize = PROC_SET_WORDS * 64;
 
 /// Saturating cycle addition helper.
 ///
@@ -77,58 +96,139 @@ pub fn cycles_after(now: Cycle, latency: u64) -> Cycle {
     now.saturating_add(latency)
 }
 
-/// A set of processors stored as a 64-bit full-bit vector (Table II limits
-/// the machine to at most 64 cores).
+/// A set of processors stored as a [`MAX_PROCS`]-wide full-bit vector.
 ///
 /// Used on the simulator's hot path wherever the directory protocol needs to
-/// hand a group of processors around (sharer vectors, invalidation victims):
-/// iterating the bitmask directly avoids the per-event `Vec<ProcId>`
-/// allocations the naive implementation paid every committed line.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ProcSet(u64);
+/// hand a group of processors around (sharer vectors, invalidation victims,
+/// the engine's active/spinner masks): iterating the bitmask directly avoids
+/// the per-event `Vec<ProcId>` allocations the naive implementation paid
+/// every committed line. Single-bit operations index one word, so they stay
+/// O(1) regardless of the machine size.
+///
+/// ```
+/// use htm_sim::ProcSet;
+///
+/// let mut set = ProcSet::empty();
+/// set.insert(3);
+/// set.insert(900); // well beyond the old 64-core bus limit
+/// assert!(set.contains(900) && !set.contains(899));
+/// assert_eq!(set.iter().collect::<Vec<_>>(), vec![3, 900]);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProcSet([u64; PROC_SET_WORDS]);
 
 impl ProcSet {
     /// The empty set.
     #[must_use]
     pub const fn empty() -> Self {
-        Self(0)
+        Self([0; PROC_SET_WORDS])
     }
 
-    /// Build a set from a raw bit vector (bit `p` set ⇔ processor `p` is a
-    /// member).
+    /// Build a set of the first 64 processors from a raw bit vector (bit `p`
+    /// set ⇔ processor `p` is a member).
     #[must_use]
     pub const fn from_bits(bits: u64) -> Self {
-        Self(bits)
+        let mut words = [0; PROC_SET_WORDS];
+        words[0] = bits;
+        Self(words)
     }
 
-    /// The raw bit vector.
+    /// The low 64 bits of the vector (membership of processors 0–63); only a
+    /// complete picture on machines with at most 64 processors.
     #[must_use]
     pub const fn bits(self) -> u64 {
-        self.0
+        self.0[0]
+    }
+
+    /// The set {0, 1, …, `n` − 1} of the first `n` processors.
+    ///
+    /// # Panics
+    /// If `n` exceeds [`MAX_PROCS`].
+    #[must_use]
+    pub fn all(n: usize) -> Self {
+        assert!(n <= MAX_PROCS, "ProcSet limited to {MAX_PROCS} processors");
+        let mut words = [0; PROC_SET_WORDS];
+        for (i, w) in words.iter_mut().enumerate() {
+            let low = i * 64;
+            if n >= low + 64 {
+                *w = u64::MAX;
+            } else if n > low {
+                *w = (1u64 << (n - low)) - 1;
+            }
+        }
+        Self(words)
     }
 
     /// Whether `proc` is a member.
     #[must_use]
     pub const fn contains(self, proc: ProcId) -> bool {
-        proc < 64 && self.0 & (1u64 << proc) != 0
+        proc < MAX_PROCS && self.0[proc / 64] & (1u64 << (proc % 64)) != 0
+    }
+
+    /// Add `proc` to the set.
+    ///
+    /// # Panics
+    /// If `proc` is not below [`MAX_PROCS`].
+    #[inline]
+    pub fn insert(&mut self, proc: ProcId) {
+        assert!(
+            proc < MAX_PROCS,
+            "ProcSet limited to {MAX_PROCS} processors"
+        );
+        self.0[proc / 64] |= 1u64 << (proc % 64);
+    }
+
+    /// Remove `proc` from the set (a no-op if it is not a member).
+    #[inline]
+    pub fn remove(&mut self, proc: ProcId) {
+        if proc < MAX_PROCS {
+            self.0[proc / 64] &= !(1u64 << (proc % 64));
+        }
+    }
+
+    /// The set without `proc` (the original is unchanged).
+    #[must_use]
+    pub fn without(mut self, proc: ProcId) -> Self {
+        self.remove(proc);
+        self
     }
 
     /// Number of members.
     #[must_use]
-    pub const fn len(self) -> usize {
-        self.0.count_ones() as usize
+    pub fn len(self) -> usize {
+        self.0.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Whether the set is empty.
     #[must_use]
-    pub const fn is_empty(self) -> bool {
-        self.0 == 0
+    pub fn is_empty(self) -> bool {
+        self.0.iter().all(|&w| w == 0)
     }
 
     /// Iterate the members in ascending processor-id order, allocation-free.
     #[must_use]
     pub fn iter(self) -> ProcSetIter {
-        ProcSetIter(self.0)
+        ProcSetIter {
+            words: self.0,
+            word: 0,
+        }
+    }
+}
+
+impl std::ops::BitOr for ProcSet {
+    type Output = Self;
+
+    fn bitor(mut self, rhs: Self) -> Self {
+        self |= rhs;
+        self
+    }
+}
+
+impl std::ops::BitOrAssign for ProcSet {
+    fn bitor_assign(&mut self, rhs: Self) {
+        for (w, r) in self.0.iter_mut().zip(rhs.0) {
+            *w |= r;
+        }
     }
 }
 
@@ -143,34 +243,43 @@ impl IntoIterator for ProcSet {
 
 impl FromIterator<ProcId> for ProcSet {
     fn from_iter<I: IntoIterator<Item = ProcId>>(iter: I) -> Self {
-        let mut bits = 0u64;
+        let mut set = Self::empty();
         for p in iter {
-            assert!(p < 64, "ProcSet limited to 64 processors");
-            bits |= 1u64 << p;
+            set.insert(p);
         }
-        Self(bits)
+        set
     }
 }
 
 /// Ascending-order iterator over a [`ProcSet`].
 #[derive(Debug, Clone)]
-pub struct ProcSetIter(u64);
+pub struct ProcSetIter {
+    words: [u64; PROC_SET_WORDS],
+    word: usize,
+}
 
 impl Iterator for ProcSetIter {
     type Item = ProcId;
 
     fn next(&mut self) -> Option<ProcId> {
-        if self.0 == 0 {
-            None
-        } else {
-            let p = self.0.trailing_zeros() as ProcId;
-            self.0 &= self.0 - 1;
-            Some(p)
+        while self.word < PROC_SET_WORDS {
+            let w = self.words[self.word];
+            if w == 0 {
+                self.word += 1;
+                continue;
+            }
+            let p = self.word * 64 + w.trailing_zeros() as usize;
+            self.words[self.word] = w & (w - 1);
+            return Some(p);
         }
+        None
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.0.count_ones() as usize;
+        let n: usize = self.words[self.word.min(PROC_SET_WORDS - 1)..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
         (n, Some(n))
     }
 }
@@ -208,5 +317,54 @@ mod tests {
         let s: ProcSet = [3usize, 9, 63].into_iter().collect();
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 9, 63]);
         assert_eq!(s.bits(), (1 << 3) | (1 << 9) | (1 << 63));
+    }
+
+    #[test]
+    fn proc_set_spans_all_sixteen_words() {
+        let members = [0usize, 63, 64, 127, 512, MAX_PROCS - 1];
+        let s: ProcSet = members.into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), members);
+        assert_eq!(s.len(), members.len());
+        assert!(s.contains(MAX_PROCS - 1));
+        assert!(!s.contains(MAX_PROCS - 2));
+        assert_eq!(s.iter().len(), members.len());
+    }
+
+    #[test]
+    fn proc_set_insert_remove_and_without() {
+        let mut s = ProcSet::empty();
+        s.insert(70);
+        s.insert(900);
+        assert!(s.contains(70) && s.contains(900));
+        s.remove(70);
+        assert!(!s.contains(70));
+        let t = s.without(900);
+        assert!(t.is_empty());
+        assert!(s.contains(900), "without() must not mutate the original");
+    }
+
+    #[test]
+    fn proc_set_all_builds_prefix_sets() {
+        assert!(ProcSet::all(0).is_empty());
+        assert_eq!(ProcSet::all(64).len(), 64);
+        assert_eq!(ProcSet::all(65).iter().last(), Some(64));
+        let full = ProcSet::all(MAX_PROCS);
+        assert_eq!(full.len(), MAX_PROCS);
+        assert!(full.contains(0) && full.contains(MAX_PROCS - 1));
+    }
+
+    #[test]
+    fn proc_set_bitor_unions() {
+        let a: ProcSet = [1usize, 100].into_iter().collect();
+        let b: ProcSet = [2usize, 100, 700].into_iter().collect();
+        let u = a | b;
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 100, 700]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1024 processors")]
+    fn proc_set_rejects_out_of_range_members() {
+        let mut s = ProcSet::empty();
+        s.insert(MAX_PROCS);
     }
 }

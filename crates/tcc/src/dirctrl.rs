@@ -53,6 +53,18 @@ impl DirCtrlStats {
     pub fn sram_lookups(&self) -> u64 {
         self.miss_lookups + self.marks + self.grants
     }
+
+    /// Fold another directory's tallies into this one (fieldwise sums, so
+    /// the operation is order-independent). The island-parallel runner uses
+    /// this to merge per-lane directory statistics — each directory is only
+    /// ever touched by one island, so the merge is exact.
+    pub fn absorb(&mut self, other: &DirCtrlStats) {
+        self.marks += other.marks;
+        self.grants += other.grants;
+        self.commit_busy_cycles += other.commit_busy_cycles;
+        self.miss_lookups += other.miss_lookups;
+        self.txinfo_roundtrips += other.txinfo_roundtrips;
+    }
 }
 
 /// One directory of the distributed shared memory, with commit arbitration.
@@ -67,7 +79,7 @@ pub struct DirCtrl {
     /// Cached OR of the marked processors' bits, maintained on every
     /// mark/unmark. The per-cycle view refresh reads this constantly, so it
     /// must not re-fold the map each time.
-    marked_bits: u64,
+    marked_bits: ProcSet,
     /// The processor currently granted the directory for commit, and the
     /// cycle at which it will release it.
     busy: Option<(ProcId, Cycle)>,
@@ -83,7 +95,7 @@ impl DirCtrl {
             directory: Directory::new(id, num_procs),
             port: SinglePortResource::new(service_latency),
             marked: BTreeMap::new(),
-            marked_bits: 0,
+            marked_bits: ProcSet::empty(),
             busy: None,
             stats: DirCtrlStats::default(),
         }
@@ -117,29 +129,29 @@ impl DirCtrl {
     /// Mark `proc` (with commit timestamp `tid`) as intending to commit here.
     pub fn mark(&mut self, tid: Tid, proc: ProcId) {
         self.marked.insert(tid, proc);
-        self.marked_bits |= 1u64 << proc;
+        self.marked_bits.insert(proc);
         self.stats.marks += 1;
     }
 
     /// Remove `proc`'s mark (after it finished committing here or aborted
     /// before committing).
     pub fn unmark(&mut self, proc: ProcId) {
-        if self.marked_bits & (1u64 << proc) == 0 {
+        if !self.marked_bits.contains(proc) {
             return;
         }
         self.marked.retain(|_, &mut p| p != proc);
-        self.marked_bits &= !(1u64 << proc);
+        self.marked_bits.remove(proc);
     }
 
     /// Whether `proc` currently has its Marked bit set here.
     #[must_use]
     pub fn is_marked(&self, proc: ProcId) -> bool {
-        self.marked_bits & (1u64 << proc) != 0
+        self.marked_bits.contains(proc)
     }
 
     /// Bit vector of marked processors (for the [`crate::hooks::SystemView`]).
     #[must_use]
-    pub fn marked_bits(&self) -> u64 {
+    pub fn marked_bits(&self) -> ProcSet {
         self.marked_bits
     }
 
@@ -284,7 +296,7 @@ mod tests {
         let mut d = DirCtrl::new(0, 8, 10);
         d.mark(4, 2);
         d.mark(9, 5);
-        assert_eq!(d.marked_bits(), (1 << 2) | (1 << 5));
+        assert_eq!(d.marked_bits(), [2usize, 5].into_iter().collect());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! crate. [`NoGating`] is the ungated baseline used for the "without
 //! clock-gating" bars of Figs. 4–6.
 
-use htm_sim::{Cycle, DirId, ProcId};
+use htm_sim::{Cycle, DirId, ProcId, ProcSet};
 
 use crate::txn::TxId;
 
@@ -92,7 +92,7 @@ pub struct SystemView {
     /// Per-directory: bit vector of processors whose "Marked" bit is set
     /// (they have expressed the intention to commit in that directory and
     /// have not finished doing so).
-    pub dir_marked: Vec<u64>,
+    pub dir_marked: Vec<ProcSet>,
 }
 
 impl SystemView {
@@ -103,7 +103,7 @@ impl SystemView {
         Self {
             proc_tx: vec![None; num_procs],
             proc_gated: vec![false; num_procs],
-            dir_marked: vec![0; num_dirs],
+            dir_marked: vec![ProcSet::empty(); num_dirs],
         }
     }
 
@@ -127,13 +127,13 @@ impl SystemView {
     /// Whether `proc` has its "Marked" (intent-to-commit) bit set in `dir`.
     #[must_use]
     pub fn is_marked(&self, dir: DirId, proc: ProcId) -> bool {
-        self.dir_marked[dir] & (1u64 << proc) != 0
+        self.dir_marked[dir].contains(proc)
     }
 
     /// Bit vector of processors marked in `dir` (the input of the bitwise-OR
     /// stage of the Fig. 2(e) circuit).
     #[must_use]
-    pub fn marked_bits(&self, dir: DirId) -> u64 {
+    pub fn marked_bits(&self, dir: DirId) -> ProcSet {
         self.dir_marked[dir]
     }
 }
@@ -284,12 +284,12 @@ mod tests {
     #[test]
     fn view_reports_marked_bits() {
         let mut v = SystemView::new(4, 2);
-        v.dir_marked[1] = 0b1010;
+        v.dir_marked[1] = ProcSet::from_bits(0b1010);
         assert!(v.is_marked(1, 1));
         assert!(v.is_marked(1, 3));
         assert!(!v.is_marked(1, 0));
         assert!(!v.is_marked(0, 1));
-        assert_eq!(v.marked_bits(1), 0b1010);
+        assert_eq!(v.marked_bits(1), ProcSet::from_bits(0b1010));
     }
 
     #[test]

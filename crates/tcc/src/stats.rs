@@ -139,8 +139,13 @@ pub struct RunOutcome {
     pub proc_stats: Vec<ProcStats>,
     /// Interval decomposition (`Xi`, `αi`, `βi` of Eqs. 2–4).
     pub intervals: IntervalTracker,
-    /// Interconnect statistics.
+    /// Aggregate interconnect statistics (all banks plus the vendor link on
+    /// sharded topologies; the single channel on the bus).
     pub bus: BusStats,
+    /// Per-bank channel statistics on sharded topologies, in bank order;
+    /// empty for the monolithic bus. The energy ledger uses these to resolve
+    /// uncore interconnect charges per shard.
+    pub shard_bus: Vec<BusStats>,
     /// Per-directory controller statistics (SRAM lookups, marks, grants,
     /// abort-time `TxInfoReq` round-trips), in directory order. The uncore
     /// side of the energy ledger is charged from these tallies.
@@ -282,6 +287,7 @@ mod tests {
             proc_stats: vec![ProcStats::new(), ProcStats::new()],
             intervals,
             bus: BusStats::default(),
+            shard_bus: Vec::new(),
             dir_stats: vec![DirCtrlStats::default(); 2],
             total_commits: 4,
             total_aborts: 2,

@@ -1,20 +1,25 @@
 //! The Scalable-TCC system and its stepping engines.
 //!
 //! [`TccSystem`] wires processors, directories, the token vendor, the
-//! split-transaction bus and main memory together and reports every abort to
-//! the configured [`GatingHook`]. It is the replacement for the paper's
+//! configured interconnect [`Topology`] (the paper's shared
+//! split-transaction bus, or the banked/sharded fabric for 64–1024 processor
+//! machines) and main memory together and reports every abort to the
+//! configured [`GatingHook`]. It is the replacement for the paper's
 //! "substantially modified M5 full-system simulator with added support for a
-//! Scalable-TCC system". Two stepping engines drive it ([`EngineKind`]): the
-//! default event-driven fast-forward engine, which leaps over cycles in
-//! which no component can act, and the one-step-per-cycle naive reference it
-//! is differentially tested against. Both are bit-for-bit cycle-exact with
-//! respect to each other.
+//! Scalable-TCC system". Three stepping engines drive it ([`EngineKind`]):
+//! the default event-driven fast-forward engine, which leaps over cycles in
+//! which no component can act, the one-step-per-cycle naive reference it is
+//! differentially tested against, and the island-parallel shard engine whose
+//! per-system semantics are identical to fast-forward (its fan-out across
+//! host threads lives one layer up, in the `clockgate-htm` runner). All
+//! engines are bit-for-bit cycle-exact with respect to each other.
 
 use htm_mem::{AddressMap, LineAddr, MainMemory, SpecCache};
-use htm_sim::bus::{BusTraffic, SplitTransactionBus};
+use htm_sim::bus::BusTraffic;
 use htm_sim::config::SimConfig;
-use htm_sim::interval::IntervalTracker;
-use htm_sim::{Cycle, DirId, ProcId};
+use htm_sim::interval::{IntervalSeg, IntervalTracker};
+use htm_sim::topology::{Interconnect, Node, Route, Topology, TopologyConfig};
+use htm_sim::{Cycle, DirId, ProcId, ProcSet};
 
 use crate::dirctrl::DirCtrl;
 use crate::hooks::{AbortAction, GateCommand, GatingHook, SystemView};
@@ -71,6 +76,16 @@ pub enum EngineKind {
     /// processor every cycle. Kept as the ground truth for differential
     /// testing and as the `--engine naive` option of the `reproduce` binary.
     Naive,
+    /// Island-parallel stepping for sharded topologies: the runner splits
+    /// the machine into independent interconnect islands (connected
+    /// components of processors over shared directory banks) and advances
+    /// each island's fast-forward engine on its own host thread, merging the
+    /// outcomes deterministically. Within a single [`TccSystem`] this engine
+    /// is *identical* to [`EngineKind::FastForward`] — the fan-out lives in
+    /// the `clockgate-htm` runner — which is exactly what makes the merge
+    /// bit-reproducible. Falls back to plain fast-forward when the workload
+    /// forms a single island or the topology is the shared bus.
+    ShardParallel,
 }
 
 impl EngineKind {
@@ -80,6 +95,7 @@ impl EngineKind {
         match self {
             EngineKind::FastForward => "fast-forward",
             EngineKind::Naive => "naive",
+            EngineKind::ShardParallel => "shard-parallel",
         }
     }
 }
@@ -90,14 +106,14 @@ enum StepPlan {
     /// Every component is quiescent for the next `n` cycles: leap over them
     /// in one batch-accounted jump.
     Jump(u64),
-    /// Execute one exact cycle. Bit `i` of `active` is set iff processor `i`
-    /// needs its per-cycle processing (event delivery and/or a phase
+    /// Execute one exact cycle. Member `i` of `active` is set iff processor
+    /// `i` needs its per-cycle processing (event delivery and/or a phase
     /// transition, or a commit-spin probe); the cleared ones are proven
     /// inert and only receive their countdown bookkeeping. `hook_due` says
     /// whether the hook's `on_tick` may act this cycle.
     Cycle {
-        /// Bit mask of processors that must be stepped individually.
-        active: u64,
+        /// Set of processors that must be stepped individually.
+        active: ProcSet,
         /// Whether `on_tick` must run this cycle.
         hook_due: bool,
     },
@@ -113,7 +129,7 @@ pub struct TccSystem<H: GatingHook> {
     procs: Vec<Processor>,
     dirs: Vec<DirCtrl>,
     token: TokenVendor,
-    bus: SplitTransactionBus,
+    net: Interconnect,
     /// One memory bank per directory node (the distributed shared memory of
     /// Scalable TCC: each directory is the home node for its interleaved
     /// share of the physical memory and has its own single R/W port).
@@ -130,10 +146,10 @@ pub struct TccSystem<H: GatingHook> {
     /// Scratch buffer for the directories touched by an aborting/committing
     /// processor (avoids a `Vec` allocation per abort/commit).
     dir_scratch: Vec<DirId>,
-    /// Bit mask of processors whose view entries are stale because they
-    /// acted in the most recent executed cycle; `step_cycle` refreshes
-    /// exactly these instead of sweeping every processor each cycle.
-    view_dirty: u64,
+    /// Set of processors whose view entries are stale because they acted in
+    /// the most recent executed cycle; `step_cycle` refreshes exactly these
+    /// instead of sweeping every processor each cycle.
+    view_dirty: ProcSet,
     /// Per-processor accounting watermark: all cycles in `[0, acct_until[i])`
     /// are fully reflected in processor `i`'s `state_cycles`,
     /// `attempt_cycles`, countdown fields and `first_tx_start`. The fast
@@ -148,8 +164,8 @@ pub struct TccSystem<H: GatingHook> {
     /// Commit spinners are deliberately *not* tracked here — their readiness
     /// depends on shared grant state, so `plan_step` probes them directly.
     deadlines: std::collections::BinaryHeap<std::cmp::Reverse<(Cycle, ProcId)>>,
-    /// Bit mask of processors currently in `Phase::SpinCommit`.
-    spin_mask: u64,
+    /// Set of processors currently in `Phase::SpinCommit`.
+    spin_mask: ProcSet,
     /// Start-of-cycle population counts `(gated, missing, committing,
     /// throttled)`, maintained incrementally on every phase transition so
     /// each executed cycle records its interval data in O(1).
@@ -161,6 +177,12 @@ pub struct TccSystem<H: GatingHook> {
     /// engine's incremental structures (construction, naive steps); the
     /// next `plan_step` rebuilds them once.
     fast_state_stale: bool,
+    /// When enabled ([`Self::enable_interval_log`]), a run-length-encoded
+    /// copy of every interval record, coalescing adjacent segments with
+    /// identical counts. The island-parallel runner sums per-lane logs
+    /// cycle-by-cycle and replays them to reconstruct the exact
+    /// [`IntervalTracker`] a serial run would have produced.
+    interval_log: Option<Vec<IntervalSeg>>,
 }
 
 impl<H: GatingHook> TccSystem<H> {
@@ -201,11 +223,19 @@ impl<H: GatingHook> TccSystem<H> {
             .collect();
         let view = SystemView::new(cfg.num_procs, cfg.num_dirs);
         let intervals = IntervalTracker::new(cfg.num_procs);
-        let bus = SplitTransactionBus::from_config(&cfg);
+        let net = Interconnect::from_config(&cfg);
         let memory_banks = (0..cfg.num_dirs)
             .map(|_| MainMemory::from_config(&cfg))
             .collect();
-        let token = TokenVendor::new(cfg.token_vendor_latency);
+        // Sharded fabrics pair with the pipelined vendor (TIDs derived from
+        // the request itself, so commit-token arbitration never couples
+        // independent banks); the bus machine keeps the paper's serial
+        // vendor port.
+        let token = if matches!(cfg.topology, TopologyConfig::Sharded { .. }) {
+            TokenVendor::pipelined(cfg.token_vendor_latency)
+        } else {
+            TokenVendor::new(cfg.token_vendor_latency)
+        };
         let num_procs = procs.len();
         let done_count = procs.iter().filter(|p| p.is_done()).count();
         let mut system = Self {
@@ -214,7 +244,7 @@ impl<H: GatingHook> TccSystem<H> {
             procs,
             dirs,
             token,
-            bus,
+            net,
             memory_banks,
             hook,
             view,
@@ -224,14 +254,15 @@ impl<H: GatingHook> TccSystem<H> {
             last_commit_end: 0,
             tick_scratch: Vec::new(),
             dir_scratch: Vec::new(),
-            view_dirty: 0,
+            view_dirty: ProcSet::empty(),
             acct_until: vec![0; num_procs],
             deadlines: std::collections::BinaryHeap::new(),
-            spin_mask: 0,
+            spin_mask: ProcSet::empty(),
             state_counts: (0, 0, 0, 0),
             done_count,
             // The first fast plan populates the event queue and counters.
             fast_state_stale: true,
+            interval_log: None,
         };
         // Populate the hook-visible snapshot once; from here on the engines
         // keep it current (the naive engine by full refresh, the fast engine
@@ -282,7 +313,10 @@ impl<H: GatingHook> TccSystem<H> {
                 return Err(SimError::CycleLimitExceeded { limit });
             }
             match engine {
-                EngineKind::FastForward => match self.plan_step() {
+                // Within one system the shard-parallel engine *is* the
+                // fast-forward engine; the island fan-out happens in the
+                // runner, and this equivalence is what makes it exact.
+                EngineKind::FastForward | EngineKind::ShardParallel => match self.plan_step() {
                     StepPlan::Jump(n) => self.fast_forward(n),
                     StepPlan::Cycle { active, hook_due } => self.step_cycle(active, hook_due),
                     // Provable deadlock (every processor gated or done with
@@ -301,6 +335,48 @@ impl<H: GatingHook> TccSystem<H> {
     /// Run to completion (with a very large implicit safety bound).
     pub fn run(self) -> Result<RunOutcome, SimError> {
         self.run_bounded(Cycle::MAX / 2)
+    }
+
+    /// Start mirroring every interval record into a run-length-encoded log
+    /// (retrieved by [`Self::into_parts_with_log`]). The island-parallel
+    /// runner enables this on each lane so the per-lane interval data can be
+    /// summed cycle-by-cycle and replayed into the exact tracker a serial
+    /// run of the whole machine would have produced.
+    pub fn enable_interval_log(&mut self) {
+        if self.interval_log.is_none() {
+            self.interval_log = Some(Vec::new());
+        }
+    }
+
+    /// Whether every processor has finished, in O(1) (maintained by the
+    /// engines; [`Self::all_done`] is the O(procs) sweep).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.done_count == self.procs.len()
+    }
+
+    /// Advance the machine to exactly cycle `target` (or until every
+    /// processor is done, whichever comes first) with the fast-forward
+    /// engine, clamping quiescent jumps at the window boundary.
+    ///
+    /// Splitting a quiescent jump of `n` cycles into `n1 + n2` is bit-exact
+    /// (the interval record is the only observable effect and it is a pure
+    /// count accumulation), so driving a machine through an arbitrary
+    /// sequence of windows yields the same outcome as one uninterrupted run.
+    /// This is the conservative-lookahead primitive of the island-parallel
+    /// engine: each lane can be advanced window by window and inspected at
+    /// the window boundaries without perturbing the simulation.
+    pub fn advance_until(&mut self, target: Cycle) {
+        while self.done_count < self.procs.len() && self.now < target {
+            match self.plan_step() {
+                StepPlan::Jump(n) => {
+                    let clamped = n.min(target - self.now);
+                    self.fast_forward(clamped);
+                }
+                StepPlan::Cycle { active, hook_due } => self.step_cycle(active, hook_due),
+                StepPlan::Quiescent => self.fast_forward(target - self.now),
+            }
+        }
     }
 
     /// Advance the simulation by at least one cycle with the fast-forward
@@ -363,7 +439,7 @@ impl<H: GatingHook> TccSystem<H> {
             self.rebuild_fast_state();
         }
         let now = self.now;
-        let mut active: u64 = 0;
+        let mut active = ProcSet::empty();
         let mut horizon: Option<Cycle> = None;
         fn merge(horizon: &mut Option<Cycle>, d: Option<Cycle>) {
             if let Some(d) = d {
@@ -373,10 +449,7 @@ impl<H: GatingHook> TccSystem<H> {
         // Probe every commit spinner directly: its readiness lives in
         // shared grant state the event queue cannot track. Spinner counts
         // are small (they exist only while a commit is being arbitrated).
-        let mut spin = self.spin_mask;
-        while spin != 0 {
-            let i = spin.trailing_zeros() as usize;
-            spin &= spin - 1;
+        for i in self.spin_mask {
             let proc = &self.procs[i];
             let Phase::SpinCommit { step_idx } = proc.phase else {
                 unreachable!("spin_mask tracks SpinCommit membership");
@@ -384,7 +457,7 @@ impl<H: GatingHook> TccSystem<H> {
             let step_dir = proc.commit_plan[step_idx].dir;
             let tid = proc.tid.expect("commit spin requires a TID");
             if self.dirs[step_dir].would_grant(i, tid, now) {
-                active |= 1u64 << i;
+                active.insert(i);
             }
         }
         // Drain the event queue up to `now`, validating lazily: an entry is
@@ -395,8 +468,7 @@ impl<H: GatingHook> TccSystem<H> {
                 break;
             }
             self.deadlines.pop();
-            let bit = 1u64 << i;
-            if active & bit != 0 {
+            if active.contains(i) {
                 continue;
             }
             let effective = if matches!(self.procs[i].phase, Phase::SpinCommit { .. }) {
@@ -407,14 +479,14 @@ impl<H: GatingHook> TccSystem<H> {
                 self.procs[i].next_deadline(self.acct_until[i])
             };
             match effective {
-                Some(e) if e <= now => active |= bit,
+                Some(e) if e <= now => active.insert(i),
                 Some(e) => self.deadlines.push(std::cmp::Reverse((e, i))),
                 None => {}
             }
         }
         let hook_deadline = self.hook.next_deadline(now);
         let hook_due = hook_deadline.is_some_and(|d| d <= now);
-        if active != 0 {
+        if !active.is_empty() {
             // Some processor acts this cycle, so every commit spinner must
             // be processed too: naive stepping lets a spinner observe marks
             // changed earlier in the same cycle.
@@ -428,7 +500,7 @@ impl<H: GatingHook> TccSystem<H> {
             // (commands travel through inboxes and arrive strictly later),
             // so the spinners stay skippable this cycle.
             return StepPlan::Cycle {
-                active: 0,
+                active: ProcSet::empty(),
                 hook_due: true,
             };
         }
@@ -438,7 +510,7 @@ impl<H: GatingHook> TccSystem<H> {
         // future by construction (an idle resource reports `None`). The
         // directory release times also bound how long a commit spinner can
         // be left unprobed.
-        merge(&mut horizon, self.bus.next_deadline(now));
+        merge(&mut horizon, self.net.next_deadline(now));
         merge(&mut horizon, self.token.next_deadline(now));
         for dir in &self.dirs {
             merge(&mut horizon, dir.next_deadline(now));
@@ -452,7 +524,7 @@ impl<H: GatingHook> TccSystem<H> {
             // happen — the oldest-TID spinner is always grantable or blocked
             // by a directory with a release deadline — but a per-cycle probe
             // is always exact).
-            None if self.spin_mask != 0 => StepPlan::Cycle {
+            None if !self.spin_mask.is_empty() => StepPlan::Cycle {
                 active: self.spin_mask,
                 hook_due: false,
             },
@@ -465,7 +537,7 @@ impl<H: GatingHook> TccSystem<H> {
     /// calls, which mutate processors without maintaining them).
     fn rebuild_fast_state(&mut self) {
         self.deadlines.clear();
-        self.spin_mask = 0;
+        self.spin_mask = ProcSet::empty();
         let mut gated = 0usize;
         let mut missing = 0usize;
         let mut committing = 0usize;
@@ -479,7 +551,7 @@ impl<H: GatingHook> TccSystem<H> {
                 PowerState::Run => {}
             }
             if matches!(proc.phase, Phase::SpinCommit { .. }) {
-                self.spin_mask |= 1u64 << i;
+                self.spin_mask.insert(i);
                 // A spinner's only queue-tracked wake source is its inbox
                 // (grant state is probed directly by `plan_step`).
                 if let Some(d) = proc.inbox.next_delivery() {
@@ -492,11 +564,7 @@ impl<H: GatingHook> TccSystem<H> {
         }
         self.state_counts = (gated, missing, committing, throttled);
         self.done_count = self.procs.iter().filter(|p| p.is_done()).count();
-        self.view_dirty = if self.procs.len() >= 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.procs.len()) - 1
-        };
+        self.view_dirty = ProcSet::all(self.procs.len());
         self.fast_state_stale = false;
     }
 
@@ -506,23 +574,18 @@ impl<H: GatingHook> TccSystem<H> {
     /// per-cycle bookkeeping (state-cycle accounting, `attempt_cycles`
     /// increments, countdown decrements) is settled lazily by
     /// [`Self::flush_accounting`] the next time something happens to it.
-    fn step_cycle(&mut self, active: u64, hook_due: bool) {
+    fn step_cycle(&mut self, active: ProcSet, hook_due: bool) {
         let now = self.now;
         // Interval accounting from the incrementally maintained population
         // counts: O(1) instead of a sweep over every processor.
-        let (gated, missing, committing, throttled) = self.state_counts;
-        self.intervals
-            .record_with_throttle(1, gated, missing, committing, throttled);
+        self.record_intervals(1);
 
         // Refresh the view snapshot: directory marked-bits every cycle (the
         // cached bit vectors make this O(dirs)), processor entries only for
         // the processors that acted since the last executed cycle. The
         // result is byte-identical to the naive full refresh, and hooks keep
         // seeing a start-of-cycle snapshot.
-        let mut dirty = std::mem::take(&mut self.view_dirty);
-        while dirty != 0 {
-            let i = dirty.trailing_zeros() as usize;
-            dirty &= dirty - 1;
+        for i in std::mem::take(&mut self.view_dirty) {
             self.view.proc_tx[i] = self.procs[i].current_tx_id();
             self.view.proc_gated[i] = self.procs[i].phase.is_gated_like();
         }
@@ -534,10 +597,7 @@ impl<H: GatingHook> TccSystem<H> {
             self.apply_hook_commands();
         }
 
-        let mut rest = active;
-        while rest != 0 {
-            let i = rest.trailing_zeros() as usize;
-            rest &= rest - 1;
+        for i in active {
             // Settle the lazily skipped cycles, then account the current
             // cycle eagerly (state as of the start of the cycle, exactly
             // like the naive engine's accounting pass).
@@ -573,11 +633,10 @@ impl<H: GatingHook> TccSystem<H> {
             if proc.is_done() && !pre_done {
                 self.done_count += 1;
             }
-            let bit = 1u64 << i;
             if matches!(proc.phase, Phase::SpinCommit { .. }) {
-                self.spin_mask |= bit;
+                self.spin_mask.insert(i);
             } else {
-                self.spin_mask &= !bit;
+                self.spin_mask.remove(i);
                 if let Some(d) = proc.next_deadline(now + 1) {
                     self.deadlines.push(std::cmp::Reverse((d, i)));
                 }
@@ -594,13 +653,46 @@ impl<H: GatingHook> TccSystem<H> {
     /// happened).
     fn fast_forward(&mut self, n: u64) {
         debug_assert!(n >= 1);
-        let (gated, missing, committing, throttled) = self.state_counts;
-        self.intervals
-            .record_with_throttle(n, gated, missing, committing, throttled);
+        self.record_intervals(n);
         self.now += n;
     }
 
     // ----- per-cycle bookkeeping -------------------------------------------------
+
+    /// Record `cycles` cycles of the current population counts into the
+    /// interval tracker, mirroring them into the RLE log when one is
+    /// enabled (coalescing runs with identical counts, so the log stays
+    /// proportional to the number of count *changes*, not cycles).
+    fn record_intervals(&mut self, cycles: u64) {
+        let (gated, missing, committing, throttled) = self.state_counts;
+        self.intervals
+            .record_with_throttle(cycles, gated, missing, committing, throttled);
+        self.mirror_log(cycles, gated, missing, committing, throttled);
+    }
+
+    /// Append one record to the RLE interval log, if enabled.
+    fn mirror_log(
+        &mut self,
+        cycles: u64,
+        gated: usize,
+        missing: usize,
+        committing: usize,
+        throttled: usize,
+    ) {
+        if let Some(log) = &mut self.interval_log {
+            let seg = IntervalSeg {
+                cycles,
+                gated,
+                missing,
+                committing,
+                throttled,
+            };
+            match log.last_mut() {
+                Some(last) if last.same_counts(&seg) => last.cycles += cycles,
+                _ => log.push(seg),
+            }
+        }
+    }
 
     /// Settle processor `i`'s lazily skipped cycles up to (excluding)
     /// `target`: the per-cycle work its naive advance would have done in
@@ -668,6 +760,7 @@ impl<H: GatingHook> TccSystem<H> {
         }
         self.intervals
             .record_with_throttle(cycles, gated, missing, committing, throttled);
+        self.mirror_log(cycles, gated, missing, committing, throttled);
     }
 
     fn refresh_view(&mut self) {
@@ -689,7 +782,11 @@ impl<H: GatingHook> TccSystem<H> {
                 GateCommand::UngateProcessor { proc, dir } => {
                     // The "on" command travels from the directory to the
                     // processor's PLL enable over the interconnect.
-                    let arrive = self.bus.request(self.now, BusTraffic::Control);
+                    let route = Route {
+                        src: Node::Dir(dir),
+                        dst: Node::Proc(proc),
+                    };
+                    let arrive = self.net.request(self.now, route, BusTraffic::Control);
                     self.procs[proc]
                         .inbox
                         .push(arrive, ProcEvent::TurnOn { dir });
@@ -962,7 +1059,11 @@ impl<H: GatingHook> TccSystem<H> {
                         // the home directory (background control message; the
                         // hit itself does not stall).
                         self.dirs[home].directory.add_sharer(line, i);
-                        self.bus.request(self.now, BusTraffic::Control);
+                        let route = Route {
+                            src: Node::Proc(i),
+                            dst: Node::Dir(home),
+                        };
+                        self.net.request(self.now, route, BusTraffic::Control);
                         self.hook.on_proc_activity(i, home, self.now);
                     }
                     self.procs[i].phase = Phase::Executing {
@@ -972,7 +1073,7 @@ impl<H: GatingHook> TccSystem<H> {
                 } else {
                     self.dirs[home].directory.add_sharer(line, i);
                     self.hook.on_proc_activity(i, home, self.now);
-                    let until = self.miss_fill_time(home, line);
+                    let until = self.miss_fill_time(i, home, line);
                     self.procs[i].phase = Phase::WaitMiss {
                         op_idx: op_idx + 1,
                         until,
@@ -999,7 +1100,7 @@ impl<H: GatingHook> TccSystem<H> {
                     // Write-allocate fetch of the line; stores stay private
                     // until commit so no sharer registration is needed.
                     self.hook.on_proc_activity(i, home, self.now);
-                    let until = self.miss_fill_time(home, line);
+                    let until = self.miss_fill_time(i, home, line);
                     self.procs[i].phase = Phase::WaitMiss {
                         op_idx: op_idx + 1,
                         until,
@@ -1011,13 +1112,21 @@ impl<H: GatingHook> TccSystem<H> {
         }
     }
 
-    fn miss_fill_time(&mut self, home: DirId, line: LineAddr) -> Cycle {
-        // Request message competes for the bus now; the directory lookup and
-        // (if needed) the memory-bank access queue behind earlier requests to
-        // the same home node; the data reply is re-arbitrated when the data
-        // is ready (split-transaction bus, so the channel is not held during
-        // the memory wait).
-        let req_at_dir = self.bus.request(self.now, BusTraffic::Control);
+    fn miss_fill_time(&mut self, i: ProcId, home: DirId, line: LineAddr) -> Cycle {
+        // Request message competes for its channel now; the directory lookup
+        // and (if needed) the memory-bank access queue behind earlier
+        // requests to the same home node; the data reply is re-arbitrated
+        // when the data is ready (split-transaction channels, so the channel
+        // is not held during the memory wait).
+        let to_dir = Route {
+            src: Node::Proc(i),
+            dst: Node::Dir(home),
+        };
+        let from_dir = Route {
+            src: Node::Dir(home),
+            dst: Node::Proc(i),
+        };
+        let req_at_dir = self.net.request(self.now, to_dir, BusTraffic::Control);
         let dir_done = self.dirs[home].service_miss(req_at_dir);
         // Lines that have been committed through this directory before are
         // served directly by the home node (the committed data lives in its
@@ -1028,7 +1137,8 @@ impl<H: GatingHook> TccSystem<H> {
         } else {
             self.memory_banks[home].access(dir_done)
         };
-        self.bus.schedule_future(data_ready, BusTraffic::Data)
+        self.net
+            .schedule_future(data_ready, from_dir, BusTraffic::Data)
     }
 
     fn begin_commit(&mut self, i: ProcId) {
@@ -1055,10 +1165,19 @@ impl<H: GatingHook> TccSystem<H> {
             .map(|(dir, lines)| CommitStep { dir, lines })
             .collect();
 
-        // Token acquisition: request over the bus, vendor service, reply.
-        let req = self.bus.request(self.now, BusTraffic::Control);
-        let (tid, ready) = self.token.request(req);
-        let reply = self.bus.request(ready, BusTraffic::Control);
+        // Token acquisition: request over the interconnect, vendor service,
+        // reply back to the processor.
+        let to_vendor = Route {
+            src: Node::Proc(i),
+            dst: Node::Vendor,
+        };
+        let from_vendor = Route {
+            src: Node::Vendor,
+            dst: Node::Proc(i),
+        };
+        let req = self.net.request(self.now, to_vendor, BusTraffic::Control);
+        let (tid, ready) = self.token.request(req, i);
+        let reply = self.net.request(ready, from_vendor, BusTraffic::Control);
         self.procs[i].tid = Some(tid);
         self.procs[i].phase = Phase::WaitToken { until: reply };
     }
@@ -1069,7 +1188,11 @@ impl<H: GatingHook> TccSystem<H> {
         for d in dirs {
             // One control message per directory announces the intention to
             // commit (sets the "Marked" bit the Fig. 2(e) circuit inspects).
-            self.bus.request(self.now, BusTraffic::Control);
+            let route = Route {
+                src: Node::Proc(i),
+                dst: Node::Dir(d),
+            };
+            self.net.request(self.now, route, BusTraffic::Control);
             self.dirs[d].mark(tid, i);
         }
     }
@@ -1088,15 +1211,25 @@ impl<H: GatingHook> TccSystem<H> {
         // still flushing the rest of its write set here, which is exactly the
         // window the renewal check of Fig. 2(e) inspects.
         let aborter_tx = self.procs[i].current_tx_id().unwrap_or_default();
+        let flush_route = Route {
+            src: Node::Proc(i),
+            dst: Node::Dir(step.dir),
+        };
         let mut t = self.now + self.cfg.directory_latency;
         for &line in &step.lines {
-            t = self.bus.request(t, BusTraffic::Data);
+            t = self.net.request(t, flush_route, BusTraffic::Data);
             let victims = self.dirs[step.dir].directory.commit_line(line, i);
             for victim in victims {
                 if victim == i {
                     continue;
                 }
-                let deliver = self.bus.schedule_future(t, BusTraffic::Control);
+                let inval_route = Route {
+                    src: Node::Dir(step.dir),
+                    dst: Node::Proc(victim),
+                };
+                let deliver = self
+                    .net
+                    .schedule_future(t, inval_route, BusTraffic::Control);
                 let deliver = deliver.max(self.now + 1);
                 self.procs[victim].inbox.push(
                     deliver,
@@ -1182,7 +1315,8 @@ impl<H: GatingHook> TccSystem<H> {
             state_cycles,
             proc_stats,
             intervals: self.intervals,
-            bus: self.bus.stats(),
+            bus: self.net.stats(),
+            shard_bus: self.net.shard_stats(),
             dir_stats,
             total_commits,
             total_aborts,
@@ -1196,6 +1330,15 @@ impl<H: GatingHook> TccSystem<H> {
     #[must_use]
     pub fn finish(self) -> RunOutcome {
         self.into_parts().0
+    }
+
+    /// [`Self::into_parts`] plus the RLE interval log (empty unless
+    /// [`Self::enable_interval_log`] was called before the run).
+    #[must_use]
+    pub fn into_parts_with_log(mut self) -> (RunOutcome, H, Vec<IntervalSeg>) {
+        let log = self.interval_log.take().unwrap_or_default();
+        let (outcome, hook) = self.into_parts();
+        (outcome, hook, log)
     }
 }
 

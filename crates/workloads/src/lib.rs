@@ -16,7 +16,11 @@
 //!
 //! Extension workloads (vacation, kmeans, ssca2, labyrinth) are included for
 //! the "larger suite of applications" the paper's conclusion plans to
-//! explore; they follow the same construction.
+//! explore; they follow the same construction. The `clustered` workload
+//! targets the 64–1024-processor sharded machines: threads form
+//! conflict-isolated eight-thread clusters, each confined to its own 32 KiB
+//! address window, so the shard-parallel engine can simulate the clusters on
+//! parallel host threads (see [`clustered`] and `docs/SCALING.md`).
 //!
 //! All generators are deterministic: the same parameters and seed produce an
 //! identical [`htm_tcc::WorkloadTrace`] on every platform, which the
@@ -30,12 +34,13 @@
 //! assert!(trace.total_transactions() > 0);
 //! // Same name + parameters + seed => identical trace.
 //! assert_eq!(trace, by_name("intruder", 4, WorkloadScale::Test, 42).unwrap());
-//! assert_eq!(workload_names().len(), 7);
+//! assert_eq!(workload_names().len(), 8);
 //! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod clustered;
 pub mod extensions;
 pub mod genome;
 pub mod intruder;

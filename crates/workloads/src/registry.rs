@@ -7,13 +7,13 @@
 use htm_tcc::txn::WorkloadTrace;
 
 use crate::spec::WorkloadScale;
-use crate::{extensions, genome, intruder, yada};
+use crate::{clustered, extensions, genome, intruder, yada};
 
 /// Names of the three applications evaluated in the paper (Section VIII).
 pub const PAPER_WORKLOADS: [&str; 3] = ["genome", "yada", "intruder"];
 
 /// Names of every workload this crate can generate.
-pub const ALL_WORKLOADS: [&str; 7] = [
+pub const ALL_WORKLOADS: [&str; 8] = [
     "genome",
     "yada",
     "intruder",
@@ -21,6 +21,7 @@ pub const ALL_WORKLOADS: [&str; 7] = [
     "kmeans",
     "ssca2",
     "labyrinth",
+    "clustered",
 ];
 
 /// All available workload names.
@@ -45,6 +46,7 @@ pub fn by_name(
         "kmeans" => Some(extensions::kmeans(threads, scale, seed)),
         "ssca2" => Some(extensions::ssca2(threads, scale, seed)),
         "labyrinth" => Some(extensions::labyrinth(threads, scale, seed)),
+        "clustered" => Some(clustered::generate(threads, scale, seed)),
         _ => None,
     }
 }

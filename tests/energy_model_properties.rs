@@ -61,6 +61,7 @@ fn outcome_from_columns(columns: Vec<(u64, u64, u64, u64)>) -> RunOutcome {
         proc_stats: vec![ProcStats::new(); num_procs],
         intervals,
         bus: htm_sim::bus::BusStats::default(),
+        shard_bus: Vec::new(),
         dir_stats: Vec::new(),
         total_commits: 1,
         total_aborts: 0,
