@@ -34,7 +34,9 @@
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-use clockgate_htm::experiments::{self, EvaluationMatrix, ExperimentConfig, Fig7Result};
+use clockgate_htm::experiments::{
+    self, EvaluationMatrix, ExperimentConfig, Fig7Result, MatrixCheckpoint,
+};
 use clockgate_htm::report;
 use clockgate_htm::sim::EngineKind;
 use htm_power::model::PowerModel;
@@ -84,6 +86,13 @@ fn usage() -> ! {
          \x20                 directory); see docs/SCALING.md\n\
          \x20 --timing        write BENCH_reproduce.json (wall-clock per matrix\n\
          \x20                 cell and cells/second)\n\
+         \x20 --checkpoint-every N  checkpoint every simulation run every N\n\
+         \x20                 simulated cycles; interrupted runs auto-resume\n\
+         \x20                 from the newest valid checkpoint with identical\n\
+         \x20                 output bytes (torn/corrupt files are skipped\n\
+         \x20                 loudly, future-format files are a hard error)\n\
+         \x20 --checkpoint-dir D    checkpoint directory (default:\n\
+         \x20                 <out-dir>/checkpoints); requires --checkpoint-every\n\
          \x20 --list-policies list every registered contention policy and exit\n\
          \x20                 (every policy runs on either topology and engine)\n\
          \x20 -h, --help      this text\n\
@@ -92,6 +101,22 @@ fn usage() -> ! {
          `sweep` binary (`cargo run -p htm-bench --bin sweep -- --list`)."
     );
     std::process::exit(2);
+}
+
+/// Parse a `--flag CYCLES` value, exiting with an actionable message (not a
+/// panic) on a missing or malformed number.
+fn parse_cycles(flag: &str, value: Option<String>) -> u64 {
+    let Some(raw) = value else {
+        eprintln!("{flag} needs a cycle count, e.g. `{flag} 100000`");
+        std::process::exit(2);
+    };
+    match raw.parse::<u64>() {
+        Ok(n) => n,
+        Err(err) => {
+            eprintln!("{flag}: `{raw}` is not a cycle count ({err})");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Write one table/figure JSON artifact, creating the directory on demand.
@@ -117,6 +142,8 @@ fn main() {
     let mut engine = EngineKind::FastForward;
     let mut topology = TopologyConfig::Bus;
     let mut out_dir: Option<PathBuf> = None;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut checkpoint_dir: Option<PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -148,6 +175,21 @@ fn main() {
             "--out" => match args.next() {
                 Some(dir) => out_dir = Some(PathBuf::from(dir)),
                 None => usage(),
+            },
+            "--checkpoint-every" => {
+                let every = parse_cycles("--checkpoint-every", args.next());
+                if every == 0 {
+                    eprintln!("--checkpoint-every: the interval must be at least 1 cycle");
+                    std::process::exit(2);
+                }
+                checkpoint_every = Some(every);
+            }
+            "--checkpoint-dir" => match args.next() {
+                Some(dir) => checkpoint_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--checkpoint-dir needs a directory path");
+                    std::process::exit(2);
+                }
             },
             "-h" | "--help" => usage(),
             other => targets.push(other.to_string()),
@@ -204,6 +246,22 @@ fn main() {
     if (smoke || scale_smoke) && out_dir.is_none() {
         out_dir = Some(PathBuf::from("reproduce-out"));
     }
+    if checkpoint_dir.is_some() && checkpoint_every.is_none() {
+        eprintln!(
+            "--checkpoint-dir does nothing without --checkpoint-every N; \
+             add an interval or drop the directory flag"
+        );
+        std::process::exit(2);
+    }
+    let ckpt: Option<MatrixCheckpoint> = checkpoint_every.map(|every| MatrixCheckpoint {
+        dir: checkpoint_dir.unwrap_or_else(|| {
+            out_dir
+                .clone()
+                .unwrap_or_else(|| PathBuf::from("reproduce-out"))
+                .join("checkpoints")
+        }),
+        every,
+    });
 
     if wants("table1") {
         outln!("{}", experiments::render_table1());
@@ -248,9 +306,21 @@ fn main() {
             engine.label(),
             topology.describe()
         );
+        if let Some(spec) = &ckpt {
+            eprintln!(
+                "checkpointing every {} cycles into {}",
+                spec.every,
+                spec.dir.display()
+            );
+        }
         let (matrix, matrix_timing, breakdown) =
-            experiments::run_matrix_timed_on(&cfg, engine, topology)
-                .expect("evaluation matrix must complete");
+            match experiments::run_matrix_timed_ckpt(&cfg, engine, topology, ckpt.as_ref()) {
+                Ok(results) => results,
+                Err(err) => {
+                    eprintln!("the evaluation matrix failed: {err}");
+                    std::process::exit(1);
+                }
+            };
         eprintln!(
             "matrix completed: {} cells in {:.1} ms on {} threads ({:.1} cells/s)",
             matrix_timing.cells.len(),
@@ -312,8 +382,14 @@ fn main() {
     if wants("fig7") {
         eprintln!("running the W0 sensitivity sweep...");
         let w0_values = [1, 2, 4, 8, 16, 32, 64];
-        let f: Fig7Result = experiments::fig7_on(&cfg, &w0_values, engine, topology)
-            .expect("fig7 sweep must complete");
+        let f: Fig7Result =
+            match experiments::fig7_ckpt(&cfg, &w0_values, engine, topology, ckpt.as_ref()) {
+                Ok(result) => result,
+                Err(err) => {
+                    eprintln!("the fig7 sweep failed: {err}");
+                    std::process::exit(1);
+                }
+            };
         if json {
             outln!("{}", report::to_json(&f));
         } else {

@@ -44,7 +44,9 @@ macro_rules! outln {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sweep --grid NAME [--out DIR] [--engine fast|naive|shard] [--topology T] [--objective O] [--resume] [--list] [--list-policies]\n\
+        "usage: sweep --grid NAME [--out DIR] [--engine fast|naive|shard] [--topology T] [--objective O] [--resume]\n\
+         \x20            [--checkpoint-every N] [--checkpoint-dir D] [--replay-to CYCLE --replay-key KEY]\n\
+         \x20            [--list] [--list-policies]\n\
          \n\
          Expand a sensitivity grid, simulate every cell in parallel, stream\n\
          per-cell records (with their component-resolved energy ledgers) to\n\
@@ -66,6 +68,19 @@ fn usage() -> ! {
          \x20                 only pareto.json depends on it, so a sweep can be\n\
          \x20                 resumed under any objective\n\
          \x20 --resume        skip cells already recorded in <out>/sweep.jsonl\n\
+         \x20                 (a torn final line from a killed run is dropped)\n\
+         \x20 --checkpoint-every N  durably checkpoint every in-flight cell's\n\
+         \x20                 simulator state every N cycles; an interrupted\n\
+         \x20                 sweep resumed with --resume restores each cell\n\
+         \x20                 from its newest valid checkpoint instead of\n\
+         \x20                 restarting it (artifacts stay byte-identical)\n\
+         \x20 --checkpoint-dir D  where the .ckpt files live (default\n\
+         \x20                 <out>/checkpoints)\n\
+         \x20 --replay-to CYCLE   time travel: restore the nearest checkpoint\n\
+         \x20                 of cell --replay-key at or before CYCLE,\n\
+         \x20                 fast-forward to exactly CYCLE, print the state\n\
+         \x20                 digest and exit (no sweep is run)\n\
+         \x20 --replay-key KEY    the cell to replay (a key from sweep.jsonl)\n\
          \x20 --list          print the available grids and their cell counts\n\
          \x20 --list-policies list every registered contention policy and exit\n\
          \x20                 (every policy runs on either topology and engine)\n\
@@ -73,6 +88,19 @@ fn usage() -> ! {
         names = sweep::grid::GRID_NAMES.join("|")
     );
     std::process::exit(2);
+}
+
+/// Parse a required numeric flag value with an actionable message instead of
+/// a panic.
+fn parse_cycles(flag: &str, value: Option<String>) -> u64 {
+    match value.as_deref().map(str::parse::<u64>) {
+        Some(Ok(n)) => n,
+        Some(Err(e)) => {
+            eprintln!("{flag}: `{}` is not a cycle count: {e}", value.unwrap());
+            std::process::exit(2);
+        }
+        None => usage(),
+    }
 }
 
 fn list_grids() {
@@ -100,6 +128,10 @@ fn main() {
     let mut topology = TopologyConfig::Bus;
     let mut objective = SweepObjective::Energy;
     let mut resume = false;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut replay_to: Option<u64> = None;
+    let mut replay_key: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -126,6 +158,23 @@ fn main() {
                 None => usage(),
             },
             "--resume" => resume = true,
+            "--checkpoint-every" => {
+                let n = parse_cycles("--checkpoint-every", args.next());
+                if n == 0 {
+                    eprintln!("--checkpoint-every must be at least 1 cycle");
+                    std::process::exit(2);
+                }
+                checkpoint_every = Some(n);
+            }
+            "--checkpoint-dir" => match args.next() {
+                Some(dir) => checkpoint_dir = Some(PathBuf::from(dir)),
+                None => usage(),
+            },
+            "--replay-to" => replay_to = Some(parse_cycles("--replay-to", args.next())),
+            "--replay-key" => match args.next() {
+                Some(key) => replay_key = Some(key),
+                None => usage(),
+            },
             "--list" => {
                 list_grids();
                 return;
@@ -151,20 +200,118 @@ fn main() {
         std::process::exit(2);
     };
     let out_dir = out_dir.unwrap_or_else(|| PathBuf::from("sweep-out").join(&grid.name));
+    let ckpt_dir = checkpoint_dir
+        .clone()
+        .unwrap_or_else(|| out_dir.join("checkpoints"));
 
     let cells = grid.expand();
+
+    // Time travel: replay one cell to a cycle and exit (no sweep runs).
+    if let Some(target) = replay_to {
+        let Some(key) = replay_key else {
+            eprintln!(
+                "--replay-to needs --replay-key KEY naming the cell to replay \
+                 (a key from {})",
+                out_dir.join(sweep::runner::JSONL_NAME).display()
+            );
+            std::process::exit(2);
+        };
+        let Some(cell) = cells
+            .iter()
+            .find(|c| sweep::runner::cell_key_on(c, topology) == key)
+        else {
+            eprintln!(
+                "no cell of grid `{}` on the {} topology has key `{key}`; \
+                 the first cells are: {}",
+                grid.name,
+                topology.describe(),
+                cells
+                    .iter()
+                    .take(4)
+                    .map(|c| sweep::runner::cell_key_on(c, topology))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            std::process::exit(2);
+        };
+        match sweep::replay_cell_to(cell, engine, topology, &ckpt_dir, target) {
+            Ok((report, skipped)) => {
+                for (path, why) in &skipped {
+                    eprintln!("skipping corrupt checkpoint '{}': {why}", path.display());
+                }
+                match report.resumed_from {
+                    Some(cycle) => eprintln!(
+                        "restored checkpoint at cycle {cycle} from {}",
+                        ckpt_dir.display()
+                    ),
+                    None => eprintln!(
+                        "no usable checkpoint at or before cycle {target} in {}; \
+                         replayed from cycle 0",
+                        ckpt_dir.display()
+                    ),
+                }
+                outln!(
+                    "replayed `{}` to cycle {} ({})",
+                    report.key,
+                    report.reached,
+                    if report.completed {
+                        "run complete"
+                    } else {
+                        "in flight"
+                    }
+                );
+                outln!("state digest {:#018x}", report.state_digest);
+                return;
+            }
+            Err(e) => {
+                eprintln!("replay failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if replay_key.is_some() {
+        eprintln!("--replay-key without --replay-to CYCLE has no effect");
+        std::process::exit(2);
+    }
+    if checkpoint_dir.is_some() && checkpoint_every.is_none() {
+        eprintln!(
+            "--checkpoint-dir without --checkpoint-every N does nothing; \
+             pass an interval to enable checkpointing"
+        );
+        std::process::exit(2);
+    }
+    let ckpt = checkpoint_every.map(|every| sweep::SweepCheckpoint {
+        dir: ckpt_dir.clone(),
+        every,
+    });
     eprintln!(
-        "sweep `{}`: {} cells -> {} ({} engine, {}, {} objective{})",
+        "sweep `{}`: {} cells -> {} ({} engine, {}, {} objective{}{})",
         grid.name,
         cells.len(),
         out_dir.display(),
         engine.label(),
         topology.describe(),
         objective.label(),
-        if resume { ", resume" } else { "" }
+        if resume { ", resume" } else { "" },
+        match &ckpt {
+            Some(spec) => format!(
+                ", checkpoint every {} cycles -> {}",
+                spec.every,
+                spec.dir.display()
+            ),
+            None => String::new(),
+        }
     );
     let started = std::time::Instant::now();
-    let outcome = match sweep::run_sweep_on(&grid, engine, &out_dir, resume, objective, topology) {
+    let outcome = match sweep::run_sweep_ckpt(
+        &grid,
+        engine,
+        &out_dir,
+        resume,
+        objective,
+        topology,
+        ckpt.as_ref(),
+    ) {
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("sweep failed: {e}");

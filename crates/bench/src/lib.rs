@@ -24,6 +24,8 @@
 
 #![warn(missing_docs)]
 
+pub mod divergence;
+
 use clockgate_htm::experiments::ExperimentConfig;
 use htm_workloads::WorkloadScale;
 

@@ -32,6 +32,9 @@ use htm_tcc::system::SimError;
 use htm_workloads::registry::PAPER_WORKLOADS;
 use htm_workloads::WorkloadScale;
 
+use crate::checkpoint::{
+    remove_checkpoints, validate_checkpoint_dir, CheckpointConfig, CheckpointError,
+};
 use crate::report::{fmt_f, fmt_factor, fmt_percent, format_table};
 use crate::sim::{compare_runs, EngineKind, GatingMode, SimReport, SimulationBuilder};
 
@@ -247,6 +250,80 @@ pub struct MatrixTiming {
     pub cells_per_sec: f64,
 }
 
+/// On-disk checkpointing options for the simulation-backed experiment entry
+/// points (the `reproduce --checkpoint-every N --checkpoint-dir D` flags).
+///
+/// Deliberately not part of [`ExperimentConfig`]: the config struct is
+/// serialized into the golden `evaluation_matrix.json` artifacts, which must
+/// stay byte-identical whether or not a run was checkpointed. The exactness
+/// contract (see `DESIGN.md`) makes that a real guarantee, not an
+/// approximation: a checkpoint-resumed run produces the same bytes as an
+/// uninterrupted one.
+#[derive(Debug, Clone)]
+pub struct MatrixCheckpoint {
+    /// Directory holding the per-run checkpoint files (created if missing).
+    pub dir: std::path::PathBuf,
+    /// Checkpoint interval in simulated cycles (must be at least 1).
+    pub every: Cycle,
+}
+
+/// Checkpoint-file key of one experiment run: workload, processor count, a
+/// run-kind tag (`ungated`, `gated`, `fig7-w<N>`, ...) and the topology key
+/// segment when not on the default bus.
+fn run_key(workload: &str, procs: usize, kind: &str, topology: TopologyConfig) -> String {
+    match topology.key_segment() {
+        None => format!("{workload}-p{procs}-{kind}"),
+        Some(segment) => format!("{workload}-p{procs}-{kind}-{segment}"),
+    }
+}
+
+/// Run one simulation, optionally under on-disk checkpointing. With a
+/// [`MatrixCheckpoint`] (paired with the run-kind tag that disambiguates
+/// the checkpoint key) the run auto-resumes from the newest valid checkpoint
+/// for its key, reports skipped (torn/corrupt) files loudly on stderr, and
+/// cleans its checkpoints up once the run completes — the artifact row
+/// supersedes them.
+fn run_one(
+    workload: &str,
+    procs: usize,
+    cfg: &ExperimentConfig,
+    mode: GatingMode,
+    engine: EngineKind,
+    topology: TopologyConfig,
+    ckpt: Option<(&MatrixCheckpoint, &str)>,
+) -> Result<SimReport, SimError> {
+    let builder = SimulationBuilder::new()
+        .processors(procs)
+        .topology(topology)
+        .workload_by_name(workload, cfg.scale, cfg.seed)
+        .map_err(SimError::BadWorkload)?
+        .gating(mode)
+        .cycle_limit(cfg.cycle_limit)
+        .engine(engine);
+    let Some((spec, kind)) = ckpt else {
+        return builder.run();
+    };
+    let key = run_key(workload, procs, kind, topology);
+    let cc = CheckpointConfig::new(spec.dir.clone(), spec.every, key.clone());
+    let (report, info) = builder.run_checkpointed(&cc).map_err(|err| match err {
+        CheckpointError::Sim(sim) => sim,
+        other => SimError::Checkpoint(other.to_string()),
+    })?;
+    for (path, why) in &info.skipped {
+        eprintln!(
+            "warning: run `{key}`: skipped unusable checkpoint {}: {why}",
+            path.display()
+        );
+    }
+    if let Some(cycle) = info.resumed_from {
+        eprintln!("run `{key}`: resumed from checkpoint at cycle {cycle}");
+    }
+    if let Err(err) = remove_checkpoints(&spec.dir, &key) {
+        eprintln!("warning: run `{key}`: could not clean up checkpoints: {err}");
+    }
+    Ok(report)
+}
+
 fn run_pair(
     workload: &str,
     procs: usize,
@@ -254,25 +331,26 @@ fn run_pair(
     mode: GatingMode,
     engine: EngineKind,
     topology: TopologyConfig,
+    ckpt: Option<&MatrixCheckpoint>,
 ) -> Result<(SimReport, SimReport), SimError> {
-    let ungated = SimulationBuilder::new()
-        .processors(procs)
-        .topology(topology)
-        .workload_by_name(workload, cfg.scale, cfg.seed)
-        .map_err(SimError::BadWorkload)?
-        .gating(GatingMode::Ungated)
-        .cycle_limit(cfg.cycle_limit)
-        .engine(engine)
-        .run()?;
-    let gated = SimulationBuilder::new()
-        .processors(procs)
-        .topology(topology)
-        .workload_by_name(workload, cfg.scale, cfg.seed)
-        .map_err(SimError::BadWorkload)?
-        .gating(mode)
-        .cycle_limit(cfg.cycle_limit)
-        .engine(engine)
-        .run()?;
+    let ungated = run_one(
+        workload,
+        procs,
+        cfg,
+        GatingMode::Ungated,
+        engine,
+        topology,
+        ckpt.map(|spec| (spec, "ungated")),
+    )?;
+    let gated = run_one(
+        workload,
+        procs,
+        cfg,
+        mode,
+        engine,
+        topology,
+        ckpt.map(|spec| (spec, "gated")),
+    )?;
     Ok((ungated, gated))
 }
 
@@ -344,6 +422,7 @@ fn run_cell(
     cfg: &ExperimentConfig,
     engine: EngineKind,
     topology: TopologyConfig,
+    ckpt: Option<&MatrixCheckpoint>,
 ) -> Result<(MatrixCell, CellEnergyBreakdown), SimError> {
     let (ungated, gated) = run_pair(
         workload,
@@ -352,6 +431,7 @@ fn run_cell(
         GatingMode::ClockGate { w0: cfg.w0 },
         engine,
         topology,
+        ckpt,
     )?;
     let comparison = compare_runs(&ungated, &gated);
     let breakdown = CellEnergyBreakdown::new(workload, procs, ungated.ledger, gated.ledger.clone());
@@ -405,6 +485,28 @@ pub fn run_matrix_timed_on(
     engine: EngineKind,
     topology: TopologyConfig,
 ) -> Result<(EvaluationMatrix, MatrixTiming, EnergyBreakdownReport), SimError> {
+    run_matrix_timed_ckpt(cfg, engine, topology, None)
+}
+
+/// [`run_matrix_timed_on`] with optional on-disk checkpointing: each of the
+/// matrix's simulation runs checkpoints every [`MatrixCheckpoint::every`]
+/// cycles and auto-resumes from the newest valid checkpoint after a crash.
+/// The checkpoint directory is pre-flighted before any cell runs, so a
+/// future-format checkpoint file is a dedicated error up front (mirroring
+/// the sweep's schema gate) rather than a mid-matrix surprise.
+///
+/// Checkpointing does not change a single output byte: the resulting matrix,
+/// timing cell list and energy breakdown are identical to an uninterrupted
+/// [`run_matrix_timed_on`] run.
+pub fn run_matrix_timed_ckpt(
+    cfg: &ExperimentConfig,
+    engine: EngineKind,
+    topology: TopologyConfig,
+    ckpt: Option<&MatrixCheckpoint>,
+) -> Result<(EvaluationMatrix, MatrixTiming, EnergyBreakdownReport), SimError> {
+    if let Some(spec) = ckpt {
+        validate_checkpoint_dir(&spec.dir).map_err(|err| SimError::Checkpoint(err.to_string()))?;
+    }
     let params: Vec<(&str, usize)> = cfg
         .workloads
         .iter()
@@ -429,10 +531,11 @@ pub fn run_matrix_timed_on(
                     break;
                 };
                 let cell_started = Instant::now();
-                let result =
-                    run_cell(workload, procs, cfg, engine, topology).map(|(cell, breakdown)| {
+                let result = run_cell(workload, procs, cfg, engine, topology, ckpt).map(
+                    |(cell, breakdown)| {
                         (cell, breakdown, cell_started.elapsed().as_secs_f64() * 1e3)
-                    });
+                    },
+                );
                 slots.lock().expect("matrix worker poisoned the slots")[idx] = Some(result);
             });
         }
@@ -732,34 +835,51 @@ pub fn fig7_on(
     engine: EngineKind,
     topology: TopologyConfig,
 ) -> Result<Fig7Result, SimError> {
+    fig7_ckpt(cfg, w0_values, engine, topology, None)
+}
+
+/// [`fig7_on`] with optional on-disk checkpointing (see
+/// [`run_matrix_timed_ckpt`]). Checkpoint keys carry a `fig7-` prefix so the
+/// sweep can share a checkpoint directory with the evaluation matrix.
+pub fn fig7_ckpt(
+    cfg: &ExperimentConfig,
+    w0_values: &[Cycle],
+    engine: EngineKind,
+    topology: TopologyConfig,
+    ckpt: Option<&MatrixCheckpoint>,
+) -> Result<Fig7Result, SimError> {
+    if let Some(spec) = ckpt {
+        validate_checkpoint_dir(&spec.dir).map_err(|err| SimError::Checkpoint(err.to_string()))?;
+    }
     let mut rows = Vec::new();
     for &procs in &cfg.processor_counts {
         // Baselines per workload.
         let mut baselines = Vec::new();
         for workload in &cfg.workloads {
-            let ungated = SimulationBuilder::new()
-                .processors(procs)
-                .topology(topology)
-                .workload_by_name(workload, cfg.scale, cfg.seed)
-                .map_err(SimError::BadWorkload)?
-                .gating(GatingMode::Ungated)
-                .cycle_limit(cfg.cycle_limit)
-                .engine(engine)
-                .run()?;
+            let ungated = run_one(
+                workload,
+                procs,
+                cfg,
+                GatingMode::Ungated,
+                engine,
+                topology,
+                ckpt.map(|spec| (spec, "fig7-ungated")),
+            )?;
             baselines.push(ungated);
         }
         for &w0 in w0_values {
             let mut speedups = Vec::new();
+            let kind = format!("fig7-w{w0}");
             for (workload, ungated) in cfg.workloads.iter().zip(&baselines) {
-                let gated = SimulationBuilder::new()
-                    .processors(procs)
-                    .topology(topology)
-                    .workload_by_name(workload, cfg.scale, cfg.seed)
-                    .map_err(SimError::BadWorkload)?
-                    .gating(GatingMode::ClockGate { w0 })
-                    .cycle_limit(cfg.cycle_limit)
-                    .engine(engine)
-                    .run()?;
+                let gated = run_one(
+                    workload,
+                    procs,
+                    cfg,
+                    GatingMode::ClockGate { w0 },
+                    engine,
+                    topology,
+                    ckpt.map(|spec| (spec, kind.as_str())),
+                )?;
                 speedups.push(compare_runs(ungated, &gated).speedup);
             }
             let avg = speedups.iter().sum::<f64>() / speedups.len().max(1) as f64;

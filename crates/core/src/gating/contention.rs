@@ -17,6 +17,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use htm_sim::checkpoint::{CkptError, CkptReader, CkptWriter};
 use htm_sim::{Cycle, ProcId};
 
 /// `2^ceil(lg n)` — the smallest power of two that is ≥ `n`, with the paper's
@@ -49,6 +50,20 @@ pub trait ContentionPolicy: Send {
 
     /// `victim` woke up and finished its self-abort. Default: no-op.
     fn on_wake(&mut self, _victim: ProcId, _now: Cycle) {}
+
+    /// Serialize the policy's mutable state into a checkpoint payload. The
+    /// default writes nothing — correct for the stateless window formulas;
+    /// stateful policies ([`AdaptiveW0Policy`]) must override this *and*
+    /// [`ContentionPolicy::restore`] symmetrically, or a checkpoint-resumed
+    /// run diverges from the uninterrupted one.
+    fn snapshot(&self, _w: &mut CkptWriter) {}
+
+    /// Inverse of [`ContentionPolicy::snapshot`]: overwrite the mutable
+    /// state of a freshly constructed policy with the checkpointed values
+    /// (configuration comes from construction, not from the checkpoint).
+    fn restore(&mut self, _r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        Ok(())
+    }
 }
 
 /// The paper's gating-aware policy (Eq. 8).
@@ -206,6 +221,31 @@ impl ContentionPolicy for AdaptiveW0Policy {
             let new = old + ((obs_fp - old) >> 2);
             self.ewma_fp[victim] = new.max(1 << EWMA_FP_SHIFT) as u64;
         }
+    }
+
+    fn snapshot(&self, w: &mut CkptWriter) {
+        w.put_u64_slice(&self.ewma_fp);
+        w.put_usize(self.gate_start.len());
+        for slot in &self.gate_start {
+            w.put_opt_u64(*slot);
+        }
+    }
+
+    fn restore(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        let ewma = r.get_u64_vec()?;
+        let n = r.get_usize()?;
+        if ewma.len() != self.ewma_fp.len() || n != self.gate_start.len() {
+            return Err(CkptError::Corrupt(format!(
+                "adaptive-W0 state for {} processors restored into a machine with {}",
+                ewma.len().max(n),
+                self.ewma_fp.len()
+            )));
+        }
+        self.ewma_fp = ewma;
+        for slot in &mut self.gate_start {
+            *slot = r.get_opt_u64()?;
+        }
+        Ok(())
     }
 }
 

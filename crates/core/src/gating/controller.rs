@@ -26,6 +26,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use htm_sim::checkpoint::{CkptError, CkptReader, CkptWriter};
 use htm_sim::{Cycle, DirId, ProcId};
 use htm_tcc::hooks::{AbortAction, GateCommand, GatingHook, SystemView};
 use htm_tcc::txn::TxId;
@@ -112,6 +113,28 @@ impl GatingStats {
         self.ungate_different_tx += other.ungate_different_tx;
         self.ungate_null_reply += other.ungate_null_reply;
         self.stale_off_reconciled += other.stale_off_reconciled;
+    }
+
+    /// Serialize the counters into a checkpoint payload.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.put_u64(self.gatings);
+        w.put_u64(self.renewals);
+        w.put_u64(self.ungate_aborter_gone);
+        w.put_u64(self.ungate_different_tx);
+        w.put_u64(self.ungate_null_reply);
+        w.put_u64(self.stale_off_reconciled);
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        Ok(Self {
+            gatings: r.get_u64()?,
+            renewals: r.get_u64()?,
+            ungate_aborter_gone: r.get_u64()?,
+            ungate_different_tx: r.get_u64()?,
+            ungate_null_reply: r.get_u64()?,
+            stale_off_reconciled: r.get_u64()?,
+        })
     }
 }
 
@@ -322,6 +345,34 @@ impl GatingHook for ClockGateController {
             entry.turn_on();
             self.stats.stale_off_reconciled += 1;
         }
+    }
+
+    fn snapshot(&self, w: &mut CkptWriter) {
+        w.put_usize(self.tables.len());
+        for table in &self.tables {
+            table.save_ckpt(w);
+        }
+        self.stats.save_ckpt(w);
+        w.put_opt_u64(self.pending_min);
+        // The contention policy serializes last so the controller's framing
+        // stays fixed whatever the policy writes (possibly nothing).
+        self.policy.snapshot(w);
+    }
+
+    fn restore(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        let n = r.get_usize()?;
+        if n != self.tables.len() {
+            return Err(CkptError::Corrupt(format!(
+                "gating controller for {n} directories restored into a machine with {}",
+                self.tables.len()
+            )));
+        }
+        for table in &mut self.tables {
+            table.restore_ckpt(r)?;
+        }
+        self.stats = GatingStats::load_ckpt(r)?;
+        self.pending_min = r.get_opt_u64()?;
+        self.policy.restore(r)
     }
 }
 

@@ -11,6 +11,7 @@
 //! beyond that the victim falls back to exponential back-off at run power
 //! until it finally commits, which resets the ladder.
 
+use htm_sim::checkpoint::{CkptError, CkptReader, CkptWriter};
 use htm_sim::config::SimConfig;
 use htm_sim::{Cycle, DirId, ProcId};
 use htm_tcc::hooks::{AbortAction, GateCommand, GatingHook, SystemView};
@@ -118,6 +119,30 @@ impl GatingHook for HybridHook {
 
     fn on_proc_activity(&mut self, proc: ProcId, dir: DirId, now: Cycle) {
         self.inner.on_proc_activity(proc, dir, now);
+    }
+
+    fn snapshot(&self, w: &mut CkptWriter) {
+        w.put_usize(self.consecutive.len());
+        for &n in &self.consecutive {
+            w.put_u32(n);
+        }
+        w.put_u64(self.fallback_backoffs);
+        self.inner.snapshot(w);
+    }
+
+    fn restore(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        let n = r.get_usize()?;
+        if n != self.consecutive.len() {
+            return Err(CkptError::Corrupt(format!(
+                "hybrid ladder for {n} processors restored into a machine with {}",
+                self.consecutive.len()
+            )));
+        }
+        for slot in &mut self.consecutive {
+            *slot = r.get_u32()?;
+        }
+        self.fallback_backoffs = r.get_u64()?;
+        self.inner.restore(r)
     }
 }
 

@@ -132,6 +132,17 @@ impl GatingHook for Box<dyn PolicyHook> {
     fn on_proc_activity(&mut self, proc: ProcId, dir: DirId, now: Cycle) {
         (**self).on_proc_activity(proc, dir, now);
     }
+
+    fn snapshot(&self, w: &mut htm_sim::checkpoint::CkptWriter) {
+        (**self).snapshot(w);
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut htm_sim::checkpoint::CkptReader<'_>,
+    ) -> Result<(), htm_sim::checkpoint::CkptError> {
+        (**self).restore(r)
+    }
 }
 
 impl PolicyHook for NoGating {}

@@ -18,6 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use htm_sim::checkpoint::{CkptError, CkptReader, CkptWriter};
 use htm_sim::{Cycle, ProcId};
 use htm_tcc::txn::TxId;
 
@@ -83,6 +84,28 @@ impl GatingEntry {
     pub fn timer_expired(&self, now: Cycle) -> bool {
         self.off && now >= self.timer_expires
     }
+
+    /// Serialize the entry into a checkpoint payload.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.put_opt_usize(self.aborter_proc);
+        w.put_opt_u64(self.aborter_tx);
+        w.put_u32(self.abort_count);
+        w.put_u32(self.renew_count);
+        w.put_u64(self.timer_expires);
+        w.put_bool(self.off);
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        Ok(Self {
+            aborter_proc: r.get_opt_usize()?,
+            aborter_tx: r.get_opt_u64()?,
+            abort_count: r.get_u32()?,
+            renew_count: r.get_u32()?,
+            timer_expires: r.get_cycle()?,
+            off: r.get_bool()?,
+        })
+    }
 }
 
 /// The Fig. 1 table of one directory: one [`GatingEntry`] per processor.
@@ -120,6 +143,30 @@ impl GatingTable {
     /// Iterate over `(proc, entry)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ProcId, &GatingEntry)> {
         self.entries.iter().enumerate()
+    }
+
+    /// Serialize the whole table into a checkpoint payload.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.put_usize(self.entries.len());
+        for entry in &self.entries {
+            entry.save_ckpt(w);
+        }
+    }
+
+    /// Overwrite this table's entries from a checkpoint payload; the entry
+    /// count must match the machine the table was built for.
+    pub fn restore_ckpt(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        let n = r.get_usize()?;
+        if n != self.entries.len() {
+            return Err(CkptError::Corrupt(format!(
+                "gating table for {n} processors restored into a machine with {}",
+                self.entries.len()
+            )));
+        }
+        for entry in &mut self.entries {
+            *entry = GatingEntry::load_ckpt(r)?;
+        }
+        Ok(())
     }
 }
 

@@ -16,6 +16,7 @@
 //! (there are no renewals without a directory timer):
 //! `W = W0 · (2^⌈lg Na⌉ + 1)` for the victim's `Na`-th consecutive abort.
 
+use htm_sim::checkpoint::{CkptError, CkptReader, CkptWriter};
 use htm_sim::{Cycle, DirId, ProcId};
 use htm_tcc::hooks::{AbortAction, GatingHook, SystemView};
 use htm_tcc::txn::TxId;
@@ -77,6 +78,29 @@ impl GatingHook for ThrottleHook {
         // The throttled window is a processor-local countdown
         // (`Phase::Throttled`); the hook itself never acts spontaneously.
         None
+    }
+
+    fn snapshot(&self, w: &mut CkptWriter) {
+        w.put_usize(self.consecutive.len());
+        for &n in &self.consecutive {
+            w.put_u32(n);
+        }
+        w.put_u64(self.throttles);
+    }
+
+    fn restore(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        let n = r.get_usize()?;
+        if n != self.consecutive.len() {
+            return Err(CkptError::Corrupt(format!(
+                "throttle ladder for {n} processors restored into a machine with {}",
+                self.consecutive.len()
+            )));
+        }
+        for slot in &mut self.consecutive {
+            *slot = r.get_u32()?;
+        }
+        self.throttles = r.get_u64()?;
+        Ok(())
     }
 }
 

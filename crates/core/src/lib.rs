@@ -68,6 +68,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
 pub mod experiments;
 pub mod gating;
 pub mod islands;
@@ -75,6 +76,7 @@ pub mod report;
 pub mod sim;
 pub mod sweep;
 
+pub use checkpoint::{CheckpointConfig, CheckpointError, CheckpointRunInfo, ReplayReport};
 pub use gating::contention::{AdaptiveW0Policy, ContentionPolicy, FixedWindow, GatingAwarePolicy};
 pub use gating::controller::{ClockGateController, ControllerConfig, GatingStats};
 pub use gating::hybrid::HybridHook;

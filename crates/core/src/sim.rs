@@ -89,6 +89,7 @@ pub struct SimulationBuilder {
     power: PowerModelConfig,
     cycle_limit: Cycle,
     engine: EngineKind,
+    debug_perturb: bool,
 }
 
 impl Default for SimulationBuilder {
@@ -108,7 +109,23 @@ impl SimulationBuilder {
             power: PowerModelConfig::alpha_21264_65nm(),
             cycle_limit: DEFAULT_CYCLE_LIMIT,
             engine: EngineKind::default(),
+            debug_perturb: false,
         }
+    }
+
+    /// Plant the deliberate fast-engine accounting bug
+    /// ([`htm_tcc::system::TccSystem::debug_perturb_fast_accounting`]) into
+    /// the run. Exists solely so the divergence fuzz harness can prove, end
+    /// to end, that it detects a real engine-equivalence violation; never
+    /// set this outside that self-test. A perturbed run skips the
+    /// shard-parallel island fan-out so the planted bug is guaranteed to be
+    /// in the simulated machine (within one system the shard engine is the
+    /// fast-forward engine, so its batched accounting is perturbed too —
+    /// only the one-step-per-cycle naive engine stays ground truth).
+    #[must_use]
+    pub fn debug_perturb_fast_accounting(mut self) -> Self {
+        self.debug_perturb = true;
+        self
     }
 
     /// Use `n` processors (and `n` directories), keeping the other Table II
@@ -232,7 +249,7 @@ impl SimulationBuilder {
         // `run_bounded_parts` hands the hook back with the outcome, so the
         // controller statistics and the policy's uncore-charge declaration
         // come out directly. Both paths are bit-identical.
-        let islands_run = if engine == EngineKind::ShardParallel {
+        let islands_run = if engine == EngineKind::ShardParallel && !self.debug_perturb {
             crate::islands::run_shard_parallel(&self.config, &workload, self.mode, limit)?
         } else {
             None
@@ -241,30 +258,113 @@ impl SimulationBuilder {
             Some(run) => (run.outcome, run.gating, run.charges),
             None => {
                 let hook = self.mode.build(&self.config);
-                let (outcome, hook) =
-                    run_system(self.config.clone(), workload, hook, limit, engine)?;
+                let (outcome, hook) = run_system(
+                    self.config.clone(),
+                    workload,
+                    hook,
+                    limit,
+                    engine,
+                    self.debug_perturb,
+                )?;
                 (outcome, hook.gating_stats(), hook.uncore_charges())
             }
         };
+        Ok(assemble_report(label, &power, outcome, gating, charges))
+    }
 
-        let energy = energy::analyze(&outcome, &power.factors());
-        // The hook declares its own uncore activity (gating-table hardware
-        // presence and renewal-time `TxInfoReq` round-trips), so new
-        // policies are accounted uniformly without mode-specific knowledge
-        // here.
-        let uncore = UncoreActivity::from_outcome(
-            &outcome,
-            charges.gating_hardware,
-            charges.renewal_txinfo_roundtrips,
-        );
-        let ledger = ledger::analyze(&outcome, &power, uncore);
-        Ok(SimReport {
-            mode_label: label,
-            outcome,
-            energy,
-            ledger,
-            gating,
-        })
+    /// Run the simulation with periodic durable checkpoints, auto-resuming
+    /// from the newest valid checkpoint in `ckpt.dir` for `ckpt.key`.
+    ///
+    /// Produces a [`SimReport`] byte-identical to [`Self::run`] — taking and
+    /// resuming from checkpoints is bit-exact (see [`crate::checkpoint`]).
+    /// Under checkpointing the [`EngineKind::ShardParallel`] island fan-out
+    /// is skipped and the whole machine runs in-process: within one system
+    /// the shard engine *is* the fast-forward engine, so the report is
+    /// unchanged — there is simply one coherent machine state to snapshot.
+    pub fn run_checkpointed(
+        self,
+        ckpt: &crate::checkpoint::CheckpointConfig,
+    ) -> Result<(SimReport, crate::checkpoint::CheckpointRunInfo), crate::checkpoint::CheckpointError>
+    {
+        let workload = self.workload.ok_or_else(|| {
+            crate::checkpoint::CheckpointError::Sim(SimError::BadWorkload(
+                "no workload was provided".into(),
+            ))
+        })?;
+        let label = self.mode.label();
+        let (outcome, hook, info) = crate::checkpoint::run_checkpointed(
+            &self.config,
+            &workload,
+            || self.mode.build(&self.config),
+            self.engine,
+            self.cycle_limit,
+            ckpt,
+        )?;
+        let (gating, charges) = (hook.gating_stats(), hook.uncore_charges());
+        Ok((
+            assemble_report(label, &self.power, outcome, gating, charges),
+            info,
+        ))
+    }
+
+    /// Time travel: restore the nearest checkpoint of run `key` in `dir` at
+    /// or before `target` and fast-forward to exactly that cycle (see
+    /// [`crate::checkpoint::replay_to`]).
+    pub fn replay_to(
+        self,
+        dir: &std::path::Path,
+        key: &str,
+        target: Cycle,
+    ) -> Result<
+        (
+            crate::checkpoint::ReplayReport,
+            Vec<(std::path::PathBuf, String)>,
+        ),
+        crate::checkpoint::CheckpointError,
+    > {
+        let workload = self.workload.ok_or_else(|| {
+            crate::checkpoint::CheckpointError::Sim(SimError::BadWorkload(
+                "no workload was provided".into(),
+            ))
+        })?;
+        crate::checkpoint::replay_to(
+            &self.config,
+            &workload,
+            || self.mode.build(&self.config),
+            self.engine,
+            dir,
+            key,
+            target,
+        )
+    }
+}
+
+/// Assemble the final report from a run's raw parts (shared by the plain and
+/// the checkpointed runner so both produce byte-identical artifacts).
+fn assemble_report(
+    label: String,
+    power: &PowerModelConfig,
+    outcome: RunOutcome,
+    gating: Option<GatingStats>,
+    charges: crate::gating::policy::UncoreCharges,
+) -> SimReport {
+    let energy = energy::analyze(&outcome, &power.factors());
+    // The hook declares its own uncore activity (gating-table hardware
+    // presence and renewal-time `TxInfoReq` round-trips), so new
+    // policies are accounted uniformly without mode-specific knowledge
+    // here.
+    let uncore = UncoreActivity::from_outcome(
+        &outcome,
+        charges.gating_hardware,
+        charges.renewal_txinfo_roundtrips,
+    );
+    let ledger = ledger::analyze(&outcome, power, uncore);
+    SimReport {
+        mode_label: label,
+        outcome,
+        energy,
+        ledger,
+        gating,
     }
 }
 
@@ -276,8 +376,13 @@ fn run_system<H: GatingHook>(
     hook: H,
     limit: Cycle,
     engine: EngineKind,
+    debug_perturb: bool,
 ) -> Result<(RunOutcome, H), SimError> {
-    TccSystem::new(cfg, workload, hook)?.run_bounded_parts(limit, engine)
+    let mut system = TccSystem::new(cfg, workload, hook)?;
+    if debug_perturb {
+        system.debug_perturb_fast_accounting();
+    }
+    system.run_bounded_parts(limit, engine)
 }
 
 #[cfg(test)]

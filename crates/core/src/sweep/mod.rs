@@ -56,7 +56,10 @@ pub use pareto::{
     dominates, pareto_frontiers, pareto_frontiers_with, summarize_slices, ParetoPoint,
     SliceFrontier, SliceSummary, SweepObjective,
 };
-pub use runner::{run_sweep, run_sweep_on, run_sweep_with, SweepError, SweepOutcome};
+pub use runner::{
+    replay_cell_to, run_sweep, run_sweep_ckpt, run_sweep_on, run_sweep_with, SweepCheckpoint,
+    SweepError, SweepOutcome,
+};
 
 /// Version of the [`CellRecord`] layout written to `sweep.jsonl`. Version 2
 /// added the component-resolved ledger fields (per-component energies,

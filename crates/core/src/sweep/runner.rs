@@ -24,6 +24,7 @@ use serde::Serialize;
 
 use htm_power::ledger::{ComponentEnergy, ALL_COMPONENTS};
 use htm_sim::topology::TopologyConfig;
+use htm_sim::Cycle;
 use htm_tcc::system::{EngineKind, SimError};
 
 use super::grid::{SweepCell, SweepGrid};
@@ -31,6 +32,10 @@ use super::pareto::{
     pareto_frontiers_with, summarize_slices, SliceFrontier, SliceSummary, SweepObjective,
 };
 use super::{CellRecord, SCHEMA_VERSION};
+use crate::checkpoint::{
+    atomic_write_bytes, remove_checkpoints, validate_checkpoint_dir, CheckpointConfig,
+    CheckpointError,
+};
 use crate::report::{to_json, to_json_compact};
 use crate::sim::SimulationBuilder;
 
@@ -79,6 +84,17 @@ pub enum SweepError {
         /// The cell key the file recorded there.
         found: String,
     },
+    /// The on-disk checkpoint layer failed (`key` names the affected cell;
+    /// `None` means the pre-flight scan of the checkpoint directory failed
+    /// before any cell ran — e.g. it holds checkpoints of an incompatible
+    /// format version, mirroring [`SweepError::SchemaMismatch`] for
+    /// `sweep.jsonl`).
+    Checkpoint {
+        /// The cell whose checkpointing failed, if any.
+        key: Option<String>,
+        /// The underlying checkpoint error.
+        source: CheckpointError,
+    },
     /// Reading or writing an artifact failed.
     Io(std::io::Error),
     /// An existing `sweep.jsonl` line could not be parsed during resume.
@@ -126,6 +142,10 @@ impl std::fmt::Display for SweepError {
                 "cannot resume: {JSONL_NAME} line {line} records cell `{found}` where the \
                  grid expects `{expected}` (records must be the in-order prefix of the grid)"
             ),
+            SweepError::Checkpoint { key, source } => match key {
+                Some(key) => write!(f, "sweep cell `{key}` checkpointing failed: {source}"),
+                None => write!(f, "checkpoint directory pre-flight failed: {source}"),
+            },
             SweepError::Io(e) => write!(f, "sweep artifact I/O failed: {e}"),
             SweepError::Resume { line, message } => {
                 write!(f, "cannot resume: {JSONL_NAME} line {line}: {message}")
@@ -160,6 +180,7 @@ impl std::error::Error for SweepError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SweepError::Cell { source, .. } => Some(source),
+            SweepError::Checkpoint { source, .. } => Some(source),
             SweepError::Io(e) => Some(e),
             _ => None,
         }
@@ -308,13 +329,15 @@ pub fn cell_key_on(cell: &SweepCell, topology: TopologyConfig) -> String {
     }
 }
 
-/// Simulate one cell on the chosen engine and interconnect topology.
-pub fn run_cell_on(
+/// Configure a [`SimulationBuilder`] for one cell of the grid (shared by the
+/// plain and the checkpointed cell runners, which must build the identical
+/// machine).
+fn cell_builder(
     cell: &SweepCell,
     engine: EngineKind,
     topology: TopologyConfig,
-) -> Result<CellRecord, SimError> {
-    let report = SimulationBuilder::new()
+) -> Result<SimulationBuilder, SimError> {
+    Ok(SimulationBuilder::new()
         .processors(cell.procs)
         .topology(topology)
         // `l1_geometry` already re-derives the power model's TCC d-cache
@@ -325,11 +348,110 @@ pub fn run_cell_on(
         .map_err(SimError::BadWorkload)?
         .gating(cell.mode)
         .cycle_limit(cell.cycle_limit)
-        .engine(engine)
-        .run()?;
+        .engine(engine))
+}
+
+/// Simulate one cell on the chosen engine and interconnect topology.
+pub fn run_cell_on(
+    cell: &SweepCell,
+    engine: EngineKind,
+    topology: TopologyConfig,
+) -> Result<CellRecord, SimError> {
+    let report = cell_builder(cell, engine, topology)?.run()?;
     let mut record = CellRecord::from_report(cell, &report);
     record.key = cell_key_on(cell, topology);
     Ok(record)
+}
+
+/// Per-cell durable checkpointing for a sweep run: each cell writes a
+/// checkpoint of its simulator state into `dir` every `every` cycles under
+/// its [`cell_key_on`] identity, and a resumed sweep picks every in-flight
+/// cell up from its newest valid checkpoint instead of restarting it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepCheckpoint {
+    /// Directory holding the per-cell checkpoint files.
+    pub dir: PathBuf,
+    /// Checkpoint interval in simulated cycles.
+    pub every: Cycle,
+}
+
+/// Simulate one cell with durable checkpointing (see [`SweepCheckpoint`]).
+/// Corrupt checkpoint files and mid-run resumes are reported loudly on
+/// stderr; the checkpoints of a completed cell are deleted — its record is
+/// about to be durably appended to `sweep.jsonl`, which supersedes them.
+fn run_cell_ckpt_on(
+    cell: &SweepCell,
+    engine: EngineKind,
+    topology: TopologyConfig,
+    spec: &SweepCheckpoint,
+) -> Result<CellRecord, SweepError> {
+    let key = cell_key_on(cell, topology);
+    let builder = cell_builder(cell, engine, topology).map_err(|source| SweepError::Cell {
+        key: key.clone(),
+        source,
+    })?;
+    let ckpt = CheckpointConfig::new(&spec.dir, spec.every, key.clone());
+    let (report, info) =
+        builder
+            .run_checkpointed(&ckpt)
+            .map_err(|source| SweepError::Checkpoint {
+                key: Some(key.clone()),
+                source,
+            })?;
+    for (path, why) in &info.skipped {
+        eprintln!(
+            "sweep cell `{key}`: skipping corrupt checkpoint '{}': {why}",
+            path.display()
+        );
+    }
+    if let Some(cycle) = info.resumed_from {
+        eprintln!("sweep cell `{key}`: resumed from checkpoint at cycle {cycle}");
+    }
+    if let Err(e) = remove_checkpoints(&spec.dir, &key) {
+        // Leftover checkpoints are dead weight, not a correctness problem —
+        // the completed cell's record supersedes them on any future resume.
+        eprintln!("sweep cell `{key}`: could not clean up its checkpoints: {e}");
+    }
+    let mut record = CellRecord::from_report(cell, &report);
+    record.key = key;
+    Ok(record)
+}
+
+/// Time travel into one cell of a grid: restore the nearest checkpoint of
+/// the cell's [`cell_key_on`] identity at or before `target` from
+/// `ckpt_dir` and fast-forward the machine to exactly that cycle (see
+/// [`crate::checkpoint::replay_to`]). Returns the replay report and the
+/// corrupt checkpoint files skipped during the scan.
+pub fn replay_cell_to(
+    cell: &SweepCell,
+    engine: EngineKind,
+    topology: TopologyConfig,
+    ckpt_dir: &Path,
+    target: Cycle,
+) -> Result<(crate::checkpoint::ReplayReport, Vec<(PathBuf, String)>), SweepError> {
+    let key = cell_key_on(cell, topology);
+    let builder = cell_builder(cell, engine, topology).map_err(|source| SweepError::Cell {
+        key: key.clone(),
+        source,
+    })?;
+    builder
+        .replay_to(ckpt_dir, &key, target)
+        .map_err(|source| SweepError::Checkpoint {
+            key: Some(key),
+            source,
+        })
+}
+
+/// Render a `catch_unwind` payload for an error message: panics carry a
+/// `&str` or `String` when raised by `panic!`, but `panic_any` can throw any
+/// type — those are reported as non-string payloads instead of crashing the
+/// error path itself.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
 /// Parse an existing `sweep.jsonl` into records, in file order. Every line
@@ -337,8 +459,31 @@ pub fn run_cell_on(
 /// binaries (whose records lack the ledger fields) are rejected with the
 /// version story instead of a puzzling missing-field error or, worse, a
 /// silently diverging resumed artifact.
+///
+/// A **torn final line** — the file does not end in `\n` because the writer
+/// was killed mid-append — is *not* a corrupt file: it is exactly the state
+/// a crash leaves behind, and the record it belonged to was never complete.
+/// The torn tail is dropped, the file is truncated back to its last complete
+/// line, and the resume proceeds with the (one-shorter) prefix; the resumed
+/// run re-executes that cell and appends it again.
 fn read_completed(path: &Path) -> Result<Vec<CellRecord>, SweepError> {
-    let text = fs::read_to_string(path)?;
+    let bytes = fs::read(path)?;
+    let complete_len = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+    if complete_len < bytes.len() {
+        let file = fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(complete_len as u64)?;
+        file.sync_all()?;
+        eprintln!(
+            "{}: dropped a torn final line ({} bytes) left by an interrupted append",
+            path.display(),
+            bytes.len() - complete_len
+        );
+    }
+    let text =
+        String::from_utf8(bytes[..complete_len].to_vec()).map_err(|e| SweepError::Resume {
+            line: 0,
+            message: format!("not valid UTF-8: {e}"),
+        })?;
     let mut completed = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -457,9 +602,37 @@ pub fn run_sweep_on(
     objective: SweepObjective,
     topology: TopologyConfig,
 ) -> Result<SweepOutcome, SweepError> {
+    run_sweep_ckpt(grid, engine, out_dir, resume, objective, topology, None)
+}
+
+/// [`run_sweep_on`] with optional per-cell durable checkpointing: every cell
+/// snapshots its simulator state into `ckpt.dir` at `ckpt.every`-cycle
+/// intervals, and a resumed sweep restores each in-flight cell from its
+/// newest valid checkpoint instead of restarting it from cycle 0. The
+/// checkpoint directory is pre-flight scanned **before any cell runs**:
+/// checkpoints of an incompatible format version are a dedicated
+/// [`SweepError::Checkpoint`] error up front (mirroring the
+/// [`SweepError::SchemaMismatch`] gate on `sweep.jsonl`), while torn or
+/// corrupt files are skipped loudly when the affected cell resumes.
+/// Checkpointing never changes the artifacts — a checkpointed, killed and
+/// resumed sweep converges to the byte-identical files of an uninterrupted
+/// run.
+pub fn run_sweep_ckpt(
+    grid: &SweepGrid,
+    engine: EngineKind,
+    out_dir: &Path,
+    resume: bool,
+    objective: SweepObjective,
+    topology: TopologyConfig,
+    ckpt: Option<&SweepCheckpoint>,
+) -> Result<SweepOutcome, SweepError> {
     let cells = grid.expand();
     if cells.is_empty() {
         return Err(SweepError::EmptyGrid);
+    }
+    if let Some(spec) = ckpt {
+        validate_checkpoint_dir(&spec.dir)
+            .map_err(|source| SweepError::Checkpoint { key: None, source })?;
     }
     let keys: Vec<String> = cells.iter().map(|c| cell_key_on(c, topology)).collect();
     {
@@ -481,7 +654,7 @@ pub fn run_sweep_on(
         Vec::new()
     };
 
-    fs::write(out_dir.join(GRID_NAME), to_json(grid))?;
+    atomic_write_bytes(&out_dir.join(GRID_NAME), to_json(grid).as_bytes())?;
 
     // The recorded records are the first `skipped` cells of the grid; the
     // rest still need simulating, in grid order.
@@ -522,26 +695,22 @@ pub fn run_sweep_on(
                     // A panicking cell must still fill its slot — otherwise
                     // the in-order writer would wait on it forever and the
                     // sweep would deadlock instead of failing.
-                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        run_cell_on(cell, engine, topology)
-                    }));
+                    let caught =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match ckpt {
+                            None => run_cell_on(cell, engine, topology).map_err(|source| {
+                                SweepError::Cell {
+                                    key: cell_key_on(cell, topology),
+                                    source,
+                                }
+                            }),
+                            Some(spec) => run_cell_ckpt_on(cell, engine, topology, spec),
+                        }));
                     let result = match caught {
-                        Ok(Ok(record)) => Ok(record),
-                        Ok(Err(source)) => Err(SweepError::Cell {
+                        Ok(result) => result,
+                        Err(payload) => Err(SweepError::CellPanic {
                             key: cell_key_on(cell, topology),
-                            source,
+                            message: panic_message(payload.as_ref()),
                         }),
-                        Err(payload) => {
-                            let message = payload
-                                .downcast_ref::<&str>()
-                                .map(|s| (*s).to_string())
-                                .or_else(|| payload.downcast_ref::<String>().cloned())
-                                .unwrap_or_else(|| "non-string panic payload".to_string());
-                            Err(SweepError::CellPanic {
-                                key: cell_key_on(cell, topology),
-                                message,
-                            })
-                        }
                     };
                     slots.lock().expect("sweep worker poisoned the slots")[idx] = Some(result);
                     ready.notify_all();
@@ -564,7 +733,15 @@ pub fn run_sweep_on(
                 match result {
                     Ok(record) => {
                         let line = to_json_compact(&record);
-                        if let Err(e) = writeln!(writer, "{line}").and_then(|()| writer.flush()) {
+                        // Flush + fsync per record: a cell is simulated work
+                        // worth keeping, and a crash immediately after the
+                        // append must not lose it. A kill *during* the append
+                        // leaves a torn final line, which `read_completed`
+                        // drops on resume.
+                        if let Err(e) = writeln!(writer, "{line}")
+                            .and_then(|()| writer.flush())
+                            .and_then(|()| writer.get_ref().sync_data())
+                        {
                             abort.store(true, Ordering::Relaxed);
                             failure = Some(SweepError::Io(e));
                             break;
@@ -599,23 +776,28 @@ pub fn run_sweep_on(
     let pareto_path = out_dir.join(PARETO_NAME);
     let summary_path = out_dir.join(SUMMARY_NAME);
     let breakdown_path = out_dir.join(BREAKDOWN_NAME);
-    fs::write(
+    // The post-processed artifacts are written via temp file + fsync +
+    // atomic rename: a crash mid-write leaves either the previous complete
+    // artifact or the new one, never a truncated JSON file.
+    atomic_write_bytes(
         &pareto_path,
         to_json(&ParetoReport {
             grid: grid.name.clone(),
             objective: objective.label().to_string(),
             frontiers: frontiers.clone(),
-        }),
+        })
+        .as_bytes(),
     )?;
-    fs::write(
+    atomic_write_bytes(
         &summary_path,
         to_json(&SummaryReport {
             grid: grid.name.clone(),
             cells: cells.len(),
             slices: summaries.clone(),
-        }),
+        })
+        .as_bytes(),
     )?;
-    fs::write(
+    atomic_write_bytes(
         &breakdown_path,
         to_json(&SweepBreakdownReport {
             grid: grid.name.clone(),
@@ -623,7 +805,8 @@ pub fn run_sweep_on(
                 .iter()
                 .map(SweepCellBreakdown::from_record)
                 .collect(),
-        }),
+        })
+        .as_bytes(),
     )?;
 
     Ok(SweepOutcome {
@@ -1038,5 +1221,154 @@ mod tests {
         assert_eq!(resumed.executed, 0);
         let _ = fs::remove_dir_all(&dir_energy);
         let _ = fs::remove_dir_all(&dir_edp);
+    }
+
+    #[test]
+    fn torn_final_jsonl_line_is_dropped_and_resume_converges() {
+        let grid = tiny_grid();
+        let dir = test_dir("torn");
+        let fresh = run_sweep(&grid, EngineKind::FastForward, &dir, false).unwrap();
+        let jsonl = fs::read(&fresh.jsonl_path).unwrap();
+        let pareto = fs::read(&fresh.pareto_path).unwrap();
+
+        // Kill-mid-write: the file ends with the first complete line plus
+        // half of the second, with no trailing newline — exactly what a
+        // SIGKILL during the append leaves behind.
+        let text = String::from_utf8(jsonl.clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 2);
+        let torn = format!("{}\n{}", lines[0], &lines[1][..lines[1].len() / 2]);
+        fs::write(&fresh.jsonl_path, &torn).unwrap();
+
+        let resumed = run_sweep(&grid, EngineKind::FastForward, &dir, true).unwrap();
+        assert_eq!(resumed.skipped, 1, "only the complete line is a record");
+        assert_eq!(resumed.executed, lines.len() - 1);
+        assert_eq!(
+            fs::read(&resumed.jsonl_path).unwrap(),
+            jsonl,
+            "the resumed stream converges to the uninterrupted bytes"
+        );
+        assert_eq!(fs::read(&resumed.pareto_path).unwrap(), pareto);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_single_line_without_newline_resumes_from_scratch() {
+        let grid = tiny_grid();
+        let dir = test_dir("torn-first");
+        let fresh = run_sweep(&grid, EngineKind::FastForward, &dir, false).unwrap();
+        let jsonl = fs::read(&fresh.jsonl_path).unwrap();
+        // The very first append was interrupted: no newline anywhere.
+        let text = String::from_utf8(jsonl.clone()).unwrap();
+        let first = text.lines().next().unwrap();
+        fs::write(&fresh.jsonl_path, &first[..first.len() / 2]).unwrap();
+        let resumed = run_sweep(&grid, EngineKind::FastForward, &dir, true).unwrap();
+        assert_eq!(resumed.skipped, 0);
+        assert_eq!(fs::read(&resumed.jsonl_path).unwrap(), jsonl);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panic_messages_cover_str_string_and_non_string_payloads() {
+        let caught = std::panic::catch_unwind(|| std::panic::panic_any(42_u32)).unwrap_err();
+        let err = SweepError::CellPanic {
+            key: "cell".into(),
+            message: panic_message(caught.as_ref()),
+        };
+        assert_eq!(
+            err.to_string(),
+            "sweep cell `cell` panicked: non-string panic payload"
+        );
+
+        let caught = std::panic::catch_unwind(|| panic!("plain str")).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "plain str");
+
+        let caught = std::panic::catch_unwind(|| panic!("formatted {}", "string")).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "formatted string");
+    }
+
+    #[test]
+    fn checkpointed_sweep_matches_plain_artifacts_and_cleans_up() {
+        let grid = tiny_grid();
+        let dir_plain = test_dir("ckpt-plain");
+        let dir_ckpt = test_dir("ckpt-on");
+        let ckpt_dir = test_dir("ckpt-files");
+        run_sweep(&grid, EngineKind::FastForward, &dir_plain, false).unwrap();
+        run_sweep_ckpt(
+            &grid,
+            EngineKind::FastForward,
+            &dir_ckpt,
+            false,
+            SweepObjective::Energy,
+            TopologyConfig::Bus,
+            Some(&SweepCheckpoint {
+                dir: ckpt_dir.clone(),
+                every: 500,
+            }),
+        )
+        .unwrap();
+        for name in [JSONL_NAME, PARETO_NAME, SUMMARY_NAME, BREAKDOWN_NAME] {
+            assert_eq!(
+                fs::read(dir_plain.join(name)).unwrap(),
+                fs::read(dir_ckpt.join(name)).unwrap(),
+                "{name} must not depend on checkpointing"
+            );
+        }
+        // Completed cells delete their checkpoints: the records supersede
+        // them.
+        let leftovers: Vec<_> = fs::read_dir(&ckpt_dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert!(leftovers.is_empty(), "stale checkpoints: {leftovers:?}");
+        let _ = fs::remove_dir_all(&dir_plain);
+        let _ = fs::remove_dir_all(&dir_ckpt);
+        let _ = fs::remove_dir_all(&ckpt_dir);
+    }
+
+    #[test]
+    fn old_version_checkpoint_fails_before_any_cell_runs() {
+        let grid = tiny_grid();
+        let dir = test_dir("ckpt-version");
+        let ckpt_dir = test_dir("ckpt-version-files");
+        fs::create_dir_all(&ckpt_dir).unwrap();
+        // A checkpoint written by a future (or past) format version.
+        let stale = htm_sim::checkpoint::seal_with_version(
+            htm_sim::checkpoint::CHECKPOINT_VERSION + 1,
+            b"whatever",
+        );
+        fs::write(
+            crate::checkpoint::checkpoint_path(&ckpt_dir, "some-cell", 100),
+            stale,
+        )
+        .unwrap();
+        let err = run_sweep_ckpt(
+            &grid,
+            EngineKind::FastForward,
+            &dir,
+            false,
+            SweepObjective::Energy,
+            TopologyConfig::Bus,
+            Some(&SweepCheckpoint {
+                dir: ckpt_dir.clone(),
+                every: 500,
+            }),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                SweepError::Checkpoint {
+                    key: None,
+                    source: CheckpointError::UnsupportedVersion { .. },
+                }
+            ),
+            "{err}"
+        );
+        // The pre-flight gate fired before any cell ran — mirroring the
+        // SchemaMismatch gate, no sweep.jsonl was started.
+        assert!(!dir.join(JSONL_NAME).exists(), "no cell may have run");
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&ckpt_dir);
     }
 }

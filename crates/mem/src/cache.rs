@@ -14,6 +14,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use htm_sim::checkpoint::{CkptError, CkptReader, CkptWriter};
+
 use crate::addr::LineAddr;
 
 /// Outcome of a load/store lookup.
@@ -44,6 +46,32 @@ pub struct CacheStats {
     pub speculative_evictions: u64,
     /// Lines invalidated by directory invalidations.
     pub external_invalidations: u64,
+}
+
+impl CacheStats {
+    /// Serialize the counters into a checkpoint payload.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.put_u64(self.load_hits);
+        w.put_u64(self.load_misses);
+        w.put_u64(self.store_hits);
+        w.put_u64(self.store_misses);
+        w.put_u64(self.evictions);
+        w.put_u64(self.speculative_evictions);
+        w.put_u64(self.external_invalidations);
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        Ok(Self {
+            load_hits: r.get_u64()?,
+            load_misses: r.get_u64()?,
+            store_hits: r.get_u64()?,
+            store_misses: r.get_u64()?,
+            evictions: r.get_u64()?,
+            speculative_evictions: r.get_u64()?,
+            external_invalidations: r.get_u64()?,
+        })
+    }
 }
 
 /// State of one cache line (one way of one set).
@@ -306,6 +334,68 @@ impl SpecCache {
             }
             way.spec_read = false;
         }
+    }
+
+    /// Serialize the full cache state — geometry, every way (LRU timestamps
+    /// included) and the speculative-way stack verbatim, so replacement
+    /// decisions after a restore are identical to the uninterrupted run.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.put_usize(self.sets);
+        w.put_usize(self.assoc);
+        for way in &self.ways {
+            w.put_u64(way.line.0);
+            w.put_bool(way.valid);
+            w.put_bool(way.spec_read);
+            w.put_bool(way.spec_mod);
+            w.put_u64(way.last_touch);
+        }
+        w.put_u64(self.touch_clock);
+        w.put_usize(self.spec_ways.len());
+        for &idx in &self.spec_ways {
+            w.put_usize(idx);
+        }
+        self.stats.save_ckpt(w);
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        let sets = r.get_usize()?;
+        let assoc = r.get_usize()?;
+        if !sets.is_power_of_two() || assoc == 0 || sets.saturating_mul(assoc) > (1 << 30) {
+            return Err(CkptError::Corrupt(format!(
+                "implausible cache geometry {sets}x{assoc}"
+            )));
+        }
+        let mut ways = Vec::with_capacity(sets * assoc);
+        for _ in 0..sets * assoc {
+            ways.push(Way {
+                line: LineAddr(r.get_u64()?),
+                valid: r.get_bool()?,
+                spec_read: r.get_bool()?,
+                spec_mod: r.get_bool()?,
+                last_touch: r.get_u64()?,
+            });
+        }
+        let touch_clock = r.get_u64()?;
+        let n = r.get_usize()?;
+        let mut spec_ways = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let idx = r.get_usize()?;
+            if idx >= ways.len() {
+                return Err(CkptError::Corrupt(format!(
+                    "speculative way index {idx} out of range"
+                )));
+            }
+            spec_ways.push(idx);
+        }
+        Ok(Self {
+            sets,
+            assoc,
+            ways,
+            touch_clock,
+            spec_ways,
+            stats: CacheStats::load_ckpt(r)?,
+        })
     }
 
     /// Number of valid lines currently speculative (read or modified).

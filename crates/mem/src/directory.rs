@@ -14,6 +14,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use htm_sim::checkpoint::{CkptError, CkptReader, CkptWriter};
 use htm_sim::fxhash::{FxHashMap, FxHashSet};
 use htm_sim::{ProcId, ProcSet};
 
@@ -156,6 +157,66 @@ impl Directory {
     #[must_use]
     pub fn tracked_lines(&self) -> usize {
         self.lines.len()
+    }
+
+    /// Serialize the directory state into a checkpoint payload. Hash-map
+    /// contents are written in sorted line order: every operation on the maps
+    /// is order-commutative, so the sorted rebuild is behaviourally identical
+    /// to the original insertion order.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.put_usize(self.id);
+        w.put_usize(self.num_procs);
+        let mut lines: Vec<(&LineAddr, &LineEntry)> = self.lines.iter().collect();
+        lines.sort_by_key(|(line, _)| line.0);
+        w.put_usize(lines.len());
+        for (line, entry) in lines {
+            w.put_u64(line.0);
+            entry.sharers.save_ckpt(w);
+            w.put_opt_usize(entry.owner);
+        }
+        for set in &self.reader_sets {
+            let mut members: Vec<u64> = set.iter().map(|l| l.0).collect();
+            members.sort_unstable();
+            w.put_u64_slice(&members);
+        }
+        w.put_u64(self.stats.sharer_adds);
+        w.put_u64(self.stats.lines_committed);
+        w.put_u64(self.stats.invalidations_sent);
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        let id = r.get_usize()?;
+        let num_procs = r.get_usize()?;
+        if num_procs > htm_sim::MAX_PROCS {
+            return Err(CkptError::Corrupt(format!(
+                "directory with {num_procs} processors exceeds the bit-vector width"
+            )));
+        }
+        let n = r.get_usize()?;
+        let mut lines = FxHashMap::default();
+        for _ in 0..n {
+            let line = LineAddr(r.get_u64()?);
+            let sharers = ProcSet::load_ckpt(r)?;
+            let owner = r.get_opt_usize()?;
+            lines.insert(line, LineEntry { sharers, owner });
+        }
+        let mut reader_sets = Vec::with_capacity(num_procs);
+        for _ in 0..num_procs {
+            let members = r.get_u64_vec()?;
+            reader_sets.push(members.into_iter().map(LineAddr).collect::<FxHashSet<_>>());
+        }
+        Ok(Self {
+            id,
+            num_procs,
+            lines,
+            reader_sets,
+            stats: DirectoryStats {
+                sharer_adds: r.get_u64()?,
+                lines_committed: r.get_u64()?,
+                invalidations_sent: r.get_u64()?,
+            },
+        })
     }
 }
 

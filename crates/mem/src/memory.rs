@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use htm_sim::checkpoint::{CkptError, CkptReader, CkptWriter};
 use htm_sim::port::{PortStats, SinglePortResource};
 use htm_sim::Cycle;
 
@@ -74,6 +75,22 @@ impl MainMemory {
         let port_free = self.port.access(now);
         let started = port_free - self.port.latency();
         started + self.latency
+    }
+
+    /// Serialize the bank state into a checkpoint payload.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.put_u64(self.capacity_bytes);
+        w.put_u64(self.latency);
+        self.port.save_ckpt(w);
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        Ok(Self {
+            capacity_bytes: r.get_u64()?,
+            latency: r.get_u64()?,
+            port: SinglePortResource::load_ckpt(r)?,
+        })
     }
 
     /// Port statistics (accesses, busy cycles, queueing).

@@ -10,6 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::{CkptError, CkptReader, CkptWriter};
 use crate::{cycles_after, Cycle};
 
 /// Categories of bus transfers, used for statistics only.
@@ -48,6 +49,28 @@ impl BusStats {
     #[must_use]
     pub fn total_flits(&self) -> u64 {
         self.control_flits + self.data_flits
+    }
+
+    /// Serialize the tallies into a checkpoint payload.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.put_u64(self.control_transfers);
+        w.put_u64(self.data_transfers);
+        w.put_u64(self.busy_cycles);
+        w.put_u64(self.wait_cycles);
+        w.put_u64(self.control_flits);
+        w.put_u64(self.data_flits);
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        Ok(Self {
+            control_transfers: r.get_u64()?,
+            data_transfers: r.get_u64()?,
+            busy_cycles: r.get_u64()?,
+            wait_cycles: r.get_u64()?,
+            control_flits: r.get_u64()?,
+            data_flits: r.get_u64()?,
+        })
     }
 
     /// Add another channel's tallies into this one (used to aggregate the
@@ -104,6 +127,27 @@ impl SplitTransactionBus {
             cfg.bus_line_transfer_cycles(),
             cfg.bus_arbitration_latency,
         )
+    }
+
+    /// Serialize the channel state (release time, occupancy parameters and
+    /// tallies) into a checkpoint payload.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.put_u64(self.next_free);
+        w.put_u64(self.control_cycles);
+        w.put_u64(self.data_cycles);
+        w.put_u64(self.arbitration);
+        self.stats.save_ckpt(w);
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        Ok(Self {
+            next_free: r.get_u64()?,
+            control_cycles: r.get_u64()?,
+            data_cycles: r.get_u64()?,
+            arbitration: r.get_u64()?,
+            stats: BusStats::load_ckpt(r)?,
+        })
     }
 
     /// Request the bus at cycle `now` for a transfer of class `kind`.

@@ -20,6 +20,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::{CkptError, CkptReader, CkptWriter};
 use crate::Cycle;
 
 /// One run-length-encoded segment of the per-cycle population counts fed to
@@ -135,6 +136,42 @@ impl IntervalTracker {
         self.gate_weight[i] += cycles * gated as u64;
         self.throttle_weight[i] += cycles * throttled as u64;
         self.total_cycles += cycles;
+    }
+
+    /// Serialize the accumulated interval data into a checkpoint payload.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.put_usize(self.num_procs);
+        w.put_u64_slice(&self.x);
+        w.put_u64_slice(&self.miss_weight);
+        w.put_u64_slice(&self.commit_weight);
+        w.put_u64_slice(&self.gate_weight);
+        w.put_u64_slice(&self.throttle_weight);
+        w.put_u64(self.total_cycles);
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        let num_procs = r.get_usize()?;
+        let tracker = Self {
+            num_procs,
+            x: r.get_u64_vec()?,
+            miss_weight: r.get_u64_vec()?,
+            commit_weight: r.get_u64_vec()?,
+            gate_weight: r.get_u64_vec()?,
+            throttle_weight: r.get_u64_vec()?,
+            total_cycles: r.get_u64()?,
+        };
+        if tracker.x.len() != num_procs + 1
+            || tracker.miss_weight.len() != num_procs + 1
+            || tracker.commit_weight.len() != num_procs + 1
+            || tracker.gate_weight.len() != num_procs + 1
+            || tracker.throttle_weight.len() != num_procs + 1
+        {
+            return Err(CkptError::Corrupt(format!(
+                "interval tracker arrays do not match {num_procs} processors"
+            )));
+        }
+        Ok(tracker)
     }
 
     /// Build a tracker by replaying a segment log, e.g. the cycle-by-cycle

@@ -52,6 +52,7 @@
 use serde::{Deserialize, Serialize};
 
 pub mod bus;
+pub mod checkpoint;
 pub mod config;
 pub mod fxhash;
 pub mod interval;

@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::{CkptError, CkptReader, CkptWriter};
 use crate::{cycles_after, Cycle};
 
 /// Occupancy statistics of a single-ported resource.
@@ -19,6 +20,24 @@ pub struct PortStats {
     pub busy_cycles: u64,
     /// Total cycles requests waited for the port.
     pub queue_cycles: u64,
+}
+
+impl PortStats {
+    /// Serialize the tallies into a checkpoint payload.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.put_u64(self.accesses);
+        w.put_u64(self.busy_cycles);
+        w.put_u64(self.queue_cycles);
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        Ok(Self {
+            accesses: r.get_u64()?,
+            busy_cycles: r.get_u64()?,
+            queue_cycles: r.get_u64()?,
+        })
+    }
 }
 
 /// A resource that services one request at a time with a fixed latency.
@@ -38,6 +57,22 @@ impl SinglePortResource {
             next_free: 0,
             stats: PortStats::default(),
         }
+    }
+
+    /// Serialize the port state into a checkpoint payload.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.put_u64(self.latency);
+        w.put_u64(self.next_free);
+        self.stats.save_ckpt(w);
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        Ok(Self {
+            latency: r.get_u64()?,
+            next_free: r.get_u64()?,
+            stats: PortStats::load_ckpt(r)?,
+        })
     }
 
     /// Issue an access at cycle `now`; returns the completion cycle.

@@ -12,6 +12,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::checkpoint::{CkptError, CkptReader, CkptWriter};
 use crate::Cycle;
 
 /// Internal heap entry. Ordered by `(deliver_at, seq)` ascending; the
@@ -114,6 +115,49 @@ impl<T> TimedQueue<T> {
             out.push(msg);
         }
         out
+    }
+
+    /// Serialize the queue into a checkpoint payload; `save_payload` encodes
+    /// one message. Entries are written in delivery order — `(deliver_at,
+    /// seq)` ascending — with their original sequence numbers, so a reload
+    /// reproduces both the delivery schedule and the FIFO tie-breaking of
+    /// messages pushed after the restore point.
+    pub fn save_ckpt(&self, w: &mut CkptWriter, mut save_payload: impl FnMut(&mut CkptWriter, &T)) {
+        w.put_u64(self.next_seq);
+        w.put_usize(self.heap.len());
+        let mut entries: Vec<&Entry<T>> = self.heap.iter().collect();
+        entries.sort_by_key(|e| (e.deliver_at, e.seq));
+        for entry in entries {
+            w.put_u64(entry.deliver_at);
+            w.put_u64(entry.seq);
+            save_payload(w, &entry.payload);
+        }
+    }
+
+    /// Inverse of [`Self::save_ckpt`]; `load_payload` decodes one message.
+    pub fn load_ckpt(
+        r: &mut CkptReader<'_>,
+        mut load_payload: impl FnMut(&mut CkptReader<'_>) -> Result<T, CkptError>,
+    ) -> Result<Self, CkptError> {
+        let next_seq = r.get_u64()?;
+        let n = r.get_usize()?;
+        let mut heap = BinaryHeap::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let deliver_at = r.get_u64()?;
+            let seq = r.get_u64()?;
+            if seq >= next_seq {
+                return Err(CkptError::Corrupt(format!(
+                    "queue entry seq {seq} not below next_seq {next_seq}"
+                )));
+            }
+            let payload = load_payload(r)?;
+            heap.push(Entry {
+                deliver_at,
+                seq,
+                payload,
+            });
+        }
+        Ok(Self { heap, next_seq })
     }
 
     /// Delivery cycle of the earliest pending message if it lies strictly in

@@ -7,6 +7,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::{CkptError, CkptReader, CkptWriter};
+
 /// A monotonically increasing event counter.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Counter(u64);
@@ -35,6 +37,16 @@ impl Counter {
     #[must_use]
     pub fn get(self) -> u64 {
         self.0
+    }
+
+    /// Serialize into a checkpoint payload.
+    pub fn save_ckpt(self, w: &mut CkptWriter) {
+        w.put_u64(self.0);
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        Ok(Self(r.get_u64()?))
     }
 }
 
@@ -97,6 +109,24 @@ impl Summary {
         (self.count > 0).then_some(self.max)
     }
 
+    /// Serialize into a checkpoint payload (bit-exact, infinities included).
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.put_u64(self.count);
+        w.put_f64(self.sum);
+        w.put_f64(self.min);
+        w.put_f64(self.max);
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        Ok(Self {
+            count: r.get_u64()?,
+            sum: r.get_f64()?,
+            min: r.get_f64()?,
+            max: r.get_f64()?,
+        })
+    }
+
     /// Merge another summary into this one.
     pub fn merge(&mut self, other: &Summary) {
         if other.count == 0 {
@@ -152,6 +182,24 @@ impl Histogram {
     #[must_use]
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
+    }
+
+    /// Serialize into a checkpoint payload.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.put_u64_slice(&self.buckets);
+        w.put_u64(self.total);
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        let buckets = r.get_u64_vec()?;
+        if buckets.is_empty() {
+            return Err(CkptError::Corrupt("histogram with no buckets".into()));
+        }
+        Ok(Self {
+            buckets,
+            total: r.get_u64()?,
+        })
     }
 
     /// Mean of the recorded samples treating the saturating bucket at its

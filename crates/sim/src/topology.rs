@@ -28,6 +28,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::bus::{BusStats, BusTraffic, SplitTransactionBus};
+use crate::checkpoint::{CkptError, CkptReader, CkptWriter};
 use crate::config::SimConfig;
 use crate::{Cycle, DirId, ProcId};
 
@@ -159,6 +160,33 @@ pub enum LatencyModel {
 }
 
 impl LatencyModel {
+    /// Serialize into a checkpoint payload (tag byte + hop latency).
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        match *self {
+            LatencyModel::Crossbar { hop_cycles } => {
+                w.put_u8(0);
+                w.put_u64(hop_cycles);
+            }
+            LatencyModel::Mesh { hop_cycles } => {
+                w.put_u8(1);
+                w.put_u64(hop_cycles);
+            }
+        }
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        match r.get_u8()? {
+            0 => Ok(LatencyModel::Crossbar {
+                hop_cycles: r.get_u64()?,
+            }),
+            1 => Ok(LatencyModel::Mesh {
+                hop_cycles: r.get_u64()?,
+            }),
+            t => Err(CkptError::Corrupt(format!("invalid latency-model tag {t}"))),
+        }
+    }
+
     /// Default crossbar traversal latency (cycles).
     pub const DEFAULT_CROSSBAR_HOP: u64 = 2;
     /// Default per-hop mesh latency (cycles).
@@ -211,6 +239,30 @@ pub enum TopologyConfig {
 }
 
 impl TopologyConfig {
+    /// Serialize into a checkpoint payload (tag byte + per-variant fields).
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        match *self {
+            TopologyConfig::Bus => w.put_u8(0),
+            TopologyConfig::Sharded { banks, model } => {
+                w.put_u8(1);
+                w.put_usize(banks);
+                model.save_ckpt(w);
+            }
+        }
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        match r.get_u8()? {
+            0 => Ok(TopologyConfig::Bus),
+            1 => Ok(TopologyConfig::Sharded {
+                banks: r.get_usize()?,
+                model: LatencyModel::load_ckpt(r)?,
+            }),
+            t => Err(CkptError::Corrupt(format!("invalid topology tag {t}"))),
+        }
+    }
+
     /// The fully sharded default: one bank per directory over a crossbar.
     #[must_use]
     pub fn sharded_default() -> Self {
@@ -413,6 +465,39 @@ impl ShardedInterconnect {
         }
     }
 
+    /// Serialize the fabric's full state (bank channels, geometry and the
+    /// vendor-link tallies) into a checkpoint payload.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.put_usize(self.banks.len());
+        for bank in &self.banks {
+            bank.save_ckpt(w);
+        }
+        w.put_usize(self.num_dirs);
+        self.model.save_ckpt(w);
+        w.put_usize(self.mesh_side);
+        w.put_u64(self.control_cycles);
+        w.put_u64(self.data_cycles);
+        self.vendor_stats.save_ckpt(w);
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        let n = r.get_usize()?;
+        let mut banks = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            banks.push(SplitTransactionBus::load_ckpt(r)?);
+        }
+        Ok(Self {
+            banks,
+            num_dirs: r.get_usize()?,
+            model: LatencyModel::load_ckpt(r)?,
+            mesh_side: r.get_usize()?,
+            control_cycles: r.get_u64()?,
+            data_cycles: r.get_u64()?,
+            vendor_stats: BusStats::load_ckpt(r)?,
+        })
+    }
+
     /// Charge a transfer on the latency-only vendor link.
     fn vendor_transfer(&mut self, kind: BusTraffic) -> u64 {
         match kind {
@@ -496,6 +581,29 @@ pub enum Interconnect {
 }
 
 impl Interconnect {
+    /// Serialize the interconnect state (tag byte + variant payload).
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        match self {
+            Interconnect::Bus(b) => {
+                w.put_u8(0);
+                b.save_ckpt(w);
+            }
+            Interconnect::Sharded(s) => {
+                w.put_u8(1);
+                s.save_ckpt(w);
+            }
+        }
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        match r.get_u8()? {
+            0 => Ok(Interconnect::Bus(SplitTransactionBus::load_ckpt(r)?)),
+            1 => Ok(Interconnect::Sharded(ShardedInterconnect::load_ckpt(r)?)),
+            t => Err(CkptError::Corrupt(format!("invalid interconnect tag {t}"))),
+        }
+    }
+
     /// Instantiate the interconnect selected by `cfg.topology`.
     #[must_use]
     pub fn from_config(cfg: &SimConfig) -> Self {

@@ -17,6 +17,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use htm_mem::{Directory, LineAddr};
+use htm_sim::checkpoint::{CkptError, CkptReader, CkptWriter};
 use htm_sim::port::SinglePortResource;
 use htm_sim::{Cycle, ProcId, ProcSet};
 
@@ -64,6 +65,26 @@ impl DirCtrlStats {
         self.commit_busy_cycles += other.commit_busy_cycles;
         self.miss_lookups += other.miss_lookups;
         self.txinfo_roundtrips += other.txinfo_roundtrips;
+    }
+
+    /// Serialize into a checkpoint payload.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.put_u64(self.marks);
+        w.put_u64(self.grants);
+        w.put_u64(self.commit_busy_cycles);
+        w.put_u64(self.miss_lookups);
+        w.put_u64(self.txinfo_roundtrips);
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        Ok(Self {
+            marks: r.get_u64()?,
+            grants: r.get_u64()?,
+            commit_busy_cycles: r.get_u64()?,
+            miss_lookups: r.get_u64()?,
+            txinfo_roundtrips: r.get_u64()?,
+        })
     }
 }
 
@@ -240,6 +261,67 @@ impl DirCtrl {
     #[must_use]
     pub fn current_committer(&self) -> Option<ProcId> {
         self.busy.map(|(p, _)| p)
+    }
+
+    /// Serialize the full controller state (directory substrate, miss port,
+    /// marked table, commit occupancy, stats) into a checkpoint payload.
+    /// The marked table is written in `BTreeMap` order (ascending TID), which
+    /// is already canonical; `marked_bits` is recomputed on load from the
+    /// entries, so the cached OR can never drift from the table.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        self.directory.save_ckpt(w);
+        self.port.save_ckpt(w);
+        w.put_usize(self.marked.len());
+        for (&tid, &proc) in &self.marked {
+            w.put_u64(tid);
+            w.put_usize(proc);
+        }
+        match self.busy {
+            Some((proc, until)) => {
+                w.put_bool(true);
+                w.put_usize(proc);
+                w.put_u64(until);
+            }
+            None => w.put_bool(false),
+        }
+        self.stats.save_ckpt(w);
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        let directory = Directory::load_ckpt(r)?;
+        let port = SinglePortResource::load_ckpt(r)?;
+        let n = r.get_usize()?;
+        let mut marked = BTreeMap::new();
+        let mut marked_bits = ProcSet::empty();
+        for _ in 0..n {
+            let tid = r.get_u64()?;
+            let proc = r.get_usize()?;
+            if proc >= htm_sim::MAX_PROCS {
+                return Err(CkptError::Corrupt(format!(
+                    "marked processor id {proc} out of range"
+                )));
+            }
+            if marked.insert(tid, proc).is_some() {
+                return Err(CkptError::Corrupt(format!("duplicate marked TID {tid}")));
+            }
+            marked_bits.insert(proc);
+        }
+        let busy = if r.get_bool()? {
+            let proc = r.get_usize()?;
+            let until = r.get_cycle()?;
+            Some((proc, until))
+        } else {
+            None
+        };
+        Ok(Self {
+            directory,
+            port,
+            marked,
+            marked_bits,
+            busy,
+            stats: DirCtrlStats::load_ckpt(r)?,
+        })
     }
 
     /// Commit a batch of lines on behalf of `committer`; returns, per line,

@@ -10,6 +10,7 @@
 //! crate. [`NoGating`] is the ungated baseline used for the "without
 //! clock-gating" bars of Figs. 4–6.
 
+use htm_sim::checkpoint::{CkptError, CkptReader, CkptWriter};
 use htm_sim::{Cycle, DirId, ProcId, ProcSet};
 
 use crate::txn::TxId;
@@ -197,6 +198,20 @@ pub trait GatingHook {
     /// from a processor which is marked as off, the directory assumes that it
     /// has been turned on by some other directory").
     fn on_proc_activity(&mut self, _proc: ProcId, _dir: DirId, _now: Cycle) {}
+
+    /// Serialize the hook's mutable state into a checkpoint payload. The
+    /// default writes nothing — correct for stateless hooks ([`NoGating`]);
+    /// every stateful hook must override this *and* [`GatingHook::restore`]
+    /// symmetrically, or a resumed run diverges from the uninterrupted one.
+    fn snapshot(&self, _w: &mut CkptWriter) {}
+
+    /// Inverse of [`GatingHook::snapshot`]: overwrite the mutable state of a
+    /// freshly constructed hook with the checkpointed values. Configuration
+    /// (window constants, policy parameters) comes from construction, not
+    /// from the checkpoint.
+    fn restore(&mut self, _r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        Ok(())
+    }
 }
 
 /// The ungated baseline: every abort is an immediate retry, nothing is ever
@@ -274,6 +289,27 @@ impl GatingHook for ExponentialBackoff {
         // The back-off spin happens inside the processor (`Phase::Backoff`);
         // the hook itself never issues commands.
         None
+    }
+
+    fn snapshot(&self, w: &mut CkptWriter) {
+        w.put_usize(self.consecutive_aborts.len());
+        for &n in &self.consecutive_aborts {
+            w.put_u32(n);
+        }
+    }
+
+    fn restore(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        let n = r.get_usize()?;
+        if n != self.consecutive_aborts.len() {
+            return Err(CkptError::Corrupt(format!(
+                "backoff state for {n} processors restored into a machine with {}",
+                self.consecutive_aborts.len()
+            )));
+        }
+        for slot in &mut self.consecutive_aborts {
+            *slot = r.get_u32()?;
+        }
+        Ok(())
     }
 }
 

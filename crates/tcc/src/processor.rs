@@ -23,6 +23,7 @@
 use serde::{Deserialize, Serialize};
 
 use htm_mem::{LineAddr, SpecCache};
+use htm_sim::checkpoint::{CkptError, CkptReader, CkptWriter};
 use htm_sim::fxhash::FxHashSet;
 use htm_sim::queue::TimedQueue;
 use htm_sim::{Cycle, DirId, ProcId};
@@ -53,6 +54,46 @@ pub enum ProcEvent {
     },
 }
 
+impl ProcEvent {
+    /// Serialize into a checkpoint payload.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        match *self {
+            ProcEvent::Invalidation {
+                line,
+                dir,
+                aborter,
+                aborter_tx,
+            } => {
+                w.put_u8(0);
+                w.put_u64(line.0);
+                w.put_usize(dir);
+                w.put_usize(aborter);
+                w.put_u64(aborter_tx);
+            }
+            ProcEvent::TurnOn { dir } => {
+                w.put_u8(1);
+                w.put_usize(dir);
+            }
+        }
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        match r.get_u8()? {
+            0 => Ok(ProcEvent::Invalidation {
+                line: LineAddr(r.get_u64()?),
+                dir: r.get_usize()?,
+                aborter: r.get_usize()?,
+                aborter_tx: r.get_u64()?,
+            }),
+            1 => Ok(ProcEvent::TurnOn {
+                dir: r.get_usize()?,
+            }),
+            t => Err(CkptError::Corrupt(format!("unknown ProcEvent tag {t}"))),
+        }
+    }
+}
+
 /// One step of a commit plan: a directory and the write-set lines homed there.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CommitStep {
@@ -60,6 +101,29 @@ pub struct CommitStep {
     pub dir: DirId,
     /// Write-set lines homed at that directory.
     pub lines: Vec<LineAddr>,
+}
+
+impl CommitStep {
+    /// Serialize into a checkpoint payload (line order preserved verbatim —
+    /// the flush replays the lines in exactly this order).
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.put_usize(self.dir);
+        w.put_usize(self.lines.len());
+        for line in &self.lines {
+            w.put_u64(line.0);
+        }
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        let dir = r.get_usize()?;
+        let n = r.get_usize()?;
+        let mut lines = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            lines.push(LineAddr(r.get_u64()?));
+        }
+        Ok(Self { dir, lines })
+    }
 }
 
 /// What a processor does once its abort roll-back completes, decided by the
@@ -73,6 +137,33 @@ pub enum RetryAfter {
     /// Wait out the given window in the DVFS-reduced [`Phase::Throttled`]
     /// state first.
     Throttle(Cycle),
+}
+
+impl RetryAfter {
+    /// Serialize into a checkpoint payload.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        match *self {
+            RetryAfter::Immediately => w.put_u8(0),
+            RetryAfter::Backoff(c) => {
+                w.put_u8(1);
+                w.put_u64(c);
+            }
+            RetryAfter::Throttle(c) => {
+                w.put_u8(2);
+                w.put_u64(c);
+            }
+        }
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        match r.get_u8()? {
+            0 => Ok(RetryAfter::Immediately),
+            1 => Ok(RetryAfter::Backoff(r.get_cycle()?)),
+            2 => Ok(RetryAfter::Throttle(r.get_cycle()?)),
+            t => Err(CkptError::Corrupt(format!("unknown RetryAfter tag {t}"))),
+        }
+    }
 }
 
 /// Execution phase of a processor.
@@ -197,6 +288,118 @@ impl Phase {
                 | Phase::WaitToken { .. }
                 | Phase::SpinCommit { .. }
         )
+    }
+
+    /// Serialize into a checkpoint payload (one tag byte per variant plus the
+    /// variant's payload fields in declaration order).
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        match *self {
+            Phase::PreCompute { remaining } => {
+                w.put_u8(0);
+                w.put_u64(remaining);
+            }
+            Phase::Executing { op_idx, remaining } => {
+                w.put_u8(1);
+                w.put_usize(op_idx);
+                w.put_u64(remaining);
+            }
+            Phase::WaitMiss {
+                op_idx,
+                until,
+                line,
+                is_store,
+            } => {
+                w.put_u8(2);
+                w.put_usize(op_idx);
+                w.put_u64(until);
+                w.put_u64(line.0);
+                w.put_bool(is_store);
+            }
+            Phase::WaitToken { until } => {
+                w.put_u8(3);
+                w.put_u64(until);
+            }
+            Phase::SpinCommit { step_idx } => {
+                w.put_u8(4);
+                w.put_usize(step_idx);
+            }
+            Phase::Committing { step_idx, until } => {
+                w.put_u8(5);
+                w.put_usize(step_idx);
+                w.put_u64(until);
+            }
+            Phase::Aborting { until, then } => {
+                w.put_u8(6);
+                w.put_u64(until);
+                then.save_ckpt(w);
+            }
+            Phase::Backoff { until } => {
+                w.put_u8(7);
+                w.put_u64(until);
+            }
+            Phase::Throttled { until } => {
+                w.put_u8(8);
+                w.put_u64(until);
+            }
+            Phase::GateDraining { until } => {
+                w.put_u8(9);
+                w.put_u64(until);
+            }
+            Phase::Gated => w.put_u8(10),
+            Phase::WakeRestart { until } => {
+                w.put_u8(11);
+                w.put_u64(until);
+            }
+            Phase::Done => w.put_u8(12),
+        }
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        Ok(match r.get_u8()? {
+            0 => Phase::PreCompute {
+                remaining: r.get_u64()?,
+            },
+            1 => Phase::Executing {
+                op_idx: r.get_usize()?,
+                remaining: r.get_u64()?,
+            },
+            2 => Phase::WaitMiss {
+                op_idx: r.get_usize()?,
+                until: r.get_cycle()?,
+                line: LineAddr(r.get_u64()?),
+                is_store: r.get_bool()?,
+            },
+            3 => Phase::WaitToken {
+                until: r.get_cycle()?,
+            },
+            4 => Phase::SpinCommit {
+                step_idx: r.get_usize()?,
+            },
+            5 => Phase::Committing {
+                step_idx: r.get_usize()?,
+                until: r.get_cycle()?,
+            },
+            6 => Phase::Aborting {
+                until: r.get_cycle()?,
+                then: RetryAfter::load_ckpt(r)?,
+            },
+            7 => Phase::Backoff {
+                until: r.get_cycle()?,
+            },
+            8 => Phase::Throttled {
+                until: r.get_cycle()?,
+            },
+            9 => Phase::GateDraining {
+                until: r.get_cycle()?,
+            },
+            10 => Phase::Gated,
+            11 => Phase::WakeRestart {
+                until: r.get_cycle()?,
+            },
+            12 => Phase::Done,
+            t => return Err(CkptError::Corrupt(format!("unknown Phase tag {t}"))),
+        })
     }
 }
 
@@ -367,6 +570,88 @@ impl Processor {
             (Some(a), Some(b)) => Some(a.min(b)),
             (d, None) | (None, d) => d,
         }
+    }
+
+    /// Serialize everything except the thread trace itself (the trace is
+    /// immutable and is re-supplied by the caller on restore; a trace
+    /// fingerprint stored at the system level guards against mismatches).
+    ///
+    /// The speculative read/write/directory sets are written in sorted order:
+    /// their iteration order is never observable (the commit plan sorts the
+    /// write set before use, and per-directory cleanup operations commute),
+    /// so a canonical encoding keeps checkpoint bytes stable without
+    /// perturbing the simulation.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.put_usize(self.id);
+        w.put_usize(self.tx_idx);
+        self.phase.save_ckpt(w);
+        self.cache.save_ckpt(w);
+        let mut sorted_lines: Vec<u64> = self.read_set.iter().map(|l| l.0).collect();
+        sorted_lines.sort_unstable();
+        w.put_u64_slice(&sorted_lines);
+        sorted_lines = self.write_set.iter().map(|l| l.0).collect();
+        sorted_lines.sort_unstable();
+        w.put_u64_slice(&sorted_lines);
+        let mut sorted_dirs: Vec<DirId> = self.dirs_touched.iter().copied().collect();
+        sorted_dirs.sort_unstable();
+        w.put_usize(sorted_dirs.len());
+        for d in sorted_dirs {
+            w.put_usize(d);
+        }
+        w.put_usize(self.commit_plan.len());
+        for step in &self.commit_plan {
+            step.save_ckpt(w);
+        }
+        w.put_opt_u64(self.tid);
+        w.put_u64(self.aborts_this_tx);
+        w.put_u64(self.attempt_cycles);
+        self.inbox.save_ckpt(w, |w, ev| ev.save_ckpt(w));
+        self.stats.save_ckpt(w);
+        self.state_cycles.save_ckpt(w);
+        w.put_opt_u64(self.first_tx_start);
+    }
+
+    /// Restore the checkpointed state onto `self` (a freshly constructed
+    /// processor already holding the correct thread trace). Everything except
+    /// `id` and `thread` is overwritten.
+    pub fn restore_ckpt(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        let id = r.get_usize()?;
+        if id != self.id {
+            return Err(CkptError::Corrupt(format!(
+                "processor record {id} restored into slot {}",
+                self.id
+            )));
+        }
+        let tx_idx = r.get_usize()?;
+        if tx_idx > self.thread.transactions.len() {
+            return Err(CkptError::Corrupt(format!(
+                "processor {id} at transaction {tx_idx} but its thread has only {}",
+                self.thread.transactions.len()
+            )));
+        }
+        self.tx_idx = tx_idx;
+        self.phase = Phase::load_ckpt(r)?;
+        self.cache = SpecCache::load_ckpt(r)?;
+        self.read_set = r.get_u64_vec()?.into_iter().map(LineAddr).collect();
+        self.write_set = r.get_u64_vec()?.into_iter().map(LineAddr).collect();
+        let n_dirs = r.get_usize()?;
+        self.dirs_touched.clear();
+        for _ in 0..n_dirs {
+            self.dirs_touched.insert(r.get_usize()?);
+        }
+        let n_steps = r.get_usize()?;
+        self.commit_plan.clear();
+        for _ in 0..n_steps {
+            self.commit_plan.push(CommitStep::load_ckpt(r)?);
+        }
+        self.tid = r.get_opt_u64()?;
+        self.aborts_this_tx = r.get_u64()?;
+        self.attempt_cycles = r.get_u64()?;
+        self.inbox = TimedQueue::load_ckpt(r, ProcEvent::load_ckpt)?;
+        self.stats = ProcStats::load_ckpt(r)?;
+        self.state_cycles = StateCycles::load_ckpt(r)?;
+        self.first_tx_start = r.get_opt_u64()?;
+        Ok(())
     }
 }
 

@@ -10,6 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use htm_sim::bus::BusStats;
+use htm_sim::checkpoint::{CkptError, CkptReader, CkptWriter};
 use htm_sim::interval::IntervalTracker;
 use htm_sim::stats::Histogram;
 use htm_sim::Cycle;
@@ -69,6 +70,26 @@ impl StateCycles {
             PowerState::Throttled => self.throttled += cycles,
         }
     }
+
+    /// Serialize into a checkpoint payload.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.put_u64(self.run);
+        w.put_u64(self.miss);
+        w.put_u64(self.commit);
+        w.put_u64(self.gated);
+        w.put_u64(self.throttled);
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        Ok(Self {
+            run: r.get_u64()?,
+            miss: r.get_u64()?,
+            commit: r.get_u64()?,
+            gated: r.get_u64()?,
+            throttled: r.get_u64()?,
+        })
+    }
 }
 
 /// Protocol-level counters for a single processor.
@@ -106,6 +127,30 @@ impl ProcStats {
             useful_cycles: 0,
             aborts_per_tx: Histogram::new(16),
         }
+    }
+
+    /// Serialize into a checkpoint payload.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.put_u64(self.commits);
+        w.put_u64(self.aborts);
+        w.put_u64(self.gatings);
+        w.put_u64(self.backoff_cycles);
+        w.put_u64(self.wasted_cycles);
+        w.put_u64(self.useful_cycles);
+        self.aborts_per_tx.save_ckpt(w);
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        Ok(Self {
+            commits: r.get_u64()?,
+            aborts: r.get_u64()?,
+            gatings: r.get_u64()?,
+            backoff_cycles: r.get_u64()?,
+            wasted_cycles: r.get_u64()?,
+            useful_cycles: r.get_u64()?,
+            aborts_per_tx: Histogram::load_ckpt(r)?,
+        })
     }
 }
 

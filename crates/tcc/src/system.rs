@@ -16,6 +16,7 @@
 
 use htm_mem::{AddressMap, LineAddr, MainMemory, SpecCache};
 use htm_sim::bus::BusTraffic;
+use htm_sim::checkpoint::{CkptError, CkptReader, CkptWriter};
 use htm_sim::config::SimConfig;
 use htm_sim::interval::{IntervalSeg, IntervalTracker};
 use htm_sim::topology::{Interconnect, Node, Route, Topology, TopologyConfig};
@@ -26,7 +27,7 @@ use crate::hooks::{AbortAction, GateCommand, GatingHook, SystemView};
 use crate::processor::{CommitStep, Phase, ProcEvent, Processor, RetryAfter};
 use crate::stats::{PowerState, RunOutcome};
 use crate::token::TokenVendor;
-use crate::txn::{Op, WorkloadTrace};
+use crate::txn::{fingerprint_parts, Op, WorkloadTrace};
 
 /// Errors that can occur when constructing or running a simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +43,10 @@ pub enum SimError {
         /// The bound that was exceeded.
         limit: Cycle,
     },
+    /// A checkpoint payload could not be applied to this system: it was taken
+    /// on a different machine configuration or workload trace, or its state
+    /// records are internally inconsistent.
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -52,6 +57,7 @@ impl std::fmt::Display for SimError {
             SimError::CycleLimitExceeded { limit } => {
                 write!(f, "simulation exceeded the cycle limit of {limit}")
             }
+            SimError::Checkpoint(msg) => write!(f, "cannot restore checkpoint: {msg}"),
         }
     }
 }
@@ -177,6 +183,13 @@ pub struct TccSystem<H: GatingHook> {
     /// engine's incremental structures (construction, naive steps); the
     /// next `plan_step` rebuilds them once.
     fast_state_stale: bool,
+    /// Fault-injection switch for the divergence harness's self-test: when
+    /// set, [`Self::flush_accounting`] under-counts `attempt_cycles` by one
+    /// on every batched `Executing` span of at least 4 cycles. The naive
+    /// engine settles accounting cycle by cycle (span 1), so only the
+    /// fast-forward engine is affected — a deliberately planted
+    /// engine-equivalence bug the fuzz harness must be able to catch.
+    perturb_accounting: bool,
     /// When enabled ([`Self::enable_interval_log`]), a run-length-encoded
     /// copy of every interval record, coalescing adjacent segments with
     /// identical counts. The island-parallel runner sums per-lane logs
@@ -262,6 +275,7 @@ impl<H: GatingHook> TccSystem<H> {
             done_count,
             // The first fast plan populates the event queue and counters.
             fast_state_stale: true,
+            perturb_accounting: false,
             interval_log: None,
         };
         // Populate the hook-visible snapshot once; from here on the engines
@@ -348,6 +362,192 @@ impl<H: GatingHook> TccSystem<H> {
         }
     }
 
+    /// Plant the deliberate fast-engine accounting bug (see the
+    /// `perturb_accounting` field). Exists solely so the divergence fuzz
+    /// harness can prove, end to end, that it detects a real
+    /// engine-equivalence violation and shrinks it to a minimal trace.
+    pub fn debug_perturb_fast_accounting(&mut self) {
+        self.perturb_accounting = true;
+    }
+
+    // ----- checkpointing ---------------------------------------------------------
+
+    /// Serialize the complete machine state at the current cycle into a raw
+    /// checkpoint payload (frame it with [`htm_sim::checkpoint::seal`] before
+    /// writing to disk).
+    ///
+    /// Every processor's lazy accounting backlog is settled first. Settling
+    /// early is bit-exact: the skipped window `[acct_until[i], now)` is spent
+    /// in one unchanged phase, and every batched update (state-cycle sums,
+    /// `attempt_cycles`, countdown decrements, the `first_tx_start` stamp at
+    /// the window's start) splits additively — so flushing now and flushing
+    /// the remainder later yields exactly what one deferred flush would have.
+    /// A checkpoint therefore observes — and a resumed run continues from —
+    /// the same state the uninterrupted run passes through.
+    pub fn save_checkpoint(&mut self) -> Vec<u8> {
+        for i in 0..self.procs.len() {
+            self.flush_accounting(i, self.now);
+            self.acct_until[i] = self.now;
+        }
+        let mut w = CkptWriter::new();
+        self.cfg.save_ckpt(&mut w);
+        w.put_str(&self.workload_name);
+        w.put_u64(fingerprint_parts(
+            &self.workload_name,
+            self.procs.iter().map(|p| &p.thread),
+        ));
+        w.put_u64(self.now);
+        w.put_u64(self.last_commit_end);
+        self.intervals.save_ckpt(&mut w);
+        w.put_usize(self.procs.len());
+        for p in &self.procs {
+            p.save_ckpt(&mut w);
+        }
+        w.put_usize(self.dirs.len());
+        for d in &self.dirs {
+            d.save_ckpt(&mut w);
+        }
+        self.token.save_ckpt(&mut w);
+        self.net.save_ckpt(&mut w);
+        w.put_usize(self.memory_banks.len());
+        for m in &self.memory_banks {
+            m.save_ckpt(&mut w);
+        }
+        match &self.interval_log {
+            Some(log) => {
+                w.put_bool(true);
+                w.put_usize(log.len());
+                for seg in log {
+                    w.put_u64(seg.cycles);
+                    w.put_usize(seg.gated);
+                    w.put_usize(seg.missing);
+                    w.put_usize(seg.committing);
+                    w.put_usize(seg.throttled);
+                }
+            }
+            None => w.put_bool(false),
+        }
+        self.hook.snapshot(&mut w);
+        w.into_payload()
+    }
+
+    /// Rebuild a system from a checkpoint payload produced by
+    /// [`Self::save_checkpoint`].
+    ///
+    /// `cfg`, `workload` and `hook` must be the same values the checkpointed
+    /// run was constructed with — the payload carries the configuration, the
+    /// workload name and a full trace fingerprint, and restoring refuses to
+    /// proceed on any mismatch (resuming against a different machine or trace
+    /// would silently produce garbage). The hook must be freshly constructed
+    /// with its original parameters; its mutable state is overwritten through
+    /// [`GatingHook::restore`].
+    pub fn restore_checkpoint(
+        cfg: SimConfig,
+        workload: WorkloadTrace,
+        hook: H,
+        payload: &[u8],
+    ) -> Result<Self, SimError> {
+        let expect_fp = workload.fingerprint();
+        let expect_name = workload.name.clone();
+        let mut sys = Self::new(cfg, workload, hook)?;
+        let mut r = CkptReader::new(payload);
+        fn ck(e: CkptError) -> SimError {
+            SimError::Checkpoint(format!("corrupt checkpoint payload: {e}"))
+        }
+
+        let saved_cfg = SimConfig::load_ckpt(&mut r).map_err(ck)?;
+        if saved_cfg != sys.cfg {
+            return Err(SimError::Checkpoint(
+                "checkpoint was taken on a different machine configuration".into(),
+            ));
+        }
+        let name = r.get_str().map_err(ck)?;
+        let fp = r.get_u64().map_err(ck)?;
+        if name != expect_name || fp != expect_fp {
+            return Err(SimError::Checkpoint(format!(
+                "checkpoint belongs to workload '{name}' (fingerprint {fp:#018x}), \
+                 not the supplied '{expect_name}' (fingerprint {expect_fp:#018x})"
+            )));
+        }
+        let now = r.get_cycle().map_err(ck)?;
+        let last_commit_end = r.get_cycle().map_err(ck)?;
+        let intervals = IntervalTracker::load_ckpt(&mut r).map_err(ck)?;
+        let n_procs = r.get_usize().map_err(ck)?;
+        if n_procs != sys.procs.len() {
+            return Err(SimError::Checkpoint(format!(
+                "checkpoint holds {n_procs} processors but the machine has {}",
+                sys.procs.len()
+            )));
+        }
+        for proc in &mut sys.procs {
+            proc.restore_ckpt(&mut r).map_err(ck)?;
+        }
+        let n_dirs = r.get_usize().map_err(ck)?;
+        if n_dirs != sys.dirs.len() {
+            return Err(SimError::Checkpoint(format!(
+                "checkpoint holds {n_dirs} directories but the machine has {}",
+                sys.dirs.len()
+            )));
+        }
+        for (d, slot) in sys.dirs.iter_mut().enumerate() {
+            *slot = DirCtrl::load_ckpt(&mut r).map_err(ck)?;
+            if slot.id() != d {
+                return Err(SimError::Checkpoint(format!(
+                    "directory record {} restored into slot {d}",
+                    slot.id()
+                )));
+            }
+        }
+        sys.token = TokenVendor::load_ckpt(&mut r).map_err(ck)?;
+        sys.net = Interconnect::load_ckpt(&mut r).map_err(ck)?;
+        let n_banks = r.get_usize().map_err(ck)?;
+        if n_banks != sys.memory_banks.len() {
+            return Err(SimError::Checkpoint(format!(
+                "checkpoint holds {n_banks} memory banks but the machine has {}",
+                sys.memory_banks.len()
+            )));
+        }
+        for bank in &mut sys.memory_banks {
+            *bank = MainMemory::load_ckpt(&mut r).map_err(ck)?;
+        }
+        sys.interval_log = if r.get_bool().map_err(ck)? {
+            let n = r.get_usize().map_err(ck)?;
+            let mut log = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                log.push(IntervalSeg {
+                    cycles: r.get_u64().map_err(ck)?,
+                    gated: r.get_usize().map_err(ck)?,
+                    missing: r.get_usize().map_err(ck)?,
+                    committing: r.get_usize().map_err(ck)?,
+                    throttled: r.get_usize().map_err(ck)?,
+                });
+            }
+            Some(log)
+        } else {
+            None
+        };
+        sys.hook.restore(&mut r).map_err(ck)?;
+        r.expect_end().map_err(ck)?;
+
+        sys.now = now;
+        sys.last_commit_end = last_commit_end;
+        sys.intervals = intervals;
+        // Derived engine state: accounting was settled to `now` at save time,
+        // the event queue / spin mask / population counters are rebuilt by
+        // the next fast plan, and the hook-visible view is refreshed here so
+        // naive stepping (which reads it before the first rebuild) sees a
+        // current snapshot. Extra or missing *stale* queue entries never
+        // change behaviour — entries are validated on pop and a conservative
+        // (shorter) jump is always exact — so the rebuilt structures are
+        // observably identical to the uninterrupted run's.
+        sys.acct_until = vec![now; n_procs];
+        sys.done_count = sys.procs.iter().filter(|p| p.is_done()).count();
+        sys.fast_state_stale = true;
+        sys.view_dirty = ProcSet::empty();
+        sys.refresh_view();
+        Ok(sys)
+    }
+
     /// Whether every processor has finished, in O(1) (maintained by the
     /// engines; [`Self::all_done`] is the O(procs) sweep).
     #[must_use]
@@ -375,6 +575,24 @@ impl<H: GatingHook> TccSystem<H> {
                 }
                 StepPlan::Cycle { active, hook_due } => self.step_cycle(active, hook_due),
                 StepPlan::Quiescent => self.fast_forward(target - self.now),
+            }
+        }
+    }
+
+    /// Engine-aware variant of [`Self::advance_until`]: the naive reference
+    /// engine grinds one exact cycle at a time, the fast-forward and
+    /// shard-parallel engines jump (within one system the shard engine *is*
+    /// the fast-forward engine; the island fan-out happens in the runner).
+    /// All three stop at exactly `target` unless the run completes first, so
+    /// a checkpoint taken at the boundary observes the same state whichever
+    /// engine drove the machine there.
+    pub fn advance_until_engine(&mut self, target: Cycle, engine: EngineKind) {
+        match engine {
+            EngineKind::FastForward | EngineKind::ShardParallel => self.advance_until(target),
+            EngineKind::Naive => {
+                while self.done_count < self.procs.len() && self.now < target {
+                    self.step_naive();
+                }
             }
         }
     }
@@ -714,7 +932,11 @@ impl<H: GatingHook> TccSystem<H> {
                 if proc.first_tx_start.is_none() {
                     proc.first_tx_start = Some(from);
                 }
-                proc.attempt_cycles += span;
+                proc.attempt_cycles += if self.perturb_accounting && span >= 4 {
+                    span - 1
+                } else {
+                    span
+                };
                 *remaining -= span;
             }
             Phase::WaitMiss { .. }
@@ -1345,7 +1567,7 @@ impl<H: GatingHook> TccSystem<H> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::hooks::NoGating;
+    use crate::hooks::{ExponentialBackoff, NoGating};
     use crate::txn::{Op, ThreadTrace, Transaction};
 
     fn cfg(procs: usize) -> SimConfig {
@@ -1673,6 +1895,160 @@ mod tests {
         let outcome = sys.finish();
         assert_eq!(outcome.total_commits, 1);
         outcome.check_consistency().unwrap();
+    }
+
+    fn ckpt_workload() -> WorkloadTrace {
+        let tx = |id: u64| Transaction::new(id, vec![Op::Read(0), Op::Compute(50), Op::Write(0)]);
+        WorkloadTrace::new(
+            "ckpt",
+            vec![
+                ThreadTrace::new(vec![tx(1), tx(2), tx(3)]),
+                ThreadTrace::new(vec![tx(11), tx(12), tx(13)]),
+            ],
+        )
+    }
+
+    fn ckpt_hook() -> ExponentialBackoff {
+        ExponentialBackoff::new(2, 16, 4)
+    }
+
+    #[test]
+    fn checkpoint_resumed_run_equals_uninterrupted_run() {
+        let (reference, _) = TccSystem::new(cfg(2), ckpt_workload(), ckpt_hook())
+            .unwrap()
+            .run_bounded_parts(2_000_000, EngineKind::FastForward)
+            .unwrap();
+        // Checkpoint at several mid-run cycles, including awkward ones that
+        // land inside miss stalls and commit arbitration.
+        for t in [1, 37, 256, 1000, 3000] {
+            let mut sys = TccSystem::new(cfg(2), ckpt_workload(), ckpt_hook()).unwrap();
+            sys.advance_until(t);
+            let saved_at = sys.now();
+            let payload = sys.save_checkpoint();
+            let resumed =
+                TccSystem::restore_checkpoint(cfg(2), ckpt_workload(), ckpt_hook(), &payload)
+                    .unwrap();
+            assert_eq!(resumed.now(), saved_at);
+            let (outcome, _) = resumed
+                .run_bounded_parts(2_000_000, EngineKind::FastForward)
+                .unwrap();
+            assert_eq!(outcome, reference, "resume at cycle {t} diverged");
+        }
+    }
+
+    #[test]
+    fn checkpoint_resumed_run_equals_uninterrupted_run_naive_engine() {
+        let (reference, _) = TccSystem::new(cfg(2), ckpt_workload(), ckpt_hook())
+            .unwrap()
+            .run_bounded_parts(2_000_000, EngineKind::Naive)
+            .unwrap();
+        let mut sys = TccSystem::new(cfg(2), ckpt_workload(), ckpt_hook()).unwrap();
+        while sys.now() < 700 && !sys.is_complete() {
+            sys.step_naive();
+        }
+        let payload = sys.save_checkpoint();
+        let resumed =
+            TccSystem::restore_checkpoint(cfg(2), ckpt_workload(), ckpt_hook(), &payload).unwrap();
+        let (outcome, _) = resumed
+            .run_bounded_parts(2_000_000, EngineKind::Naive)
+            .unwrap();
+        assert_eq!(outcome, reference);
+    }
+
+    #[test]
+    fn taking_a_checkpoint_does_not_perturb_the_run() {
+        let (reference, _) = TccSystem::new(cfg(2), ckpt_workload(), ckpt_hook())
+            .unwrap()
+            .run_bounded_parts(2_000_000, EngineKind::FastForward)
+            .unwrap();
+        let mut sys = TccSystem::new(cfg(2), ckpt_workload(), ckpt_hook()).unwrap();
+        // Save (and discard) checkpoints repeatedly while the run proceeds:
+        // the early accounting flush must be invisible.
+        for t in [100, 400, 900, 1600] {
+            sys.advance_until(t);
+            let _ = sys.save_checkpoint();
+        }
+        let (outcome, _) = sys
+            .run_bounded_parts(2_000_000, EngineKind::FastForward)
+            .unwrap();
+        assert_eq!(outcome, reference);
+    }
+
+    #[test]
+    fn checkpoint_payload_is_deterministic() {
+        let make = || {
+            let mut sys = TccSystem::new(cfg(2), ckpt_workload(), ckpt_hook()).unwrap();
+            sys.advance_until(900);
+            sys.save_checkpoint()
+        };
+        assert_eq!(make(), make(), "identical runs must serialize identically");
+    }
+
+    #[test]
+    fn restore_rejects_wrong_workload() {
+        let mut sys = TccSystem::new(cfg(2), ckpt_workload(), ckpt_hook()).unwrap();
+        sys.advance_until(500);
+        let payload = sys.save_checkpoint();
+        let mut other = ckpt_workload();
+        other.threads[0].transactions[0].ops[0] = Op::Read(64);
+        let err = TccSystem::restore_checkpoint(cfg(2), other, ckpt_hook(), &payload)
+            .err()
+            .unwrap();
+        assert!(matches!(err, SimError::Checkpoint(_)), "{err}");
+    }
+
+    #[test]
+    fn restore_rejects_wrong_config() {
+        let mut sys = TccSystem::new(cfg(2), ckpt_workload(), ckpt_hook()).unwrap();
+        sys.advance_until(500);
+        let payload = sys.save_checkpoint();
+        let mut other_cfg = cfg(2);
+        other_cfg.l1_hit_latency += 1;
+        let err = TccSystem::restore_checkpoint(other_cfg, ckpt_workload(), ckpt_hook(), &payload)
+            .err()
+            .unwrap();
+        assert!(matches!(err, SimError::Checkpoint(_)), "{err}");
+    }
+
+    #[test]
+    fn restore_rejects_truncated_payload() {
+        let mut sys = TccSystem::new(cfg(2), ckpt_workload(), ckpt_hook()).unwrap();
+        sys.advance_until(500);
+        let payload = sys.save_checkpoint();
+        let err = TccSystem::restore_checkpoint(
+            cfg(2),
+            ckpt_workload(),
+            ckpt_hook(),
+            &payload[..payload.len() - 3],
+        )
+        .err()
+        .unwrap();
+        assert!(matches!(err, SimError::Checkpoint(_)), "{err}");
+    }
+
+    #[test]
+    fn perturbed_fast_engine_diverges_from_naive() {
+        // The planted accounting bug must be observable (the divergence
+        // harness's self-test depends on it) and must only affect the
+        // fast-forward engine.
+        let run = |engine: EngineKind, perturb: bool| {
+            let mut sys = TccSystem::new(cfg(2), ckpt_workload(), NoGating).unwrap();
+            if perturb {
+                sys.debug_perturb_fast_accounting();
+            }
+            sys.run_bounded_parts(2_000_000, engine).unwrap().0
+        };
+        let naive = run(EngineKind::Naive, true);
+        assert_eq!(
+            naive,
+            run(EngineKind::Naive, false),
+            "naive engine settles accounting every cycle, so the bug is dormant there"
+        );
+        let fast = run(EngineKind::FastForward, true);
+        assert_ne!(
+            fast, naive,
+            "the planted bug must make the fast engine observably diverge"
+        );
     }
 
     #[test]

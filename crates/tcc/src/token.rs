@@ -20,6 +20,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use htm_sim::checkpoint::{CkptError, CkptReader, CkptWriter};
 use htm_sim::port::SinglePortResource;
 use htm_sim::{Cycle, ProcId};
 
@@ -114,6 +115,26 @@ impl TokenVendor {
         } else {
             self.port.next_deadline(now)
         }
+    }
+
+    /// Serialize the vendor state into a checkpoint payload.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.put_u64(self.next_tid);
+        self.port.save_ckpt(w);
+        w.put_u64(self.issued);
+        w.put_bool(self.pipelined);
+        w.put_u64(self.latency);
+    }
+
+    /// Inverse of [`Self::save_ckpt`].
+    pub fn load_ckpt(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        Ok(Self {
+            next_tid: r.get_u64()?,
+            port: SinglePortResource::load_ckpt(r)?,
+            issued: r.get_u64()?,
+            pipelined: r.get_bool()?,
+            latency: r.get_u64()?,
+        })
     }
 }
 

@@ -16,6 +16,7 @@
 use serde::{Deserialize, Serialize};
 
 use htm_mem::Addr;
+use htm_sim::checkpoint::Fnv64;
 
 /// Identifier of a *static* transaction (the paper uses the PC of the
 /// instruction that started the transaction; 64 bits, per Section III).
@@ -178,6 +179,15 @@ impl WorkloadTrace {
         self.threads.iter().map(ThreadTrace::len).sum()
     }
 
+    /// Order-sensitive FNV-1a fingerprint of the full trace (name, thread
+    /// structure, every operation). The checkpoint layer stores this next to
+    /// the machine state and refuses to resume against a workload whose
+    /// fingerprint differs: a resumed run replays the *same* trace or none.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint_parts(&self.name, self.threads.iter())
+    }
+
     /// Largest byte address referenced anywhere in the workload, if any
     /// memory operation exists. Used to validate against the memory capacity.
     #[must_use]
@@ -192,6 +202,46 @@ impl WorkloadTrace {
             })
             .max()
     }
+}
+
+/// [`WorkloadTrace::fingerprint`] over loose parts: the system holds the
+/// per-thread traces inside its processors after construction, so the
+/// checkpoint writer hashes them through this shared helper instead of
+/// reassembling a `WorkloadTrace`.
+#[must_use]
+pub fn fingerprint_parts<'a>(
+    name: &str,
+    threads: impl ExactSizeIterator<Item = &'a ThreadTrace>,
+) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(name.len() as u64);
+    h.write(name.as_bytes());
+    h.write_u64(threads.len() as u64);
+    for thread in threads {
+        h.write_u64(thread.transactions.len() as u64);
+        for tx in &thread.transactions {
+            h.write_u64(tx.tx_id);
+            h.write_u64(tx.pre_compute);
+            h.write_u64(tx.ops.len() as u64);
+            for op in &tx.ops {
+                match op {
+                    Op::Read(a) => {
+                        h.write_u64(0);
+                        h.write_u64(*a);
+                    }
+                    Op::Write(a) => {
+                        h.write_u64(1);
+                        h.write_u64(*a);
+                    }
+                    Op::Compute(c) => {
+                        h.write_u64(2);
+                        h.write_u64(*c);
+                    }
+                }
+            }
+        }
+    }
+    h.finish()
 }
 
 #[cfg(test)]
@@ -259,6 +309,24 @@ mod tests {
         assert_eq!(w.num_threads(), 2);
         assert_eq!(w.total_transactions(), 3);
         assert_eq!(w.name, "toy");
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_traces() {
+        let base = WorkloadTrace::new("toy", vec![ThreadTrace::new(vec![sample_tx()])]);
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+        let renamed = WorkloadTrace::new("toy2", vec![ThreadTrace::new(vec![sample_tx()])]);
+        assert_ne!(base.fingerprint(), renamed.fingerprint());
+        let mut mutated = base.clone();
+        mutated.threads[0].transactions[0].ops[0] = Op::Read(65);
+        assert_ne!(base.fingerprint(), mutated.fingerprint());
+        let mut retagged = base.clone();
+        retagged.threads[0].transactions[0].ops[0] = Op::Write(64);
+        assert_ne!(
+            base.fingerprint(),
+            retagged.fingerprint(),
+            "op kind is part of the identity even at the same address"
+        );
     }
 
     #[test]
