@@ -30,6 +30,10 @@
 //! * `--timing` writes a `BENCH_reproduce.json` artifact with the wall-clock
 //!   time of every matrix cell and the cells/second rate, so engine and
 //!   parallelisation speedups are recorded next to the scientific output.
+//! * `--trace FILE` drives the matrix targets from a recorded `htmtrace`
+//!   file instead of the synthetic generators; `--record-trace FILE --from
+//!   NAME[:PROCS[:SCALE[:SEED[:xTILES]]]]` produces such a file (see
+//!   `docs/REPRODUCING.md`, "Bring your own trace").
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -75,6 +79,21 @@ fn usage() -> ! {
          \x20 --scale-smoke   large-machine CI gate: tiny workloads (clustered,\n\
          \x20                 genome, intruder) on 64 processors; combine with\n\
          \x20                 --topology/--engine to exercise the sharded fabric\n\
+         \x20 --trace FILE    drive the matrix targets from a recorded htmtrace\n\
+         \x20                 file instead of the synthetic generators: the\n\
+         \x20                 trace becomes the only workload (on its recorded\n\
+         \x20                 processor count) and is streamed through a\n\
+         \x20                 fingerprint-verified bounded-memory reader; a\n\
+         \x20                 corrupt, truncated or future-format file is a\n\
+         \x20                 pre-flight error (exit 2); excludes --smoke,\n\
+         \x20                 --scale-smoke and --quick\n\
+         \x20 --record-trace FILE  record a workload as an htmtrace file and\n\
+         \x20                 exit; the source is --from\n\
+         \x20 --from SPEC     what --record-trace records, as\n\
+         \x20                 NAME[:PROCS[:SCALE[:SEED[:xTILES]]]] with defaults\n\
+         \x20                 4:test:42:x1 (e.g. `zipfian:8:full:7:x40`; xTILES\n\
+         \x20                 repeats every thread's transaction sequence to\n\
+         \x20                 build arbitrarily long traces)\n\
          \x20 --out DIR       write each produced table/figure as DIR/<name>.json;\n\
          \x20                 matrix targets additionally write the per-component\n\
          \x20                 energy_breakdown.json ledger artifact\n\
@@ -119,6 +138,74 @@ fn parse_cycles(flag: &str, value: Option<String>) -> u64 {
     }
 }
 
+/// What `--record-trace` records: a registered workload generator plus the
+/// tiling factor that repeats each thread's transaction sequence.
+struct RecordSpec {
+    name: String,
+    procs: usize,
+    scale: htm_workloads::WorkloadScale,
+    seed: u64,
+    tiles: usize,
+}
+
+/// Parse a `--from NAME[:PROCS[:SCALE[:SEED[:xTILES]]]]` spec, exiting with
+/// an actionable message on any malformed segment.
+fn parse_record_spec(spec: &str) -> RecordSpec {
+    fn bad(spec: &str, why: &str) -> ! {
+        eprintln!(
+            "--from: `{spec}`: {why}\n\
+             expected NAME[:PROCS[:SCALE[:SEED[:xTILES]]]], e.g. `intruder`, \
+             `zipfian:8:full:7:x40` (SCALE is test, small or full)"
+        );
+        std::process::exit(2);
+    }
+    let mut parts = spec.split(':');
+    let name = parts.next().unwrap_or_default().to_string();
+    if name.is_empty() {
+        bad(spec, "missing workload name");
+    }
+    let mut out = RecordSpec {
+        name,
+        procs: 4,
+        scale: htm_workloads::WorkloadScale::Test,
+        seed: 42,
+        tiles: 1,
+    };
+    if let Some(procs) = parts.next() {
+        match procs.parse::<usize>() {
+            Ok(n) if n > 0 => out.procs = n,
+            _ => bad(spec, "PROCS must be a positive integer"),
+        }
+    }
+    if let Some(scale) = parts.next() {
+        out.scale = match scale {
+            "test" => htm_workloads::WorkloadScale::Test,
+            "small" => htm_workloads::WorkloadScale::Small,
+            "full" => htm_workloads::WorkloadScale::Full,
+            _ => bad(spec, "SCALE must be test, small or full"),
+        };
+    }
+    if let Some(seed) = parts.next() {
+        match seed.parse::<u64>() {
+            Ok(n) => out.seed = n,
+            Err(_) => bad(spec, "SEED must be an unsigned integer"),
+        }
+    }
+    if let Some(tiles) = parts.next() {
+        match tiles.strip_prefix('x').map(str::parse::<usize>) {
+            Some(Ok(n)) if n > 0 => out.tiles = n,
+            _ => bad(
+                spec,
+                "TILES must be a positive integer prefixed with `x`, e.g. `x40`",
+            ),
+        }
+    }
+    if parts.next().is_some() {
+        bad(spec, "too many `:`-separated segments");
+    }
+    out
+}
+
 /// Write one table/figure JSON artifact, creating the directory on demand.
 fn write_artifact(dir: &Path, name: &str, json: &str) {
     if let Err(e) = std::fs::create_dir_all(dir) {
@@ -144,6 +231,9 @@ fn main() {
     let mut out_dir: Option<PathBuf> = None;
     let mut checkpoint_every: Option<u64> = None;
     let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut record_path: Option<PathBuf> = None;
+    let mut record_from: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -176,6 +266,27 @@ fn main() {
                 Some(dir) => out_dir = Some(PathBuf::from(dir)),
                 None => usage(),
             },
+            "--trace" => match args.next() {
+                Some(path) => trace_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--trace needs a file path (a recorded htmtrace file)");
+                    std::process::exit(2);
+                }
+            },
+            "--record-trace" => match args.next() {
+                Some(path) => record_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--record-trace needs an output file path");
+                    std::process::exit(2);
+                }
+            },
+            "--from" => match args.next() {
+                Some(spec) => record_from = Some(spec),
+                None => {
+                    eprintln!("--from needs a workload spec: NAME[:PROCS[:SCALE[:SEED[:xTILES]]]]");
+                    std::process::exit(2);
+                }
+            },
             "--checkpoint-every" => {
                 let every = parse_cycles("--checkpoint-every", args.next());
                 if every == 0 {
@@ -194,6 +305,46 @@ fn main() {
             "-h" | "--help" => usage(),
             other => targets.push(other.to_string()),
         }
+    }
+    // Trace recording is its own mode: write the file and exit.
+    if let Some(path) = record_path {
+        let Some(spec) = record_from else {
+            eprintln!("--record-trace needs --from NAME[:PROCS[:SCALE[:SEED[:xTILES]]]]");
+            std::process::exit(2);
+        };
+        if trace_path.is_some() {
+            eprintln!("--record-trace and --trace are mutually exclusive");
+            std::process::exit(2);
+        }
+        let spec = parse_record_spec(&spec);
+        let Some(workload) = htm_workloads::by_name(&spec.name, spec.procs, spec.scale, spec.seed)
+        else {
+            eprintln!(
+                "--from: unknown workload `{}` (available: {})",
+                spec.name,
+                htm_workloads::workload_names().join(", ")
+            );
+            std::process::exit(2);
+        };
+        let workload = workload.tiled(spec.tiles);
+        if let Err(e) = htm_workloads::trace::record_to_path(&path, &workload) {
+            eprintln!("--record-trace {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!(
+            "recorded `{}` ({} threads, {} transactions, {} memory references, fingerprint {:016x}) -> {}",
+            workload.name,
+            workload.num_threads(),
+            workload.total_transactions(),
+            workload.total_memory_refs(),
+            workload.fingerprint(),
+            path.display()
+        );
+        return;
+    }
+    if record_from.is_some() {
+        eprintln!("--from does nothing without --record-trace FILE");
+        std::process::exit(2);
     }
     if targets.is_empty() {
         targets.push("all".to_string());
@@ -219,7 +370,7 @@ fn main() {
     let all = targets.iter().any(|t| t == "all");
     let wants = |name: &str| all || targets.iter().any(|t| t == name);
 
-    let cfg = if scale_smoke {
+    let mut cfg = if scale_smoke {
         ExperimentConfig {
             processor_counts: vec![64],
             workloads: ["clustered", "genome", "intruder"]
@@ -243,6 +394,40 @@ fn main() {
     } else {
         ExperimentConfig::default()
     };
+    // A recorded trace replaces the synthetic workload axis entirely: the
+    // matrix runs the trace (under its fingerprinted axis name) on exactly
+    // the processor count it was recorded with.
+    let trace: Option<clockgate_htm::sweep::TraceWorkload> = trace_path.map(|path| {
+        if smoke || scale_smoke || quick {
+            eprintln!(
+                "--trace is mutually exclusive with --smoke/--scale-smoke/--quick: \
+                 those presets fix their own workload lists"
+            );
+            std::process::exit(2);
+        }
+        let loaded = match htm_workloads::trace::read_from_path(&path) {
+            Ok(loaded) => loaded,
+            Err(e) => {
+                eprintln!("--trace {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        };
+        let trace = clockgate_htm::sweep::TraceWorkload::from_loaded(&loaded);
+        eprintln!(
+            "trace {}: workload `{}`, {} threads, {} transactions, {} memory references, \
+             fingerprint {:016x} -> axis `{}`",
+            path.display(),
+            loaded.workload.name,
+            loaded.workload.num_threads(),
+            loaded.workload.total_transactions(),
+            loaded.workload.total_memory_refs(),
+            loaded.fingerprint,
+            trace.axis_name
+        );
+        cfg.workloads = vec![trace.axis_name.clone()];
+        cfg.processor_counts = vec![loaded.workload.num_threads()];
+        trace
+    });
     if (smoke || scale_smoke) && out_dir.is_none() {
         out_dir = Some(PathBuf::from("reproduce-out"));
     }
@@ -313,14 +498,19 @@ fn main() {
                 spec.dir.display()
             );
         }
-        let (matrix, matrix_timing, breakdown) =
-            match experiments::run_matrix_timed_ckpt(&cfg, engine, topology, ckpt.as_ref()) {
-                Ok(results) => results,
-                Err(err) => {
-                    eprintln!("the evaluation matrix failed: {err}");
-                    std::process::exit(1);
-                }
-            };
+        let (matrix, matrix_timing, breakdown) = match experiments::run_matrix_timed_ckpt_traced(
+            &cfg,
+            engine,
+            topology,
+            ckpt.as_ref(),
+            trace.as_ref(),
+        ) {
+            Ok(results) => results,
+            Err(err) => {
+                eprintln!("the evaluation matrix failed: {err}");
+                std::process::exit(1);
+            }
+        };
         eprintln!(
             "matrix completed: {} cells in {:.1} ms on {} threads ({:.1} cells/s)",
             matrix_timing.cells.len(),
@@ -382,14 +572,20 @@ fn main() {
     if wants("fig7") {
         eprintln!("running the W0 sensitivity sweep...");
         let w0_values = [1, 2, 4, 8, 16, 32, 64];
-        let f: Fig7Result =
-            match experiments::fig7_ckpt(&cfg, &w0_values, engine, topology, ckpt.as_ref()) {
-                Ok(result) => result,
-                Err(err) => {
-                    eprintln!("the fig7 sweep failed: {err}");
-                    std::process::exit(1);
-                }
-            };
+        let f: Fig7Result = match experiments::fig7_ckpt_traced(
+            &cfg,
+            &w0_values,
+            engine,
+            topology,
+            ckpt.as_ref(),
+            trace.as_ref(),
+        ) {
+            Ok(result) => result,
+            Err(err) => {
+                eprintln!("the fig7 sweep failed: {err}");
+                std::process::exit(1);
+            }
+        };
         if json {
             outln!("{}", report::to_json(&f));
         } else {

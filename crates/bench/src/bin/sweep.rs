@@ -44,8 +44,8 @@ macro_rules! outln {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sweep --grid NAME [--out DIR] [--engine fast|naive|shard] [--topology T] [--objective O] [--resume]\n\
-         \x20            [--checkpoint-every N] [--checkpoint-dir D] [--replay-to CYCLE --replay-key KEY]\n\
+        "usage: sweep --grid NAME | --trace FILE [--out DIR] [--engine fast|naive|shard] [--topology T] [--objective O]\n\
+         \x20            [--resume] [--checkpoint-every N] [--checkpoint-dir D] [--replay-to CYCLE --replay-key KEY]\n\
          \x20            [--list] [--list-policies]\n\
          \n\
          Expand a sensitivity grid, simulate every cell in parallel, stream\n\
@@ -54,7 +54,14 @@ fn usage() -> ! {
          processor-count) slice under the chosen objective.\n\
          \n\
          options:\n\
-         \x20 --grid NAME     grid to run: {names} (required unless --list)\n\
+         \x20 --grid NAME     grid to run: {names} (required unless --list/--trace)\n\
+         \x20 --trace FILE    sweep a recorded htmtrace file instead of a named\n\
+         \x20                 grid: the trace becomes the single workload-axis\n\
+         \x20                 entry (named trace-<workload>-<fp8> after its\n\
+         \x20                 fingerprint) and is swept over the trio of gating\n\
+         \x20                 modes; a corrupt or truncated file is a pre-flight\n\
+         \x20                 error, and --resume against records from any other\n\
+         \x20                 trace or grid is rejected as foreign\n\
          \x20 --out DIR       artifact directory (default sweep-out/<grid>)\n\
          \x20 --engine E      stepping engine: fast (default), naive, or shard\n\
          \x20                 (shard-parallel islands on host threads);\n\
@@ -123,6 +130,7 @@ fn list_grids() {
 
 fn main() {
     let mut grid_name: Option<String> = None;
+    let mut trace_path: Option<PathBuf> = None;
     let mut out_dir: Option<PathBuf> = None;
     let mut engine = EngineKind::FastForward;
     let mut topology = TopologyConfig::Bus;
@@ -138,6 +146,13 @@ fn main() {
             "--grid" => match args.next() {
                 Some(name) => grid_name = Some(name),
                 None => usage(),
+            },
+            "--trace" => match args.next() {
+                Some(path) => trace_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--trace needs a file path (a recorded htmtrace file)");
+                    std::process::exit(2);
+                }
             },
             "--out" => match args.next() {
                 Some(dir) => out_dir = Some(PathBuf::from(dir)),
@@ -191,13 +206,43 @@ fn main() {
             _ => usage(),
         }
     }
-    let Some(grid_name) = grid_name else { usage() };
-    let Some(grid) = SweepGrid::by_name(&grid_name) else {
-        eprintln!(
-            "unknown grid `{grid_name}` (available: {})",
-            sweep::grid::GRID_NAMES.join(", ")
-        );
-        std::process::exit(2);
+    let (grid, trace) = match (grid_name, trace_path) {
+        (Some(_), Some(_)) => {
+            eprintln!("--grid and --trace are mutually exclusive; pass one workload source");
+            std::process::exit(2);
+        }
+        (None, None) => usage(),
+        (Some(grid_name), None) => {
+            let Some(grid) = SweepGrid::by_name(&grid_name) else {
+                eprintln!(
+                    "unknown grid `{grid_name}` (available: {})",
+                    sweep::grid::GRID_NAMES.join(", ")
+                );
+                std::process::exit(2);
+            };
+            (grid, None)
+        }
+        (None, Some(path)) => {
+            let loaded = match htm_workloads::trace::read_from_path(&path) {
+                Ok(loaded) => loaded,
+                Err(e) => {
+                    eprintln!("--trace {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            };
+            let trace = sweep::TraceWorkload::from_loaded(&loaded);
+            eprintln!(
+                "trace {}: workload `{}`, {} threads, {} transactions, fingerprint {:016x} -> axis `{}`",
+                path.display(),
+                loaded.workload.name,
+                loaded.workload.num_threads(),
+                loaded.workload.total_transactions(),
+                loaded.fingerprint,
+                trace.axis_name
+            );
+            let grid = SweepGrid::for_trace(&trace.axis_name, loaded.workload.num_threads());
+            (grid, Some(trace))
+        }
     };
     let out_dir = out_dir.unwrap_or_else(|| PathBuf::from("sweep-out").join(&grid.name));
     let ckpt_dir = checkpoint_dir
@@ -234,7 +279,14 @@ fn main() {
             );
             std::process::exit(2);
         };
-        match sweep::replay_cell_to(cell, engine, topology, &ckpt_dir, target) {
+        match sweep::runner::replay_cell_traced_to(
+            cell,
+            engine,
+            topology,
+            &ckpt_dir,
+            target,
+            trace.as_ref(),
+        ) {
             Ok((report, skipped)) => {
                 for (path, why) in &skipped {
                     eprintln!("skipping corrupt checkpoint '{}': {why}", path.display());
@@ -303,7 +355,7 @@ fn main() {
         }
     );
     let started = std::time::Instant::now();
-    let outcome = match sweep::run_sweep_ckpt(
+    let outcome = match sweep::run_sweep_ckpt_traced(
         &grid,
         engine,
         &out_dir,
@@ -311,6 +363,7 @@ fn main() {
         objective,
         topology,
         ckpt.as_ref(),
+        trace.as_ref(),
     ) {
         Ok(outcome) => outcome,
         Err(e) => {

@@ -11,8 +11,12 @@
 //!
 //! 1. [`random_case`] samples a configuration point (processor count ×
 //!    topology × contention policy × L1 geometry) together with a small
-//!    conflict-heavy transaction trace drawn from the same raw shape the
-//!    proptest differential suite generates; [`mutate_case`] perturbs an
+//!    conflict-heavy transaction trace — usually drawn from the same raw
+//!    shape the proptest differential suite generates, but about a quarter
+//!    of the cases instead seed their threads from a truncated
+//!    [`htm_workloads::CORPUS_WORKLOADS`] scenario (the STAMP-style kernels
+//!    and adversarial microbenchmarks), so realistic hotspot/zipfian/ring
+//!    access patterns reach the engine diff too; [`mutate_case`] perturbs an
 //!    existing case the way a coverage-guided fuzzer would.
 //! 2. [`run_case`] runs the case on all three engines and diffs the full
 //!    serialized [`SimReport`]s **field-wise** (flattened JSON paths, so a
@@ -333,18 +337,53 @@ fn random_tx(rng: &mut DeterministicRng, thread: u64, idx: u64) -> CaseTx {
     CaseTx { tx_id, pre, ops }
 }
 
-/// Sample a random case: a configuration point from the palettes and a
-/// small conflict-heavy trace (2–4 threads, 1–4 transactions each, 1–5 ops
-/// per transaction over a small shared address pool so conflicts are likely).
-#[must_use]
-pub fn random_case(rng: &mut DeterministicRng) -> CaseSpec {
-    let threads = (0..2 + rng.gen_range(3))
+/// Seed case threads from a registered corpus scenario: generate the named
+/// workload at `Test` scale and truncate it (first transactions of each
+/// thread, first ops of each transaction) so the case stays small enough to
+/// run on all three engines and shrink quickly, while keeping the scenario's
+/// characteristic access pattern (hot counters, zipfian pools, ring slots).
+fn scenario_threads(rng: &mut DeterministicRng, name: &str) -> Vec<Vec<CaseTx>> {
+    let procs = 2 + rng.gen_index(3);
+    let seed = rng.gen_range(64);
+    let workload = htm_workloads::by_name(name, procs, htm_workloads::WorkloadScale::Test, seed)
+        .expect("corpus workload names are registered");
+    workload
+        .threads
+        .iter()
         .map(|t| {
-            (0..1 + rng.gen_range(4))
-                .map(|x| random_tx(rng, t, x))
+            t.transactions
+                .iter()
+                .take(3)
+                .map(|tx| CaseTx {
+                    tx_id: tx.tx_id,
+                    pre: tx.pre_compute.min(10),
+                    ops: tx.ops.iter().take(8).cloned().collect(),
+                })
                 .collect()
         })
-        .collect();
+        .collect()
+}
+
+/// Sample a random case: a configuration point from the palettes and a
+/// small conflict-heavy trace — either 2–4 threads of 1–4 random
+/// transactions (1–5 ops each over a small shared address pool so conflicts
+/// are likely), or, for about one case in four, a truncated
+/// [`htm_workloads::CORPUS_WORKLOADS`] scenario.
+#[must_use]
+pub fn random_case(rng: &mut DeterministicRng) -> CaseSpec {
+    let threads = if rng.gen_range(4) == 0 {
+        let name =
+            htm_workloads::CORPUS_WORKLOADS[rng.gen_index(htm_workloads::CORPUS_WORKLOADS.len())];
+        scenario_threads(rng, name)
+    } else {
+        (0..2 + rng.gen_range(3))
+            .map(|t| {
+                (0..1 + rng.gen_range(4))
+                    .map(|x| random_tx(rng, t, x))
+                    .collect()
+            })
+            .collect()
+    };
     CaseSpec {
         topology: TOPOLOGIES[rng.gen_index(TOPOLOGIES.len())].to_string(),
         policy: policy_palette()[rng.gen_index(10)],
@@ -805,6 +844,31 @@ mod tests {
                     .map(|d| d.is_empty())
                     .unwrap_or(true),
                 "shrunk case is not minimal"
+            );
+        }
+    }
+
+    #[test]
+    fn every_corpus_scenario_seeds_a_runnable_engine_exact_case() {
+        let mut rng = DeterministicRng::new(11);
+        for name in htm_workloads::CORPUS_WORKLOADS {
+            let case = CaseSpec {
+                topology: "bus".to_string(),
+                policy: GatingMode::ClockGate { w0: 8 },
+                l1_kb: 64,
+                l1_assoc: 2,
+                threads: scenario_threads(&mut rng, name),
+            };
+            assert!(
+                case.procs() >= 2,
+                "{name}: scenario cases keep >= 2 threads"
+            );
+            parse_case(&render_case(&case)).expect("scenario cases stay well-formed");
+            let divergences = run_case(&case, false).expect("scenario cases always run");
+            assert!(
+                divergences.is_empty(),
+                "scenario `{name}` diverged without an injected bug:\n{}\n{divergences:?}",
+                render_case(&case)
             );
         }
     }

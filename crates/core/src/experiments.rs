@@ -37,6 +37,7 @@ use crate::checkpoint::{
 };
 use crate::report::{fmt_f, fmt_factor, fmt_percent, format_table};
 use crate::sim::{compare_runs, EngineKind, GatingMode, SimReport, SimulationBuilder};
+use crate::sweep::TraceWorkload;
 
 pub use htm_workloads::registry::PAPER_WORKLOADS as EVALUATED_WORKLOADS;
 
@@ -283,6 +284,11 @@ fn run_key(workload: &str, procs: usize, kind: &str, topology: TopologyConfig) -
 /// for its key, reports skipped (torn/corrupt) files loudly on stderr, and
 /// cleans its checkpoints up once the run completes — the artifact row
 /// supersedes them.
+///
+/// When a recorded [`TraceWorkload`] is supplied and its fingerprinted axis
+/// name matches the cell's workload name, the trace drives the run instead of
+/// the synthetic generator (the `reproduce --trace` path).
+#[allow(clippy::too_many_arguments)]
 fn run_one(
     workload: &str,
     procs: usize,
@@ -291,12 +297,18 @@ fn run_one(
     engine: EngineKind,
     topology: TopologyConfig,
     ckpt: Option<(&MatrixCheckpoint, &str)>,
+    trace: Option<&TraceWorkload>,
 ) -> Result<SimReport, SimError> {
     let builder = SimulationBuilder::new()
         .processors(procs)
-        .topology(topology)
-        .workload_by_name(workload, cfg.scale, cfg.seed)
-        .map_err(SimError::BadWorkload)?
+        .topology(topology);
+    let builder = match trace {
+        Some(t) if t.axis_name == workload => builder.workload(t.workload.clone()),
+        _ => builder
+            .workload_by_name(workload, cfg.scale, cfg.seed)
+            .map_err(SimError::BadWorkload)?,
+    };
+    let builder = builder
         .gating(mode)
         .cycle_limit(cfg.cycle_limit)
         .engine(engine);
@@ -324,6 +336,7 @@ fn run_one(
     Ok(report)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_pair(
     workload: &str,
     procs: usize,
@@ -332,6 +345,7 @@ fn run_pair(
     engine: EngineKind,
     topology: TopologyConfig,
     ckpt: Option<&MatrixCheckpoint>,
+    trace: Option<&TraceWorkload>,
 ) -> Result<(SimReport, SimReport), SimError> {
     let ungated = run_one(
         workload,
@@ -341,6 +355,7 @@ fn run_pair(
         engine,
         topology,
         ckpt.map(|spec| (spec, "ungated")),
+        trace,
     )?;
     let gated = run_one(
         workload,
@@ -350,6 +365,7 @@ fn run_pair(
         engine,
         topology,
         ckpt.map(|spec| (spec, "gated")),
+        trace,
     )?;
     Ok((ungated, gated))
 }
@@ -423,6 +439,7 @@ fn run_cell(
     engine: EngineKind,
     topology: TopologyConfig,
     ckpt: Option<&MatrixCheckpoint>,
+    trace: Option<&TraceWorkload>,
 ) -> Result<(MatrixCell, CellEnergyBreakdown), SimError> {
     let (ungated, gated) = run_pair(
         workload,
@@ -432,6 +449,7 @@ fn run_cell(
         engine,
         topology,
         ckpt,
+        trace,
     )?;
     let comparison = compare_runs(&ungated, &gated);
     let breakdown = CellEnergyBreakdown::new(workload, procs, ungated.ledger, gated.ledger.clone());
@@ -504,6 +522,21 @@ pub fn run_matrix_timed_ckpt(
     topology: TopologyConfig,
     ckpt: Option<&MatrixCheckpoint>,
 ) -> Result<(EvaluationMatrix, MatrixTiming, EnergyBreakdownReport), SimError> {
+    run_matrix_timed_ckpt_traced(cfg, engine, topology, ckpt, None)
+}
+
+/// [`run_matrix_timed_ckpt`] with an optional recorded trace: matrix cells
+/// whose workload name equals the trace's fingerprinted axis name are driven
+/// by the recorded [`TraceWorkload`] instead of the synthetic generators.
+/// This is the engine of `reproduce --trace`, which sets the config's
+/// workload list to exactly that axis name.
+pub fn run_matrix_timed_ckpt_traced(
+    cfg: &ExperimentConfig,
+    engine: EngineKind,
+    topology: TopologyConfig,
+    ckpt: Option<&MatrixCheckpoint>,
+    trace: Option<&TraceWorkload>,
+) -> Result<(EvaluationMatrix, MatrixTiming, EnergyBreakdownReport), SimError> {
     if let Some(spec) = ckpt {
         validate_checkpoint_dir(&spec.dir).map_err(|err| SimError::Checkpoint(err.to_string()))?;
     }
@@ -531,7 +564,7 @@ pub fn run_matrix_timed_ckpt(
                     break;
                 };
                 let cell_started = Instant::now();
-                let result = run_cell(workload, procs, cfg, engine, topology, ckpt).map(
+                let result = run_cell(workload, procs, cfg, engine, topology, ckpt, trace).map(
                     |(cell, breakdown)| {
                         (cell, breakdown, cell_started.elapsed().as_secs_f64() * 1e3)
                     },
@@ -848,6 +881,20 @@ pub fn fig7_ckpt(
     topology: TopologyConfig,
     ckpt: Option<&MatrixCheckpoint>,
 ) -> Result<Fig7Result, SimError> {
+    fig7_ckpt_traced(cfg, w0_values, engine, topology, ckpt, None)
+}
+
+/// [`fig7_ckpt`] with an optional recorded trace (see
+/// [`run_matrix_timed_ckpt_traced`]): sweep runs whose workload name equals
+/// the trace's axis name replay the recorded trace.
+pub fn fig7_ckpt_traced(
+    cfg: &ExperimentConfig,
+    w0_values: &[Cycle],
+    engine: EngineKind,
+    topology: TopologyConfig,
+    ckpt: Option<&MatrixCheckpoint>,
+    trace: Option<&TraceWorkload>,
+) -> Result<Fig7Result, SimError> {
     if let Some(spec) = ckpt {
         validate_checkpoint_dir(&spec.dir).map_err(|err| SimError::Checkpoint(err.to_string()))?;
     }
@@ -864,6 +911,7 @@ pub fn fig7_ckpt(
                 engine,
                 topology,
                 ckpt.map(|spec| (spec, "fig7-ungated")),
+                trace,
             )?;
             baselines.push(ungated);
         }
@@ -879,6 +927,7 @@ pub fn fig7_ckpt(
                     engine,
                     topology,
                     ckpt.map(|spec| (spec, kind.as_str())),
+                    trace,
                 )?;
                 speedups.push(compare_runs(ungated, &gated).speedup);
             }

@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use htm_sim::Cycle;
-use htm_workloads::registry::PAPER_WORKLOADS;
+use htm_workloads::registry::{CORPUS_WORKLOADS, PAPER_WORKLOADS};
 use htm_workloads::WorkloadScale;
 
 use crate::sim::{GatingMode, DEFAULT_CYCLE_LIMIT};
@@ -203,8 +203,9 @@ pub struct SweepGrid {
 pub const DEFAULT_LEAKAGE_PERCENT: u32 = 20;
 
 /// Names accepted by [`SweepGrid::by_name`] (the `sweep --grid` values).
-pub const GRID_NAMES: [&str; 9] = [
+pub const GRID_NAMES: [&str; 10] = [
     "smoke", "default", "w0", "backoff", "scaling", "cache", "leakage", "policies", "scale",
+    "corpus",
 ];
 
 impl SweepGrid {
@@ -386,6 +387,57 @@ impl SweepGrid {
         }
     }
 
+    /// The scenario corpus: the five remaining STAMP-style kernels plus the
+    /// four adversarial microbenchmarks
+    /// ([`htm_workloads::registry::CORPUS_WORKLOADS`]) under the ungated /
+    /// back-off / `W0 = 8` trio at tiny scale — small enough for the CI
+    /// trace-smoke gate to run it on both engines.
+    #[must_use]
+    pub fn corpus() -> Self {
+        Self {
+            workloads: CORPUS_WORKLOADS.iter().map(|s| (*s).to_string()).collect(),
+            processor_counts: vec![4],
+            scales: vec![WorkloadScale::Test],
+            gating: GatingAxis {
+                kinds: vec![
+                    ModeKind::Ungated,
+                    ModeKind::ExponentialBackoff,
+                    ModeKind::ClockGate,
+                ],
+                ..GatingAxis::default()
+            },
+            ..Self::base("corpus")
+        }
+    }
+
+    /// A single-workload grid for a trace loaded from a file: the workload
+    /// axis carries the trace's fingerprinted axis name
+    /// (`trace-{name}-{fp8}`), the processor count is the trace's thread
+    /// count, and the gating axis is the ungated / back-off / `W0 = 8`
+    /// trio. Because the axis name embeds the content fingerprint, a
+    /// checkpointed sweep directory keyed by one file can never be silently
+    /// resumed with an edited trace (or by a synthetic-workload sweep): the
+    /// keys differ and the resume pre-flight rejects them as foreign
+    /// records.
+    #[must_use]
+    pub fn for_trace(axis_name: &str, procs: usize) -> Self {
+        Self {
+            workloads: vec![axis_name.to_string()],
+            processor_counts: vec![procs],
+            scales: vec![WorkloadScale::Test],
+            seeds: vec![0],
+            gating: GatingAxis {
+                kinds: vec![
+                    ModeKind::Ungated,
+                    ModeKind::ExponentialBackoff,
+                    ModeKind::ClockGate,
+                ],
+                ..GatingAxis::default()
+            },
+            ..Self::base("trace")
+        }
+    }
+
     /// Look up a predefined grid by its [`GRID_NAMES`] name.
     #[must_use]
     pub fn by_name(name: &str) -> Option<Self> {
@@ -399,6 +451,7 @@ impl SweepGrid {
             "leakage" => Some(Self::leakage()),
             "policies" => Some(Self::policies()),
             "scale" => Some(Self::scale()),
+            "corpus" => Some(Self::corpus()),
             _ => None,
         }
     }
@@ -632,6 +685,40 @@ mod tests {
         assert_eq!(keys.len(), cells.len());
         assert!(keys.contains("intruder-p4-l64k2w-test-s42-oracle"));
         assert!(keys.contains("intruder-p4-l64k2w-test-s42-thr-w8"));
+    }
+
+    #[test]
+    fn corpus_grid_keys_every_new_scenario() {
+        let grid = SweepGrid::corpus();
+        let cells = grid.expand();
+        // 9 workloads x 1 proc count x 3 modes.
+        assert_eq!(cells.len(), 27);
+        let keys: BTreeSet<String> = cells.iter().map(SweepCell::key).collect();
+        assert_eq!(keys.len(), cells.len());
+        for scenario in CORPUS_WORKLOADS {
+            assert!(
+                keys.contains(&format!("{scenario}-p4-l64k2w-test-s42-ungated")),
+                "{scenario} must appear in the corpus sweep keys"
+            );
+        }
+        assert!(cells
+            .iter()
+            .all(|c| c.scale == WorkloadScale::Test && c.procs == 4));
+    }
+
+    #[test]
+    fn trace_grid_keys_embed_the_fingerprinted_axis_name() {
+        let grid = SweepGrid::for_trace("trace-intruder-ab12cd34", 4);
+        let cells = grid.expand();
+        assert_eq!(cells.len(), 3, "ungated / backoff / cg trio");
+        assert_eq!(
+            cells[0].key(),
+            "trace-intruder-ab12cd34-p4-l64k2w-test-s0-ungated"
+        );
+        // A different fingerprint (edited file) re-keys every cell.
+        let other = SweepGrid::for_trace("trace-intruder-deadbeef", 4).expand();
+        let keys: BTreeSet<String> = cells.iter().map(SweepCell::key).collect();
+        assert!(other.iter().all(|c| !keys.contains(&c.key())));
     }
 
     #[test]

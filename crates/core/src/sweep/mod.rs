@@ -57,8 +57,8 @@ pub use pareto::{
     SliceFrontier, SliceSummary, SweepObjective,
 };
 pub use runner::{
-    replay_cell_to, run_sweep, run_sweep_ckpt, run_sweep_on, run_sweep_with, SweepCheckpoint,
-    SweepError, SweepOutcome,
+    replay_cell_to, run_sweep, run_sweep_ckpt, run_sweep_ckpt_traced, run_sweep_on, run_sweep_with,
+    SweepCheckpoint, SweepError, SweepOutcome, TraceWorkload,
 };
 
 /// Version of the [`CellRecord`] layout written to `sweep.jsonl`. Version 2

@@ -26,6 +26,7 @@ use htm_power::ledger::{ComponentEnergy, ALL_COMPONENTS};
 use htm_sim::topology::TopologyConfig;
 use htm_sim::Cycle;
 use htm_tcc::system::{EngineKind, SimError};
+use htm_tcc::txn::WorkloadTrace;
 
 use super::grid::{SweepCell, SweepGrid};
 use super::pareto::{
@@ -329,23 +330,56 @@ pub fn cell_key_on(cell: &SweepCell, topology: TopologyConfig) -> String {
     }
 }
 
+/// A workload loaded from a trace file, made available to the sweep under
+/// its fingerprinted axis name: a cell whose `workload` field equals
+/// [`Self::axis_name`] is driven by the decoded trace instead of a registry
+/// generator. Cells naming anything else still resolve through
+/// `workload_by_name`, so a trace grid and a synthetic grid can never
+/// silently swap inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceWorkload {
+    /// The axis name the trace is registered under
+    /// (`htm_workloads::LoadedTrace::axis_name`, `trace-{name}-{fp8}`).
+    pub axis_name: String,
+    /// The decoded, fingerprint-verified workload.
+    pub workload: WorkloadTrace,
+}
+
+impl TraceWorkload {
+    /// Wrap a verified [`htm_workloads::LoadedTrace`] for sweep use.
+    #[must_use]
+    pub fn from_loaded(loaded: &htm_workloads::LoadedTrace) -> Self {
+        Self {
+            axis_name: loaded.axis_name(),
+            workload: loaded.workload.clone(),
+        }
+    }
+}
+
 /// Configure a [`SimulationBuilder`] for one cell of the grid (shared by the
 /// plain and the checkpointed cell runners, which must build the identical
-/// machine).
+/// machine). A cell whose workload name matches `trace` uses the decoded
+/// trace; everything else resolves through the workload registry.
 fn cell_builder(
     cell: &SweepCell,
     engine: EngineKind,
     topology: TopologyConfig,
+    trace: Option<&TraceWorkload>,
 ) -> Result<SimulationBuilder, SimError> {
-    Ok(SimulationBuilder::new()
+    let builder = SimulationBuilder::new()
         .processors(cell.procs)
         .topology(topology)
         // `l1_geometry` already re-derives the power model's TCC d-cache
         // factor for the swept capacity; only the leakage axis is added.
         .l1_geometry(cell.geometry.l1_kb, cell.geometry.l1_assoc)
-        .leakage_share(cell.leakage_share())
-        .workload_by_name(&cell.workload, cell.scale, cell.seed)
-        .map_err(SimError::BadWorkload)?
+        .leakage_share(cell.leakage_share());
+    let builder = match trace {
+        Some(t) if t.axis_name == cell.workload => builder.workload(t.workload.clone()),
+        _ => builder
+            .workload_by_name(&cell.workload, cell.scale, cell.seed)
+            .map_err(SimError::BadWorkload)?,
+    };
+    Ok(builder
         .gating(cell.mode)
         .cycle_limit(cell.cycle_limit)
         .engine(engine))
@@ -357,7 +391,18 @@ pub fn run_cell_on(
     engine: EngineKind,
     topology: TopologyConfig,
 ) -> Result<CellRecord, SimError> {
-    let report = cell_builder(cell, engine, topology)?.run()?;
+    run_cell_traced_on(cell, engine, topology, None)
+}
+
+/// [`run_cell_on`] with an optional trace-file workload override (see
+/// [`TraceWorkload`]).
+pub fn run_cell_traced_on(
+    cell: &SweepCell,
+    engine: EngineKind,
+    topology: TopologyConfig,
+    trace: Option<&TraceWorkload>,
+) -> Result<CellRecord, SimError> {
+    let report = cell_builder(cell, engine, topology, trace)?.run()?;
     let mut record = CellRecord::from_report(cell, &report);
     record.key = cell_key_on(cell, topology);
     Ok(record)
@@ -384,12 +429,14 @@ fn run_cell_ckpt_on(
     engine: EngineKind,
     topology: TopologyConfig,
     spec: &SweepCheckpoint,
+    trace: Option<&TraceWorkload>,
 ) -> Result<CellRecord, SweepError> {
     let key = cell_key_on(cell, topology);
-    let builder = cell_builder(cell, engine, topology).map_err(|source| SweepError::Cell {
-        key: key.clone(),
-        source,
-    })?;
+    let builder =
+        cell_builder(cell, engine, topology, trace).map_err(|source| SweepError::Cell {
+            key: key.clone(),
+            source,
+        })?;
     let ckpt = CheckpointConfig::new(&spec.dir, spec.every, key.clone());
     let (report, info) =
         builder
@@ -429,11 +476,27 @@ pub fn replay_cell_to(
     ckpt_dir: &Path,
     target: Cycle,
 ) -> Result<(crate::checkpoint::ReplayReport, Vec<(PathBuf, String)>), SweepError> {
+    replay_cell_traced_to(cell, engine, topology, ckpt_dir, target, None)
+}
+
+/// [`replay_cell_to`] with an optional trace-file workload override, so
+/// time travel works for trace-driven sweeps too (the restored checkpoint
+/// still verifies the workload fingerprint, which the loaded trace
+/// carries).
+pub fn replay_cell_traced_to(
+    cell: &SweepCell,
+    engine: EngineKind,
+    topology: TopologyConfig,
+    ckpt_dir: &Path,
+    target: Cycle,
+    trace: Option<&TraceWorkload>,
+) -> Result<(crate::checkpoint::ReplayReport, Vec<(PathBuf, String)>), SweepError> {
     let key = cell_key_on(cell, topology);
-    let builder = cell_builder(cell, engine, topology).map_err(|source| SweepError::Cell {
-        key: key.clone(),
-        source,
-    })?;
+    let builder =
+        cell_builder(cell, engine, topology, trace).map_err(|source| SweepError::Cell {
+            key: key.clone(),
+            source,
+        })?;
     builder
         .replay_to(ckpt_dir, &key, target)
         .map_err(|source| SweepError::Checkpoint {
@@ -626,6 +689,29 @@ pub fn run_sweep_ckpt(
     topology: TopologyConfig,
     ckpt: Option<&SweepCheckpoint>,
 ) -> Result<SweepOutcome, SweepError> {
+    run_sweep_ckpt_traced(
+        grid, engine, out_dir, resume, objective, topology, ckpt, None,
+    )
+}
+
+/// [`run_sweep_ckpt`] with an optional trace-file workload (see
+/// [`TraceWorkload`]): cells whose workload axis name matches the trace's
+/// fingerprinted axis name run the decoded trace. Everything else —
+/// record order, resume semantics, checkpointing, artifacts — is
+/// unchanged, and because the axis name embeds the trace fingerprint, a
+/// `sweep.jsonl` written for one trace file rejects a resume against an
+/// edited file (or a synthetic grid) with [`SweepError::ForeignRecord`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_sweep_ckpt_traced(
+    grid: &SweepGrid,
+    engine: EngineKind,
+    out_dir: &Path,
+    resume: bool,
+    objective: SweepObjective,
+    topology: TopologyConfig,
+    ckpt: Option<&SweepCheckpoint>,
+    trace: Option<&TraceWorkload>,
+) -> Result<SweepOutcome, SweepError> {
     let cells = grid.expand();
     if cells.is_empty() {
         return Err(SweepError::EmptyGrid);
@@ -697,13 +783,13 @@ pub fn run_sweep_ckpt(
                     // sweep would deadlock instead of failing.
                     let caught =
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match ckpt {
-                            None => run_cell_on(cell, engine, topology).map_err(|source| {
-                                SweepError::Cell {
+                            None => run_cell_traced_on(cell, engine, topology, trace).map_err(
+                                |source| SweepError::Cell {
                                     key: cell_key_on(cell, topology),
                                     source,
-                                }
-                            }),
-                            Some(spec) => run_cell_ckpt_on(cell, engine, topology, spec),
+                                },
+                            ),
+                            Some(spec) => run_cell_ckpt_on(cell, engine, topology, spec, trace),
                         }));
                     let result = match caught {
                         Ok(result) => result,
@@ -1370,5 +1456,137 @@ mod tests {
         assert!(!dir.join(JSONL_NAME).exists(), "no cell may have run");
         let _ = fs::remove_dir_all(&dir);
         let _ = fs::remove_dir_all(&ckpt_dir);
+    }
+
+    fn loaded_intruder_trace() -> htm_workloads::LoadedTrace {
+        let w =
+            htm_workloads::by_name("intruder", 4, htm_workloads::WorkloadScale::Test, 42).unwrap();
+        htm_workloads::trace::read_from(htm_workloads::trace::render(&w).as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn traced_cells_match_their_generator_driven_twins_field_for_field() {
+        let loaded = loaded_intruder_trace();
+        let trace = TraceWorkload::from_loaded(&loaded);
+        let trace_grid = SweepGrid::for_trace(&trace.axis_name, 4);
+        let synth_grid = tiny_grid();
+        for (traced, synth) in trace_grid.expand().iter().zip(synth_grid.expand().iter()) {
+            let a = run_cell_traced_on(
+                traced,
+                EngineKind::FastForward,
+                TopologyConfig::Bus,
+                Some(&trace),
+            )
+            .unwrap();
+            let b = run_cell(synth, EngineKind::FastForward).unwrap();
+            // Same machine, same access stream: every physical field agrees;
+            // only the identity fields (key/workload/scale/seed) differ.
+            assert_eq!(a.total_cycles, b.total_cycles, "{}", a.key);
+            assert_eq!(a.commits, b.commits);
+            assert_eq!(a.aborts, b.aborts);
+            assert_eq!(a.total_energy.to_bits(), b.total_energy.to_bits());
+            assert_eq!(a.edp.to_bits(), b.edp.to_bits());
+            assert!(a.key.starts_with("trace-intruder-"));
+        }
+    }
+
+    #[test]
+    fn trace_sweep_runs_resume_and_reject_foreign_records() {
+        let loaded = loaded_intruder_trace();
+        let trace = TraceWorkload::from_loaded(&loaded);
+        let grid = SweepGrid::for_trace(&trace.axis_name, 4);
+        let dir = test_dir("trace-sweep");
+        let fresh = run_sweep_ckpt_traced(
+            &grid,
+            EngineKind::FastForward,
+            &dir,
+            false,
+            SweepObjective::Energy,
+            TopologyConfig::Bus,
+            None,
+            Some(&trace),
+        )
+        .unwrap();
+        assert_eq!(fresh.executed, 3);
+        // Resuming the same trace file skips everything.
+        let noop = run_sweep_ckpt_traced(
+            &grid,
+            EngineKind::FastForward,
+            &dir,
+            true,
+            SweepObjective::Energy,
+            TopologyConfig::Bus,
+            None,
+            Some(&trace),
+        )
+        .unwrap();
+        assert_eq!(noop.executed, 0);
+        assert_eq!(noop.skipped, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_with_a_trace_grid_rejects_synthetic_records_as_foreign() {
+        // Satellite: `sweep --resume` against a grid whose workload axis
+        // names a trace file must reject the existing synthetic-sweep
+        // records with ForeignRecord — never silently re-key them.
+        let dir = test_dir("trace-foreign-synth");
+        run_sweep(&tiny_grid(), EngineKind::FastForward, &dir, false).unwrap();
+        let loaded = loaded_intruder_trace();
+        let trace = TraceWorkload::from_loaded(&loaded);
+        let grid = SweepGrid::for_trace(&trace.axis_name, 4);
+        let err = run_sweep_ckpt_traced(
+            &grid,
+            EngineKind::FastForward,
+            &dir,
+            true,
+            SweepObjective::Energy,
+            TopologyConfig::Bus,
+            None,
+            Some(&trace),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SweepError::ForeignRecord(_)), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_with_an_edited_trace_rejects_the_old_records_as_foreign() {
+        let loaded = loaded_intruder_trace();
+        let trace = TraceWorkload::from_loaded(&loaded);
+        let dir = test_dir("trace-foreign-edit");
+        run_sweep_ckpt_traced(
+            &SweepGrid::for_trace(&trace.axis_name, 4),
+            EngineKind::FastForward,
+            &dir,
+            false,
+            SweepObjective::Energy,
+            TopologyConfig::Bus,
+            None,
+            Some(&trace),
+        )
+        .unwrap();
+        // "Edit" the trace: one extra compute op changes the fingerprint,
+        // hence the axis name, hence every cell key.
+        let mut edited = loaded.clone();
+        edited.workload.threads[0].transactions[0]
+            .ops
+            .push(htm_tcc::txn::Op::Compute(1));
+        edited.fingerprint = edited.workload.fingerprint();
+        let edited_trace = TraceWorkload::from_loaded(&edited);
+        assert_ne!(edited_trace.axis_name, trace.axis_name);
+        let err = run_sweep_ckpt_traced(
+            &SweepGrid::for_trace(&edited_trace.axis_name, 4),
+            EngineKind::FastForward,
+            &dir,
+            true,
+            SweepObjective::Energy,
+            TopologyConfig::Bus,
+            None,
+            Some(&edited_trace),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SweepError::ForeignRecord(_)), "{err}");
+        let _ = fs::remove_dir_all(&dir);
     }
 }

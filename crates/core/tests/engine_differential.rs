@@ -242,6 +242,44 @@ fn clustered_64p_islands_are_engine_exact_for_every_policy() {
 }
 
 #[test]
+fn recorded_traces_replay_engine_exact_on_all_three_engines() {
+    // The trace subsystem's round-trip contract meets the exactness
+    // invariant: a workload recorded to htmtrace text and read back is the
+    // same value, and replaying it must land on byte-identical reports on
+    // every engine — so a trace file is as good a witness as the generator.
+    for workload in [
+        "intruder",
+        "bayes",
+        "hotspot",
+        "zipfian",
+        "ring",
+        "longshort",
+    ] {
+        let original = htm_workloads::by_name(workload, 4, WorkloadScale::Test, 11).unwrap();
+        let text = htm_workloads::trace::render(&original);
+        let loaded = htm_workloads::trace::read_from(text.as_bytes()).unwrap();
+        assert_eq!(
+            loaded.workload, original,
+            "{workload}: trace round trip must be the identity"
+        );
+        let mode = GatingMode::ClockGate { w0: 8 };
+        let baseline = run_trace(mode, original, EngineKind::FastForward);
+        for engine in [
+            EngineKind::FastForward,
+            EngineKind::Naive,
+            EngineKind::ShardParallel,
+        ] {
+            let replay = run_trace(mode, loaded.workload.clone(), engine);
+            assert_identical(
+                &replay,
+                &baseline,
+                &format!("trace replay workload={workload} engine={}", engine.label()),
+            );
+        }
+    }
+}
+
+#[test]
 fn paper_matrix_processor_counts_are_engine_exact() {
     // The gated mode across the paper's processor counts: the gating /
     // renewal timers interact with commit bursts differently at each size.

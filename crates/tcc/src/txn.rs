@@ -179,6 +179,18 @@ impl WorkloadTrace {
         self.threads.iter().map(ThreadTrace::len).sum()
     }
 
+    /// Total number of memory references (reads + writes, excluding compute
+    /// delays) across all threads.
+    #[must_use]
+    pub fn total_memory_refs(&self) -> usize {
+        self.threads
+            .iter()
+            .flat_map(|t| t.transactions.iter())
+            .flat_map(|tx| tx.ops.iter())
+            .filter(|op| matches!(op, Op::Read(_) | Op::Write(_)))
+            .count()
+    }
+
     /// Order-sensitive FNV-1a fingerprint of the full trace (name, thread
     /// structure, every operation). The checkpoint layer stores this next to
     /// the machine state and refuses to resume against a workload whose
@@ -186,6 +198,26 @@ impl WorkloadTrace {
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
         fingerprint_parts(&self.name, self.threads.iter())
+    }
+
+    /// The same workload with every thread's transaction sequence repeated
+    /// `n` times back to back — the trace-recorder's way of "running the
+    /// benchmark loop longer" without inventing new access patterns. `n == 0`
+    /// yields empty threads; `n == 1` is a plain clone.
+    #[must_use]
+    pub fn tiled(&self, n: usize) -> WorkloadTrace {
+        let threads = self
+            .threads
+            .iter()
+            .map(|t| {
+                let mut transactions = Vec::with_capacity(t.transactions.len() * n);
+                for _ in 0..n {
+                    transactions.extend(t.transactions.iter().cloned());
+                }
+                ThreadTrace::new(transactions)
+            })
+            .collect();
+        WorkloadTrace::new(self.name.clone(), threads)
     }
 
     /// Largest byte address referenced anywhere in the workload, if any
@@ -327,6 +359,25 @@ mod tests {
             retagged.fingerprint(),
             "op kind is part of the identity even at the same address"
         );
+    }
+
+    #[test]
+    fn tiled_repeats_every_thread_in_order() {
+        let w = WorkloadTrace::new(
+            "toy",
+            vec![
+                ThreadTrace::new(vec![sample_tx()]),
+                ThreadTrace::new(vec![sample_tx(), sample_tx()]),
+            ],
+        );
+        let tiled = w.tiled(3);
+        assert_eq!(tiled.name, "toy");
+        assert_eq!(tiled.threads[0].len(), 3);
+        assert_eq!(tiled.threads[1].len(), 6);
+        assert_eq!(tiled.threads[1].transactions[4], sample_tx());
+        assert_eq!(w.tiled(1), w);
+        assert_eq!(w.tiled(0).total_transactions(), 0);
+        assert_ne!(w.fingerprint(), tiled.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! Adversarial microbenchmark generators.
+//!
+//! The STAMP-style workloads model real applications; these four model the
+//! *pathologies* the transactional-memory literature reasons about — the
+//! access patterns where contention management (and hence clock-gate-on-
+//! abort) is stressed hardest:
+//!
+//! * **hotspot** — every transaction read-modify-writes one shared counter
+//!   line: the worst case for eager retry, the best case for gating,
+//! * **zipfian** — accesses drawn from a Zipf popularity distribution over
+//!   a shared pool, so a few lines absorb most of the conflicts while the
+//!   tail stays quiet,
+//! * **ring** — a producer/consumer ring: producers fight over the head
+//!   index, consumers over the tail, and both touch the slot lines,
+//! * **longshort** — long read-only scans racing short writers through the
+//!   same region: the classic starvation shape (writers keep killing
+//!   readers that are almost done).
+//!
+//! All four are deterministic in (threads, scale, seed) like every other
+//! generator in this crate.
+
+use htm_sim::rng::DeterministicRng;
+use htm_tcc::txn::{Op, ThreadTrace, Transaction, WorkloadTrace};
+
+use crate::layout::AddressLayout;
+use crate::spec::WorkloadScale;
+
+/// `tx_id` bases keep the adversarial suite's static transactions disjoint
+/// from every other workload's (like distinct code addresses).
+const HOTSPOT_TX_BASE: u64 = 0x21_0000;
+const ZIPFIAN_TX_BASE: u64 = 0x22_0000;
+const RING_TX_BASE: u64 = 0x23_0000;
+const LONGSHORT_TX_BASE: u64 = 0x24_0000;
+
+/// Lines in the zipfian shared pool.
+const ZIPF_POOL_LINES: u64 = 192;
+
+/// Lines scanned by `longshort` readers and peppered by its writers.
+const LONGSHORT_DATA_LINES: u64 = 64;
+
+fn rng_for(seed: u64, thread: usize) -> DeterministicRng {
+    DeterministicRng::new(seed).derive(thread as u64 + 1)
+}
+
+/// `hotspot`: every transaction increments the same shared counter line.
+///
+/// One hot line, read first and written last by every transaction on every
+/// thread, with a little private work in between — maximal true
+/// contention, so commit throughput is serialized and aborted work is pure
+/// waste for the gating policies to reclaim.
+#[must_use]
+pub fn hotspot(threads: usize, scale: WorkloadScale, seed: u64) -> WorkloadTrace {
+    let layout = AddressLayout::new(1, 0, 16, threads as u64);
+    let counter = layout.hot(0);
+    let txs = scale.txs_per_thread(96);
+    let traces = (0..threads)
+        .map(|thread| {
+            let mut rng = rng_for(seed, thread);
+            let transactions = (0..txs)
+                .map(|_| {
+                    let mut ops = vec![Op::Read(counter), Op::Compute(1 + rng.gen_range(3))];
+                    // A touch of private work widens the conflict window.
+                    if rng.gen_bool(0.5) {
+                        ops.push(Op::Read(
+                            layout.private(thread as u64, rng.gen_range(layout.private_lines)),
+                        ));
+                    }
+                    ops.push(Op::Write(counter));
+                    Transaction::with_pre_compute(HOTSPOT_TX_BASE, 2 + rng.gen_range(6), ops)
+                })
+                .collect();
+            ThreadTrace::new(transactions)
+        })
+        .collect();
+    WorkloadTrace::new("hotspot", traces)
+}
+
+/// Zipf(1) cumulative distribution over `n` items, built with IEEE
+/// divisions and additions only (bit-identical on every platform).
+fn zipf_cdf(n: u64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n as usize);
+    let mut total = 0.0f64;
+    for i in 0..n {
+        total += 1.0 / (i + 1) as f64;
+        cdf.push(total);
+    }
+    let norm = total;
+    for c in &mut cdf {
+        *c /= norm;
+    }
+    cdf
+}
+
+fn zipf_sample(cdf: &[f64], rng: &mut DeterministicRng) -> u64 {
+    let u = rng.gen_f64();
+    cdf.partition_point(|&c| c <= u) as u64
+}
+
+/// `zipfian`: reads and writes drawn from a Zipf popularity distribution
+/// over a shared pool, so the head of the distribution is a conflict
+/// hotspot while the tail commits freely — the skew that separates
+/// adaptive policies from fixed windows.
+#[must_use]
+pub fn zipfian(threads: usize, scale: WorkloadScale, seed: u64) -> WorkloadTrace {
+    let layout = AddressLayout::new(ZIPF_POOL_LINES, 0, 16, threads as u64);
+    let cdf = zipf_cdf(ZIPF_POOL_LINES);
+    let txs = scale.txs_per_thread(64);
+    let traces = (0..threads)
+        .map(|thread| {
+            let mut rng = rng_for(seed, thread);
+            let transactions = (0..txs)
+                .map(|iteration| {
+                    let site = iteration % 3;
+                    let reads = 4 + rng.gen_range(5);
+                    let writes = 1 + rng.gen_range(3);
+                    let mut ops = Vec::with_capacity((reads + writes) as usize * 2);
+                    for _ in 0..reads {
+                        ops.push(Op::Read(layout.hot(zipf_sample(&cdf, &mut rng))));
+                        ops.push(Op::Compute(1 + rng.gen_range(3)));
+                    }
+                    for _ in 0..writes {
+                        ops.push(Op::Write(layout.hot(zipf_sample(&cdf, &mut rng))));
+                    }
+                    Transaction::with_pre_compute(
+                        ZIPFIAN_TX_BASE + site as u64 * 0x40,
+                        4 + rng.gen_range(8),
+                        ops,
+                    )
+                })
+                .collect();
+            ThreadTrace::new(transactions)
+        })
+        .collect();
+    WorkloadTrace::new("zipfian", traces)
+}
+
+/// `ring`: a producer/consumer ring buffer.
+///
+/// Even threads produce (read-modify-write the head index, then write a
+/// slot), odd threads consume (read-modify-write the tail index, then read
+/// a slot). Producers conflict with producers, consumers with consumers,
+/// and everyone meets on the slot lines — two disjoint hotspots plus a
+/// shared data plane.
+#[must_use]
+pub fn ring(threads: usize, scale: WorkloadScale, seed: u64) -> WorkloadTrace {
+    let slots = (2 * threads.max(1)) as u64;
+    // Hot region: head (0), tail (1), then the slot lines.
+    let layout = AddressLayout::new(2 + slots, 0, 8, threads as u64);
+    let head = layout.hot(0);
+    let tail = layout.hot(1);
+    let txs = scale.txs_per_thread(80);
+    let traces = (0..threads)
+        .map(|thread| {
+            let mut rng = rng_for(seed, thread);
+            let producer = thread % 2 == 0;
+            let (index_line, tx_id) = if producer {
+                (head, RING_TX_BASE)
+            } else {
+                (tail, RING_TX_BASE + 0x40)
+            };
+            let transactions = (0..txs)
+                .map(|_| {
+                    let slot = layout.hot(2 + rng.gen_range(slots));
+                    let mut ops = vec![Op::Read(index_line), Op::Compute(1 + rng.gen_range(2))];
+                    if producer {
+                        ops.push(Op::Write(slot));
+                    } else {
+                        ops.push(Op::Read(slot));
+                        ops.push(Op::Compute(2 + rng.gen_range(4)));
+                    }
+                    ops.push(Op::Write(index_line));
+                    Transaction::with_pre_compute(tx_id, 3 + rng.gen_range(5), ops)
+                })
+                .collect();
+            ThreadTrace::new(transactions)
+        })
+        .collect();
+    WorkloadTrace::new("ring", traces)
+}
+
+/// `longshort`: long read-only scans vs. short writers.
+///
+/// The first half of the threads run a few long transactions reading a
+/// large slice of the shared region; the other half run many short
+/// transactions each writing one or two lines of it. Writers repeatedly
+/// invalidate readers' large read sets — the starvation pathology where
+/// backoff-style policies shine or embarrass themselves.
+#[must_use]
+pub fn longshort(threads: usize, scale: WorkloadScale, seed: u64) -> WorkloadTrace {
+    let layout = AddressLayout::new(LONGSHORT_DATA_LINES, 0, 16, threads as u64);
+    let readers = threads.div_ceil(2);
+    let long_txs = scale.txs_per_thread(10);
+    let short_txs = scale.txs_per_thread(120);
+    let traces = (0..threads)
+        .map(|thread| {
+            let mut rng = rng_for(seed, thread);
+            let transactions = if thread < readers {
+                (0..long_txs)
+                    .map(|_| {
+                        let span = 24 + rng.gen_range(25);
+                        let start = rng.gen_range(LONGSHORT_DATA_LINES);
+                        let mut ops = Vec::with_capacity(span as usize * 2);
+                        for i in 0..span {
+                            ops.push(Op::Read(layout.hot((start + i) % LONGSHORT_DATA_LINES)));
+                            if i % 4 == 0 {
+                                ops.push(Op::Compute(1 + rng.gen_range(2)));
+                            }
+                        }
+                        Transaction::with_pre_compute(
+                            LONGSHORT_TX_BASE,
+                            10 + rng.gen_range(20),
+                            ops,
+                        )
+                    })
+                    .collect()
+            } else {
+                (0..short_txs)
+                    .map(|_| {
+                        let mut ops =
+                            vec![Op::Write(layout.hot(rng.gen_range(LONGSHORT_DATA_LINES)))];
+                        if rng.gen_bool(0.4) {
+                            ops.push(Op::Write(layout.hot(rng.gen_range(LONGSHORT_DATA_LINES))));
+                        }
+                        Transaction::with_pre_compute(
+                            LONGSHORT_TX_BASE + 0x40,
+                            2 + rng.gen_range(5),
+                            ops,
+                        )
+                    })
+                    .collect()
+            };
+            ThreadTrace::new(transactions)
+        })
+        .collect();
+    WorkloadTrace::new("longshort", traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_four_are_deterministic() {
+        for gen in [hotspot, zipfian, ring, longshort] {
+            let a = gen(4, WorkloadScale::Test, 42);
+            let b = gen(4, WorkloadScale::Test, 42);
+            assert_eq!(a, b);
+            assert_ne!(a, gen(4, WorkloadScale::Test, 43));
+        }
+    }
+
+    #[test]
+    fn all_four_generate_for_any_thread_count() {
+        for gen in [hotspot, zipfian, ring, longshort] {
+            for threads in [1, 2, 3, 16] {
+                let w = gen(threads, WorkloadScale::Test, 1);
+                assert_eq!(w.num_threads(), threads);
+                assert!(w.total_transactions() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_every_tx_rmws_the_counter() {
+        let w = hotspot(4, WorkloadScale::Test, 7);
+        for tx in w.threads.iter().flat_map(|t| t.transactions.iter()) {
+            assert_eq!(tx.ops.first(), Some(&Op::Read(0)));
+            assert_eq!(tx.ops.last(), Some(&Op::Write(0)));
+        }
+    }
+
+    #[test]
+    fn zipfian_head_is_hotter_than_the_tail() {
+        let w = zipfian(4, WorkloadScale::Full, 7);
+        let mut counts = vec![0usize; ZIPF_POOL_LINES as usize];
+        for tx in w.threads.iter().flat_map(|t| t.transactions.iter()) {
+            for op in &tx.ops {
+                if let Op::Read(a) | Op::Write(a) = op {
+                    counts[(a / crate::layout::LINE_BYTES) as usize] += 1;
+                }
+            }
+        }
+        let head = counts[0];
+        let tail: usize = counts[counts.len() / 2..].iter().sum();
+        assert!(
+            head > counts[counts.len() / 2] * 10,
+            "line 0 ({head}) must dwarf the median line"
+        );
+        assert!(
+            head * 2 > tail,
+            "the head rivals the whole upper tail ({tail})"
+        );
+    }
+
+    #[test]
+    fn ring_separates_producer_and_consumer_roles() {
+        let w = ring(4, WorkloadScale::Test, 7);
+        let head = 0u64;
+        let tail = crate::layout::LINE_BYTES;
+        for (thread, t) in w.threads.iter().enumerate() {
+            for tx in &t.transactions {
+                let index = if thread % 2 == 0 { head } else { tail };
+                assert_eq!(tx.ops.first(), Some(&Op::Read(index)));
+                assert_eq!(tx.ops.last(), Some(&Op::Write(index)));
+            }
+        }
+    }
+
+    #[test]
+    fn longshort_readers_scan_and_writers_poke() {
+        let w = longshort(4, WorkloadScale::Test, 7);
+        let reader_mean: f64 = w.threads[0]
+            .transactions
+            .iter()
+            .map(|t| t.memory_ops() as f64)
+            .sum::<f64>()
+            / w.threads[0].transactions.len() as f64;
+        let writer_mean: f64 = w.threads[3]
+            .transactions
+            .iter()
+            .map(|t| t.memory_ops() as f64)
+            .sum::<f64>()
+            / w.threads[3].transactions.len() as f64;
+        assert!(reader_mean > 20.0);
+        assert!(writer_mean < 3.0);
+        assert!(w.threads[3].transactions.len() > w.threads[0].transactions.len());
+        // Readers never write the shared region; writers never read it.
+        for tx in &w.threads[0].transactions {
+            assert!(tx.write_addrs().is_empty());
+        }
+        for tx in &w.threads[3].transactions {
+            assert!(tx.read_addrs().is_empty());
+        }
+    }
+
+    #[test]
+    fn footprints_stay_within_layout() {
+        for gen in [hotspot, zipfian, ring, longshort] {
+            let w = gen(8, WorkloadScale::Full, 3);
+            assert!(w.max_addr().unwrap() < 4 * 1024 * 1024);
+        }
+    }
+}

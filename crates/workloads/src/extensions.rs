@@ -12,7 +12,10 @@
 //! * **ssca2** — graph kernel: very short transactions inserting edges,
 //!   negligible contention,
 //! * **labyrinth** — maze routing: very long transactions copying a large
-//!   grid privately and writing the chosen path back, very high contention.
+//!   grid privately and writing the chosen path back, very high contention,
+//! * **bayes** — Bayesian network structure learning: medium-to-long
+//!   transactions mutating a shared dependency graph and its score cache,
+//!   high contention with widely varying transaction lengths.
 
 use htm_tcc::txn::WorkloadTrace;
 
@@ -113,6 +116,31 @@ pub fn labyrinth_spec(seed: u64) -> SyntheticSpec {
     }
 }
 
+/// Synthetic specification for STAMP's `bayes`.
+#[must_use]
+pub fn bayes_spec(seed: u64) -> SyntheticSpec {
+    SyntheticSpec {
+        name: "bayes".into(),
+        seed,
+        // The learned dependency graph's adjacency + score structures.
+        hot_lines: 12,
+        cold_lines: 768,
+        private_lines: 128,
+        txs_per_thread: 36,
+        static_txs: 4,
+        reads_per_tx: Range::new(8, 22),
+        writes_per_tx: Range::new(2, 6),
+        hot_read_prob: 0.20,
+        hot_write_prob: 0.25,
+        shared_cold_prob: 0.75,
+        compute_between_ops: Range::new(2, 6),
+        // Scoring a candidate edge is compute-heavy and non-transactional.
+        pre_compute: Range::new(30, 90),
+        site_rmw_prob: 0.40,
+        tx_id_base: 0x20_0000,
+    }
+}
+
 /// Generate `vacation` for `threads` threads.
 #[must_use]
 pub fn vacation(threads: usize, scale: WorkloadScale, seed: u64) -> WorkloadTrace {
@@ -135,6 +163,12 @@ pub fn ssca2(threads: usize, scale: WorkloadScale, seed: u64) -> WorkloadTrace {
 #[must_use]
 pub fn labyrinth(threads: usize, scale: WorkloadScale, seed: u64) -> WorkloadTrace {
     labyrinth_spec(seed).generate(threads, scale)
+}
+
+/// Generate `bayes` for `threads` threads.
+#[must_use]
+pub fn bayes(threads: usize, scale: WorkloadScale, seed: u64) -> WorkloadTrace {
+    bayes_spec(seed).generate(threads, scale)
 }
 
 #[cfg(test)]
@@ -167,11 +201,19 @@ mod tests {
 
     #[test]
     fn all_extensions_generate_for_16_threads() {
-        for gen in [vacation, kmeans, ssca2, labyrinth] {
+        for gen in [vacation, kmeans, ssca2, labyrinth, bayes] {
             let w = gen(16, WorkloadScale::Test, 1);
             assert_eq!(w.num_threads(), 16);
             assert!(w.total_transactions() > 0);
         }
+    }
+
+    #[test]
+    fn bayes_sits_between_vacation_and_labyrinth() {
+        let bay = mean_ops(&bayes(4, WorkloadScale::Full, 1));
+        let vac = mean_ops(&vacation(4, WorkloadScale::Full, 1));
+        let lab = mean_ops(&labyrinth(4, WorkloadScale::Full, 1));
+        assert!(vac < bay && bay < lab);
     }
 
     #[test]
@@ -181,9 +223,10 @@ mod tests {
             kmeans(1, WorkloadScale::Test, 1).name,
             ssca2(1, WorkloadScale::Test, 1).name,
             labyrinth(1, WorkloadScale::Test, 1).name,
+            bayes(1, WorkloadScale::Test, 1).name,
         ]
         .into_iter()
         .collect();
-        assert_eq!(names.len(), 4);
+        assert_eq!(names.len(), 5);
     }
 }

@@ -7,13 +7,13 @@
 use htm_tcc::txn::WorkloadTrace;
 
 use crate::spec::WorkloadScale;
-use crate::{clustered, extensions, genome, intruder, yada};
+use crate::{adversarial, clustered, extensions, genome, intruder, yada};
 
 /// Names of the three applications evaluated in the paper (Section VIII).
 pub const PAPER_WORKLOADS: [&str; 3] = ["genome", "yada", "intruder"];
 
 /// Names of every workload this crate can generate.
-pub const ALL_WORKLOADS: [&str; 8] = [
+pub const ALL_WORKLOADS: [&str; 13] = [
     "genome",
     "yada",
     "intruder",
@@ -22,6 +22,27 @@ pub const ALL_WORKLOADS: [&str; 8] = [
     "ssca2",
     "labyrinth",
     "clustered",
+    "bayes",
+    "hotspot",
+    "zipfian",
+    "ring",
+    "longshort",
+];
+
+/// The scenario corpus beyond the paper's trio: the five remaining
+/// STAMP-style kernels plus the four adversarial microbenchmarks. This is
+/// the workload axis of the `corpus` sweep preset and the palette the
+/// divergence fuzzer samples from.
+pub const CORPUS_WORKLOADS: [&str; 9] = [
+    "vacation",
+    "kmeans",
+    "ssca2",
+    "labyrinth",
+    "bayes",
+    "hotspot",
+    "zipfian",
+    "ring",
+    "longshort",
 ];
 
 /// All available workload names.
@@ -47,6 +68,11 @@ pub fn by_name(
         "ssca2" => Some(extensions::ssca2(threads, scale, seed)),
         "labyrinth" => Some(extensions::labyrinth(threads, scale, seed)),
         "clustered" => Some(clustered::generate(threads, scale, seed)),
+        "bayes" => Some(extensions::bayes(threads, scale, seed)),
+        "hotspot" => Some(adversarial::hotspot(threads, scale, seed)),
+        "zipfian" => Some(adversarial::zipfian(threads, scale, seed)),
+        "ring" => Some(adversarial::ring(threads, scale, seed)),
+        "longshort" => Some(adversarial::longshort(threads, scale, seed)),
         _ => None,
     }
 }
@@ -89,6 +115,34 @@ mod tests {
     fn paper_workloads_are_a_subset_of_all() {
         for p in PAPER_WORKLOADS {
             assert!(ALL_WORKLOADS.contains(&p));
+        }
+    }
+
+    #[test]
+    fn corpus_workloads_are_registered_and_disjoint_from_the_trio() {
+        for c in CORPUS_WORKLOADS {
+            assert!(ALL_WORKLOADS.contains(&c));
+            assert!(!PAPER_WORKLOADS.contains(&c));
+            assert!(by_name(c, 2, WorkloadScale::Test, 1).is_some());
+        }
+    }
+
+    #[test]
+    fn tx_id_bases_do_not_collide_across_workloads() {
+        use std::collections::HashMap;
+        let mut owner: HashMap<u64, &str> = HashMap::new();
+        for name in ALL_WORKLOADS {
+            let w = by_name(name, 4, WorkloadScale::Test, 1).unwrap();
+            for tx in w.threads.iter().flat_map(|t| t.transactions.iter()) {
+                let prev = owner.insert(tx.tx_id, name);
+                assert!(
+                    prev.is_none() || prev == Some(name),
+                    "tx_id {:#x} shared by {} and {}",
+                    tx.tx_id,
+                    prev.unwrap(),
+                    name
+                );
+            }
         }
     }
 }

@@ -1,0 +1,911 @@
+//! On-disk trace format: record and replay workloads from files.
+//!
+//! Every synthetic generator in this crate produces a
+//! [`WorkloadTrace`]; this module gives that interface a file format, so
+//! the simulator can also be driven by traces captured outside the repo
+//! (instrumented applications, other simulators, hand-written pathologies).
+//!
+//! # Record grammar (`htmtrace v1`)
+//!
+//! A trace is a line-oriented UTF-8 file. The canonical form — what
+//! [`write_to`] emits and what round-trips byte-exactly — is:
+//!
+//! ```text
+//! htmtrace v1
+//! procs 2
+//! workload toy
+//! fingerprint 90b8385f9f7e1aa2
+//! thread 0 txs 1
+//! tx 16384 pre 12 ops 3
+//! r 640
+//! c 3
+//! w 640
+//! end
+//! thread 1 txs 0
+//! eof
+//! ```
+//!
+//! Header: four fixed lines (version, processor count, workload name,
+//! FNV-1a fingerprint as 16 hex digits). Body: one `thread T txs N`
+//! section per processor in order, each holding `N` transactions; a
+//! transaction is `tx ID pre P ops N`, `N` operation lines, then `end`.
+//! Operations are `r ADDR` (transactional load), `w ADDR` (transactional
+//! store), `c CYCLES` (non-memory compute), and `m ADDR` — reader-side
+//! sugar for a read-modify-write that expands to `r ADDR` + `w ADDR` and
+//! counts as **two** toward the declared `ops` count. The recorder never
+//! emits `m` (the in-memory [`Op`] has no RMW variant), which is what
+//! keeps record → read → record byte-identical. The file ends with `eof`;
+//! blank lines and `#` comments are tolerated anywhere after the version
+//! line but never written.
+//!
+//! # Fingerprint rule
+//!
+//! The header fingerprint is exactly [`WorkloadTrace::fingerprint`] — the
+//! order-sensitive FNV-1a hash the checkpoint layer already stores next to
+//! machine state. Because every count (`procs`, `txs`, `ops`) is declared
+//! before its content, the reader folds the hash *while streaming* and
+//! compares it against the header after the final `eof`: a flipped
+//! address, a dropped op or an edited name is caught without a second
+//! pass, and a trace loaded from disk carries the same identity the
+//! checkpoint layer would compute for the equivalent synthetic workload —
+//! so resume-against-the-wrong-trace is refused by the existing machinery.
+//!
+//! # Bounded-memory reader
+//!
+//! [`read_from`] parses from any [`BufRead`] through a single reused line
+//! buffer: the file text is never materialized, and transient state is one
+//! line plus one transaction's operations. The decoded [`WorkloadTrace`]
+//! is the same compact structure the generators build (~16 bytes per
+//! operation). [`validate_from`] drops each transaction after hashing it,
+//! so pre-flight checks over multi-million-reference traces run in O(1)
+//! memory no matter the file size.
+
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use htm_sim::checkpoint::Fnv64;
+use htm_tcc::txn::{Op, ThreadTrace, Transaction, WorkloadTrace};
+
+/// Format version this reader understands and the writer emits.
+pub const TRACE_VERSION: u32 = 1;
+
+/// Everything that can go wrong reading a trace file. Each failure mode
+/// the binaries must pre-flight (truncation, fingerprint mismatch, future
+/// version, over-declared processor count) gets its own variant so the
+/// CLI can exit 2 with a precise message instead of panicking.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line that does not match the record grammar.
+    Parse {
+        /// 1-based line number in the file.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// The file ended before the declared structure was complete.
+    Truncated {
+        /// 1-based line number where input ran out.
+        line: usize,
+        /// What the reader was still expecting.
+        expected: String,
+    },
+    /// The body hashed to a different fingerprint than the header declares.
+    FingerprintMismatch {
+        /// Fingerprint declared in the header.
+        declared: u64,
+        /// Fingerprint computed from the body.
+        computed: u64,
+    },
+    /// The file declares a format version newer than this reader.
+    UnsupportedVersion {
+        /// Version token found in the file (e.g. `"v2"`).
+        found: String,
+    },
+    /// The header declares more (or fewer) processors than the body holds.
+    ThreadCountMismatch {
+        /// `procs` value from the header.
+        declared: usize,
+        /// Thread sections actually present.
+        found: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+            TraceError::Truncated { line, expected } => write!(
+                f,
+                "trace truncated at line {line}: expected {expected} \
+                 (file ends inside the declared structure)"
+            ),
+            TraceError::FingerprintMismatch { declared, computed } => write!(
+                f,
+                "trace fingerprint mismatch: header declares {declared:016x} \
+                 but the body hashes to {computed:016x} (file edited or corrupted)"
+            ),
+            TraceError::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported trace format version `{found}` \
+                 (this build reads htmtrace v{TRACE_VERSION})"
+            ),
+            TraceError::ThreadCountMismatch { declared, found } => write!(
+                f,
+                "trace declares procs {declared} but contains {found} thread \
+                 section(s)"
+            ),
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// A trace loaded from disk: the decoded workload plus the verified
+/// fingerprint, ready to hand to `SimulationBuilder::workload`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadedTrace {
+    /// The decoded workload; `workload.name` is the recorded name.
+    pub workload: WorkloadTrace,
+    /// The verified FNV-1a fingerprint (equal to `workload.fingerprint()`).
+    pub fingerprint: u64,
+}
+
+impl LoadedTrace {
+    /// Stable name for this trace on the sweep/experiment workload axis:
+    /// `trace-{name}-{fp8}` where `fp8` is the first 8 hex digits of the
+    /// fingerprint. Two different files never share an axis name unless
+    /// they hold the same workload, so resuming a checkpointed run against
+    /// an edited trace re-keys every cell and is rejected up front.
+    #[must_use]
+    pub fn axis_name(&self) -> String {
+        let sanitized: String = self
+            .workload
+            .name
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        format!("trace-{}-{:08x}", sanitized, self.fingerprint >> 32)
+    }
+}
+
+/// Streaming statistics from a validation pass (no workload is built).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Recorded workload name.
+    pub name: String,
+    /// Processor count from the header.
+    pub procs: usize,
+    /// Total transactions across all threads.
+    pub transactions: usize,
+    /// Total operations (reads + writes + computes) across all threads.
+    pub ops: usize,
+    /// Total memory references (reads + writes) across all threads.
+    pub memory_refs: usize,
+    /// Verified fingerprint.
+    pub fingerprint: u64,
+}
+
+/// Serialize a workload in canonical `htmtrace v1` form.
+///
+/// # Errors
+/// Propagates writer failures.
+pub fn write_to<W: Write>(w: &mut W, workload: &WorkloadTrace) -> io::Result<()> {
+    writeln!(w, "htmtrace v{TRACE_VERSION}")?;
+    writeln!(w, "procs {}", workload.num_threads())?;
+    writeln!(w, "workload {}", workload.name)?;
+    writeln!(w, "fingerprint {:016x}", workload.fingerprint())?;
+    for (idx, thread) in workload.threads.iter().enumerate() {
+        writeln!(w, "thread {idx} txs {}", thread.transactions.len())?;
+        for tx in &thread.transactions {
+            writeln!(
+                w,
+                "tx {} pre {} ops {}",
+                tx.tx_id,
+                tx.pre_compute,
+                tx.ops.len()
+            )?;
+            for op in &tx.ops {
+                match op {
+                    Op::Read(a) => writeln!(w, "r {a}")?,
+                    Op::Write(a) => writeln!(w, "w {a}")?,
+                    Op::Compute(c) => writeln!(w, "c {c}")?,
+                }
+            }
+            writeln!(w, "end")?;
+        }
+    }
+    writeln!(w, "eof")
+}
+
+/// The canonical trace text for a workload (see [`write_to`]).
+#[must_use]
+pub fn render(workload: &WorkloadTrace) -> String {
+    let mut out = Vec::new();
+    write_to(&mut out, workload).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("trace text is ASCII")
+}
+
+/// Record a workload to `path` in canonical form.
+///
+/// # Errors
+/// Propagates file-creation and write failures.
+pub fn record_to_path(path: impl AsRef<Path>, workload: &WorkloadTrace) -> Result<(), TraceError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_to(&mut w, workload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read and verify a trace, materializing the workload.
+///
+/// # Errors
+/// Any [`TraceError`]: I/O, grammar, truncation, fingerprint mismatch,
+/// unsupported version, or a processor-count mismatch.
+pub fn read_from<R: BufRead>(reader: R) -> Result<LoadedTrace, TraceError> {
+    let mut threads: Vec<ThreadTrace> = Vec::new();
+    let (header, fingerprint) = stream(reader, |thread, tx| {
+        while threads.len() <= thread {
+            threads.push(ThreadTrace::default());
+        }
+        threads[thread].transactions.push(tx);
+    })?;
+    while threads.len() < header.procs {
+        threads.push(ThreadTrace::default());
+    }
+    Ok(LoadedTrace {
+        workload: WorkloadTrace::new(header.name, threads),
+        fingerprint,
+    })
+}
+
+/// Read and verify a trace file, materializing the workload.
+///
+/// # Errors
+/// See [`read_from`].
+pub fn read_from_path(path: impl AsRef<Path>) -> Result<LoadedTrace, TraceError> {
+    read_from(BufReader::new(File::open(path)?))
+}
+
+/// Stream a trace for verification only: the full structure is parsed and
+/// the fingerprint checked, but every transaction is dropped after
+/// hashing, so memory use is O(largest transaction) regardless of file
+/// size.
+///
+/// # Errors
+/// See [`read_from`].
+pub fn validate_from<R: BufRead>(reader: R) -> Result<TraceSummary, TraceError> {
+    let mut transactions = 0usize;
+    let mut ops = 0usize;
+    let mut memory_refs = 0usize;
+    let (header, fingerprint) = stream(reader, |_, tx| {
+        transactions += 1;
+        ops += tx.ops.len();
+        memory_refs += tx.memory_ops();
+    })?;
+    Ok(TraceSummary {
+        name: header.name,
+        procs: header.procs,
+        transactions,
+        ops,
+        memory_refs,
+        fingerprint,
+    })
+}
+
+/// Validate a trace file without materializing the workload.
+///
+/// # Errors
+/// See [`read_from`].
+pub fn validate_path(path: impl AsRef<Path>) -> Result<TraceSummary, TraceError> {
+    validate_from(BufReader::new(File::open(path)?))
+}
+
+struct Header {
+    procs: usize,
+    name: String,
+    fingerprint: u64,
+}
+
+/// Line source that skips blanks/comments and tracks 1-based line numbers.
+struct Lines<R> {
+    inner: R,
+    buf: String,
+    line: usize,
+}
+
+impl<R: BufRead> Lines<R> {
+    fn new(inner: R) -> Self {
+        Self {
+            inner,
+            buf: String::new(),
+            line: 0,
+        }
+    }
+
+    /// Advance to the next non-blank, non-comment line; the content is in
+    /// `self.buf` (trailing newline stripped). Returns `false` at EOF.
+    fn advance(&mut self) -> Result<bool, TraceError> {
+        loop {
+            self.buf.clear();
+            if self.inner.read_line(&mut self.buf)? == 0 {
+                return Ok(false);
+            }
+            self.line += 1;
+            while self.buf.ends_with('\n') || self.buf.ends_with('\r') {
+                self.buf.pop();
+            }
+            let trimmed = self.buf.trim_start();
+            if !trimmed.is_empty() && !trimmed.starts_with('#') {
+                return Ok(true);
+            }
+        }
+    }
+
+    fn expect(&mut self, expected: &str) -> Result<(), TraceError> {
+        if self.advance()? {
+            Ok(())
+        } else {
+            Err(TraceError::Truncated {
+                line: self.line + 1,
+                expected: expected.to_string(),
+            })
+        }
+    }
+
+    fn parse_err(&self, message: impl Into<String>) -> TraceError {
+        TraceError::Parse {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+}
+
+fn parse_u64<R: BufRead>(lines: &Lines<R>, token: &str, what: &str) -> Result<u64, TraceError> {
+    token
+        .parse::<u64>()
+        .map_err(|_| lines.parse_err(format!("invalid {what} `{token}`")))
+}
+
+/// Parse + verify a trace, handing each transaction to `sink(thread, tx)`
+/// as it completes. The FNV fingerprint is folded incrementally in exactly
+/// the order of `htm_tcc::txn::fingerprint_parts` and checked against the
+/// header after `eof`.
+fn stream<R: BufRead, F: FnMut(usize, Transaction)>(
+    reader: R,
+    mut sink: F,
+) -> Result<(Header, u64), TraceError> {
+    let mut lines = Lines::new(reader);
+    let header = read_header(&mut lines)?;
+
+    let mut hash = Fnv64::new();
+    hash.write_u64(header.name.len() as u64);
+    hash.write(header.name.as_bytes());
+    hash.write_u64(header.procs as u64);
+
+    for thread_idx in 0..header.procs {
+        if !lines.advance()? || lines.buf.trim() == "eof" {
+            // Header promised more processors than the body delivers: the
+            // dedicated over-declared-procs pre-flight, not a generic
+            // truncation.
+            return Err(TraceError::ThreadCountMismatch {
+                declared: header.procs,
+                found: thread_idx,
+            });
+        }
+        let txs = parse_thread_line(&lines, thread_idx)?;
+        hash.write_u64(txs as u64);
+        for _ in 0..txs {
+            let tx = read_tx(&mut lines, &mut hash)?;
+            sink(thread_idx, tx);
+        }
+    }
+
+    lines.expect("`eof` trailer")?;
+    if lines.buf.trim() != "eof" {
+        if lines.buf.trim().starts_with("thread ") {
+            // More thread sections than the header declared.
+            let extra = count_extra_threads(&mut lines)?;
+            return Err(TraceError::ThreadCountMismatch {
+                declared: header.procs,
+                found: header.procs + 1 + extra,
+            });
+        }
+        return Err(lines.parse_err(format!("expected `eof`, found `{}`", lines.buf.trim())));
+    }
+    if lines.advance()? {
+        return Err(lines.parse_err("trailing content after `eof`"));
+    }
+
+    let computed = hash.finish();
+    if computed != header.fingerprint {
+        return Err(TraceError::FingerprintMismatch {
+            declared: header.fingerprint,
+            computed,
+        });
+    }
+    Ok((header, computed))
+}
+
+fn count_extra_threads<R: BufRead>(lines: &mut Lines<R>) -> Result<usize, TraceError> {
+    let mut extra = 0;
+    while lines.advance()? {
+        if lines.buf.trim().starts_with("thread ") {
+            extra += 1;
+        }
+    }
+    Ok(extra)
+}
+
+fn read_header<R: BufRead>(lines: &mut Lines<R>) -> Result<Header, TraceError> {
+    lines.expect("`htmtrace v1` header")?;
+    let version = lines
+        .buf
+        .trim()
+        .strip_prefix("htmtrace ")
+        .ok_or_else(|| lines.parse_err("not an htmtrace file (missing `htmtrace v1` header)"))?
+        .to_string();
+    if version != format!("v{TRACE_VERSION}") {
+        return Err(TraceError::UnsupportedVersion { found: version });
+    }
+
+    lines.expect("`procs N` header line")?;
+    let procs = {
+        let token = lines
+            .buf
+            .trim()
+            .strip_prefix("procs ")
+            .ok_or_else(|| lines.parse_err("expected `procs N`"))?
+            .trim()
+            .to_string();
+        let n = parse_u64(lines, &token, "processor count")? as usize;
+        if n == 0 {
+            return Err(lines.parse_err("processor count must be at least 1"));
+        }
+        n
+    };
+
+    lines.expect("`workload NAME` header line")?;
+    let name = lines
+        .buf
+        .trim()
+        .strip_prefix("workload ")
+        .ok_or_else(|| lines.parse_err("expected `workload NAME`"))?
+        .trim()
+        .to_string();
+    if name.is_empty() {
+        return Err(lines.parse_err("workload name must not be empty"));
+    }
+
+    lines.expect("`fingerprint HEX16` header line")?;
+    let fingerprint = {
+        let token = lines
+            .buf
+            .trim()
+            .strip_prefix("fingerprint ")
+            .ok_or_else(|| lines.parse_err("expected `fingerprint HEX16`"))?
+            .trim()
+            .to_string();
+        u64::from_str_radix(&token, 16)
+            .map_err(|_| lines.parse_err(format!("invalid fingerprint `{token}`")))?
+    };
+
+    Ok(Header {
+        procs,
+        name,
+        fingerprint,
+    })
+}
+
+fn parse_thread_line<R: BufRead>(
+    lines: &Lines<R>,
+    expected_idx: usize,
+) -> Result<usize, TraceError> {
+    let mut parts = lines.buf.trim().split_ascii_whitespace();
+    let (kw, idx, txs_kw, txs) = (parts.next(), parts.next(), parts.next(), parts.next());
+    match (kw, idx, txs_kw, txs, parts.next()) {
+        (Some("thread"), Some(idx), Some("txs"), Some(txs), None) => {
+            let idx = parse_u64(lines, idx, "thread index")? as usize;
+            if idx != expected_idx {
+                return Err(lines.parse_err(format!(
+                    "thread sections must be sequential: expected thread {expected_idx}, \
+                     found thread {idx}"
+                )));
+            }
+            Ok(parse_u64(lines, txs, "transaction count")? as usize)
+        }
+        _ => Err(lines.parse_err(format!(
+            "expected `thread {expected_idx} txs N`, found `{}`",
+            lines.buf.trim()
+        ))),
+    }
+}
+
+fn read_tx<R: BufRead>(lines: &mut Lines<R>, hash: &mut Fnv64) -> Result<Transaction, TraceError> {
+    lines.expect("`tx ID pre P ops N` line")?;
+    let (tx_id, pre_compute, declared_ops) = {
+        let mut parts = lines.buf.trim().split_ascii_whitespace();
+        match (
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+        ) {
+            (Some("tx"), Some(id), Some("pre"), Some(pre), Some("ops"), Some(n), None) => (
+                parse_u64(lines, id, "tx id")?,
+                parse_u64(lines, pre, "pre-compute cycle count")?,
+                parse_u64(lines, n, "op count")? as usize,
+            ),
+            _ => {
+                return Err(lines.parse_err(format!(
+                    "expected `tx ID pre P ops N`, found `{}`",
+                    lines.buf.trim()
+                )))
+            }
+        }
+    };
+
+    hash.write_u64(tx_id);
+    hash.write_u64(pre_compute);
+    hash.write_u64(declared_ops as u64);
+
+    let mut ops = Vec::with_capacity(declared_ops);
+    while ops.len() < declared_ops {
+        lines.expect(&format!(
+            "operation line ({} of {} in current tx)",
+            ops.len() + 1,
+            declared_ops
+        ))?;
+        let (kind, value) = {
+            let mut parts = lines.buf.trim().split_ascii_whitespace();
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(kind), Some(value), None) => (kind.to_string(), value.to_string()),
+                _ => {
+                    return Err(lines.parse_err(format!(
+                        "expected `r|w|c|m VALUE`, found `{}`",
+                        lines.buf.trim()
+                    )))
+                }
+            }
+        };
+        let value = parse_u64(lines, &value, "operand")?;
+        match kind.as_str() {
+            "r" => ops.push(Op::Read(value)),
+            "w" => ops.push(Op::Write(value)),
+            "c" => ops.push(Op::Compute(value)),
+            "m" => {
+                // Read-modify-write sugar: two ops toward the declared count.
+                if ops.len() + 2 > declared_ops {
+                    return Err(lines.parse_err(
+                        "`m` expands to a read + a write and needs 2 remaining \
+                         declared ops",
+                    ));
+                }
+                ops.push(Op::Read(value));
+                ops.push(Op::Write(value));
+            }
+            other => return Err(lines.parse_err(format!("unknown op kind `{other}`"))),
+        }
+    }
+
+    lines.expect("`end` after the declared ops")?;
+    if lines.buf.trim() != "end" {
+        return Err(lines.parse_err(format!(
+            "expected `end` after {declared_ops} ops, found `{}`",
+            lines.buf.trim()
+        )));
+    }
+
+    for op in &ops {
+        match op {
+            Op::Read(a) => {
+                hash.write_u64(0);
+                hash.write_u64(*a);
+            }
+            Op::Write(a) => {
+                hash.write_u64(1);
+                hash.write_u64(*a);
+            }
+            Op::Compute(c) => {
+                hash.write_u64(2);
+                hash.write_u64(*c);
+            }
+        }
+    }
+
+    Ok(Transaction {
+        tx_id,
+        pre_compute,
+        ops,
+    })
+}
+
+/// Convenience: a reader that counts raw bytes as they stream through,
+/// used by tests to show the file is consumed incrementally.
+pub struct CountingReader<R> {
+    inner: R,
+    bytes: u64,
+}
+
+impl<R> CountingReader<R> {
+    /// Wrap a reader.
+    pub fn new(inner: R) -> Self {
+        Self { inner, bytes: 0 }
+    }
+
+    /// Bytes pulled through so far.
+    #[must_use]
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadScale;
+
+    fn toy() -> WorkloadTrace {
+        crate::by_name("intruder", 3, WorkloadScale::Test, 42).unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_byte_exact() {
+        let w = toy();
+        let text = render(&w);
+        let loaded = read_from(text.as_bytes()).unwrap();
+        assert_eq!(loaded.workload, w);
+        assert_eq!(loaded.fingerprint, w.fingerprint());
+        assert_eq!(render(&loaded.workload), text);
+    }
+
+    #[test]
+    fn validate_matches_read() {
+        let w = toy();
+        let text = render(&w);
+        let summary = validate_from(text.as_bytes()).unwrap();
+        assert_eq!(summary.name, "intruder");
+        assert_eq!(summary.procs, 3);
+        assert_eq!(summary.transactions, w.total_transactions());
+        assert_eq!(summary.fingerprint, w.fingerprint());
+        let refs: usize = w
+            .threads
+            .iter()
+            .flat_map(|t| t.transactions.iter())
+            .map(Transaction::memory_ops)
+            .sum();
+        assert_eq!(summary.memory_refs, refs);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_tolerated() {
+        let w = toy();
+        let mut text = String::from("# recorded by a human\n\n");
+        for line in render(&w).lines() {
+            text.push_str(line);
+            text.push_str("\n# note\n\n");
+        }
+        let loaded = read_from(text.as_bytes()).unwrap();
+        assert_eq!(loaded.workload, w);
+    }
+
+    #[test]
+    fn rmw_sugar_expands_to_read_plus_write() {
+        let text = "htmtrace v1\n\
+                    procs 1\n\
+                    workload rmwtoy\n\
+                    fingerprint 0\n\
+                    thread 0 txs 1\n\
+                    tx 7 pre 0 ops 2\n\
+                    m 640\n\
+                    end\n\
+                    eof\n";
+        // Fingerprint is wrong on purpose; grab the computed one from the error.
+        let err = read_from(text.as_bytes()).unwrap_err();
+        let computed = match err {
+            TraceError::FingerprintMismatch { computed, .. } => computed,
+            other => panic!("expected fingerprint mismatch, got {other}"),
+        };
+        let fixed = text.replace("fingerprint 0", &format!("fingerprint {computed:016x}"));
+        let loaded = read_from(fixed.as_bytes()).unwrap();
+        let ops = &loaded.workload.threads[0].transactions[0].ops;
+        assert_eq!(ops, &vec![Op::Read(640), Op::Write(640)]);
+        // The expansion is hashed as r + w, i.e. identical to the explicit form.
+        let explicit = fixed.replace("m 640", "r 640\nw 640");
+        assert_eq!(
+            read_from(explicit.as_bytes()).unwrap().workload,
+            loaded.workload
+        );
+    }
+
+    #[test]
+    fn rmw_overflowing_declared_ops_is_a_parse_error() {
+        let text = "htmtrace v1\nprocs 1\nworkload t\nfingerprint 0\n\
+                    thread 0 txs 1\ntx 1 pre 0 ops 1\nm 64\nend\neof\n";
+        match read_from(text.as_bytes()).unwrap_err() {
+            TraceError::Parse { line, .. } => assert_eq!(line, 7),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_reported_with_line_number() {
+        let w = toy();
+        let text = render(&w);
+        let cut = text.len() / 2;
+        let cut = text[..cut].rfind('\n').unwrap() + 1;
+        match read_from(&text.as_bytes()[..cut]).unwrap_err() {
+            TraceError::Truncated { line, .. } => assert!(line > 4),
+            other => panic!("expected truncation error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_eof_is_truncation() {
+        let w = toy();
+        let text = render(&w);
+        let no_eof = text.strip_suffix("eof\n").unwrap();
+        match read_from(no_eof.as_bytes()).unwrap_err() {
+            TraceError::Truncated { expected, .. } => assert!(expected.contains("eof")),
+            other => panic!("expected truncation error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn edited_body_fails_the_fingerprint_check() {
+        let w = toy();
+        let text = render(&w);
+        // Rewrite the first read's address; structure stays valid, hash changes.
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("r "))
+            .unwrap()
+            .to_string();
+        let edited = text.replacen(&line, "r 1234567", 1);
+        match read_from(edited.as_bytes()).unwrap_err() {
+            TraceError::FingerprintMismatch { declared, computed } => {
+                assert_eq!(declared, w.fingerprint());
+                assert_ne!(computed, declared);
+            }
+            other => panic!("expected fingerprint mismatch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn future_version_is_refused_up_front() {
+        let text = "htmtrace v2\nprocs 1\nworkload t\nfingerprint 0\neof\n";
+        match read_from(text.as_bytes()).unwrap_err() {
+            TraceError::UnsupportedVersion { found } => assert_eq!(found, "v2"),
+            other => panic!("expected version error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn over_declared_procs_is_a_dedicated_error() {
+        let w = toy();
+        let text = render(&w).replace("procs 3", "procs 64");
+        match read_from(text.as_bytes()).unwrap_err() {
+            TraceError::ThreadCountMismatch { declared, found } => {
+                assert_eq!(declared, 64);
+                assert_eq!(found, 3);
+            }
+            other => panic!("expected thread-count mismatch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn under_declared_procs_is_also_refused() {
+        let w = toy();
+        let text = render(&w).replace("procs 3", "procs 2");
+        match read_from(text.as_bytes()).unwrap_err() {
+            TraceError::ThreadCountMismatch { declared, found } => {
+                assert_eq!(declared, 2);
+                assert!(found > 2);
+            }
+            other => panic!("expected thread-count mismatch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn non_sequential_thread_sections_are_rejected() {
+        let text = "htmtrace v1\nprocs 2\nworkload t\nfingerprint 0\n\
+                    thread 1 txs 0\nthread 0 txs 0\neof\n";
+        match read_from(text.as_bytes()).unwrap_err() {
+            TraceError::Parse { line, message } => {
+                assert_eq!(line, 5);
+                assert!(message.contains("sequential"));
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn trailing_content_after_eof_is_rejected() {
+        let w = toy();
+        let text = render(&w) + "r 640\n";
+        match read_from(text.as_bytes()).unwrap_err() {
+            TraceError::Parse { message, .. } => assert!(message.contains("trailing")),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn not_a_trace_file_is_a_parse_error_on_line_1() {
+        match read_from("{\"json\": true}\n".as_bytes()).unwrap_err() {
+            TraceError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn axis_name_is_stable_and_sanitized() {
+        let w = toy();
+        let loaded = read_from(render(&w).as_bytes()).unwrap();
+        let expected = format!("trace-intruder-{:08x}", w.fingerprint() >> 32);
+        assert_eq!(loaded.axis_name(), expected);
+        let odd = LoadedTrace {
+            workload: WorkloadTrace::new("My Trace.v2", vec![]),
+            fingerprint: 0xabcd_ef01_2345_6789,
+        };
+        assert_eq!(odd.axis_name(), "trace-my-trace-v2-abcdef01");
+    }
+
+    #[test]
+    fn file_round_trip_through_disk() {
+        let dir = std::env::temp_dir().join("htm-trace-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.trace");
+        let w = toy();
+        record_to_path(&path, &w).unwrap();
+        let loaded = read_from_path(&path).unwrap();
+        assert_eq!(loaded.workload, w);
+        let summary = validate_path(&path).unwrap();
+        assert_eq!(summary.fingerprint, w.fingerprint());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        match read_from_path("/nonexistent/trace/file.trace").unwrap_err() {
+            TraceError::Io(_) => {}
+            other => panic!("expected io error, got {other}"),
+        }
+    }
+}

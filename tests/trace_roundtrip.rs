@@ -1,0 +1,119 @@
+//! Round-trip contract of the trace subsystem (see `docs/DESIGN.md`,
+//! "Trace format & round-trip contract").
+//!
+//! Three properties, proptested over (workload × procs × seed):
+//!
+//! 1. **Value identity**: record → write → read back is the identity on
+//!    [`WorkloadTrace`] values.
+//! 2. **Byte identity**: re-rendering a read-back trace reproduces the
+//!    original file byte for byte (the reader materializes exactly what the
+//!    writer wrote — no canonicalization drift).
+//! 3. **Report identity**: simulating the read-back trace produces a
+//!    byte-identical serialized report to simulating the generator's
+//!    original — a trace file is a full-fidelity substitute for the
+//!    generator that produced it.
+//!
+//! Plus the bounded-memory scale check: a tiled trace with more than a
+//! million memory references streams through the O(1)-state validator.
+
+use clock_gate_on_abort::core::report::to_json;
+use clock_gate_on_abort::core::sim::{EngineKind, GatingMode, SimulationBuilder};
+use clock_gate_on_abort::tcc::txn::WorkloadTrace;
+use clock_gate_on_abort::workloads::{by_name, trace, WorkloadScale, CORPUS_WORKLOADS};
+use proptest::prelude::*;
+
+fn simulate(workload: WorkloadTrace) -> String {
+    let report = SimulationBuilder::new()
+        .processors(workload.num_threads())
+        .workload(workload)
+        .gating(GatingMode::ClockGate { w0: 8 })
+        .cycle_limit(50_000_000)
+        .engine(EngineKind::FastForward)
+        .run()
+        .unwrap();
+    to_json(&report)
+}
+
+/// The palette the properties sample from: the paper's trio plus the whole
+/// extension corpus.
+fn palette() -> Vec<&'static str> {
+    let mut names = vec!["genome", "yada", "intruder"];
+    names.extend(CORPUS_WORKLOADS);
+    names
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn record_write_read_resimulate_is_byte_identical(
+        workload_idx in 0usize..12,
+        procs in 2usize..5,
+        seed in 0u64..64,
+    ) {
+        let name = palette()[workload_idx];
+        let original = by_name(name, procs, WorkloadScale::Test, seed).unwrap();
+        let text = trace::render(&original);
+        let loaded = trace::read_from(text.as_bytes()).unwrap();
+
+        // 1. Value identity.
+        prop_assert_eq!(&loaded.workload, &original);
+        prop_assert_eq!(loaded.fingerprint, original.fingerprint());
+
+        // 2. Byte identity of the re-rendered file.
+        prop_assert_eq!(trace::render(&loaded.workload), text);
+
+        // 3. Byte identity of the simulation reports.
+        prop_assert_eq!(simulate(loaded.workload), simulate(original));
+    }
+
+    /// O(1)-state validation agrees with the full reader on every summary
+    /// field, so `validate` can gate huge traces without materializing them.
+    #[test]
+    fn validate_agrees_with_the_full_reader(
+        workload_idx in 0usize..12,
+        seed in 0u64..64,
+    ) {
+        let name = palette()[workload_idx];
+        let original = by_name(name, 3, WorkloadScale::Test, seed).unwrap();
+        let text = trace::render(&original);
+        let summary = trace::validate_from(text.as_bytes()).unwrap();
+        prop_assert_eq!(summary.name, original.name.clone());
+        prop_assert_eq!(summary.procs, 3);
+        prop_assert_eq!(summary.transactions, original.total_transactions());
+        prop_assert_eq!(summary.memory_refs, original.total_memory_refs());
+        prop_assert_eq!(summary.fingerprint, original.fingerprint());
+    }
+}
+
+#[test]
+fn a_million_reference_trace_streams_through_the_validator() {
+    // `tiled` repeats each thread's transaction sequence, which is exactly
+    // how `reproduce --record-trace --from name:...:xN` builds long traces.
+    let base = by_name("intruder", 4, WorkloadScale::Test, 42).unwrap();
+    let per_tile = base.total_memory_refs();
+    let tiles = 1_000_000 / per_tile + 1;
+    let big = base.tiled(tiles);
+    assert!(big.total_memory_refs() > 1_000_000);
+
+    let dir = std::env::temp_dir().join(format!("clockgate-bigtrace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("big.trace");
+    trace::record_to_path(&path, &big).unwrap();
+
+    // The validator holds only counters and the running fingerprint; the
+    // multi-megabyte body is consumed line by line.
+    let summary = trace::validate_path(&path).unwrap();
+    assert_eq!(summary.memory_refs, big.total_memory_refs());
+    assert_eq!(summary.transactions, base.total_transactions() * tiles);
+    assert_eq!(summary.fingerprint, big.fingerprint());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tiling_preserves_the_round_trip() {
+    let base = by_name("ring", 4, WorkloadScale::Test, 7).unwrap();
+    let tiled = base.tiled(3);
+    let loaded = trace::read_from(trace::render(&tiled).as_bytes()).unwrap();
+    assert_eq!(loaded.workload, tiled);
+}
