@@ -1,0 +1,67 @@
+//! PDES engine scaling — serial vs island-parallel vs time-windowed.
+//!
+//! Not a figure from the paper; this tracks the simulation substrate's
+//! parallel stepping engines against the serial fast-forward baseline on
+//! the two workload regimes that distinguish them:
+//!
+//! * `clustered` decomposes into conflict-isolated islands — the
+//!   shard-parallel engine's home turf.
+//! * `hotspot` is one contended conflict component — the island engine
+//!   falls back to serial and only the windowed conservative PDES engine
+//!   can split work (by home bank, one lookahead window at a time).
+//!
+//! All three engines produce byte-identical reports (pinned by the
+//! `engine_differential` suite); this bench records what that exactness
+//! costs or buys in wall-clock. On a single-core host the parallel engines
+//! can only lose (coordination overhead with no cores to spend it on) — the
+//! committed `BENCH_pdes.json` numbers are exactly that honest baseline,
+//! regenerated via `tools/bench_pdes.sh`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clockgate_htm::sim::{EngineKind, GatingMode, SimulationBuilder};
+use htm_sim::topology::TopologyConfig;
+use htm_workloads::WorkloadScale;
+
+fn total_cycles(workload: &str, procs: usize, engine: EngineKind) -> u64 {
+    SimulationBuilder::new()
+        .processors(procs)
+        .topology(TopologyConfig::sharded_default())
+        .workload_by_name(workload, WorkloadScale::Test, 11)
+        .unwrap()
+        .gating(GatingMode::ClockGate { w0: 8 })
+        .cycle_limit(50_000_000)
+        .engine(engine)
+        .run()
+        .unwrap()
+        .outcome
+        .total_cycles
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pdes_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for workload in ["hotspot", "clustered"] {
+        for procs in [64usize, 256] {
+            for engine in [
+                EngineKind::FastForward,
+                EngineKind::ShardParallel,
+                EngineKind::Windowed,
+            ] {
+                group.bench_function(format!("{workload}_{procs}p_{}", engine.label()), |b| {
+                    b.iter(|| black_box(total_cycles(workload, procs, engine)));
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -16,12 +16,17 @@
 //!
 //! Engine and topology options:
 //!
-//! * `--engine fast|naive|shard` selects the stepping engine (default
-//!   `fast`, the event-driven fast-forward engine; `naive` is the
+//! * `--engine fast|naive|shard|windowed|auto` selects the stepping engine
+//!   (default `fast`, the event-driven fast-forward engine; `naive` is the
 //!   one-step-per-cycle reference; `shard` is the shard-parallel engine
-//!   that simulates conflict-isolated islands on parallel host threads).
-//!   All three produce byte-identical table/figure artifacts — CI runs the
-//!   smoke matrices with every engine and fails on any divergence.
+//!   that simulates conflict-isolated islands on parallel host threads;
+//!   `windowed` is the time-windowed conservative PDES engine that
+//!   parallelizes *within* a contended run by advancing per-bank groups one
+//!   lookahead window at a time; `auto` picks per run — fast-forward on the
+//!   bus, shard-parallel when the workload splits into >1 island, windowed
+//!   for single-island sharded runs). All engines produce byte-identical
+//!   table/figure artifacts — CI runs the smoke matrices with every engine
+//!   and fails on any divergence.
 //! * `--topology bus|sharded[:BANKS[:mesh|xbar]]` swaps the interconnect
 //!   (default `bus`, the paper's machine; see `docs/SCALING.md`).
 //! * `--scale-smoke` is the large-machine CI gate: tiny workloads
@@ -42,7 +47,7 @@ use clockgate_htm::experiments::{
     self, EvaluationMatrix, ExperimentConfig, Fig7Result, MatrixCheckpoint,
 };
 use clockgate_htm::report;
-use clockgate_htm::sim::EngineKind;
+use clockgate_htm::sim::EngineChoice;
 use htm_power::model::PowerModel;
 use htm_sim::topology::TopologyConfig;
 
@@ -97,9 +102,16 @@ fn usage() -> ! {
          \x20 --out DIR       write each produced table/figure as DIR/<name>.json;\n\
          \x20                 matrix targets additionally write the per-component\n\
          \x20                 energy_breakdown.json ledger artifact\n\
-         \x20 --engine E      stepping engine: fast (default), naive, or shard\n\
-         \x20                 (shard-parallel islands on host threads);\n\
-         \x20                 artifacts are byte-identical in every case\n\
+         \x20 --engine E      stepping engine: fast (default), naive, shard\n\
+         \x20                 (shard-parallel islands on host threads),\n\
+         \x20                 windowed (time-windowed conservative PDES:\n\
+         \x20                 per-bank groups advance a provable lookahead\n\
+         \x20                 window at a time, parallelizing even contended\n\
+         \x20                 single-island runs), or auto (per run: fast on\n\
+         \x20                 the bus or a single-bank fabric, shard when the\n\
+         \x20                 workload splits into >1 island, windowed\n\
+         \x20                 otherwise); artifacts are byte-identical in\n\
+         \x20                 every case\n\
          \x20 --topology T    interconnect: bus (default) or\n\
          \x20                 sharded[:BANKS[:mesh|xbar]] (BANKS=0: one bank per\n\
          \x20                 directory); see docs/SCALING.md\n\
@@ -226,7 +238,7 @@ fn main() {
     let mut smoke = false;
     let mut scale_smoke = false;
     let mut timing = false;
-    let mut engine = EngineKind::FastForward;
+    let mut engine = EngineChoice::default();
     let mut topology = TopologyConfig::Bus;
     let mut out_dir: Option<PathBuf> = None;
     let mut checkpoint_every: Option<u64> = None;
@@ -248,15 +260,13 @@ fn main() {
                 outln!(
                     "\nEvery policy runs on either interconnect topology \
                      (--topology bus|sharded[:BANKS[:mesh|xbar]], default bus) \
-                     and any stepping engine (--engine fast|naive|shard)."
+                     and any stepping engine (--engine fast|naive|shard|windowed|auto)."
                 );
                 return;
             }
-            "--engine" => match args.next().as_deref() {
-                Some("fast" | "fast-forward") => engine = EngineKind::FastForward,
-                Some("naive") => engine = EngineKind::Naive,
-                Some("shard" | "shard-parallel") => engine = EngineKind::ShardParallel,
-                _ => usage(),
+            "--engine" => match args.next().as_deref().and_then(EngineChoice::parse) {
+                Some(choice) => engine = choice,
+                None => usage(),
             },
             "--topology" => match args.next().as_deref().and_then(TopologyConfig::parse) {
                 Some(t) => topology = t,

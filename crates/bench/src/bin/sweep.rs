@@ -19,7 +19,7 @@ use std::io::Write;
 use std::path::PathBuf;
 
 use clockgate_htm::report;
-use clockgate_htm::sim::EngineKind;
+use clockgate_htm::sim::EngineChoice;
 use clockgate_htm::sweep::{self, SweepGrid, SweepObjective};
 use htm_sim::topology::TopologyConfig;
 
@@ -44,7 +44,7 @@ macro_rules! outln {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sweep --grid NAME | --trace FILE [--out DIR] [--engine fast|naive|shard] [--topology T] [--objective O]\n\
+        "usage: sweep --grid NAME | --trace FILE [--out DIR] [--engine fast|naive|shard|windowed|auto] [--topology T] [--objective O]\n\
          \x20            [--resume] [--checkpoint-every N] [--checkpoint-dir D] [--replay-to CYCLE --replay-key KEY]\n\
          \x20            [--list] [--list-policies]\n\
          \n\
@@ -63,9 +63,13 @@ fn usage() -> ! {
          \x20                 error, and --resume against records from any other\n\
          \x20                 trace or grid is rejected as foreign\n\
          \x20 --out DIR       artifact directory (default sweep-out/<grid>)\n\
-         \x20 --engine E      stepping engine: fast (default), naive, or shard\n\
-         \x20                 (shard-parallel islands on host threads);\n\
-         \x20                 artifacts are byte-identical in every case\n\
+         \x20 --engine E      stepping engine: fast (default), naive, shard\n\
+         \x20                 (shard-parallel islands on host threads),\n\
+         \x20                 windowed (time-windowed conservative PDES for\n\
+         \x20                 contended sharded runs), or auto (picks per\n\
+         \x20                 cell: fast on the bus, shard for >1 island,\n\
+         \x20                 windowed otherwise); artifacts are\n\
+         \x20                 byte-identical in every case\n\
          \x20 --topology T    interconnect: bus (default) or\n\
          \x20                 sharded[:BANKS[:mesh|xbar]] (BANKS=0: one bank per\n\
          \x20                 directory); sharded cell keys carry a topology\n\
@@ -132,7 +136,7 @@ fn main() {
     let mut grid_name: Option<String> = None;
     let mut trace_path: Option<PathBuf> = None;
     let mut out_dir: Option<PathBuf> = None;
-    let mut engine = EngineKind::FastForward;
+    let mut engine = EngineChoice::default();
     let mut topology = TopologyConfig::Bus;
     let mut objective = SweepObjective::Energy;
     let mut resume = false;
@@ -158,11 +162,9 @@ fn main() {
                 Some(dir) => out_dir = Some(PathBuf::from(dir)),
                 None => usage(),
             },
-            "--engine" => match args.next().as_deref() {
-                Some("fast" | "fast-forward") => engine = EngineKind::FastForward,
-                Some("naive") => engine = EngineKind::Naive,
-                Some("shard" | "shard-parallel") => engine = EngineKind::ShardParallel,
-                _ => usage(),
+            "--engine" => match args.next().as_deref().and_then(EngineChoice::parse) {
+                Some(choice) => engine = choice,
+                None => usage(),
             },
             "--topology" => match args.next().as_deref().and_then(TopologyConfig::parse) {
                 Some(t) => topology = t,

@@ -1,10 +1,10 @@
 //! Divergence-hunting fuzz harness for the stepping engines.
 //!
 //! The simulator's core robustness claim is the exactness invariant: the
-//! event-driven fast-forward engine and the shard-parallel island engine
-//! must reproduce the one-step-per-cycle naive reference engine *byte for
-//! byte* in every report field, for every machine configuration and every
-//! workload trace. The `engine_differential` suite pins that claim on fixed
+//! event-driven fast-forward engine, the shard-parallel island engine and
+//! the time-windowed conservative PDES engine must reproduce the
+//! one-step-per-cycle naive reference engine *byte for byte* in every
+//! report field, for every machine configuration and every workload trace. The `engine_differential` suite pins that claim on fixed
 //! grids and proptest-generated traces; this module hunts for violations
 //! adversarially and, when it finds one, boils it down to the smallest
 //! reproducing case:
@@ -18,7 +18,7 @@
 //!    and adversarial microbenchmarks), so realistic hotspot/zipfian/ring
 //!    access patterns reach the engine diff too; [`mutate_case`] perturbs an
 //!    existing case the way a coverage-guided fuzzer would.
-//! 2. [`run_case`] runs the case on all three engines and diffs the full
+//! 2. [`run_case`] runs the case on all four engines and diffs the full
 //!    serialized [`SimReport`]s **field-wise** (flattened JSON paths, so a
 //!    single drifting counter is named precisely).
 //! 3. [`shrink_case`] greedily minimizes a diverging case — dropping
@@ -486,23 +486,27 @@ fn run_engine(
         .engine(engine);
     // The planted bug lives in the batched (fast-forward) accounting path,
     // which the naive engine never takes; perturbing only the fast engine
-    // keeps both the reference and the shard engine honest witnesses.
+    // keeps the reference and the shard/windowed engines honest witnesses.
     if inject_bug && engine == EngineKind::FastForward {
         builder = builder.debug_perturb_fast_accounting();
     }
     builder.run()
 }
 
-/// Run a case on all three engines and field-wise diff the fast-forward and
-/// shard-parallel reports against the naive reference. An empty vector
-/// means the exactness invariant held.
+/// Run a case on all four engines and field-wise diff the fast-forward,
+/// shard-parallel and windowed reports against the naive reference. An
+/// empty vector means the exactness invariant held.
 ///
 /// # Errors
 /// Propagates simulation errors (bad configuration, cycle-limit overrun).
 pub fn run_case(case: &CaseSpec, inject_bug: bool) -> Result<Vec<Divergence>, SimError> {
     let reference = to_json(&run_engine(case, EngineKind::Naive, inject_bug)?);
     let mut divergences = Vec::new();
-    for engine in [EngineKind::FastForward, EngineKind::ShardParallel] {
+    for engine in [
+        EngineKind::FastForward,
+        EngineKind::ShardParallel,
+        EngineKind::Windowed,
+    ] {
         let candidate = to_json(&run_engine(case, engine, inject_bug)?);
         let fields = diff_reports(&reference, &candidate);
         if !fields.is_empty() {

@@ -172,6 +172,14 @@ pub struct CheckpointRunInfo {
     /// (torn write, checksum mismatch, unreadable), with the reason each was
     /// skipped.
     pub skipped: Vec<(PathBuf, String)>,
+    /// The stepping engine the run executed under (the resolved kind when
+    /// the caller selected `auto`).
+    pub engine: EngineKind,
+    /// Windowed-engine counters of the run (all zero under every other
+    /// engine). Monitoring only: a resumed run counts only its own
+    /// remainder, because these counters are deliberately not checkpointed
+    /// (checkpoint bytes stay engine-independent).
+    pub windowed: htm_tcc::system::WindowedStats,
 }
 
 /// The full file name of the checkpoint of run `key` at cycle `cycle`.
@@ -394,7 +402,10 @@ where
         path: ckpt.dir.clone(),
         source: e,
     })?;
-    let mut info = CheckpointRunInfo::default();
+    let mut info = CheckpointRunInfo {
+        engine,
+        ..CheckpointRunInfo::default()
+    };
     let found = if ckpt.resume {
         latest_valid_payload(&ckpt.dir, &ckpt.key, None, &mut info.skipped)?
     } else {
@@ -429,6 +440,7 @@ where
             info.checkpoints_written += 1;
         }
     }
+    info.windowed = sys.windowed_stats();
     let (outcome, hook) = sys.into_parts();
     Ok((outcome, hook, info))
 }

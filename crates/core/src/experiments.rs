@@ -15,8 +15,6 @@
 //! three applications × {4, 8, 16} processors × {ungated, gated}); the matrix
 //! is computed once by [`run_matrix`] and each figure renders its slice.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
@@ -36,7 +34,10 @@ use crate::checkpoint::{
     remove_checkpoints, validate_checkpoint_dir, CheckpointConfig, CheckpointError,
 };
 use crate::report::{fmt_f, fmt_factor, fmt_percent, format_table};
-use crate::sim::{compare_runs, EngineKind, GatingMode, SimReport, SimulationBuilder};
+use crate::sim::{
+    compare_runs, EngineChoice, EngineKind, GatingMode, RunStats, SimReport, SimulationBuilder,
+    WindowedStats,
+};
 use crate::sweep::TraceWorkload;
 
 pub use htm_workloads::registry::PAPER_WORKLOADS as EVALUATED_WORKLOADS;
@@ -231,6 +232,47 @@ pub struct CellTiming {
     pub procs: usize,
     /// Wall-clock milliseconds the cell took (ungated + gated run).
     pub wall_ms: f64,
+    /// Stepping engine the cell's runs resolved to (meaningful under
+    /// `--engine auto`, where each cell picks its own engine).
+    pub engine: String,
+    /// Windowed-engine counters summed over the cell's run pair; present
+    /// only when the cell ran on [`EngineKind::Windowed`].
+    pub windowed: Option<WindowedCellStats>,
+}
+
+/// Windowed-engine diagnostics of one matrix cell, merged over the cell's
+/// ungated + gated run pair (counters summed, high-water marks maxed).
+/// Lives only in the timing artifact (`BENCH_reproduce.json`) — reports stay
+/// engine-independent and byte-comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowedCellStats {
+    /// Lookahead windows executed across both runs.
+    pub windows: u64,
+    /// Windows whose planner produced two or more independent groups.
+    pub multi_group_windows: u64,
+    /// Largest number of independent groups observed in one window.
+    pub max_groups_in_window: usize,
+    /// Total group advances (sum of group counts over all windows).
+    pub group_advances: u64,
+    /// Largest number of bank shards with at least one active processor
+    /// observed in one window — the "shards active" scaling signal.
+    pub max_banks_active: usize,
+    /// Cross-group messages staged at window barriers.
+    pub staged_messages: u64,
+}
+
+impl WindowedCellStats {
+    /// Merge the two runs of a cell: counters add, high-water marks max.
+    fn merged(a: WindowedStats, b: WindowedStats) -> Self {
+        Self {
+            windows: a.windows + b.windows,
+            multi_group_windows: a.multi_group_windows + b.multi_group_windows,
+            max_groups_in_window: a.max_groups_in_window.max(b.max_groups_in_window),
+            group_advances: a.group_advances + b.group_advances,
+            max_banks_active: a.max_banks_active.max(b.max_banks_active),
+            staged_messages: a.staged_messages + b.staged_messages,
+        }
+    }
 }
 
 /// Wall-clock timing of a whole [`run_matrix_timed`] invocation; serialized
@@ -294,11 +336,11 @@ fn run_one(
     procs: usize,
     cfg: &ExperimentConfig,
     mode: GatingMode,
-    engine: EngineKind,
+    engine: EngineChoice,
     topology: TopologyConfig,
     ckpt: Option<(&MatrixCheckpoint, &str)>,
     trace: Option<&TraceWorkload>,
-) -> Result<SimReport, SimError> {
+) -> Result<(SimReport, RunStats), SimError> {
     let builder = SimulationBuilder::new()
         .processors(procs)
         .topology(topology);
@@ -313,7 +355,7 @@ fn run_one(
         .cycle_limit(cfg.cycle_limit)
         .engine(engine);
     let Some((spec, kind)) = ckpt else {
-        return builder.run();
+        return builder.run_with_stats();
     };
     let key = run_key(workload, procs, kind, topology);
     let cc = CheckpointConfig::new(spec.dir.clone(), spec.every, key.clone());
@@ -333,20 +375,26 @@ fn run_one(
     if let Err(err) = remove_checkpoints(&spec.dir, &key) {
         eprintln!("warning: run `{key}`: could not clean up checkpoints: {err}");
     }
-    Ok(report)
+    Ok((
+        report,
+        RunStats {
+            engine: info.engine,
+            windowed: info.windowed,
+        },
+    ))
 }
 
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
 fn run_pair(
     workload: &str,
     procs: usize,
     cfg: &ExperimentConfig,
     mode: GatingMode,
-    engine: EngineKind,
+    engine: EngineChoice,
     topology: TopologyConfig,
     ckpt: Option<&MatrixCheckpoint>,
     trace: Option<&TraceWorkload>,
-) -> Result<(SimReport, SimReport), SimError> {
+) -> Result<((SimReport, RunStats), (SimReport, RunStats)), SimError> {
     let ungated = run_one(
         workload,
         procs,
@@ -436,12 +484,20 @@ fn run_cell(
     workload: &str,
     procs: usize,
     cfg: &ExperimentConfig,
-    engine: EngineKind,
+    engine: EngineChoice,
     topology: TopologyConfig,
     ckpt: Option<&MatrixCheckpoint>,
     trace: Option<&TraceWorkload>,
-) -> Result<(MatrixCell, CellEnergyBreakdown), SimError> {
-    let (ungated, gated) = run_pair(
+) -> Result<
+    (
+        MatrixCell,
+        CellEnergyBreakdown,
+        EngineKind,
+        Option<WindowedCellStats>,
+    ),
+    SimError,
+> {
+    let ((ungated, ustats), (gated, gstats)) = run_pair(
         workload,
         procs,
         cfg,
@@ -453,6 +509,11 @@ fn run_cell(
     )?;
     let comparison = compare_runs(&ungated, &gated);
     let breakdown = CellEnergyBreakdown::new(workload, procs, ungated.ledger, gated.ledger.clone());
+    // Both runs of a pair share (cfg, workload), so `auto` resolves them to
+    // the same engine.
+    let resolved = ustats.engine;
+    let windowed = (resolved == EngineKind::Windowed)
+        .then(|| WindowedCellStats::merged(ustats.windowed, gstats.windowed));
     Ok((
         MatrixCell {
             workload: workload.to_string(),
@@ -462,6 +523,8 @@ fn run_cell(
             comparison,
         },
         breakdown,
+        resolved,
+        windowed,
     ))
 }
 
@@ -472,9 +535,9 @@ pub fn run_matrix(cfg: &ExperimentConfig) -> Result<EvaluationMatrix, SimError> 
 }
 
 /// Run the full evaluation matrix with the chosen engine, spreading the
-/// independent (workload × processor-count) cells over the machine's cores
-/// with `std::thread::scope` and collecting per-cell wall-clock timings plus
-/// the per-component energy breakdown of every cell.
+/// independent (workload × processor-count) cells over the persistent
+/// worker pool ([`crate::pool::WorkerPool::global`]) and collecting per-cell
+/// wall-clock timings plus the per-component energy breakdown of every cell.
 ///
 /// Every cell is a self-contained deterministic simulation pair, so the
 /// schedule cannot influence the results; cells are written back into their
@@ -518,7 +581,7 @@ pub fn run_matrix_timed_on(
 /// [`run_matrix_timed_on`] run.
 pub fn run_matrix_timed_ckpt(
     cfg: &ExperimentConfig,
-    engine: EngineKind,
+    engine: impl Into<EngineChoice>,
     topology: TopologyConfig,
     ckpt: Option<&MatrixCheckpoint>,
 ) -> Result<(EvaluationMatrix, MatrixTiming, EnergyBreakdownReport), SimError> {
@@ -532,11 +595,12 @@ pub fn run_matrix_timed_ckpt(
 /// workload list to exactly that axis name.
 pub fn run_matrix_timed_ckpt_traced(
     cfg: &ExperimentConfig,
-    engine: EngineKind,
+    engine: impl Into<EngineChoice>,
     topology: TopologyConfig,
     ckpt: Option<&MatrixCheckpoint>,
     trace: Option<&TraceWorkload>,
 ) -> Result<(EvaluationMatrix, MatrixTiming, EnergyBreakdownReport), SimError> {
+    let engine = engine.into();
     if let Some(spec) = ckpt {
         validate_checkpoint_dir(&spec.dir).map_err(|err| SimError::Checkpoint(err.to_string()))?;
     }
@@ -545,31 +609,29 @@ pub fn run_matrix_timed_ckpt_traced(
         .iter()
         .flat_map(|w| cfg.processor_counts.iter().map(move |&p| (w.as_str(), p)))
         .collect();
-    let threads = std::thread::available_parallelism()
-        .map_or(1, std::num::NonZeroUsize::get)
-        .min(params.len().max(1));
+    let pool = crate::pool::WorkerPool::global();
+    let threads = pool.workers().min(params.len().max(1));
     let started = Instant::now();
 
-    // One pre-assigned slot per cell; workers pull the next unclaimed cell
-    // index and write into their own slot, so cell order never depends on
-    // the thread schedule.
-    type CellSlot = Option<Result<(MatrixCell, CellEnergyBreakdown, f64), SimError>>;
-    let slots: Mutex<Vec<CellSlot>> = Mutex::new((0..params.len()).map(|_| None).collect());
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(workload, procs)) = params.get(idx) else {
-                    break;
-                };
+    // One pre-assigned slot per cell; each pool job writes only its own
+    // slot, so cell order never depends on the schedule.
+    type CellResult = Result<
+        (
+            MatrixCell,
+            CellEnergyBreakdown,
+            EngineKind,
+            Option<WindowedCellStats>,
+        ),
+        SimError,
+    >;
+    let mut slots: Vec<Option<(CellResult, f64)>> = Vec::new();
+    slots.resize_with(params.len(), || None);
+    pool.scope(|scope| {
+        for (slot, &(workload, procs)) in slots.iter_mut().zip(&params) {
+            scope.spawn(move || {
                 let cell_started = Instant::now();
-                let result = run_cell(workload, procs, cfg, engine, topology, ckpt, trace).map(
-                    |(cell, breakdown)| {
-                        (cell, breakdown, cell_started.elapsed().as_secs_f64() * 1e3)
-                    },
-                );
-                slots.lock().expect("matrix worker poisoned the slots")[idx] = Some(result);
+                let result = run_cell(workload, procs, cfg, engine, topology, ckpt, trace);
+                *slot = Some((result, cell_started.elapsed().as_secs_f64() * 1e3));
             });
         }
     });
@@ -577,15 +639,15 @@ pub fn run_matrix_timed_ckpt_traced(
     let mut cells = Vec::with_capacity(params.len());
     let mut breakdowns = Vec::with_capacity(params.len());
     let mut timings = Vec::with_capacity(params.len());
-    let filled = slots
-        .into_inner()
-        .expect("matrix worker poisoned the slots");
-    for slot in filled {
-        let (cell, breakdown, wall_ms) = slot.expect("every cell index was claimed by a worker")?;
+    for slot in slots {
+        let (result, wall_ms) = slot.expect("every cell job ran to completion");
+        let (cell, breakdown, resolved, windowed) = result?;
         timings.push(CellTiming {
             workload: cell.workload.clone(),
             procs: cell.procs,
             wall_ms,
+            engine: resolved.label().to_string(),
+            windowed,
         });
         cells.push(cell);
         breakdowns.push(breakdown);
@@ -877,7 +939,7 @@ pub fn fig7_on(
 pub fn fig7_ckpt(
     cfg: &ExperimentConfig,
     w0_values: &[Cycle],
-    engine: EngineKind,
+    engine: impl Into<EngineChoice>,
     topology: TopologyConfig,
     ckpt: Option<&MatrixCheckpoint>,
 ) -> Result<Fig7Result, SimError> {
@@ -890,11 +952,12 @@ pub fn fig7_ckpt(
 pub fn fig7_ckpt_traced(
     cfg: &ExperimentConfig,
     w0_values: &[Cycle],
-    engine: EngineKind,
+    engine: impl Into<EngineChoice>,
     topology: TopologyConfig,
     ckpt: Option<&MatrixCheckpoint>,
     trace: Option<&TraceWorkload>,
 ) -> Result<Fig7Result, SimError> {
+    let engine = engine.into();
     if let Some(spec) = ckpt {
         validate_checkpoint_dir(&spec.dir).map_err(|err| SimError::Checkpoint(err.to_string()))?;
     }
@@ -903,7 +966,7 @@ pub fn fig7_ckpt_traced(
         // Baselines per workload.
         let mut baselines = Vec::new();
         for workload in &cfg.workloads {
-            let ungated = run_one(
+            let (ungated, _stats) = run_one(
                 workload,
                 procs,
                 cfg,
@@ -919,7 +982,7 @@ pub fn fig7_ckpt_traced(
             let mut speedups = Vec::new();
             let kind = format!("fig7-w{w0}");
             for (workload, ungated) in cfg.workloads.iter().zip(&baselines) {
-                let gated = run_one(
+                let (gated, _stats) = run_one(
                     workload,
                     procs,
                     cfg,

@@ -28,7 +28,7 @@ use serde::{Deserialize, Serialize};
 
 use htm_sim::checkpoint::{CkptError, CkptReader, CkptWriter};
 use htm_sim::{Cycle, DirId, ProcId};
-use htm_tcc::hooks::{AbortAction, GateCommand, GatingHook, SystemView};
+use htm_tcc::hooks::{AbortAction, GateCommand, GatingHook, ScopedCmdKey, SystemView};
 use htm_tcc::txn::TxId;
 
 use crate::gating::contention::ContentionPolicy;
@@ -144,13 +144,21 @@ pub struct ClockGateController {
     policy: Box<dyn ContentionPolicy>,
     config: ControllerConfig,
     stats: GatingStats,
-    /// Cached lower bound on the earliest gating-timer expiry across every
-    /// table, so `next_deadline` is O(1) on the fast engine's planning path.
-    /// Maintained as a *lower* bound only (new timers merge in eagerly;
-    /// wake-ups may leave it stale-early, which merely costs one extra
-    /// no-op `on_tick`, never a missed one); `on_tick` recomputes it
-    /// exactly while it scans the tables anyway.
-    pending_min: Option<Cycle>,
+    /// Per-directory lower bound on the earliest gating-timer expiry in that
+    /// directory's table, so `next_deadline` never misses an expiry without
+    /// scanning every entry. Maintained as a *lower* bound only (new timers
+    /// merge in eagerly; wake-ups may leave a slot stale-early, which merely
+    /// costs one extra no-op scan of that table, never a missed one); a scan
+    /// recomputes its own directory's slot exactly.
+    ///
+    /// The bound is deliberately **directory-local**: whether and when a
+    /// table is scanned (and its slot healed) depends only on that
+    /// directory's own abort/renewal history, so a scoped tick
+    /// ([`GatingHook::on_tick_scoped`]) that sees only one window group's
+    /// directories leaves every other slot byte-identical to what a serial
+    /// run would hold — which is what keeps windowed-engine checkpoints
+    /// exact.
+    pending_min: Vec<Option<Cycle>>,
 }
 
 impl std::fmt::Debug for ClockGateController {
@@ -179,7 +187,7 @@ impl ClockGateController {
             policy,
             config,
             stats: GatingStats::default(),
-            pending_min: None,
+            pending_min: vec![None; num_dirs],
         }
     }
 
@@ -205,6 +213,81 @@ impl ClockGateController {
     #[must_use]
     pub fn config(&self) -> &ControllerConfig {
         &self.config
+    }
+
+    /// Scan one directory's table at `now`: process every expired gating
+    /// timer (renew or emit a wake through `emit`) and recompute the
+    /// directory's `pending_min` slot exactly. Callers gate on the slot
+    /// being due, so a scan that finds nothing expired only happens to heal
+    /// a stale-early bound.
+    fn tick_dir(
+        &mut self,
+        dir: DirId,
+        now: Cycle,
+        view: &SystemView,
+        emit: &mut impl FnMut(ProcId, DirId),
+    ) {
+        let mut next_min: Option<Cycle> = None;
+        let mut merge_min = |expires: Cycle| {
+            next_min = Some(next_min.map_or(expires, |m: Cycle| m.min(expires)));
+        };
+        let table = &mut self.tables[dir];
+        for proc in 0..view.proc_tx.len() {
+            let circuit = self.config.ungate_circuit_latency;
+            let entry = table.entry_mut(proc);
+            if !entry.timer_expired(now) {
+                if entry.off {
+                    merge_min(entry.timer_expires);
+                }
+                continue;
+            }
+            // Fig. 2(e): OR the marked processor ids and compare with the
+            // stored aborter id.
+            let aborter_present = entry
+                .aborter_proc
+                .is_some_and(|aborter| view.is_marked(dir, aborter));
+            if !self.config.renew_enabled || !aborter_present {
+                entry.turn_on();
+                if aborter_present {
+                    // Only reachable in the blind-timer ablation: the
+                    // victim is woken even though its enemy is still
+                    // committing here.
+                    self.stats.ungate_different_tx += 1;
+                } else {
+                    self.stats.ungate_aborter_gone += 1;
+                }
+                emit(proc, dir);
+                continue;
+            }
+            // The aborter is still marked here: issue a TxInfoReq and
+            // compare its reply with the stored Aborter Tx Id.
+            let aborter = entry.aborter_proc.expect("aborter_present implies Some");
+            let reply = view.current_tx(aborter);
+            match (reply, entry.aborter_tx) {
+                (Some(current), Some(stored)) if current == stored => {
+                    // Same transaction still trying to commit: renew.
+                    let window = self
+                        .policy
+                        .window(proc, entry.abort_count, entry.renew_count + 1);
+                    entry.renew(now, window + self.config.txinfo_roundtrip_latency + circuit);
+                    merge_min(entry.timer_expires);
+                    self.stats.renewals += 1;
+                }
+                (None, _) => {
+                    // Null reply: the aborter has itself been clock-gated.
+                    entry.turn_on();
+                    self.stats.ungate_null_reply += 1;
+                    emit(proc, dir);
+                }
+                _ => {
+                    // Different transaction (or no stored id): wake up.
+                    entry.turn_on();
+                    self.stats.ungate_different_tx += 1;
+                    emit(proc, dir);
+                }
+            }
+        }
+        self.pending_min[dir] = next_min;
     }
 }
 
@@ -238,88 +321,37 @@ impl GatingHook for ClockGateController {
         }
         // A fresh timer can only pull the earliest expiry forward.
         let expires = self.tables[dir].entry(victim).timer_expires;
-        self.pending_min = Some(self.pending_min.map_or(expires, |m| m.min(expires)));
+        let slot = &mut self.pending_min[dir];
+        *slot = Some(slot.map_or(expires, |m| m.min(expires)));
         AbortAction::Gate
     }
 
     fn on_tick(&mut self, now: Cycle, view: &SystemView, commands: &mut Vec<GateCommand>) {
-        // Recompute the exact earliest pending expiry as a byproduct of the
-        // scan (stale-early values heal here; see `pending_min`).
-        let mut next_min: Option<Cycle> = None;
-        let mut merge_min = |expires: Cycle| {
-            next_min = Some(next_min.map_or(expires, |m: Cycle| m.min(expires)));
-        };
-        for (dir, table) in self.tables.iter_mut().enumerate() {
-            if table.off_count() == 0 {
-                continue;
-            }
-            for proc in 0..view.proc_tx.len() {
-                let circuit = self.config.ungate_circuit_latency;
-                let entry = table.entry_mut(proc);
-                if !entry.timer_expired(now) {
-                    if entry.off {
-                        merge_min(entry.timer_expires);
-                    }
-                    continue;
-                }
-                // Fig. 2(e): OR the marked processor ids and compare with the
-                // stored aborter id.
-                let aborter_present = entry
-                    .aborter_proc
-                    .is_some_and(|aborter| view.is_marked(dir, aborter));
-                if !self.config.renew_enabled || !aborter_present {
-                    entry.turn_on();
-                    if aborter_present {
-                        // Only reachable in the blind-timer ablation: the
-                        // victim is woken even though its enemy is still
-                        // committing here.
-                        self.stats.ungate_different_tx += 1;
-                    } else {
-                        self.stats.ungate_aborter_gone += 1;
-                    }
+        // Scan only the directories whose own lower bound is due; each scan
+        // recomputes its directory's slot exactly (stale-early values heal
+        // here; see `pending_min`). Skipped directories provably hold no
+        // expired timer, so skipping them changes no command and no entry.
+        for dir in 0..self.tables.len() {
+            if self.pending_min[dir].is_some_and(|m| m <= now) {
+                self.tick_dir(dir, now, view, &mut |proc, dir| {
                     commands.push(GateCommand::UngateProcessor { proc, dir });
-                    continue;
-                }
-                // The aborter is still marked here: issue a TxInfoReq and
-                // compare its reply with the stored Aborter Tx Id.
-                let aborter = entry.aborter_proc.expect("aborter_present implies Some");
-                let reply = view.current_tx(aborter);
-                match (reply, entry.aborter_tx) {
-                    (Some(current), Some(stored)) if current == stored => {
-                        // Same transaction still trying to commit: renew.
-                        let window =
-                            self.policy
-                                .window(proc, entry.abort_count, entry.renew_count + 1);
-                        entry.renew(now, window + self.config.txinfo_roundtrip_latency + circuit);
-                        merge_min(entry.timer_expires);
-                        self.stats.renewals += 1;
-                    }
-                    (None, _) => {
-                        // Null reply: the aborter has itself been clock-gated.
-                        entry.turn_on();
-                        self.stats.ungate_null_reply += 1;
-                        commands.push(GateCommand::UngateProcessor { proc, dir });
-                    }
-                    _ => {
-                        // Different transaction (or no stored id): wake up.
-                        entry.turn_on();
-                        self.stats.ungate_different_tx += 1;
-                        commands.push(GateCommand::UngateProcessor { proc, dir });
-                    }
-                }
+                });
             }
         }
-        self.pending_min = next_min;
     }
 
     fn next_deadline(&self, now: Cycle) -> Option<Cycle> {
         // The controller acts spontaneously only when a gating timer of an
         // OFF entry expires; between expiries `on_tick` pushes nothing and
         // mutates nothing, so the earliest expiry bounds the fast-forward
-        // horizon exactly. The cached value is a lower bound: a stale-early
-        // value (after a wake-up cleared the earliest timer) clamps to `now`
-        // and costs one no-op `on_tick`, which recomputes it exactly.
-        self.pending_min.map(|m| m.max(now))
+        // horizon exactly. Each slot is a lower bound: a stale-early value
+        // (after a wake-up cleared the earliest timer) clamps to `now` and
+        // costs one no-op scan of that table, which recomputes it exactly.
+        self.pending_min
+            .iter()
+            .filter_map(|m| *m)
+            .min()
+            .map(|m| m.max(now))
     }
 
     fn on_commit(&mut self, proc: ProcId, _now: Cycle) {
@@ -347,13 +379,64 @@ impl GatingHook for ClockGateController {
         }
     }
 
+    fn windowed_couplings(&self, out: &mut Vec<(DirId, ProcId)>) -> bool {
+        // Every OFF entry couples its directory to two processors: the
+        // *victim*, whose own callbacks (`on_wake` after a wake from another
+        // directory, `on_commit` after a stale-OFF retry, `on_proc_activity`)
+        // mutate this entry while the directory's scoped scan reads and
+        // renews it; and the *aborter*, whose marked bit and `TxInfoReq`
+        // reply the Fig. 2(e) renewal check consults (and whose per-victim
+        // policy state a renewal's `window()` call may read). Extra pairs
+        // only coarsen the window grouping; these are the complete set of
+        // cross-processor accesses a scoped scan can perform.
+        for (dir, table) in self.tables.iter().enumerate() {
+            for (proc, entry) in table.iter() {
+                if entry.off {
+                    out.push((dir, proc));
+                    if let Some(aborter) = entry.aborter_proc {
+                        out.push((dir, aborter));
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn on_tick_scoped(
+        &mut self,
+        now: Cycle,
+        view: &SystemView,
+        focus: &[bool],
+        out: &mut Vec<(ScopedCmdKey, GateCommand)>,
+    ) {
+        // Identical to `on_tick` restricted to the focus directories. The
+        // serial tick emits in directory-then-processor order, so the key
+        // `(dir, proc, 0)` reproduces that order at the window barrier.
+        // Out-of-focus slots are left untouched — their groups run their own
+        // scoped scans for the same cycles, and `pending_min` healing is
+        // directory-local, so the merged end-of-window state is
+        // byte-identical to a serial run's.
+        for (dir, &in_focus) in focus.iter().enumerate().take(self.tables.len()) {
+            if in_focus && self.pending_min[dir].is_some_and(|m| m <= now) {
+                self.tick_dir(dir, now, view, &mut |proc, dir| {
+                    out.push((
+                        (dir as u64, proc as u64, 0),
+                        GateCommand::UngateProcessor { proc, dir },
+                    ));
+                });
+            }
+        }
+    }
+
     fn snapshot(&self, w: &mut CkptWriter) {
         w.put_usize(self.tables.len());
         for table in &self.tables {
             table.save_ckpt(w);
         }
         self.stats.save_ckpt(w);
-        w.put_opt_u64(self.pending_min);
+        for slot in &self.pending_min {
+            w.put_opt_u64(*slot);
+        }
         // The contention policy serializes last so the controller's framing
         // stays fixed whatever the policy writes (possibly nothing).
         self.policy.snapshot(w);
@@ -371,7 +454,9 @@ impl GatingHook for ClockGateController {
             table.restore_ckpt(r)?;
         }
         self.stats = GatingStats::load_ckpt(r)?;
-        self.pending_min = r.get_opt_u64()?;
+        for slot in &mut self.pending_min {
+            *slot = r.get_opt_u64()?;
+        }
         self.policy.restore(r)
     }
 }

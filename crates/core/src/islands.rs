@@ -213,43 +213,34 @@ fn run_lane(
 /// overlapping windows must land in one larger `Xi` bucket, as the serial
 /// tracker would record — but the tracker *is* a pure function of the
 /// per-cycle count sequence, and that sequence is the cycle-wise sum of the
-/// lane sequences (exhausted lanes contribute zero).
+/// lane sequences (exhausted lanes contribute zero). The actual summing is
+/// [`htm_sim::interval::zip_sum_segments`], the merge primitive shared with
+/// the windowed engine; lanes that finish before the slowest island are
+/// padded to the global length with a zero-count tail, because a finished
+/// island's processors spend those cycles in no tracked state.
 fn merge_intervals(
     num_procs: usize,
     total_cycles: Cycle,
     logs: &[Vec<IntervalSeg>],
 ) -> IntervalTracker {
-    let mut cursors = vec![(0usize, 0u64); logs.len()]; // (segment index, cycles consumed)
+    let padded: Vec<Vec<IntervalSeg>> = logs
+        .iter()
+        .map(|log| {
+            let covered: Cycle = log.iter().map(|seg| seg.cycles).sum();
+            let mut log = log.clone();
+            if covered < total_cycles {
+                log.push(IntervalSeg {
+                    cycles: total_cycles - covered,
+                    ..IntervalSeg::default()
+                });
+            }
+            log
+        })
+        .collect();
     let mut merged: Vec<IntervalSeg> = Vec::new();
-    let mut t: Cycle = 0;
-    while t < total_cycles {
-        let mut step = total_cycles - t;
-        let mut counts = IntervalSeg::default();
-        for (log, &(idx, off)) in logs.iter().zip(&cursors) {
-            if let Some(seg) = log.get(idx) {
-                step = step.min(seg.cycles - off);
-                counts.gated += seg.gated;
-                counts.missing += seg.missing;
-                counts.committing += seg.committing;
-                counts.throttled += seg.throttled;
-            }
-        }
-        counts.cycles = step;
-        match merged.last_mut() {
-            Some(last) if last.same_counts(&counts) => last.cycles += step,
-            _ => merged.push(counts),
-        }
-        for (log, cursor) in logs.iter().zip(&mut cursors) {
-            if let Some(seg) = log.get(cursor.0) {
-                cursor.1 += step;
-                if cursor.1 == seg.cycles {
-                    cursor.0 += 1;
-                    cursor.1 = 0;
-                }
-            }
-        }
-        t += step;
-    }
+    htm_sim::interval::zip_sum_segments(&padded, IntervalSeg::default(), total_cycles, |seg| {
+        merged.push(seg);
+    });
     IntervalTracker::from_segments(num_procs, &merged)
 }
 
@@ -386,19 +377,19 @@ pub fn run_shard_parallel(
         return Ok(None);
     }
 
-    let results: Vec<Result<LaneOutput, SimError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = islands
-            .iter()
-            .map(|island| scope.spawn(move || run_lane(cfg, workload, island, mode, limit)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("island lane panicked"))
-            .collect()
+    // Fan the lanes out over the persistent worker pool instead of spawning
+    // a thread per island; each lane writes its own slot, so the results
+    // stay in island order regardless of completion order.
+    let mut results: Vec<Option<Result<LaneOutput, SimError>>> = Vec::new();
+    results.resize_with(islands.len(), || None);
+    crate::pool::WorkerPool::global().scope(|scope| {
+        for (slot, island) in results.iter_mut().zip(&islands) {
+            scope.spawn(move || *slot = Some(run_lane(cfg, workload, island, mode, limit)));
+        }
     });
     let mut lanes = Vec::with_capacity(results.len());
     for result in results {
-        lanes.push(result?);
+        lanes.push(result.expect("island lane completed")?);
     }
     Ok(Some(merge_lanes(cfg, workload, &islands, lanes)))
 }

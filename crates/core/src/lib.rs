@@ -72,6 +72,7 @@ pub mod checkpoint;
 pub mod experiments;
 pub mod gating;
 pub mod islands;
+pub mod pool;
 pub mod report;
 pub mod sim;
 pub mod sweep;

@@ -25,7 +25,7 @@ use htm_tcc::system::{SimError, TccSystem};
 use htm_tcc::txn::WorkloadTrace;
 use htm_workloads::{by_name, WorkloadScale};
 
-pub use htm_tcc::system::EngineKind;
+pub use htm_tcc::system::{EngineKind, WindowedStats};
 
 /// The historical name of [`PolicySpec`], kept so that pre-framework callers
 /// (and the six legacy variants they construct) compile unchanged.
@@ -38,6 +38,107 @@ use crate::gating::controller::GatingStats;
 /// workloads need; hitting it indicates a protocol bug, and the builder turns
 /// it into an error instead of hanging).
 pub const DEFAULT_CYCLE_LIMIT: Cycle = 200_000_000;
+
+/// Engine selection for a run: either a fixed [`EngineKind`] or `Auto`,
+/// which resolves per run through [`choose_engine`] once the machine and
+/// workload are known. This is what the binaries' `--engine auto` flag maps
+/// to; every choice produces byte-identical artifacts (the engines are
+/// exact), so `Auto` is purely a wall-clock optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// Always use this engine.
+    Fixed(EngineKind),
+    /// Pick the engine per run via [`choose_engine`].
+    Auto,
+}
+
+impl Default for EngineChoice {
+    fn default() -> Self {
+        EngineChoice::Fixed(EngineKind::default())
+    }
+}
+
+impl From<EngineKind> for EngineChoice {
+    fn from(kind: EngineKind) -> Self {
+        EngineChoice::Fixed(kind)
+    }
+}
+
+impl EngineChoice {
+    /// Short label for artifacts and log lines (`auto` or the fixed engine's
+    /// label).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineChoice::Fixed(kind) => kind.label(),
+            EngineChoice::Auto => "auto",
+        }
+    }
+
+    /// Parse a `--engine` CLI value. Accepted: `fast` / `fast-forward`,
+    /// `naive`, `shard` / `shard-parallel`, `windowed`, `auto`.
+    #[must_use]
+    pub fn parse(value: &str) -> Option<Self> {
+        match value {
+            "fast" | "fast-forward" => Some(EngineKind::FastForward.into()),
+            "naive" => Some(EngineKind::Naive.into()),
+            "shard" | "shard-parallel" => Some(EngineKind::ShardParallel.into()),
+            "windowed" => Some(EngineKind::Windowed.into()),
+            "auto" => Some(EngineChoice::Auto),
+            _ => None,
+        }
+    }
+
+    /// Resolve the choice for a concrete machine and workload.
+    #[must_use]
+    pub fn resolve(self, cfg: &SimConfig, workload: &WorkloadTrace) -> EngineKind {
+        match self {
+            EngineChoice::Fixed(kind) => kind,
+            EngineChoice::Auto => choose_engine(cfg, workload),
+        }
+    }
+}
+
+/// The `--engine auto` heuristic: pick the engine expected to be fastest
+/// for this machine and workload. All engines are byte-exact, so this only
+/// trades wall-clock time:
+///
+/// * On the shared bus (or a sharded fabric collapsed to a single bank
+///   channel) there is no cross-shard structure to exploit — the serial
+///   event-driven fast-forward engine wins.
+/// * On a sharded fabric whose workload decomposes into two or more
+///   conflict-isolated islands ([`crate::islands::partition_islands`]), the
+///   island engine wins: whole-run parallelism with zero synchronization.
+/// * On a sharded fabric whose workload is a single contended island — the
+///   case islands cannot touch — the time-windowed conservative PDES engine
+///   ([`EngineKind::Windowed`]) still splits most lookahead windows into
+///   independent per-bank groups.
+#[must_use]
+pub fn choose_engine(cfg: &SimConfig, workload: &WorkloadTrace) -> EngineKind {
+    if !matches!(cfg.topology, TopologyConfig::Sharded { .. })
+        || cfg.topology.effective_banks(cfg.num_dirs) < 2
+    {
+        return EngineKind::FastForward;
+    }
+    if crate::islands::partition_islands(cfg, workload).len() > 1 {
+        return EngineKind::ShardParallel;
+    }
+    EngineKind::Windowed
+}
+
+/// Monitoring by-products of one [`SimulationBuilder::run_with_stats`] run:
+/// which engine actually drove it (resolved per run under
+/// [`EngineChoice::Auto`]) and the windowed-engine counters (all zero under
+/// every other engine). Deliberately not part of [`SimReport`]: reports are
+/// byte-compared across engines, and these fields are engine-dependent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// The stepping engine that drove the run.
+    pub engine: EngineKind,
+    /// Windowed-engine counters ([`WindowedStats::default`] unless the
+    /// windowed engine ran).
+    pub windowed: WindowedStats,
+}
 
 /// Result of a single simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -88,7 +189,7 @@ pub struct SimulationBuilder {
     mode: GatingMode,
     power: PowerModelConfig,
     cycle_limit: Cycle,
-    engine: EngineKind,
+    engine: EngineChoice,
     debug_perturb: bool,
 }
 
@@ -108,7 +209,7 @@ impl SimulationBuilder {
             mode: GatingMode::Ungated,
             power: PowerModelConfig::alpha_21264_65nm(),
             cycle_limit: DEFAULT_CYCLE_LIMIT,
-            engine: EngineKind::default(),
+            engine: EngineChoice::default(),
             debug_perturb: false,
         }
     }
@@ -222,17 +323,26 @@ impl SimulationBuilder {
     }
 
     /// Select the stepping engine (default: [`EngineKind::FastForward`]).
+    /// Accepts a fixed [`EngineKind`] or [`EngineChoice::Auto`], which
+    /// resolves per run via [`choose_engine`].
     ///
-    /// Both engines produce bit-identical outcomes; the naive engine exists
+    /// Every engine produces bit-identical outcomes; the naive engine exists
     /// as the differential-testing ground truth and for timing comparisons.
     #[must_use]
-    pub fn engine(mut self, engine: EngineKind) -> Self {
-        self.engine = engine;
+    pub fn engine(mut self, engine: impl Into<EngineChoice>) -> Self {
+        self.engine = engine.into();
         self
     }
 
     /// Run the simulation.
     pub fn run(self) -> Result<SimReport, SimError> {
+        self.run_with_stats().map(|(report, _stats)| report)
+    }
+
+    /// Run the simulation, additionally returning the resolved engine and
+    /// the windowed-engine counters ([`RunStats`]). The report is
+    /// byte-identical to [`Self::run`].
+    pub fn run_with_stats(self) -> Result<(SimReport, RunStats), SimError> {
         let workload = self
             .workload
             .clone()
@@ -240,13 +350,14 @@ impl SimulationBuilder {
         let label = self.mode.label();
         let limit = self.cycle_limit;
         let power = self.power;
-        let engine = self.engine;
+        let engine = self.engine.resolve(&self.config, &workload);
+        let mut windowed = WindowedStats::default();
 
         // The shard-parallel engine fans conflict-isolated islands out over
         // host threads when the topology and workload allow it; otherwise
         // (and for the serial engines) the policy spec resolves through the
         // registry into a boxed hook and the whole machine runs in-process.
-        // `run_bounded_parts` hands the hook back with the outcome, so the
+        // `run_bounded_full` hands the hook back with the outcome, so the
         // controller statistics and the policy's uncore-charge declaration
         // come out directly. Both paths are bit-identical.
         let islands_run = if engine == EngineKind::ShardParallel && !self.debug_perturb {
@@ -258,7 +369,7 @@ impl SimulationBuilder {
             Some(run) => (run.outcome, run.gating, run.charges),
             None => {
                 let hook = self.mode.build(&self.config);
-                let (outcome, hook) = run_system(
+                let (outcome, hook, wstats) = run_system(
                     self.config.clone(),
                     workload,
                     hook,
@@ -266,10 +377,14 @@ impl SimulationBuilder {
                     engine,
                     self.debug_perturb,
                 )?;
+                windowed = wstats;
                 (outcome, hook.gating_stats(), hook.uncore_charges())
             }
         };
-        Ok(assemble_report(label, &power, outcome, gating, charges))
+        Ok((
+            assemble_report(label, &power, outcome, gating, charges),
+            RunStats { engine, windowed },
+        ))
     }
 
     /// Run the simulation with periodic durable checkpoints, auto-resuming
@@ -292,11 +407,12 @@ impl SimulationBuilder {
             ))
         })?;
         let label = self.mode.label();
+        let engine = self.engine.resolve(&self.config, &workload);
         let (outcome, hook, info) = crate::checkpoint::run_checkpointed(
             &self.config,
             &workload,
             || self.mode.build(&self.config),
-            self.engine,
+            engine,
             self.cycle_limit,
             ckpt,
         )?;
@@ -327,11 +443,12 @@ impl SimulationBuilder {
                 "no workload was provided".into(),
             ))
         })?;
+        let engine = self.engine.resolve(&self.config, &workload);
         crate::checkpoint::replay_to(
             &self.config,
             &workload,
             || self.mode.build(&self.config),
-            self.engine,
+            engine,
             dir,
             key,
             target,
@@ -368,8 +485,8 @@ fn assemble_report(
     }
 }
 
-/// Build and run a system with the chosen engine, returning the outcome and
-/// the hook.
+/// Build and run a system with the chosen engine, returning the outcome,
+/// the hook, and the windowed-engine counters.
 fn run_system<H: GatingHook>(
     cfg: SimConfig,
     workload: WorkloadTrace,
@@ -377,12 +494,12 @@ fn run_system<H: GatingHook>(
     limit: Cycle,
     engine: EngineKind,
     debug_perturb: bool,
-) -> Result<(RunOutcome, H), SimError> {
+) -> Result<(RunOutcome, H, WindowedStats), SimError> {
     let mut system = TccSystem::new(cfg, workload, hook)?;
     if debug_perturb {
         system.debug_perturb_fast_accounting();
     }
-    system.run_bounded_parts(limit, engine)
+    system.run_bounded_full(limit, engine)
 }
 
 #[cfg(test)]

@@ -25,7 +25,11 @@ use serde::Serialize;
 use htm_power::ledger::{ComponentEnergy, ALL_COMPONENTS};
 use htm_sim::topology::TopologyConfig;
 use htm_sim::Cycle;
-use htm_tcc::system::{EngineKind, SimError};
+#[cfg(test)]
+use htm_tcc::system::EngineKind;
+use htm_tcc::system::SimError;
+
+use crate::sim::EngineChoice;
 use htm_tcc::txn::WorkloadTrace;
 
 use super::grid::{SweepCell, SweepGrid};
@@ -314,7 +318,7 @@ pub struct SweepOutcome {
 }
 
 /// Simulate one cell on the chosen engine and the bus topology.
-pub fn run_cell(cell: &SweepCell, engine: EngineKind) -> Result<CellRecord, SimError> {
+pub fn run_cell(cell: &SweepCell, engine: impl Into<EngineChoice>) -> Result<CellRecord, SimError> {
     run_cell_on(cell, engine, TopologyConfig::Bus)
 }
 
@@ -362,7 +366,7 @@ impl TraceWorkload {
 /// trace; everything else resolves through the workload registry.
 fn cell_builder(
     cell: &SweepCell,
-    engine: EngineKind,
+    engine: impl Into<EngineChoice>,
     topology: TopologyConfig,
     trace: Option<&TraceWorkload>,
 ) -> Result<SimulationBuilder, SimError> {
@@ -388,7 +392,7 @@ fn cell_builder(
 /// Simulate one cell on the chosen engine and interconnect topology.
 pub fn run_cell_on(
     cell: &SweepCell,
-    engine: EngineKind,
+    engine: impl Into<EngineChoice>,
     topology: TopologyConfig,
 ) -> Result<CellRecord, SimError> {
     run_cell_traced_on(cell, engine, topology, None)
@@ -398,7 +402,7 @@ pub fn run_cell_on(
 /// [`TraceWorkload`]).
 pub fn run_cell_traced_on(
     cell: &SweepCell,
-    engine: EngineKind,
+    engine: impl Into<EngineChoice>,
     topology: TopologyConfig,
     trace: Option<&TraceWorkload>,
 ) -> Result<CellRecord, SimError> {
@@ -426,7 +430,7 @@ pub struct SweepCheckpoint {
 /// about to be durably appended to `sweep.jsonl`, which supersedes them.
 fn run_cell_ckpt_on(
     cell: &SweepCell,
-    engine: EngineKind,
+    engine: impl Into<EngineChoice>,
     topology: TopologyConfig,
     spec: &SweepCheckpoint,
     trace: Option<&TraceWorkload>,
@@ -471,7 +475,7 @@ fn run_cell_ckpt_on(
 /// corrupt checkpoint files skipped during the scan.
 pub fn replay_cell_to(
     cell: &SweepCell,
-    engine: EngineKind,
+    engine: impl Into<EngineChoice>,
     topology: TopologyConfig,
     ckpt_dir: &Path,
     target: Cycle,
@@ -485,7 +489,7 @@ pub fn replay_cell_to(
 /// carries).
 pub fn replay_cell_traced_to(
     cell: &SweepCell,
-    engine: EngineKind,
+    engine: impl Into<EngineChoice>,
     topology: TopologyConfig,
     ckpt_dir: &Path,
     target: Cycle,
@@ -610,7 +614,7 @@ fn check_resume_prefix(completed: &[CellRecord], keys: &[String]) -> Result<(), 
 /// default).
 pub fn run_sweep(
     grid: &SweepGrid,
-    engine: EngineKind,
+    engine: impl Into<EngineChoice>,
     out_dir: &Path,
     resume: bool,
 ) -> Result<SweepOutcome, SweepError> {
@@ -637,7 +641,7 @@ pub fn run_sweep(
 /// interrupted `--objective edp` sweep can be resumed under any objective.
 pub fn run_sweep_with(
     grid: &SweepGrid,
-    engine: EngineKind,
+    engine: impl Into<EngineChoice>,
     out_dir: &Path,
     resume: bool,
     objective: SweepObjective,
@@ -659,7 +663,7 @@ pub fn run_sweep_with(
 /// other's records on resume.
 pub fn run_sweep_on(
     grid: &SweepGrid,
-    engine: EngineKind,
+    engine: impl Into<EngineChoice>,
     out_dir: &Path,
     resume: bool,
     objective: SweepObjective,
@@ -682,7 +686,7 @@ pub fn run_sweep_on(
 /// run.
 pub fn run_sweep_ckpt(
     grid: &SweepGrid,
-    engine: EngineKind,
+    engine: impl Into<EngineChoice>,
     out_dir: &Path,
     resume: bool,
     objective: SweepObjective,
@@ -704,7 +708,7 @@ pub fn run_sweep_ckpt(
 #[allow(clippy::too_many_arguments)]
 pub fn run_sweep_ckpt_traced(
     grid: &SweepGrid,
-    engine: EngineKind,
+    engine: impl Into<EngineChoice>,
     out_dir: &Path,
     resume: bool,
     objective: SweepObjective,
@@ -712,6 +716,7 @@ pub fn run_sweep_ckpt_traced(
     ckpt: Option<&SweepCheckpoint>,
     trace: Option<&TraceWorkload>,
 ) -> Result<SweepOutcome, SweepError> {
+    let engine = engine.into();
     let cells = grid.expand();
     if cells.is_empty() {
         return Err(SweepError::EmptyGrid);

@@ -2,10 +2,13 @@
 //!
 //! The fast-forward engine (`EngineKind::FastForward`) must be bit-for-bit
 //! cycle-exact with respect to the naive one-step-per-cycle reference engine
-//! (`EngineKind::Naive`), and the shard-parallel engine
+//! (`EngineKind::Naive`); the shard-parallel engine
 //! (`EngineKind::ShardParallel`) — which decomposes a sharded machine into
 //! conflict-isolated islands and simulates them on parallel host threads —
-//! must be bit-for-bit exact with respect to both: identical `RunOutcome`s —
+//! and the time-windowed conservative PDES engine (`EngineKind::Windowed`)
+//! — which advances per-bank groups one provable lookahead window at a time
+//! even when the whole machine is one conflict-connected island — must both
+//! be bit-for-bit exact with respect to them: identical `RunOutcome`s —
 //! total cycles, commits, aborts, gatings, per-state cycle breakdowns,
 //! interval decomposition, bus and shard statistics — identical controller
 //! statistics and identical energy analyses, for **every registered
@@ -20,7 +23,9 @@
 //! windows, oracle subscriptions and multi-island decompositions.
 
 use clockgate_htm::report::to_json;
-use clockgate_htm::sim::{EngineKind, GatingMode, SimReport, SimulationBuilder};
+use clockgate_htm::sim::{
+    choose_engine, EngineChoice, EngineKind, GatingMode, SimReport, SimulationBuilder,
+};
 use htm_sim::topology::TopologyConfig;
 use htm_tcc::txn::{Op, ThreadTrace, Transaction, WorkloadTrace};
 use htm_workloads::registry::ALL_WORKLOADS;
@@ -183,31 +188,37 @@ fn every_mode_and_workload_is_engine_exact() {
 #[test]
 fn every_mode_and_workload_is_engine_exact_on_the_sharded_fabric() {
     // The same (policy × workload) grid on the banked topology, with the
-    // shard-parallel engine as a third party to the agreement. At four
-    // processors most workloads form a single island (the shard-parallel
-    // engine falls back to serial fast-forward), which is itself part of
-    // the contract: the fallback must be invisible in the output.
+    // shard-parallel and windowed engines as third and fourth parties to
+    // the agreement. At four processors most workloads form a single island
+    // (the shard-parallel engine falls back to serial fast-forward, while
+    // the windowed engine is precisely the one that still parallelizes);
+    // the fallback must be invisible in the output.
     for workload in ALL_WORKLOADS {
         for mode in all_modes() {
             let fast = run_named_on(mode, workload, 4, EngineKind::FastForward, sharded());
             let naive = run_named_on(mode, workload, 4, EngineKind::Naive, sharded());
             let shard = run_named_on(mode, workload, 4, EngineKind::ShardParallel, sharded());
+            let windowed = run_named_on(mode, workload, 4, EngineKind::Windowed, sharded());
             let context = format!("sharded workload={workload} mode={}", mode.label());
             assert_identical(&fast, &naive, &context);
             assert_identical(&shard, &fast, &context);
+            assert_identical(&windowed, &fast, &context);
             fast.outcome.check_consistency().unwrap();
         }
     }
 }
 
 #[test]
-fn shard_parallel_engine_is_exact_on_the_bus_topology_too() {
-    // On the bus there is nothing to decompose; the shard-parallel engine
-    // must degrade to plain fast-forward, not diverge or refuse.
+fn parallel_engines_are_exact_on_the_bus_topology_too() {
+    // On the bus there is nothing to decompose and no lookahead to prove;
+    // the shard-parallel and windowed engines must degrade to plain
+    // fast-forward, not diverge or refuse.
     for mode in [GatingMode::Ungated, GatingMode::ClockGate { w0: 8 }] {
         let fast = run_named(mode, "intruder", 4, EngineKind::FastForward);
         let shard = run_named(mode, "intruder", 4, EngineKind::ShardParallel);
+        let windowed = run_named(mode, "intruder", 4, EngineKind::Windowed);
         assert_identical(&shard, &fast, &format!("bus mode={}", mode.label()));
+        assert_identical(&windowed, &fast, &format!("bus mode={}", mode.label()));
     }
 }
 
@@ -223,8 +234,10 @@ fn clustered_64p_islands_are_engine_exact_for_every_policy() {
     for mode in all_modes() {
         let fast = run_named_on(mode, "clustered", 64, EngineKind::FastForward, sharded());
         let shard = run_named_on(mode, "clustered", 64, EngineKind::ShardParallel, sharded());
+        let windowed = run_named_on(mode, "clustered", 64, EngineKind::Windowed, sharded());
         let context = format!("clustered 64p sharded mode={}", mode.label());
         assert_identical(&shard, &fast, &context);
+        assert_identical(&windowed, &fast, &context);
         fast.outcome.check_consistency().unwrap();
     }
     // The naive reference engine is too slow to sweep all ten families at
@@ -242,7 +255,7 @@ fn clustered_64p_islands_are_engine_exact_for_every_policy() {
 }
 
 #[test]
-fn recorded_traces_replay_engine_exact_on_all_three_engines() {
+fn recorded_traces_replay_engine_exact_on_all_four_engines() {
     // The trace subsystem's round-trip contract meets the exactness
     // invariant: a workload recorded to htmtrace text and read back is the
     // same value, and replaying it must land on byte-identical reports on
@@ -268,6 +281,7 @@ fn recorded_traces_replay_engine_exact_on_all_three_engines() {
             EngineKind::FastForward,
             EngineKind::Naive,
             EngineKind::ShardParallel,
+            EngineKind::Windowed,
         ] {
             let replay = run_trace(mode, loaded.workload.clone(), engine);
             assert_identical(
@@ -429,9 +443,121 @@ proptest! {
             mode, clustered_trace_from_raw(&threads), EngineKind::FastForward, sharded());
         let shard = run_trace_on(
             mode, clustered_trace_from_raw(&threads), EngineKind::ShardParallel, sharded());
+        let windowed = run_trace_on(
+            mode, clustered_trace_from_raw(&threads), EngineKind::Windowed, sharded());
         prop_assert_eq!(&shard.outcome, &fast.outcome);
         prop_assert_eq!(&shard.gating, &fast.gating);
         prop_assert_eq!(to_json(&shard), to_json(&fast));
+        prop_assert_eq!(&windowed.outcome, &fast.outcome);
+        prop_assert_eq!(&windowed.gating, &fast.gating);
+        prop_assert_eq!(to_json(&windowed), to_json(&fast));
         fast.outcome.check_consistency().unwrap();
     }
+}
+
+#[test]
+fn windowed_engine_parallelizes_a_contended_single_island_run() {
+    // The tentpole's acceptance criterion: on a 64-processor sharded
+    // machine, the hotspot workload is one conflict-connected island — the
+    // island engine has nothing to fan out — yet the windowed engine must
+    // still advance more than one bank shard per lookahead window. The
+    // counters live in `RunStats` (and flow into the timing artifact), not
+    // in the byte-compared report.
+    let build = |engine: EngineChoice| {
+        SimulationBuilder::new()
+            .processors(64)
+            .topology(sharded())
+            .workload_by_name("hotspot", WorkloadScale::Test, 11)
+            .unwrap()
+            .gating(GatingMode::ClockGate { w0: 8 })
+            .cycle_limit(50_000_000)
+            .engine(engine)
+    };
+    let workload = htm_workloads::by_name("hotspot", 64, WorkloadScale::Test, 11).unwrap();
+    let cfg = htm_sim::config::SimConfig::table2_with_topology(64, sharded());
+    assert_eq!(
+        clockgate_htm::islands::partition_islands(&cfg, &workload).len(),
+        1,
+        "hotspot at 64p must be a single island for this test to mean anything"
+    );
+    let (report, stats) = build(EngineKind::Windowed.into()).run_with_stats().unwrap();
+    assert_eq!(stats.engine, EngineKind::Windowed);
+    assert!(
+        stats.windowed.windows > 0,
+        "the windowed engine must actually cut the run into windows"
+    );
+    assert!(
+        stats.windowed.multi_group_windows > 0,
+        "at least one window must split into independent groups: {:?}",
+        stats.windowed
+    );
+    assert!(
+        stats.windowed.max_banks_active > 1,
+        "more than one bank shard must be active in some window: {:?}",
+        stats.windowed
+    );
+    // And the parallelism is free: the report is still byte-identical.
+    let (serial, serial_stats) = build(EngineKind::FastForward.into())
+        .run_with_stats()
+        .unwrap();
+    assert_identical(&report, &serial, "hotspot 64p windowed vs fast-forward");
+    assert_eq!(
+        serial_stats.windowed,
+        Default::default(),
+        "non-windowed engines must report zero windowed counters"
+    );
+}
+
+#[test]
+fn auto_engine_heuristic_picks_by_topology_and_islands() {
+    let workload = |name: &str, procs: usize| {
+        htm_workloads::by_name(name, procs, WorkloadScale::Test, 11).unwrap()
+    };
+    // Bus: nothing to shard, always fast-forward.
+    let bus = htm_sim::config::SimConfig::table2(4);
+    assert_eq!(
+        choose_engine(&bus, &workload("intruder", 4)),
+        EngineKind::FastForward
+    );
+    // Sharded, clustered at 64p: decomposes into islands → shard-parallel.
+    let sharded64 = htm_sim::config::SimConfig::table2_with_topology(64, sharded());
+    assert_eq!(
+        choose_engine(&sharded64, &workload("clustered", 64)),
+        EngineKind::ShardParallel
+    );
+    // Sharded, hotspot at 64p: one conflict-connected island → windowed.
+    assert_eq!(
+        choose_engine(&sharded64, &workload("hotspot", 64)),
+        EngineKind::Windowed
+    );
+    // EngineChoice::Auto resolves through the same function and the run is
+    // byte-identical to a fixed-engine run.
+    let auto = SimulationBuilder::new()
+        .processors(64)
+        .topology(sharded())
+        .workload_by_name("hotspot", WorkloadScale::Test, 11)
+        .unwrap()
+        .gating(GatingMode::ClockGate { w0: 8 })
+        .cycle_limit(50_000_000)
+        .engine(EngineChoice::Auto)
+        .run_with_stats()
+        .unwrap();
+    assert_eq!(auto.1.engine, EngineKind::Windowed);
+    let fixed = run_named_on(
+        GatingMode::ClockGate { w0: 8 },
+        "hotspot",
+        64,
+        EngineKind::FastForward,
+        sharded(),
+    );
+    assert_identical(&auto.0, &fixed, "auto vs fixed fast-forward at 64p");
+    // Round-trip of the CLI values, including the new ones.
+    for (value, expect) in [
+        ("fast", EngineChoice::Fixed(EngineKind::FastForward)),
+        ("windowed", EngineChoice::Fixed(EngineKind::Windowed)),
+        ("auto", EngineChoice::Auto),
+    ] {
+        assert_eq!(EngineChoice::parse(value), Some(expect));
+    }
+    assert_eq!(EngineChoice::parse("warp"), None);
 }

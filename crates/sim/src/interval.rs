@@ -59,6 +59,71 @@ impl IntervalSeg {
     }
 }
 
+/// Cycle-wise sum of several run-length-encoded segment logs plus a constant
+/// baseline, emitted as maximal coalesced segments.
+///
+/// Every log must cover exactly `total` cycles. For each simulated cycle the
+/// counts of all logs and the baseline are added; runs of identical summed
+/// counts are coalesced before being handed to `emit`. This is the shared
+/// merge primitive of the parallel engines: the island runner zip-sums
+/// per-lane logs over the whole run, and the windowed engine zip-sums
+/// per-group logs (baseline = the parked processors' constant counts) over
+/// one lookahead window at each barrier. Replaying the emitted segments into
+/// an [`IntervalTracker`] reproduces, bit for bit, the records a serial run
+/// would have accumulated over the same cycles.
+///
+/// # Panics
+/// Panics if any log covers fewer than `total` cycles (extra tail cycles
+/// beyond `total` are ignored, which lets callers pad lazily).
+pub fn zip_sum_segments(
+    logs: &[Vec<IntervalSeg>],
+    base: IntervalSeg,
+    total: u64,
+    mut emit: impl FnMut(IntervalSeg),
+) {
+    if total == 0 {
+        return;
+    }
+    // One cursor per log: (segment index, cycles consumed in that segment).
+    let mut cursors = vec![(0usize, 0u64); logs.len()];
+    let mut remaining = total;
+    let mut pending: Option<IntervalSeg> = None;
+    while remaining > 0 {
+        let mut span = remaining;
+        let mut sum = base;
+        for (log, cursor) in logs.iter().zip(cursors.iter()) {
+            let seg = log
+                .get(cursor.0)
+                .unwrap_or_else(|| panic!("segment log shorter than {total} cycles"));
+            span = span.min(seg.cycles - cursor.1);
+            sum.gated += seg.gated;
+            sum.missing += seg.missing;
+            sum.committing += seg.committing;
+            sum.throttled += seg.throttled;
+        }
+        sum.cycles = span;
+        for (log, cursor) in logs.iter().zip(cursors.iter_mut()) {
+            cursor.1 += span;
+            if cursor.1 == log[cursor.0].cycles {
+                cursor.0 += 1;
+                cursor.1 = 0;
+            }
+        }
+        remaining -= span;
+        match &mut pending {
+            Some(p) if p.same_counts(&sum) => p.cycles += span,
+            Some(p) => {
+                emit(*p);
+                *p = sum;
+            }
+            None => pending = Some(sum),
+        }
+    }
+    if let Some(p) = pending {
+        emit(p);
+    }
+}
+
 /// Accumulated interval data for one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IntervalTracker {
@@ -385,6 +450,38 @@ mod tests {
     fn rejects_overcount() {
         let mut t = IntervalTracker::new(2);
         t.record(1, 1, 1, 1);
+    }
+
+    #[test]
+    fn zip_sum_matches_cycle_by_cycle_addition() {
+        let seg = |cycles, gated, missing, committing, throttled| IntervalSeg {
+            cycles,
+            gated,
+            missing,
+            committing,
+            throttled,
+        };
+        // Two logs with different segmentations of the same 10 cycles, plus
+        // a parked baseline of one permanently gated processor.
+        let a = vec![seg(4, 1, 0, 0, 0), seg(6, 0, 1, 0, 0)];
+        let b = vec![seg(7, 0, 0, 1, 0), seg(3, 0, 0, 0, 2)];
+        let base = seg(0, 1, 0, 0, 0);
+        let mut merged = Vec::new();
+        zip_sum_segments(&[a, b], base, 10, |s| merged.push(s));
+        assert_eq!(
+            merged,
+            vec![seg(4, 2, 0, 1, 0), seg(3, 1, 1, 1, 0), seg(3, 1, 1, 0, 2),]
+        );
+        assert_eq!(merged.iter().map(|s| s.cycles).sum::<u64>(), 10);
+        // Adjacent equal-count spans coalesce across input boundaries.
+        let c = vec![seg(5, 1, 0, 0, 0), seg(5, 1, 0, 0, 0)];
+        let mut out = Vec::new();
+        zip_sum_segments(&[c], IntervalSeg::default(), 10, |s| out.push(s));
+        assert_eq!(out, vec![seg(10, 1, 0, 0, 0)]);
+        // No logs: the baseline is emitted for the whole span.
+        let mut only_base = Vec::new();
+        zip_sum_segments(&[], seg(0, 0, 2, 0, 0), 7, |s| only_base.push(s));
+        assert_eq!(only_base, vec![seg(7, 0, 2, 0, 0)]);
     }
 
     #[test]

@@ -74,6 +74,20 @@ pub enum GateCommand {
     },
 }
 
+/// Ordering key attached to every command a hook emits from a *scoped* tick
+/// ([`GatingHook::on_tick_scoped`]).
+///
+/// The windowed engine advances bank-disjoint groups of the machine
+/// independently within one lookahead window, so commands emitted for the
+/// same cycle by different groups are staged and merged at the window
+/// barrier. The merge sorts by `(key.0, key.1, key.2)` ascending, and the
+/// hook must choose keys so that this order reproduces the emission order of
+/// one serial `on_tick` call at that cycle (the clock-gating controller uses
+/// `(dir, proc, 0)` — its serial tick scans tables in directory-then-
+/// processor order; the oracle uses its pending-queue FIFO stamps). Keys
+/// only ever compare against keys from the same hook at the same cycle.
+pub type ScopedCmdKey = (u64, u64, u64);
+
 /// Read-only snapshot of the system state exposed to hooks.
 ///
 /// The snapshot is refreshed by the substrate once per cycle *before* hook
@@ -199,6 +213,52 @@ pub trait GatingHook {
     /// has been turned on by some other directory").
     fn on_proc_activity(&mut self, _proc: ProcId, _dir: DirId, _now: Cycle) {}
 
+    /// Declare the hook's cross-shard couplings for the windowed engine's
+    /// conservative grouping, returning `true` if the hook supports scoped
+    /// ticking at all.
+    ///
+    /// A pair `(d, p)` pushed into `out` means: a spontaneous hook action
+    /// scoped to directory `d` (see [`GatingHook::on_tick_scoped`]) may read
+    /// or write state associated with processor `p` this window (for the
+    /// clock-gating controller: the aborter recorded in an OFF gating-table
+    /// entry, whose marked bit and `TxInfoReq` reply the Fig. 2(e) renewal
+    /// check consults). The windowed engine then places `d`'s home bank and
+    /// `p` in the same group. Pairs may be conservative (extra pairs only
+    /// coarsen the grouping); *missing* pairs break engine equivalence.
+    ///
+    /// The default returns `false`: the hook makes no promises, and the
+    /// windowed engine falls back to advancing each window as a single
+    /// group (exact, but with no intra-window parallelism). Hooks that never
+    /// act spontaneously ([`NoGating`], back-off, throttling) return `true`
+    /// with no pairs.
+    fn windowed_couplings(&self, _out: &mut Vec<(DirId, ProcId)>) -> bool {
+        false
+    }
+
+    /// Scoped variant of [`GatingHook::on_tick`] used by the windowed engine
+    /// while advancing one bank-disjoint group: the hook must act *only* on
+    /// state belonging to directories with `focus[dir] == true`, and must
+    /// leave every decision it would have taken for out-of-focus directories
+    /// untouched (their groups run their own scoped ticks for the same
+    /// cycles). Each emitted command carries a [`ScopedCmdKey`] so the
+    /// barrier merge can restore the serial emission order.
+    ///
+    /// Only called on hooks whose [`GatingHook::windowed_couplings`]
+    /// returned `true`; the default is therefore unreachable and panics in
+    /// debug builds.
+    fn on_tick_scoped(
+        &mut self,
+        _now: Cycle,
+        _view: &SystemView,
+        _focus: &[bool],
+        _out: &mut Vec<(ScopedCmdKey, GateCommand)>,
+    ) {
+        debug_assert!(
+            false,
+            "on_tick_scoped requires windowed_couplings() support"
+        );
+    }
+
     /// Serialize the hook's mutable state into a checkpoint payload. The
     /// default writes nothing — correct for stateless hooks ([`NoGating`]);
     /// every stateful hook must override this *and* [`GatingHook::restore`]
@@ -236,6 +296,20 @@ impl GatingHook for NoGating {
         // Never issues commands, so it never constrains the fast-forward
         // horizon.
         None
+    }
+
+    fn windowed_couplings(&self, _out: &mut Vec<(DirId, ProcId)>) -> bool {
+        // Stateless: nothing couples shards through this hook.
+        true
+    }
+
+    fn on_tick_scoped(
+        &mut self,
+        _now: Cycle,
+        _view: &SystemView,
+        _focus: &[bool],
+        _out: &mut Vec<(ScopedCmdKey, GateCommand)>,
+    ) {
     }
 }
 
@@ -289,6 +363,21 @@ impl GatingHook for ExponentialBackoff {
         // The back-off spin happens inside the processor (`Phase::Backoff`);
         // the hook itself never issues commands.
         None
+    }
+
+    fn windowed_couplings(&self, _out: &mut Vec<(DirId, ProcId)>) -> bool {
+        // Per-victim counters only, touched by the victim's own abort/commit
+        // callbacks: no cross-shard hook state.
+        true
+    }
+
+    fn on_tick_scoped(
+        &mut self,
+        _now: Cycle,
+        _view: &SystemView,
+        _focus: &[bool],
+        _out: &mut Vec<(ScopedCmdKey, GateCommand)>,
+    ) {
     }
 
     fn snapshot(&self, w: &mut CkptWriter) {
