@@ -10,35 +10,56 @@
 //!   falls back to serial and only the windowed conservative PDES engine
 //!   can split work (by home bank, one lookahead window at a time).
 //!
-//! All three engines produce byte-identical reports (pinned by the
+//! All engines produce byte-identical reports (pinned by the
 //! `engine_differential` suite); this bench records what that exactness
-//! costs or buys in wall-clock. On a single-core host the parallel engines
-//! can only lose (coordination overhead with no cores to spend it on) — the
-//! committed `BENCH_pdes.json` numbers are exactly that honest baseline,
-//! regenerated via `tools/bench_pdes.sh`.
+//! costs or buys in wall-clock. Four arms per cell: `fast-forward`,
+//! `shard-parallel`, `windowed` (lane pool pinned to one worker — the
+//! sequential in-place path) and `windowed-parallel` (lane pool pinned to
+//! four workers, fanning per-window groups out). The pins make each
+//! column mean the same thing on every host. On a single-core host the
+//! parallel arms can only lose (coordination overhead with no cores to
+//! spend it on) — the committed `BENCH_pdes.json` numbers are exactly that
+//! honest baseline, regenerated via `tools/bench_pdes.sh`.
 
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use clockgate_htm::pool::WorkerPool;
 use clockgate_htm::sim::{EngineKind, GatingMode, SimulationBuilder};
 use htm_sim::topology::TopologyConfig;
 use htm_workloads::WorkloadScale;
 
-fn total_cycles(workload: &str, procs: usize, engine: EngineKind) -> u64 {
-    SimulationBuilder::new()
+/// Pinned lane pools, shared across iterations (pool worker threads live
+/// for the life of the process — creating one per iteration would both leak
+/// threads and charge pool spin-up to the measurement).
+fn lane_pool(workers: usize) -> Arc<WorkerPool> {
+    static SERIAL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+    static PARALLEL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+    let cell = if workers > 1 { &PARALLEL } else { &SERIAL };
+    Arc::clone(cell.get_or_init(|| Arc::new(WorkerPool::new(workers))))
+}
+
+fn total_cycles(
+    workload: &str,
+    procs: usize,
+    engine: EngineKind,
+    lane_workers: Option<usize>,
+) -> u64 {
+    let mut builder = SimulationBuilder::new()
         .processors(procs)
         .topology(TopologyConfig::sharded_default())
         .workload_by_name(workload, WorkloadScale::Test, 11)
         .unwrap()
         .gating(GatingMode::ClockGate { w0: 8 })
         .cycle_limit(50_000_000)
-        .engine(engine)
-        .run()
-        .unwrap()
-        .outcome
-        .total_cycles
+        .engine(engine);
+    if let Some(workers) = lane_workers {
+        builder = builder.lane_pool(lane_pool(workers));
+    }
+    builder.run().unwrap().outcome.total_cycles
 }
 
 fn bench(c: &mut Criterion) {
@@ -49,13 +70,14 @@ fn bench(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(3));
     for workload in ["hotspot", "clustered"] {
         for procs in [64usize, 256] {
-            for engine in [
-                EngineKind::FastForward,
-                EngineKind::ShardParallel,
-                EngineKind::Windowed,
+            for (label, engine, lane_workers) in [
+                ("fast-forward", EngineKind::FastForward, None),
+                ("shard-parallel", EngineKind::ShardParallel, None),
+                ("windowed", EngineKind::Windowed, Some(1)),
+                ("windowed-parallel", EngineKind::Windowed, Some(4)),
             ] {
-                group.bench_function(format!("{workload}_{procs}p_{}", engine.label()), |b| {
-                    b.iter(|| black_box(total_cycles(workload, procs, engine)));
+                group.bench_function(format!("{workload}_{procs}p_{label}"), |b| {
+                    b.iter(|| black_box(total_cycles(workload, procs, engine, lane_workers)));
                 });
             }
         }

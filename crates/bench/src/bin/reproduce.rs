@@ -29,9 +29,14 @@
 //!   and fails on any divergence.
 //! * `--topology bus|sharded[:BANKS[:mesh|xbar]]` swaps the interconnect
 //!   (default `bus`, the paper's machine; see `docs/SCALING.md`).
+//! * `--threads N` caps the process-wide worker pool: matrix cells,
+//!   shard-parallel islands and windowed per-group lanes all share that one
+//!   budget, so nested parallelism never oversubscribes the host. Purely a
+//!   wall-clock knob — output bytes are identical for every `N`.
 //! * `--scale-smoke` is the large-machine CI gate: tiny workloads
-//!   (including the island-friendly `clustered` one) on a 64-processor
-//!   machine.
+//!   (including the island-friendly `clustered` one) on 64-, 512- and
+//!   1024-processor machines — the last being the simulator's
+//!   [`htm_sim::MAX_PROCS`] ceiling.
 //! * `--timing` writes a `BENCH_reproduce.json` artifact with the wall-clock
 //!   time of every matrix cell and the cells/second rate, so engine and
 //!   parallelisation speedups are recorded next to the scientific output.
@@ -82,8 +87,13 @@ fn usage() -> ! {
          \x20 --smoke         CI gate: tiny workloads, one processor count;\n\
          \x20                 also writes JSON artifacts (default dir reproduce-out/)\n\
          \x20 --scale-smoke   large-machine CI gate: tiny workloads (clustered,\n\
-         \x20                 genome, intruder) on 64 processors; combine with\n\
-         \x20                 --topology/--engine to exercise the sharded fabric\n\
+         \x20                 genome, intruder) on 64, 512 and 1024 processors;\n\
+         \x20                 combine with --topology/--engine to exercise the\n\
+         \x20                 sharded fabric\n\
+         \x20 --max-procs N   drop matrix cells above N processors; CI uses it\n\
+         \x20                 to keep the cycle-stepping naive reference arm of\n\
+         \x20                 the scale smoke at 64p while the event-driven\n\
+         \x20                 engines take the full 512-1024p corpus\n\
          \x20 --trace FILE    drive the matrix targets from a recorded htmtrace\n\
          \x20                 file instead of the synthetic generators: the\n\
          \x20                 trace becomes the only workload (on its recorded\n\
@@ -115,6 +125,12 @@ fn usage() -> ! {
          \x20 --topology T    interconnect: bus (default) or\n\
          \x20                 sharded[:BANKS[:mesh|xbar]] (BANKS=0: one bank per\n\
          \x20                 directory); see docs/SCALING.md\n\
+         \x20 --threads N     cap the process-wide worker pool at N threads\n\
+         \x20                 (default: the host's available parallelism);\n\
+         \x20                 matrix cells, shard-parallel islands and windowed\n\
+         \x20                 lanes all draw from this one budget. Affects\n\
+         \x20                 wall-clock only — output bytes are identical for\n\
+         \x20                 every N\n\
          \x20 --timing        write BENCH_reproduce.json (wall-clock per matrix\n\
          \x20                 cell and cells/second)\n\
          \x20 --checkpoint-every N  checkpoint every simulation run every N\n\
@@ -246,6 +262,7 @@ fn main() {
     let mut trace_path: Option<PathBuf> = None;
     let mut record_path: Option<PathBuf> = None;
     let mut record_from: Option<String> = None;
+    let mut max_procs: Option<usize> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -271,6 +288,26 @@ fn main() {
             "--topology" => match args.next().as_deref().and_then(TopologyConfig::parse) {
                 Some(t) => topology = t,
                 None => usage(),
+            },
+            "--threads" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => {
+                    // Must land before anything touches the pool; arg parsing
+                    // is the first thing main does, so this always wins.
+                    htm_sim::pool::WorkerPool::configure_global(n);
+                }
+                _ => {
+                    eprintln!("--threads needs a positive worker count, e.g. `--threads 4`");
+                    std::process::exit(2);
+                }
+            },
+            "--max-procs" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => max_procs = Some(n),
+                _ => {
+                    eprintln!(
+                        "--max-procs needs a positive processor count, e.g. `--max-procs 64`"
+                    );
+                    std::process::exit(2);
+                }
             },
             "--out" => match args.next() {
                 Some(dir) => out_dir = Some(PathBuf::from(dir)),
@@ -382,7 +419,7 @@ fn main() {
 
     let mut cfg = if scale_smoke {
         ExperimentConfig {
-            processor_counts: vec![64],
+            processor_counts: vec![64, 512, 1024],
             workloads: ["clustered", "genome", "intruder"]
                 .iter()
                 .map(|s| (*s).to_string())
@@ -404,6 +441,13 @@ fn main() {
     } else {
         ExperimentConfig::default()
     };
+    if let Some(cap) = max_procs {
+        cfg.processor_counts.retain(|&p| p <= cap);
+        if cfg.processor_counts.is_empty() {
+            eprintln!("--max-procs {cap} drops every matrix cell; raise the cap");
+            std::process::exit(2);
+        }
+    }
     // A recorded trace replaces the synthetic workload axis entirely: the
     // matrix runs the trace (under its fingerprinted axis name) on exactly
     // the processor count it was recorded with.

@@ -44,7 +44,7 @@ macro_rules! outln {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sweep --grid NAME | --trace FILE [--out DIR] [--engine fast|naive|shard|windowed|auto] [--topology T] [--objective O]\n\
+        "usage: sweep --grid NAME | --trace FILE [--out DIR] [--engine fast|naive|shard|windowed|auto] [--topology T] [--threads N] [--objective O]\n\
          \x20            [--resume] [--checkpoint-every N] [--checkpoint-dir D] [--replay-to CYCLE --replay-key KEY]\n\
          \x20            [--list] [--list-policies]\n\
          \n\
@@ -75,6 +75,11 @@ fn usage() -> ! {
          \x20                 directory); sharded cell keys carry a topology\n\
          \x20                 segment, so bus and sharded sweeps never mix on\n\
          \x20                 resume; see docs/SCALING.md\n\
+         \x20 --threads N     cap the process-wide worker pool at N threads\n\
+         \x20                 (default: the host's available parallelism); sweep\n\
+         \x20                 cells, shard-parallel islands and windowed lanes\n\
+         \x20                 all draw from this one budget. Affects wall-clock\n\
+         \x20                 only — artifacts are byte-identical for every N\n\
          \x20 --objective O   frontier objective: energy (default), edp or ed2p;\n\
          \x20                 only pareto.json depends on it, so a sweep can be\n\
          \x20                 resumed under any objective\n\
@@ -169,6 +174,17 @@ fn main() {
             "--topology" => match args.next().as_deref().and_then(TopologyConfig::parse) {
                 Some(t) => topology = t,
                 None => usage(),
+            },
+            "--threads" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => {
+                    // Must land before anything touches the pool; arg parsing
+                    // is the first thing main does, so this always wins.
+                    htm_sim::pool::WorkerPool::configure_global(n);
+                }
+                _ => {
+                    eprintln!("--threads needs a positive worker count, e.g. `--threads 4`");
+                    std::process::exit(2);
+                }
             },
             "--objective" => match args.next().as_deref().and_then(SweepObjective::parse) {
                 Some(o) => objective = o,

@@ -395,6 +395,30 @@ where
     H: GatingHook,
     F: Fn() -> H,
 {
+    run_checkpointed_pooled(cfg, workload, make_hook, engine, limit, ckpt, None)
+}
+
+/// [`run_checkpointed`] with the windowed engine's lane pool pinned to
+/// `lane_pool` instead of the process-wide global pool (`None` keeps the
+/// default). Checkpoint bytes and the final artifacts are pool-size
+/// independent — the pin only controls how many host threads the windowed
+/// engine may fan per-window group lanes onto between snapshots, so
+/// differential tests can sweep pool sizes (including across a kill/resume
+/// boundary) inside one process.
+#[allow(clippy::too_many_arguments)]
+pub fn run_checkpointed_pooled<H, F>(
+    cfg: &SimConfig,
+    workload: &WorkloadTrace,
+    make_hook: F,
+    engine: EngineKind,
+    limit: Cycle,
+    ckpt: &CheckpointConfig,
+    lane_pool: Option<std::sync::Arc<crate::pool::WorkerPool>>,
+) -> Result<(RunOutcome, H, CheckpointRunInfo), CheckpointError>
+where
+    H: GatingHook,
+    F: Fn() -> H,
+{
     if ckpt.every == 0 {
         return Err(CheckpointError::ZeroInterval);
     }
@@ -424,6 +448,12 @@ where
         }
         None => TccSystem::new(cfg.clone(), workload.clone(), make_hook())?,
     };
+    // `restore_checkpoint` builds a pool-less system (the pin is host-side
+    // runtime state, not machine state), so the pin is applied after either
+    // construction path.
+    if let Some(pool) = lane_pool {
+        sys.set_lane_pool(pool);
+    }
     while !sys.is_complete() {
         if sys.now() >= limit {
             return Err(SimError::CycleLimitExceeded { limit }.into());

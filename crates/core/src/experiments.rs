@@ -259,11 +259,32 @@ pub struct WindowedCellStats {
     pub max_banks_active: usize,
     /// Cross-group messages staged at window barriers.
     pub staged_messages: u64,
+    /// Histogram of groups-per-window, bucketed as
+    /// [`WindowedStats::GROUP_HIST_BUCKETS`] (1, 2, 3, 4, 5-8, 9-16, 17+).
+    pub group_count_hist: [u64; 7],
+    /// Multi-group windows whose lanes were fanned onto the worker pool
+    /// (zero when the pool has a single worker: the sequential fallback).
+    pub parallel_windows: u64,
+    /// Largest number of lanes that could run concurrently in one parallel
+    /// window: `min(groups, pool workers)`, maxed over parallel windows.
+    /// Deterministic — depends on the plan and pool size, not the schedule.
+    pub max_concurrent_lanes: usize,
+    /// Wall-clock nanoseconds lane jobs spent advancing, summed over lanes.
+    /// Nondeterministic; compare against [`Self::window_wall_nanos`] to see
+    /// how much of the window time was lane work vs barrier replay.
+    pub lane_busy_nanos: u64,
+    /// Wall-clock nanoseconds parallel windows took end to end (fan-out,
+    /// lane advances, reassembly and barrier replay). Nondeterministic.
+    pub window_wall_nanos: u64,
 }
 
 impl WindowedCellStats {
     /// Merge the two runs of a cell: counters add, high-water marks max.
     fn merged(a: WindowedStats, b: WindowedStats) -> Self {
+        let mut group_count_hist = a.group_count_hist;
+        for (acc, add) in group_count_hist.iter_mut().zip(b.group_count_hist) {
+            *acc += add;
+        }
         Self {
             windows: a.windows + b.windows,
             multi_group_windows: a.multi_group_windows + b.multi_group_windows,
@@ -271,6 +292,11 @@ impl WindowedCellStats {
             group_advances: a.group_advances + b.group_advances,
             max_banks_active: a.max_banks_active.max(b.max_banks_active),
             staged_messages: a.staged_messages + b.staged_messages,
+            group_count_hist,
+            parallel_windows: a.parallel_windows + b.parallel_windows,
+            max_concurrent_lanes: a.max_concurrent_lanes.max(b.max_concurrent_lanes),
+            lane_busy_nanos: a.lane_busy_nanos + b.lane_busy_nanos,
+            window_wall_nanos: a.window_wall_nanos + b.window_wall_nanos,
         }
     }
 }

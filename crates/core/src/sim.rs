@@ -112,7 +112,11 @@ impl EngineChoice {
 /// * On a sharded fabric whose workload is a single contended island — the
 ///   case islands cannot touch — the time-windowed conservative PDES engine
 ///   ([`EngineKind::Windowed`]) still splits most lookahead windows into
-///   independent per-bank groups.
+///   independent per-bank groups and fans them onto the worker pool. That
+///   only pays off when the pool can actually run lanes concurrently: with a
+///   single worker (a 1-core container, or `--threads 1`) the windowed
+///   engine degenerates to fast-forward plus window bookkeeping, so the
+///   heuristic weighs the global pool size and falls back to fast-forward.
 #[must_use]
 pub fn choose_engine(cfg: &SimConfig, workload: &WorkloadTrace) -> EngineKind {
     if !matches!(cfg.topology, TopologyConfig::Sharded { .. })
@@ -123,7 +127,11 @@ pub fn choose_engine(cfg: &SimConfig, workload: &WorkloadTrace) -> EngineKind {
     if crate::islands::partition_islands(cfg, workload).len() > 1 {
         return EngineKind::ShardParallel;
     }
-    EngineKind::Windowed
+    if crate::pool::WorkerPool::global().workers() > 1 {
+        EngineKind::Windowed
+    } else {
+        EngineKind::FastForward
+    }
 }
 
 /// Monitoring by-products of one [`SimulationBuilder::run_with_stats`] run:
@@ -191,6 +199,7 @@ pub struct SimulationBuilder {
     cycle_limit: Cycle,
     engine: EngineChoice,
     debug_perturb: bool,
+    lane_pool: Option<std::sync::Arc<crate::pool::WorkerPool>>,
 }
 
 impl Default for SimulationBuilder {
@@ -211,7 +220,20 @@ impl SimulationBuilder {
             cycle_limit: DEFAULT_CYCLE_LIMIT,
             engine: EngineChoice::default(),
             debug_perturb: false,
+            lane_pool: None,
         }
+    }
+
+    /// Pin the worker pool the windowed engine fans per-window group lanes
+    /// onto, instead of the process-wide [`crate::pool::WorkerPool::global`]
+    /// pool. A one-worker pool forces the sequential in-place path. Every
+    /// pool size produces byte-identical artifacts (the lanes are exact);
+    /// this knob exists so differential tests can sweep pool sizes inside
+    /// one process, where the global pool's size is fixed at first use.
+    #[must_use]
+    pub fn lane_pool(mut self, pool: std::sync::Arc<crate::pool::WorkerPool>) -> Self {
+        self.lane_pool = Some(pool);
+        self
     }
 
     /// Plant the deliberate fast-engine accounting bug
@@ -376,6 +398,7 @@ impl SimulationBuilder {
                     limit,
                     engine,
                     self.debug_perturb,
+                    self.lane_pool.clone(),
                 )?;
                 windowed = wstats;
                 (outcome, hook.gating_stats(), hook.uncore_charges())
@@ -408,13 +431,14 @@ impl SimulationBuilder {
         })?;
         let label = self.mode.label();
         let engine = self.engine.resolve(&self.config, &workload);
-        let (outcome, hook, info) = crate::checkpoint::run_checkpointed(
+        let (outcome, hook, info) = crate::checkpoint::run_checkpointed_pooled(
             &self.config,
             &workload,
             || self.mode.build(&self.config),
             engine,
             self.cycle_limit,
             ckpt,
+            self.lane_pool.clone(),
         )?;
         let (gating, charges) = (hook.gating_stats(), hook.uncore_charges());
         Ok((
@@ -494,10 +518,14 @@ fn run_system<H: GatingHook>(
     limit: Cycle,
     engine: EngineKind,
     debug_perturb: bool,
+    lane_pool: Option<std::sync::Arc<crate::pool::WorkerPool>>,
 ) -> Result<(RunOutcome, H, WindowedStats), SimError> {
     let mut system = TccSystem::new(cfg, workload, hook)?;
     if debug_perturb {
         system.debug_perturb_fast_accounting();
+    }
+    if let Some(pool) = lane_pool {
+        system.set_lane_pool(pool);
     }
     system.run_bounded_full(limit, engine)
 }

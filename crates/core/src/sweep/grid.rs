@@ -368,16 +368,18 @@ impl SweepGrid {
     }
 
     /// The large-machine grid behind `docs/SCALING.md`: the
-    /// cluster-isolated workload plus two STAMP-like ones at 64 and 256
-    /// processors, under the ungated / Eq. 8 / oracle trio. Meant to be run
-    /// on the sharded fabric (`sweep --grid scale --topology sharded`),
-    /// where the shard-parallel engine can fan the clustered islands out
-    /// over host threads.
+    /// cluster-isolated workload plus two STAMP-like ones at 64, 256, 512
+    /// and 1024 processors (the simulator's [`htm_sim::MAX_PROCS`] ceiling),
+    /// under the ungated / Eq. 8 / oracle trio. Meant to be run on the
+    /// sharded fabric (`sweep --grid scale --topology sharded`), where the
+    /// shard-parallel engine fans clustered islands out over host threads
+    /// and the windowed engine fans per-bank lane groups out within the
+    /// contended cells.
     #[must_use]
     pub fn scale() -> Self {
         Self {
             workloads: vec!["clustered".into(), "genome".into(), "intruder".into()],
-            processor_counts: vec![64, 256],
+            processor_counts: vec![64, 256, 512, 1024],
             scales: vec![WorkloadScale::Test],
             gating: GatingAxis {
                 kinds: vec![ModeKind::Ungated, ModeKind::ClockGate, ModeKind::Oracle],
@@ -615,6 +617,18 @@ mod tests {
             assert_eq!(keys.len(), cells.len(), "{name} keys must be unique");
         }
         assert!(SweepGrid::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn scale_grid_reaches_the_1024p_ceiling() {
+        let cells = SweepGrid::scale().expand();
+        // 3 workloads x 4 processor counts x 3 modes.
+        assert_eq!(cells.len(), 36);
+        let procs: BTreeSet<usize> = cells.iter().map(|c| c.procs).collect();
+        assert_eq!(procs, BTreeSet::from([64, 256, 512, 1024]));
+        let keys: BTreeSet<String> = cells.iter().map(SweepCell::key).collect();
+        assert!(keys.contains("genome-p1024-l64k2w-test-s42-oracle"));
+        assert!(keys.contains("intruder-p512-l64k2w-test-s42-cg-w8"));
     }
 
     #[test]

@@ -764,8 +764,13 @@ pub fn run_sweep_ckpt_traced(
     let mut failure: Option<SweepError> = None;
 
     if !pending.is_empty() {
-        let threads = std::thread::available_parallelism()
-            .map_or(1, std::num::NonZeroUsize::get)
+        // Sized from the process-wide pool budget (the binaries' `--threads`
+        // cap), so cell-level and window-level parallelism share one budget:
+        // windowed lanes spawned by a cell run on the global pool itself,
+        // whose helping wait() keeps these scoped threads working instead of
+        // oversubscribing the host.
+        let threads = crate::pool::WorkerPool::global()
+            .workers()
             .min(pending.len());
         type Slot = Option<Result<CellRecord, SweepError>>;
         let slots: Mutex<Vec<Slot>> = Mutex::new((0..pending.len()).map(|_| None).collect());

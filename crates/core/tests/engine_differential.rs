@@ -509,6 +509,112 @@ fn windowed_engine_parallelizes_a_contended_single_island_run() {
 }
 
 #[test]
+fn parallel_windowed_lanes_match_every_engine_for_every_pool_size() {
+    // The lane fan-out's differential arm: a contended multi-bank run that
+    // provably splits windows into more than one disjoint group, advanced
+    // with the lane pool pinned to 1, 2 and 8 workers. Every pool size must
+    // reproduce the byte-identical report of all three other engines — the
+    // 1-worker pool through the sequential in-place path (zero parallel
+    // windows), the larger pools through genuinely concurrent lanes.
+    use clockgate_htm::pool::WorkerPool;
+    use std::sync::Arc;
+
+    let build = || {
+        SimulationBuilder::new()
+            .processors(16)
+            .topology(sharded())
+            .workload_by_name("hotspot", WorkloadScale::Test, 11)
+            .unwrap()
+            .gating(GatingMode::ClockGate { w0: 8 })
+            .cycle_limit(50_000_000)
+    };
+    let fast = run_named_on(
+        GatingMode::ClockGate { w0: 8 },
+        "hotspot",
+        16,
+        EngineKind::FastForward,
+        sharded(),
+    );
+    let naive = run_named_on(
+        GatingMode::ClockGate { w0: 8 },
+        "hotspot",
+        16,
+        EngineKind::Naive,
+        sharded(),
+    );
+    let shard = run_named_on(
+        GatingMode::ClockGate { w0: 8 },
+        "hotspot",
+        16,
+        EngineKind::ShardParallel,
+        sharded(),
+    );
+    assert_identical(&fast, &naive, "hotspot 16p fast-forward vs naive");
+    assert_identical(&fast, &shard, "hotspot 16p fast-forward vs shard-parallel");
+    for workers in [1usize, 2, 8] {
+        let (report, stats) = build()
+            .engine(EngineKind::Windowed)
+            .lane_pool(Arc::new(WorkerPool::new(workers)))
+            .run_with_stats()
+            .unwrap();
+        assert!(
+            stats.windowed.multi_group_windows > 0,
+            "the trace must split at least one window into independent \
+             groups for this test to exercise the lanes: {:?}",
+            stats.windowed
+        );
+        if workers == 1 {
+            assert_eq!(
+                stats.windowed.parallel_windows, 0,
+                "a one-worker pool must take the sequential in-place path: {:?}",
+                stats.windowed
+            );
+        } else {
+            assert!(
+                stats.windowed.parallel_windows > 0,
+                "a {workers}-worker pool must fan some windows out: {:?}",
+                stats.windowed
+            );
+            assert!(
+                stats.windowed.max_concurrent_lanes >= 2,
+                "lanes never ran concurrently on a {workers}-worker pool: {:?}",
+                stats.windowed
+            );
+        }
+        assert_identical(
+            &fast,
+            &report,
+            &format!("hotspot 16p windowed ({workers}-worker lane pool) vs fast-forward"),
+        );
+    }
+    // Checkpoint/resume round trip with lanes live: a checkpointed windowed
+    // run with an 8-worker lane pool must hand back the same report again
+    // (snapshots settle the lazy accounting mid-run, and the checkpoint
+    // bytes are pool-size independent — see the system-level tests).
+    let dir = std::env::temp_dir().join(format!("clockgate-lane-diff-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    for workers in [1usize, 8] {
+        let ckpt = clockgate_htm::checkpoint::CheckpointConfig {
+            dir: dir.clone(),
+            every: 2_000,
+            key: format!("lane-diff-w{workers}"),
+            resume: true,
+        };
+        let (report, _info) = build()
+            .engine(EngineKind::Windowed)
+            .lane_pool(Arc::new(WorkerPool::new(workers)))
+            .run_checkpointed(&ckpt)
+            .unwrap();
+        assert_identical(
+            &fast,
+            &report,
+            &format!("hotspot 16p checkpointed windowed ({workers}-worker lane pool)"),
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn auto_engine_heuristic_picks_by_topology_and_islands() {
     let workload = |name: &str, procs: usize| {
         htm_workloads::by_name(name, procs, WorkloadScale::Test, 11).unwrap()
@@ -525,10 +631,18 @@ fn auto_engine_heuristic_picks_by_topology_and_islands() {
         choose_engine(&sharded64, &workload("clustered", 64)),
         EngineKind::ShardParallel
     );
-    // Sharded, hotspot at 64p: one conflict-connected island → windowed.
+    // Sharded, hotspot at 64p: one conflict-connected island → windowed,
+    // unless the global pool has a single worker (1-core host or
+    // `--threads 1`), where windowed lanes cannot run concurrently and the
+    // heuristic falls back to fast-forward.
+    let contended_pick = if clockgate_htm::pool::WorkerPool::global().workers() > 1 {
+        EngineKind::Windowed
+    } else {
+        EngineKind::FastForward
+    };
     assert_eq!(
         choose_engine(&sharded64, &workload("hotspot", 64)),
-        EngineKind::Windowed
+        contended_pick
     );
     // EngineChoice::Auto resolves through the same function and the run is
     // byte-identical to a fixed-engine run.
@@ -542,7 +656,7 @@ fn auto_engine_heuristic_picks_by_topology_and_islands() {
         .engine(EngineChoice::Auto)
         .run_with_stats()
         .unwrap();
-    assert_eq!(auto.1.engine, EngineKind::Windowed);
+    assert_eq!(auto.1.engine, contended_pick);
     let fixed = run_named_on(
         GatingMode::ClockGate { w0: 8 },
         "hotspot",

@@ -56,6 +56,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod fxhash;
 pub mod interval;
+pub mod pool;
 pub mod port;
 pub mod queue;
 pub mod rng;

@@ -519,6 +519,30 @@ impl ShardedInterconnect {
         })
     }
 
+    /// Copy the full state of bank `bank` (queue occupancy and stats) from
+    /// `other`. Used by the windowed engine's lane barrier: each lane owns a
+    /// disjoint set of banks for the window, and the master copies those
+    /// banks back wholesale when the lane rejoins.
+    pub fn copy_bank_from(&mut self, other: &ShardedInterconnect, bank: usize) {
+        self.banks[bank].clone_from(&other.banks[bank]);
+    }
+
+    /// Zero the vendor-link counters. A windowed lane starts from a zeroed
+    /// vendor ledger so that, at the barrier, its counters are exactly the
+    /// in-window delta to fold back into the master with
+    /// [`Self::absorb_vendor_stats`]. Sound because the vendor link is
+    /// latency-only: it carries no queued state, so the counters are the
+    /// only thing a transfer mutates.
+    pub fn reset_vendor_stats(&mut self) {
+        self.vendor_stats = BusStats::default();
+    }
+
+    /// Fold another interconnect's vendor-link counters into this one's
+    /// (the inverse of [`Self::reset_vendor_stats`] at the lane barrier).
+    pub fn absorb_vendor_stats(&mut self, other: &ShardedInterconnect) {
+        self.vendor_stats.absorb(&other.vendor_stats);
+    }
+
     /// Charge a transfer on the latency-only vendor link.
     fn vendor_transfer(&mut self, kind: BusTraffic) -> u64 {
         match kind {
@@ -651,6 +675,28 @@ impl Interconnect {
             TopologyConfig::Sharded { .. } => {
                 Interconnect::Sharded(ShardedInterconnect::from_config(cfg))
             }
+        }
+    }
+
+    /// [`ShardedInterconnect::copy_bank_from`], lifted to the enum. No-op on
+    /// a bus (the windowed engine never splits a bus machine into lanes).
+    pub fn copy_bank_from(&mut self, other: &Interconnect, bank: usize) {
+        if let (Interconnect::Sharded(s), Interconnect::Sharded(o)) = (self, other) {
+            s.copy_bank_from(o, bank);
+        }
+    }
+
+    /// [`ShardedInterconnect::reset_vendor_stats`], lifted to the enum.
+    pub fn reset_vendor_stats(&mut self) {
+        if let Interconnect::Sharded(s) = self {
+            s.reset_vendor_stats();
+        }
+    }
+
+    /// [`ShardedInterconnect::absorb_vendor_stats`], lifted to the enum.
+    pub fn absorb_vendor_stats(&mut self, other: &Interconnect) {
+        if let (Interconnect::Sharded(s), Interconnect::Sharded(o)) = (self, other) {
+            s.absorb_vendor_stats(o);
         }
     }
 }

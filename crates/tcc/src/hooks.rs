@@ -157,7 +157,17 @@ impl SystemView {
 ///
 /// All methods have sensible no-op defaults except [`GatingHook::on_abort`],
 /// which every implementation must decide.
-pub trait GatingHook {
+///
+/// The trait requires `Send` because the windowed engine advances
+/// bank-disjoint groups on worker-pool threads, sharing one hook behind a
+/// mutex (see `system/windowed.rs`). Hooks are plain data — tables, counters
+/// and timers — so the bound is free in practice. The *semantic* obligation
+/// that parallelism adds is documented on [`GatingHook::windowed_couplings`]:
+/// callbacks for processors/directories in different groups must commute,
+/// which the couplings contract guarantees by construction (any state shared
+/// between an action's readers and writers forces its parties into one
+/// group).
+pub trait GatingHook: Send {
     /// A committing processor (`aborter`, executing static transaction
     /// `aborter_tx`) has invalidated a line speculatively read by `victim`;
     /// the invalidation was generated by directory `dir`. Decide what the
@@ -231,6 +241,16 @@ pub trait GatingHook {
     /// group (exact, but with no intra-window parallelism). Hooks that never
     /// act spontaneously ([`NoGating`], back-off, throttling) return `true`
     /// with no pairs.
+    ///
+    /// **Lane contract.** Since the lane fan-out, groups of one window may
+    /// run on different threads, so the declared pairs also serve as a
+    /// commutativity certificate: every hook callback triggered from group
+    /// *A* must leave any state that a concurrently running group *B* could
+    /// read or write untouched. That holds automatically when the pairs are
+    /// complete — state linking `(d, p)` puts `d`'s bank and `p` in one
+    /// group, so cross-group callbacks only touch disjoint table entries —
+    /// and cross-group *reads* of shared aggregates (a global cycle counter,
+    /// say) are safe only if no in-window callback writes them.
     fn windowed_couplings(&self, _out: &mut Vec<(DirId, ProcId)>) -> bool {
         false
     }

@@ -19,6 +19,7 @@ use htm_sim::bus::BusTraffic;
 use htm_sim::checkpoint::{CkptError, CkptReader, CkptWriter};
 use htm_sim::config::SimConfig;
 use htm_sim::interval::{IntervalSeg, IntervalTracker};
+use htm_sim::pool::WorkerPool;
 use htm_sim::topology::{Interconnect, Node, Route, Topology, TopologyConfig};
 use htm_sim::{Cycle, DirId, ProcId, ProcSet};
 
@@ -233,6 +234,17 @@ pub struct TccSystem<H: GatingHook> {
     /// from checkpoints so engine-independent state digests stay
     /// comparable across engines.
     wstats: windowed::WindowedStats,
+    /// Worker pool override for the windowed engine's lane fan-out. `None`
+    /// (the default) uses [`WorkerPool::global`]; tests pin explicit pool
+    /// sizes to prove byte-exactness is independent of worker count.
+    lane_pool: Option<std::sync::Arc<WorkerPool>>,
+    /// Cached per-lane placeholder machines for the windowed engine's
+    /// parallel branch: full-size component vectors whose slots are
+    /// mem-swapped with the group's real components each window, so lane
+    /// construction is O(group size) swaps instead of a machine clone.
+    /// Empty until the first parallel window; runtime-only (never
+    /// checkpointed).
+    lane_shells: Vec<windowed::LaneShell>,
 }
 
 impl<H: GatingHook> TccSystem<H> {
@@ -319,6 +331,8 @@ impl<H: GatingHook> TccSystem<H> {
             wscratch: Vec::new(),
             last_done_cycle: 0,
             wstats: windowed::WindowedStats::default(),
+            lane_pool: None,
+            lane_shells: Vec::new(),
         };
         // Populate the hook-visible snapshot once; from here on the engines
         // keep it current (the naive engine by full refresh, the fast engine
@@ -331,6 +345,14 @@ impl<H: GatingHook> TccSystem<H> {
     #[must_use]
     pub fn config(&self) -> &SimConfig {
         &self.cfg
+    }
+
+    /// Pin the worker pool the windowed engine fans per-window lanes onto,
+    /// instead of the process-wide [`WorkerPool::global`]. Purely a
+    /// scheduling knob: results are byte-identical for every pool size
+    /// (a pool of one worker takes the sequential in-place path).
+    pub fn set_lane_pool(&mut self, pool: std::sync::Arc<WorkerPool>) {
+        self.lane_pool = Some(pool);
     }
 
     /// Current simulation cycle.
@@ -2349,6 +2371,83 @@ mod tests {
                 win.save_checkpoint(),
                 "checkpoint bytes diverged at cycle {boundary}"
             );
+        }
+    }
+
+    #[test]
+    fn parallel_lanes_are_byte_identical_for_every_pool_size() {
+        use std::sync::Arc;
+        let procs = 8;
+        let (reference, _) = TccSystem::new(sharded_cfg(procs), spread_workload(procs), NoGating)
+            .unwrap()
+            .run_bounded_parts(2_000_000, EngineKind::FastForward)
+            .unwrap();
+        for workers in [1usize, 2, 8] {
+            let mut sys =
+                TccSystem::new(sharded_cfg(procs), spread_workload(procs), NoGating).unwrap();
+            sys.set_lane_pool(Arc::new(WorkerPool::new(workers)));
+            sys.advance_until_engine(Cycle::MAX / 2, EngineKind::Windowed);
+            assert!(sys.is_complete());
+            let stats = sys.windowed_stats();
+            assert!(stats.multi_group_windows > 0, "{stats:?}");
+            if workers == 1 {
+                // Satellite guarantee for 1-core containers: a one-worker
+                // pool must take the in-place sequential path.
+                assert_eq!(stats.parallel_windows, 0, "{stats:?}");
+                assert_eq!(stats.max_concurrent_lanes, 0, "{stats:?}");
+            } else {
+                assert!(
+                    stats.parallel_windows > 0,
+                    "multi-worker pool never fanned lanes out: {stats:?}"
+                );
+                assert!(stats.max_concurrent_lanes >= 2, "{stats:?}");
+            }
+            let (outcome, _) = sys.into_parts();
+            assert_eq!(reference, outcome, "{workers}-worker pool diverged");
+        }
+    }
+
+    #[test]
+    fn parallel_lanes_match_with_backoff_hook_across_pool_sizes() {
+        use std::sync::Arc;
+        let procs = 8;
+        let hook = || ExponentialBackoff::new(procs, 16, 6);
+        let (reference, _) = TccSystem::new(sharded_cfg(procs), spread_workload(procs), hook())
+            .unwrap()
+            .run_bounded_parts(2_000_000, EngineKind::FastForward)
+            .unwrap();
+        for workers in [2usize, 8] {
+            let mut sys =
+                TccSystem::new(sharded_cfg(procs), spread_workload(procs), hook()).unwrap();
+            sys.set_lane_pool(Arc::new(WorkerPool::new(workers)));
+            sys.advance_until_engine(Cycle::MAX / 2, EngineKind::Windowed);
+            assert!(sys.windowed_stats().parallel_windows > 0);
+            let (outcome, _) = sys.into_parts();
+            assert_eq!(reference, outcome, "{workers}-worker pool diverged");
+        }
+    }
+
+    #[test]
+    fn windowed_checkpoint_bytes_are_pool_size_independent() {
+        use std::sync::Arc;
+        let procs = 8;
+        for boundary in [137u64, 1000, 4096] {
+            let mut fast =
+                TccSystem::new(sharded_cfg(procs), spread_workload(procs), NoGating).unwrap();
+            fast.advance_until_engine(boundary, EngineKind::FastForward);
+            let reference = fast.save_checkpoint();
+            for workers in [1usize, 2, 8] {
+                let mut win =
+                    TccSystem::new(sharded_cfg(procs), spread_workload(procs), NoGating).unwrap();
+                win.set_lane_pool(Arc::new(WorkerPool::new(workers)));
+                win.advance_until_engine(boundary, EngineKind::Windowed);
+                assert_eq!(fast.now(), win.now());
+                assert_eq!(
+                    reference,
+                    win.save_checkpoint(),
+                    "checkpoint bytes diverged at cycle {boundary} with {workers} workers"
+                );
+            }
         }
     }
 

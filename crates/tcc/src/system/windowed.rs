@@ -25,12 +25,23 @@
 //!    heap, spin mask and population counters are seeded from the group's
 //!    members, hook ticks run scoped to the group's directories
 //!    ([`GatingHook::on_tick_scoped`]), and every outbound message is
-//!    staged instead of delivered.
-//! 4. **Barrier.** Staged messages are sorted into the exact order a serial
-//!    run would have pushed them (so every inbox's FIFO sequence numbers
-//!    match), the per-group interval logs plus a constant baseline for the
-//!    parked processors are summed cycle-wise into the global tracker, and
-//!    the clock jumps to `T_end`.
+//!    staged instead of delivered. With more than one pool worker the
+//!    groups run **concurrently**: each is split off into a disjoint
+//!    *lane* — an owned `TccSystem` assembled by `mem::swap`-ing the
+//!    group's processors, directories and memory banks into a cached
+//!    full-size shell ([`LaneShell`]), cloning the interconnect (its
+//!    foreign banks stay frozen; only the lane's own banks are copied
+//!    back) and sharing the gating hook behind a mutex ([`LaneHook`]) —
+//!    and the lanes are fanned onto the persistent worker pool. A pool of
+//!    one worker takes the sequential in-place path instead; both paths
+//!    are byte-identical.
+//! 4. **Barrier.** Lanes are disassembled (components swapped back, bank
+//!    channels copied back, counter deltas — vendor-link stats, issued
+//!    TIDs, done counts — folded in), staged messages are sorted into the
+//!    exact order a serial run would have pushed them (so every inbox's
+//!    FIFO sequence numbers match), the per-group interval logs plus a
+//!    constant baseline for the parked processors are summed cycle-wise
+//!    into the global tracker, and the clock jumps to `T_end`.
 //!
 //! Exactness is the same argument as the fast-forward engine's
 //! jump-splitting plus one new ingredient: within a window, state is
@@ -39,26 +50,50 @@
 //! covered by the declared couplings; everything else is additive
 //! (statistics) or commutative (min-merged deadlines), so advancing the
 //! groups one after another from the same start cycle reproduces the
-//! interleaved serial execution bit for bit. Groups are advanced
-//! sequentially (deterministically) in this version; the partition is what
-//! the worker pool can later fan out.
+//! interleaved serial execution bit for bit. The lane fan-out adds a
+//! determinism argument on top, so that *thread schedule* cannot matter
+//! either:
 //!
-//! See `docs/SCALING.md` for the full derivation and `DESIGN.md` for how
-//! this composes with checkpointing (windows clamp at due cycles, so
-//! checkpoint/replay cadence is unchanged).
+//! - A lane's execution depends only on lane-owned state. The one shared
+//!   mutable resource — the hook — is serialized by a mutex, and the
+//!   couplings contract guarantees cross-lane callbacks touch disjoint
+//!   hook state (so their interleaving commutes); shared *reads* that do
+//!   vary with timing (the hook's `next_deadline`, frozen foreign-bank
+//!   deadlines) feed only the jump-split horizon, and jump splitting is
+//!   exact: a spurious wake cycle executes nothing and its interval
+//!   records coalesce away in the RLE log.
+//! - All cross-lane effects are staged: messages carry serial-order sort
+//!   keys `(cycle, phase, emitter)` and are delivered at the barrier in
+//!   exactly the serial push order, and every merged counter is a sum or
+//!   a max, independent of lane completion order.
+//!
+//! The differential suite runs the same cells under pool sizes {1, 2, 8}
+//! and across all four engines to enforce this bit-for-bit.
+//!
+//! See `docs/SCALING.md` for the full derivation and `DESIGN.md` for the
+//! lane-borrow contract and how this composes with checkpointing (windows
+//! clamp at due cycles, so checkpoint/replay cadence is unchanged).
 
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::mem;
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
 
+use htm_mem::{MainMemory, SpecCache};
 use htm_sim::bus::BusTraffic;
+use htm_sim::checkpoint::{CkptError, CkptReader, CkptWriter};
+use htm_sim::config::SimConfig;
 use htm_sim::interval::{zip_sum_segments, IntervalSeg, IntervalTracker};
+use htm_sim::pool::WorkerPool;
 use htm_sim::topology::{Node, Route, Topology};
 use htm_sim::{Cycle, DirId, ProcId, ProcSet};
 
-use crate::hooks::{GateCommand, GatingHook};
-use crate::processor::{Phase, ProcEvent, RetryAfter};
+use crate::dirctrl::DirCtrl;
+use crate::hooks::{AbortAction, GateCommand, GatingHook, ScopedCmdKey, SystemView};
+use crate::processor::{Phase, ProcEvent, Processor, RetryAfter};
 use crate::stats::PowerState;
-use crate::txn::Op;
+use crate::txn::{Op, ThreadTrace, TxId};
 
 use super::{StepPlan, TccSystem};
 
@@ -92,6 +127,49 @@ pub struct WindowedStats {
     pub max_banks_active: usize,
     /// Cross-group messages staged at window barriers.
     pub staged_messages: u64,
+    /// Histogram of group counts per executed window, with buckets for
+    /// 1, 2, 3, 4, 5–8, 9–16 and 17+ groups (see
+    /// [`Self::GROUP_HIST_BUCKETS`]). Deterministic.
+    pub group_count_hist: [u64; 7],
+    /// Windows whose groups were fanned onto the worker pool as concurrent
+    /// lanes (multi-group windows advanced with a pool of one worker take
+    /// the sequential path and are not counted here).
+    pub parallel_windows: u64,
+    /// Deterministic high-water mark of lanes eligible to run at once:
+    /// `min(groups in window, pool workers)`, maximized over parallel
+    /// windows. (A measured occupancy high-water would depend on thread
+    /// timing; this bound is what CI can gate on.)
+    pub max_concurrent_lanes: usize,
+    /// Wall-clock nanoseconds spent inside lane advances, summed across all
+    /// lanes of all parallel windows — concurrency makes this exceed the
+    /// lanes' share of [`Self::window_wall_nanos`], and the ratio is the
+    /// realized overlap. Nondeterministic: surfaced in `--timing` artifacts
+    /// only, never in reports or checkpoints.
+    pub lane_busy_nanos: u64,
+    /// Wall-clock nanoseconds spent in parallel windows end to end (lane
+    /// assembly, concurrent advance, barrier merge); the busy/wall gap is
+    /// the serialization cost of the barrier. Nondeterministic, like
+    /// [`Self::lane_busy_nanos`].
+    pub window_wall_nanos: u64,
+}
+
+impl WindowedStats {
+    /// Human-readable labels of the [`Self::group_count_hist`] buckets.
+    pub const GROUP_HIST_BUCKETS: [&'static str; 7] = ["1", "2", "3", "4", "5-8", "9-16", "17+"];
+
+    /// Count one executed window with `n` groups into the histogram.
+    fn record_window_groups(&mut self, n: usize) {
+        let bucket = match n {
+            0 | 1 => 0,
+            2 => 1,
+            3 => 2,
+            4 => 3,
+            5..=8 => 4,
+            9..=16 => 5,
+            _ => 6,
+        };
+        self.group_count_hist[bucket] += 1;
+    }
 }
 
 /// Scope of one group advance: the directories whose state the group owns
@@ -141,6 +219,10 @@ struct WindowGroup {
     dir_list: Vec<DirId>,
     /// `dir_list` as a dense mask.
     dirs_mask: Vec<bool>,
+    /// The distinct bank channels owned by the group, ascending. The lane
+    /// barrier copies exactly these channels back into the master
+    /// interconnect.
+    bank_list: Vec<usize>,
     /// Number of distinct bank channels backing `dir_list`.
     banks: usize,
 }
@@ -181,6 +263,135 @@ impl Dsu {
             let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
             self.parent[hi] = u32::try_from(lo).expect("root fits u32");
         }
+    }
+}
+
+/// Cached skeleton of one lane: full-size component vectors filled with
+/// cheap placeholders (empty-thread processors that are born `Done`,
+/// zero-processor directories, fresh memory ports). Building a lane swaps
+/// the group's *real* components into the matching slots — O(group size)
+/// pointer swaps — and moves the vectors into an owned [`TccSystem`];
+/// disassembly reverses both moves, so the allocations are reused every
+/// window. Placeholder slots are never touched during the window: the
+/// planner proves foreign processors cannot act and anchors every
+/// directory/bank the group can reach, and fresh placeholders report no
+/// deadlines, so they are invisible to the lane's plan/step machinery.
+pub(super) struct LaneShell {
+    procs: Vec<Processor>,
+    dirs: Vec<DirCtrl>,
+    memory_banks: Vec<MainMemory>,
+    view: SystemView,
+    acct_until: Vec<Cycle>,
+    /// Per-lane interval sink (the lane-local analogue of the dummy tracker
+    /// the sequential path swaps in): absorbs the double-counted records and
+    /// is discarded, while the authoritative per-cycle data lives in the
+    /// lane's RLE log. Fixed-size, so reuse across windows cannot grow it.
+    intervals: IntervalTracker,
+    deadlines: BinaryHeap<Reverse<(Cycle, ProcId)>>,
+    dir_scratch: Vec<DirId>,
+    wstage: Vec<StagedMsg>,
+    wscratch: Vec<(ScopedCmdKey, GateCommand)>,
+    log_buf: Vec<IntervalSeg>,
+}
+
+impl LaneShell {
+    fn new(cfg: &SimConfig) -> Self {
+        Self {
+            procs: (0..cfg.num_procs)
+                .map(|i| Processor::new(i, ThreadTrace::default(), SpecCache::new(1, 1)))
+                .collect(),
+            dirs: (0..cfg.num_dirs)
+                .map(|d| DirCtrl::new(d, 0, cfg.directory_latency))
+                .collect(),
+            memory_banks: (0..cfg.num_dirs)
+                .map(|_| MainMemory::from_config(cfg))
+                .collect(),
+            view: SystemView::default(),
+            acct_until: Vec::new(),
+            intervals: IntervalTracker::new(cfg.num_procs),
+            deadlines: BinaryHeap::new(),
+            dir_scratch: Vec::new(),
+            wstage: Vec::new(),
+            wscratch: Vec::new(),
+            log_buf: Vec::new(),
+        }
+    }
+}
+
+/// Hook adapter installed in every lane: forwards every [`GatingHook`]
+/// callback to the master's hook behind a mutex, so all lanes observe one
+/// shared controller exactly as the sequential engine does. Serialization
+/// is for memory safety; *determinism* comes from the couplings contract
+/// (callbacks from different lanes touch disjoint hook state, so their
+/// interleaving commutes) and from jump-split exactness (timing-dependent
+/// `next_deadline` reads only split jumps, see the module docs).
+pub(super) struct LaneHook<'a, H> {
+    shared: &'a Mutex<&'a mut H>,
+}
+
+impl<H: GatingHook> LaneHook<'_, H> {
+    fn with<R>(&self, f: impl FnOnce(&mut H) -> R) -> R {
+        // A poisoned mutex means a sibling lane panicked mid-callback; the
+        // scope will re-raise that panic at the barrier. Ignoring the poison
+        // here avoids cascading a second, less informative panic.
+        let mut guard = self.shared.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut **guard)
+    }
+}
+
+impl<H: GatingHook> GatingHook for LaneHook<'_, H> {
+    fn on_abort(
+        &mut self,
+        dir: DirId,
+        victim: ProcId,
+        aborter: ProcId,
+        aborter_tx: TxId,
+        now: Cycle,
+        view: &SystemView,
+    ) -> AbortAction {
+        self.with(|h| h.on_abort(dir, victim, aborter, aborter_tx, now, view))
+    }
+
+    fn on_tick(&mut self, now: Cycle, view: &SystemView, out: &mut Vec<GateCommand>) {
+        self.with(|h| h.on_tick(now, view, out));
+    }
+
+    fn next_deadline(&self, now: Cycle) -> Option<Cycle> {
+        self.with(|h| h.next_deadline(now))
+    }
+
+    fn on_commit(&mut self, proc: ProcId, now: Cycle) {
+        self.with(|h| h.on_commit(proc, now));
+    }
+
+    fn on_wake(&mut self, proc: ProcId, now: Cycle) {
+        self.with(|h| h.on_wake(proc, now));
+    }
+
+    fn on_proc_activity(&mut self, proc: ProcId, dir: DirId, now: Cycle) {
+        self.with(|h| h.on_proc_activity(proc, dir, now));
+    }
+
+    fn windowed_couplings(&self, out: &mut Vec<(DirId, ProcId)>) -> bool {
+        self.with(|h| h.windowed_couplings(out))
+    }
+
+    fn on_tick_scoped(
+        &mut self,
+        now: Cycle,
+        view: &SystemView,
+        focus: &[bool],
+        out: &mut Vec<(ScopedCmdKey, GateCommand)>,
+    ) {
+        self.with(|h| h.on_tick_scoped(now, view, focus, out));
+    }
+
+    fn snapshot(&self, w: &mut CkptWriter) {
+        self.with(|h| h.snapshot(w));
+    }
+
+    fn restore(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        self.with(|h| h.restore(r))
     }
 }
 
@@ -252,6 +463,7 @@ impl<H: GatingHook> TccSystem<H> {
                     self.wstats.max_groups_in_window =
                         self.wstats.max_groups_in_window.max(plan.groups.len());
                 }
+                self.wstats.record_window_groups(1);
                 self.fast_state_stale = true;
                 self.advance_until(t_end);
                 self.wstats.group_advances += 1;
@@ -431,6 +643,7 @@ impl<H: GatingHook> TccSystem<H> {
                     counts: (0, 0, 0, 0),
                     dir_list: Vec::new(),
                     dirs_mask: vec![false; nd],
+                    bank_list: Vec::new(),
                     banks: 0,
                 });
             }
@@ -462,6 +675,7 @@ impl<H: GatingHook> TccSystem<H> {
             *slot = g;
             if g != usize::MAX {
                 groups[g].banks += 1;
+                groups[g].bank_list.push(b);
                 if !groups[g].procs.is_empty() {
                     active_banks += 1;
                 }
@@ -559,23 +773,31 @@ impl<H: GatingHook> TccSystem<H> {
         }
     }
 
+    /// Advance the clock of one lane (or of the master, on the sequential
+    /// path) from its current cycle to `t_end` with the scoped fast-forward
+    /// machinery. Callers install the window focus and seed the fast-engine
+    /// structures first.
+    fn advance_lane_window(&mut self, t_end: Cycle) {
+        while self.now < t_end {
+            match self.plan_step() {
+                StepPlan::Jump(n) => self.fast_forward(n.min(t_end - self.now)),
+                StepPlan::Cycle { active, hook_due } => self.step_cycle(active, hook_due),
+                StepPlan::Quiescent => self.fast_forward(t_end - self.now),
+            }
+        }
+    }
+
     /// Advance every group of `plan` from `t0` to `t_end` with the scoped
-    /// fast-forward machinery, then merge at the barrier.
+    /// fast-forward machinery, then merge at the barrier. With more than
+    /// one pool worker the groups run concurrently as disjoint lanes;
+    /// otherwise they run sequentially in place. Both paths are
+    /// byte-identical.
     fn advance_window_groups(&mut self, plan: WindowPlan, t0: Cycle, t_end: Cycle) {
-        let total = t_end - t0;
         self.wstats.multi_group_windows += 1;
         self.wstats.max_groups_in_window = self.wstats.max_groups_in_window.max(plan.groups.len());
         self.wstats.group_advances += plan.groups.len() as u64;
         self.wstats.max_banks_active = self.wstats.max_banks_active.max(plan.active_banks);
-
-        // Swap the interval sinks out: each group records into its own RLE
-        // log (summed at the barrier); the dummy tracker absorbs the
-        // double-counted records and is discarded.
-        let saved_intervals = mem::replace(
-            &mut self.intervals,
-            IntervalTracker::new(self.cfg.num_procs),
-        );
-        let saved_log = self.interval_log.take();
+        self.wstats.record_window_groups(plan.groups.len());
         debug_assert!(self.wstage.is_empty());
 
         // Settle the hook-visible snapshot before any group reads it. The
@@ -585,9 +807,36 @@ impl<H: GatingHook> TccSystem<H> {
         // whose entries a group's abort protocol consults across the
         // group boundary. A parked processor's entry is constant for the
         // whole window, so refreshing everything here is exact; group
-        // procs keep refreshing per executed cycle via the seeding below.
+        // procs keep refreshing per executed cycle via the lane seeding.
         self.view_dirty = ProcSet::empty();
         self.refresh_view();
+
+        let pool_override = self.lane_pool.clone();
+        let pool: &WorkerPool = match &pool_override {
+            Some(p) => p,
+            None => WorkerPool::global(),
+        };
+        if pool.workers() > 1 {
+            self.advance_window_groups_parallel(plan, t0, t_end, pool);
+        } else {
+            self.advance_window_groups_sequential(plan, t0, t_end);
+        }
+    }
+
+    /// The in-place sequential group loop (pool of one worker): groups are
+    /// advanced one after another on the caller's thread, re-using the
+    /// master's own engine structures.
+    fn advance_window_groups_sequential(&mut self, plan: WindowPlan, t0: Cycle, t_end: Cycle) {
+        let total = t_end - t0;
+
+        // Swap the interval sinks out: each group records into its own RLE
+        // log (summed at the barrier); the dummy tracker absorbs the
+        // double-counted records and is discarded.
+        let saved_intervals = mem::replace(
+            &mut self.intervals,
+            IntervalTracker::new(self.cfg.num_procs),
+        );
+        let saved_log = self.interval_log.take();
         let mut group_logs: Vec<Vec<IntervalSeg>> = Vec::with_capacity(plan.groups.len());
 
         for group in plan.groups {
@@ -615,23 +864,250 @@ impl<H: GatingHook> TccSystem<H> {
                 dir_list: group.dir_list,
                 dirs_mask: group.dirs_mask,
             });
-            while self.now < t_end {
-                match self.plan_step() {
-                    StepPlan::Jump(n) => self.fast_forward(n.min(t_end - self.now)),
-                    StepPlan::Cycle { active, hook_due } => self.step_cycle(active, hook_due),
-                    StepPlan::Quiescent => self.fast_forward(t_end - self.now),
-                }
-            }
+            self.advance_lane_window(t_end);
             self.wfocus = None;
             let log = self.interval_log.take().unwrap_or_default();
             debug_assert_eq!(log.iter().map(|s| s.cycles).sum::<u64>(), total);
             group_logs.push(log);
         }
 
-        // ----- barrier -----
-        self.now = t0;
         self.intervals = saved_intervals;
         self.interval_log = saved_log;
+        self.window_barrier(&group_logs, plan.parked, t0, t_end);
+    }
+
+    /// The parallel group loop: split every group off into an owned lane
+    /// (components `mem::swap`-ed into a cached [`LaneShell`], interconnect
+    /// cloned, hook shared behind a mutex), fan the lanes onto `pool`, then
+    /// disassemble and merge. Byte-identical to the sequential path — see
+    /// the module docs for the determinism argument.
+    fn advance_window_groups_parallel(
+        &mut self,
+        plan: WindowPlan,
+        t0: Cycle,
+        t_end: Cycle,
+        pool: &WorkerPool,
+    ) {
+        let window_start = Instant::now();
+        let total = t_end - t0;
+        let ngroups = plan.groups.len();
+        self.wstats.parallel_windows += 1;
+        self.wstats.max_concurrent_lanes = self
+            .wstats
+            .max_concurrent_lanes
+            .max(ngroups.min(pool.workers()));
+
+        let mut shells = mem::take(&mut self.lane_shells);
+        while shells.len() < ngroups {
+            shells.push(LaneShell::new(&self.cfg));
+        }
+
+        // Lane-start baselines: every lane begins from the master's counter
+        // values, so its end-of-window counter minus the baseline is the
+        // lane's own in-window delta.
+        let base_done = self.done_count;
+        let base_issued = self.token.issued();
+
+        /// What the barrier needs to know about a lane beyond the lane
+        /// system itself (the group's proc/bank lists; the dir list rides
+        /// along inside the lane's `wfocus`).
+        struct LaneMeta {
+            procs: Vec<ProcId>,
+            bank_list: Vec<usize>,
+        }
+
+        let mut metas: Vec<LaneMeta> = Vec::with_capacity(ngroups);
+        let mut group_logs: Vec<Vec<IntervalSeg>> = Vec::with_capacity(ngroups);
+        let mut lane_busy: Vec<u64> = vec![0; ngroups];
+        let mut done_total = base_done;
+
+        // Everything between here and the end of this block holds a mutable
+        // borrow of `self.hook` inside `hook_cell`, so only *disjoint field
+        // accesses* on `self` are allowed (no `&mut self` method calls).
+        {
+            let hook_cell = Mutex::new(&mut self.hook);
+            let mut lanes: Vec<TccSystem<LaneHook<'_, H>>> = Vec::with_capacity(ngroups);
+            for group in plan.groups {
+                let shell = &mut shells[lanes.len()];
+                // Swap the group's real components into the shell's
+                // placeholder slots, then move the full-size vectors into
+                // the lane.
+                for &i in &group.procs {
+                    mem::swap(&mut self.procs[i], &mut shell.procs[i]);
+                }
+                for &d in &group.dir_list {
+                    mem::swap(&mut self.dirs[d], &mut shell.dirs[d]);
+                    mem::swap(&mut self.memory_banks[d], &mut shell.memory_banks[d]);
+                }
+                shell.view.clone_from(&self.view);
+                shell.acct_until.clone_from(&self.acct_until);
+                // The lane's interconnect is a full clone: its own banks are
+                // live (and copied back at the barrier), foreign banks are
+                // frozen pre-window state whose only influence is the
+                // jump-split horizon, and the vendor ledger starts zeroed so
+                // the barrier can fold the delta back.
+                let mut net = self.net.clone();
+                net.reset_vendor_stats();
+                let mut lane = TccSystem {
+                    cfg: self.cfg.clone(),
+                    map: self.map,
+                    procs: mem::take(&mut shell.procs),
+                    dirs: mem::take(&mut shell.dirs),
+                    token: self.token.clone(),
+                    net,
+                    memory_banks: mem::take(&mut shell.memory_banks),
+                    hook: LaneHook { shared: &hook_cell },
+                    view: mem::take(&mut shell.view),
+                    intervals: mem::replace(&mut shell.intervals, IntervalTracker::new(0)),
+                    now: t0,
+                    workload_name: String::new(),
+                    last_commit_end: self.last_commit_end,
+                    tick_scratch: Vec::new(),
+                    dir_scratch: mem::take(&mut shell.dir_scratch),
+                    view_dirty: group.proc_set,
+                    acct_until: mem::take(&mut shell.acct_until),
+                    deadlines: mem::take(&mut shell.deadlines),
+                    spin_mask: ProcSet::empty(),
+                    state_counts: group.counts,
+                    done_count: base_done,
+                    fast_state_stale: false,
+                    perturb_accounting: self.perturb_accounting,
+                    interval_log: Some(mem::take(&mut shell.log_buf)),
+                    wfocus: Some(WindowFocus {
+                        dir_list: group.dir_list,
+                        dirs_mask: group.dirs_mask,
+                    }),
+                    wstage: mem::take(&mut shell.wstage),
+                    wscratch: mem::take(&mut shell.wscratch),
+                    last_done_cycle: self.last_done_cycle,
+                    wstats: WindowedStats::default(),
+                    lane_pool: None,
+                    lane_shells: Vec::new(),
+                };
+                // Seed the lane's event heap and spin mask from the group,
+                // exactly like the sequential path.
+                for &i in &group.procs {
+                    let proc = &lane.procs[i];
+                    if matches!(proc.phase, Phase::SpinCommit { .. }) {
+                        lane.spin_mask.insert(i);
+                        if let Some(d) = proc.inbox.next_delivery() {
+                            lane.deadlines.push(Reverse((d, i)));
+                        }
+                    } else if let Some(d) = proc.next_deadline(lane.acct_until[i]) {
+                        lane.deadlines.push(Reverse((d, i)));
+                    }
+                }
+                metas.push(LaneMeta {
+                    procs: group.procs,
+                    bank_list: group.bank_list,
+                });
+                lanes.push(lane);
+            }
+
+            pool.scope(|scope| {
+                for (k, (lane, busy)) in lanes.iter_mut().zip(lane_busy.iter_mut()).enumerate() {
+                    scope.spawn_labeled(&format!("windowed lane {k}"), move || {
+                        let start = Instant::now();
+                        lane.advance_lane_window(t_end);
+                        *busy = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    });
+                }
+            });
+
+            // Disassemble the lanes in group order (so staged-message
+            // appends mirror the sequential path's append order — the
+            // barrier sort is stable) and fold every delta back.
+            for (lane, meta) in lanes.into_iter().zip(&metas) {
+                let shell = &mut shells[group_logs.len()];
+                let TccSystem {
+                    procs,
+                    dirs,
+                    memory_banks,
+                    token,
+                    net,
+                    view,
+                    mut deadlines,
+                    dir_scratch,
+                    acct_until,
+                    intervals,
+                    done_count,
+                    last_commit_end,
+                    interval_log,
+                    wfocus,
+                    mut wstage,
+                    wscratch,
+                    last_done_cycle,
+                    ..
+                } = lane;
+                let focus = wfocus.expect("a lane never clears its window focus");
+
+                // Return the full-size vectors to the shell, then swap the
+                // group's (now advanced) components back into the master.
+                shell.procs = procs;
+                shell.dirs = dirs;
+                shell.memory_banks = memory_banks;
+                shell.view = view;
+                shell.acct_until = acct_until;
+                shell.intervals = intervals;
+                deadlines.clear();
+                shell.deadlines = deadlines;
+                shell.dir_scratch = dir_scratch;
+                shell.wscratch = wscratch;
+                for &i in &meta.procs {
+                    mem::swap(&mut self.procs[i], &mut shell.procs[i]);
+                    self.view.proc_tx[i] = shell.view.proc_tx[i];
+                    self.view.proc_gated[i] = shell.view.proc_gated[i];
+                    self.acct_until[i] = shell.acct_until[i];
+                }
+                for &d in &focus.dir_list {
+                    mem::swap(&mut self.dirs[d], &mut shell.dirs[d]);
+                    mem::swap(&mut self.memory_banks[d], &mut shell.memory_banks[d]);
+                    self.view.dir_marked[d] = shell.view.dir_marked[d];
+                }
+                for &b in &meta.bank_list {
+                    self.net.copy_bank_from(&net, b);
+                }
+                self.net.absorb_vendor_stats(&net);
+                self.token.absorb_issued(token.issued() - base_issued);
+                done_total += done_count - base_done;
+                self.last_commit_end = self.last_commit_end.max(last_commit_end);
+                self.last_done_cycle = self.last_done_cycle.max(last_done_cycle);
+                self.wstage.append(&mut wstage);
+                shell.wstage = wstage;
+
+                let log = interval_log.unwrap_or_default();
+                debug_assert_eq!(log.iter().map(|s| s.cycles).sum::<u64>(), total);
+                group_logs.push(log);
+            }
+        }
+
+        self.done_count = done_total;
+        self.wstats.lane_busy_nanos += lane_busy.iter().sum::<u64>();
+        self.window_barrier(&group_logs, plan.parked, t0, t_end);
+
+        // Hand the RLE log buffers back to their shells for reuse.
+        for (shell, mut log) in shells.iter_mut().zip(group_logs) {
+            log.clear();
+            shell.log_buf = log;
+        }
+        self.lane_shells = shells;
+        self.wstats.window_wall_nanos +=
+            u64::try_from(window_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    }
+
+    /// The engine-state half of the window barrier, shared by the
+    /// sequential and parallel paths: pick the exact end cycle, merge the
+    /// per-group interval logs with the parked baseline into the real
+    /// tracker, deliver the staged messages in serial push order, and jump
+    /// the clock.
+    fn window_barrier(
+        &mut self,
+        group_logs: &[Vec<IntervalSeg>],
+        parked: (usize, usize, usize, usize),
+        t0: Cycle,
+        t_end: Cycle,
+    ) {
+        self.now = t0;
 
         // If the run completed inside this window, stop where the serial
         // engines' run loops would have stopped: the cycle right after the
@@ -649,13 +1125,13 @@ impl<H: GatingHook> TccSystem<H> {
         // always cover the full window).
         let base = IntervalSeg {
             cycles: 0,
-            gated: plan.parked.0,
-            missing: plan.parked.1,
-            committing: plan.parked.2,
-            throttled: plan.parked.3,
+            gated: parked.0,
+            missing: parked.1,
+            committing: parked.2,
+            throttled: parked.3,
         };
         let mut merged: Vec<IntervalSeg> = Vec::new();
-        zip_sum_segments(&group_logs, base, end - t0, |seg| merged.push(seg));
+        zip_sum_segments(group_logs, base, end - t0, |seg| merged.push(seg));
         for seg in merged {
             self.intervals.record_with_throttle(
                 seg.cycles,

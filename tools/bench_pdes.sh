@@ -3,11 +3,14 @@
 #
 # Usage: tools/bench_pdes.sh [output-file]
 #
-# Runs the full serial/island/windowed engine matrix (hotspot + clustered
-# at 64p and 256p on the default sharded fabric) and records the honest
-# wall-clock numbers for the host it ran on. On a single-core host the
-# parallel engines can only lose — commit those numbers anyway; the point
-# of the artifact is tracking the overhead, not advertising a speedup.
+# Runs the full engine matrix (hotspot + clustered at 64p and 256p on the
+# default sharded fabric): fast-forward, shard-parallel, windowed with a
+# one-worker lane pool (sequential in-place path) and windowed-parallel
+# with a four-worker lane pool (per-window group lanes fanned out), and
+# records the honest wall-clock numbers for the host it ran on. On a
+# single-core host the parallel arms can only lose — commit those numbers
+# anyway; the point of the artifact is tracking the overhead, not
+# advertising a speedup.
 set -eu
 
 out="${1:-BENCH_pdes.json}"
